@@ -1,0 +1,235 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§V).
+//
+// Each benchmark runs a reduced version of the corresponding experiment
+// (smaller topology, shorter measurement window) and reports the figure's
+// headline metrics through testing.B custom metrics. Full-scale sweeps with
+// paper-matching topologies run via cmd/wren-bench, e.g.:
+//
+//	go run ./cmd/wren-bench -figure 3a
+//
+// Expected shapes (paper → this reproduction):
+//   - Fig 3a: Wren's latency below H-Cure below Cure at equal load;
+//     Wren's peak throughput above both.
+//   - Fig 3b: Cure/H-Cure mean blocking time in the milliseconds range,
+//     growing with load; Wren blocking identically zero.
+//   - Fig 4/5: the same ordering across r:w mixes and partitions/tx.
+//   - Fig 6: Wren/Cure throughput ratio ≥ 1, growing with partitions, DCs
+//     and write intensity.
+//   - Fig 7a: Wren moves fewer replication and stabilization bytes.
+//   - Fig 7b: Wren local visibility a few ms (vs ~ΔR for Cure); Wren
+//     remote visibility slightly above Cure's.
+package wren
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wren/internal/bench"
+	"wren/internal/cluster"
+	"wren/internal/ycsb"
+)
+
+// benchOptions is the reduced configuration used by the testing.B entry
+// points: 3 DCs x 4 partitions so a full protocol sweep stays in CI budget.
+func benchOptions() bench.Options {
+	o := bench.SmokeOptions()
+	o.DCs = 3
+	o.Partitions = 4
+	o.Threads = []int{1, 4}
+	o.FixedThreads = 2
+	o.Warmup = 400 * time.Millisecond
+	o.Measure = 2 * time.Second
+	return o
+}
+
+// reportSweep publishes a latency-throughput sweep as benchmark metrics.
+func reportSweep(b *testing.B, series []bench.Series) {
+	b.Helper()
+	for _, s := range series {
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(last.Throughput, s.Protocol+"_tx/s")
+		b.ReportMetric(last.MeanLatMs, s.Protocol+"_ms/tx")
+		if s.Protocol != "Wren" {
+			b.ReportMetric(last.MeanBlockMs, s.Protocol+"_blkms")
+		}
+	}
+	b.Logf("\n%s", bench.FormatSeries(b.Name(), series))
+}
+
+func runSweepBenchmark(b *testing.B, mix ycsb.Mix, partitionsPerTx int) {
+	b.Helper()
+	o := benchOptions()
+	if partitionsPerTx > o.Partitions {
+		partitionsPerTx = o.Partitions
+	}
+	for i := 0; i < b.N; i++ {
+		series, err := bench.SweepProtocols(o, mix, partitionsPerTx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSweep(b, series)
+		}
+	}
+}
+
+// BenchmarkFig3aThroughputLatency regenerates Figure 3a: throughput vs
+// average transaction latency for Wren, H-Cure and Cure on the default
+// workload (95:5 r:w, 4 partitions per transaction).
+func BenchmarkFig3aThroughputLatency(b *testing.B) {
+	runSweepBenchmark(b, ycsb.Mix95, 4)
+}
+
+// BenchmarkFig3bBlockingTime regenerates Figure 3b: the mean blocking time
+// of blocked transactions in Cure and H-Cure (Wren never blocks).
+func BenchmarkFig3bBlockingTime(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		series, err := bench.SweepProtocols(o, ycsb.Mix95, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		for _, s := range series {
+			last := s.Points[len(s.Points)-1]
+			b.ReportMetric(last.MeanBlockMs, s.Protocol+"_blkms")
+			b.ReportMetric(last.BlockedShare*100, s.Protocol+"_blk%")
+			if s.Protocol == "Wren" && last.BlockedShare != 0 {
+				b.Fatalf("Wren blocked: %f", last.BlockedShare)
+			}
+		}
+		b.Logf("\n%s", bench.FormatSeries("Fig 3b (blocking)", series))
+	}
+}
+
+// BenchmarkFig4aWorkload9010 regenerates Figure 4a (90:10 r:w ratio).
+func BenchmarkFig4aWorkload9010(b *testing.B) {
+	runSweepBenchmark(b, ycsb.Mix90, 4)
+}
+
+// BenchmarkFig4bWorkload5050 regenerates Figure 4b (50:50 r:w ratio).
+func BenchmarkFig4bWorkload5050(b *testing.B) {
+	runSweepBenchmark(b, ycsb.Mix50, 4)
+}
+
+// BenchmarkFig5aPartitionsPerTx2 regenerates Figure 5a (p=2).
+func BenchmarkFig5aPartitionsPerTx2(b *testing.B) {
+	runSweepBenchmark(b, ycsb.Mix95, 2)
+}
+
+// BenchmarkFig5bPartitionsPerTx8 regenerates Figure 5b (p=8; clamped to the
+// benchmark topology's partition count).
+func BenchmarkFig5bPartitionsPerTx8(b *testing.B) {
+	runSweepBenchmark(b, ycsb.Mix95, 8)
+}
+
+// BenchmarkFig6aScaleOutPartitions regenerates Figure 6a: Wren's throughput
+// normalized to Cure when scaling partitions per DC.
+func BenchmarkFig6aScaleOutPartitions(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunFig6a(o, []int{2, 4}, []ycsb.Mix{ycsb.Mix95, ycsb.Mix50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		for _, c := range cells {
+			b.ReportMetric(c.Ratio, "ratio_"+metricLabel(c.Label))
+		}
+		b.Logf("\n%s", bench.FormatRatios("Fig 6a (normalized throughput)", cells))
+	}
+}
+
+// BenchmarkFig6bScaleDCs regenerates Figure 6b: Wren normalized to Cure
+// when scaling the number of DCs.
+func BenchmarkFig6bScaleDCs(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunFig6b(o, []int{3, 5}, o.Partitions, []ycsb.Mix{ycsb.Mix95})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		for _, c := range cells {
+			b.ReportMetric(c.Ratio, "ratio_"+metricLabel(c.Label))
+		}
+		b.Logf("\n%s", bench.FormatRatios("Fig 6b (normalized throughput)", cells))
+	}
+}
+
+// BenchmarkFig7aMetadataBytes regenerates Figure 7a: replication and
+// stabilization traffic of Wren normalized to Cure.
+func BenchmarkFig7aMetadataBytes(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunFig7a(o, []int{3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		byDC := map[int]map[string]bench.TrafficResult{}
+		for _, r := range results {
+			if byDC[r.DCs] == nil {
+				byDC[r.DCs] = map[string]bench.TrafficResult{}
+			}
+			byDC[r.DCs][r.Protocol] = r
+		}
+		for dcs, m := range byDC {
+			w, c := m["Wren"], m["Cure"]
+			if c.ReplBytesPerTx > 0 {
+				b.ReportMetric(w.ReplBytesPerTx/c.ReplBytesPerTx,
+					"repl_ratio_"+itoa(dcs)+"DC")
+			}
+			if c.StabBytesPerSecond > 0 {
+				b.ReportMetric(w.StabBytesPerSecond/c.StabBytesPerSecond,
+					"stab_ratio_"+itoa(dcs)+"DC")
+			}
+		}
+		b.Logf("\n%s", bench.FormatTraffic("Fig 7a (traffic)", results))
+	}
+}
+
+// BenchmarkFig7bVisibilityLatency regenerates Figure 7b: the CDF of local
+// and remote update visibility latency for Wren and Cure.
+func BenchmarkFig7bVisibilityLatency(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		var results []bench.VisibilityResult
+		for _, proto := range []cluster.Protocol{cluster.Wren, cluster.Cure} {
+			res, err := bench.RunVisibility(bench.VisibilityConfig{
+				Options:    o,
+				Protocol:   proto,
+				ProbeEvery: 10 * time.Millisecond,
+				Duration:   2 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, res)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		for _, r := range results {
+			b.ReportMetric(r.LocalMean/1000, r.Protocol+"_localms")
+			b.ReportMetric(r.RemoteP99/1000, r.Protocol+"_remp99ms")
+		}
+		b.Logf("\n%s", bench.FormatVisibility("Fig 7b (visibility)", results))
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// metricLabel makes a figure-cell label safe for testing.B metric units
+// (no whitespace allowed).
+func metricLabel(s string) string { return strings.ReplaceAll(s, " ", "_") }

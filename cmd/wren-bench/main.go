@@ -1,0 +1,235 @@
+// Command wren-bench regenerates the figures of the paper's evaluation
+// (§V) at full scale:
+//
+//	wren-bench -figure 3a          # throughput vs latency, default workload
+//	wren-bench -figure all         # every figure in sequence
+//	wren-bench -figure 6a -threads 8
+//	wren-bench -ablation blocking-commit
+//	wren-bench -quick -figure 3a   # reduced topology for a fast look
+//
+// Figures: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b, 7a, 7b.
+// Ablations: blocking-commit, gossip-interval, snapshot-age.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wren/internal/bench"
+	"wren/internal/cluster"
+	"wren/internal/ycsb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wren-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wren-bench", flag.ContinueOnError)
+	var (
+		figure     = fs.String("figure", "", "figure to regenerate: 3a 3b 4a 4b 5a 5b 6a 6b 7a 7b all")
+		ablation   = fs.String("ablation", "", "ablation to run: blocking-commit gossip-interval gossip-topology snapshot-age")
+		dcs        = fs.Int("dcs", 3, "number of DCs")
+		partitions = fs.Int("partitions", 8, "partitions per DC")
+		threads    = fs.String("threads", "1,2,4,8,16", "comma-separated per-process thread counts for sweeps")
+		fixed      = fs.Int("fixed-threads", 4, "thread count for ratio/traffic/visibility figures")
+		warmup     = fs.Duration("warmup", time.Second, "warmup before each measurement window")
+		measure    = fs.Duration("measure", 4*time.Second, "measurement window per load point")
+		keys       = fs.Int("keys", 1000, "keys per partition")
+		skew       = fs.Duration("skew", 2*time.Millisecond, "max clock skew per server")
+		seed       = fs.Int64("seed", 1, "random seed")
+		quick      = fs.Bool("quick", false, "reduced topology and windows for a fast run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *figure == "" && *ablation == "" {
+		fs.Usage()
+		return fmt.Errorf("one of -figure or -ablation is required")
+	}
+
+	o := bench.DefaultOptions()
+	o.DCs = *dcs
+	o.Partitions = *partitions
+	o.FixedThreads = *fixed
+	o.Warmup = *warmup
+	o.Measure = *measure
+	o.KeysPerPartition = *keys
+	o.ClockSkew = *skew
+	o.Seed = *seed
+	var err error
+	o.Threads, err = parseThreads(*threads)
+	if err != nil {
+		return err
+	}
+	if *quick {
+		q := bench.SmokeOptions()
+		q.DCs = min(o.DCs, 3)
+		o.Partitions = q.Partitions
+		o.Threads = q.Threads
+		o.FixedThreads = q.FixedThreads
+		o.Warmup = q.Warmup
+		o.Measure = q.Measure
+		o.KeysPerPartition = q.KeysPerPartition
+	}
+
+	if *ablation != "" {
+		return runAblation(o, *ablation)
+	}
+	if *figure == "all" {
+		for _, f := range []string{"3a", "3b", "4a", "4b", "5a", "5b", "6a", "6b", "7a", "7b"} {
+			if err := runFigure(o, f); err != nil {
+				return fmt.Errorf("figure %s: %w", f, err)
+			}
+		}
+		return nil
+	}
+	return runFigure(o, *figure)
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts given")
+	}
+	return out, nil
+}
+
+func runFigure(o bench.Options, figure string) error {
+	start := time.Now()
+	defer func() { fmt.Printf("[%s done in %v]\n\n", figure, time.Since(start).Round(time.Second)) }()
+
+	switch figure {
+	case "3a", "3b":
+		series, err := bench.SweepProtocols(o, ycsb.Mix95, clamp(4, o.Partitions))
+		if err != nil {
+			return err
+		}
+		title := "Figure 3a: throughput vs latency (95:5, p=4, 3 DCs)"
+		if figure == "3b" {
+			title = "Figure 3b: mean blocking time (Wren never blocks)"
+		}
+		fmt.Print(bench.FormatSeries(title, series))
+	case "4a":
+		series, err := bench.SweepProtocols(o, ycsb.Mix90, clamp(4, o.Partitions))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSeries("Figure 4a: throughput vs latency (90:10)", series))
+	case "4b":
+		series, err := bench.SweepProtocols(o, ycsb.Mix50, clamp(4, o.Partitions))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSeries("Figure 4b: throughput vs latency (50:50)", series))
+	case "5a":
+		series, err := bench.SweepProtocols(o, ycsb.Mix95, clamp(2, o.Partitions))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSeries("Figure 5a: throughput vs latency (p=2)", series))
+	case "5b":
+		series, err := bench.SweepProtocols(o, ycsb.Mix95, clamp(8, o.Partitions))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSeries("Figure 5b: throughput vs latency (p=8)", series))
+	case "6a":
+		counts := []int{4, 8, 16}
+		if o.Partitions < 16 {
+			counts = []int{2, o.Partitions}
+		}
+		cells, err := bench.RunFig6a(o, counts, ycsb.AllMix)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRatios("Figure 6a: Wren throughput normalized to Cure (scaling partitions)", cells))
+	case "6b":
+		cells, err := bench.RunFig6b(o, []int{3, 5}, o.Partitions, ycsb.AllMix)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRatios("Figure 6b: Wren throughput normalized to Cure (scaling DCs)", cells))
+	case "7a":
+		results, err := bench.RunFig7a(o, []int{3, 5})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTraffic("Figure 7a: replication and stabilization traffic", results))
+	case "7b":
+		var results []bench.VisibilityResult
+		for _, proto := range []cluster.Protocol{cluster.Wren, cluster.Cure} {
+			res, err := bench.RunVisibility(bench.VisibilityConfig{
+				Options:           o,
+				Protocol:          proto,
+				ProbeEvery:        15 * time.Millisecond,
+				Duration:          o.Measure,
+				BackgroundThreads: 1,
+				UseAWSLatencies:   true,
+			})
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+		fmt.Print(bench.FormatVisibility("Figure 7b: update visibility latency CDF (AWS latency matrix)", results))
+	default:
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+	return nil
+}
+
+func runAblation(o bench.Options, name string) error {
+	switch name {
+	case "blocking-commit":
+		rows, err := bench.RunBlockingCommitAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("Ablation: client cache vs blocking commits (§III-B)", rows))
+	case "gossip-interval":
+		rows, err := bench.RunGossipIntervalAblation(o, []time.Duration{
+			time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("Ablation: BiST gossip period ΔG", rows))
+	case "gossip-topology":
+		rows, err := bench.RunGossipTopologyAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("Ablation: BiST broadcast vs tree aggregation (§IV-B)", rows))
+	case "snapshot-age":
+		rows, err := bench.RunSnapshotAgeAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("Ablation: snapshot freshness (Wren vs Cure)", rows))
+	default:
+		return fmt.Errorf("unknown ablation %q", name)
+	}
+	return nil
+}
+
+func clamp(v, limit int) int {
+	if v > limit {
+		return limit
+	}
+	return v
+}

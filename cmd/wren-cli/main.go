@@ -1,0 +1,231 @@
+// Command wren-cli is an interactive client for a TCP Wren deployment
+// started with cmd/wren-server.
+//
+//	wren-cli -dcs 1 -partitions 2 -peers 0/0=127.0.0.1:7000,0/1=127.0.0.1:7001
+//
+// Commands:
+//
+//	get <key>...            one-shot read-only transaction
+//	put <key> <value>...    one-shot write transaction (pairs)
+//	begin                   start an interactive transaction
+//	read <key>...           read within the open transaction
+//	write <key> <value>     buffer a write in the open transaction
+//	commit                  commit the open transaction
+//	abort                   abort the open transaction
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wren/internal/core"
+	"wren/internal/peers"
+	"wren/internal/transport"
+	"wren/internal/transport/tcp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wren-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("wren-cli", flag.ContinueOnError)
+	var (
+		dc          = fs.Int("dc", 0, "client's local DC")
+		dcs         = fs.Int("dcs", 1, "total number of DCs")
+		partitions  = fs.Int("partitions", 1, "partitions per DC")
+		peersFlag   = fs.String("peers", "", "comma-separated dc/partition=host:port for the local DC's servers")
+		coordinator = fs.Int("coordinator", 0, "coordinator partition (-1 = random per transaction)")
+		clientIdx   = fs.Int("client-index", int(os.Getpid()%10000), "unique client index within the DC")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_ = dcs
+
+	peerMap, err := peers.Parse(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if len(peerMap) == 0 {
+		return fmt.Errorf("-peers is required")
+	}
+
+	net, err := tcp.New(tcp.Config{
+		Self:  transport.ClientID(*dc, *clientIdx),
+		Peers: peerMap,
+	})
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+
+	client, err := core.NewClient(core.ClientConfig{
+		DC: *dc, ClientIndex: *clientIdx,
+		NumPartitions:        *partitions,
+		Network:              net,
+		CoordinatorPartition: *coordinator,
+		RequestTimeout:       10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	fmt.Fprintf(out, "wren-cli: connected (dc%d, %d partitions). Type 'help'.\n", *dc, *partitions)
+	return repl(client, in, out)
+}
+
+func repl(client *core.Client, in io.Reader, out io.Writer) error {
+	var tx *core.Tx
+	scanner := bufio.NewScanner(in)
+	fmt.Fprint(out, "> ")
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			fmt.Fprint(out, "> ")
+			continue
+		}
+		cmd, rest := strings.ToLower(fields[0]), fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "help":
+			fmt.Fprintln(out, "commands: get put begin read write commit abort quit")
+		case "get":
+			oneShotRead(client, out, rest)
+		case "put":
+			oneShotWrite(client, out, rest)
+		case "begin":
+			if tx != nil {
+				fmt.Fprintln(out, "error: transaction already open")
+				break
+			}
+			var err error
+			if tx, err = client.Begin(); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			lt, rt := tx.Snapshot()
+			fmt.Fprintf(out, "tx %d open (snapshot local=%v remote=%v)\n", tx.ID(), lt, rt)
+		case "read":
+			if tx == nil {
+				fmt.Fprintln(out, "error: no open transaction (use begin, or get)")
+				break
+			}
+			got, err := tx.Read(rest...)
+			printRead(out, got, err)
+		case "write":
+			if tx == nil {
+				fmt.Fprintln(out, "error: no open transaction (use begin, or put)")
+				break
+			}
+			if len(rest) != 2 {
+				fmt.Fprintln(out, "usage: write <key> <value>")
+				break
+			}
+			if err := tx.Write(rest[0], []byte(rest[1])); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		case "commit":
+			if tx == nil {
+				fmt.Fprintln(out, "error: no open transaction")
+				break
+			}
+			ct, err := tx.Commit()
+			tx = nil
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "committed at %v\n", ct)
+		case "abort":
+			if tx == nil {
+				fmt.Fprintln(out, "error: no open transaction")
+				break
+			}
+			err := tx.Abort()
+			tx = nil
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintln(out, "aborted")
+		default:
+			fmt.Fprintf(out, "unknown command %q (try help)\n", cmd)
+		}
+		fmt.Fprint(out, "> ")
+	}
+	return scanner.Err()
+}
+
+func oneShotRead(client *core.Client, out io.Writer, keys []string) {
+	if len(keys) == 0 {
+		fmt.Fprintln(out, "usage: get <key>...")
+		return
+	}
+	tx, err := client.Begin()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	got, err := tx.Read(keys...)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		_ = tx.Abort()
+		return
+	}
+	if _, err := tx.Commit(); err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	printRead(out, got, nil)
+}
+
+func oneShotWrite(client *core.Client, out io.Writer, kvs []string) {
+	if len(kvs) == 0 || len(kvs)%2 != 0 {
+		fmt.Fprintln(out, "usage: put <key> <value> [<key> <value>...]")
+		return
+	}
+	tx, err := client.Begin()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	for i := 0; i < len(kvs); i += 2 {
+		if err := tx.Write(kvs[i], []byte(kvs[i+1])); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			_ = tx.Abort()
+			return
+		}
+	}
+	ct, err := tx.Commit()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "committed at %v\n", ct)
+}
+
+func printRead(out io.Writer, got map[string][]byte, err error) {
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(out, "(no values)")
+		return
+	}
+	for k, v := range got {
+		fmt.Fprintf(out, "%s = %q\n", k, v)
+	}
+}

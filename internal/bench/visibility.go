@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"wren/internal/cluster"
+	"wren/internal/sharding"
+	"wren/internal/stats"
+	"wren/internal/ycsb"
+)
+
+// VisibilityResult holds Figure 7b's data for one protocol: CDFs of local
+// and remote update visibility latency. The visibility latency of an update
+// X in DC_i is the wall-clock difference between when X becomes visible in
+// DC_i and when X committed in its origin DC.
+type VisibilityResult struct {
+	Protocol  string
+	LocalCDF  []stats.CDFPoint
+	RemoteCDF []stats.CDFPoint
+	LocalMean float64 // µs
+	RemoteP99 float64 // µs (the paper quotes worst-case remote latency)
+	Samples   int
+}
+
+// VisibilityConfig parameterizes the probe run.
+type VisibilityConfig struct {
+	Options Options
+	// Protocol to probe.
+	Protocol cluster.Protocol
+	// ProbeEvery is the marker-commit period.
+	ProbeEvery time.Duration
+	// Duration bounds the probing phase.
+	Duration time.Duration
+	// BackgroundThreads adds workload noise during probing (0 = quiet).
+	BackgroundThreads int
+	// UseAWSLatencies selects the paper's 5-region WAN matrix.
+	UseAWSLatencies bool
+}
+
+// RunVisibility measures update visibility latency: a prober client in
+// DC 0 commits marker transactions; monitors in every DC poll the marker's
+// partition until the update becomes visible there, producing the local
+// (origin-DC) and remote CDFs of Figure 7b.
+func RunVisibility(vc VisibilityConfig) (VisibilityResult, error) {
+	o := vc.Options
+	if vc.ProbeEvery == 0 {
+		vc.ProbeEvery = 20 * time.Millisecond
+	}
+	if vc.Duration == 0 {
+		vc.Duration = 5 * time.Second
+	}
+	ccfg := o.clusterConfig(vc.Protocol, o.DCs, o.Partitions)
+	ccfg.UseAWSLatencies = vc.UseAWSLatencies
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return VisibilityResult{}, err
+	}
+	defer cl.Close()
+
+	pTx := 4
+	if pTx > o.Partitions {
+		pTx = o.Partitions
+	}
+	w, err := ycsb.NewWorkload(o.workloadConfig(ycsb.Mix95, pTx, o.Partitions))
+	if err != nil {
+		return VisibilityResult{}, err
+	}
+	if err := Preload(cl, w); err != nil {
+		return VisibilityResult{}, err
+	}
+
+	// Optional background load.
+	stopBG := make(chan struct{})
+	var bgWG sync.WaitGroup
+	if vc.BackgroundThreads > 0 {
+		for dc := 0; dc < o.DCs; dc++ {
+			for t := 0; t < vc.BackgroundThreads; t++ {
+				client, err := cl.NewClient(dc, t%o.Partitions)
+				if err != nil {
+					return VisibilityResult{}, err
+				}
+				gen := w.NewGenerator(o.Seed + int64(dc*1000+t))
+				bgWG.Add(1)
+				go func(client cluster.Client, gen *ycsb.Generator) {
+					defer bgWG.Done()
+					defer client.Close()
+					for {
+						select {
+						case <-stopBG:
+							return
+						default:
+						}
+						plan := gen.Next()
+						tx, err := client.Begin()
+						if err != nil {
+							continue
+						}
+						if len(plan.ReadKeys) > 0 {
+							if _, err := tx.Read(plan.ReadKeys...); err != nil {
+								_ = tx.Abort()
+								continue
+							}
+						}
+						for _, wr := range plan.Writes {
+							_ = tx.Write(wr.Key, wr.Value)
+						}
+						_, _ = tx.Commit()
+					}
+				}(client, gen)
+			}
+		}
+	}
+	defer func() {
+		close(stopBG)
+		bgWG.Wait()
+	}()
+
+	prober, err := cl.NewClient(0, 0)
+	if err != nil {
+		return VisibilityResult{}, err
+	}
+	defer prober.Close()
+
+	markerKey := "visibility-marker"
+	markerPartition := sharding.PartitionOf(markerKey, o.Partitions)
+
+	localHist := stats.NewHistogram()
+	remoteHist := stats.NewHistogram()
+	samples := 0
+	deadline := time.Now().Add(vc.Duration)
+	for time.Now().Before(deadline) {
+		tx, err := prober.Begin()
+		if err != nil {
+			return VisibilityResult{}, err
+		}
+		if err := tx.Write(markerKey, []byte(fmt.Sprintf("m%d", samples))); err != nil {
+			return VisibilityResult{}, err
+		}
+		ct, err := tx.Commit()
+		if err != nil {
+			return VisibilityResult{}, err
+		}
+		committedAt := time.Now()
+		samples++
+
+		// Wait until visible in every DC, recording per-DC latency.
+		var wg sync.WaitGroup
+		for dc := 0; dc < o.DCs; dc++ {
+			wg.Add(1)
+			go func(dc int) {
+				defer wg.Done()
+				for {
+					var visible bool
+					if dc == 0 {
+						visible = cl.LocalUpdateVisible(0, markerPartition, ct)
+					} else {
+						visible = cl.RemoteUpdateVisible(dc, markerPartition, 0, ct)
+					}
+					if visible {
+						lat := time.Since(committedAt)
+						if dc == 0 {
+							localHist.RecordDuration(lat)
+						} else {
+							remoteHist.RecordDuration(lat)
+						}
+						return
+					}
+					if time.Since(committedAt) > 10*time.Second {
+						return // give up on this sample; partition-level stall
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}(dc)
+		}
+		wg.Wait()
+		time.Sleep(vc.ProbeEvery)
+	}
+
+	return VisibilityResult{
+		Protocol:  vc.Protocol.String(),
+		LocalCDF:  localHist.CDF(20),
+		RemoteCDF: remoteHist.CDF(20),
+		LocalMean: localHist.Mean(),
+		RemoteP99: float64(remoteHist.Percentile(99)),
+		Samples:   samples,
+	}, nil
+}
+
+// FormatVisibility renders Figure 7b-style CDF tables.
+func FormatVisibility(title string, results []VisibilityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s (%d samples): local mean %s, remote p99 %s\n",
+			r.Protocol, r.Samples,
+			stats.FormatMicros(int64(r.LocalMean)), stats.FormatMicros(int64(r.RemoteP99)))
+		fmt.Fprintf(&b, "  local CDF:")
+		for _, pt := range r.LocalCDF {
+			fmt.Fprintf(&b, " %.2f@%s", pt.Fraction, stats.FormatMicros(pt.Value))
+		}
+		fmt.Fprintf(&b, "\n  remote CDF:")
+		for _, pt := range r.RemoteCDF {
+			fmt.Fprintf(&b, " %.2f@%s", pt.Fraction, stats.FormatMicros(pt.Value))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

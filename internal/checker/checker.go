@@ -1,0 +1,276 @@
+// Package checker validates Transactional Causal Consistency from observed
+// histories. It is the test oracle used by the integration and chaos tests:
+// clients route every operation through a Checker, and the Checker reports
+// violations of the paper's §II guarantees:
+//
+//   - causal snapshots: a transaction's reads never observe a version
+//     without also observing (at least) every version it causally depends
+//     on;
+//   - atomic visibility: versions written by one transaction are observed
+//     all-or-nothing;
+//   - session guarantees: read-your-writes, monotonic reads and writes
+//     (no session ever travels backwards in causal time).
+//
+// Method: every key is owned by exactly one writer session (single-writer
+// keys make "which version is newer" well-defined under last-writer-wins),
+// and every written value encodes (owner, key, sequence). Each version
+// carries a dependency frontier — a map from key to the minimum sequence
+// number any observer of this version must subsequently see. A version's
+// frontier is the writer's observed frontier at write time plus the other
+// keys co-written in the same transaction (which yields the atomicity
+// check for free).
+package checker
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Checker is the shared oracle. All methods are safe for concurrent use by
+// multiple sessions.
+type Checker struct {
+	mu sync.Mutex
+	// deps[key][seq] is the dependency frontier of version seq of key.
+	deps map[string]map[int]map[string]int
+	// owner[key] is the writer session that owns key.
+	owner map[string]string
+	// sessions[name] is the per-session observed frontier and counters.
+	sessions map[string]*session
+
+	violations []error
+}
+
+type session struct {
+	frontier map[string]int // minimum next-observable seq per key
+	ownSeq   map[string]int // last sequence written per owned key
+}
+
+// New returns an empty checker.
+func New() *Checker {
+	return &Checker{
+		deps:     make(map[string]map[int]map[string]int),
+		owner:    make(map[string]string),
+		sessions: make(map[string]*session),
+	}
+}
+
+func (c *Checker) session(name string) *session {
+	s, ok := c.sessions[name]
+	if !ok {
+		s = &session{frontier: make(map[string]int), ownSeq: make(map[string]int)}
+		c.sessions[name] = s
+	}
+	return s
+}
+
+func (c *Checker) violate(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Errorf(format, args...))
+}
+
+// Violations returns every violation recorded so far.
+func (c *Checker) Violations() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]error, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Err returns all violations joined, or nil if the history is TCC-clean.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return errors.Join(c.violations...)
+}
+
+// encodeValue builds the on-store value for version seq of key owned by
+// owner.
+func encodeValue(owner, key string, seq int) []byte {
+	return []byte(owner + "|" + key + "|" + strconv.Itoa(seq))
+}
+
+// parseValue decodes a stored value. ok is false for foreign values.
+func parseValue(v []byte) (owner, key string, seq int, ok bool) {
+	parts := strings.Split(string(v), "|")
+	if len(parts) != 3 {
+		return "", "", 0, false
+	}
+	seq, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return "", "", 0, false
+	}
+	return parts[0], parts[1], seq, true
+}
+
+// WriteTx stages one write transaction: it assigns the next sequence number
+// to each key and registers the dependency frontiers of the new versions.
+type WriteTx struct {
+	c       *Checker
+	session string
+	values  map[string][]byte
+	seqs    map[string]int
+}
+
+// WriteTx begins a write transaction on the given keys for the session.
+// Keys not yet owned are claimed by the session; writing a key owned by a
+// different session is a test-programming error and panics.
+func (c *Checker) WriteTx(sessionName string, keys []string) *WriteTx {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.session(sessionName)
+
+	wt := &WriteTx{
+		c:       c,
+		session: sessionName,
+		values:  make(map[string][]byte, len(keys)),
+		seqs:    make(map[string]int, len(keys)),
+	}
+	for _, k := range keys {
+		if own, ok := c.owner[k]; ok && own != sessionName {
+			panic(fmt.Sprintf("checker: key %q owned by %q, written by %q", k, own, sessionName))
+		}
+		c.owner[k] = sessionName
+		seq := s.ownSeq[k] + 1
+		s.ownSeq[k] = seq
+		wt.seqs[k] = seq
+		wt.values[k] = encodeValue(sessionName, k, seq)
+	}
+	// The version's dependency frontier: everything the writer has
+	// observed, plus the co-written keys at their new sequence numbers
+	// (atomic visibility), plus its own prior writes.
+	base := make(map[string]int, len(s.frontier)+len(keys))
+	for k, q := range s.frontier {
+		base[k] = q
+	}
+	for k, q := range s.ownSeq {
+		if q > base[k] {
+			base[k] = q
+		}
+	}
+	for _, k := range keys {
+		if c.deps[k] == nil {
+			c.deps[k] = make(map[int]map[string]int)
+		}
+		c.deps[k][wt.seqs[k]] = base
+	}
+	return wt
+}
+
+// Values returns the encoded values to write, keyed by key.
+func (wt *WriteTx) Values() map[string][]byte { return wt.values }
+
+// Committed records that the transaction committed: the session's frontier
+// advances past its own writes (read-your-writes from here on).
+func (wt *WriteTx) Committed() {
+	wt.c.mu.Lock()
+	defer wt.c.mu.Unlock()
+	s := wt.c.session(wt.session)
+	for k, seq := range wt.seqs {
+		if seq > s.frontier[k] {
+			s.frontier[k] = seq
+		}
+	}
+}
+
+// ReadTx collects the observations of one read snapshot.
+type ReadTx struct {
+	c        *Checker
+	session  string
+	observed map[string]int // key -> seq (0 = absent)
+}
+
+// ReadTx begins recording a read-only (or read phase of a) transaction.
+func (c *Checker) ReadTx(sessionName string) *ReadTx {
+	return &ReadTx{
+		c:        c,
+		session:  sessionName,
+		observed: make(map[string]int),
+	}
+}
+
+// Observe records that the transaction read the given value for key.
+// A nil/empty value means the key was absent from the snapshot.
+func (rt *ReadTx) Observe(key string, value []byte) {
+	seq := 0
+	if len(value) > 0 {
+		owner, vkey, vseq, ok := parseValue(value)
+		if !ok {
+			rt.c.mu.Lock()
+			rt.c.violate("session %s read unparseable value %q for key %q", rt.session, value, key)
+			rt.c.mu.Unlock()
+			return
+		}
+		if vkey != key {
+			rt.c.mu.Lock()
+			rt.c.violate("session %s read value of key %q under key %q", rt.session, vkey, key)
+			rt.c.mu.Unlock()
+			return
+		}
+		_ = owner
+		seq = vseq
+	}
+	rt.observed[key] = seq
+}
+
+// Close checks the snapshot against the session's history and the causal
+// dependency graph, then merges it into the session frontier. It reports
+// the number of violations found in this snapshot.
+func (rt *ReadTx) Close() int {
+	c := rt.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.session(rt.session)
+	before := len(c.violations)
+
+	// Session checks: never travel backwards.
+	for k, seq := range rt.observed {
+		if min := s.frontier[k]; seq < min {
+			c.violate("session %s: key %q regressed to seq %d after observing %d",
+				rt.session, k, seq, min)
+		}
+	}
+
+	// Snapshot closure: every observed version's dependency frontier must
+	// be satisfied by the same snapshot (this covers both causality and
+	// atomic visibility).
+	for k, seq := range rt.observed {
+		if seq == 0 {
+			continue
+		}
+		dep := c.deps[k][seq]
+		if dep == nil {
+			c.violate("session %s: key %q@%d has no registered writer", rt.session, k, seq)
+			continue
+		}
+		for dk, dseq := range dep {
+			got, read := rt.observed[dk]
+			if !read {
+				continue // snapshot didn't look at dk; nothing to check
+			}
+			if got < dseq {
+				c.violate("session %s: snapshot has %q@%d but %q@%d (needs >= %d): causal/atomic violation",
+					rt.session, k, seq, dk, got, dseq)
+			}
+		}
+	}
+
+	// Merge: the session has now observed these versions and everything
+	// they depend on.
+	for k, seq := range rt.observed {
+		if seq > s.frontier[k] {
+			s.frontier[k] = seq
+		}
+		if seq == 0 {
+			continue
+		}
+		for dk, dseq := range c.deps[k][seq] {
+			if dseq > s.frontier[dk] {
+				s.frontier[dk] = dseq
+			}
+		}
+	}
+	return len(c.violations) - before
+}

@@ -1,0 +1,222 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanHistoryNoViolations(t *testing.T) {
+	c := New()
+
+	// Writer commits x=1, then y=1 (y depends on x).
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	w2 := c.WriteTx("w", []string{"y"})
+	w2.Committed()
+
+	// Reader sees both.
+	rt := c.ReadTx("r")
+	rt.Observe("x", w1.Values()["x"])
+	rt.Observe("y", w2.Values()["y"])
+	if n := rt.Close(); n != 0 {
+		t.Fatalf("clean history flagged %d violations: %v", n, c.Violations())
+	}
+	if c.Err() != nil {
+		t.Fatalf("Err = %v", c.Err())
+	}
+}
+
+func TestCausalViolationDetected(t *testing.T) {
+	c := New()
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	w2 := c.WriteTx("w", []string{"y"}) // depends on x@1
+	w2.Committed()
+
+	// Snapshot shows y@1 but x absent: causality broken.
+	rt := c.ReadTx("r")
+	rt.Observe("y", w2.Values()["y"])
+	rt.Observe("x", nil)
+	if n := rt.Close(); n == 0 {
+		t.Fatal("causal violation not detected")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "causal") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStaleDependencyDetected(t *testing.T) {
+	c := New()
+	wx1 := c.WriteTx("w", []string{"x"})
+	wx1.Committed()
+	wx2 := c.WriteTx("w", []string{"x"})
+	wx2.Committed()
+	wy := c.WriteTx("w", []string{"y"}) // depends on x@2
+	wy.Committed()
+
+	rt := c.ReadTx("r")
+	rt.Observe("y", wy.Values()["y"])
+	rt.Observe("x", wx1.Values()["x"]) // stale: x@1 < required x@2
+	if rt.Close() == 0 {
+		t.Fatal("stale dependency not detected")
+	}
+}
+
+func TestAtomicityViolationDetected(t *testing.T) {
+	c := New()
+	// Baseline versions so "absent" isn't the issue.
+	w0 := c.WriteTx("w", []string{"a", "b"})
+	w0.Committed()
+	w1 := c.WriteTx("w", []string{"a", "b"}) // a@2, b@2 atomically
+	w1.Committed()
+
+	// Snapshot with a@2 but b@1: torn transaction.
+	rt := c.ReadTx("r")
+	rt.Observe("a", w1.Values()["a"])
+	rt.Observe("b", w0.Values()["b"])
+	if rt.Close() == 0 {
+		t.Fatal("atomicity violation not detected")
+	}
+}
+
+func TestMonotonicReadsViolationDetected(t *testing.T) {
+	c := New()
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	w2 := c.WriteTx("w", []string{"x"})
+	w2.Committed()
+
+	r1 := c.ReadTx("r")
+	r1.Observe("x", w2.Values()["x"])
+	if r1.Close() != 0 {
+		t.Fatalf("unexpected violations: %v", c.Violations())
+	}
+	// Second read regresses to the older version.
+	r2 := c.ReadTx("r")
+	r2.Observe("x", w1.Values()["x"])
+	if r2.Close() == 0 {
+		t.Fatal("monotonic-reads violation not detected")
+	}
+}
+
+func TestReadYourWritesViolationDetected(t *testing.T) {
+	c := New()
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	w2 := c.WriteTx("w", []string{"x"})
+	w2.Committed()
+
+	// The writer itself reads back the first version: RYW broken.
+	rt := c.ReadTx("w")
+	rt.Observe("x", w1.Values()["x"])
+	if rt.Close() == 0 {
+		t.Fatal("read-your-writes violation not detected")
+	}
+}
+
+func TestAbsentKeyAfterObservationDetected(t *testing.T) {
+	c := New()
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	r1 := c.ReadTx("r")
+	r1.Observe("x", w1.Values()["x"])
+	if r1.Close() != 0 {
+		t.Fatal("unexpected violation")
+	}
+	r2 := c.ReadTx("r")
+	r2.Observe("x", nil) // key vanished
+	if r2.Close() == 0 {
+		t.Fatal("disappearing key not detected")
+	}
+}
+
+func TestTransitiveCausalityThroughReads(t *testing.T) {
+	c := New()
+	// w1 writes x. w2 reads x, then writes y. A snapshot with y but stale
+	// x violates causality across sessions.
+	wx := c.WriteTx("w1", []string{"x"})
+	wx.Committed()
+
+	r := c.ReadTx("w2")
+	r.Observe("x", wx.Values()["x"])
+	if r.Close() != 0 {
+		t.Fatal("unexpected violation")
+	}
+	wy := c.WriteTx("w2", []string{"y"})
+	wy.Committed()
+
+	rt := c.ReadTx("r")
+	rt.Observe("y", wy.Values()["y"])
+	rt.Observe("x", nil)
+	if rt.Close() == 0 {
+		t.Fatal("transitive causal violation not detected")
+	}
+}
+
+func TestUnparseableValue(t *testing.T) {
+	c := New()
+	rt := c.ReadTx("r")
+	rt.Observe("x", []byte("garbage"))
+	rt.Close()
+	if c.Err() == nil {
+		t.Fatal("unparseable value not flagged")
+	}
+}
+
+func TestWrongKeyValue(t *testing.T) {
+	c := New()
+	w := c.WriteTx("w", []string{"x"})
+	w.Committed()
+	rt := c.ReadTx("r")
+	rt.Observe("y", w.Values()["x"]) // value of x under key y
+	rt.Close()
+	if c.Err() == nil {
+		t.Fatal("cross-key value not flagged")
+	}
+}
+
+func TestForeignOwnerPanics(t *testing.T) {
+	c := New()
+	w := c.WriteTx("w1", []string{"x"})
+	w.Committed()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("writing another session's key should panic")
+		}
+	}()
+	c.WriteTx("w2", []string{"x"})
+}
+
+func TestUncommittedWriteNotRequired(t *testing.T) {
+	c := New()
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	// A staged-but-never-committed write must not poison the reader: the
+	// reader can still legally observe x@1.
+	_ = c.WriteTx("w", []string{"x"}) // x@2 staged, never committed
+	rt := c.ReadTx("r")
+	rt.Observe("x", w1.Values()["x"])
+	if rt.Close() != 0 {
+		t.Fatalf("uncommitted write caused violations: %v", c.Violations())
+	}
+}
+
+func TestViolationsAccumulate(t *testing.T) {
+	c := New()
+	w1 := c.WriteTx("w", []string{"x"})
+	w1.Committed()
+	w2 := c.WriteTx("w", []string{"x"})
+	w2.Committed()
+
+	for i := 0; i < 3; i++ {
+		rt := c.ReadTx("r")
+		rt.Observe("x", w2.Values()["x"])
+		rt.Close()
+		bad := c.ReadTx("r")
+		bad.Observe("x", w1.Values()["x"])
+		bad.Close()
+	}
+	if len(c.Violations()) != 3 {
+		t.Fatalf("expected 3 accumulated violations, got %d", len(c.Violations()))
+	}
+}

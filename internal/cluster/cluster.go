@@ -1,0 +1,411 @@
+// Package cluster assembles complete deployments — M data centers times N
+// partitions — of Wren, Cure or H-Cure servers over a simulated network,
+// mirroring the paper's evaluation platform (§V-A): up to 5 replication
+// sites, up to 16 partitions per site, clients collocated with their
+// coordinator partition, and NTP-like clock skew between servers.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wren/internal/core"
+	"wren/internal/cure"
+	"wren/internal/hlc"
+	"wren/internal/transport"
+)
+
+// Protocol selects the consistency protocol a cluster runs.
+type Protocol int
+
+// Supported protocols.
+const (
+	// Wren is the paper's contribution: CANToR + BDT + BiST.
+	Wren Protocol = iota + 1
+	// Cure is the state-of-the-art baseline with vector snapshots and
+	// blocking reads on physical clocks.
+	Cure
+	// HCure is Cure with hybrid logical clocks (removes only the
+	// clock-skew component of blocking).
+	HCure
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Wren:
+		return "Wren"
+	case Cure:
+		return "Cure"
+	case HCure:
+		return "H-Cure"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config describes a deployment.
+type Config struct {
+	// Protocol selects Wren, Cure or HCure.
+	Protocol Protocol
+	// NumDCs is the number of replication sites (the paper uses 3 and 5).
+	NumDCs int
+	// NumPartitions is the number of partitions per DC (4, 8 or 16).
+	NumPartitions int
+	// IntraDCLatency is the one-way latency between nodes in one DC.
+	// Zero selects 100µs.
+	IntraDCLatency time.Duration
+	// InterDCLatency is the uniform one-way WAN latency. Ignored when
+	// UseAWSLatencies is set. Zero selects 10ms.
+	InterDCLatency time.Duration
+	// UseAWSLatencies replaces the uniform WAN latency with the paper's
+	// five-region EC2 matrix scaled by LatencyScale.
+	UseAWSLatencies bool
+	// LatencyScale scales the AWS matrix (1.0 = realistic). Zero means 1.0.
+	LatencyScale float64
+	// ClockSkew is the maximum absolute clock offset; each server draws an
+	// offset uniformly from [-ClockSkew, +ClockSkew].
+	ClockSkew time.Duration
+	// ApplyInterval, GossipInterval, GCInterval are the protocol timers
+	// (ΔR, ΔG, GC period). Zeros select the package defaults; a negative
+	// GCInterval disables GC.
+	ApplyInterval  time.Duration
+	GossipInterval time.Duration
+	GCInterval     time.Duration
+	// BlockingCommit enables the commit-blocks-until-stable ablation on
+	// Wren servers (the "simple solution" the paper rejects in §III-B).
+	BlockingCommit bool
+	// GossipTree selects tree-based BiST aggregation on Wren servers
+	// instead of all-to-all broadcast (paper §IV-B).
+	GossipTree bool
+	// Seed makes clock-skew assignment reproducible.
+	Seed int64
+	// RequestTimeout bounds client round trips. Zero selects 10s.
+	RequestTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.IntraDCLatency == 0 {
+		c.IntraDCLatency = 100 * time.Microsecond
+	}
+	if c.InterDCLatency == 0 {
+		c.InterDCLatency = 10 * time.Millisecond
+	}
+	if c.LatencyScale == 0 {
+		c.LatencyScale = 1.0
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+}
+
+// Tx is the protocol-independent transaction handle.
+type Tx interface {
+	// ID returns the coordinator-assigned transaction id.
+	ID() uint64
+	// Read returns the values of keys within the transaction snapshot.
+	Read(keys ...string) (map[string][]byte, error)
+	// Write buffers an update; it becomes visible atomically at commit.
+	Write(key string, value []byte) error
+	// Commit finishes the transaction and returns its commit timestamp
+	// (zero for read-only transactions).
+	Commit() (hlc.Timestamp, error)
+	// Abort abandons the transaction.
+	Abort() error
+	// Blocked reports how long the transaction's reads were blocked
+	// server-side (always zero for Wren).
+	Blocked() time.Duration
+}
+
+// Client is the protocol-independent client session.
+type Client interface {
+	// Begin starts a transaction.
+	Begin() (Tx, error)
+	// Close ends the session.
+	Close()
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg Config
+	net *transport.Memory
+
+	wrenServers [][]*core.Server
+	cureServers [][]*cure.Server
+
+	mu        sync.Mutex
+	clientSeq int
+	closed    bool
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	if cfg.NumDCs <= 0 || cfg.NumPartitions <= 0 {
+		return nil, fmt.Errorf("cluster: invalid topology %dx%d", cfg.NumDCs, cfg.NumPartitions)
+	}
+	switch cfg.Protocol {
+	case Wren, Cure, HCure:
+	default:
+		return nil, fmt.Errorf("cluster: unknown protocol %v", cfg.Protocol)
+	}
+
+	var latency transport.LatencyFunc
+	if cfg.UseAWSLatencies {
+		latency = transport.MatrixLatency(cfg.IntraDCLatency,
+			transport.AWSLatencies(cfg.LatencyScale), cfg.InterDCLatency)
+	} else {
+		latency = transport.UniformLatency(cfg.IntraDCLatency, cfg.InterDCLatency)
+	}
+	net := transport.NewMemory(latency)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	skewFor := func() time.Duration {
+		if cfg.ClockSkew <= 0 {
+			return 0
+		}
+		span := cfg.ClockSkew.Microseconds()
+		return time.Duration(rng.Int63n(2*span+1)-span) * time.Microsecond
+	}
+
+	c := &Cluster{cfg: cfg, net: net}
+	for dc := 0; dc < cfg.NumDCs; dc++ {
+		var wrenRow []*core.Server
+		var cureRow []*cure.Server
+		for p := 0; p < cfg.NumPartitions; p++ {
+			src := hlc.OffsetSource{Base: hlc.SystemSource{}, Offset: skewFor()}
+			switch cfg.Protocol {
+			case Wren:
+				srv, err := core.NewServer(core.ServerConfig{
+					DC: dc, Partition: p,
+					NumDCs: cfg.NumDCs, NumPartitions: cfg.NumPartitions,
+					Network: net, ClockSource: src,
+					ApplyInterval:  cfg.ApplyInterval,
+					GossipInterval: cfg.GossipInterval,
+					GCInterval:     cfg.GCInterval,
+					BlockingCommit: cfg.BlockingCommit,
+					GossipTree:     cfg.GossipTree,
+				})
+				if err != nil {
+					net.Close()
+					return nil, err
+				}
+				srv.Start()
+				wrenRow = append(wrenRow, srv)
+			case Cure, HCure:
+				srv, err := cure.NewServer(cure.ServerConfig{
+					DC: dc, Partition: p,
+					NumDCs: cfg.NumDCs, NumPartitions: cfg.NumPartitions,
+					Network: net, ClockSource: src,
+					UseHLC:         cfg.Protocol == HCure,
+					ApplyInterval:  cfg.ApplyInterval,
+					GossipInterval: cfg.GossipInterval,
+					GCInterval:     cfg.GCInterval,
+				})
+				if err != nil {
+					net.Close()
+					return nil, err
+				}
+				srv.Start()
+				cureRow = append(cureRow, srv)
+			}
+		}
+		if wrenRow != nil {
+			c.wrenServers = append(c.wrenServers, wrenRow)
+		}
+		if cureRow != nil {
+			c.cureServers = append(c.cureServers, cureRow)
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Network exposes the underlying simulated network for byte accounting and
+// partition injection.
+func (c *Cluster) Network() *transport.Memory { return c.net }
+
+// NewClient opens a client session in the given DC. A non-negative
+// coordinator fixes the coordinator partition (the paper collocates each
+// client with one partition); a negative value picks a random coordinator
+// per transaction.
+func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
+	if dc < 0 || dc >= c.cfg.NumDCs {
+		return nil, fmt.Errorf("cluster: DC %d out of range", dc)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: closed")
+	}
+	c.clientSeq++
+	idx := c.clientSeq
+	c.mu.Unlock()
+
+	switch c.cfg.Protocol {
+	case Wren:
+		cl, err := core.NewClient(core.ClientConfig{
+			DC: dc, ClientIndex: idx,
+			NumPartitions:        c.cfg.NumPartitions,
+			Network:              c.net,
+			CoordinatorPartition: coordinator,
+			RequestTimeout:       c.cfg.RequestTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return wrenClient{cl}, nil
+	default:
+		cl, err := cure.NewClient(cure.ClientConfig{
+			DC: dc, ClientIndex: idx,
+			NumDCs:               c.cfg.NumDCs,
+			NumPartitions:        c.cfg.NumPartitions,
+			Network:              c.net,
+			CoordinatorPartition: coordinator,
+			RequestTimeout:       c.cfg.RequestTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cureClient{cl}, nil
+	}
+}
+
+// WrenServer returns the Wren server at (dc, partition); nil for other
+// protocols.
+func (c *Cluster) WrenServer(dc, partition int) *core.Server {
+	if c.cfg.Protocol != Wren {
+		return nil
+	}
+	return c.wrenServers[dc][partition]
+}
+
+// CureServer returns the Cure server at (dc, partition); nil for Wren.
+func (c *Cluster) CureServer(dc, partition int) *cure.Server {
+	if c.cfg.Protocol == Wren {
+		return nil
+	}
+	return c.cureServers[dc][partition]
+}
+
+// LocalUpdateVisible reports whether an update committed in this DC at
+// timestamp ct has become visible to new transactions started in the same
+// DC at partition p — the quantity behind the paper's Figure 7b "local
+// visibility" CDF.
+func (c *Cluster) LocalUpdateVisible(dc, p int, ct hlc.Timestamp) bool {
+	switch c.cfg.Protocol {
+	case Wren:
+		// Visible once inside the local stable snapshot.
+		lst, _ := c.wrenServers[dc][p].StableTimes()
+		return lst >= ct
+	default:
+		// Visible as soon as the origin partition has applied it: Cure
+		// snapshots use the coordinator's current clock as local entry.
+		return c.cureServers[dc][p].LocalVersionClock() >= ct
+	}
+}
+
+// RemoteUpdateVisible reports whether an update committed in srcDC at ct is
+// visible to new transactions in dc (≠ srcDC) at partition p.
+func (c *Cluster) RemoteUpdateVisible(dc, p, srcDC int, ct hlc.Timestamp) bool {
+	switch c.cfg.Protocol {
+	case Wren:
+		// Remote updates are visible once stable: RST has passed their
+		// commit time (BiST aggregates all remote DCs into one scalar).
+		_, rst := c.wrenServers[dc][p].StableTimes()
+		return rst >= ct
+	default:
+		// Cure tracks per-DC stability: the stable-vector entry for the
+		// source DC must pass the commit time.
+		gsv := c.cureServers[dc][p].StableVector()
+		return gsv[srcDC] >= ct
+	}
+}
+
+// CommittedTxCount sums committed-transaction counters across all servers.
+func (c *Cluster) CommittedTxCount() uint64 {
+	var total uint64
+	switch c.cfg.Protocol {
+	case Wren:
+		for _, row := range c.wrenServers {
+			for _, s := range row {
+				total += s.Metrics().TxCommitted.Load()
+			}
+		}
+	default:
+		for _, row := range c.cureServers {
+			for _, s := range row {
+				total += s.Metrics().TxCommitted.Load()
+			}
+		}
+	}
+	return total
+}
+
+// Close stops every server and the network.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, row := range c.wrenServers {
+		for _, s := range row {
+			wg.Add(1)
+			go func(s *core.Server) {
+				defer wg.Done()
+				s.Stop()
+			}(s)
+		}
+	}
+	for _, row := range c.cureServers {
+		for _, s := range row {
+			wg.Add(1)
+			go func(s *cure.Server) {
+				defer wg.Done()
+				s.Stop()
+			}(s)
+		}
+	}
+	wg.Wait()
+	c.net.Close()
+}
+
+// wrenClient adapts *core.Client to the Client interface.
+type wrenClient struct{ c *core.Client }
+
+func (w wrenClient) Begin() (Tx, error) {
+	tx, err := w.c.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+func (w wrenClient) Close() { w.c.Close() }
+
+// cureClient adapts *cure.Client to the Client interface.
+type cureClient struct{ c *cure.Client }
+
+func (cc cureClient) Begin() (Tx, error) {
+	tx, err := cc.c.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+func (cc cureClient) Close() { cc.c.Close() }
+
+var (
+	_ Tx = (*core.Tx)(nil)
+	_ Tx = (*cure.Tx)(nil)
+)

@@ -1,0 +1,8 @@
+package cluster
+
+import "wren/internal/sharding"
+
+// partitionOf mirrors the production key-to-partition mapping.
+func partitionOf(key string, parts int) int {
+	return sharding.PartitionOf(key, parts)
+}

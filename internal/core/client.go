@@ -1,0 +1,418 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrTxOpen is returned by Begin while another transaction is open on
+	// the same session (the paper's clients issue one operation at a time).
+	ErrTxOpen = errors.New("core: a transaction is already open on this session")
+	// ErrTxDone is returned when operating on a committed or aborted
+	// transaction.
+	ErrTxDone = errors.New("core: transaction already finished")
+	// ErrTimeout is returned when the coordinator does not answer in time.
+	ErrTimeout = errors.New("core: request timed out")
+	// ErrClosed is returned after the client session is closed.
+	ErrClosed = errors.New("core: client closed")
+)
+
+// DefaultRequestTimeout bounds each client-coordinator round trip.
+const DefaultRequestTimeout = 10 * time.Second
+
+// ClientConfig configures a Wren client session.
+type ClientConfig struct {
+	// DC is the client's local data center (clients never leave it; §II-A).
+	DC int
+	// ClientIndex distinguishes client processes within the DC.
+	ClientIndex int
+	// NumPartitions is the number of partitions per DC.
+	NumPartitions int
+	// Network is the messaging substrate shared with the servers.
+	Network transport.Network
+	// CoordinatorPartition fixes the coordinator partition; a negative
+	// value picks a random coordinator per transaction (the paper's default
+	// behaviour; the evaluation collocates clients with one coordinator).
+	CoordinatorPartition int
+	// RequestTimeout bounds each round trip. Zero selects
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Rand seeds coordinator selection; nil uses a time-seeded source.
+	Rand *rand.Rand
+}
+
+// cacheEntry is one client-side cached write (an element of WC_c).
+type cacheEntry struct {
+	value []byte
+	ct    hlc.Timestamp
+}
+
+// Client is a Wren client session (Algorithm 1). A session runs one
+// transaction at a time; concurrent sessions use separate Clients.
+type Client struct {
+	cfg ClientConfig
+	id  transport.NodeID
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	lst     hlc.Timestamp // lst_c: local snapshot time seen so far
+	rst     hlc.Timestamp // rst_c: remote snapshot time seen so far
+	hwt     hlc.Timestamp // hwt_c: commit time of the last update transaction
+	cache   map[string]cacheEntry
+	pending map[uint64]chan wire.Message
+	tx      *Tx
+	closed  bool
+
+	reqSeq atomic.Uint64
+}
+
+// NewClient creates a client session and registers it on the network.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("core: network is required")
+	}
+	if cfg.NumPartitions <= 0 {
+		return nil, fmt.Errorf("core: NumPartitions must be positive")
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	c := &Client{
+		cfg:     cfg,
+		id:      transport.ClientID(cfg.DC, cfg.ClientIndex),
+		rng:     rng,
+		cache:   make(map[string]cacheEntry),
+		pending: make(map[uint64]chan wire.Message),
+	}
+	cfg.Network.Register(c.id, c)
+	return c, nil
+}
+
+// ID returns the client's node id.
+func (c *Client) ID() transport.NodeID { return c.id }
+
+// HandleMessage implements transport.Handler, routing responses to the
+// round-trip that issued them.
+func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
+	var reqID uint64
+	switch msg := m.(type) {
+	case *wire.StartTxResp:
+		reqID = msg.ReqID
+	case *wire.TxReadResp:
+		reqID = msg.ReqID
+	case *wire.CommitResp:
+		reqID = msg.ReqID
+	default:
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+// call performs one request/response round trip with the coordinator.
+func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.Message, error) {
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[reqID] = ch
+	from := c.id
+	c.mu.Unlock()
+
+	if err := c.cfg.Network.Send(from, to, m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(c.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w (%v to %v)", ErrTimeout, m.Kind(), to)
+	}
+}
+
+// Begin starts an interactive transaction (Algorithm 1, START): it obtains
+// the snapshot from a coordinator and prunes the client cache of entries
+// already covered by the local stable snapshot.
+func (c *Client) Begin() (*Tx, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.tx != nil {
+		c.mu.Unlock()
+		return nil, ErrTxOpen
+	}
+	lst, rst := c.lst, c.rst
+	dc := c.cfg.DC
+	coordPartition := c.cfg.CoordinatorPartition
+	if coordPartition < 0 {
+		coordPartition = c.rng.Intn(c.cfg.NumPartitions)
+	}
+	c.mu.Unlock()
+
+	coord := transport.ServerID(dc, coordPartition)
+	reqID := c.reqSeq.Add(1)
+	resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, LST: lst, RST: rst})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := resp.(*wire.StartTxResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected response %T to StartTxReq", resp)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st.LST > c.lst {
+		c.lst = st.LST
+	}
+	if st.RST > c.rst {
+		c.rst = st.RST
+	}
+	// Prune WC_c: drop every cached write already included in the causal
+	// snapshot (Algorithm 1 line 6). Safe because the coordinator enforces
+	// rt < lt, so any surviving entry is fresher than anything visible.
+	for k, e := range c.cache {
+		if e.ct <= c.lst {
+			delete(c.cache, k)
+		}
+	}
+	tx := &Tx{
+		client: c,
+		coord:  coord,
+		id:     st.TxID,
+		lt:     st.LST,
+		rt:     st.RST,
+		ws:     make(map[string][]byte),
+		rs:     make(map[string][]byte),
+		rsMiss: make(map[string]struct{}),
+	}
+	c.tx = tx
+	return tx, nil
+}
+
+// Close terminates the session. An open transaction is abandoned (its
+// server-side context expires via the coordinator's TTL sweep).
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.tx = nil
+}
+
+// CacheSize returns the number of entries in the client-side write cache
+// (exposed for tests and the cache-ablation benchmark).
+func (c *Client) CacheSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// SnapshotTimes returns the client's current (lst_c, rst_c).
+func (c *Client) SnapshotTimes() (lst, rst hlc.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lst, c.rst
+}
+
+// Tx is an interactive read-write transaction.
+type Tx struct {
+	client *Client
+	coord  transport.NodeID
+	id     uint64
+	lt     hlc.Timestamp
+	rt     hlc.Timestamp
+	ws     map[string][]byte
+	rs     map[string][]byte
+	rsMiss map[string]struct{} // keys known absent in this snapshot
+	done   bool
+
+	// BlockedMicros accumulates server-reported read blocking time; always
+	// zero for Wren, used by the Cure client which shares this API shape.
+	BlockedMicros int64
+}
+
+// ID returns the transaction identifier assigned by the coordinator.
+func (t *Tx) ID() uint64 { return t.id }
+
+// Blocked returns the total time this transaction's reads spent blocked on
+// servers. It is always zero in Wren — the protocol's defining property —
+// and exists for API parity with the Cure baseline.
+func (t *Tx) Blocked() time.Duration {
+	return time.Duration(t.BlockedMicros) * time.Microsecond
+}
+
+// Snapshot returns the transaction's (local, remote) snapshot timestamps.
+func (t *Tx) Snapshot() (lt, rt hlc.Timestamp) { return t.lt, t.rt }
+
+// Read returns the values of the given keys within the transaction
+// snapshot (Algorithm 1, READ). Keys never written anywhere are absent
+// from the result map.
+func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	result := make(map[string][]byte, len(keys))
+	var missing []string
+	t.client.mu.Lock()
+	for _, k := range keys {
+		if v, ok := t.ws[k]; ok { // own uncommitted write
+			result[k] = v
+			continue
+		}
+		if v, ok := t.rs[k]; ok { // repeatable read
+			result[k] = v
+			continue
+		}
+		if _, ok := t.rsMiss[k]; ok { // known absent in this snapshot
+			continue
+		}
+		if e, ok := t.client.cache[k]; ok { // own committed write not in snapshot
+			result[k] = e.value
+			t.rs[k] = e.value
+			continue
+		}
+		missing = append(missing, k)
+	}
+	t.client.mu.Unlock()
+
+	if len(missing) == 0 {
+		return result, nil
+	}
+	reqID := t.client.reqSeq.Add(1)
+	resp, err := t.client.call(t.coord, reqID, &wire.TxReadReq{
+		ReqID: reqID, TxID: t.id, Keys: missing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := resp.(*wire.TxReadResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected response %T to TxReadReq", resp)
+	}
+	if rr.BlockedMicros > t.BlockedMicros {
+		t.BlockedMicros = rr.BlockedMicros
+	}
+	t.client.mu.Lock()
+	for i := range rr.Items {
+		it := &rr.Items[i]
+		result[it.Key] = it.Value
+		t.rs[it.Key] = it.Value
+	}
+	// Keys absent from the reply are unwritten in this snapshot: record
+	// the absence so repeated reads stay stable.
+	for _, k := range missing {
+		if _, ok := t.rs[k]; !ok {
+			t.rsMiss[k] = struct{}{}
+		}
+	}
+	t.client.mu.Unlock()
+	return result, nil
+}
+
+// Write buffers updates in the transaction's write set (Algorithm 1,
+// WRITE); they become visible atomically at commit.
+func (t *Tx) Write(key string, value []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.ws[key] = value
+	return nil
+}
+
+// Commit makes the write set durable and atomically visible (Algorithm 1,
+// COMMIT). It returns the commit timestamp, or zero for read-only
+// transactions. After Commit the transaction cannot be used.
+func (t *Tx) Commit() (hlc.Timestamp, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	t.done = true
+	defer t.client.clearTx(t)
+
+	writes := make([]wire.KV, 0, len(t.ws))
+	for k, v := range t.ws {
+		writes = append(writes, wire.KV{Key: k, Value: v})
+	}
+	t.client.mu.Lock()
+	hwt := t.client.hwt
+	t.client.mu.Unlock()
+
+	reqID := t.client.reqSeq.Add(1)
+	resp, err := t.client.call(t.coord, reqID, &wire.CommitReq{
+		ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes,
+	})
+	if err != nil {
+		return 0, err
+	}
+	cr, ok := resp.(*wire.CommitResp)
+	if !ok {
+		return 0, fmt.Errorf("core: unexpected response %T to CommitReq", resp)
+	}
+	if len(writes) == 0 {
+		return 0, nil
+	}
+
+	// Tag the write set with the commit time and move it into the client
+	// cache (Algorithm 1 lines 29–31), overwriting older duplicates.
+	t.client.mu.Lock()
+	if cr.CT > t.client.hwt {
+		t.client.hwt = cr.CT
+	}
+	for k, v := range t.ws {
+		t.client.cache[k] = cacheEntry{value: v, ct: cr.CT}
+	}
+	t.client.mu.Unlock()
+	return cr.CT, nil
+}
+
+// Abort abandons the transaction, releasing its coordinator context.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	defer t.client.clearTx(t)
+	// An empty commit releases the server-side context without a 2PC.
+	reqID := t.client.reqSeq.Add(1)
+	_, err := t.client.call(t.coord, reqID, &wire.CommitReq{ReqID: reqID, TxID: t.id})
+	return err
+}
+
+func (c *Client) clearTx(t *Tx) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tx == t {
+		c.tx = nil
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "wren/internal/sharding"
+
+// partitionOfForTest mirrors the production key-to-partition mapping.
+func partitionOfForTest(key string, parts int) int {
+	return sharding.PartitionOf(key, parts)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClientMigration exercises the paper's footnote-1 extension: a client
+// moves to another DC, blocking until its causal past is installed there,
+// and keeps all session guarantees.
+func TestClientMigration(t *testing.T) {
+	tc := newTestCluster(t, clusterOpts{dcs: 2, parts: 2})
+	c := tc.client(0)
+
+	// Build causal history in DC 0, ending with writes possibly not yet
+	// replicated anywhere.
+	commitKV(t, c, map[string]string{"mig-a": "1"})
+	commitKV(t, c, map[string]string{"mig-b": "2"})
+
+	if err := c.Migrate(1, 0); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if c.DC() != 1 {
+		t.Fatalf("client DC = %d after migration, want 1", c.DC())
+	}
+	if c.CacheSize() != 0 {
+		t.Fatalf("cache should be empty after migration, has %d entries", c.CacheSize())
+	}
+
+	// Read-your-writes must hold in the new DC *without* the cache: the
+	// migration waited for the writes to be installed there.
+	got := readKeys(t, c, "mig-a", "mig-b")
+	if string(got["mig-a"]) != "1" || string(got["mig-b"]) != "2" {
+		t.Fatalf("session lost its writes after migration: %v", got)
+	}
+
+	// The session continues: writes committed in the new DC flow back.
+	ct := commitKV(t, c, map[string]string{"mig-c": "3"})
+	if ct == 0 {
+		t.Fatal("commit in new DC failed")
+	}
+	back := tc.client(0)
+	eventually(t, 5*time.Second, "DC0 sees post-migration write", func() bool {
+		return string(readKeys(t, back, "mig-c")["mig-c"]) == "3"
+	})
+}
+
+func TestMigrateValidation(t *testing.T) {
+	tc := newTestCluster(t, clusterOpts{dcs: 2, parts: 2})
+	c := tc.client(0)
+
+	// Same-DC migration is a no-op.
+	if err := c.Migrate(0, 0); err != nil {
+		t.Fatalf("same-DC migrate should be a no-op, got %v", err)
+	}
+	// Bad coordinator.
+	if err := c.Migrate(1, 99); err == nil {
+		t.Fatal("out-of-range coordinator should be rejected")
+	}
+	// Migration with an open transaction is refused.
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(1, 0); err != ErrTxOpen {
+		t.Fatalf("Migrate with open tx = %v, want ErrTxOpen", err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close, migration fails.
+	c.Close()
+	if err := c.Migrate(1, 0); err != ErrClosed {
+		t.Fatalf("Migrate after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestMigrationBlocksUntilInstalled verifies migration genuinely waits: a
+// WAN partition delays replication, so Migrate must not complete until the
+// link heals.
+func TestMigrationBlocksUntilInstalled(t *testing.T) {
+	tc := newTestCluster(t, clusterOpts{dcs: 2, parts: 2})
+	c := tc.client(0)
+	commitKV(t, c, map[string]string{"mig-block": "v"})
+
+	tc.net.SetDCLinkDown(0, 1, true)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- c.Migrate(1, 0) }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("migration completed during partition (after %v, err=%v)", time.Since(start), err)
+	case <-time.After(150 * time.Millisecond):
+		// Still blocked: correct.
+	}
+	tc.net.SetDCLinkDown(0, 1, false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("migration failed after heal: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("migration never completed after heal")
+	}
+	// And the write is readable in the new DC through the snapshot.
+	got := readKeys(t, c, "mig-block")
+	if string(got["mig-block"]) != "v" {
+		t.Fatalf("migrated session lost its write: %q", got["mig-block"])
+	}
+}

@@ -1,0 +1,929 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/sharding"
+	"wren/internal/stats"
+	"wren/internal/store"
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+// Default protocol timer intervals. The paper runs its stabilization
+// protocols every 5 milliseconds (§V-A).
+const (
+	DefaultApplyInterval  = 5 * time.Millisecond
+	DefaultGossipInterval = 5 * time.Millisecond
+	DefaultGCInterval     = 500 * time.Millisecond
+	DefaultTxContextTTL   = 30 * time.Second
+)
+
+// ServerConfig configures one Wren partition server p_n^m.
+type ServerConfig struct {
+	// DC is the server's data center index m (0-based).
+	DC int
+	// Partition is the server's partition index n (0-based).
+	Partition int
+	// NumDCs is the number of replication sites M.
+	NumDCs int
+	// NumPartitions is the number of partitions per DC, N.
+	NumPartitions int
+	// Network delivers messages between nodes.
+	Network transport.Network
+	// ClockSource supplies physical time; distinct servers get distinct,
+	// possibly skewed sources. Nil means the system clock.
+	ClockSource hlc.Source
+	// ApplyInterval is ΔR: how often committed transactions are applied and
+	// replicated (Algorithm 4). Zero selects DefaultApplyInterval.
+	ApplyInterval time.Duration
+	// GossipInterval is ΔG: how often BiST stabilization gossip runs.
+	// Zero selects DefaultGossipInterval.
+	GossipInterval time.Duration
+	// GCInterval is how often version-chain garbage collection runs.
+	// Zero selects DefaultGCInterval; negative disables GC.
+	GCInterval time.Duration
+	// TxContextTTL bounds how long an inactive transaction context is kept
+	// before being expired (a backstop for abandoned sessions). Zero
+	// selects DefaultTxContextTTL.
+	TxContextTTL time.Duration
+	// BlockingCommit enables an ablation of CANToR: instead of relying on
+	// the client-side cache, the coordinator delays the commit reply until
+	// the commit timestamp is covered by the local stable snapshot — the
+	// "simple solution" the paper rejects for its high commit latency
+	// (§III-B). Off in the real protocol.
+	BlockingCommit bool
+	// GossipTree organizes the BiST exchange as an aggregation tree rooted
+	// at partition 0 (paper §IV-B) instead of all-to-all broadcast:
+	// 2(N−1) messages per round instead of N(N−1), at the cost of one
+	// extra hop of staleness.
+	GossipTree bool
+}
+
+func (c *ServerConfig) fillDefaults() {
+	if c.ClockSource == nil {
+		c.ClockSource = hlc.SystemSource{}
+	}
+	if c.ApplyInterval == 0 {
+		c.ApplyInterval = DefaultApplyInterval
+	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = DefaultGossipInterval
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultGCInterval
+	}
+	if c.TxContextTTL == 0 {
+		c.TxContextTTL = DefaultTxContextTTL
+	}
+}
+
+func (c *ServerConfig) validate() error {
+	if c.NumDCs <= 0 || c.NumPartitions <= 0 {
+		return fmt.Errorf("core: invalid topology %dx%d", c.NumDCs, c.NumPartitions)
+	}
+	if c.DC < 0 || c.DC >= c.NumDCs {
+		return fmt.Errorf("core: DC %d out of range [0,%d)", c.DC, c.NumDCs)
+	}
+	if c.Partition < 0 || c.Partition >= c.NumPartitions {
+		return fmt.Errorf("core: partition %d out of range [0,%d)", c.Partition, c.NumPartitions)
+	}
+	if c.Network == nil {
+		return fmt.Errorf("core: network is required")
+	}
+	return nil
+}
+
+// txContext is the coordinator-side state of an open transaction
+// (TX[id_T] in Algorithm 2).
+type txContext struct {
+	lt      hlc.Timestamp
+	rt      hlc.Timestamp
+	created time.Time
+}
+
+// preparedTx is a transaction in the pending list: prepared but not yet
+// committed (Algorithm 3, line 18).
+type preparedTx struct {
+	pt     hlc.Timestamp // proposed commit timestamp
+	rst    hlc.Timestamp // transaction's remote snapshot time
+	writes []wire.KV
+}
+
+// committedTx is a transaction in the commit list, waiting to be applied
+// in commit-timestamp order (Algorithm 3, line 24).
+type committedTx struct {
+	txID   uint64
+	ct     hlc.Timestamp
+	rst    hlc.Timestamp
+	writes []wire.KV
+}
+
+// sliceCall tracks an outstanding SliceReq issued by this server acting as
+// a transaction coordinator.
+type sliceCall struct {
+	ch chan *wire.SliceResp
+}
+
+// prepareCall collects PrepareResp messages for one committing transaction.
+type prepareCall struct {
+	ch chan hlc.Timestamp
+}
+
+// Metrics exposes server-side counters for tests and the benchmark harness.
+type Metrics struct {
+	TxStarted     stats.Counter
+	TxCommitted   stats.Counter
+	SlicesServed  stats.Counter
+	ReplTxApplied stats.Counter
+	GCRemoved     stats.Counter
+	CtxExpired    stats.Counter
+}
+
+// Server is one Wren partition server p_n^m.
+type Server struct {
+	cfg   ServerConfig
+	id    transport.NodeID
+	clock *hlc.Clock
+	st    *store.Store
+
+	mu            sync.Mutex
+	vv            []hlc.Timestamp // version vector: vv[m] is the local version clock
+	lst           hlc.Timestamp   // local stable time known to this server
+	rst           hlc.Timestamp   // remote stable time known to this server
+	prepared      map[uint64]*preparedTx
+	committed     []*committedTx
+	txCtx         map[uint64]*txContext
+	peerLocal     []hlc.Timestamp // per-partition gossiped local version clocks
+	peerRemoteMin []hlc.Timestamp // per-partition gossiped min remote entries
+	peerOldest    []hlc.Timestamp // per-partition gossiped oldest active snapshots
+
+	pendingSlice   map[uint64]*sliceCall
+	pendingPrepare map[uint64]*prepareCall
+
+	reqSeq  atomic.Uint64
+	txSeq   atomic.Uint64
+	metrics Metrics
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	reqWG     sync.WaitGroup
+	draining  bool // guarded by mu; set during Stop
+}
+
+// NewServer constructs a Wren partition server. Call Start to register it
+// on the network and launch its background protocols.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:            cfg,
+		id:             transport.ServerID(cfg.DC, cfg.Partition),
+		clock:          hlc.NewClock(cfg.ClockSource),
+		st:             store.New(),
+		vv:             make([]hlc.Timestamp, cfg.NumDCs),
+		prepared:       make(map[uint64]*preparedTx),
+		txCtx:          make(map[uint64]*txContext),
+		peerLocal:      make([]hlc.Timestamp, cfg.NumPartitions),
+		peerRemoteMin:  make([]hlc.Timestamp, cfg.NumPartitions),
+		peerOldest:     make([]hlc.Timestamp, cfg.NumPartitions),
+		pendingSlice:   make(map[uint64]*sliceCall),
+		pendingPrepare: make(map[uint64]*prepareCall),
+		stop:           make(chan struct{}),
+	}
+	return s, nil
+}
+
+// ID returns the server's node id.
+func (s *Server) ID() transport.NodeID { return s.id }
+
+// Metrics returns the server's counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Store exposes the underlying versioned store (read-only use in tests).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Start registers the server on the network and launches the apply (ΔR),
+// stabilization (ΔG) and garbage-collection loops.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.cfg.Network.Register(s.id, s)
+		s.wg.Add(1)
+		go s.applyLoop()
+		s.wg.Add(1)
+		go s.gossipLoop()
+		if s.cfg.GCInterval > 0 {
+			s.wg.Add(1)
+			go s.gcLoop()
+		}
+	})
+}
+
+// Stop terminates the background loops and waits for them to exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		close(s.stop)
+	})
+	s.wg.Wait()
+	s.reqWG.Wait()
+}
+
+// goAsync runs fn on a tracked goroutine unless the server is draining.
+// Handlers use it for work that must not block a delivery link.
+func (s *Server) goAsync(fn func()) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.reqWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.reqWG.Done()
+		fn()
+	}()
+}
+
+// StableTimes returns the server's current view of (LST, RST).
+func (s *Server) StableTimes() (lst, rst hlc.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lst, s.rst
+}
+
+// VersionVector returns a copy of the server's version vector.
+func (s *Server) VersionVector() []hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]hlc.Timestamp, len(s.vv))
+	copy(out, s.vv)
+	return out
+}
+
+// LocalVersionClock returns vv[m], the local snapshot installed by this
+// partition.
+func (s *Server) LocalVersionClock() hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vv[s.cfg.DC]
+}
+
+// newTxID generates a globally unique transaction id: DC in the top byte,
+// partition in the next two, then a local sequence number.
+func (s *Server) newTxID() uint64 {
+	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | s.txSeq.Add(1)
+}
+
+// visibleFunc builds the CANToR snapshot visibility predicate
+// (Algorithm 3 lines 7–8): a local item is visible when ut ≤ lt ∧ rdt ≤ rt;
+// a remote item when ut ≤ rt ∧ rdt ≤ lt.
+func visibleFunc(localDC uint8, lt, rt hlc.Timestamp) store.VisibleFunc {
+	return func(v *store.Version) bool {
+		if v.SrcDC == localDC {
+			return v.UT <= lt && v.RDT <= rt
+		}
+		return v.UT <= rt && v.RDT <= lt
+	}
+}
+
+// HandleMessage implements transport.Handler. It dispatches on message
+// type; handlers never block (Wren's defining property), so the per-link
+// FIFO delivery goroutines are never stalled.
+func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.StartTxReq:
+		s.handleStartTx(from, msg)
+	case *wire.TxReadReq:
+		s.handleTxRead(from, msg)
+	case *wire.CommitReq:
+		s.handleCommitReq(from, msg)
+	case *wire.SliceReq:
+		s.handleSliceReq(from, msg)
+	case *wire.SliceResp:
+		s.handleSliceResp(msg)
+	case *wire.PrepareReq:
+		s.handlePrepareReq(from, msg)
+	case *wire.PrepareResp:
+		s.handlePrepareResp(msg)
+	case *wire.CommitTx:
+		s.handleCommitTx(msg)
+	case *wire.Replicate:
+		s.handleReplicate(msg)
+	case *wire.Heartbeat:
+		s.handleHeartbeat(msg)
+	case *wire.StableBroadcast:
+		s.handleStableBroadcast(msg)
+	case *wire.GCBroadcast:
+		s.handleGCBroadcast(msg)
+	}
+}
+
+// handleStartTx implements Algorithm 2 lines 1–6: refresh the server's
+// stable times with the client's, then assign the transaction snapshot
+// (lst, min(rst, lst−1)).
+func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
+	s.mu.Lock()
+	if m.LST > s.lst {
+		s.lst = m.LST
+	}
+	if m.RST > s.rst {
+		s.rst = m.RST
+	}
+	id := s.newTxID()
+	lt := s.lst
+	rt := hlc.Min(s.rst, lt.Prev())
+	s.txCtx[id] = &txContext{lt: lt, rt: rt, created: time.Now()}
+	s.mu.Unlock()
+
+	s.metrics.TxStarted.Inc()
+	s.send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, LST: lt, RST: rt})
+}
+
+// handleTxRead implements Algorithm 2 lines 7–16: fan the key set out to
+// the responsible partitions and merge the slices.
+func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
+	s.mu.Lock()
+	ctx, ok := s.txCtx[m.TxID]
+	var lt, rt hlc.Timestamp
+	if ok {
+		lt, rt = ctx.lt, ctx.rt
+	}
+	s.mu.Unlock()
+	if !ok {
+		// Unknown (expired) transaction: reply empty so the client can fail fast.
+		s.send(from, &wire.TxReadResp{ReqID: m.ReqID})
+		return
+	}
+
+	groups := sharding.GroupByPartition(m.Keys, s.cfg.NumPartitions)
+	calls := make([]*sliceCall, 0, len(groups))
+	s.mu.Lock()
+	type out struct {
+		to  transport.NodeID
+		req *wire.SliceReq
+	}
+	outs := make([]out, 0, len(groups))
+	for p, keys := range groups {
+		reqID := s.reqSeq.Add(1)
+		call := &sliceCall{ch: make(chan *wire.SliceResp, 1)}
+		s.pendingSlice[reqID] = call
+		calls = append(calls, call)
+		outs = append(outs, out{
+			to:  transport.ServerID(s.cfg.DC, p),
+			req: &wire.SliceReq{ReqID: reqID, Keys: keys, LT: lt, RT: rt},
+		})
+	}
+	s.mu.Unlock()
+	for _, o := range outs {
+		s.send(o.to, o.req)
+	}
+
+	// Collect the slice responses off the handler goroutine so the link is
+	// never blocked.
+	s.goAsync(func() {
+		resp := &wire.TxReadResp{ReqID: m.ReqID}
+		for _, call := range calls {
+			select {
+			case sr := <-call.ch:
+				resp.Items = append(resp.Items, sr.Items...)
+				if sr.BlockedMicros > resp.BlockedMicros {
+					resp.BlockedMicros = sr.BlockedMicros
+				}
+			case <-s.stop:
+				return
+			}
+		}
+		s.send(from, resp)
+	})
+}
+
+// handleSliceReq implements Algorithm 3 lines 1–12: refresh stable times
+// and return the freshest visible version of each key — without blocking.
+func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
+	s.mu.Lock()
+	if m.LT > s.lst {
+		s.lst = m.LT
+	}
+	if m.RT > s.rst {
+		s.rst = m.RT
+	}
+	s.mu.Unlock()
+
+	visible := visibleFunc(uint8(s.cfg.DC), m.LT, m.RT)
+	items := make([]wire.Item, 0, len(m.Keys))
+	for _, k := range m.Keys {
+		if v := s.st.ReadVisible(k, visible); v != nil {
+			items = append(items, wire.Item{
+				Key: k, Value: v.Value, UT: v.UT, RDT: v.RDT, TxID: v.TxID, SrcDC: v.SrcDC,
+			})
+		}
+	}
+	s.metrics.SlicesServed.Inc()
+	s.send(from, &wire.SliceResp{ReqID: m.ReqID, Items: items})
+}
+
+func (s *Server) handleSliceResp(m *wire.SliceResp) {
+	s.mu.Lock()
+	call := s.pendingSlice[m.ReqID]
+	delete(s.pendingSlice, m.ReqID)
+	s.mu.Unlock()
+	if call != nil {
+		call.ch <- m
+	}
+}
+
+// handleCommitReq implements Algorithm 2 lines 17–28: run the two-phase
+// commit across the cohort partitions.
+func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
+	s.mu.Lock()
+	ctx, ok := s.txCtx[m.TxID]
+	delete(s.txCtx, m.TxID)
+	var lt, rt hlc.Timestamp
+	if ok {
+		lt, rt = ctx.lt, ctx.rt
+	} else {
+		// Context expired (or read-only cleanup racing): fall back to the
+		// server's current stable times; commit timestamps proposed below
+		// still exceed every snapshot the client has seen via hwt.
+		lt, rt = s.lst, s.rst
+	}
+	s.mu.Unlock()
+
+	if len(m.Writes) == 0 {
+		// Read-only transactions just release their context (the paper's
+		// COMMIT is only invoked when WS ≠ ∅).
+		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
+		return
+	}
+
+	ht := hlc.Max(lt, rt, m.HWT) // Algorithm 2 line 19
+
+	type cohortWrites struct {
+		partition int
+		writes    []wire.KV
+	}
+	byPartition := make(map[int][]wire.KV)
+	for _, kv := range m.Writes {
+		p := sharding.PartitionOf(kv.Key, s.cfg.NumPartitions)
+		byPartition[p] = append(byPartition[p], kv)
+	}
+	cohorts := make([]cohortWrites, 0, len(byPartition))
+	for p, ws := range byPartition {
+		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
+	}
+
+	call := &prepareCall{ch: make(chan hlc.Timestamp, len(cohorts))}
+	s.mu.Lock()
+	s.pendingPrepare[m.TxID] = call
+	s.mu.Unlock()
+
+	for _, c := range cohorts {
+		s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.PrepareReq{
+			ReqID: s.reqSeq.Add(1), TxID: m.TxID,
+			LT: lt, RT: rt, HT: ht, Writes: c.writes,
+		})
+	}
+
+	s.goAsync(func() {
+		var ct hlc.Timestamp
+		for range cohorts {
+			select {
+			case pt := <-call.ch:
+				if pt > ct {
+					ct = pt
+				}
+			case <-s.stop:
+				return
+			}
+		}
+		s.mu.Lock()
+		delete(s.pendingPrepare, m.TxID)
+		s.mu.Unlock()
+		for _, c := range cohorts {
+			s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
+		}
+		if s.cfg.BlockingCommit {
+			// Ablation: hold the reply until the write is stable everywhere
+			// in the DC, making the client cache unnecessary — and commits
+			// slow (paper §III-B).
+			ticker := time.NewTicker(time.Millisecond)
+			defer ticker.Stop()
+			for {
+				s.mu.Lock()
+				stable := s.lst >= ct
+				s.mu.Unlock()
+				if stable {
+					break
+				}
+				select {
+				case <-ticker.C:
+				case <-s.stop:
+					return
+				}
+			}
+		}
+		s.metrics.TxCommitted.Inc()
+		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: ct})
+	})
+}
+
+// handlePrepareReq implements Algorithm 3 lines 13–19: advance the HLC past
+// everything the client has seen and propose it as the commit timestamp.
+func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
+	pt := s.clock.TickPast(hlc.Max(m.HT, m.LT, m.RT))
+	s.mu.Lock()
+	if m.LT > s.lst {
+		s.lst = m.LT
+	}
+	if m.RT > s.rst {
+		s.rst = m.RT
+	}
+	s.prepared[m.TxID] = &preparedTx{pt: pt, rst: m.RT, writes: m.Writes}
+	s.mu.Unlock()
+	s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt})
+}
+
+func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
+	s.mu.Lock()
+	call := s.pendingPrepare[m.TxID]
+	s.mu.Unlock()
+	if call != nil {
+		call.ch <- m.PT
+	}
+}
+
+// handleCommitTx implements Algorithm 3 lines 20–24: move the transaction
+// from the pending list to the commit list under its final timestamp.
+func (s *Server) handleCommitTx(m *wire.CommitTx) {
+	s.clock.Update(m.CT)
+	s.mu.Lock()
+	p, ok := s.prepared[m.TxID]
+	if ok {
+		delete(s.prepared, m.TxID)
+		s.committed = append(s.committed, &committedTx{
+			txID: m.TxID, ct: m.CT, rst: p.rst, writes: p.writes,
+		})
+	}
+	s.mu.Unlock()
+}
+
+// handleReplicate applies remotely committed transactions (Algorithm 4
+// lines 22–26). FIFO links guarantee commit-timestamp order per sender.
+func (s *Server) handleReplicate(m *wire.Replicate) {
+	for i := range m.Txs {
+		t := &m.Txs[i]
+		for _, kv := range t.Writes {
+			s.st.Put(kv.Key, &store.Version{
+				Value: kv.Value, UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: m.SrcDC,
+			})
+			s.metrics.ReplTxApplied.Inc()
+		}
+	}
+	if len(m.Txs) == 0 {
+		return
+	}
+	last := m.Txs[len(m.Txs)-1].CT
+	s.mu.Lock()
+	if last > s.vv[m.SrcDC] {
+		s.vv[m.SrcDC] = last
+	}
+	s.mu.Unlock()
+}
+
+// handleHeartbeat advances the version-vector entry of an idle remote
+// replica (Algorithm 4 lines 27–28).
+func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
+	s.mu.Lock()
+	if m.TS > s.vv[m.SrcDC] {
+		s.vv[m.SrcDC] = m.TS
+	}
+	s.mu.Unlock()
+}
+
+// handleStableBroadcast ingests a peer partition's BiST contribution and
+// recomputes the DC-stable times (Algorithm 4 lines 29–31). Aggregated
+// messages (tree topology) carry the final LST/RST directly.
+func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
+	if m.Aggregate {
+		s.mu.Lock()
+		if m.Local > s.lst {
+			s.lst = m.Local
+		}
+		if m.RemoteMin > s.rst {
+			s.rst = m.RemoteMin
+		}
+		s.mu.Unlock()
+		return
+	}
+	p := int(m.Partition)
+	if p < 0 || p >= s.cfg.NumPartitions {
+		return
+	}
+	s.mu.Lock()
+	if m.Local > s.peerLocal[p] {
+		s.peerLocal[p] = m.Local
+	}
+	if m.RemoteMin > s.peerRemoteMin[p] {
+		s.peerRemoteMin[p] = m.RemoteMin
+	}
+	s.recomputeStableLocked()
+	s.mu.Unlock()
+}
+
+// recomputeStableLocked folds the gossiped per-partition contributions into
+// LST and RST. Both are monotone because each peer's contributions are.
+func (s *Server) recomputeStableLocked() {
+	lst := s.peerLocal[0]
+	rst := s.peerRemoteMin[0]
+	for i := 1; i < s.cfg.NumPartitions; i++ {
+		if s.peerLocal[i] < lst {
+			lst = s.peerLocal[i]
+		}
+		if s.peerRemoteMin[i] < rst {
+			rst = s.peerRemoteMin[i]
+		}
+	}
+	if lst > s.lst {
+		s.lst = lst
+	}
+	if rst > s.rst {
+		s.rst = rst
+	}
+}
+
+// localContribution returns this server's own BiST scalars: its local
+// version clock and the minimum over its remote version-vector entries.
+func (s *Server) localContributionLocked() (local, remoteMin hlc.Timestamp) {
+	local = s.vv[s.cfg.DC]
+	if s.cfg.NumDCs == 1 {
+		// With a single site there are no remote dependencies; the remote
+		// stable time tracks the local one.
+		return local, local
+	}
+	first := true
+	for i, t := range s.vv {
+		if i == s.cfg.DC {
+			continue
+		}
+		if first || t < remoteMin {
+			remoteMin = t
+			first = false
+		}
+	}
+	return local, remoteMin
+}
+
+// applyLoop runs Algorithm 4 lines 5–21 every ΔR.
+func (s *Server) applyLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ApplyInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.applyTick()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// applyTick applies committed transactions up to the safe upper bound and
+// replicates them; when idle it heartbeats instead.
+func (s *Server) applyTick() {
+	s.mu.Lock()
+	var ub hlc.Timestamp
+	if len(s.prepared) > 0 {
+		first := true
+		for _, p := range s.prepared {
+			if first || p.pt < ub {
+				ub = p.pt
+				first = false
+			}
+		}
+		ub = ub.Prev()
+	} else {
+		ub = s.clock.Now()
+		// Pin the HLC so any later prepare proposes strictly above ub;
+		// otherwise a commit could land at a timestamp we already declared
+		// stable.
+		s.clock.Update(ub)
+	}
+	if ub < s.vv[s.cfg.DC] {
+		ub = s.vv[s.cfg.DC]
+	}
+
+	hadCommitted := len(s.committed) > 0
+	var apply []*committedTx
+	if hadCommitted {
+		rest := s.committed[:0]
+		for _, c := range s.committed {
+			if c.ct <= ub {
+				apply = append(apply, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		s.committed = rest
+	}
+	s.mu.Unlock()
+
+	// Apply in commit-timestamp order, grouping equal timestamps into one
+	// replication message (Algorithm 4 lines 8–16). The store writes happen
+	// before vv[m] is published so no reader can observe a stable time
+	// whose versions are missing.
+	sort.Slice(apply, func(i, j int) bool {
+		if apply[i].ct != apply[j].ct {
+			return apply[i].ct < apply[j].ct
+		}
+		return apply[i].txID < apply[j].txID
+	})
+	var batches []*wire.Replicate
+	for i := 0; i < len(apply); {
+		j := i
+		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition)}
+		for ; j < len(apply) && apply[j].ct == apply[i].ct; j++ {
+			t := apply[j]
+			for _, kv := range t.writes {
+				s.st.Put(kv.Key, &store.Version{
+					Value: kv.Value, UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
+				})
+			}
+			batch.Txs = append(batch.Txs, wire.ReplTx{
+				TxID: t.txID, CT: t.ct, RST: t.rst, Writes: t.writes,
+			})
+		}
+		batches = append(batches, batch)
+		i = j
+	}
+
+	s.mu.Lock()
+	if ub > s.vv[s.cfg.DC] {
+		s.vv[s.cfg.DC] = ub
+	}
+	s.mu.Unlock()
+
+	for _, b := range batches {
+		for dc := 0; dc < s.cfg.NumDCs; dc++ {
+			if dc == s.cfg.DC {
+				continue
+			}
+			s.send(transport.ServerID(dc, s.cfg.Partition), b)
+		}
+	}
+	if !hadCommitted {
+		hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
+		for dc := 0; dc < s.cfg.NumDCs; dc++ {
+			if dc == s.cfg.DC {
+				continue
+			}
+			s.send(transport.ServerID(dc, s.cfg.Partition), hb)
+		}
+	}
+}
+
+// gossipLoop runs the BiST exchange every ΔG.
+func (s *Server) gossipLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.gossipTick()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) gossipTick() {
+	s.mu.Lock()
+	local, remoteMin := s.localContributionLocked()
+	if local > s.peerLocal[s.cfg.Partition] {
+		s.peerLocal[s.cfg.Partition] = local
+	}
+	if remoteMin > s.peerRemoteMin[s.cfg.Partition] {
+		s.peerRemoteMin[s.cfg.Partition] = remoteMin
+	}
+	s.recomputeStableLocked()
+	lst, rst := s.lst, s.rst
+	s.mu.Unlock()
+
+	if s.cfg.GossipTree {
+		if s.cfg.Partition == 0 {
+			// Root: push the aggregated stable times down the tree.
+			agg := &wire.StableBroadcast{
+				Partition: 0, Aggregate: true, Local: lst, RemoteMin: rst,
+			}
+			for p := 1; p < s.cfg.NumPartitions; p++ {
+				s.send(transport.ServerID(s.cfg.DC, p), agg)
+			}
+			return
+		}
+		// Leaf: report the local contribution to the root only.
+		s.send(transport.ServerID(s.cfg.DC, 0), &wire.StableBroadcast{
+			Partition: uint16(s.cfg.Partition), Local: local, RemoteMin: remoteMin,
+		})
+		return
+	}
+
+	msg := &wire.StableBroadcast{
+		Partition: uint16(s.cfg.Partition), Local: local, RemoteMin: remoteMin,
+	}
+	for p := 0; p < s.cfg.NumPartitions; p++ {
+		if p == s.cfg.Partition {
+			continue
+		}
+		s.send(transport.ServerID(s.cfg.DC, p), msg)
+	}
+}
+
+// gcLoop exchanges oldest-active snapshots and prunes version chains.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.GCInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.gcTick()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) gcTick() {
+	now := time.Now()
+	s.mu.Lock()
+	// Expire abandoned transaction contexts so they cannot hold back GC.
+	for id, ctx := range s.txCtx {
+		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
+			delete(s.txCtx, id)
+			s.metrics.CtxExpired.Inc()
+		}
+	}
+	// Oldest snapshot of an active transaction, or the current visible
+	// snapshot when idle (paper §IV-B).
+	oldest := s.lst
+	for _, ctx := range s.txCtx {
+		if ctx.lt < oldest {
+			oldest = ctx.lt
+		}
+	}
+	if oldest > s.peerOldest[s.cfg.Partition] {
+		s.peerOldest[s.cfg.Partition] = oldest
+	}
+	threshold := s.peerOldest[0]
+	for _, t := range s.peerOldest[1:] {
+		if t < threshold {
+			threshold = t
+		}
+	}
+	s.mu.Unlock()
+
+	msg := &wire.GCBroadcast{Partition: uint16(s.cfg.Partition), Oldest: oldest}
+	for p := 0; p < s.cfg.NumPartitions; p++ {
+		if p == s.cfg.Partition {
+			continue
+		}
+		s.send(transport.ServerID(s.cfg.DC, p), msg)
+	}
+
+	if threshold > 0 {
+		if removed := s.st.GC(threshold); removed > 0 {
+			s.metrics.GCRemoved.Add(uint64(removed))
+		}
+	}
+}
+
+func (s *Server) handleGCBroadcast(m *wire.GCBroadcast) {
+	p := int(m.Partition)
+	if p < 0 || p >= s.cfg.NumPartitions {
+		return
+	}
+	s.mu.Lock()
+	if m.Oldest > s.peerOldest[p] {
+		s.peerOldest[p] = m.Oldest
+	}
+	s.mu.Unlock()
+}
+
+// send transmits a message, ignoring delivery errors: the network rejects
+// sends only during shutdown, when responses are moot.
+func (s *Server) send(to transport.NodeID, m wire.Message) {
+	_ = s.cfg.Network.Send(s.id, to, m)
+}

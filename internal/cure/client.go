@@ -1,0 +1,348 @@
+package cure
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+// Client errors (mirroring package core for interchangeable use).
+var (
+	ErrTxOpen  = errors.New("cure: a transaction is already open on this session")
+	ErrTxDone  = errors.New("cure: transaction already finished")
+	ErrTimeout = errors.New("cure: request timed out")
+	ErrClosed  = errors.New("cure: client closed")
+)
+
+// DefaultRequestTimeout bounds each client-coordinator round trip.
+const DefaultRequestTimeout = 10 * time.Second
+
+// ClientConfig configures a Cure client session.
+type ClientConfig struct {
+	DC            int
+	ClientIndex   int
+	NumDCs        int
+	NumPartitions int
+	Network       transport.Network
+	// CoordinatorPartition fixes the coordinator; negative picks a random
+	// coordinator per transaction.
+	CoordinatorPartition int
+	RequestTimeout       time.Duration
+	Rand                 *rand.Rand
+}
+
+// Client is a Cure/H-Cure client session. Unlike Wren clients it has no
+// write cache; instead it tracks a full dependency vector that it piggybacks
+// on transaction starts so its own writes are always inside its snapshots —
+// at the cost of blocking reads until those snapshots install.
+type Client struct {
+	cfg ClientConfig
+	id  transport.NodeID
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	dv      []hlc.Timestamp // client dependency vector, one entry per DC
+	hwt     hlc.Timestamp
+	pending map[uint64]chan wire.Message
+	tx      *Tx
+	closed  bool
+
+	reqSeq atomic.Uint64
+}
+
+// NewClient creates a Cure client session and registers it on the network.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("cure: network is required")
+	}
+	if cfg.NumPartitions <= 0 || cfg.NumDCs <= 0 {
+		return nil, fmt.Errorf("cure: topology must be positive, got %dx%d", cfg.NumDCs, cfg.NumPartitions)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	c := &Client{
+		cfg:     cfg,
+		id:      transport.ClientID(cfg.DC, cfg.ClientIndex),
+		rng:     rng,
+		dv:      make([]hlc.Timestamp, cfg.NumDCs),
+		pending: make(map[uint64]chan wire.Message),
+	}
+	cfg.Network.Register(c.id, c)
+	return c, nil
+}
+
+// ID returns the client's node id.
+func (c *Client) ID() transport.NodeID { return c.id }
+
+// HandleMessage implements transport.Handler.
+func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
+	var reqID uint64
+	switch msg := m.(type) {
+	case *wire.StartTxResp:
+		reqID = msg.ReqID
+	case *wire.TxReadResp:
+		reqID = msg.ReqID
+	case *wire.CommitResp:
+		reqID = msg.ReqID
+	default:
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.Message, error) {
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	if err := c.cfg.Network.Send(c.id, to, m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(c.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w (%v to %v)", ErrTimeout, m.Kind(), to)
+	}
+}
+
+// Begin starts a transaction, piggybacking the client's dependency vector.
+func (c *Client) Begin() (*Tx, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.tx != nil {
+		c.mu.Unlock()
+		return nil, ErrTxOpen
+	}
+	dv := copyVec(c.dv)
+	coordPartition := c.cfg.CoordinatorPartition
+	if coordPartition < 0 {
+		coordPartition = c.rng.Intn(c.cfg.NumPartitions)
+	}
+	c.mu.Unlock()
+
+	coord := transport.ServerID(c.cfg.DC, coordPartition)
+	reqID := c.reqSeq.Add(1)
+	resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, DV: dv})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := resp.(*wire.StartTxResp)
+	if !ok {
+		return nil, fmt.Errorf("cure: unexpected response %T to StartTxReq", resp)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	maxInto(c.dv, st.SV)
+	tx := &Tx{
+		client: c,
+		coord:  coord,
+		id:     st.TxID,
+		sv:     st.SV,
+		ws:     make(map[string][]byte),
+		rs:     make(map[string][]byte),
+		rsMiss: make(map[string]struct{}),
+	}
+	c.tx = tx
+	return tx, nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.tx = nil
+}
+
+// DependencyVector returns a copy of the client's causal dependency vector.
+func (c *Client) DependencyVector() []hlc.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return copyVec(c.dv)
+}
+
+// Tx is an interactive Cure transaction.
+type Tx struct {
+	client *Client
+	coord  transport.NodeID
+	id     uint64
+	sv     []hlc.Timestamp
+	ws     map[string][]byte
+	rs     map[string][]byte
+	rsMiss map[string]struct{}
+	done   bool
+
+	// BlockedMicros is the maximum time any read of this transaction spent
+	// blocked on a laggard partition (Figure 3b's measured quantity).
+	BlockedMicros int64
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// SnapshotVector returns the transaction's snapshot vector.
+func (t *Tx) SnapshotVector() []hlc.Timestamp { return copyVec(t.sv) }
+
+// Blocked returns the total time this transaction's reads spent blocked.
+func (t *Tx) Blocked() time.Duration {
+	return time.Duration(t.BlockedMicros) * time.Microsecond
+}
+
+// Read returns the values of keys within the snapshot; reads may block
+// server-side until the snapshot is installed.
+func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	result := make(map[string][]byte, len(keys))
+	var missing []string
+	for _, k := range keys {
+		if v, ok := t.ws[k]; ok {
+			result[k] = v
+			continue
+		}
+		if v, ok := t.rs[k]; ok {
+			result[k] = v
+			continue
+		}
+		if _, ok := t.rsMiss[k]; ok {
+			continue
+		}
+		missing = append(missing, k)
+	}
+	if len(missing) == 0 {
+		return result, nil
+	}
+	reqID := t.client.reqSeq.Add(1)
+	resp, err := t.client.call(t.coord, reqID, &wire.TxReadReq{
+		ReqID: reqID, TxID: t.id, Keys: missing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := resp.(*wire.TxReadResp)
+	if !ok {
+		return nil, fmt.Errorf("cure: unexpected response %T to TxReadReq", resp)
+	}
+	if rr.BlockedMicros > t.BlockedMicros {
+		t.BlockedMicros = rr.BlockedMicros
+	}
+	for i := range rr.Items {
+		it := &rr.Items[i]
+		result[it.Key] = it.Value
+		t.rs[it.Key] = it.Value
+	}
+	for _, k := range missing {
+		if _, ok := t.rs[k]; !ok {
+			t.rsMiss[k] = struct{}{}
+		}
+	}
+	return result, nil
+}
+
+// Write buffers an update in the write set.
+func (t *Tx) Write(key string, value []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.ws[key] = value
+	return nil
+}
+
+// Commit runs the 2PC and folds the commit timestamp into the client's
+// dependency vector.
+func (t *Tx) Commit() (hlc.Timestamp, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	t.done = true
+	defer t.client.clearTx(t)
+
+	writes := make([]wire.KV, 0, len(t.ws))
+	for k, v := range t.ws {
+		writes = append(writes, wire.KV{Key: k, Value: v})
+	}
+	t.client.mu.Lock()
+	hwt := t.client.hwt
+	t.client.mu.Unlock()
+
+	reqID := t.client.reqSeq.Add(1)
+	resp, err := t.client.call(t.coord, reqID, &wire.CommitReq{
+		ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes,
+	})
+	if err != nil {
+		return 0, err
+	}
+	cr, ok := resp.(*wire.CommitResp)
+	if !ok {
+		return 0, fmt.Errorf("cure: unexpected response %T to CommitReq", resp)
+	}
+	if len(writes) == 0 {
+		return 0, nil
+	}
+	t.client.mu.Lock()
+	if cr.CT > t.client.hwt {
+		t.client.hwt = cr.CT
+	}
+	if cr.CT > t.client.dv[t.client.cfg.DC] {
+		t.client.dv[t.client.cfg.DC] = cr.CT
+	}
+	t.client.mu.Unlock()
+	return cr.CT, nil
+}
+
+// Abort abandons the transaction, releasing its coordinator context.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	defer t.client.clearTx(t)
+	reqID := t.client.reqSeq.Add(1)
+	_, err := t.client.call(t.coord, reqID, &wire.CommitReq{ReqID: reqID, TxID: t.id})
+	return err
+}
+
+func (c *Client) clearTx(t *Tx) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tx == t {
+		c.tx = nil
+	}
+}

@@ -1,0 +1,856 @@
+package cure
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/sharding"
+	"wren/internal/stats"
+	"wren/internal/store"
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+// Default protocol timer intervals, matching package core.
+const (
+	DefaultApplyInterval  = 5 * time.Millisecond
+	DefaultGossipInterval = 5 * time.Millisecond
+	DefaultGCInterval     = 500 * time.Millisecond
+	DefaultTxContextTTL   = 30 * time.Second
+)
+
+// ServerConfig configures one Cure/H-Cure partition server.
+type ServerConfig struct {
+	DC            int
+	Partition     int
+	NumDCs        int
+	NumPartitions int
+	Network       transport.Network
+	ClockSource   hlc.Source
+	// UseHLC selects H-Cure: hybrid logical clocks let a partition's clock
+	// jump forward on message receipt, removing the clock-skew component
+	// of read blocking. False selects plain Cure (physical clocks).
+	UseHLC         bool
+	ApplyInterval  time.Duration
+	GossipInterval time.Duration
+	GCInterval     time.Duration
+	TxContextTTL   time.Duration
+}
+
+func (c *ServerConfig) fillDefaults() {
+	if c.ClockSource == nil {
+		c.ClockSource = hlc.SystemSource{}
+	}
+	if c.ApplyInterval == 0 {
+		c.ApplyInterval = DefaultApplyInterval
+	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = DefaultGossipInterval
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultGCInterval
+	}
+	if c.TxContextTTL == 0 {
+		c.TxContextTTL = DefaultTxContextTTL
+	}
+}
+
+func (c *ServerConfig) validate() error {
+	if c.NumDCs <= 0 || c.NumPartitions <= 0 {
+		return fmt.Errorf("cure: invalid topology %dx%d", c.NumDCs, c.NumPartitions)
+	}
+	if c.DC < 0 || c.DC >= c.NumDCs {
+		return fmt.Errorf("cure: DC %d out of range [0,%d)", c.DC, c.NumDCs)
+	}
+	if c.Partition < 0 || c.Partition >= c.NumPartitions {
+		return fmt.Errorf("cure: partition %d out of range [0,%d)", c.Partition, c.NumPartitions)
+	}
+	if c.Network == nil {
+		return fmt.Errorf("cure: network is required")
+	}
+	return nil
+}
+
+// txContext is the coordinator-side state of an open transaction.
+type txContext struct {
+	sv      []hlc.Timestamp // snapshot vector
+	created time.Time
+}
+
+// preparedTx is a prepared-but-uncommitted transaction.
+type preparedTx struct {
+	pt     hlc.Timestamp
+	sv     []hlc.Timestamp
+	writes []wire.KV
+}
+
+// committedTx awaits application in commit-timestamp order.
+type committedTx struct {
+	txID   uint64
+	ct     hlc.Timestamp
+	dv     []hlc.Timestamp // final dependency vector (dv[m] = ct)
+	writes []wire.KV
+}
+
+// waiter is a parked slice read whose snapshot is not yet installed — the
+// blocking behaviour that Wren eliminates.
+type waiter struct {
+	from    transport.NodeID
+	reqID   uint64
+	keys    []string
+	sv      []hlc.Timestamp
+	arrived time.Time
+}
+
+type sliceCall struct {
+	ch chan *wire.SliceResp
+}
+
+type prepareCall struct {
+	ch chan hlc.Timestamp
+}
+
+// Metrics exposes Cure server counters; BlockedReads/BlockedMicros feed the
+// paper's Figure 3b.
+type Metrics struct {
+	TxStarted     stats.Counter
+	TxCommitted   stats.Counter
+	SlicesServed  stats.Counter
+	BlockedReads  stats.Counter
+	BlockedMicros stats.Counter
+	ReplTxApplied stats.Counter
+	GCRemoved     stats.Counter
+	CtxExpired    stats.Counter
+}
+
+// Server is one Cure/H-Cure partition server.
+type Server struct {
+	cfg   ServerConfig
+	id    transport.NodeID
+	clock *hlc.Clock
+	st    *store.Store
+
+	mu        sync.Mutex
+	vv        []hlc.Timestamp   // vv[m] = local version clock; vv[i] = received from DC i
+	gsv       []hlc.Timestamp   // global stable vector from gossip (entrywise min)
+	peerVV    [][]hlc.Timestamp // last gossiped VV per peer partition
+	prepared  map[uint64]*preparedTx
+	committed []*committedTx
+	txCtx     map[uint64]*txContext
+	waiters   []*waiter
+	oldest    []hlc.Timestamp // gossiped oldest-active snapshot per partition
+
+	pendingSlice   map[uint64]*sliceCall
+	pendingPrepare map[uint64]*prepareCall
+
+	reqSeq  atomic.Uint64
+	txSeq   atomic.Uint64
+	metrics Metrics
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	reqWG     sync.WaitGroup
+	draining  bool
+}
+
+// NewServer constructs a Cure or H-Cure partition server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:            cfg,
+		id:             transport.ServerID(cfg.DC, cfg.Partition),
+		clock:          hlc.NewClock(cfg.ClockSource),
+		st:             store.New(),
+		vv:             make([]hlc.Timestamp, cfg.NumDCs),
+		gsv:            make([]hlc.Timestamp, cfg.NumDCs),
+		peerVV:         make([][]hlc.Timestamp, cfg.NumPartitions),
+		prepared:       make(map[uint64]*preparedTx),
+		txCtx:          make(map[uint64]*txContext),
+		oldest:         make([]hlc.Timestamp, cfg.NumPartitions),
+		pendingSlice:   make(map[uint64]*sliceCall),
+		pendingPrepare: make(map[uint64]*prepareCall),
+		stop:           make(chan struct{}),
+	}
+	for p := range s.peerVV {
+		s.peerVV[p] = make([]hlc.Timestamp, cfg.NumDCs)
+	}
+	return s, nil
+}
+
+// ID returns the server's node id.
+func (s *Server) ID() transport.NodeID { return s.id }
+
+// Metrics returns the server's counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Store exposes the underlying versioned store for tests.
+func (s *Server) Store() *store.Store { return s.st }
+
+// Start registers the server and launches its background loops.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.cfg.Network.Register(s.id, s)
+		s.wg.Add(1)
+		go s.applyLoop()
+		s.wg.Add(1)
+		go s.gossipLoop()
+		if s.cfg.GCInterval > 0 {
+			s.wg.Add(1)
+			go s.gcLoop()
+		}
+	})
+}
+
+// Stop terminates background loops and waits for them.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		waiters := s.waiters
+		s.waiters = nil
+		s.mu.Unlock()
+		// Fail parked reads so clients aren't left hanging.
+		for _, w := range waiters {
+			s.send(w.from, &wire.SliceResp{ReqID: w.reqID})
+		}
+		close(s.stop)
+	})
+	s.wg.Wait()
+	s.reqWG.Wait()
+}
+
+func (s *Server) goAsync(fn func()) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.reqWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.reqWG.Done()
+		fn()
+	}()
+}
+
+// StableVector returns a copy of the server's global stable vector.
+func (s *Server) StableVector() []hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyVec(s.gsv)
+}
+
+// VersionVector returns a copy of the server's version vector.
+func (s *Server) VersionVector() []hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyVec(s.vv)
+}
+
+// LocalVersionClock returns vv[m].
+func (s *Server) LocalVersionClock() hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vv[s.cfg.DC]
+}
+
+func (s *Server) newTxID() uint64 {
+	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | s.txSeq.Add(1)
+}
+
+// now returns the coordinator clock reading used for snapshot local
+// entries: the HLC for H-Cure, the raw physical clock for Cure.
+func (s *Server) now() hlc.Timestamp {
+	if s.cfg.UseHLC {
+		return s.clock.Now()
+	}
+	return s.clock.PhysicalNow()
+}
+
+// HandleMessage implements transport.Handler.
+func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.StartTxReq:
+		s.handleStartTx(from, msg)
+	case *wire.TxReadReq:
+		s.handleTxRead(from, msg)
+	case *wire.CommitReq:
+		s.handleCommitReq(from, msg)
+	case *wire.SliceReq:
+		s.handleSliceReq(from, msg)
+	case *wire.SliceResp:
+		s.handleSliceResp(msg)
+	case *wire.PrepareReq:
+		s.handlePrepareReq(from, msg)
+	case *wire.PrepareResp:
+		s.handlePrepareResp(msg)
+	case *wire.CommitTx:
+		s.handleCommitTx(msg)
+	case *wire.Replicate:
+		s.handleReplicate(msg)
+	case *wire.Heartbeat:
+		s.handleHeartbeat(msg)
+	case *wire.StableBroadcast:
+		s.handleStableBroadcast(msg)
+	case *wire.GCBroadcast:
+		s.handleGCBroadcast(msg)
+	}
+}
+
+// handleStartTx assigns the snapshot vector: remote entries from the
+// stable vector, the local entry from the coordinator's CURRENT clock —
+// the design choice that makes Cure reads block — raised to the client's
+// dependency vector.
+func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
+	s.mu.Lock()
+	sv := copyVec(s.gsv)
+	sv[s.cfg.DC] = s.now()
+	if len(m.DV) == len(sv) {
+		maxInto(sv, m.DV)
+	}
+	id := s.newTxID()
+	s.txCtx[id] = &txContext{sv: sv, created: time.Now()}
+	s.mu.Unlock()
+
+	s.metrics.TxStarted.Inc()
+	s.send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, SV: sv})
+}
+
+func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
+	s.mu.Lock()
+	ctx, ok := s.txCtx[m.TxID]
+	var sv []hlc.Timestamp
+	if ok {
+		sv = ctx.sv
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.send(from, &wire.TxReadResp{ReqID: m.ReqID})
+		return
+	}
+
+	groups := sharding.GroupByPartition(m.Keys, s.cfg.NumPartitions)
+	type out struct {
+		to  transport.NodeID
+		req *wire.SliceReq
+	}
+	var outs []out
+	calls := make([]*sliceCall, 0, len(groups))
+	s.mu.Lock()
+	for p, keys := range groups {
+		reqID := s.reqSeq.Add(1)
+		call := &sliceCall{ch: make(chan *wire.SliceResp, 1)}
+		s.pendingSlice[reqID] = call
+		calls = append(calls, call)
+		outs = append(outs, out{
+			to:  transport.ServerID(s.cfg.DC, p),
+			req: &wire.SliceReq{ReqID: reqID, Keys: keys, SV: sv},
+		})
+	}
+	s.mu.Unlock()
+	for _, o := range outs {
+		s.send(o.to, o.req)
+	}
+
+	s.goAsync(func() {
+		resp := &wire.TxReadResp{ReqID: m.ReqID}
+		for _, call := range calls {
+			select {
+			case sr := <-call.ch:
+				resp.Items = append(resp.Items, sr.Items...)
+				if sr.BlockedMicros > resp.BlockedMicros {
+					resp.BlockedMicros = sr.BlockedMicros
+				}
+			case <-s.stop:
+				return
+			}
+		}
+		s.send(from, resp)
+	})
+}
+
+// installed reports whether this partition has installed snapshot sv:
+// every version-vector entry has reached the snapshot's.
+func (s *Server) installedLocked(sv []hlc.Timestamp) bool {
+	return leqAll(sv, s.vv)
+}
+
+// handleSliceReq serves the read if the snapshot is installed; otherwise it
+// PARKS the request until the apply loop or replication catches up. This is
+// the blocking that Wren's CANToR protocol eliminates.
+func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
+	if s.cfg.UseHLC {
+		// H-Cure: the HLC absorbs the snapshot timestamp, so an idle
+		// partition's clock no longer lags the coordinator's.
+		s.clock.Update(m.SV[s.cfg.DC])
+	}
+	s.mu.Lock()
+	if s.installedLocked(m.SV) {
+		s.mu.Unlock()
+		s.serveSlice(from, m.ReqID, m.Keys, m.SV, 0)
+		return
+	}
+	s.waiters = append(s.waiters, &waiter{
+		from: from, reqID: m.ReqID, keys: m.Keys, sv: m.SV, arrived: time.Now(),
+	})
+	s.mu.Unlock()
+	// Try to install a fresher snapshot right away: if nothing is pending
+	// and the clock allows, the read is served without waiting for the
+	// next apply tick. What remains is genuine blocking: pending
+	// transactions below the snapshot, clock skew (Cure only), or missing
+	// remote updates.
+	s.applyTick(false)
+}
+
+// serveSlice returns the freshest version of each key whose dependency
+// vector is within the snapshot.
+func (s *Server) serveSlice(to transport.NodeID, reqID uint64, keys []string, sv []hlc.Timestamp, blocked time.Duration) {
+	visible := func(v *store.Version) bool { return leqAll(v.DV, sv) }
+	items := make([]wire.Item, 0, len(keys))
+	for _, k := range keys {
+		if v := s.st.ReadVisible(k, visible); v != nil {
+			items = append(items, wire.Item{
+				Key: k, Value: v.Value, UT: v.UT, TxID: v.TxID, SrcDC: v.SrcDC, DV: v.DV,
+			})
+		}
+	}
+	s.metrics.SlicesServed.Inc()
+	if blocked > 0 {
+		s.metrics.BlockedReads.Inc()
+		s.metrics.BlockedMicros.Add(uint64(blocked.Microseconds()))
+	}
+	s.send(to, &wire.SliceResp{ReqID: reqID, Items: items, BlockedMicros: blocked.Microseconds()})
+}
+
+// releaseWaitersLocked finds parked reads whose snapshot is now installed.
+// It must be called with s.mu held; it returns the now-serveable waiters so
+// the caller can serve them after releasing the lock.
+func (s *Server) releaseWaitersLocked() []*waiter {
+	if len(s.waiters) == 0 {
+		return nil
+	}
+	var ready []*waiter
+	rest := s.waiters[:0]
+	for _, w := range s.waiters {
+		if s.installedLocked(w.sv) {
+			ready = append(ready, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.waiters = rest
+	return ready
+}
+
+func (s *Server) serveReady(ready []*waiter) {
+	for _, w := range ready {
+		s.serveSlice(w.from, w.reqID, w.keys, w.sv, time.Since(w.arrived))
+	}
+}
+
+func (s *Server) handleSliceResp(m *wire.SliceResp) {
+	s.mu.Lock()
+	call := s.pendingSlice[m.ReqID]
+	delete(s.pendingSlice, m.ReqID)
+	s.mu.Unlock()
+	if call != nil {
+		call.ch <- m
+	}
+}
+
+func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
+	s.mu.Lock()
+	ctx, ok := s.txCtx[m.TxID]
+	delete(s.txCtx, m.TxID)
+	var sv []hlc.Timestamp
+	if ok {
+		sv = ctx.sv
+	} else {
+		sv = copyVec(s.gsv)
+		sv[s.cfg.DC] = s.now()
+	}
+	s.mu.Unlock()
+
+	if len(m.Writes) == 0 {
+		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
+		return
+	}
+
+	byPartition := make(map[int][]wire.KV)
+	for _, kv := range m.Writes {
+		p := sharding.PartitionOf(kv.Key, s.cfg.NumPartitions)
+		byPartition[p] = append(byPartition[p], kv)
+	}
+	type cohortWrites struct {
+		partition int
+		writes    []wire.KV
+	}
+	cohorts := make([]cohortWrites, 0, len(byPartition))
+	for p, ws := range byPartition {
+		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
+	}
+
+	call := &prepareCall{ch: make(chan hlc.Timestamp, len(cohorts))}
+	s.mu.Lock()
+	s.pendingPrepare[m.TxID] = call
+	s.mu.Unlock()
+
+	ht := hlc.Max(m.HWT, sv[s.cfg.DC])
+	for _, c := range cohorts {
+		s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.PrepareReq{
+			ReqID: s.reqSeq.Add(1), TxID: m.TxID, HT: ht, SV: sv, Writes: c.writes,
+		})
+	}
+
+	s.goAsync(func() {
+		var ct hlc.Timestamp
+		for range cohorts {
+			select {
+			case pt := <-call.ch:
+				if pt > ct {
+					ct = pt
+				}
+			case <-s.stop:
+				return
+			}
+		}
+		s.mu.Lock()
+		delete(s.pendingPrepare, m.TxID)
+		s.mu.Unlock()
+		for _, c := range cohorts {
+			s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
+		}
+		s.metrics.TxCommitted.Inc()
+		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: ct})
+	})
+}
+
+// handlePrepareReq proposes a commit timestamp strictly above the snapshot
+// and everything the client saw. Cure draws it from the (possibly lagging)
+// physical clock; H-Cure's HLC can jump.
+func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
+	pt := s.clock.TickPast(m.HT)
+	s.mu.Lock()
+	s.prepared[m.TxID] = &preparedTx{pt: pt, sv: m.SV, writes: m.Writes}
+	s.mu.Unlock()
+	s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt})
+}
+
+func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
+	s.mu.Lock()
+	call := s.pendingPrepare[m.TxID]
+	s.mu.Unlock()
+	if call != nil {
+		call.ch <- m.PT
+	}
+}
+
+func (s *Server) handleCommitTx(m *wire.CommitTx) {
+	if s.cfg.UseHLC {
+		s.clock.Update(m.CT)
+	}
+	s.mu.Lock()
+	p, ok := s.prepared[m.TxID]
+	if ok {
+		delete(s.prepared, m.TxID)
+		dv := copyVec(p.sv)
+		dv[s.cfg.DC] = m.CT
+		s.committed = append(s.committed, &committedTx{
+			txID: m.TxID, ct: m.CT, dv: dv, writes: p.writes,
+		})
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleReplicate(m *wire.Replicate) {
+	for i := range m.Txs {
+		t := &m.Txs[i]
+		for _, kv := range t.Writes {
+			s.st.Put(kv.Key, &store.Version{
+				Value: kv.Value, UT: t.CT, TxID: t.TxID, SrcDC: m.SrcDC, DV: t.DV,
+			})
+			s.metrics.ReplTxApplied.Inc()
+		}
+	}
+	if len(m.Txs) == 0 {
+		return
+	}
+	last := m.Txs[len(m.Txs)-1].CT
+	s.mu.Lock()
+	if last > s.vv[m.SrcDC] {
+		s.vv[m.SrcDC] = last
+	}
+	ready := s.releaseWaitersLocked()
+	s.mu.Unlock()
+	s.serveReady(ready)
+}
+
+func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
+	s.mu.Lock()
+	if m.TS > s.vv[m.SrcDC] {
+		s.vv[m.SrcDC] = m.TS
+	}
+	ready := s.releaseWaitersLocked()
+	s.mu.Unlock()
+	s.serveReady(ready)
+}
+
+// handleStableBroadcast ingests a peer's full version vector and recomputes
+// the global stable vector as the entrywise minimum.
+func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
+	p := int(m.Partition)
+	if p < 0 || p >= s.cfg.NumPartitions || len(m.VV) != s.cfg.NumDCs {
+		return
+	}
+	s.mu.Lock()
+	maxInto(s.peerVV[p], m.VV)
+	s.recomputeStableLocked()
+	s.mu.Unlock()
+}
+
+func (s *Server) recomputeStableLocked() {
+	for i := 0; i < s.cfg.NumDCs; i++ {
+		m := s.peerVV[0][i]
+		for p := 1; p < s.cfg.NumPartitions; p++ {
+			if s.peerVV[p][i] < m {
+				m = s.peerVV[p][i]
+			}
+		}
+		if m > s.gsv[i] {
+			s.gsv[i] = m
+		}
+	}
+}
+
+func (s *Server) applyLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ApplyInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.applyTick(true)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// applyTick installs committed transactions up to the safe bound and, when
+// called from the apply loop (heartbeat=true), replicates or heartbeats to
+// the peer replicas. Read handlers also invoke it (heartbeat=false) to
+// install snapshots eagerly.
+func (s *Server) applyTick(heartbeat bool) {
+	s.mu.Lock()
+	var ub hlc.Timestamp
+	if len(s.prepared) > 0 {
+		first := true
+		for _, p := range s.prepared {
+			if first || p.pt < ub {
+				ub = p.pt
+				first = false
+			}
+		}
+		ub = ub.Prev()
+	} else if s.cfg.UseHLC {
+		ub = s.clock.Now()
+		s.clock.Update(ub)
+	} else {
+		// Cure: the version clock can only follow the physical clock — the
+		// root cause of skew-induced read blocking.
+		ub = s.clock.PhysicalNow()
+	}
+	if ub < s.vv[s.cfg.DC] {
+		ub = s.vv[s.cfg.DC]
+	}
+
+	hadCommitted := len(s.committed) > 0
+	var apply []*committedTx
+	if hadCommitted {
+		rest := s.committed[:0]
+		for _, c := range s.committed {
+			if c.ct <= ub {
+				apply = append(apply, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		s.committed = rest
+	}
+	s.mu.Unlock()
+
+	sort.Slice(apply, func(i, j int) bool {
+		if apply[i].ct != apply[j].ct {
+			return apply[i].ct < apply[j].ct
+		}
+		return apply[i].txID < apply[j].txID
+	})
+	var batches []*wire.Replicate
+	for i := 0; i < len(apply); {
+		j := i
+		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition)}
+		for ; j < len(apply) && apply[j].ct == apply[i].ct; j++ {
+			t := apply[j]
+			for _, kv := range t.writes {
+				s.st.Put(kv.Key, &store.Version{
+					Value: kv.Value, UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
+				})
+			}
+			batch.Txs = append(batch.Txs, wire.ReplTx{
+				TxID: t.txID, CT: t.ct, RST: 0, DV: t.dv, Writes: t.writes,
+			})
+		}
+		batches = append(batches, batch)
+		i = j
+	}
+
+	s.mu.Lock()
+	if ub > s.vv[s.cfg.DC] {
+		s.vv[s.cfg.DC] = ub
+	}
+	ready := s.releaseWaitersLocked()
+	s.mu.Unlock()
+	s.serveReady(ready)
+
+	for _, b := range batches {
+		for dc := 0; dc < s.cfg.NumDCs; dc++ {
+			if dc == s.cfg.DC {
+				continue
+			}
+			s.send(transport.ServerID(dc, s.cfg.Partition), b)
+		}
+	}
+	if heartbeat && !hadCommitted {
+		hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
+		for dc := 0; dc < s.cfg.NumDCs; dc++ {
+			if dc == s.cfg.DC {
+				continue
+			}
+			s.send(transport.ServerID(dc, s.cfg.Partition), hb)
+		}
+	}
+}
+
+func (s *Server) gossipLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.gossipTick()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// gossipTick broadcasts the full M-entry version vector — Cure's
+// stabilization messages are M timestamps versus Wren's two (Figure 7a).
+func (s *Server) gossipTick() {
+	s.mu.Lock()
+	vvCopy := copyVec(s.vv)
+	maxInto(s.peerVV[s.cfg.Partition], vvCopy)
+	s.recomputeStableLocked()
+	s.mu.Unlock()
+
+	msg := &wire.StableBroadcast{Partition: uint16(s.cfg.Partition), VV: vvCopy}
+	for p := 0; p < s.cfg.NumPartitions; p++ {
+		if p == s.cfg.Partition {
+			continue
+		}
+		s.send(transport.ServerID(s.cfg.DC, p), msg)
+	}
+}
+
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.GCInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.gcTick()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) gcTick() {
+	now := time.Now()
+	s.mu.Lock()
+	for id, ctx := range s.txCtx {
+		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
+			delete(s.txCtx, id)
+			s.metrics.CtxExpired.Inc()
+		}
+	}
+	// Conservative scalar bound: the minimum entry of any active snapshot
+	// vector (or of the stable vector when idle).
+	oldest := s.gsv[0]
+	for _, t := range s.gsv[1:] {
+		if t < oldest {
+			oldest = t
+		}
+	}
+	if s.vv[s.cfg.DC] < oldest {
+		oldest = s.vv[s.cfg.DC]
+	}
+	for _, ctx := range s.txCtx {
+		for _, t := range ctx.sv {
+			if t < oldest {
+				oldest = t
+			}
+		}
+	}
+	if oldest > s.oldest[s.cfg.Partition] {
+		s.oldest[s.cfg.Partition] = oldest
+	}
+	threshold := s.oldest[0]
+	for _, t := range s.oldest[1:] {
+		if t < threshold {
+			threshold = t
+		}
+	}
+	s.mu.Unlock()
+
+	msg := &wire.GCBroadcast{Partition: uint16(s.cfg.Partition), Oldest: oldest}
+	for p := 0; p < s.cfg.NumPartitions; p++ {
+		if p == s.cfg.Partition {
+			continue
+		}
+		s.send(transport.ServerID(s.cfg.DC, p), msg)
+	}
+
+	if threshold > 0 {
+		if removed := s.st.GC(threshold); removed > 0 {
+			s.metrics.GCRemoved.Add(uint64(removed))
+		}
+	}
+}
+
+func (s *Server) handleGCBroadcast(m *wire.GCBroadcast) {
+	p := int(m.Partition)
+	if p < 0 || p >= s.cfg.NumPartitions {
+		return
+	}
+	s.mu.Lock()
+	if m.Oldest > s.oldest[p] {
+		s.oldest[p] = m.Oldest
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) send(to transport.NodeID, m wire.Message) {
+	_ = s.cfg.Network.Send(s.id, to, m)
+}

@@ -1,0 +1,36 @@
+package cure
+
+import "wren/internal/hlc"
+
+// Vector operations on M-entry timestamp vectors (one entry per DC).
+
+// copyVec returns a copy of v.
+func copyVec(v []hlc.Timestamp) []hlc.Timestamp {
+	out := make([]hlc.Timestamp, len(v))
+	copy(out, v)
+	return out
+}
+
+// maxInto raises dst entrywise to at least src. Vectors must have equal
+// length; extra entries in either are ignored.
+func maxInto(dst, src []hlc.Timestamp) {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// leqAll reports whether a ≤ b entrywise.
+func leqAll(a, b []hlc.Timestamp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}

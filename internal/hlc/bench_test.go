@@ -1,0 +1,38 @@
+package hlc
+
+import "testing"
+
+func BenchmarkClockTick(b *testing.B) {
+	c := NewClock(SystemSource{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Tick()
+	}
+}
+
+func BenchmarkClockUpdate(b *testing.B) {
+	c := NewClock(SystemSource{})
+	remote := New(1_000_000, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Update(remote)
+	}
+}
+
+func BenchmarkClockTickPast(b *testing.B) {
+	c := NewClock(SystemSource{})
+	after := New(2_000_000, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.TickPast(after)
+	}
+}
+
+func BenchmarkClockTickParallel(b *testing.B) {
+	c := NewClock(SystemSource{})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.Tick()
+		}
+	})
+}

@@ -1,0 +1,257 @@
+// Package hlc implements Hybrid Logical Clocks (Kulkarni et al., OPODIS'14)
+// as used by Wren and H-Cure, together with pluggable, skewable physical
+// clock sources used to model NTP-style clock offsets between servers.
+//
+// A Timestamp packs a physical component (microseconds since a fixed epoch,
+// 48 bits) and a logical component (16 bits) into a single uint64, so that
+// ordinary integer comparison orders timestamps exactly like the HLC
+// happened-before relation.
+package hlc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+const (
+	// logicalBits is the width of the logical counter in a Timestamp.
+	logicalBits = 16
+	// logicalMask extracts the logical counter.
+	logicalMask = (1 << logicalBits) - 1
+)
+
+// Epoch is the zero point of the physical component of all timestamps.
+// Using a recent epoch keeps 48 bits of microseconds good for ~8.9 years.
+var Epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Timestamp is a hybrid logical clock value. The upper 48 bits hold the
+// physical time in microseconds since Epoch; the lower 16 bits hold the
+// logical counter. The zero Timestamp precedes every other timestamp.
+type Timestamp uint64
+
+// New builds a Timestamp from a physical component (microseconds since
+// Epoch) and a logical counter.
+func New(physicalMicros int64, logical uint16) Timestamp {
+	if physicalMicros < 0 {
+		physicalMicros = 0
+	}
+	return Timestamp(uint64(physicalMicros)<<logicalBits | uint64(logical))
+}
+
+// FromTime converts a wall-clock time to a Timestamp with a zero logical
+// component.
+func FromTime(t time.Time) Timestamp {
+	return New(t.Sub(Epoch).Microseconds(), 0)
+}
+
+// Physical returns the physical component in microseconds since Epoch.
+func (t Timestamp) Physical() int64 { return int64(t >> logicalBits) }
+
+// Logical returns the logical counter.
+func (t Timestamp) Logical() uint16 { return uint16(t & logicalMask) }
+
+// Time converts the physical component back to a wall-clock time.
+func (t Timestamp) Time() time.Time {
+	return Epoch.Add(time.Duration(t.Physical()) * time.Microsecond)
+}
+
+// Before reports whether t precedes other.
+func (t Timestamp) Before(other Timestamp) bool { return t < other }
+
+// After reports whether t follows other.
+func (t Timestamp) After(other Timestamp) bool { return t > other }
+
+// Next returns the smallest timestamp strictly greater than t.
+func (t Timestamp) Next() Timestamp { return t + 1 }
+
+// Prev returns the largest timestamp strictly smaller than t, or zero if t
+// is already zero.
+func (t Timestamp) Prev() Timestamp {
+	if t == 0 {
+		return 0
+	}
+	return t - 1
+}
+
+// String renders the timestamp as "physicalµs.logical".
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d", t.Physical(), t.Logical())
+}
+
+// Max returns the largest of the given timestamps, or zero when called with
+// no arguments.
+func Max(ts ...Timestamp) Timestamp {
+	var m Timestamp
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Min returns the smallest of the given timestamps. It panics when called
+// with no arguments, because there is no sensible identity element.
+func Min(ts ...Timestamp) Timestamp {
+	if len(ts) == 0 {
+		panic("hlc: Min of no timestamps")
+	}
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Source supplies physical time in microseconds since Epoch. Servers in a
+// simulated deployment each get their own Source so that clock skew between
+// machines can be modelled explicitly.
+type Source interface {
+	// NowMicros returns the current physical time in microseconds since
+	// Epoch. Implementations must be safe for concurrent use.
+	NowMicros() int64
+}
+
+// SystemSource reads the machine's real clock.
+type SystemSource struct{}
+
+var _ Source = SystemSource{}
+
+// NowMicros implements Source.
+func (SystemSource) NowMicros() int64 { return time.Since(Epoch).Microseconds() }
+
+// OffsetSource shifts another Source by a fixed offset, modelling a server
+// whose NTP-synchronized clock is ahead of or behind true time.
+type OffsetSource struct {
+	Base   Source
+	Offset time.Duration
+}
+
+var _ Source = OffsetSource{}
+
+// NowMicros implements Source.
+func (s OffsetSource) NowMicros() int64 {
+	return s.Base.NowMicros() + s.Offset.Microseconds()
+}
+
+// ManualSource is a hand-advanced clock for deterministic tests.
+type ManualSource struct {
+	mu  sync.Mutex
+	now int64
+}
+
+var _ Source = (*ManualSource)(nil)
+
+// NewManualSource returns a ManualSource starting at the given physical
+// time in microseconds since Epoch.
+func NewManualSource(startMicros int64) *ManualSource {
+	return &ManualSource{now: startMicros}
+}
+
+// NowMicros implements Source.
+func (s *ManualSource) NowMicros() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// physical clocks in this model never run backwards.
+func (s *ManualSource) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now += d.Microseconds()
+}
+
+// Set moves the clock to an absolute physical time, if it is ahead of the
+// current one.
+func (s *ManualSource) Set(micros int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if micros > s.now {
+		s.now = micros
+	}
+}
+
+// Clock is a hybrid logical clock. It produces monotonically increasing
+// Timestamps that stay close to the underlying physical Source while
+// capturing causality from remote timestamps passed to Update.
+type Clock struct {
+	mu     sync.Mutex
+	src    Source
+	latest Timestamp
+}
+
+// NewClock returns a Clock backed by the given physical source.
+func NewClock(src Source) *Clock {
+	return &Clock{src: src}
+}
+
+// Now returns the current HLC reading without recording an event: the
+// returned value is the max of physical time and the latest issued
+// timestamp. It does not advance the logical counter.
+func (c *Clock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := New(c.src.NowMicros(), 0)
+	if phys > c.latest {
+		return phys
+	}
+	return c.latest
+}
+
+// PhysicalNow returns the raw physical reading of the underlying source as
+// a Timestamp with a zero logical component.
+func (c *Clock) PhysicalNow() Timestamp {
+	return New(c.src.NowMicros(), 0)
+}
+
+// Tick records a local event and returns a timestamp strictly greater than
+// every timestamp previously issued or observed by this clock.
+func (c *Clock) Tick() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := New(c.src.NowMicros(), 0)
+	if phys > c.latest {
+		c.latest = phys
+	} else {
+		c.latest++
+	}
+	return c.latest
+}
+
+// Update merges a remote timestamp into the clock (an HLC receive event) and
+// returns the clock's resulting value. The result is ≥ the remote timestamp
+// and ≥ every previously issued timestamp.
+func (c *Clock) Update(remote Timestamp) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := New(c.src.NowMicros(), 0)
+	c.latest = Max(c.latest, remote, phys)
+	return c.latest
+}
+
+// TickPast records an event that must be ordered strictly after the given
+// timestamp, implementing the Wren prepare rule
+// HLC ← max(Clock, ht+1, HLC+1) (Algorithm 3, line 14).
+func (c *Clock) TickPast(after Timestamp) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := New(c.src.NowMicros(), 0)
+	c.latest = Max(phys, after.Next(), c.latest.Next())
+	return c.latest
+}
+
+// Latest returns the largest timestamp issued or observed so far, without
+// consulting the physical source.
+func (c *Clock) Latest() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latest
+}

@@ -1,0 +1,281 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimestampPacking(t *testing.T) {
+	tests := []struct {
+		name    string
+		phys    int64
+		logical uint16
+	}{
+		{name: "zero", phys: 0, logical: 0},
+		{name: "logical only", phys: 0, logical: 42},
+		{name: "physical only", phys: 123456789, logical: 0},
+		{name: "both", phys: 987654321, logical: 65535},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := New(tt.phys, tt.logical)
+			if got := ts.Physical(); got != tt.phys {
+				t.Errorf("Physical() = %d, want %d", got, tt.phys)
+			}
+			if got := ts.Logical(); got != tt.logical {
+				t.Errorf("Logical() = %d, want %d", got, tt.logical)
+			}
+		})
+	}
+}
+
+func TestTimestampNegativePhysicalClamped(t *testing.T) {
+	ts := New(-5, 7)
+	if ts.Physical() != 0 {
+		t.Errorf("negative physical should clamp to 0, got %d", ts.Physical())
+	}
+	if ts.Logical() != 7 {
+		t.Errorf("Logical() = %d, want 7", ts.Logical())
+	}
+}
+
+func TestTimestampOrderingMatchesComponents(t *testing.T) {
+	// Integer comparison must order first by physical, then by logical.
+	f := func(p1, p2 uint32, l1, l2 uint16) bool {
+		a := New(int64(p1), l1)
+		b := New(int64(p2), l2)
+		want := p1 < p2 || (p1 == p2 && l1 < l2)
+		return a.Before(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimestampNextPrev(t *testing.T) {
+	ts := New(10, 3)
+	if ts.Next() <= ts {
+		t.Error("Next() must be strictly greater")
+	}
+	if ts.Prev() >= ts {
+		t.Error("Prev() must be strictly smaller")
+	}
+	var zero Timestamp
+	if zero.Prev() != 0 {
+		t.Error("Prev of zero must stay zero")
+	}
+}
+
+func TestTimestampTimeRoundTrip(t *testing.T) {
+	now := time.Date(2024, 6, 15, 12, 30, 45, 123000, time.UTC)
+	ts := FromTime(now)
+	if got := ts.Time(); !got.Equal(now) {
+		t.Errorf("Time() = %v, want %v", got, now)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	a, b, c := New(1, 0), New(2, 0), New(3, 0)
+	if Max(a, c, b) != c {
+		t.Error("Max wrong")
+	}
+	if Max() != 0 {
+		t.Error("Max() of nothing should be zero")
+	}
+	if Min(c, a, b) != a {
+		t.Error("Min wrong")
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min() of no timestamps should panic")
+		}
+	}()
+	Min()
+}
+
+func TestStringFormat(t *testing.T) {
+	ts := New(1234, 5)
+	if got := ts.String(); got != "1234.5" {
+		t.Errorf("String() = %q, want %q", got, "1234.5")
+	}
+}
+
+func TestClockTickMonotonic(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	prev := c.Tick()
+	for i := 0; i < 100; i++ {
+		cur := c.Tick()
+		if cur <= prev {
+			t.Fatalf("Tick not strictly monotonic: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestClockTickUsesLogicalWhenPhysicalStalled(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	first := c.Tick()
+	second := c.Tick()
+	if second.Physical() != first.Physical() {
+		t.Errorf("physical advanced unexpectedly: %v -> %v", first, second)
+	}
+	if second.Logical() != first.Logical()+1 {
+		t.Errorf("logical should increment: %v -> %v", first, second)
+	}
+}
+
+func TestClockTickFollowsPhysical(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	c.Tick()
+	src.Advance(50 * time.Millisecond)
+	ts := c.Tick()
+	if ts.Physical() != 1000+50*1000 {
+		t.Errorf("Tick should track physical clock, got phys=%d", ts.Physical())
+	}
+	if ts.Logical() != 0 {
+		t.Errorf("logical should reset when physical advances, got %d", ts.Logical())
+	}
+}
+
+func TestClockUpdateCapturesRemote(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	remote := New(999999, 7)
+	got := c.Update(remote)
+	if got < remote {
+		t.Errorf("Update result %v must be >= remote %v", got, remote)
+	}
+	if next := c.Tick(); next <= remote {
+		t.Errorf("Tick after Update must exceed remote: %v <= %v", next, remote)
+	}
+}
+
+func TestClockTickPast(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	after := New(5000, 3)
+	got := c.TickPast(after)
+	if got <= after {
+		t.Errorf("TickPast(%v) = %v, must be strictly greater", after, got)
+	}
+	// A second TickPast with an older bound must still advance.
+	got2 := c.TickPast(New(10, 0))
+	if got2 <= got {
+		t.Errorf("TickPast must be strictly monotonic: %v then %v", got, got2)
+	}
+}
+
+func TestClockNowDoesNotAdvanceState(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	t1 := c.Now()
+	t2 := c.Now()
+	if t1 != t2 {
+		t.Errorf("Now must be stable without events: %v vs %v", t1, t2)
+	}
+}
+
+func TestClockConcurrentTicksUnique(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var (
+		mu   sync.Mutex
+		seen = make(map[Timestamp]bool, goroutines*perG)
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Timestamp, 0, perG)
+			for i := 0; i < perG; i++ {
+				local = append(local, c.Tick())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp issued: %v", ts)
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOffsetSource(t *testing.T) {
+	base := NewManualSource(10_000)
+	ahead := OffsetSource{Base: base, Offset: 2 * time.Millisecond}
+	behind := OffsetSource{Base: base, Offset: -2 * time.Millisecond}
+	if got := ahead.NowMicros(); got != 12_000 {
+		t.Errorf("ahead.NowMicros() = %d, want 12000", got)
+	}
+	if got := behind.NowMicros(); got != 8_000 {
+		t.Errorf("behind.NowMicros() = %d, want 8000", got)
+	}
+}
+
+func TestManualSourceNeverGoesBackwards(t *testing.T) {
+	src := NewManualSource(100)
+	src.Advance(-time.Second)
+	if src.NowMicros() != 100 {
+		t.Error("negative Advance must be ignored")
+	}
+	src.Set(50)
+	if src.NowMicros() != 100 {
+		t.Error("Set to older time must be ignored")
+	}
+	src.Set(200)
+	if src.NowMicros() != 200 {
+		t.Error("Set to newer time must apply")
+	}
+}
+
+func TestClockUpdatePropertyMonotone(t *testing.T) {
+	// Property: any interleaving of Update/Tick yields strictly increasing
+	// Tick results, and Update(r) >= r always.
+	f := func(remotes []uint32) bool {
+		src := NewManualSource(1)
+		c := NewClock(src)
+		prev := c.Tick()
+		for _, r := range remotes {
+			remote := New(int64(r%1_000_000), uint16(r))
+			u := c.Update(remote)
+			if u < remote {
+				return false
+			}
+			next := c.Tick()
+			if next <= prev {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystemSourceAdvances(t *testing.T) {
+	src := SystemSource{}
+	a := src.NowMicros()
+	time.Sleep(2 * time.Millisecond)
+	b := src.NowMicros()
+	if b <= a {
+		t.Errorf("system clock did not advance: %d -> %d", a, b)
+	}
+}

@@ -1,0 +1,90 @@
+// Package peers parses the "dc/partition=host:port" peer-map notation
+// shared by cmd/wren-server and cmd/wren-cli.
+package peers
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wren/internal/transport"
+)
+
+// Parse converts a comma-separated list of dc/partition=addr entries into
+// a peer address map. Whitespace around entries is ignored; empty entries
+// are skipped; an empty string yields an empty map.
+func Parse(s string) (map[transport.NodeID]string, error) {
+	out := make(map[transport.NodeID]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		eq := strings.IndexByte(entry, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("peers: %q: want dc/partition=addr", entry)
+		}
+		id, err := parseNodeID(entry[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("peers: %q: %w", entry, err)
+		}
+		addr := entry[eq+1:]
+		if addr == "" {
+			return nil, fmt.Errorf("peers: %q: empty address", entry)
+		}
+		if prev, dup := out[id]; dup {
+			return nil, fmt.Errorf("peers: duplicate entry for %v (%s and %s)", id, prev, addr)
+		}
+		out[id] = addr
+	}
+	return out, nil
+}
+
+func parseNodeID(s string) (transport.NodeID, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return transport.NodeID{}, fmt.Errorf("missing '/' in node id %q", s)
+	}
+	dc, err := strconv.Atoi(strings.TrimSpace(s[:slash]))
+	if err != nil {
+		return transport.NodeID{}, fmt.Errorf("bad DC in %q: %w", s, err)
+	}
+	p, err := strconv.Atoi(strings.TrimSpace(s[slash+1:]))
+	if err != nil {
+		return transport.NodeID{}, fmt.Errorf("bad partition in %q: %w", s, err)
+	}
+	if dc < 0 || p < 0 {
+		return transport.NodeID{}, fmt.Errorf("negative indices in %q", s)
+	}
+	return transport.ServerID(dc, p), nil
+}
+
+// Format renders a peer map back into the parseable notation, with entries
+// sorted for stable output.
+func Format(m map[transport.NodeID]string) string {
+	type entry struct {
+		id   transport.NodeID
+		addr string
+	}
+	entries := make([]entry, 0, len(m))
+	for id, addr := range m {
+		entries = append(entries, entry{id: id, addr: addr})
+	}
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && less(entries[j].id, entries[j-1].id); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%d/%d=%s", e.id.DC, e.id.Node, e.addr))
+	}
+	return strings.Join(parts, ",")
+}
+
+func less(a, b transport.NodeID) bool {
+	if a.DC != b.DC {
+		return a.DC < b.DC
+	}
+	return a.Node < b.Node
+}

@@ -1,0 +1,85 @@
+package peers
+
+import (
+	"testing"
+
+	"wren/internal/transport"
+)
+
+func TestParseBasic(t *testing.T) {
+	m, err := Parse("0/0=127.0.0.1:7000,0/1=127.0.0.1:7001,1/0=10.0.0.1:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("len = %d, want 3", len(m))
+	}
+	if m[transport.ServerID(0, 1)] != "127.0.0.1:7001" {
+		t.Errorf("wrong address for 0/1: %q", m[transport.ServerID(0, 1)])
+	}
+	if m[transport.ServerID(1, 0)] != "10.0.0.1:7000" {
+		t.Errorf("wrong address for 1/0")
+	}
+}
+
+func TestParseWhitespaceAndEmpties(t *testing.T) {
+	m, err := Parse(" 0/0=a:1 , , 1/2=b:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("len = %d, want 2", len(m))
+	}
+}
+
+func TestParseEmptyString(t *testing.T) {
+	m, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatal("empty string should give empty map")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"0/0",               // no '='
+		"00=addr",           // no '/'
+		"x/0=addr",          // bad DC
+		"0/y=addr",          // bad partition
+		"-1/0=addr",         // negative
+		"0/0=",              // empty address
+		"0/0=a:1,0/0=b:2",   // duplicate
+		"0 / 0 = spaces ok", // spaces inside id are trimmed, '= spaces ok' valid? address " spaces ok" accepted
+	}
+	for _, s := range bad[:7] {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	in := "0/0=a:1,0/1=b:2,2/5=c:3"
+	m, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(m); got != in {
+		t.Errorf("Format = %q, want %q", got, in)
+	}
+	back, err := Parse(Format(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(m) {
+		t.Error("round trip lost entries")
+	}
+}
+
+func TestFormatEmpty(t *testing.T) {
+	if Format(nil) != "" {
+		t.Error("Format(nil) should be empty")
+	}
+}

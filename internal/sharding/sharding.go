@@ -1,0 +1,30 @@
+// Package sharding maps keys to partitions. The paper's system model
+// assigns each key deterministically to one partition by a hash function
+// (§II-A); clients, coordinators and the workload generator must all agree
+// on this mapping.
+package sharding
+
+import "hash/fnv"
+
+// PartitionOf returns the partition responsible for key in a system with
+// numPartitions partitions. It panics if numPartitions is not positive,
+// because every deployment must have at least one partition.
+func PartitionOf(key string, numPartitions int) int {
+	if numPartitions <= 0 {
+		panic("sharding: numPartitions must be positive")
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numPartitions))
+}
+
+// GroupByPartition splits keys into per-partition groups, preserving the
+// relative order of keys within each group.
+func GroupByPartition(keys []string, numPartitions int) map[int][]string {
+	out := make(map[int][]string)
+	for _, k := range keys {
+		p := PartitionOf(k, numPartitions)
+		out[p] = append(out[p], k)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package sharding
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionOfDeterministic(t *testing.T) {
+	f := func(key string) bool {
+		return PartitionOf(key, 8) == PartitionOf(key, 8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfInRange(t *testing.T) {
+	f := func(key string, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := PartitionOf(key, n)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero partitions")
+		}
+	}()
+	PartitionOf("k", 0)
+}
+
+func TestPartitionOfSpread(t *testing.T) {
+	// With many keys, every partition should receive a reasonable share.
+	const n = 8
+	counts := make([]int, n)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[PartitionOf(fmt.Sprintf("key-%d", i), n)]++
+	}
+	for p, c := range counts {
+		if c < keys/n/2 || c > keys/n*2 {
+			t.Errorf("partition %d has %d keys, want around %d", p, c, keys/n)
+		}
+	}
+}
+
+func TestGroupByPartition(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	groups := GroupByPartition(keys, 4)
+	total := 0
+	for p, g := range groups {
+		if p < 0 || p >= 4 {
+			t.Errorf("invalid partition %d", p)
+		}
+		for _, k := range g {
+			if PartitionOf(k, 4) != p {
+				t.Errorf("key %q grouped into wrong partition %d", k, p)
+			}
+		}
+		total += len(g)
+	}
+	if total != len(keys) {
+		t.Errorf("grouped %d keys, want %d", total, len(keys))
+	}
+}
+
+func TestGroupByPartitionPreservesOrder(t *testing.T) {
+	keys := []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"}
+	groups := GroupByPartition(keys, 2)
+	for p, g := range groups {
+		lastIdx := -1
+		for _, k := range g {
+			idx := -1
+			for i, orig := range keys {
+				if orig == k {
+					idx = i
+					break
+				}
+			}
+			if idx < lastIdx {
+				t.Errorf("partition %d: order not preserved: %v", p, g)
+			}
+			lastIdx = idx
+		}
+	}
+}

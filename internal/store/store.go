@@ -1,0 +1,165 @@
+// Package store implements the multi-versioned key-value storage engine
+// used by each partition server (paper §II-A): every update creates a new
+// version carrying causality metadata; old versions are garbage-collected
+// against the oldest snapshot still visible to a running transaction.
+//
+// Conflicting writes are ordered by the last-writer-wins rule on the update
+// timestamp, with ties settled by the originating DC and transaction id
+// (paper §II-C).
+package store
+
+import (
+	"sync"
+
+	"wren/internal/hlc"
+)
+
+// Version is one version of a key. UT and RDT are the two BDT scalars; DV
+// is only populated by the Cure/H-Cure baselines (one entry per DC).
+type Version struct {
+	Value []byte
+	UT    hlc.Timestamp // update (commit) timestamp — local dependency summary
+	RDT   hlc.Timestamp // remote dependency time — remote dependency summary
+	TxID  uint64
+	SrcDC uint8
+	DV    []hlc.Timestamp // Cure only
+}
+
+// Less orders versions by the last-writer-wins rule: update timestamp,
+// then source DC, then transaction id.
+func (v *Version) Less(o *Version) bool {
+	if v.UT != o.UT {
+		return v.UT < o.UT
+	}
+	if v.SrcDC != o.SrcDC {
+		return v.SrcDC < o.SrcDC
+	}
+	return v.TxID < o.TxID
+}
+
+// VisibleFunc decides whether a version belongs to a snapshot.
+type VisibleFunc func(*Version) bool
+
+// Store holds the version chains of one partition. It is safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	chains map[string][]*Version // sorted ascending by Less (newest last)
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{chains: make(map[string][]*Version)}
+}
+
+// Put inserts a new version into the chain of key, keeping the chain
+// sorted in last-writer-wins order. Inserts are typically near the tail,
+// so the scan from the end is effectively O(1).
+func (s *Store) Put(key string, v *Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain := s.chains[key]
+	i := len(chain)
+	for i > 0 && v.Less(chain[i-1]) {
+		i--
+	}
+	chain = append(chain, nil)
+	copy(chain[i+1:], chain[i:])
+	chain[i] = v
+	s.chains[key] = chain
+}
+
+// ReadVisible returns the freshest version of key that satisfies visible
+// (Alg. 3 lines 6–10), or nil if no version is visible.
+func (s *Store) ReadVisible(key string, visible VisibleFunc) *Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[key]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if visible(chain[i]) {
+			return chain[i]
+		}
+	}
+	return nil
+}
+
+// Latest returns the newest version of key under last-writer-wins order
+// regardless of visibility, or nil if the key has never been written. Used
+// by convergence checks.
+func (s *Store) Latest(key string) *Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[key]
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain[len(chain)-1]
+}
+
+// GC prunes version chains against the oldest snapshot visible to any
+// running transaction (paper §IV-B): for every key it keeps all versions
+// newer than oldest plus the newest version with UT ≤ oldest (the version
+// a transaction reading at that snapshot would return). It returns the
+// number of versions removed.
+func (s *Store) GC(oldest hlc.Timestamp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for key, chain := range s.chains {
+		// Find the newest version with UT <= oldest.
+		keepFrom := -1
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].UT <= oldest {
+				keepFrom = i
+				break
+			}
+		}
+		if keepFrom <= 0 {
+			continue // nothing older than the base to prune
+		}
+		removed += keepFrom
+		newChain := make([]*Version, len(chain)-keepFrom)
+		copy(newChain, chain[keepFrom:])
+		s.chains[key] = newChain
+	}
+	return removed
+}
+
+// Keys returns the number of keys with at least one version.
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains)
+}
+
+// Versions returns the total number of stored versions across all keys.
+func (s *Store) Versions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, chain := range s.chains {
+		n += len(chain)
+	}
+	return n
+}
+
+// VersionsOf returns the number of versions currently stored for key.
+func (s *Store) VersionsOf(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains[key])
+}
+
+// ForEachKey calls fn for every key in the store. Iteration order is
+// unspecified. fn must not call back into the store.
+func (s *Store) ForEachKey(fn func(key string)) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.chains))
+	for k := range s.chains {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	for _, k := range keys {
+		fn(k)
+	}
+}

@@ -1,0 +1,320 @@
+// Package tcp implements transport.Network over real TCP sockets, so the
+// same partition servers that run in the in-process simulator can be
+// deployed as separate OS processes (cmd/wren-server) talked to by real
+// clients (cmd/wren-cli).
+//
+// Framing: every message is [4-byte big-endian frame length][1-byte kind]
+// [4-byte from.DC][4-byte from.Node][payload]. One persistent connection is
+// kept per destination; writes are serialized per connection, preserving
+// the FIFO channel assumption of the protocols. Responses to clients reuse
+// the inbound connection the request arrived on, so clients need no listen
+// address.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+const (
+	headerLen    = 4 + 1 + 4 + 4
+	maxFrameSize = 64 << 20
+)
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("tcp: network closed")
+
+// ErrNoRoute is returned when no address or learned connection exists for
+// the destination.
+var ErrNoRoute = errors.New("tcp: no route to destination")
+
+// Config configures one process's endpoint.
+type Config struct {
+	// Self is this process's node id.
+	Self transport.NodeID
+	// ListenAddr is the TCP address to accept peer connections on; empty
+	// for pure-client processes that never receive unsolicited messages.
+	ListenAddr string
+	// Peers maps node ids to their listen addresses.
+	Peers map[transport.NodeID]string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// Network is a TCP-backed transport.Network for a single local node.
+type Network struct {
+	cfg      Config
+	listener net.Listener
+
+	mu       sync.Mutex
+	handler  transport.Handler // handler for Self
+	outbound map[transport.NodeID]*peerConn
+	learned  map[transport.NodeID]*peerConn // inbound connections by sender
+	allConns []*peerConn                    // every connection ever opened
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New creates the endpoint and, if ListenAddr is set, starts accepting.
+func New(cfg Config) (*Network, error) {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	n := &Network{
+		cfg:      cfg,
+		outbound: make(map[transport.NodeID]*peerConn),
+		learned:  make(map[transport.NodeID]*peerConn),
+	}
+	if cfg.ListenAddr != "" {
+		l, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: listen %s: %w", cfg.ListenAddr, err)
+		}
+		n.listener = l
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *Network) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Register implements transport.Network. Only the local node can be
+// registered.
+func (n *Network) Register(id transport.NodeID, h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id == n.cfg.Self {
+		n.handler = h
+	}
+}
+
+// Send implements transport.Network.
+func (n *Network) Send(from, to transport.NodeID, m wire.Message) error {
+	if to == n.cfg.Self {
+		n.mu.Lock()
+		h := n.handler
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if h != nil {
+			// Local loopback keeps handler semantics asynchronous-ish but
+			// simple; server handlers never block.
+			h.HandleMessage(from, m)
+		}
+		return nil
+	}
+	pc, err := n.connTo(to)
+	if err != nil {
+		return err
+	}
+	return pc.write(from, m)
+}
+
+func (n *Network) connTo(to transport.NodeID) (*peerConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if pc, ok := n.outbound[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	if pc, ok := n.learned[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.cfg.Peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, to)
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %v at %s: %w", to, addr, err)
+	}
+	pc := newPeerConn(conn)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.outbound[to]; ok {
+		// Lost a dial race; keep the first connection.
+		n.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	n.outbound[to] = pc
+	n.allConns = append(n.allConns, pc)
+	n.mu.Unlock()
+
+	// Read responses arriving on this outbound connection too (servers
+	// reply over the connection the request came from).
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(pc)
+	}()
+	return pc, nil
+}
+
+// Close implements transport.Network.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := make([]*peerConn, len(n.allConns))
+	copy(conns, n.allConns)
+	listener := n.listener
+	n.mu.Unlock()
+
+	if listener != nil {
+		_ = listener.Close()
+	}
+	for _, pc := range conns {
+		pc.close()
+	}
+	n.wg.Wait()
+}
+
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		pc := newPeerConn(conn)
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			pc.close()
+			return
+		}
+		n.allConns = append(n.allConns, pc)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(pc)
+		}()
+	}
+}
+
+// readLoop decodes frames and dispatches them to the local handler,
+// learning the sender's identity so replies can reuse the connection.
+func (n *Network) readLoop(pc *peerConn) {
+	defer pc.close()
+	for {
+		from, msg, err := pc.read()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if _, known := n.learned[from]; !known {
+			if _, out := n.outbound[from]; !out {
+				n.learned[from] = pc
+			}
+		}
+		h := n.handler
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h.HandleMessage(from, msg)
+		}
+	}
+}
+
+// peerConn wraps one TCP connection with serialized framed writes.
+type peerConn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	readMu  sync.Mutex
+
+	closeOnce sync.Once
+}
+
+func newPeerConn(c net.Conn) *peerConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &peerConn{conn: c}
+}
+
+func (pc *peerConn) write(from transport.NodeID, m wire.Message) error {
+	payload := wire.Encode(m)
+	frame := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(1+4+4+len(payload)))
+	frame[4] = byte(m.Kind())
+	binary.BigEndian.PutUint32(frame[5:9], uint32(int32(from.DC)))
+	binary.BigEndian.PutUint32(frame[9:13], uint32(int32(from.Node)))
+	copy(frame[headerLen:], payload)
+
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	_, err := pc.conn.Write(frame)
+	return err
+}
+
+func (pc *peerConn) read() (transport.NodeID, wire.Message, error) {
+	pc.readMu.Lock()
+	defer pc.readMu.Unlock()
+
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(pc.conn, lenBuf[:]); err != nil {
+		return transport.NodeID{}, nil, err
+	}
+	frameLen := binary.BigEndian.Uint32(lenBuf[:])
+	if frameLen < 9 || frameLen > maxFrameSize {
+		return transport.NodeID{}, nil, fmt.Errorf("tcp: bad frame length %d", frameLen)
+	}
+	body := make([]byte, frameLen)
+	if _, err := io.ReadFull(pc.conn, body); err != nil {
+		return transport.NodeID{}, nil, err
+	}
+	kind := wire.Kind(body[0])
+	from := transport.NodeID{
+		DC:   int(int32(binary.BigEndian.Uint32(body[1:5]))),
+		Node: int(int32(binary.BigEndian.Uint32(body[5:9]))),
+	}
+	msg, err := wire.Decode(kind, body[9:])
+	if err != nil {
+		return transport.NodeID{}, nil, err
+	}
+	return from, msg, nil
+}
+
+func (pc *peerConn) close() {
+	pc.closeOnce.Do(func() { _ = pc.conn.Close() })
+}

@@ -1,0 +1,228 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wren/internal/core"
+	"wren/internal/hlc"
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	recvA := make(chan wire.Message, 16)
+	a, err := New(Config{
+		Self:       transport.ServerID(0, 0),
+		ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Register(transport.ServerID(0, 0), transport.HandlerFunc(
+		func(from transport.NodeID, m wire.Message) { recvA <- m }))
+
+	recvB := make(chan wire.Message, 16)
+	b, err := New(Config{
+		Self:       transport.ServerID(0, 1),
+		ListenAddr: "127.0.0.1:0",
+		Peers: map[transport.NodeID]string{
+			transport.ServerID(0, 0): a.Addr(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Register(transport.ServerID(0, 1), transport.HandlerFunc(
+		func(from transport.NodeID, m wire.Message) { recvB <- m }))
+
+	// B -> A over a dialed connection.
+	want := &wire.Heartbeat{SrcDC: 3, Partition: 7, TS: hlc.New(123, 4)}
+	if err := b.Send(transport.ServerID(0, 1), transport.ServerID(0, 0), want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-recvA:
+		got := m.(*wire.Heartbeat)
+		if got.TS != want.TS || got.SrcDC != want.SrcDC {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for frame")
+	}
+
+	// A -> B over the learned (inbound) connection: A has no peer entry
+	// for B, so the reply must reuse the connection B opened.
+	reply := &wire.CommitTx{TxID: 9, CT: hlc.New(55, 0)}
+	if err := a.Send(transport.ServerID(0, 0), transport.ServerID(0, 1), reply); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-recvB:
+		got := m.(*wire.CommitTx)
+		if got.TxID != 9 || got.CT != hlc.New(55, 0) {
+			t.Fatalf("got %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for learned-route reply")
+	}
+}
+
+func TestFIFOOverTCP(t *testing.T) {
+	recv := make(chan uint64, 1024)
+	a, err := New(Config{Self: transport.ServerID(0, 0), ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Register(transport.ServerID(0, 0), transport.HandlerFunc(
+		func(_ transport.NodeID, m wire.Message) { recv <- m.(*wire.CommitTx).TxID }))
+
+	b, err := New(Config{
+		Self:  transport.ServerID(0, 1),
+		Peers: map[transport.NodeID]string{transport.ServerID(0, 0): a.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const count = 500
+	for i := uint64(0); i < count; i++ {
+		if err := b.Send(transport.ServerID(0, 1), transport.ServerID(0, 0),
+			&wire.CommitTx{TxID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < count; i++ {
+		select {
+		case got := <-recv:
+			if got != i {
+				t.Fatalf("FIFO violated: got %d, want %d", got, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout at message %d", i)
+		}
+	}
+}
+
+func TestSendNoRoute(t *testing.T) {
+	n, err := New(Config{Self: transport.ServerID(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	err = n.Send(transport.ServerID(0, 0), transport.ServerID(0, 9), &wire.Heartbeat{})
+	if err == nil {
+		t.Fatal("expected no-route error")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	n, err := New(Config{Self: transport.ServerID(0, 0), ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if err := n.Send(transport.ServerID(0, 0), transport.ServerID(0, 0), &wire.Heartbeat{}); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+	n.Close() // idempotent
+}
+
+// TestWrenOverTCP runs a real 1-DC, 2-partition Wren deployment over TCP
+// sockets with a TCP client — the cmd/wren-server + cmd/wren-cli path.
+func TestWrenOverTCP(t *testing.T) {
+	const (
+		dcs   = 1
+		parts = 2
+	)
+	// First pass: bind listeners to learn addresses.
+	nets := make([]*Network, parts)
+	addrs := make(map[transport.NodeID]string, parts)
+	for p := 0; p < parts; p++ {
+		n, err := New(Config{Self: transport.ServerID(0, p), ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nets[p] = n
+		addrs[transport.ServerID(0, p)] = n.Addr()
+	}
+	// Inject full peer maps (every server knows every other).
+	for p := 0; p < parts; p++ {
+		nets[p].cfg.Peers = addrs
+	}
+
+	servers := make([]*core.Server, parts)
+	for p := 0; p < parts; p++ {
+		srv, err := core.NewServer(core.ServerConfig{
+			DC: 0, Partition: p, NumDCs: dcs, NumPartitions: parts,
+			Network:        nets[p],
+			ApplyInterval:  time.Millisecond,
+			GossipInterval: time.Millisecond,
+			GCInterval:     -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		defer srv.Stop()
+		servers[p] = srv
+	}
+
+	cliNet, err := New(Config{
+		Self:  transport.ClientID(0, 1),
+		Peers: addrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliNet.Close()
+	client, err := core.NewClient(core.ClientConfig{
+		DC: 0, ClientIndex: 1, NumPartitions: parts,
+		Network:              cliNet,
+		CoordinatorPartition: 0,
+		RequestTimeout:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tx.Write(fmt.Sprintf("tcp-key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct == 0 {
+		t.Fatal("commit over TCP returned zero timestamp")
+	}
+
+	tx2, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx2.Read("tcp-key-0", "tcp-key-1", "tcp-key-2", "tcp-key-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if string(got[fmt.Sprintf("tcp-key-%d", i)]) != "v" {
+			t.Fatalf("missing key %d over TCP: %v", i, got)
+		}
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

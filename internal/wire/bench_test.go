@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"testing"
+
+	"wren/internal/hlc"
+)
+
+// benchReplicate builds a replication batch representative of the paper's
+// workload: 8-byte values, small keys, per-protocol metadata.
+func benchReplicate(dcs int) *Replicate {
+	tx := ReplTx{
+		TxID: 123456, CT: hlc.New(1_000_000, 3), RST: hlc.New(900_000, 1),
+		Writes: []KV{{Key: "user00012345", Value: []byte("8bytes!!")}},
+	}
+	if dcs > 0 {
+		tx.DV = make([]hlc.Timestamp, dcs)
+		for i := range tx.DV {
+			tx.DV[i] = hlc.New(int64(i)*1000, 0)
+		}
+	}
+	return &Replicate{SrcDC: 1, Partition: 4, Txs: []ReplTx{tx}}
+}
+
+func BenchmarkEncodeReplicateWren(b *testing.B) {
+	m := benchReplicate(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(m)
+	}
+}
+
+func BenchmarkEncodeReplicateCure5DC(b *testing.B) {
+	m := benchReplicate(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(m)
+	}
+}
+
+func BenchmarkDecodeReplicateWren(b *testing.B) {
+	payload := Encode(benchReplicate(0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(KindReplicate, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSizeReplicate(b *testing.B) {
+	m := benchReplicate(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Size(m)
+	}
+}
+
+func BenchmarkEncodeStableBroadcastWren(b *testing.B) {
+	m := &StableBroadcast{Partition: 3, Local: hlc.New(1, 0), RemoteMin: hlc.New(2, 0)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(m)
+	}
+}

@@ -1,0 +1,683 @@
+package wire
+
+import (
+	"fmt"
+
+	"wren/internal/hlc"
+)
+
+// Kind identifies a message type on the wire.
+type Kind uint8
+
+// Message kinds. Values are part of the wire format; do not reorder.
+const (
+	KindStartTxReq Kind = iota + 1
+	KindStartTxResp
+	KindTxReadReq
+	KindTxReadResp
+	KindCommitReq
+	KindCommitResp
+	KindSliceReq
+	KindSliceResp
+	KindPrepareReq
+	KindPrepareResp
+	KindCommitTx
+	KindReplicate
+	KindHeartbeat
+	KindStableBroadcast
+	KindGCBroadcast
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindStartTxReq:
+		return "StartTxReq"
+	case KindStartTxResp:
+		return "StartTxResp"
+	case KindTxReadReq:
+		return "TxReadReq"
+	case KindTxReadResp:
+		return "TxReadResp"
+	case KindCommitReq:
+		return "CommitReq"
+	case KindCommitResp:
+		return "CommitResp"
+	case KindSliceReq:
+		return "SliceReq"
+	case KindSliceResp:
+		return "SliceResp"
+	case KindPrepareReq:
+		return "PrepareReq"
+	case KindPrepareResp:
+		return "PrepareResp"
+	case KindCommitTx:
+		return "CommitTx"
+	case KindReplicate:
+		return "Replicate"
+	case KindHeartbeat:
+		return "Heartbeat"
+	case KindStableBroadcast:
+		return "StableBroadcast"
+	case KindGCBroadcast:
+		return "GCBroadcast"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Class groups message kinds for byte accounting (paper Figure 7a).
+type Class uint8
+
+// Accounting classes.
+const (
+	// ClassClient covers client<->coordinator traffic.
+	ClassClient Class = iota + 1
+	// ClassTransaction covers intra-DC coordinator<->cohort traffic
+	// (slice reads, 2PC prepare/commit).
+	ClassTransaction
+	// ClassReplication covers inter-DC update propagation and heartbeats.
+	ClassReplication
+	// ClassStabilization covers intra-DC stable-time gossip
+	// (BiST in Wren, vector exchange in Cure).
+	ClassStabilization
+	// ClassControl covers garbage-collection coordination.
+	ClassControl
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassClient:
+		return "client"
+	case ClassTransaction:
+		return "transaction"
+	case ClassReplication:
+		return "replication"
+	case ClassStabilization:
+		return "stabilization"
+	case ClassControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	Kind() Kind
+	Class() Class
+	encodeTo(e *Encoder)
+	decodeFrom(d *Decoder)
+}
+
+// Item is a versioned key-value pair as shipped to clients and replicas.
+// It mirrors the paper's tuple ⟨k, v, ut, rdt, id_T, sr⟩. For Cure/H-Cure,
+// DV carries the M-entry dependency vector instead of (UT, RDT); Wren items
+// leave DV nil — that difference is exactly the BDT metadata saving.
+type Item struct {
+	Key   string
+	Value []byte
+	UT    hlc.Timestamp // update (commit) time; summarizes local deps
+	RDT   hlc.Timestamp // remote dependency time; summarizes remote deps
+	TxID  uint64
+	SrcDC uint8
+	DV    []hlc.Timestamp // Cure only: one entry per DC
+}
+
+func (it *Item) encodeTo(e *Encoder) {
+	e.String(it.Key)
+	e.BytesField(it.Value)
+	e.Timestamp(it.UT)
+	e.Timestamp(it.RDT)
+	e.Uvarint(it.TxID)
+	e.Byte(it.SrcDC)
+	e.Timestamps(it.DV)
+}
+
+func (it *Item) decodeFrom(d *Decoder) {
+	it.Key = d.String()
+	it.Value = append([]byte(nil), d.BytesField()...)
+	it.UT = d.Timestamp()
+	it.RDT = d.Timestamp()
+	it.TxID = d.Uvarint()
+	it.SrcDC = d.Byte()
+	it.DV = d.Timestamps()
+}
+
+// KV is a raw write buffered in a transaction's write set.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+func encodeKVs(e *Encoder, kvs []KV) {
+	e.Uvarint(uint64(len(kvs)))
+	for i := range kvs {
+		e.String(kvs[i].Key)
+		e.BytesField(kvs[i].Value)
+	}
+}
+
+func decodeKVs(d *Decoder) []KV {
+	n := d.Uvarint()
+	if !d.checkLen(n) || n == 0 {
+		return nil
+	}
+	out := make([]KV, n)
+	for i := range out {
+		out[i].Key = d.String()
+		out[i].Value = append([]byte(nil), d.BytesField()...)
+	}
+	return out
+}
+
+func encodeItems(e *Encoder, items []Item) {
+	e.Uvarint(uint64(len(items)))
+	for i := range items {
+		items[i].encodeTo(e)
+	}
+}
+
+func decodeItems(d *Decoder) []Item {
+	n := d.Uvarint()
+	if !d.checkLen(n) || n == 0 {
+		return nil
+	}
+	out := make([]Item, n)
+	for i := range out {
+		out[i].decodeFrom(d)
+	}
+	return out
+}
+
+// StartTxReq opens a transaction (Alg. 1 line 2). Wren clients piggyback
+// their last seen LST/RST; Cure clients piggyback their dependency vector.
+type StartTxReq struct {
+	ReqID uint64
+	LST   hlc.Timestamp
+	RST   hlc.Timestamp
+	DV    []hlc.Timestamp // Cure: client's causal dependency vector
+}
+
+// Kind implements Message.
+func (*StartTxReq) Kind() Kind { return KindStartTxReq }
+
+// Class implements Message.
+func (*StartTxReq) Class() Class { return ClassClient }
+
+func (m *StartTxReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Timestamp(m.LST)
+	e.Timestamp(m.RST)
+	e.Timestamps(m.DV)
+}
+
+func (m *StartTxReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.LST = d.Timestamp()
+	m.RST = d.Timestamp()
+	m.DV = d.Timestamps()
+}
+
+// StartTxResp carries the transaction id and snapshot (Alg. 2 line 6).
+type StartTxResp struct {
+	ReqID uint64
+	TxID  uint64
+	LST   hlc.Timestamp   // Wren: local snapshot time
+	RST   hlc.Timestamp   // Wren: remote snapshot time
+	SV    []hlc.Timestamp // Cure: snapshot vector, one entry per DC
+}
+
+// Kind implements Message.
+func (*StartTxResp) Kind() Kind { return KindStartTxResp }
+
+// Class implements Message.
+func (*StartTxResp) Class() Class { return ClassClient }
+
+func (m *StartTxResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Uvarint(m.TxID)
+	e.Timestamp(m.LST)
+	e.Timestamp(m.RST)
+	e.Timestamps(m.SV)
+}
+
+func (m *StartTxResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.TxID = d.Uvarint()
+	m.LST = d.Timestamp()
+	m.RST = d.Timestamp()
+	m.SV = d.Timestamps()
+}
+
+// TxReadReq asks the coordinator to read a set of keys within a transaction.
+type TxReadReq struct {
+	ReqID uint64
+	TxID  uint64
+	Keys  []string
+}
+
+// Kind implements Message.
+func (*TxReadReq) Kind() Kind { return KindTxReadReq }
+
+// Class implements Message.
+func (*TxReadReq) Class() Class { return ClassClient }
+
+func (m *TxReadReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Uvarint(m.TxID)
+	e.Strings(m.Keys)
+}
+
+func (m *TxReadReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.TxID = d.Uvarint()
+	m.Keys = d.Strings()
+}
+
+// TxReadResp returns the items visible in the transaction snapshot.
+// Missing keys are simply absent from Items.
+type TxReadResp struct {
+	ReqID uint64
+	Items []Item
+	// BlockedMicros is the maximum time any constituent slice read spent
+	// blocked waiting for a snapshot to be installed (Cure/H-Cure only;
+	// always 0 in Wren). Feeds the paper's Figure 3b.
+	BlockedMicros int64
+}
+
+// Kind implements Message.
+func (*TxReadResp) Kind() Kind { return KindTxReadResp }
+
+// Class implements Message.
+func (*TxReadResp) Class() Class { return ClassClient }
+
+func (m *TxReadResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	encodeItems(e, m.Items)
+	e.Uvarint(uint64(m.BlockedMicros))
+}
+
+func (m *TxReadResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.Items = decodeItems(d)
+	m.BlockedMicros = int64(d.Uvarint())
+}
+
+// CommitReq ships the write set to the coordinator (Alg. 1 line 27).
+type CommitReq struct {
+	ReqID  uint64
+	TxID   uint64
+	HWT    hlc.Timestamp // client's highest write (last commit) time
+	Writes []KV
+}
+
+// Kind implements Message.
+func (*CommitReq) Kind() Kind { return KindCommitReq }
+
+// Class implements Message.
+func (*CommitReq) Class() Class { return ClassClient }
+
+func (m *CommitReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Uvarint(m.TxID)
+	e.Timestamp(m.HWT)
+	encodeKVs(e, m.Writes)
+}
+
+func (m *CommitReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.TxID = d.Uvarint()
+	m.HWT = d.Timestamp()
+	m.Writes = decodeKVs(d)
+}
+
+// CommitResp returns the commit timestamp.
+type CommitResp struct {
+	ReqID uint64
+	CT    hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*CommitResp) Kind() Kind { return KindCommitResp }
+
+// Class implements Message.
+func (*CommitResp) Class() Class { return ClassClient }
+
+func (m *CommitResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Timestamp(m.CT)
+}
+
+func (m *CommitResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.CT = d.Timestamp()
+}
+
+// SliceReq is the coordinator-to-cohort read (Alg. 2 line 12). Wren sends
+// the (lt, rt) snapshot; Cure sends the snapshot vector SV.
+type SliceReq struct {
+	ReqID uint64
+	Keys  []string
+	LT    hlc.Timestamp
+	RT    hlc.Timestamp
+	SV    []hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*SliceReq) Kind() Kind { return KindSliceReq }
+
+// Class implements Message.
+func (*SliceReq) Class() Class { return ClassTransaction }
+
+func (m *SliceReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Strings(m.Keys)
+	e.Timestamp(m.LT)
+	e.Timestamp(m.RT)
+	e.Timestamps(m.SV)
+}
+
+func (m *SliceReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.Keys = d.Strings()
+	m.LT = d.Timestamp()
+	m.RT = d.Timestamp()
+	m.SV = d.Timestamps()
+}
+
+// SliceResp returns the freshest visible versions for a slice read.
+type SliceResp struct {
+	ReqID         uint64
+	Items         []Item
+	BlockedMicros int64 // time the read spent blocked (Cure/H-Cure)
+}
+
+// Kind implements Message.
+func (*SliceResp) Kind() Kind { return KindSliceResp }
+
+// Class implements Message.
+func (*SliceResp) Class() Class { return ClassTransaction }
+
+func (m *SliceResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	encodeItems(e, m.Items)
+	e.Uvarint(uint64(m.BlockedMicros))
+}
+
+func (m *SliceResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.Items = decodeItems(d)
+	m.BlockedMicros = int64(d.Uvarint())
+}
+
+// PrepareReq is the first phase of the 2PC commit (Alg. 2 line 22).
+type PrepareReq struct {
+	ReqID  uint64
+	TxID   uint64
+	LT     hlc.Timestamp // transaction's local snapshot time
+	RT     hlc.Timestamp // transaction's remote snapshot time
+	HT     hlc.Timestamp // max timestamp seen by the client
+	SV     []hlc.Timestamp
+	Writes []KV
+}
+
+// Kind implements Message.
+func (*PrepareReq) Kind() Kind { return KindPrepareReq }
+
+// Class implements Message.
+func (*PrepareReq) Class() Class { return ClassTransaction }
+
+func (m *PrepareReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Uvarint(m.TxID)
+	e.Timestamp(m.LT)
+	e.Timestamp(m.RT)
+	e.Timestamp(m.HT)
+	e.Timestamps(m.SV)
+	encodeKVs(e, m.Writes)
+}
+
+func (m *PrepareReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.TxID = d.Uvarint()
+	m.LT = d.Timestamp()
+	m.RT = d.Timestamp()
+	m.HT = d.Timestamp()
+	m.SV = d.Timestamps()
+	m.Writes = decodeKVs(d)
+}
+
+// PrepareResp carries the cohort's proposed commit timestamp.
+type PrepareResp struct {
+	ReqID uint64
+	TxID  uint64
+	PT    hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*PrepareResp) Kind() Kind { return KindPrepareResp }
+
+// Class implements Message.
+func (*PrepareResp) Class() Class { return ClassTransaction }
+
+func (m *PrepareResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Uvarint(m.TxID)
+	e.Timestamp(m.PT)
+}
+
+func (m *PrepareResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.TxID = d.Uvarint()
+	m.PT = d.Timestamp()
+}
+
+// CommitTx is the second phase of the 2PC commit (Alg. 2 line 26).
+type CommitTx struct {
+	TxID uint64
+	CT   hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*CommitTx) Kind() Kind { return KindCommitTx }
+
+// Class implements Message.
+func (*CommitTx) Class() Class { return ClassTransaction }
+
+func (m *CommitTx) encodeTo(e *Encoder) {
+	e.Uvarint(m.TxID)
+	e.Timestamp(m.CT)
+}
+
+func (m *CommitTx) decodeFrom(d *Decoder) {
+	m.TxID = d.Uvarint()
+	m.CT = d.Timestamp()
+}
+
+// ReplTx is one committed transaction inside a replication batch.
+type ReplTx struct {
+	TxID   uint64
+	CT     hlc.Timestamp   // commit time (= ut of all written items)
+	RST    hlc.Timestamp   // remote dependency time of all written items
+	DV     []hlc.Timestamp // Cure: dependency vector
+	Writes []KV
+}
+
+// Replicate propagates applied transactions to the peer replicas of the
+// same partition in remote DCs (Alg. 4 line 14). Transactions with equal
+// commit timestamps are packed into one message, as in the paper.
+type Replicate struct {
+	SrcDC     uint8
+	Partition uint16
+	Txs       []ReplTx
+}
+
+// Kind implements Message.
+func (*Replicate) Kind() Kind { return KindReplicate }
+
+// Class implements Message.
+func (*Replicate) Class() Class { return ClassReplication }
+
+func (m *Replicate) encodeTo(e *Encoder) {
+	e.Byte(m.SrcDC)
+	e.Uvarint(uint64(m.Partition))
+	e.Uvarint(uint64(len(m.Txs)))
+	for i := range m.Txs {
+		t := &m.Txs[i]
+		e.Uvarint(t.TxID)
+		e.Timestamp(t.CT)
+		e.Timestamp(t.RST)
+		e.Timestamps(t.DV)
+		encodeKVs(e, t.Writes)
+	}
+}
+
+func (m *Replicate) decodeFrom(d *Decoder) {
+	m.SrcDC = d.Byte()
+	m.Partition = uint16(d.Uvarint())
+	n := d.Uvarint()
+	if !d.checkLen(n) {
+		return
+	}
+	if n == 0 {
+		return
+	}
+	m.Txs = make([]ReplTx, n)
+	for i := range m.Txs {
+		t := &m.Txs[i]
+		t.TxID = d.Uvarint()
+		t.CT = d.Timestamp()
+		t.RST = d.Timestamp()
+		t.DV = d.Timestamps()
+		t.Writes = decodeKVs(d)
+	}
+}
+
+// Heartbeat advances the receiver's version-vector entry for the sender's
+// DC when no transactions are committing (Alg. 4 line 20).
+type Heartbeat struct {
+	SrcDC     uint8
+	Partition uint16
+	TS        hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*Heartbeat) Kind() Kind { return KindHeartbeat }
+
+// Class implements Message.
+func (*Heartbeat) Class() Class { return ClassReplication }
+
+func (m *Heartbeat) encodeTo(e *Encoder) {
+	e.Byte(m.SrcDC)
+	e.Uvarint(uint64(m.Partition))
+	e.Timestamp(m.TS)
+}
+
+func (m *Heartbeat) decodeFrom(d *Decoder) {
+	m.SrcDC = d.Byte()
+	m.Partition = uint16(d.Uvarint())
+	m.TS = d.Timestamp()
+}
+
+// StableBroadcast is the intra-DC stabilization exchange. In Wren (BiST) it
+// carries exactly two scalars: the sender's local version clock and the
+// minimum over its remote version-vector entries. In Cure it carries the
+// full M-entry version vector in VV — the size difference is the paper's
+// Figure 7a "Stabl." bar.
+//
+// With the tree topology (paper §IV-B: "partitions within a DC are
+// organized as a tree to reduce communication costs"), leaf contributions
+// flow to an aggregator and come back with Aggregate set: Local/RemoteMin
+// then carry the DC-wide LST/RST rather than one partition's contribution.
+type StableBroadcast struct {
+	Partition uint16
+	Aggregate bool
+	Local     hlc.Timestamp
+	RemoteMin hlc.Timestamp
+	VV        []hlc.Timestamp // Cure only
+}
+
+// Kind implements Message.
+func (*StableBroadcast) Kind() Kind { return KindStableBroadcast }
+
+// Class implements Message.
+func (*StableBroadcast) Class() Class { return ClassStabilization }
+
+func (m *StableBroadcast) encodeTo(e *Encoder) {
+	e.Uvarint(uint64(m.Partition))
+	e.Bool(m.Aggregate)
+	e.Timestamp(m.Local)
+	e.Timestamp(m.RemoteMin)
+	e.Timestamps(m.VV)
+}
+
+func (m *StableBroadcast) decodeFrom(d *Decoder) {
+	m.Partition = uint16(d.Uvarint())
+	m.Aggregate = d.Bool()
+	m.Local = d.Timestamp()
+	m.RemoteMin = d.Timestamp()
+	m.VV = d.Timestamps()
+}
+
+// GCBroadcast exchanges the oldest snapshot visible to any running
+// transaction so partitions can prune version chains (paper §IV-B).
+type GCBroadcast struct {
+	Partition uint16
+	Oldest    hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*GCBroadcast) Kind() Kind { return KindGCBroadcast }
+
+// Class implements Message.
+func (*GCBroadcast) Class() Class { return ClassControl }
+
+func (m *GCBroadcast) encodeTo(e *Encoder) {
+	e.Uvarint(uint64(m.Partition))
+	e.Timestamp(m.Oldest)
+}
+
+func (m *GCBroadcast) decodeFrom(d *Decoder) {
+	m.Partition = uint16(d.Uvarint())
+	m.Oldest = d.Timestamp()
+}
+
+// newMessage allocates an empty message of the given kind.
+func newMessage(kind Kind) (Message, error) {
+	switch kind {
+	case KindStartTxReq:
+		return &StartTxReq{}, nil
+	case KindStartTxResp:
+		return &StartTxResp{}, nil
+	case KindTxReadReq:
+		return &TxReadReq{}, nil
+	case KindTxReadResp:
+		return &TxReadResp{}, nil
+	case KindCommitReq:
+		return &CommitReq{}, nil
+	case KindCommitResp:
+		return &CommitResp{}, nil
+	case KindSliceReq:
+		return &SliceReq{}, nil
+	case KindSliceResp:
+		return &SliceResp{}, nil
+	case KindPrepareReq:
+		return &PrepareReq{}, nil
+	case KindPrepareResp:
+		return &PrepareResp{}, nil
+	case KindCommitTx:
+		return &CommitTx{}, nil
+	case KindReplicate:
+		return &Replicate{}, nil
+	case KindHeartbeat:
+		return &Heartbeat{}, nil
+	case KindStableBroadcast:
+		return &StableBroadcast{}, nil
+	case KindGCBroadcast:
+		return &GCBroadcast{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+}

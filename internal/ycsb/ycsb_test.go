@@ -1,0 +1,232 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"wren/internal/sharding"
+)
+
+func TestMixNames(t *testing.T) {
+	tests := []struct {
+		mix  Mix
+		want string
+	}{
+		{Mix95, "95:5"},
+		{Mix90, "90:10"},
+		{Mix50, "50:50"},
+		{Mix{}, "0:0"},
+	}
+	for _, tt := range tests {
+		if got := tt.mix.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestWorkloadKeyPoolsRespectSharding(t *testing.T) {
+	w, err := NewWorkload(Config{NumPartitions: 4, KeysPerPartition: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, keys := range w.AllKeys() {
+		if len(keys) != 50 {
+			t.Errorf("partition %d has %d keys, want 50", p, len(keys))
+		}
+		for _, k := range keys {
+			if got := sharding.PartitionOf(k, 4); got != p {
+				t.Errorf("key %q in pool %d but hashes to %d", k, p, got)
+			}
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(Config{NumPartitions: 0}); err == nil {
+		t.Error("zero partitions should be rejected")
+	}
+	if _, err := NewWorkload(Config{NumPartitions: 2, PartitionsPerTx: 4}); err == nil {
+		t.Error("PartitionsPerTx > NumPartitions should be rejected")
+	}
+	if _, err := NewWorkload(Config{NumPartitions: 2, Mix: Mix{Reads: -1, Writes: 1}}); err == nil {
+		t.Error("negative mix should be rejected")
+	}
+}
+
+func TestGeneratorComposition(t *testing.T) {
+	w, err := NewWorkload(Config{
+		Mix: Mix95, NumPartitions: 8, PartitionsPerTx: 4, KeysPerPartition: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.NewGenerator(1)
+	for i := 0; i < 100; i++ {
+		tx := g.Next()
+		if len(tx.ReadKeys) != 19 {
+			t.Fatalf("reads = %d, want 19", len(tx.ReadKeys))
+		}
+		if len(tx.Writes) != 1 {
+			t.Fatalf("writes = %d, want 1", len(tx.Writes))
+		}
+		// Touched partitions must be within the configured bound.
+		parts := map[int]bool{}
+		for _, k := range tx.ReadKeys {
+			parts[sharding.PartitionOf(k, 8)] = true
+		}
+		for _, wr := range tx.Writes {
+			parts[sharding.PartitionOf(wr.Key, 8)] = true
+		}
+		if len(parts) > 4 {
+			t.Fatalf("transaction touched %d partitions, want <= 4", len(parts))
+		}
+	}
+}
+
+func TestGeneratorNoDuplicateKeysInTx(t *testing.T) {
+	w, err := NewWorkload(Config{
+		Mix: Mix50, NumPartitions: 4, PartitionsPerTx: 2, KeysPerPartition: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.NewGenerator(2)
+	for i := 0; i < 200; i++ {
+		tx := g.Next()
+		seen := map[string]bool{}
+		for _, k := range tx.ReadKeys {
+			if seen[k] {
+				t.Fatalf("duplicate key %q in transaction", k)
+			}
+			seen[k] = true
+		}
+		for _, wr := range tx.Writes {
+			if seen[wr.Key] {
+				t.Fatalf("duplicate key %q in transaction", wr.Key)
+			}
+			seen[wr.Key] = true
+		}
+	}
+}
+
+func TestGeneratorValueSize(t *testing.T) {
+	w, err := NewWorkload(Config{
+		Mix: Mix50, NumPartitions: 2, PartitionsPerTx: 1, KeysPerPartition: 30, ValueSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.NewGenerator(3)
+	tx := g.Next()
+	for _, wr := range tx.Writes {
+		if len(wr.Value) != 8 {
+			t.Errorf("value size = %d, want 8", len(wr.Value))
+		}
+	}
+}
+
+func TestGeneratorUsesExactlyPPartitionsWhenPossible(t *testing.T) {
+	w, err := NewWorkload(Config{
+		Mix: Mix{Reads: 8, Writes: 0}, NumPartitions: 8, PartitionsPerTx: 8,
+		KeysPerPartition: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.NewGenerator(4)
+	tx := g.Next()
+	parts := map[int]bool{}
+	for _, k := range tx.ReadKeys {
+		parts[sharding.PartitionOf(k, 8)] = true
+	}
+	if len(parts) != 8 {
+		t.Errorf("8 reads over p=8 should touch all 8 partitions, got %d", len(parts))
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	z := NewZipfian(100, 0.99, rng)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v >= 100 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 1000
+	z := NewZipfian(n, 0.99, rng)
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be far more popular than the median rank, and the top
+	// 10% of ranks should cover the majority of draws (strong skew).
+	if counts[0] < counts[n/2]*10 {
+		t.Errorf("rank 0 (%d draws) should dominate median rank (%d draws)",
+			counts[0], counts[n/2])
+	}
+	top := 0
+	for i := 0; i < n/10; i++ {
+		top += counts[i]
+	}
+	if float64(top)/draws < 0.5 {
+		t.Errorf("top 10%% of keys got %.1f%% of draws, want > 50%%",
+			100*float64(top)/draws)
+	}
+}
+
+func TestZipfianUniformWhenThetaZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 10
+	z := NewZipfian(n, 0.0, rng)
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		ratio := float64(c) / (draws / n)
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("theta=0 should be near uniform; rank %d ratio %.2f", i, ratio)
+		}
+	}
+}
+
+func TestZipfianSingleElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	z := NewZipfian(1, 0.99, rng)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("single-element zipfian must always return 0")
+		}
+	}
+	z0 := NewZipfian(0, 0.99, rng)
+	if z0.Next() != 0 {
+		t.Fatal("zero-element zipfian must clamp to n=1")
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	w, err := NewWorkload(Config{NumPartitions: 4, KeysPerPartition: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := w.NewGenerator(42)
+	g2 := w.NewGenerator(42)
+	for i := 0; i < 20; i++ {
+		tx1, tx2 := g1.Next(), g2.Next()
+		if len(tx1.ReadKeys) != len(tx2.ReadKeys) {
+			t.Fatal("same seed should give same transactions")
+		}
+		for j := range tx1.ReadKeys {
+			if tx1.ReadKeys[j] != tx2.ReadKeys[j] {
+				t.Fatal("same seed should give same read keys")
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package wren
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func fastCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.ApplyInterval == 0 {
+		cfg.ApplyInterval = time.Millisecond
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = time.Millisecond
+	}
+	if cfg.InterDCLatency == 0 {
+		cfg.InterDCLatency = 3 * time.Millisecond
+	}
+	if cfg.GCInterval == 0 {
+		cfg.GCInterval = -1
+	}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cl := fastCluster(t, Config{NumDCs: 2, NumPartitions: 4})
+	client, err := cl.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tx, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("alice:friends", []byte("bob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("bob:friends", []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct == 0 {
+		t.Fatal("expected nonzero commit timestamp")
+	}
+
+	tx2, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx2.Read("alice:friends", "bob:friends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["alice:friends"]) != "bob" || string(got["bob:friends"]) != "alice" {
+		t.Fatalf("read back %v", got)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cl := fastCluster(t, Config{})
+	if cl.NumDCs() != 1 || cl.NumPartitions() != 1 {
+		t.Fatalf("defaults: %dx%d", cl.NumDCs(), cl.NumPartitions())
+	}
+}
+
+func TestAllProtocolsExposeSameAPI(t *testing.T) {
+	for _, proto := range []Protocol{Wren, Cure, HCure} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cl := fastCluster(t, Config{Protocol: proto, NumDCs: 1, NumPartitions: 2})
+			client, err := cl.ClientAt(0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			tx, err := client.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = tx.Write("k", []byte("v"))
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestClientAtValidation(t *testing.T) {
+	cl := fastCluster(t, Config{NumDCs: 1, NumPartitions: 2})
+	if _, err := cl.ClientAt(0, 5); err == nil {
+		t.Error("out-of-range coordinator should be rejected")
+	}
+}
+
+func TestVisibilityHelpers(t *testing.T) {
+	cl := fastCluster(t, Config{NumDCs: 2, NumPartitions: 2})
+	client, err := cl.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	tx, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Write("vis", []byte("v"))
+	ct, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !cl.LocalUpdateVisible(0, "vis", ct) {
+		if time.Now().After(deadline) {
+			t.Fatal("local visibility timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for !cl.RemoteUpdateVisible(1, "vis", 0, ct) {
+		if time.Now().After(deadline) {
+			t.Fatal("remote visibility timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPartitionToleranceThroughFacade(t *testing.T) {
+	cl := fastCluster(t, Config{NumDCs: 2, NumPartitions: 2})
+	client, err := cl.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cl.PartitionInterDCLink(0, 1, true)
+	tx, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Write("during-partition", []byte("v"))
+	ct, err := tx.Commit()
+	if err != nil {
+		t.Fatalf("commit during partition: %v", err)
+	}
+	cl.PartitionInterDCLink(0, 1, false)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !cl.RemoteUpdateVisible(1, "during-partition", 0, ct) {
+		if time.Now().After(deadline) {
+			t.Fatal("update never reached DC1 after heal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key%d", i)
+		p := PartitionOf(k, 8)
+		if p < 0 || p >= 8 {
+			t.Fatalf("partition out of range: %d", p)
+		}
+		if PartitionOf(k, 8) != p {
+			t.Fatal("PartitionOf not deterministic")
+		}
+	}
+}
