@@ -44,6 +44,7 @@ func run(args []string) error {
 		measure    = fs.Duration("measure", 4*time.Second, "measurement window per load point")
 		keys       = fs.Int("keys", 1000, "keys per partition")
 		skew       = fs.Duration("skew", 2*time.Millisecond, "max clock skew per server")
+		shards     = fs.Int("store-shards", 0, "version-store lock stripes per server (0 = default 64)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		quick      = fs.Bool("quick", false, "reduced topology and windows for a fast run")
 	)
@@ -63,6 +64,7 @@ func run(args []string) error {
 	o.Measure = *measure
 	o.KeysPerPartition = *keys
 	o.ClockSkew = *skew
+	o.StoreShards = *shards
 	o.Seed = *seed
 	var err error
 	o.Threads, err = parseThreads(*threads)

@@ -6,7 +6,8 @@
 //	    -listen 127.0.0.1:7000 -peers 0/0=127.0.0.1:7000,0/1=127.0.0.1:7001 &
 //	wren-server -dc 0 -partition 1 -dcs 1 -partitions 2 \
 //	    -listen 127.0.0.1:7001 -peers 0/0=127.0.0.1:7000,0/1=127.0.0.1:7001 &
-//	wren-cli -dcs 1 -partitions 2 -coordinator 127.0.0.1:7000
+//	wren-cli -dcs 1 -partitions 2 -coordinator 0 \
+//	    -peers 0/0=127.0.0.1:7000,0/1=127.0.0.1:7001
 //
 // The -peers list must name every partition of every DC as dc/partition=addr.
 // The -protocol flag selects wren (default), cure or hcure, so the same
@@ -49,6 +50,7 @@ func run(args []string) error {
 		applyMs    = fs.Duration("apply-interval", 5*time.Millisecond, "ΔR apply/replication period")
 		gossipMs   = fs.Duration("gossip-interval", 5*time.Millisecond, "ΔG stabilization period")
 		gcEvery    = fs.Duration("gc-interval", 500*time.Millisecond, "GC period (negative disables)")
+		shards     = fs.Int("store-shards", 0, "version-store lock stripes (0 = default 64, rounded up to a power of two)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +81,7 @@ func run(args []string) error {
 			ApplyInterval:  *applyMs,
 			GossipInterval: *gossipMs,
 			GCInterval:     *gcEvery,
+			StoreShards:    *shards,
 		})
 		if err != nil {
 			return err
@@ -94,6 +97,7 @@ func run(args []string) error {
 			ApplyInterval:  *applyMs,
 			GossipInterval: *gossipMs,
 			GCInterval:     *gcEvery,
+			StoreShards:    *shards,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,3 @@
+module wren
+
+go 1.24

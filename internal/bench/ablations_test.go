@@ -66,6 +66,13 @@ func TestGossipTopologyAblation(t *testing.T) {
 func TestSnapshotAgeAblation(t *testing.T) {
 	o := tinyOptions()
 	o.Measure = 600 * time.Millisecond
+	// Wren's snapshot age is ΔR (apply) plus a BiST round (ΔG); Cure's is
+	// only ΔR at the origin partition. With ΔG == ΔR the tickers, all
+	// started together, fire in near-lockstep and the extra gossip hop
+	// costs mere scheduling noise — the ordering assertion below would
+	// then compare sub-tick minutiae. Spreading the periods makes the
+	// structural difference dominate the measurement.
+	o.GossipInterval = 4 * o.ApplyInterval
 	rows, err := RunSnapshotAgeAblation(o)
 	if err != nil {
 		t.Fatal(err)

@@ -35,6 +35,9 @@ type Options struct {
 	GossipInterval time.Duration
 	// InterDCLatency is the uniform WAN latency for throughput figures.
 	InterDCLatency time.Duration
+	// StoreShards is the lock-stripe count of each server's version store
+	// (0 = store default).
+	StoreShards int
 	// Seed fixes randomness for reproducibility.
 	Seed int64
 }
@@ -79,6 +82,7 @@ func (o Options) clusterConfig(proto cluster.Protocol, dcs, partitions int) clus
 		ClockSkew:      o.ClockSkew,
 		ApplyInterval:  o.ApplyInterval,
 		GossipInterval: o.GossipInterval,
+		StoreShards:    o.StoreShards,
 		Seed:           o.Seed,
 	}
 }

@@ -80,6 +80,10 @@ type Config struct {
 	// GossipTree selects tree-based BiST aggregation on Wren servers
 	// instead of all-to-all broadcast (paper §IV-B).
 	GossipTree bool
+	// StoreShards is the number of lock stripes in each server's version
+	// store. Zero selects the store default (64); values are rounded up to
+	// a power of two.
+	StoreShards int
 	// Seed makes clock-skew assignment reproducible.
 	Seed int64
 	// RequestTimeout bounds client round trips. Zero selects 10s.
@@ -187,6 +191,7 @@ func New(cfg Config) (*Cluster, error) {
 					GCInterval:     cfg.GCInterval,
 					BlockingCommit: cfg.BlockingCommit,
 					GossipTree:     cfg.GossipTree,
+					StoreShards:    cfg.StoreShards,
 				})
 				if err != nil {
 					net.Close()
@@ -203,6 +208,7 @@ func New(cfg Config) (*Cluster, error) {
 					ApplyInterval:  cfg.ApplyInterval,
 					GossipInterval: cfg.GossipInterval,
 					GCInterval:     cfg.GCInterval,
+					StoreShards:    cfg.StoreShards,
 				})
 				if err != nil {
 					net.Close()

@@ -63,6 +63,10 @@ type ServerConfig struct {
 	// 2(N−1) messages per round instead of N(N−1), at the cost of one
 	// extra hop of staleness.
 	GossipTree bool
+	// StoreShards is the number of lock stripes in the version store.
+	// Zero selects store.DefaultShards; the value is rounded up to a power
+	// of two. More shards reduce lock contention on many-core machines.
+	StoreShards int
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -95,6 +99,9 @@ func (c *ServerConfig) validate() error {
 	}
 	if c.Network == nil {
 		return fmt.Errorf("core: network is required")
+	}
+	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
+		return fmt.Errorf("core: store shards %d out of range [0,%d]", c.StoreShards, store.MaxShards)
 	}
 	return nil
 }
@@ -142,6 +149,7 @@ type Metrics struct {
 	SlicesServed  stats.Counter
 	ReplTxApplied stats.Counter
 	GCRemoved     stats.Counter
+	GCKeysDropped stats.Counter
 	CtxExpired    stats.Counter
 }
 
@@ -189,7 +197,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:            cfg,
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
-		st:             store.New(),
+		st:             store.NewSharded(cfg.StoreShards),
 		vv:             make([]hlc.Timestamp, cfg.NumDCs),
 		prepared:       make(map[uint64]*preparedTx),
 		txCtx:          make(map[uint64]*txContext),
@@ -368,6 +376,10 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	}
 
 	groups := sharding.GroupByPartition(m.Keys, s.cfg.NumPartitions)
+	// Keys this partition owns are served locally with one batched store
+	// read instead of a self-addressed SliceReq round trip.
+	localKeys := groups[s.cfg.Partition]
+	delete(groups, s.cfg.Partition)
 	calls := make([]*sliceCall, 0, len(groups))
 	s.mu.Lock()
 	type out struct {
@@ -394,6 +406,10 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	// never blocked.
 	s.goAsync(func() {
 		resp := &wire.TxReadResp{ReqID: m.ReqID}
+		if len(localKeys) > 0 {
+			resp.Items = append(resp.Items, s.readSlice(localKeys, lt, rt)...)
+			s.metrics.SlicesServed.Inc()
+		}
 		for _, call := range calls {
 			select {
 			case sr := <-call.ch:
@@ -421,17 +437,25 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 	}
 	s.mu.Unlock()
 
-	visible := visibleFunc(uint8(s.cfg.DC), m.LT, m.RT)
-	items := make([]wire.Item, 0, len(m.Keys))
-	for _, k := range m.Keys {
-		if v := s.st.ReadVisible(k, visible); v != nil {
+	items := s.readSlice(m.Keys, m.LT, m.RT)
+	s.metrics.SlicesServed.Inc()
+	s.send(from, &wire.SliceResp{ReqID: m.ReqID, Items: items})
+}
+
+// readSlice resolves keys under the CANToR snapshot (lt, rt) with one
+// batched store pass: one read-lock acquisition per touched shard.
+func (s *Server) readSlice(keys []string, lt, rt hlc.Timestamp) []wire.Item {
+	visible := visibleFunc(uint8(s.cfg.DC), lt, rt)
+	vs := s.st.ReadVisibleBatch(keys, visible)
+	items := make([]wire.Item, 0, len(keys))
+	for i, v := range vs {
+		if v != nil {
 			items = append(items, wire.Item{
-				Key: k, Value: v.Value, UT: v.UT, RDT: v.RDT, TxID: v.TxID, SrcDC: v.SrcDC,
+				Key: keys[i], Value: v.Value, UT: v.UT, RDT: v.RDT, TxID: v.TxID, SrcDC: v.SrcDC,
 			})
 		}
 	}
-	s.metrics.SlicesServed.Inc()
-	s.send(from, &wire.SliceResp{ReqID: m.ReqID, Items: items})
+	return items
 }
 
 func (s *Server) handleSliceResp(m *wire.SliceResp) {
@@ -582,15 +606,17 @@ func (s *Server) handleCommitTx(m *wire.CommitTx) {
 // handleReplicate applies remotely committed transactions (Algorithm 4
 // lines 22–26). FIFO links guarantee commit-timestamp order per sender.
 func (s *Server) handleReplicate(m *wire.Replicate) {
+	var puts []store.KV
 	for i := range m.Txs {
 		t := &m.Txs[i]
 		for _, kv := range t.Writes {
-			s.st.Put(kv.Key, &store.Version{
+			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
 				Value: kv.Value, UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: m.SrcDC,
-			})
-			s.metrics.ReplTxApplied.Inc()
+			}})
 		}
 	}
+	s.st.PutBatch(puts)
+	s.metrics.ReplTxApplied.Add(uint64(len(puts)))
 	if len(m.Txs) == 0 {
 		return
 	}
@@ -741,9 +767,10 @@ func (s *Server) applyTick() {
 	s.mu.Unlock()
 
 	// Apply in commit-timestamp order, grouping equal timestamps into one
-	// replication message (Algorithm 4 lines 8–16). The store writes happen
-	// before vv[m] is published so no reader can observe a stable time
-	// whose versions are missing.
+	// replication message (Algorithm 4 lines 8–16). Each group's writes go
+	// through one shard-grouped PutBatch, and all writes happen before
+	// vv[m] is published so no reader can observe a stable time whose
+	// versions are missing.
 	sort.Slice(apply, func(i, j int) bool {
 		if apply[i].ct != apply[j].ct {
 			return apply[i].ct < apply[j].ct
@@ -754,17 +781,19 @@ func (s *Server) applyTick() {
 	for i := 0; i < len(apply); {
 		j := i
 		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition)}
+		var puts []store.KV
 		for ; j < len(apply) && apply[j].ct == apply[i].ct; j++ {
 			t := apply[j]
 			for _, kv := range t.writes {
-				s.st.Put(kv.Key, &store.Version{
+				puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
 					Value: kv.Value, UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
-				})
+				}})
 			}
 			batch.Txs = append(batch.Txs, wire.ReplTx{
 				TxID: t.txID, CT: t.ct, RST: t.rst, Writes: t.writes,
 			})
 		}
+		s.st.PutBatch(puts)
 		batches = append(batches, batch)
 		i = j
 	}
@@ -904,8 +933,12 @@ func (s *Server) gcTick() {
 	}
 
 	if threshold > 0 {
-		if removed := s.st.GC(threshold); removed > 0 {
-			s.metrics.GCRemoved.Add(uint64(removed))
+		res := s.st.GCStats(threshold)
+		if res.Removed > 0 {
+			s.metrics.GCRemoved.Add(uint64(res.Removed))
+		}
+		if res.DroppedKeys > 0 {
+			s.metrics.GCKeysDropped.Add(uint64(res.DroppedKeys))
 		}
 	}
 }

@@ -1,0 +1,33 @@
+package cure
+
+import (
+	"testing"
+
+	"wren/internal/store"
+	"wren/internal/transport"
+)
+
+func TestStoreShardsValidation(t *testing.T) {
+	net := transport.NewMemory(transport.UniformLatency(0, 0))
+	defer net.Close()
+	base := ServerConfig{DC: 0, Partition: 0, NumDCs: 1, NumPartitions: 1, Network: net}
+
+	cfg := base
+	cfg.StoreShards = -1
+	if _, err := NewServer(cfg); err == nil {
+		t.Error("negative StoreShards accepted")
+	}
+	cfg.StoreShards = store.MaxShards + 1
+	if _, err := NewServer(cfg); err == nil {
+		t.Error("oversized StoreShards accepted")
+	}
+
+	cfg.StoreShards = 16
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if got := srv.Store().NumShards(); got != 16 {
+		t.Errorf("NumShards = %d, want 16", got)
+	}
+}

@@ -39,6 +39,10 @@ type ServerConfig struct {
 	GossipInterval time.Duration
 	GCInterval     time.Duration
 	TxContextTTL   time.Duration
+	// StoreShards is the number of lock stripes in the version store.
+	// Zero selects store.DefaultShards; the value is rounded up to a power
+	// of two.
+	StoreShards int
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -71,6 +75,9 @@ func (c *ServerConfig) validate() error {
 	}
 	if c.Network == nil {
 		return fmt.Errorf("cure: network is required")
+	}
+	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
+		return fmt.Errorf("cure: store shards %d out of range [0,%d]", c.StoreShards, store.MaxShards)
 	}
 	return nil
 }
@@ -124,6 +131,7 @@ type Metrics struct {
 	BlockedMicros stats.Counter
 	ReplTxApplied stats.Counter
 	GCRemoved     stats.Counter
+	GCKeysDropped stats.Counter
 	CtxExpired    stats.Counter
 }
 
@@ -169,7 +177,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:            cfg,
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
-		st:             store.New(),
+		st:             store.NewSharded(cfg.StoreShards),
 		vv:             make([]hlc.Timestamp, cfg.NumDCs),
 		gsv:            make([]hlc.Timestamp, cfg.NumDCs),
 		peerVV:         make([][]hlc.Timestamp, cfg.NumPartitions),
@@ -415,11 +423,12 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 // vector is within the snapshot.
 func (s *Server) serveSlice(to transport.NodeID, reqID uint64, keys []string, sv []hlc.Timestamp, blocked time.Duration) {
 	visible := func(v *store.Version) bool { return leqAll(v.DV, sv) }
+	vs := s.st.ReadVisibleBatch(keys, visible)
 	items := make([]wire.Item, 0, len(keys))
-	for _, k := range keys {
-		if v := s.st.ReadVisible(k, visible); v != nil {
+	for i, v := range vs {
+		if v != nil {
 			items = append(items, wire.Item{
-				Key: k, Value: v.Value, UT: v.UT, TxID: v.TxID, SrcDC: v.SrcDC, DV: v.DV,
+				Key: keys[i], Value: v.Value, UT: v.UT, TxID: v.TxID, SrcDC: v.SrcDC, DV: v.DV,
 			})
 		}
 	}
@@ -572,15 +581,17 @@ func (s *Server) handleCommitTx(m *wire.CommitTx) {
 }
 
 func (s *Server) handleReplicate(m *wire.Replicate) {
+	var puts []store.KV
 	for i := range m.Txs {
 		t := &m.Txs[i]
 		for _, kv := range t.Writes {
-			s.st.Put(kv.Key, &store.Version{
+			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
 				Value: kv.Value, UT: t.CT, TxID: t.TxID, SrcDC: m.SrcDC, DV: t.DV,
-			})
-			s.metrics.ReplTxApplied.Inc()
+			}})
 		}
 	}
+	s.st.PutBatch(puts)
+	s.metrics.ReplTxApplied.Add(uint64(len(puts)))
 	if len(m.Txs) == 0 {
 		return
 	}
@@ -698,17 +709,19 @@ func (s *Server) applyTick(heartbeat bool) {
 	for i := 0; i < len(apply); {
 		j := i
 		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition)}
+		var puts []store.KV
 		for ; j < len(apply) && apply[j].ct == apply[i].ct; j++ {
 			t := apply[j]
 			for _, kv := range t.writes {
-				s.st.Put(kv.Key, &store.Version{
+				puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
 					Value: kv.Value, UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
-				})
+				}})
 			}
 			batch.Txs = append(batch.Txs, wire.ReplTx{
 				TxID: t.txID, CT: t.ct, RST: 0, DV: t.dv, Writes: t.writes,
 			})
 		}
+		s.st.PutBatch(puts)
 		batches = append(batches, batch)
 		i = j
 	}
@@ -833,8 +846,12 @@ func (s *Server) gcTick() {
 	}
 
 	if threshold > 0 {
-		if removed := s.st.GC(threshold); removed > 0 {
-			s.metrics.GCRemoved.Add(uint64(removed))
+		res := s.st.GCStats(threshold)
+		if res.Removed > 0 {
+			s.metrics.GCRemoved.Add(uint64(res.Removed))
+		}
+		if res.DroppedKeys > 0 {
+			s.metrics.GCKeysDropped.Add(uint64(res.DroppedKeys))
 		}
 	}
 }

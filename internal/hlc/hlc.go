@@ -19,6 +19,9 @@ const (
 	logicalBits = 16
 	// logicalMask extracts the logical counter.
 	logicalMask = (1 << logicalBits) - 1
+	// MaxPhysical is the largest physical component (in microseconds since
+	// Epoch) a Timestamp can carry: 2^48−1, about 8.9 years past Epoch.
+	MaxPhysical = int64(1)<<48 - 1
 )
 
 // Epoch is the zero point of the physical component of all timestamps.
@@ -31,10 +34,16 @@ var Epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
 type Timestamp uint64
 
 // New builds a Timestamp from a physical component (microseconds since
-// Epoch) and a logical counter.
+// Epoch) and a logical counter. Physical values outside [0, MaxPhysical]
+// saturate at the bounds: without the upper clamp a value ≥ 2^48 would
+// silently overflow into the logical bits and compare lower than earlier
+// timestamps, breaking HLC monotonicity.
 func New(physicalMicros int64, logical uint16) Timestamp {
 	if physicalMicros < 0 {
 		physicalMicros = 0
+	}
+	if physicalMicros > MaxPhysical {
+		physicalMicros = MaxPhysical
 	}
 	return Timestamp(uint64(physicalMicros)<<logicalBits | uint64(logical))
 }

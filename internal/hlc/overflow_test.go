@@ -1,0 +1,59 @@
+package hlc
+
+import (
+	"testing"
+	"time"
+)
+
+// The physical field is 48 bits wide. Before the saturation guard, a
+// physical value of exactly 2^48 shifted into oblivion and produced a
+// timestamp SMALLER than one built from 2^48−1 — time appearing to run
+// backwards once the epoch budget is exhausted (late 2028 for the 2020
+// Epoch). New must saturate instead.
+func TestNewSaturatesAtPhysicalBound(t *testing.T) {
+	atMax := New(MaxPhysical, 0)
+	if atMax.Physical() != MaxPhysical {
+		t.Fatalf("Physical() = %d, want %d", atMax.Physical(), MaxPhysical)
+	}
+
+	cases := []int64{
+		MaxPhysical + 1, // 2^48: previously overflowed to logical bits
+		MaxPhysical + 12345,
+		int64(1) << 50,
+		int64(1)<<62 + 7,
+	}
+	for _, phys := range cases {
+		got := New(phys, 3)
+		if got.Physical() != MaxPhysical {
+			t.Errorf("New(%d, 3).Physical() = %d, want saturation at %d", phys, got.Physical(), MaxPhysical)
+		}
+		if got.Logical() != 3 {
+			t.Errorf("New(%d, 3).Logical() = %d, want 3 (logical bits must stay intact)", phys, got.Logical())
+		}
+		if got < atMax {
+			t.Errorf("New(%d, 3) = %v sorts before New(MaxPhysical, 0) = %v: time ran backwards", phys, got, atMax)
+		}
+	}
+
+	// Monotonicity across the boundary: a later physical reading must never
+	// produce a smaller timestamp than an earlier one.
+	before := New(MaxPhysical-1, 0xffff)
+	after := New(MaxPhysical+1, 0)
+	if after < before {
+		t.Errorf("timestamp went backwards across the 48-bit boundary: %v < %v", after, before)
+	}
+}
+
+func TestFromTimeSaturatesFarFuture(t *testing.T) {
+	// ~292 years past Epoch: far beyond the 48-bit budget.
+	farFuture := Epoch.Add(time.Duration(1<<63 - 1))
+	ts := FromTime(farFuture)
+	if ts.Physical() != MaxPhysical {
+		t.Errorf("FromTime(far future).Physical() = %d, want %d", ts.Physical(), MaxPhysical)
+	}
+	// And the ordinary present still round-trips exactly.
+	now := Epoch.Add(42 * time.Hour)
+	if got := FromTime(now).Time(); !got.Equal(now) {
+		t.Errorf("FromTime round trip = %v, want %v", got, now)
+	}
+}

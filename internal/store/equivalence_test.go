@@ -1,0 +1,193 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wren/internal/hlc"
+)
+
+// TestShardedEquivalentToReference drives the sharded store with many
+// concurrent writers (a mix of Put and PutBatch) while readers and GC race
+// against them, then replays the same operations sequentially into the
+// single-map reference engine and compares: Latest for every key, and
+// ReadVisible at snapshot cutoffs at or above the highest GC threshold (GC
+// only promises to preserve reads at snapshots ≥ its threshold). Run under
+// -race this doubles as the main concurrency stress for the shard striping.
+func TestShardedEquivalentToReference(t *testing.T) {
+	const (
+		numKeys    = 97 // spread over many shards, prime to avoid aliasing
+		numOps     = 4096
+		numWriters = 8
+		gcMax      = int64(60)
+		maxUT      = int64(100)
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	type op struct {
+		key string
+		v   *Version
+	}
+	ops := make([]op, numOps)
+	for i := range ops {
+		ops[i] = op{
+			key: fmt.Sprintf("key-%d", rng.Intn(numKeys)),
+			v: &Version{
+				Value: []byte(fmt.Sprintf("v%d", i)),
+				UT:    hlc.New(rng.Int63n(maxUT)+1, uint16(rng.Intn(4))),
+				TxID:  uint64(i), // unique: makes LWW order total
+				SrcDC: uint8(rng.Intn(3)),
+			},
+		}
+	}
+
+	sharded := NewSharded(16)
+
+	// Concurrent phase: writers apply disjoint stripes of ops, half via
+	// PutBatch; readers and incremental GC race with them until the last
+	// writer drains.
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < numWriters; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			var batch []KV
+			for i := w; i < numOps; i += numWriters {
+				if i%2 == 0 {
+					sharded.Put(ops[i].key, ops[i].v)
+				} else {
+					batch = append(batch, KV{Key: ops[i].key, Version: ops[i].v})
+					if len(batch) == 8 {
+						sharded.PutBatch(batch)
+						batch = nil
+					}
+				}
+			}
+			sharded.PutBatch(batch)
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			keys := make([]string, 4)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					keys[i] = fmt.Sprintf("key-%d", rng.Intn(numKeys))
+				}
+				cutoff := hlc.New(rng.Int63n(maxUT)+1, 0xffff)
+				_ = sharded.ReadVisibleBatch(keys, func(v *Version) bool { return v.UT <= cutoff })
+				_ = sharded.Latest(keys[0])
+				_ = sharded.GC(hlc.New(rng.Int63n(gcMax), 0))
+			}
+		}(r)
+	}
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Quiesce: one final GC at the highest threshold used during the race,
+	// mirrored on the reference engine below.
+	gcAt := hlc.New(gcMax, 0)
+	sharded.GC(gcAt)
+
+	ref := newGlobalLockStore()
+	for _, o := range ops {
+		ref.Put(o.key, o.v)
+	}
+	ref.GC(gcAt)
+
+	sameVersion := func(a, b *Version) bool {
+		if a == nil || b == nil {
+			return a == b
+		}
+		return string(a.Value) == string(b.Value) && a.UT == b.UT &&
+			a.TxID == b.TxID && a.SrcDC == b.SrcDC
+	}
+
+	for k := 0; k < numKeys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		if got, want := sharded.Latest(key), ref.Latest(key); !sameVersion(got, want) {
+			t.Fatalf("Latest(%s): sharded %v, reference %v", key, got, want)
+		}
+		// Snapshot reads at cutoffs >= the GC threshold must agree exactly.
+		for trial := 0; trial < 8; trial++ {
+			cutoff := hlc.New(gcMax+rng.Int63n(maxUT-gcMax+1), 0xffff)
+			pred := func(v *Version) bool { return v.UT <= cutoff }
+			got := sharded.ReadVisible(key, pred)
+			want := ref.ReadVisible(key, pred)
+			if !sameVersion(got, want) {
+				t.Fatalf("ReadVisible(%s, ≤%v): sharded %v, reference %v", key, cutoff, got, want)
+			}
+		}
+	}
+
+	// The batched read path must agree with the reference too.
+	allKeys := make([]string, numKeys)
+	for k := range allKeys {
+		allKeys[k] = fmt.Sprintf("key-%d", k)
+	}
+	all := func(*Version) bool { return true }
+	batch := sharded.ReadVisibleBatch(allKeys, all)
+	for i, key := range allKeys {
+		if want := ref.ReadVisible(key, all); !sameVersion(batch[i], want) {
+			t.Fatalf("ReadVisibleBatch[%s]: sharded %v, reference %v", key, batch[i], want)
+		}
+	}
+}
+
+// TestShardedEquivalenceProperty replays short random histories on both
+// engines sequentially — including tombstones — and checks reads agree at
+// every cutoff, and GC removal counts match.
+func TestShardedEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		sharded := NewSharded(8)
+		ref := newGlobalLockStore()
+		nOps := 1 + rng.Intn(64)
+		for i := 0; i < nOps; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(8))
+			var val []byte
+			if rng.Intn(8) != 0 { // 1-in-8 writes a tombstone
+				val = []byte(fmt.Sprintf("v%d", i))
+			}
+			v := &Version{Value: val, UT: hlc.New(rng.Int63n(30)+1, 0), TxID: uint64(i), SrcDC: uint8(rng.Intn(2))}
+			sharded.Put(key, v)
+			ref.Put(key, &Version{Value: v.Value, UT: v.UT, TxID: v.TxID, SrcDC: v.SrcDC})
+		}
+		gcAt := hlc.New(rng.Int63n(35), 0)
+		if got, want := sharded.GC(gcAt), ref.GC(gcAt); got != want {
+			t.Fatalf("trial %d: GC(%v) removed %d, reference removed %d", trial, gcAt, got, want)
+		}
+		for cut := int64(0); cut <= 35; cut++ {
+			if cut < gcAt.Physical() {
+				continue // below the GC threshold reads may legitimately differ
+			}
+			cutoff := hlc.New(cut, 0xffff)
+			pred := func(v *Version) bool { return v.UT <= cutoff }
+			for k := 0; k < 8; k++ {
+				key := fmt.Sprintf("k%d", k)
+				got, want := sharded.ReadVisible(key, pred), ref.ReadVisible(key, pred)
+				gotNil, wantNil := got == nil, want == nil
+				if gotNil != wantNil {
+					t.Fatalf("trial %d: ReadVisible(%s, ≤%d) nil mismatch: sharded %v, reference %v",
+						trial, key, cut, got, want)
+				}
+				if !gotNil && (string(got.Value) != string(want.Value) || got.UT != want.UT || got.TxID != want.TxID) {
+					t.Fatalf("trial %d: ReadVisible(%s, ≤%d): sharded %v, reference %v",
+						trial, key, cut, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"sync"
+
+	"wren/internal/hlc"
+)
+
+// engine is the surface shared by the sharded store and the reference
+// engine, so equivalence tests and benchmarks can run either.
+type engine interface {
+	Put(key string, v *Version)
+	ReadVisible(key string, visible VisibleFunc) *Version
+	Latest(key string) *Version
+	GC(oldest hlc.Timestamp) int
+}
+
+var (
+	_ engine = (*Store)(nil)
+	_ engine = (*globalLockStore)(nil)
+)
+
+// globalLockStore is the seed storage engine: one RWMutex over a single
+// chain map, so every operation across all keys serializes on one lock and
+// GC is stop-the-world. It is kept as the behavioral reference model and as
+// the baseline in the parallel benchmarks.
+type globalLockStore struct {
+	mu     sync.RWMutex
+	chains map[string][]*Version
+}
+
+func newGlobalLockStore() *globalLockStore {
+	return &globalLockStore{chains: make(map[string][]*Version)}
+}
+
+func (s *globalLockStore) Put(key string, v *Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chains[key] = insertLocked(s.chains[key], v)
+}
+
+func (s *globalLockStore) ReadVisible(key string, visible VisibleFunc) *Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return readVisibleChain(s.chains[key], visible)
+}
+
+func (s *globalLockStore) Latest(key string) *Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[key]
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain[len(chain)-1]
+}
+
+func (s *globalLockStore) GC(oldest hlc.Timestamp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for key, chain := range s.chains {
+		keepFrom := -1
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].UT <= oldest {
+				keepFrom = i
+				break
+			}
+		}
+		if keepFrom >= 0 && keepFrom == len(chain)-1 && chain[keepFrom].Value == nil {
+			removed += len(chain)
+			delete(s.chains, key)
+			continue
+		}
+		if keepFrom <= 0 {
+			continue
+		}
+		removed += keepFrom
+		newChain := make([]*Version, len(chain)-keepFrom)
+		copy(newChain, chain[keepFrom:])
+		s.chains[key] = newChain
+	}
+	return removed
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"wren/internal/hlc"
+)
+
+func TestNewShardedRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, DefaultShards},
+		{-5, DefaultShards},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{64, 64},
+		{100, 128},
+		{MaxShards, MaxShards},
+		{MaxShards + 1, MaxShards},
+	}
+	for _, c := range cases {
+		if got := NewSharded(c.in).NumShards(); got != c.want {
+			t.Errorf("NewSharded(%d).NumShards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := New().NumShards(); got != DefaultShards {
+		t.Errorf("New().NumShards() = %d, want %d", got, DefaultShards)
+	}
+}
+
+func TestPutBatchKeepsLWWOrder(t *testing.T) {
+	s := NewSharded(4)
+	// Scrambled timestamps across keys that land in different shards.
+	var batch []KV
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i%8)
+		batch = append(batch, KV{Key: key, Version: ver(int64(37*i%50+1), 0, uint64(i), fmt.Sprintf("v%d", i))})
+	}
+	s.PutBatch(batch)
+	if got := s.Versions(); got != 32 {
+		t.Fatalf("Versions = %d, want 32", got)
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		// Latest must be the LWW-max of the versions written to this key.
+		var want *Version
+		for _, kv := range batch {
+			if kv.Key == key && (want == nil || want.Less(kv.Version)) {
+				want = kv.Version
+			}
+		}
+		if got := s.Latest(key); got != want {
+			t.Errorf("Latest(%s) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestReadVisibleBatchAlignment(t *testing.T) {
+	s := New()
+	s.Put("a", ver(10, 0, 1, "va"))
+	s.Put("c", ver(20, 0, 2, "vc"))
+	got := s.ReadVisibleBatch([]string{"a", "missing", "c", "a"}, all)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	if got[0] == nil || string(got[0].Value) != "va" {
+		t.Errorf("got[0] = %v, want va", got[0])
+	}
+	if got[1] != nil {
+		t.Errorf("got[1] = %v, want nil for missing key", got[1])
+	}
+	if got[2] == nil || string(got[2].Value) != "vc" {
+		t.Errorf("got[2] = %v, want vc", got[2])
+	}
+	if got[3] == nil || string(got[3].Value) != "va" {
+		t.Errorf("got[3] = %v, want va (duplicate key)", got[3])
+	}
+	// Predicate filtering applies per entry.
+	upTo15 := func(v *Version) bool { return v.UT <= hlc.New(15, 0) }
+	got = s.ReadVisibleBatch([]string{"a", "c"}, upTo15)
+	if got[0] == nil || got[1] != nil {
+		t.Errorf("snapshot batch = %v, want [va, nil]", got)
+	}
+	if n := len(s.ReadVisibleBatch(nil, all)); n != 0 {
+		t.Errorf("empty batch returned %d entries", n)
+	}
+}
+
+func TestGCStatsPerShardCountsSumToRemoved(t *testing.T) {
+	s := NewSharded(8)
+	for k := 0; k < 50; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		for v := 1; v <= 5; v++ {
+			s.Put(key, ver(int64(v), 0, uint64(k*10+v), "v"))
+		}
+	}
+	res := s.GCStats(hlc.New(10, 0))
+	if res.Removed != 50*4 {
+		t.Errorf("Removed = %d, want %d", res.Removed, 50*4)
+	}
+	if len(res.PerShard) != s.NumShards() {
+		t.Fatalf("PerShard has %d entries, want %d", len(res.PerShard), s.NumShards())
+	}
+	sum := 0
+	for _, n := range res.PerShard {
+		sum += n
+	}
+	if sum != res.Removed {
+		t.Errorf("sum(PerShard) = %d, want Removed = %d", sum, res.Removed)
+	}
+	if res.DroppedKeys != 0 {
+		t.Errorf("DroppedKeys = %d, want 0 (no tombstones)", res.DroppedKeys)
+	}
+}
+
+func TestGCDropsStableTombstonedKeys(t *testing.T) {
+	s := New()
+	s.Put("dead", ver(10, 0, 1, "x"))
+	s.Put("dead", &Version{Value: nil, UT: hlc.New(20, 0), TxID: 2}) // tombstone
+	s.Put("live", ver(10, 0, 3, "y"))
+
+	// Below the tombstone nothing may be dropped: a snapshot at 15 must
+	// still read "x".
+	res := s.GCStats(hlc.New(15, 0))
+	if res.DroppedKeys != 0 {
+		t.Fatalf("premature drop: %+v", res)
+	}
+	upTo15 := func(v *Version) bool { return v.UT <= hlc.New(15, 0) }
+	if got := s.ReadVisible("dead", upTo15); got == nil || string(got.Value) != "x" {
+		t.Fatalf("snapshot(15) of dead = %v, want x", got)
+	}
+
+	// Once the tombstone is the stable base, the whole chain goes away.
+	res = s.GCStats(hlc.New(25, 0))
+	if res.DroppedKeys != 1 {
+		t.Errorf("DroppedKeys = %d, want 1", res.DroppedKeys)
+	}
+	if res.Removed != 2 {
+		t.Errorf("Removed = %d, want 2 (value + tombstone)", res.Removed)
+	}
+	if s.Keys() != 1 {
+		t.Errorf("Keys = %d, want 1 (only live)", s.Keys())
+	}
+	if got := s.ReadVisible("dead", all); got != nil {
+		t.Errorf("dead key still readable: %v", got)
+	}
+	if got := s.Latest("live"); got == nil || string(got.Value) != "y" {
+		t.Errorf("live key lost: %v", got)
+	}
+
+	// A tombstone shadowed by a newer live write must never cause a drop.
+	s.Put("reborn", &Version{Value: nil, UT: hlc.New(10, 0), TxID: 4})
+	s.Put("reborn", ver(20, 0, 5, "z"))
+	res = s.GCStats(hlc.New(30, 0))
+	if res.DroppedKeys != 0 {
+		t.Errorf("reborn dropped: %+v", res)
+	}
+	if got := s.Latest("reborn"); got == nil || string(got.Value) != "z" {
+		t.Errorf("reborn = %v, want z", got)
+	}
+}
+
+func TestForEachKeyMayReenterStore(t *testing.T) {
+	s := New()
+	s.Put("a", ver(1, 0, 1, "x"))
+	s.Put("b", ver(1, 0, 2, "y"))
+	seen := map[string]int{}
+	s.ForEachKey(func(k string) {
+		// Callbacks run without shard locks held, so reads are legal here.
+		seen[k] = s.VersionsOf(k)
+	})
+	if len(seen) != 2 || seen["a"] != 1 || seen["b"] != 1 {
+		t.Errorf("ForEachKey visited %v", seen)
+	}
+}
+
+func TestKeysSpreadAcrossShards(t *testing.T) {
+	s := NewSharded(16)
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), ver(1, 0, uint64(i), "v"))
+	}
+	touched := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		if len(s.shards[i].chains) > 0 {
+			touched++
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	// FNV-1a over 1000 keys must not degenerate onto a few stripes.
+	if touched < 12 {
+		t.Errorf("only %d/16 shards used by 1000 keys", touched)
+	}
+}

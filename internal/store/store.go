@@ -6,6 +6,12 @@
 // Conflicting writes are ordered by the last-writer-wins rule on the update
 // timestamp, with ties settled by the originating DC and transaction id
 // (paper §II-C).
+//
+// The engine is lock-striped: keys are spread over a power-of-two number of
+// shards by an FNV-1a fingerprint, each shard guarded by its own RWMutex.
+// Hot-path batch operations (PutBatch, ReadVisibleBatch) take one lock
+// acquisition per touched shard instead of one per version, and GC walks
+// one shard at a time so it never stops the world.
 package store
 
 import (
@@ -14,8 +20,22 @@ import (
 	"wren/internal/hlc"
 )
 
+// DefaultShards is the shard count used by New. 64 shards keep lock
+// contention negligible up to several dozen cores while costing ~4KiB of
+// fixed overhead per store.
+const DefaultShards = 64
+
+// MaxShards bounds configurable shard counts; beyond this the per-shard
+// fixed cost outweighs any conceivable contention win.
+const MaxShards = 1 << 16
+
 // Version is one version of a key. UT and RDT are the two BDT scalars; DV
 // is only populated by the Cure/H-Cure baselines (one entry per DC).
+//
+// A Version with a nil Value is a tombstone: readers receive it like any
+// other version (callers treat nil Value as absence), and GC drops a chain
+// entirely once a tombstone is its only surviving version, so deleted keys
+// do not stay resident forever.
 type Version struct {
 	Value []byte
 	UT    hlc.Timestamp // update (commit) timestamp — local dependency summary
@@ -40,25 +60,91 @@ func (v *Version) Less(o *Version) bool {
 // VisibleFunc decides whether a version belongs to a snapshot.
 type VisibleFunc func(*Version) bool
 
-// Store holds the version chains of one partition. It is safe for
-// concurrent use.
-type Store struct {
+// KV pairs a key with a version for batched writes.
+type KV struct {
+	Key     string
+	Version *Version
+}
+
+// GCResult reports what one garbage-collection pass removed.
+type GCResult struct {
+	// Removed is the total number of versions removed.
+	Removed int
+	// DroppedKeys is the number of keys whose chains were deleted entirely
+	// (tombstoned keys whose deletion became stable).
+	DroppedKeys int
+	// PerShard holds the number of versions removed in each shard, so
+	// callers aggregating GC metrics incrementally stay accurate.
+	PerShard []int
+}
+
+// shard is one stripe of the store. The padding rounds the struct up to 64
+// bytes (RWMutex 24 + map header 8 + pad 32) so that in the shards array
+// lock traffic on one stripe does not false-share a cache line with its
+// neighbours.
+type shard struct {
 	mu     sync.RWMutex
 	chains map[string][]*Version // sorted ascending by Less (newest last)
+	_      [64 - 24 - 8]byte
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{chains: make(map[string][]*Version)}
+// Store holds the version chains of one partition, striped over a
+// power-of-two number of shards. It is safe for concurrent use; operations
+// on keys in different shards do not contend.
+type Store struct {
+	shards []shard
+	mask   uint32
 }
 
-// Put inserts a new version into the chain of key, keeping the chain
-// sorted in last-writer-wins order. Inserts are typically near the tail,
-// so the scan from the end is effectively O(1).
-func (s *Store) Put(key string, v *Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	chain := s.chains[key]
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store with at least n shards, rounded up to
+// the next power of two for mask-based indexing. n <= 0 selects
+// DefaultShards; n above MaxShards is capped.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range s.shards {
+		s.shards[i].chains = make(map[string][]*Version)
+	}
+	return s
+}
+
+// NumShards returns the number of shards (a power of two).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// fnv1a fingerprints a key without allocating (hash/fnv would force the
+// string through a []byte conversion and an interface call per byte chunk).
+func fnv1a(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (s *Store) shardOf(key string) *shard {
+	return &s.shards[fnv1a(key)&s.mask]
+}
+
+// insertLocked splices v into chain keeping last-writer-wins order. Inserts
+// are typically near the tail, so the scan from the end is effectively O(1).
+func insertLocked(chain []*Version, v *Version) []*Version {
 	i := len(chain)
 	for i > 0 && v.Less(chain[i-1]) {
 		i--
@@ -66,15 +152,61 @@ func (s *Store) Put(key string, v *Version) {
 	chain = append(chain, nil)
 	copy(chain[i+1:], chain[i:])
 	chain[i] = v
-	s.chains[key] = chain
+	return chain
+}
+
+// Put inserts a new version into the chain of key, keeping the chain
+// sorted in last-writer-wins order.
+func (s *Store) Put(key string, v *Version) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	sh.chains[key] = insertLocked(sh.chains[key], v)
+	sh.mu.Unlock()
+}
+
+// PutBatch inserts many versions, grouping keys by shard so each touched
+// shard's lock is acquired exactly once. This is the write hot path for
+// commit application and replicated-update batches.
+func (s *Store) PutBatch(kvs []KV) {
+	switch len(kvs) {
+	case 0:
+		return
+	case 1:
+		s.Put(kvs[0].Key, kvs[0].Version)
+		return
+	}
+	ids := make([]uint32, len(kvs))
+	for i := range kvs {
+		ids[i] = fnv1a(kvs[i].Key) & s.mask
+	}
+	done := make([]bool, len(kvs))
+	for i := range kvs {
+		if done[i] {
+			continue
+		}
+		sh := &s.shards[ids[i]]
+		sh.mu.Lock()
+		for j := i; j < len(kvs); j++ {
+			if !done[j] && ids[j] == ids[i] {
+				sh.chains[kvs[j].Key] = insertLocked(sh.chains[kvs[j].Key], kvs[j].Version)
+				done[j] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // ReadVisible returns the freshest version of key that satisfies visible
 // (Alg. 3 lines 6–10), or nil if no version is visible.
 func (s *Store) ReadVisible(key string, visible VisibleFunc) *Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chain := s.chains[key]
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	v := readVisibleChain(sh.chains[key], visible)
+	sh.mu.RUnlock()
+	return v
+}
+
+func readVisibleChain(chain []*Version, visible VisibleFunc) *Version {
 	for i := len(chain) - 1; i >= 0; i-- {
 		if visible(chain[i]) {
 			return chain[i]
@@ -83,13 +215,49 @@ func (s *Store) ReadVisible(key string, visible VisibleFunc) *Version {
 	return nil
 }
 
+// ReadVisibleBatch resolves many keys under one snapshot predicate, taking
+// each touched shard's read lock exactly once. The result is aligned with
+// keys; entries are nil where no version is visible. This is the read hot
+// path for transactional slice requests.
+func (s *Store) ReadVisibleBatch(keys []string, visible VisibleFunc) []*Version {
+	out := make([]*Version, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	if len(keys) == 1 {
+		out[0] = s.ReadVisible(keys[0], visible)
+		return out
+	}
+	ids := make([]uint32, len(keys))
+	for i, k := range keys {
+		ids[i] = fnv1a(k) & s.mask
+	}
+	done := make([]bool, len(keys))
+	for i := range keys {
+		if done[i] {
+			continue
+		}
+		sh := &s.shards[ids[i]]
+		sh.mu.RLock()
+		for j := i; j < len(keys); j++ {
+			if !done[j] && ids[j] == ids[i] {
+				out[j] = readVisibleChain(sh.chains[keys[j]], visible)
+				done[j] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // Latest returns the newest version of key under last-writer-wins order
 // regardless of visibility, or nil if the key has never been written. Used
 // by convergence checks.
 func (s *Store) Latest(key string) *Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chain := s.chains[key]
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
 	if len(chain) == 0 {
 		return nil
 	}
@@ -97,69 +265,105 @@ func (s *Store) Latest(key string) *Version {
 }
 
 // GC prunes version chains against the oldest snapshot visible to any
+// running transaction (paper §IV-B) and returns the number of versions
+// removed. See GCStats for the full accounting.
+func (s *Store) GC(oldest hlc.Timestamp) int {
+	return s.GCStats(oldest).Removed
+}
+
+// GCStats prunes version chains against the oldest snapshot visible to any
 // running transaction (paper §IV-B): for every key it keeps all versions
 // newer than oldest plus the newest version with UT ≤ oldest (the version
-// a transaction reading at that snapshot would return). It returns the
-// number of versions removed.
-func (s *Store) GC(oldest hlc.Timestamp) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	removed := 0
-	for key, chain := range s.chains {
-		// Find the newest version with UT <= oldest.
-		keepFrom := -1
-		for i := len(chain) - 1; i >= 0; i-- {
-			if chain[i].UT <= oldest {
-				keepFrom = i
-				break
+// a transaction reading at that snapshot would return). A chain whose only
+// surviving version is a tombstone with UT ≤ oldest is dropped entirely, so
+// deleted keys do not stay resident forever.
+//
+// The pass is incremental: it holds at most one shard lock at a time, so
+// reads and writes on other shards proceed concurrently with collection.
+func (s *Store) GCStats(oldest hlc.Timestamp) GCResult {
+	res := GCResult{PerShard: make([]int, len(s.shards))}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for key, chain := range sh.chains {
+			// Find the newest version with UT <= oldest.
+			keepFrom := -1
+			for i := len(chain) - 1; i >= 0; i-- {
+				if chain[i].UT <= oldest {
+					keepFrom = i
+					break
+				}
 			}
+			if keepFrom >= 0 && keepFrom == len(chain)-1 && chain[keepFrom].Value == nil {
+				// The stable snapshot base is a tombstone and nothing newer
+				// exists: every reader would see "not found" anyway.
+				res.PerShard[si] += len(chain)
+				res.DroppedKeys++
+				delete(sh.chains, key)
+				continue
+			}
+			if keepFrom <= 0 {
+				continue // nothing older than the base to prune
+			}
+			res.PerShard[si] += keepFrom
+			newChain := make([]*Version, len(chain)-keepFrom)
+			copy(newChain, chain[keepFrom:])
+			sh.chains[key] = newChain
 		}
-		if keepFrom <= 0 {
-			continue // nothing older than the base to prune
-		}
-		removed += keepFrom
-		newChain := make([]*Version, len(chain)-keepFrom)
-		copy(newChain, chain[keepFrom:])
-		s.chains[key] = newChain
+		res.Removed += res.PerShard[si]
+		sh.mu.Unlock()
 	}
-	return removed
+	return res
 }
 
 // Keys returns the number of keys with at least one version.
 func (s *Store) Keys() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.chains)
+	n := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		n += len(sh.chains)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Versions returns the total number of stored versions across all keys.
 func (s *Store) Versions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, chain := range s.chains {
-		n += len(chain)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, chain := range sh.chains {
+			n += len(chain)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // VersionsOf returns the number of versions currently stored for key.
 func (s *Store) VersionsOf(key string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.chains[key])
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.chains[key])
 }
 
 // ForEachKey calls fn for every key in the store. Iteration order is
-// unspecified. fn must not call back into the store.
+// unspecified; keys are snapshotted one shard at a time, so fn runs without
+// any shard lock held and may call back into the store.
 func (s *Store) ForEachKey(fn func(key string)) {
-	s.mu.RLock()
-	keys := make([]string, 0, len(s.chains))
-	for k := range s.chains {
-		keys = append(keys, k)
-	}
-	s.mu.RUnlock()
-	for _, k := range keys {
-		fn(k)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		keys := make([]string, 0, len(sh.chains))
+		for k := range sh.chains {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			fn(k)
+		}
 	}
 }

@@ -95,6 +95,10 @@ type Config struct {
 	// GCInterval is the version garbage-collection period (default 500ms;
 	// negative disables).
 	GCInterval time.Duration
+	// StoreShards is the number of lock stripes in each partition server's
+	// version store (default 64, rounded up to a power of two). Raise it on
+	// many-core machines to reduce lock contention on the storage hot path.
+	StoreShards int
 	// Seed fixes the clock-skew assignment for reproducibility.
 	Seed int64
 }
@@ -132,6 +136,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		ApplyInterval:   cfg.ApplyInterval,
 		GossipInterval:  cfg.GossipInterval,
 		GCInterval:      cfg.GCInterval,
+		StoreShards:     cfg.StoreShards,
 		Seed:            cfg.Seed,
 	})
 	if err != nil {
