@@ -45,6 +45,9 @@ func run(args []string) error {
 		keys       = fs.Int("keys", 1000, "keys per partition")
 		skew       = fs.Duration("skew", 2*time.Millisecond, "max clock skew per server")
 		shards     = fs.Int("store-shards", 0, "version-store lock stripes per server (0 = default 64)")
+		storeBack  = fs.String("store-backend", "memory", "storage engine: memory or wal")
+		dataDir    = fs.String("data-dir", "", "root data directory for the wal backend; each benchmark cluster uses a fresh subdirectory (empty = per-cluster temp dir)")
+		fsync      = fs.String("fsync", "", "wal fsync policy: always, interval (default) or never")
 		seed       = fs.Int64("seed", 1, "random seed")
 		quick      = fs.Bool("quick", false, "reduced topology and windows for a fast run")
 	)
@@ -65,6 +68,9 @@ func run(args []string) error {
 	o.KeysPerPartition = *keys
 	o.ClockSkew = *skew
 	o.StoreShards = *shards
+	o.StoreBackend = *storeBack
+	o.DataDir = *dataDir
+	o.FsyncPolicy = *fsync
 	o.Seed = *seed
 	var err error
 	o.Threads, err = parseThreads(*threads)

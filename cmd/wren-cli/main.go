@@ -7,9 +7,11 @@
 //
 //	get <key>...            one-shot read-only transaction
 //	put <key> <value>...    one-shot write transaction (pairs)
+//	del <key>...            one-shot delete transaction (tombstones)
 //	begin                   start an interactive transaction
 //	read <key>...           read within the open transaction
 //	write <key> <value>     buffer a write in the open transaction
+//	delete <key>            buffer a delete in the open transaction
 //	commit                  commit the open transaction
 //	abort                   abort the open transaction
 //	quit
@@ -100,11 +102,25 @@ func repl(client *core.Client, in io.Reader, out io.Writer) error {
 		case "quit", "exit":
 			return nil
 		case "help":
-			fmt.Fprintln(out, "commands: get put begin read write commit abort quit")
+			fmt.Fprintln(out, "commands: get put del begin read write delete commit abort quit")
 		case "get":
 			oneShotRead(client, out, rest)
 		case "put":
 			oneShotWrite(client, out, rest)
+		case "del":
+			oneShotDelete(client, out, rest)
+		case "delete":
+			if tx == nil {
+				fmt.Fprintln(out, "error: no open transaction (use begin, or del)")
+				break
+			}
+			if len(rest) != 1 {
+				fmt.Fprintln(out, "usage: delete <key>")
+				break
+			}
+			if err := tx.Delete(rest[0]); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
 		case "begin":
 			if tx != nil {
 				fmt.Fprintln(out, "error: transaction already open")
@@ -214,6 +230,31 @@ func oneShotWrite(client *core.Client, out io.Writer, kvs []string) {
 		return
 	}
 	fmt.Fprintf(out, "committed at %v\n", ct)
+}
+
+func oneShotDelete(client *core.Client, out io.Writer, keys []string) {
+	if len(keys) == 0 {
+		fmt.Fprintln(out, "usage: del <key>...")
+		return
+	}
+	tx, err := client.Begin()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	for _, k := range keys {
+		if err := tx.Delete(k); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			_ = tx.Abort()
+			return
+		}
+	}
+	ct, err := tx.Commit()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "deleted at %v\n", ct)
 }
 
 func printRead(out io.Writer, got map[string][]byte, err error) {

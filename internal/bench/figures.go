@@ -2,7 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"wren/internal/cluster"
@@ -38,6 +41,16 @@ type Options struct {
 	// StoreShards is the lock-stripe count of each server's version store
 	// (0 = store default).
 	StoreShards int
+	// StoreBackend selects the servers' storage engine ("" or "memory",
+	// or "wal" for the durable per-shard log engine).
+	StoreBackend string
+	// DataDir is the root data directory for durable backends; every
+	// cluster a run builds gets its own cluster-<n> subdirectory so no
+	// load point recovers a previous one's data. Empty selects a
+	// per-cluster temp dir removed when the cluster closes.
+	DataDir string
+	// FsyncPolicy is the WAL group-commit policy (always, interval, never).
+	FsyncPolicy string
 	// Seed fixes randomness for reproducibility.
 	Seed int64
 }
@@ -73,7 +86,30 @@ func SmokeOptions() Options {
 	return o
 }
 
+// clusterSeq distinguishes the data directories of the many clusters one
+// benchmark invocation builds; reusing a directory would make a later
+// cluster recover an earlier one's versions and contaminate the numbers.
+var clusterSeq atomic.Uint64
+
+// freshDataDir carves an unused subdirectory out of the user-supplied
+// data-dir root. MkdirTemp (not a bare counter) keeps repeated wren-bench
+// invocations against the same root from recovering each other's state.
+func freshDataDir(root string) string {
+	if err := os.MkdirAll(root, 0o755); err == nil {
+		if d, err := os.MkdirTemp(root, "cluster-*"); err == nil {
+			return d
+		}
+	}
+	// Fall back to a counter-named subdir; any real problem with the root
+	// surfaces as a clear error when the WAL opens it.
+	return filepath.Join(root, fmt.Sprintf("cluster-%04d", clusterSeq.Add(1)))
+}
+
 func (o Options) clusterConfig(proto cluster.Protocol, dcs, partitions int) cluster.Config {
+	dataDir := o.DataDir
+	if dataDir != "" {
+		dataDir = freshDataDir(dataDir)
+	}
 	return cluster.Config{
 		Protocol:       proto,
 		NumDCs:         dcs,
@@ -83,6 +119,9 @@ func (o Options) clusterConfig(proto cluster.Protocol, dcs, partitions int) clus
 		ApplyInterval:  o.ApplyInterval,
 		GossipInterval: o.GossipInterval,
 		StoreShards:    o.StoreShards,
+		StoreBackend:   o.StoreBackend,
+		DataDir:        dataDir,
+		FsyncPolicy:    o.FsyncPolicy,
 		Seed:           o.Seed,
 	}
 }

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -84,6 +85,20 @@ type Config struct {
 	// store. Zero selects the store default (64); values are rounded up to
 	// a power of two.
 	StoreShards int
+	// StoreBackend selects each server's storage engine: "" or "memory"
+	// for the in-memory engine, "wal" for the durable per-shard log
+	// engine. An empty value can also be overridden by the
+	// WREN_STORE_BACKEND environment variable, which is how CI runs the
+	// whole suite against the WAL backend.
+	StoreBackend string
+	// DataDir is the root directory durable backends write under; every
+	// server gets its own dc<m>-p<n> subdirectory, so one root serves the
+	// whole deployment. When the backend is "wal" and DataDir is empty, a
+	// temporary directory is created and removed again on Close.
+	DataDir string
+	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
+	// (the "" default) or "never".
+	FsyncPolicy string
 	// Seed makes clock-skew assignment reproducible.
 	Seed int64
 	// RequestTimeout bounds client round trips. Zero selects 10s.
@@ -103,6 +118,12 @@ func (c *Config) fillDefaults() {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.StoreBackend == "" {
+		c.StoreBackend = os.Getenv("WREN_STORE_BACKEND")
+	}
+	if c.FsyncPolicy == "" {
+		c.FsyncPolicy = os.Getenv("WREN_FSYNC")
+	}
 }
 
 // Tx is the protocol-independent transaction handle.
@@ -113,6 +134,9 @@ type Tx interface {
 	Read(keys ...string) (map[string][]byte, error)
 	// Write buffers an update; it becomes visible atomically at commit.
 	Write(key string, value []byte) error
+	// Delete buffers a deletion; at commit it installs a tombstone that
+	// hides every older version, and the key reads as absent.
+	Delete(key string) error
 	// Commit finishes the transaction and returns its commit timestamp
 	// (zero for read-only transactions).
 	Commit() (hlc.Timestamp, error)
@@ -138,6 +162,10 @@ type Cluster struct {
 
 	wrenServers [][]*core.Server
 	cureServers [][]*cure.Server
+
+	// ephemeralDataDir is a temp dir created for a durable backend when the
+	// caller supplied none; Close removes it.
+	ephemeralDataDir string
 
 	mu        sync.Mutex
 	clientSeq int
@@ -165,6 +193,17 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	net := transport.NewMemory(latency)
 
+	var ephemeral string
+	if cfg.StoreBackend != "" && cfg.StoreBackend != "memory" && cfg.DataDir == "" {
+		dir, err := os.MkdirTemp("", "wren-data-*")
+		if err != nil {
+			net.Close()
+			return nil, fmt.Errorf("cluster: temp data dir: %w", err)
+		}
+		cfg.DataDir = dir
+		ephemeral = dir
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	skewFor := func() time.Duration {
 		if cfg.ClockSkew <= 0 {
@@ -174,7 +213,11 @@ func New(cfg Config) (*Cluster, error) {
 		return time.Duration(rng.Int63n(2*span+1)-span) * time.Microsecond
 	}
 
-	c := &Cluster{cfg: cfg, net: net}
+	c := &Cluster{cfg: cfg, net: net, ephemeralDataDir: ephemeral}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
 	for dc := 0; dc < cfg.NumDCs; dc++ {
 		var wrenRow []*core.Server
 		var cureRow []*cure.Server
@@ -192,10 +235,13 @@ func New(cfg Config) (*Cluster, error) {
 					BlockingCommit: cfg.BlockingCommit,
 					GossipTree:     cfg.GossipTree,
 					StoreShards:    cfg.StoreShards,
+					StoreBackend:   cfg.StoreBackend,
+					DataDir:        cfg.DataDir,
+					FsyncPolicy:    cfg.FsyncPolicy,
 				})
 				if err != nil {
-					net.Close()
-					return nil, err
+					c.wrenServers = append(c.wrenServers, wrenRow)
+					return fail(err)
 				}
 				srv.Start()
 				wrenRow = append(wrenRow, srv)
@@ -209,10 +255,13 @@ func New(cfg Config) (*Cluster, error) {
 					GossipInterval: cfg.GossipInterval,
 					GCInterval:     cfg.GCInterval,
 					StoreShards:    cfg.StoreShards,
+					StoreBackend:   cfg.StoreBackend,
+					DataDir:        cfg.DataDir,
+					FsyncPolicy:    cfg.FsyncPolicy,
 				})
 				if err != nil {
-					net.Close()
-					return nil, err
+					c.cureServers = append(c.cureServers, cureRow)
+					return fail(err)
 				}
 				srv.Start()
 				cureRow = append(cureRow, srv)
@@ -352,7 +401,8 @@ func (c *Cluster) CommittedTxCount() uint64 {
 	return total
 }
 
-// Close stops every server and the network.
+// Close stops every server and the network, and removes the data
+// directory if the cluster created it itself.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -383,6 +433,9 @@ func (c *Cluster) Close() {
 	}
 	wg.Wait()
 	c.net.Close()
+	if c.ephemeralDataDir != "" {
+		_ = os.RemoveAll(c.ephemeralDataDir)
+	}
 }
 
 // wrenClient adapts *core.Client to the Client interface.

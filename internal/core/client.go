@@ -286,8 +286,10 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 	var missing []string
 	t.client.mu.Lock()
 	for _, k := range keys {
-		if v, ok := t.ws[k]; ok { // own uncommitted write
-			result[k] = v
+		if v, ok := t.ws[k]; ok { // own uncommitted write (nil = own delete)
+			if v != nil {
+				result[k] = v
+			}
 			continue
 		}
 		if v, ok := t.rs[k]; ok { // repeatable read
@@ -298,6 +300,12 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 			continue
 		}
 		if e, ok := t.client.cache[k]; ok { // own committed write not in snapshot
+			if e.value == nil {
+				// Own committed delete: the key reads as absent even though
+				// the tombstone may not be in the snapshot yet.
+				t.rsMiss[k] = struct{}{}
+				continue
+			}
 			result[k] = e.value
 			t.rs[k] = e.value
 			continue
@@ -341,12 +349,29 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 }
 
 // Write buffers updates in the transaction's write set (Algorithm 1,
-// WRITE); they become visible atomically at commit.
+// WRITE); they become visible atomically at commit. A nil value is
+// normalized to an empty one — deletion is expressed via Delete.
 func (t *Tx) Write(key string, value []byte) error {
 	if t.done {
 		return ErrTxDone
 	}
+	if value == nil {
+		value = []byte{}
+	}
 	t.ws[key] = value
+	return nil
+}
+
+// Delete buffers a deletion of key: at commit it installs a tombstone that
+// hides every older version, and once the deletion is covered by the
+// stable snapshot on all partitions, GC drops the key's chain entirely.
+// Within this transaction (and this session, via the client write cache)
+// the key reads as absent immediately.
+func (t *Tx) Delete(key string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.ws[key] = nil
 	return nil
 }
 
@@ -362,7 +387,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 
 	writes := make([]wire.KV, 0, len(t.ws))
 	for k, v := range t.ws {
-		writes = append(writes, wire.KV{Key: k, Value: v})
+		writes = append(writes, wire.KV{Key: k, Value: v, Tombstone: v == nil})
 	}
 	t.client.mu.Lock()
 	hwt := t.client.hwt

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,7 @@ import (
 	"wren/internal/sharding"
 	"wren/internal/stats"
 	"wren/internal/store"
+	"wren/internal/store/backend"
 	"wren/internal/transport"
 	"wren/internal/wire"
 )
@@ -67,6 +70,17 @@ type ServerConfig struct {
 	// Zero selects store.DefaultShards; the value is rounded up to a power
 	// of two. More shards reduce lock contention on many-core machines.
 	StoreShards int
+	// StoreBackend selects the storage engine: backend.Memory (the ""
+	// default) keeps versions only in memory; backend.WAL adds per-shard
+	// append-only logs that are replayed on restart.
+	StoreBackend string
+	// DataDir is the root directory durable backends write under. The
+	// server uses DataDir/dc<m>-p<n>, so servers of one deployment can
+	// share a root. Required when StoreBackend is backend.WAL.
+	DataDir string
+	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
+	// (the "" default) or "never". Ignored by the memory backend.
+	FsyncPolicy string
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -103,7 +117,19 @@ func (c *ServerConfig) validate() error {
 	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
 		return fmt.Errorf("core: store shards %d out of range [0,%d]", c.StoreShards, store.MaxShards)
 	}
+	if err := backend.Validate(c.StoreBackend, c.DataDir, c.FsyncPolicy); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
+}
+
+// engineDir is the per-server subdirectory of DataDir a durable backend
+// writes to, so all servers of a deployment can share one root.
+func (c *ServerConfig) engineDir() string {
+	if c.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.DataDir, fmt.Sprintf("dc%d-p%d", c.DC, c.Partition))
 }
 
 // txContext is the coordinator-side state of an open transaction
@@ -158,7 +184,7 @@ type Server struct {
 	cfg   ServerConfig
 	id    transport.NodeID
 	clock *hlc.Clock
-	st    *store.Store
+	st    store.Engine
 
 	mu            sync.Mutex
 	vv            []hlc.Timestamp // version vector: vv[m] is the local version clock
@@ -193,11 +219,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := backend.Open(backend.Options{
+		Backend: cfg.StoreBackend,
+		Shards:  cfg.StoreShards,
+		DataDir: cfg.engineDir(),
+		Fsync:   cfg.FsyncPolicy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: open store: %w", err)
+	}
 	s := &Server{
 		cfg:            cfg,
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
-		st:             store.NewSharded(cfg.StoreShards),
+		st:             eng,
 		vv:             make([]hlc.Timestamp, cfg.NumDCs),
 		prepared:       make(map[uint64]*preparedTx),
 		txCtx:          make(map[uint64]*txContext),
@@ -217,8 +252,8 @@ func (s *Server) ID() transport.NodeID { return s.id }
 // Metrics returns the server's counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
-// Store exposes the underlying versioned store (read-only use in tests).
-func (s *Server) Store() *store.Store { return s.st }
+// Store exposes the underlying storage engine (read-only use in tests).
+func (s *Server) Store() store.Engine { return s.st }
 
 // Start registers the server on the network and launches the apply (ΔR),
 // stabilization (ΔG) and garbage-collection loops.
@@ -236,16 +271,77 @@ func (s *Server) Start() {
 	})
 }
 
-// Stop terminates the background loops and waits for them to exit.
+// Stop terminates the background loops, waits for them to exit, flushes
+// any transactions still on the commit list into the store, and closes
+// the storage engine. With a durable backend this makes a clean shutdown
+// keep everything the engine was ever asked to apply; like a crash, it
+// can still lose an acknowledged commit whose CommitTx was in flight when
+// draining began — the commit-time durability gap tracked in ROADMAP.md.
 func (s *Server) Stop() {
+	var flush bool
 	s.stopOnce.Do(func() {
 		s.mu.Lock()
 		s.draining = true
 		s.mu.Unlock()
 		close(s.stop)
+		flush = true
 	})
 	s.wg.Wait()
 	s.reqWG.Wait()
+	if flush {
+		// Prepared-but-uncommitted transactions can never commit now, but
+		// their proposed timestamps would hold the apply upper bound below
+		// later acknowledged commits; drop them so the final apply flushes
+		// every transaction on the commit list.
+		s.mu.Lock()
+		s.prepared = make(map[uint64]*preparedTx)
+		s.mu.Unlock()
+		s.applyTick()
+		s.flushCommitted()
+		if err := s.st.Close(); err != nil {
+			// The engine surfaces its first append/sync failure here; it
+			// must not vanish silently — acknowledged commits may not have
+			// reached disk.
+			fmt.Fprintf(os.Stderr, "core: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
+		}
+	}
+}
+
+// flushCommitted force-applies every transaction still on the commit list
+// to the storage engine, ignoring the apply upper bound. Only used during
+// Stop: the server serves no more reads, and a durable engine must not
+// close with acknowledged commits unapplied. The regular final applyTick
+// usually drains the list already; this catches commit timestamps the
+// local clock has not caught up to.
+//
+// Replication is NOT retried here: a transaction flushed this way (or
+// whose Replicate message was dropped by draining peers) persists locally
+// but never reaches remote DCs — there is no replication cursor yet, so a
+// restart can leave DCs durably diverged on the final pre-shutdown
+// transactions (tracked in ROADMAP.md alongside commit-time durability).
+func (s *Server) flushCommitted() {
+	s.mu.Lock()
+	apply := s.committed
+	s.committed = nil
+	s.mu.Unlock()
+	if len(apply) == 0 {
+		return
+	}
+	sort.Slice(apply, func(i, j int) bool {
+		if apply[i].ct != apply[j].ct {
+			return apply[i].ct < apply[j].ct
+		}
+		return apply[i].txID < apply[j].txID
+	})
+	var puts []store.KV
+	for _, t := range apply {
+		for _, kv := range t.writes {
+			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
+				Value: kv.VersionValue(), UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
+			}})
+		}
+	}
+	s.st.PutBatch(puts)
 }
 
 // goAsync runs fn on a tracked goroutine unless the server is draining.
@@ -443,13 +539,16 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 }
 
 // readSlice resolves keys under the CANToR snapshot (lt, rt) with one
-// batched store pass: one read-lock acquisition per touched shard.
+// batched store pass: one read-lock acquisition per touched shard. A
+// visible tombstone means the key is deleted in this snapshot — it hides
+// older versions and is reported as absence (no item), like a key never
+// written.
 func (s *Server) readSlice(keys []string, lt, rt hlc.Timestamp) []wire.Item {
 	visible := visibleFunc(uint8(s.cfg.DC), lt, rt)
 	vs := s.st.ReadVisibleBatch(keys, visible)
 	items := make([]wire.Item, 0, len(keys))
 	for i, v := range vs {
-		if v != nil {
+		if v != nil && v.Value != nil {
 			items = append(items, wire.Item{
 				Key: keys[i], Value: v.Value, UT: v.UT, RDT: v.RDT, TxID: v.TxID, SrcDC: v.SrcDC,
 			})
@@ -611,7 +710,7 @@ func (s *Server) handleReplicate(m *wire.Replicate) {
 		t := &m.Txs[i]
 		for _, kv := range t.Writes {
 			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.Value, UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: m.SrcDC,
+				Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: m.SrcDC,
 			}})
 		}
 	}
@@ -786,7 +885,7 @@ func (s *Server) applyTick() {
 			t := apply[j]
 			for _, kv := range t.writes {
 				puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-					Value: kv.Value, UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
+					Value: kv.VersionValue(), UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
 				}})
 			}
 			batch.Txs = append(batch.Txs, wire.ReplTx{

@@ -233,8 +233,10 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 	result := make(map[string][]byte, len(keys))
 	var missing []string
 	for _, k := range keys {
-		if v, ok := t.ws[k]; ok {
-			result[k] = v
+		if v, ok := t.ws[k]; ok { // own uncommitted write (nil = own delete)
+			if v != nil {
+				result[k] = v
+			}
 			continue
 		}
 		if v, ok := t.rs[k]; ok {
@@ -276,12 +278,29 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 	return result, nil
 }
 
-// Write buffers an update in the write set.
+// Write buffers an update in the write set. A nil value is normalized to
+// an empty one — deletion is expressed via Delete.
 func (t *Tx) Write(key string, value []byte) error {
 	if t.done {
 		return ErrTxDone
 	}
+	if value == nil {
+		value = []byte{}
+	}
 	t.ws[key] = value
+	return nil
+}
+
+// Delete buffers a deletion of key: at commit it installs a tombstone that
+// hides every older version; GC eventually drops the chain once the
+// deletion is stable. Because the commit timestamp folds into the client's
+// dependency vector, this client's subsequent snapshots include the
+// tombstone, so the key reads as absent from then on.
+func (t *Tx) Delete(key string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.ws[key] = nil
 	return nil
 }
 
@@ -296,7 +315,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 
 	writes := make([]wire.KV, 0, len(t.ws))
 	for k, v := range t.ws {
-		writes = append(writes, wire.KV{Key: k, Value: v})
+		writes = append(writes, wire.KV{Key: k, Value: v, Tombstone: v == nil})
 	}
 	t.client.mu.Lock()
 	hwt := t.client.hwt

@@ -2,6 +2,8 @@ package cure
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,7 @@ import (
 	"wren/internal/sharding"
 	"wren/internal/stats"
 	"wren/internal/store"
+	"wren/internal/store/backend"
 	"wren/internal/transport"
 	"wren/internal/wire"
 )
@@ -43,6 +46,15 @@ type ServerConfig struct {
 	// Zero selects store.DefaultShards; the value is rounded up to a power
 	// of two.
 	StoreShards int
+	// StoreBackend selects the storage engine ("" or "memory" for the
+	// in-memory engine, "wal" for the durable per-shard log engine).
+	StoreBackend string
+	// DataDir is the root directory durable backends write under (the
+	// server uses DataDir/dc<m>-p<n>). Required for the wal backend.
+	DataDir string
+	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
+	// (the "" default) or "never".
+	FsyncPolicy string
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -79,7 +91,19 @@ func (c *ServerConfig) validate() error {
 	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
 		return fmt.Errorf("cure: store shards %d out of range [0,%d]", c.StoreShards, store.MaxShards)
 	}
+	if err := backend.Validate(c.StoreBackend, c.DataDir, c.FsyncPolicy); err != nil {
+		return fmt.Errorf("cure: %w", err)
+	}
 	return nil
+}
+
+// engineDir is the per-server subdirectory of DataDir a durable backend
+// writes to.
+func (c *ServerConfig) engineDir() string {
+	if c.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.DataDir, fmt.Sprintf("dc%d-p%d", c.DC, c.Partition))
 }
 
 // txContext is the coordinator-side state of an open transaction.
@@ -140,7 +164,7 @@ type Server struct {
 	cfg   ServerConfig
 	id    transport.NodeID
 	clock *hlc.Clock
-	st    *store.Store
+	st    store.Engine
 
 	mu        sync.Mutex
 	vv        []hlc.Timestamp   // vv[m] = local version clock; vv[i] = received from DC i
@@ -173,11 +197,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := backend.Open(backend.Options{
+		Backend: cfg.StoreBackend,
+		Shards:  cfg.StoreShards,
+		DataDir: cfg.engineDir(),
+		Fsync:   cfg.FsyncPolicy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cure: open store: %w", err)
+	}
 	s := &Server{
 		cfg:            cfg,
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
-		st:             store.NewSharded(cfg.StoreShards),
+		st:             eng,
 		vv:             make([]hlc.Timestamp, cfg.NumDCs),
 		gsv:            make([]hlc.Timestamp, cfg.NumDCs),
 		peerVV:         make([][]hlc.Timestamp, cfg.NumPartitions),
@@ -200,8 +233,8 @@ func (s *Server) ID() transport.NodeID { return s.id }
 // Metrics returns the server's counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
-// Store exposes the underlying versioned store for tests.
-func (s *Server) Store() *store.Store { return s.st }
+// Store exposes the underlying storage engine for tests.
+func (s *Server) Store() store.Engine { return s.st }
 
 // Start registers the server and launches its background loops.
 func (s *Server) Start() {
@@ -218,8 +251,12 @@ func (s *Server) Start() {
 	})
 }
 
-// Stop terminates background loops and waits for them.
+// Stop terminates background loops, waits for them, flushes the commit
+// list into the store, and closes the storage engine. As in core.Server,
+// an acknowledged commit whose CommitTx was still in flight when draining
+// began can be lost (the commit-time durability gap in ROADMAP.md).
 func (s *Server) Stop() {
+	var flush bool
 	s.stopOnce.Do(func() {
 		s.mu.Lock()
 		s.draining = true
@@ -231,9 +268,54 @@ func (s *Server) Stop() {
 			s.send(w.from, &wire.SliceResp{ReqID: w.reqID})
 		}
 		close(s.stop)
+		flush = true
 	})
 	s.wg.Wait()
 	s.reqWG.Wait()
+	if flush {
+		// Prepared-but-uncommitted transactions can never commit now; drop
+		// them so their proposed timestamps do not hold the final apply's
+		// upper bound below acknowledged commits still on the commit list.
+		s.mu.Lock()
+		s.prepared = make(map[uint64]*preparedTx)
+		s.mu.Unlock()
+		s.applyTick(false)
+		s.flushCommitted()
+		if err := s.st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cure: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
+		}
+	}
+}
+
+// flushCommitted force-applies every transaction still on the commit list,
+// ignoring the apply upper bound. Only used during Stop. This matters for
+// plain Cure in particular: its upper bound follows the raw physical
+// clock, so under skew a commit timestamp assigned by a faster coordinator
+// can sit above PhysicalNow() at shutdown and would otherwise never be
+// applied (and never reach a durable engine).
+func (s *Server) flushCommitted() {
+	s.mu.Lock()
+	apply := s.committed
+	s.committed = nil
+	s.mu.Unlock()
+	if len(apply) == 0 {
+		return
+	}
+	sort.Slice(apply, func(i, j int) bool {
+		if apply[i].ct != apply[j].ct {
+			return apply[i].ct < apply[j].ct
+		}
+		return apply[i].txID < apply[j].txID
+	})
+	var puts []store.KV
+	for _, t := range apply {
+		for _, kv := range t.writes {
+			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
+				Value: kv.VersionValue(), UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
+			}})
+		}
+	}
+	s.st.PutBatch(puts)
 }
 
 func (s *Server) goAsync(fn func()) {
@@ -426,7 +508,9 @@ func (s *Server) serveSlice(to transport.NodeID, reqID uint64, keys []string, sv
 	vs := s.st.ReadVisibleBatch(keys, visible)
 	items := make([]wire.Item, 0, len(keys))
 	for i, v := range vs {
-		if v != nil {
+		// A visible tombstone (nil Value) reads as absence, hiding any
+		// older live version.
+		if v != nil && v.Value != nil {
 			items = append(items, wire.Item{
 				Key: keys[i], Value: v.Value, UT: v.UT, TxID: v.TxID, SrcDC: v.SrcDC, DV: v.DV,
 			})
@@ -586,7 +670,7 @@ func (s *Server) handleReplicate(m *wire.Replicate) {
 		t := &m.Txs[i]
 		for _, kv := range t.Writes {
 			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.Value, UT: t.CT, TxID: t.TxID, SrcDC: m.SrcDC, DV: t.DV,
+				Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: m.SrcDC, DV: t.DV,
 			}})
 		}
 	}
@@ -714,7 +798,7 @@ func (s *Server) applyTick(heartbeat bool) {
 			t := apply[j]
 			for _, kv := range t.writes {
 				puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-					Value: kv.Value, UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
+					Value: kv.VersionValue(), UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
 				}})
 			}
 			batch.Txs = append(batch.Txs, wire.ReplTx{

@@ -1,0 +1,71 @@
+// Package backend selects and opens a storage engine by name. It is the
+// single place that knows every concrete engine, so the protocol servers
+// (core, cure) and every configuration layer above them can treat the
+// backend as an opaque string validated and resolved here.
+package backend
+
+import (
+	"fmt"
+
+	"wren/internal/store"
+	"wren/internal/store/wal"
+)
+
+// Backend names.
+const (
+	// Memory is the in-memory lock-striped engine (the default). State is
+	// lost on restart.
+	Memory = "memory"
+	// WAL is the durable engine: the memory engine fronted by per-shard
+	// append-only logs that are replayed on startup.
+	WAL = "wal"
+)
+
+// Options describes the engine one partition server wants.
+type Options struct {
+	// Backend is Memory, WAL, or "" (which selects Memory).
+	Backend string
+	// Shards is the lock-stripe count (0 selects store.DefaultShards).
+	Shards int
+	// DataDir is the directory a durable backend writes under. Required
+	// for WAL; ignored by Memory. Each server must get its own directory.
+	DataDir string
+	// Fsync is the WAL group-commit policy: wal.FsyncAlways,
+	// wal.FsyncInterval (the "" default) or wal.FsyncNever.
+	Fsync string
+}
+
+// Validate checks a backend selection the way ServerConfig.validate checks
+// StoreShards: recognized name, directory present when required, known
+// fsync policy.
+func Validate(name, dataDir, fsync string) error {
+	switch name {
+	case "", Memory:
+		return nil
+	case WAL:
+		if dataDir == "" {
+			return fmt.Errorf("backend %q requires a data directory", WAL)
+		}
+		if _, err := wal.ParseFsync(fsync); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown store backend %q (want %q or %q)", name, Memory, WAL)
+	}
+}
+
+// Open builds the engine described by opts.
+func Open(opts Options) (store.Engine, error) {
+	if err := Validate(opts.Backend, opts.DataDir, opts.Fsync); err != nil {
+		return nil, err
+	}
+	if opts.Backend == WAL {
+		return wal.Open(wal.Options{
+			Dir:    opts.DataDir,
+			Shards: opts.Shards,
+			Fsync:  opts.Fsync,
+		})
+	}
+	return store.NewMemoryEngine(opts.Shards), nil
+}

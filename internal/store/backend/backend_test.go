@@ -1,0 +1,59 @@
+package backend
+
+import (
+	"testing"
+
+	"wren/internal/store"
+	"wren/internal/store/wal"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name, backend, dir, fsync string
+		wantErr                   bool
+	}{
+		{"default", "", "", "", false},
+		{"memory", Memory, "", "", false},
+		{"memory ignores fsync", Memory, "", "sometimes", false},
+		{"wal with dir", WAL, "/tmp/x", "", false},
+		{"wal all policies", WAL, "/tmp/x", wal.FsyncAlways, false},
+		{"wal without dir", WAL, "", "", true},
+		{"wal bad fsync", WAL, "/tmp/x", "sometimes", true},
+		{"unknown", "rocksdb", "/tmp/x", "", true},
+	}
+	for _, c := range cases {
+		if err := Validate(c.backend, c.dir, c.fsync); (err != nil) != c.wantErr {
+			t.Errorf("%s: Validate(%q,%q,%q) = %v, wantErr=%v", c.name, c.backend, c.dir, c.fsync, err, c.wantErr)
+		}
+	}
+}
+
+func TestOpenSelectsEngine(t *testing.T) {
+	eng, err := Open(Options{Backend: "", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.(*store.MemoryEngine); !ok {
+		t.Errorf("default backend opened %T, want *store.MemoryEngine", eng)
+	}
+	_ = eng.Close()
+
+	weng, err := Open(Options{Backend: WAL, Shards: 8, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := weng.(*wal.Engine); !ok {
+		t.Errorf("wal backend opened %T, want *wal.Engine", weng)
+	}
+	if weng.NumShards() != 8 {
+		t.Errorf("NumShards = %d, want 8", weng.NumShards())
+	}
+	_ = weng.Close()
+
+	if _, err := Open(Options{Backend: WAL}); err == nil {
+		t.Error("wal backend without DataDir should fail to open")
+	}
+	if _, err := Open(Options{Backend: "rocksdb"}); err == nil {
+		t.Error("unknown backend should fail to open")
+	}
+}

@@ -1,0 +1,59 @@
+package store
+
+import "wren/internal/hlc"
+
+// Engine is the pluggable storage abstraction every partition server writes
+// through. The protocol layers (core, cure) program against this interface
+// only, so persistence backends — the in-memory lock-striped map, the
+// per-shard WAL in store/wal, future memtable+SST engines — slot in without
+// touching protocol code.
+//
+// All methods must be safe for concurrent use. Version pointers handed to
+// Put/PutBatch are owned by the engine afterwards; callers must not mutate
+// them. Versions returned by reads are shared and must be treated as
+// immutable.
+type Engine interface {
+	// Put inserts a new version into the chain of key, keeping the chain
+	// in last-writer-wins order.
+	Put(key string, v *Version)
+	// PutBatch inserts many versions with at most one lock acquisition per
+	// touched shard. This is the write hot path.
+	PutBatch(kvs []KV)
+	// ReadVisible returns the freshest version of key satisfying visible,
+	// or nil.
+	ReadVisible(key string, visible VisibleFunc) *Version
+	// ReadVisibleBatch resolves many keys under one snapshot predicate; the
+	// result is aligned with keys, nil where nothing is visible.
+	ReadVisibleBatch(keys []string, visible VisibleFunc) []*Version
+	// Latest returns the newest version of key regardless of visibility.
+	Latest(key string) *Version
+	// GC prunes version chains against the oldest snapshot still visible to
+	// a running transaction and returns the number of versions removed.
+	GC(oldest hlc.Timestamp) int
+	// GCStats is GC with full per-shard accounting.
+	GCStats(oldest hlc.Timestamp) GCResult
+	// Keys returns the number of keys with at least one version.
+	Keys() int
+	// Versions returns the total number of stored versions.
+	Versions() int
+	// VersionsOf returns the number of versions currently stored for key.
+	VersionsOf(key string) int
+	// NumShards returns the number of lock stripes (a power of two).
+	NumShards() int
+	// ForEachKey calls fn for every key; fn runs without shard locks held.
+	ForEachKey(fn func(key string))
+	// Close releases engine resources (files, background syncers). The
+	// engine must not be used afterwards. Close is idempotent.
+	Close() error
+}
+
+// MemoryEngine is the purely in-memory engine: the lock-striped version
+// store. It is the default backend and the reference implementation of the
+// Engine contract.
+type MemoryEngine = Store
+
+// NewMemoryEngine returns an empty in-memory engine with at least n shards
+// (0 selects DefaultShards).
+func NewMemoryEngine(n int) *MemoryEngine { return NewSharded(n) }
+
+var _ Engine = (*Store)(nil)

@@ -1,0 +1,269 @@
+// Package enginetest is the conformance suite for store.Engine
+// implementations. Every backend — the in-memory lock-striped engine, the
+// WAL engine, future memtable+SST engines — must pass the same suite, so
+// the protocol layers can treat backends as interchangeable.
+package enginetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+)
+
+// Factory opens a fresh, empty engine for one subtest. The suite calls
+// Close on every engine it opens; factories needing extra cleanup should
+// register it with t.Cleanup.
+type Factory func(t *testing.T) store.Engine
+
+// Run exercises the Engine contract against engines produced by open.
+func Run(t *testing.T, open Factory) {
+	t.Run("PutReadVisible", func(t *testing.T) { testPutReadVisible(t, open(t)) })
+	t.Run("LastWriterWins", func(t *testing.T) { testLastWriterWins(t, open(t)) })
+	t.Run("BatchAlignment", func(t *testing.T) { testBatchAlignment(t, open(t)) })
+	t.Run("TombstoneReadsAndGC", func(t *testing.T) { testTombstones(t, open(t)) })
+	t.Run("GCAccounting", func(t *testing.T) { testGCAccounting(t, open(t)) })
+	t.Run("CountsAndIteration", func(t *testing.T) { testCounts(t, open(t)) })
+	t.Run("ConcurrentUse", func(t *testing.T) { testConcurrent(t, open(t)) })
+	t.Run("CloseIdempotent", func(t *testing.T) { testCloseIdempotent(t, open(t)) })
+}
+
+func version(val string, ut hlc.Timestamp, tx uint64) *store.Version {
+	var b []byte
+	if val != "" {
+		b = []byte(val)
+	} else {
+		b = []byte{}
+	}
+	return &store.Version{Value: b, UT: ut, RDT: ut, TxID: tx}
+}
+
+func all(*store.Version) bool { return true }
+
+func upTo(ts hlc.Timestamp) store.VisibleFunc {
+	return func(v *store.Version) bool { return v.UT <= ts }
+}
+
+func testPutReadVisible(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	if got := e.ReadVisible("missing", all); got != nil {
+		t.Fatalf("read of missing key = %+v, want nil", got)
+	}
+	e.Put("k", version("v1", 10, 1))
+	e.Put("k", version("v2", 20, 2))
+
+	if got := e.ReadVisible("k", all); got == nil || string(got.Value) != "v2" {
+		t.Fatalf("freshest visible = %+v, want v2", got)
+	}
+	if got := e.ReadVisible("k", upTo(15)); got == nil || string(got.Value) != "v1" {
+		t.Fatalf("snapshot@15 = %+v, want v1", got)
+	}
+	if got := e.ReadVisible("k", upTo(5)); got != nil {
+		t.Fatalf("snapshot@5 = %+v, want nil", got)
+	}
+}
+
+func testLastWriterWins(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	// Insert out of timestamp order; Latest must still follow LWW order:
+	// UT, then SrcDC, then TxID.
+	e.Put("k", version("late", 30, 1))
+	e.Put("k", version("early", 10, 2))
+	e.Put("k", &store.Version{Value: []byte("tie-high-dc"), UT: 30, RDT: 0, TxID: 1, SrcDC: 1})
+
+	if got := e.Latest("k"); got == nil || string(got.Value) != "tie-high-dc" {
+		t.Fatalf("Latest = %+v, want the SrcDC=1 tie-breaker winner", got)
+	}
+	if got := e.VersionsOf("k"); got != 3 {
+		t.Fatalf("VersionsOf = %d, want 3", got)
+	}
+	if got := e.Latest("absent"); got != nil {
+		t.Fatalf("Latest(absent) = %+v, want nil", got)
+	}
+}
+
+func testBatchAlignment(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	var kvs []store.KV
+	for i := 0; i < 100; i++ {
+		kvs = append(kvs, store.KV{
+			Key:     fmt.Sprintf("key-%03d", i),
+			Version: version(fmt.Sprintf("val-%03d", i), hlc.Timestamp(100+i), uint64(i)),
+		})
+	}
+	e.PutBatch(kvs)
+
+	keys := []string{"key-000", "no-such-key", "key-050", "key-099"}
+	got := e.ReadVisibleBatch(keys, all)
+	if len(got) != len(keys) {
+		t.Fatalf("batch result length %d, want %d", len(got), len(keys))
+	}
+	if got[0] == nil || string(got[0].Value) != "val-000" {
+		t.Errorf("got[0] = %+v, want val-000", got[0])
+	}
+	if got[1] != nil {
+		t.Errorf("got[1] = %+v, want nil for missing key", got[1])
+	}
+	if got[2] == nil || string(got[2].Value) != "val-050" {
+		t.Errorf("got[2] = %+v, want val-050", got[2])
+	}
+	if got[3] == nil || string(got[3].Value) != "val-099" {
+		t.Errorf("got[3] = %+v, want val-099", got[3])
+	}
+	if e.Keys() != 100 || e.Versions() != 100 {
+		t.Errorf("Keys/Versions = %d/%d, want 100/100", e.Keys(), e.Versions())
+	}
+	// Empty batches and empty key sets are no-ops, not panics.
+	e.PutBatch(nil)
+	if out := e.ReadVisibleBatch(nil, all); len(out) != 0 {
+		t.Errorf("empty batch read returned %d entries", len(out))
+	}
+}
+
+func testTombstones(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	e.Put("k", version("live", 10, 1))
+	e.Put("k", &store.Version{Value: nil, UT: 20, RDT: 20, TxID: 2}) // tombstone
+
+	// The tombstone is the freshest visible version; callers treat its nil
+	// Value as absence. The older live version is still reachable from
+	// older snapshots.
+	if got := e.ReadVisible("k", all); got == nil || got.Value != nil {
+		t.Fatalf("freshest = %+v, want the tombstone (nil Value)", got)
+	}
+	if got := e.ReadVisible("k", upTo(15)); got == nil || string(got.Value) != "live" {
+		t.Fatalf("snapshot@15 = %+v, want the live version", got)
+	}
+
+	// Once the deletion is stable (oldest snapshot past the tombstone),
+	// GC drops the whole chain.
+	res := e.GCStats(30)
+	if res.Removed != 2 || res.DroppedKeys != 1 {
+		t.Fatalf("GCStats = %+v, want Removed=2 DroppedKeys=1", res)
+	}
+	if e.Keys() != 0 {
+		t.Fatalf("Keys = %d after tombstone GC, want 0", e.Keys())
+	}
+}
+
+func testGCAccounting(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	for i := 0; i < 10; i++ {
+		e.Put("hot", version(fmt.Sprintf("v%d", i), hlc.Timestamp(10*(i+1)), uint64(i)))
+	}
+	// Oldest snapshot at 55: versions 10..50 are prunable except the
+	// newest ≤55 (the version a snapshot@55 reads), i.e. 4 removals.
+	res := e.GCStats(55)
+	if res.Removed != 4 {
+		t.Fatalf("GCStats(55).Removed = %d, want 4", res.Removed)
+	}
+	sum := 0
+	for _, n := range res.PerShard {
+		sum += n
+	}
+	if sum != res.Removed {
+		t.Fatalf("PerShard sums to %d, want %d", sum, res.Removed)
+	}
+	if got := e.VersionsOf("hot"); got != 6 {
+		t.Fatalf("VersionsOf after GC = %d, want 6", got)
+	}
+	if got := e.ReadVisible("hot", upTo(55)); got == nil || string(got.Value) != "v4" {
+		t.Fatalf("snapshot@55 after GC = %+v, want v4 (UT=50)", got)
+	}
+	if got := e.GC(200); got != 5 {
+		t.Fatalf("GC(200) = %d, want 5", got)
+	}
+}
+
+func testCounts(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	if e.NumShards() <= 0 || e.NumShards()&(e.NumShards()-1) != 0 {
+		t.Fatalf("NumShards = %d, want a positive power of two", e.NumShards())
+	}
+	want := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		e.Put(k, version("v", hlc.Timestamp(i+1), uint64(i)))
+		e.Put(k, version("w", hlc.Timestamp(i+100), uint64(i+100)))
+		want[k] = false
+	}
+	if e.Keys() != 50 || e.Versions() != 100 {
+		t.Fatalf("Keys/Versions = %d/%d, want 50/100", e.Keys(), e.Versions())
+	}
+	seen := 0
+	e.ForEachKey(func(k string) {
+		covered, ok := want[k]
+		if !ok {
+			t.Errorf("ForEachKey yielded unknown key %q", k)
+			return
+		}
+		if covered {
+			t.Errorf("ForEachKey yielded %q twice", k)
+		}
+		want[k] = true
+		seen++
+		// Re-entrancy: callbacks may read the engine.
+		_ = e.Latest(k)
+	})
+	if seen != 50 {
+		t.Errorf("ForEachKey yielded %d keys, want 50", seen)
+	}
+}
+
+func testConcurrent(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	const (
+		writers = 4
+		readers = 4
+		perG    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("key-%d", i%17)
+				ut := hlc.Timestamp(w*perG + i + 1)
+				if i%3 == 0 {
+					e.PutBatch([]store.KV{
+						{Key: key, Version: version("a", ut, uint64(i))},
+						{Key: fmt.Sprintf("key-%d", (i+1)%17), Version: version("b", ut, uint64(i))},
+					})
+				} else {
+					e.Put(key, version("c", ut, uint64(i)))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys := []string{"key-0", "key-5", "key-11"}
+			for i := 0; i < perG; i++ {
+				_ = e.ReadVisible("key-3", all)
+				_ = e.ReadVisibleBatch(keys, all)
+				if i%50 == 0 {
+					_ = e.GC(hlc.Timestamp(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Keys() == 0 {
+		t.Error("no keys survived the concurrent workload")
+	}
+}
+
+func testCloseIdempotent(t *testing.T, e store.Engine) {
+	e.Put("k", version("v", 1, 1))
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

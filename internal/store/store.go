@@ -123,6 +123,12 @@ func NewSharded(n int) *Store {
 // NumShards returns the number of shards (a power of two).
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// Fingerprint returns the FNV-1a hash of key — the fingerprint the store
+// stripes keys by. Exported so backends that keep per-shard side state
+// (e.g. the WAL engine's log files) can use the exact same key→shard
+// mapping as the in-memory stripes they mirror.
+func Fingerprint(key string) uint32 { return fnv1a(key) }
+
 // fnv1a fingerprints a key without allocating (hash/fnv would force the
 // string through a []byte conversion and an interface call per byte chunk).
 func fnv1a(key string) uint32 {
@@ -140,6 +146,11 @@ func fnv1a(key string) uint32 {
 
 func (s *Store) shardOf(key string) *shard {
 	return &s.shards[fnv1a(key)&s.mask]
+}
+
+// ShardIndex returns the index of the shard that owns key.
+func (s *Store) ShardIndex(key string) int {
+	return int(fnv1a(key) & s.mask)
 }
 
 // insertLocked splices v into chain keeping last-writer-wins order. Inserts
@@ -175,24 +186,42 @@ func (s *Store) PutBatch(kvs []KV) {
 		s.Put(kvs[0].Key, kvs[0].Version)
 		return
 	}
+	ForEachShardGroup(s.mask, kvs, func(id uint32, group []KV) {
+		sh := &s.shards[id]
+		sh.mu.Lock()
+		for _, kv := range group {
+			sh.chains[kv.Key] = insertLocked(sh.chains[kv.Key], kv.Version)
+		}
+		sh.mu.Unlock()
+	})
+}
+
+// ForEachShardGroup partitions kvs by key fingerprint under the given
+// power-of-two mask and invokes fn once per touched shard with that
+// shard's members, in first-appearance order — the exact grouping
+// PutBatch uses internally. Engines that keep per-shard side state (the
+// WAL's log files) use it so their grouping can never drift from the
+// memory stripes'. The group slice is reused across calls; fn must not
+// retain it.
+func ForEachShardGroup(mask uint32, kvs []KV, fn func(shard uint32, group []KV)) {
 	ids := make([]uint32, len(kvs))
 	for i := range kvs {
-		ids[i] = fnv1a(kvs[i].Key) & s.mask
+		ids[i] = fnv1a(kvs[i].Key) & mask
 	}
 	done := make([]bool, len(kvs))
+	group := make([]KV, 0, len(kvs))
 	for i := range kvs {
 		if done[i] {
 			continue
 		}
-		sh := &s.shards[ids[i]]
-		sh.mu.Lock()
+		group = group[:0]
 		for j := i; j < len(kvs); j++ {
 			if !done[j] && ids[j] == ids[i] {
-				sh.chains[kvs[j].Key] = insertLocked(sh.chains[kvs[j].Key], kvs[j].Version)
+				group = append(group, kvs[j])
 				done[j] = true
 			}
 		}
-		sh.mu.Unlock()
+		fn(ids[i], group)
 	}
 }
 
@@ -349,6 +378,27 @@ func (s *Store) VersionsOf(key string) int {
 	defer sh.mu.RUnlock()
 	return len(sh.chains[key])
 }
+
+// ShardSnapshot returns every version stored in shard si, in chain order
+// per key (oldest first under last-writer-wins). The returned Version
+// pointers are shared with the store and must be treated as read-only.
+// Backends use it to rewrite a shard's log during compaction.
+func (s *Store) ShardSnapshot(si int) []KV {
+	sh := &s.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var out []KV
+	for key, chain := range sh.chains {
+		for _, v := range chain {
+			out = append(out, KV{Key: key, Version: v})
+		}
+	}
+	return out
+}
+
+// Close implements Engine. The in-memory engine holds no external
+// resources, so Close is a no-op.
+func (s *Store) Close() error { return nil }
 
 // ForEachKey calls fn for every key in the store. Iteration order is
 // unspecified; keys are snapshotted one shard at a time, so fn runs without

@@ -1,0 +1,686 @@
+// Package wal implements a durable storage engine: the in-memory
+// lock-striped version store fronted by per-shard append-only log files.
+//
+// Every Put appends one record to the log of the shard that owns the key —
+// the same FNV-1a striping the in-memory engine uses, so shard i's log
+// holds exactly the versions resident in memory stripe i. Records are
+// length-prefixed and CRC32-checksummed, and their payloads reuse the
+// internal/wire encoder. Group commit batches all of a PutBatch's records
+// for one shard into a single write syscall; the fsync policy decides when
+// the OS buffer is forced to disk (per batch, on a timer, or never).
+//
+// On startup the engine replays every shard log into the in-memory shards.
+// A torn final record — the footprint of a crash mid-append — is detected
+// by its length prefix or checksum and truncated away, together with
+// anything after it. GC feeds compaction: once garbage collection has
+// dropped enough versions from a shard, that shard's log is rewritten from
+// live memory state (to a temp file, fsynced, atomically renamed), bounding
+// log growth to the live data set plus the compaction threshold.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+	"wren/internal/wire"
+)
+
+// Fsync policies: when an appended record is forced to stable storage.
+const (
+	// FsyncAlways syncs after every Put/PutBatch (group commit): no
+	// committed-and-applied write is ever lost, at one fsync per shard a
+	// batch touches (a batch spread over many stripes pays many fsyncs).
+	FsyncAlways = "always"
+	// FsyncInterval syncs dirty logs on a background timer (default 10ms):
+	// a crash loses at most the last interval's writes. The default.
+	FsyncInterval = "interval"
+	// FsyncNever leaves flushing to the OS page cache: fastest, survives
+	// process crashes (the data is in kernel buffers) but not power loss.
+	FsyncNever = "never"
+)
+
+// ParseFsync canonicalizes a policy name ("" selects FsyncInterval).
+func ParseFsync(s string) (string, error) {
+	switch s {
+	case "":
+		return FsyncInterval, nil
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return s, nil
+	default:
+		return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+const (
+	// recordHeader is the per-record framing: 4-byte little-endian payload
+	// length plus 4-byte CRC32 (IEEE) of the payload.
+	recordHeader = 8
+
+	// DefaultFsyncInterval is the timer period of the FsyncInterval policy.
+	DefaultFsyncInterval = 10 * time.Millisecond
+	// DefaultCompactThreshold is the number of GC-dropped versions a shard
+	// accumulates before its log is rewritten from live state.
+	DefaultCompactThreshold = 4096
+)
+
+// Options configures a WAL engine.
+type Options struct {
+	// Dir is the directory holding the shard logs. Created if missing. One
+	// engine must own it exclusively.
+	Dir string
+	// Shards is the stripe count (0 selects store.DefaultShards; rounded up
+	// to a power of two). Logs are per stripe, so this also sets the group-
+	// commit fan-in.
+	Shards int
+	// Fsync is one of FsyncAlways, FsyncInterval, FsyncNever ("" selects
+	// FsyncInterval).
+	Fsync string
+	// FsyncInterval overrides the sync timer period for the interval policy
+	// (0 selects DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// CompactThreshold overrides how many dropped versions trigger a shard
+	// log rewrite (0 selects DefaultCompactThreshold; negative disables
+	// compaction).
+	CompactThreshold int
+}
+
+// walShard pairs one log file with its append state. The mutex also covers
+// the memory-stripe insert of an append, so compaction's snapshot-and-
+// rewrite can never miss a version that is in the log but not yet in
+// memory (or vice versa).
+type walShard struct {
+	mu      sync.Mutex
+	f       *os.File
+	enc     *wire.Encoder // reusable append buffer, guarded by mu
+	size    int64         // bytes of intact records in f (rollback point)
+	failed  bool          // append path broken; log frozen until compaction
+	dirty   bool          // has unsynced appends (interval policy)
+	dropped int           // versions GC removed since the last compaction
+}
+
+// Engine is the durable WAL-backed storage engine.
+type Engine struct {
+	mem    *store.Store
+	dir    string
+	fsync  string
+	compat int // compaction threshold (<0 disables)
+	mask   uint32
+	shards []*walShard
+
+	lock *os.File // exclusive advisory lock on the data directory
+
+	mu      sync.Mutex // guards err, closed
+	err     error      // first append/sync error, surfaced by Close
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	metrics Metrics
+}
+
+// Metrics counts engine-level events for tests and monitoring.
+type Metrics struct {
+	mu          sync.Mutex
+	compactions int
+	recovered   int
+	truncated   int
+}
+
+// Compactions returns how many shard-log rewrites have run.
+func (m *Metrics) Compactions() int { m.mu.Lock(); defer m.mu.Unlock(); return m.compactions }
+
+// Recovered returns how many records startup recovery replayed.
+func (m *Metrics) Recovered() int { m.mu.Lock(); defer m.mu.Unlock(); return m.recovered }
+
+// TruncatedShards returns how many shard logs had a torn tail cut off
+// during recovery.
+func (m *Metrics) TruncatedShards() int { m.mu.Lock(); defer m.mu.Unlock(); return m.truncated }
+
+var _ store.Engine = (*Engine)(nil)
+
+// Open creates or recovers a WAL engine in opts.Dir: existing shard logs
+// are replayed into memory (truncating a torn tail), missing ones are
+// created empty.
+func Open(opts Options) (*Engine, error) {
+	policy, err := ParseFsync(opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = DefaultFsyncInterval
+	}
+	compact := opts.CompactThreshold
+	if compact == 0 {
+		compact = DefaultCompactThreshold
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	lock, err := acquireLock(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	mem := store.NewSharded(opts.Shards)
+	// The key→log mapping is fixed the moment the first record is written:
+	// reopening with a different stripe count would read too few logs or
+	// compact records into the wrong one. The count persisted at creation
+	// is therefore authoritative; a differing Shards option is overridden.
+	n, err := loadOrInitShards(opts.Dir, mem.NumShards())
+	if err != nil {
+		_ = lock.Close()
+		return nil, err
+	}
+	if n != mem.NumShards() {
+		mem = store.NewSharded(n)
+	}
+	e := &Engine{
+		mem:    mem,
+		dir:    opts.Dir,
+		fsync:  policy,
+		compat: compact,
+		mask:   uint32(n - 1),
+		shards: make([]*walShard, n),
+		lock:   lock,
+		stop:   make(chan struct{}),
+	}
+	for si := 0; si < n; si++ {
+		sh := &walShard{enc: wire.NewEncoder()}
+		if err := e.recoverShard(si, sh); err != nil {
+			// Close whatever opened before the failure.
+			for _, prev := range e.shards {
+				if prev != nil && prev.f != nil {
+					_ = prev.f.Close()
+				}
+			}
+			_ = lock.Close()
+			return nil, err
+		}
+		e.shards[si] = sh
+	}
+	// One directory sync covers every shard log created (or truncated)
+	// above, so a fresh data dir survives power loss as a unit.
+	if err := syncDir(opts.Dir); err != nil {
+		_ = e.Close()
+		return nil, fmt.Errorf("wal: sync dir: %w", err)
+	}
+	if policy == FsyncInterval {
+		e.wg.Add(1)
+		go e.fsyncLoop(opts.FsyncInterval)
+	}
+	return e, nil
+}
+
+// acquireLock takes an exclusive advisory lock on the data directory,
+// enforcing the one-engine-per-directory requirement: a second engine (or
+// a second server process pointed at the same -data-dir) fails at startup
+// instead of silently interleaving appends. The lock dies with the
+// process, so a crash never leaves a stale lock behind.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("wal: data dir %s is in use by another engine: %w", dir, err)
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so file creations and renames inside it
+// survive power loss, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadOrInitShards returns the stripe count the data directory was created
+// with, persisting the resolved count (atomically, fsynced) on first open.
+func loadOrInitShards(dir string, resolved int) (int, error) {
+	path := filepath.Join(dir, "wal.meta")
+	b, err := os.ReadFile(path)
+	if err == nil {
+		var n int
+		if _, serr := fmt.Sscanf(string(b), "shards=%d", &n); serr != nil ||
+			n <= 0 || n > store.MaxShards || n&(n-1) != 0 {
+			// The bound matters: a count above store.MaxShards would be
+			// clamped by the memory engine, desynchronizing the log↔stripe
+			// mapping compaction relies on.
+			return 0, fmt.Errorf("wal: corrupt meta file %s: %q", path, b)
+		}
+		return n, nil
+	}
+	if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("wal: read meta: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("shards=%d\n", resolved)), 0o644); err != nil {
+		return 0, fmt.Errorf("wal: write meta: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("wal: write meta: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return resolved, nil
+}
+
+// shardPath names shard si's log file.
+func (e *Engine) shardPath(si int) string {
+	return filepath.Join(e.dir, fmt.Sprintf("shard-%05d.log", si))
+}
+
+// recoverShard replays shard si's log into memory and leaves the file open
+// for appending. A record whose length prefix or checksum does not hold —
+// a torn tail from a crash mid-append — is truncated away along with
+// everything after it.
+func (e *Engine) recoverShard(si int, sh *walShard) error {
+	path := e.shardPath(si)
+	buf, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	var kvs []store.KV
+	good := 0 // byte offset of the end of the last intact record
+	for off := 0; off < len(buf); {
+		rest := buf[off:]
+		if len(rest) < recordHeader {
+			break // torn header
+		}
+		plen := binary.LittleEndian.Uint32(rest[:4])
+		// No upper bound on plen beyond the file itself: a record of any
+		// size that was fully written and checksums clean is valid — an
+		// arbitrary cap here would make a large committed value poison
+		// every record behind it. Corrupt lengths fail the bounds check or
+		// the CRC below.
+		if recordHeader+int(plen) > len(rest) {
+			break // torn payload (or a corrupt length running off the file)
+		}
+		payload := rest[recordHeader : recordHeader+int(plen)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			break // corrupt record
+		}
+		key, v, derr := decodeRecord(payload)
+		if derr != nil {
+			break // payload does not parse: treat like a torn record
+		}
+		kvs = append(kvs, store.KV{Key: key, Version: v})
+		off += recordHeader + int(plen)
+		good = off
+	}
+	e.mem.PutBatch(kvs)
+	e.metrics.mu.Lock()
+	e.metrics.recovered += len(kvs)
+	if good < len(buf) {
+		e.metrics.truncated++
+	}
+	e.metrics.mu.Unlock()
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if good < len(buf) {
+		if err := f.Truncate(int64(good)); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	sh.f = f
+	sh.size = int64(good)
+	return nil
+}
+
+// appendRecord encodes one version as a framed record at the end of enc's
+// buffer and back-patches the length and checksum.
+func appendRecord(enc *wire.Encoder, key string, v *store.Version) {
+	off := enc.Reserve(recordHeader)
+	enc.String(key)
+	enc.Bool(v.Value == nil)
+	enc.BytesField(v.Value)
+	enc.Timestamp(v.UT)
+	enc.Timestamp(v.RDT)
+	enc.Uvarint(v.TxID)
+	enc.Byte(v.SrcDC)
+	enc.Timestamps(v.DV)
+	buf := enc.Bytes()
+	payload := buf[off+recordHeader:]
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[off+4:], crc32.ChecksumIEEE(payload))
+}
+
+// decodeRecord parses one record payload back into a version.
+func decodeRecord(payload []byte) (string, *store.Version, error) {
+	d := wire.NewDecoder(payload)
+	key := d.String()
+	tombstone := d.Bool()
+	raw := d.BytesField()
+	v := &store.Version{
+		UT:    d.Timestamp(),
+		RDT:   d.Timestamp(),
+		TxID:  d.Uvarint(),
+		SrcDC: d.Byte(),
+		DV:    d.Timestamps(),
+	}
+	if err := d.Err(); err != nil {
+		return "", nil, err
+	}
+	if !tombstone {
+		v.Value = append([]byte{}, raw...)
+	}
+	return key, v, nil
+}
+
+// recordErr remembers the first append/sync failure, printing it to
+// stderr right away — an operator must learn that durability degraded
+// when it happens, not at Close. The memory stripes stay authoritative
+// for reads either way. (A write-path health signal servers could stop
+// acking on is tracked in ROADMAP.md.)
+func (e *Engine) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	first := e.err == nil
+	if first {
+		e.err = err
+	}
+	e.mu.Unlock()
+	if first {
+		fmt.Fprintf(os.Stderr, "wal: durability degraded in %s: %v\n", e.dir, err)
+	}
+}
+
+// appendLocked writes enc's buffered records to the shard log and applies
+// the fsync policy. Caller holds sh.mu.
+//
+// A failed or short write must not leave a torn record mid-log: recovery
+// stops at the first bad record, so appending past it would make every
+// later record — even fsynced ones — unreachable after a restart. The
+// failed append is rolled back by truncating to the last intact offset;
+// if even that fails the log is frozen (memory stays authoritative) until
+// a compaction rewrites it from live state.
+func (e *Engine) appendLocked(sh *walShard) {
+	if sh.enc.Len() == 0 || sh.failed {
+		return
+	}
+	if _, err := sh.f.Write(sh.enc.Bytes()); err != nil {
+		e.recordErr(fmt.Errorf("wal: append: %w", err))
+		if terr := sh.f.Truncate(sh.size); terr == nil {
+			_, terr = sh.f.Seek(sh.size, 0)
+			if terr == nil {
+				return
+			}
+		}
+		sh.failed = true
+		e.recordErr(fmt.Errorf("wal: append rollback failed, freezing shard log: %w", err))
+		return
+	}
+	sh.size += int64(len(sh.enc.Bytes()))
+	if e.fsync == FsyncAlways {
+		if err := sh.f.Sync(); err != nil {
+			e.recordErr(fmt.Errorf("wal: sync: %w", err))
+		}
+	} else {
+		sh.dirty = true
+	}
+}
+
+// Put implements store.Engine.
+func (e *Engine) Put(key string, v *store.Version) {
+	sh := e.shards[store.Fingerprint(key)&e.mask]
+	sh.mu.Lock()
+	sh.enc.Reset()
+	appendRecord(sh.enc, key, v)
+	e.appendLocked(sh)
+	// The memory insert happens under the WAL shard lock so compaction's
+	// snapshot-and-rewrite can never interleave between log and memory.
+	e.mem.Put(key, v)
+	sh.mu.Unlock()
+}
+
+// PutBatch implements store.Engine: all records of one batch destined for
+// the same shard are appended with a single write (group commit) and at
+// most one fsync.
+func (e *Engine) PutBatch(kvs []store.KV) {
+	switch len(kvs) {
+	case 0:
+		return
+	case 1:
+		e.Put(kvs[0].Key, kvs[0].Version)
+		return
+	}
+	store.ForEachShardGroup(e.mask, kvs, func(id uint32, group []store.KV) {
+		sh := e.shards[id]
+		sh.mu.Lock()
+		sh.enc.Reset()
+		for _, kv := range group {
+			appendRecord(sh.enc, kv.Key, kv.Version)
+		}
+		e.appendLocked(sh)
+		e.mem.PutBatch(group)
+		sh.mu.Unlock()
+	})
+}
+
+// ReadVisible implements store.Engine.
+func (e *Engine) ReadVisible(key string, visible store.VisibleFunc) *store.Version {
+	return e.mem.ReadVisible(key, visible)
+}
+
+// ReadVisibleBatch implements store.Engine.
+func (e *Engine) ReadVisibleBatch(keys []string, visible store.VisibleFunc) []*store.Version {
+	return e.mem.ReadVisibleBatch(keys, visible)
+}
+
+// Latest implements store.Engine.
+func (e *Engine) Latest(key string) *store.Version { return e.mem.Latest(key) }
+
+// GC implements store.Engine.
+func (e *Engine) GC(oldest hlc.Timestamp) int { return e.GCStats(oldest).Removed }
+
+// GCStats implements store.Engine: it prunes the memory stripes, then
+// rewrites any shard log whose dropped-version count crossed the
+// compaction threshold.
+func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
+	res := e.mem.GCStats(oldest)
+	if e.compat < 0 {
+		return res
+	}
+	for si, n := range res.PerShard {
+		if n == 0 {
+			continue
+		}
+		sh := e.shards[si]
+		sh.mu.Lock()
+		sh.dropped += n
+		compact := sh.dropped >= e.compat
+		sh.mu.Unlock()
+		if compact {
+			e.compactShard(si)
+		}
+	}
+	return res
+}
+
+// compactShard rewrites shard si's log from live memory state: encode the
+// surviving versions into a temp file, fsync it, and atomically rename it
+// over the old log. Appends to the shard are blocked for the duration.
+func (e *Engine) compactShard(si int) {
+	sh := e.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	snap := e.mem.ShardSnapshot(si)
+	path := e.shardPath(si)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		e.recordErr(fmt.Errorf("wal: compact %s: %w", path, err))
+		return
+	}
+	// Stream the rewrite through a throwaway encoder and a buffered
+	// writer: sh.enc lives as long as the engine, and Reset keeps buffer
+	// capacity, so encoding a whole shard into it would pin a
+	// snapshot-sized allocation per shard forever.
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := wire.NewEncoder()
+	var written int64
+	for _, kv := range snap {
+		enc.Reset()
+		appendRecord(enc, kv.Key, kv.Version)
+		if _, err = w.Write(enc.Bytes()); err != nil {
+			break
+		}
+		written += int64(len(enc.Bytes()))
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		e.recordErr(fmt.Errorf("wal: compact %s: %w", path, err))
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return
+	}
+
+	// f still refers to the inode that now lives at path (rename moved
+	// it), positioned at its end — it becomes the append handle directly,
+	// so there is no reopen step that could fail and leave appends going
+	// to a dead file.
+	_ = sh.f.Close()
+	sh.f = f
+	sh.size = written
+	sh.dropped = 0
+	sh.dirty = false
+	sh.failed = false // the rewrite from live memory state repairs a frozen log
+	// Persist the rename itself: without the directory sync a power loss
+	// could revert the name to the pre-compaction inode, losing every
+	// post-compaction append.
+	if derr := syncDir(e.dir); derr != nil {
+		e.recordErr(fmt.Errorf("wal: compact %s: sync dir: %w", path, derr))
+	}
+	e.metrics.mu.Lock()
+	e.metrics.compactions++
+	e.metrics.mu.Unlock()
+}
+
+// Keys implements store.Engine.
+func (e *Engine) Keys() int { return e.mem.Keys() }
+
+// Versions implements store.Engine.
+func (e *Engine) Versions() int { return e.mem.Versions() }
+
+// VersionsOf implements store.Engine.
+func (e *Engine) VersionsOf(key string) int { return e.mem.VersionsOf(key) }
+
+// NumShards implements store.Engine.
+func (e *Engine) NumShards() int { return e.mem.NumShards() }
+
+// ForEachKey implements store.Engine.
+func (e *Engine) ForEachKey(fn func(key string)) { e.mem.ForEachKey(fn) }
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// Dir returns the engine's data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// fsyncLoop flushes dirty shard logs on a timer (FsyncInterval policy).
+func (e *Engine) fsyncLoop(every time.Duration) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.syncDirty()
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) syncDirty() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		var f *os.File
+		if sh.dirty {
+			f = sh.f
+			sh.dirty = false
+		}
+		sh.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		// Sync outside the shard lock so appends are not stalled behind
+		// the fsync this policy opted out of waiting for. An append racing
+		// in re-sets dirty, keeping the one-interval loss bound. A
+		// concurrent compaction may close f under us — harmless, since the
+		// log it installs in f's place is synced before the swap.
+		if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+			e.recordErr(fmt.Errorf("wal: sync: %w", err))
+		}
+	}
+}
+
+// Close implements store.Engine: it stops the sync loop, forces every log
+// to stable storage (a clean shutdown is always fully durable, whatever
+// the fsync policy), closes the files, and returns the first error any
+// append, sync or compaction hit.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		err := e.err
+		e.mu.Unlock()
+		return err
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	close(e.stop)
+	e.wg.Wait()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if err := sh.f.Sync(); err != nil {
+			e.recordErr(fmt.Errorf("wal: close sync: %w", err))
+		}
+		if err := sh.f.Close(); err != nil {
+			e.recordErr(fmt.Errorf("wal: close: %w", err))
+		}
+		sh.mu.Unlock()
+	}
+	_ = e.lock.Close() // releases the directory lock
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

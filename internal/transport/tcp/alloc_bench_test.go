@@ -1,0 +1,94 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"wren/internal/hlc"
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+// benchMsg is a representative replication frame: one transaction, two
+// writes — the shape that dominates steady-state traffic.
+func benchMsg() wire.Message {
+	return &wire.Replicate{SrcDC: 1, Partition: 3, Txs: []wire.ReplTx{{
+		TxID: 42, CT: hlc.New(1000, 1), RST: hlc.New(900, 0),
+		Writes: []wire.KV{
+			{Key: "user:123:profile", Value: []byte("0123456789abcdef")},
+			{Key: "user:123:feed", Value: []byte("fedcba9876543210")},
+		},
+	}}}
+}
+
+// encodeFrameAlloc is the pre-pooling frame path, kept as the benchmark
+// baseline: a fresh encoder, payload buffer and frame buffer per message.
+func encodeFrameAlloc(from transport.NodeID, m wire.Message) []byte {
+	payload := wire.Encode(m)
+	frame := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(1+4+4+len(payload)))
+	frame[4] = byte(m.Kind())
+	binary.BigEndian.PutUint32(frame[5:9], uint32(int32(from.DC)))
+	binary.BigEndian.PutUint32(frame[9:13], uint32(int32(from.Node)))
+	copy(frame[headerLen:], payload)
+	return frame
+}
+
+// BenchmarkFrameEncode compares per-message allocation of the old
+// (allocate-per-frame) and new (pooled encoder) framing paths.
+func BenchmarkFrameEncode(b *testing.B) {
+	from := transport.ServerID(0, 1)
+	m := benchMsg()
+
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = encodeFrameAlloc(from, m)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := encPool.Get().(*wire.Encoder)
+			_ = encodeFrame(enc, from, m)
+			encPool.Put(enc)
+		}
+	})
+}
+
+// TestEncodeFrameMatchesAllocPath pins the pooled framing to the reference
+// byte layout and checks a reused encoder does not leak previous frames.
+func TestEncodeFrameMatchesAllocPath(t *testing.T) {
+	from := transport.ServerID(2, 7)
+	enc := wire.NewEncoder()
+	msgs := []wire.Message{
+		benchMsg(),
+		&wire.Heartbeat{SrcDC: 0, Partition: 1, TS: hlc.New(5, 0)},
+		benchMsg(),
+	}
+	for _, m := range msgs {
+		want := encodeFrameAlloc(from, m)
+		got := encodeFrame(enc, from, m)
+		if string(got) != string(want) {
+			t.Fatalf("pooled frame differs from reference for %v:\n got %x\nwant %x", m.Kind(), got, want)
+		}
+	}
+}
+
+// TestFrameEncodePooledSteadyStateAllocs verifies the pooled path is
+// allocation-free once the pool is warm.
+func TestFrameEncodePooledSteadyStateAllocs(t *testing.T) {
+	from := transport.ServerID(0, 0)
+	m := benchMsg()
+	// Warm a private pool so parallel tests cannot steal the encoder.
+	pool := sync.Pool{New: func() any { return wire.NewEncoder() }}
+	enc := pool.Get().(*wire.Encoder)
+	_ = encodeFrame(enc, from, m)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = encodeFrame(enc, from, m)
+	})
+	if allocs > 0 {
+		t.Errorf("pooled frame encode allocates %.1f times per message, want 0", allocs)
+	}
+}

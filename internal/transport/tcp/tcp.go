@@ -272,18 +272,34 @@ func newPeerConn(c net.Conn) *peerConn {
 	return &peerConn{conn: c}
 }
 
-func (pc *peerConn) write(from transport.NodeID, m wire.Message) error {
-	payload := wire.Encode(m)
-	frame := make([]byte, headerLen+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(1+4+4+len(payload)))
+// encPool recycles frame encoders across connections: steady-state framing
+// costs zero allocations instead of one encoder plus one payload plus one
+// frame buffer per message.
+var encPool = sync.Pool{New: func() any { return wire.NewEncoder() }}
+
+// encodeFrame serializes m with its frame header into enc's reused buffer:
+// [4-byte length][1-byte kind][4-byte from.DC][4-byte from.Node][payload].
+func encodeFrame(enc *wire.Encoder, from transport.NodeID, m wire.Message) []byte {
+	enc.Reset()
+	enc.Reserve(headerLen)
+	wire.EncodeInto(enc, m)
+	frame := enc.Bytes()
+	payloadLen := len(frame) - headerLen
+	binary.BigEndian.PutUint32(frame[0:4], uint32(1+4+4+payloadLen))
 	frame[4] = byte(m.Kind())
 	binary.BigEndian.PutUint32(frame[5:9], uint32(int32(from.DC)))
 	binary.BigEndian.PutUint32(frame[9:13], uint32(int32(from.Node)))
-	copy(frame[headerLen:], payload)
+	return frame
+}
+
+func (pc *peerConn) write(from transport.NodeID, m wire.Message) error {
+	enc := encPool.Get().(*wire.Encoder)
+	frame := encodeFrame(enc, from, m)
 
 	pc.writeMu.Lock()
-	defer pc.writeMu.Unlock()
 	_, err := pc.conn.Write(frame)
+	pc.writeMu.Unlock()
+	encPool.Put(enc)
 	return err
 }
 

@@ -51,6 +51,30 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of bytes written (or counted).
 func (e *Encoder) Len() int { return e.n }
 
+// Reset clears the encoder for reuse, keeping the buffer capacity. Pooled
+// encoders (transport framing, WAL appends) call this between messages so
+// steady-state encoding does not allocate.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.n = 0
+	e.sizeOnly = false
+}
+
+// Reserve appends n zero bytes and returns their offset, so callers can
+// back-patch a fixed-size header (length prefix, checksum) after the
+// payload is encoded.
+func (e *Encoder) Reserve(n int) int {
+	off := len(e.buf)
+	e.n += n
+	if e.sizeOnly {
+		return off
+	}
+	for i := 0; i < n; i++ {
+		e.buf = append(e.buf, 0)
+	}
+	return off
+}
+
 func (e *Encoder) writeByte(b byte) {
 	e.n++
 	if e.sizeOnly {
@@ -280,6 +304,13 @@ func Encode(m Message) []byte {
 	e := NewEncoder()
 	m.encodeTo(e)
 	return e.Bytes()
+}
+
+// EncodeInto serializes a message payload into e, appending to whatever e
+// already holds. It lets callers reuse pooled encoders and prepend their
+// own framing without an intermediate copy.
+func EncodeInto(e *Encoder, m Message) {
+	m.encodeTo(e)
 }
 
 // Size returns the number of bytes the message occupies on the wire,

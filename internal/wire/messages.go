@@ -145,10 +145,28 @@ func (it *Item) decodeFrom(d *Decoder) {
 	it.DV = d.Timestamps()
 }
 
-// KV is a raw write buffered in a transaction's write set.
+// KV is a raw write buffered in a transaction's write set. Tombstone marks
+// a delete: the write installs the store's deletion marker (a nil-valued
+// version) instead of a value. The flag is explicit on the wire because a
+// zero-length Value cannot distinguish "empty value" from "deleted" after
+// decoding.
 type KV struct {
-	Key   string
-	Value []byte
+	Key       string
+	Value     []byte
+	Tombstone bool
+}
+
+// VersionValue returns the value a storage engine should keep for this
+// write: nil for a tombstone (the engine's deletion marker), a non-nil
+// slice — possibly empty — otherwise.
+func (kv KV) VersionValue() []byte {
+	if kv.Tombstone {
+		return nil
+	}
+	if kv.Value == nil {
+		return []byte{}
+	}
+	return kv.Value
 }
 
 func encodeKVs(e *Encoder, kvs []KV) {
@@ -156,6 +174,7 @@ func encodeKVs(e *Encoder, kvs []KV) {
 	for i := range kvs {
 		e.String(kvs[i].Key)
 		e.BytesField(kvs[i].Value)
+		e.Bool(kvs[i].Tombstone)
 	}
 }
 
@@ -168,6 +187,7 @@ func decodeKVs(d *Decoder) []KV {
 	for i := range out {
 		out[i].Key = d.String()
 		out[i].Value = append([]byte(nil), d.BytesField()...)
+		out[i].Tombstone = d.Bool()
 	}
 	return out
 }

@@ -99,6 +99,18 @@ type Config struct {
 	// version store (default 64, rounded up to a power of two). Raise it on
 	// many-core machines to reduce lock contention on the storage hot path.
 	StoreShards int
+	// StoreBackend selects each server's storage engine: "" or "memory"
+	// keeps versions only in memory; "wal" adds durable per-shard
+	// append-only logs replayed on restart, making a cluster restartable
+	// from the same DataDir.
+	StoreBackend string
+	// DataDir is the root directory the wal backend writes under; every
+	// server uses its own dc<m>-p<n> subdirectory. Empty with the wal
+	// backend selects a temporary directory removed on Close.
+	DataDir string
+	// FsyncPolicy is the WAL group-commit policy: "always" (fsync every
+	// write batch), "interval" (default: fsync on a 10ms timer) or "never".
+	FsyncPolicy string
 	// Seed fixes the clock-skew assignment for reproducibility.
 	Seed int64
 }
@@ -137,6 +149,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		GossipInterval:  cfg.GossipInterval,
 		GCInterval:      cfg.GCInterval,
 		StoreShards:     cfg.StoreShards,
+		StoreBackend:    cfg.StoreBackend,
+		DataDir:         cfg.DataDir,
+		FsyncPolicy:     cfg.FsyncPolicy,
 		Seed:            cfg.Seed,
 	})
 	if err != nil {
