@@ -6,9 +6,17 @@
 //	wren-bench -figure 6a -threads 8
 //	wren-bench -ablation blocking-commit
 //	wren-bench -quick -figure 3a   # reduced topology for a fast look
+//	wren-bench -read-path          # read-path suite -> BENCH_read_path.json
 //
 // Figures: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b, 7a, 7b.
 // Ablations: blocking-commit, gossip-interval, snapshot-age.
+//
+// -read-path runs the contention-free read-path suite (reads-only, 95:5
+// and 50:50 mixes at several goroutine counts) with runtime mutex
+// profiling enabled, and writes a machine-readable report (default
+// BENCH_read_path.json) so successive PRs leave a comparable perf
+// trajectory. The run fails if the mutex profile shows contention on a
+// plain mutex inside the server read handlers.
 package main
 
 import (
@@ -50,13 +58,15 @@ func run(args []string) error {
 		fsync      = fs.String("fsync", "", "wal fsync policy: always, interval (default) or never")
 		seed       = fs.Int64("seed", 1, "random seed")
 		quick      = fs.Bool("quick", false, "reduced topology and windows for a fast run")
+		readPath   = fs.Bool("read-path", false, "run the read-path suite and emit a JSON report")
+		jsonOut    = fs.String("out", "BENCH_read_path.json", "output path for the -read-path JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *figure == "" && *ablation == "" {
+	if *figure == "" && *ablation == "" && !*readPath {
 		fs.Usage()
-		return fmt.Errorf("one of -figure or -ablation is required")
+		return fmt.Errorf("one of -figure, -ablation or -read-path is required")
 	}
 
 	o := bench.DefaultOptions()
@@ -88,6 +98,9 @@ func run(args []string) error {
 		o.KeysPerPartition = q.KeysPerPartition
 	}
 
+	if *readPath {
+		return runReadPath(o, *jsonOut)
+	}
 	if *ablation != "" {
 		return runAblation(o, *ablation)
 	}
@@ -197,6 +210,31 @@ func runFigure(o bench.Options, figure string) error {
 		fmt.Print(bench.FormatVisibility("Figure 7b: update visibility latency CDF (AWS latency matrix)", results))
 	default:
 		return fmt.Errorf("unknown figure %q", figure)
+	}
+	return nil
+}
+
+func runReadPath(o bench.Options, out string) error {
+	start := time.Now()
+	rep, err := bench.RunReadPath(o, o.Threads)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatReadPath(rep))
+	fmt.Printf("[read-path done in %v]\n", time.Since(start).Round(time.Second))
+	if out != "" {
+		data, err := rep.WriteJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	if !rep.Mutex.Clean() {
+		return fmt.Errorf("read path contended a server-wide mutex: %d samples, first stack: %s",
+			rep.Mutex.ReadPathSamples, rep.Mutex.ReadPathFootprint)
 	}
 	return nil
 }

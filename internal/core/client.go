@@ -345,6 +345,10 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 		}
 	}
 	t.client.mu.Unlock()
+	// The response message is pooled server-side; everything needed has
+	// been copied out (values are referenced, never mutated), so the
+	// session — the receiving end — releases it.
+	wire.PutTxReadResp(rr)
 	return result, nil
 }
 

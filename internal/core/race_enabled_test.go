@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race, whose
+// sync.Pool instrumentation adds bookkeeping allocations that would fail
+// the exact allocation pins.
+const raceEnabled = true

@@ -9,11 +9,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wren/internal/fanin"
 	"wren/internal/hlc"
 	"wren/internal/sharding"
 	"wren/internal/stats"
 	"wren/internal/store"
 	"wren/internal/store/backend"
+	"wren/internal/stripemap"
 	"wren/internal/transport"
 	"wren/internal/wire"
 )
@@ -133,7 +135,9 @@ func (c *ServerConfig) engineDir() string {
 }
 
 // txContext is the coordinator-side state of an open transaction
-// (TX[id_T] in Algorithm 2).
+// (TX[id_T] in Algorithm 2). It is a value type stored in a striped map
+// keyed by TxID, so looking one up on the read path touches only the
+// stripe its TxID hashes to — never writer state.
 type txContext struct {
 	lt      hlc.Timestamp
 	rt      hlc.Timestamp
@@ -157,15 +161,34 @@ type committedTx struct {
 	writes []wire.KV
 }
 
-// sliceCall tracks an outstanding SliceReq issued by this server acting as
-// a transaction coordinator.
-type sliceCall struct {
-	ch chan *wire.SliceResp
-}
-
 // prepareCall collects PrepareResp messages for one committing transaction.
 type prepareCall struct {
 	ch chan hlc.Timestamp
+}
+
+// cantorPred is the CANToR visibility predicate (Algorithm 3 lines 7–8) in
+// reusable form: a pooled readScratch binds its visible method once, so a
+// slice read updates three fields instead of allocating a fresh closure.
+type cantorPred struct {
+	localDC uint8
+	lt, rt  hlc.Timestamp
+}
+
+func (p *cantorPred) visible(v *store.Version) bool {
+	if v.SrcDC == p.localDC {
+		return v.UT <= p.lt && v.RDT <= p.rt
+	}
+	return v.UT <= p.rt && v.RDT <= p.lt
+}
+
+// readScratch is the pooled per-read working set: the bound visibility
+// predicate and the version result buffer handed to the engine's
+// caller-buffer batch read. With it, a slice read allocates nothing in
+// steady state.
+type readScratch struct {
+	pred    cantorPred
+	visible store.VisibleFunc
+	vers    []*store.Version
 }
 
 // Metrics exposes server-side counters for tests and the benchmark harness.
@@ -180,24 +203,54 @@ type Metrics struct {
 }
 
 // Server is one Wren partition server p_n^m.
+//
+// The state is split so that the read path — handleStartTx, handleTxRead,
+// handleSliceReq, handleSliceResp — never acquires the server-wide mutex:
+// the stable times are atomically published scalars, per-request
+// bookkeeping lives in striped maps keyed by TxID/ReqID, and per-read
+// working memory comes from pools. s.mu guards only writer state (the
+// pending/commit lists, the version vector, gossip aggregation arrays),
+// so reads never wait behind commits, replication applies or BiST gossip —
+// the paper's nonblocking-read property held at the implementation level.
 type Server struct {
 	cfg   ServerConfig
 	id    transport.NodeID
 	clock *hlc.Clock
 	st    store.Engine
 
+	// lst/rst are the stable times (LST, RST): lock-free monotonic
+	// max-merge publication, loaded on every read.
+	lst hlc.AtomicTimestamp
+	rst hlc.AtomicTimestamp
+
+	// txCtx and pendingSlice are read-path bookkeeping: open transaction
+	// contexts and in-flight slice-read fan-ins.
+	txCtx        *stripemap.Map[txContext]
+	pendingSlice *stripemap.Map[*fanin.TxRead]
+
+	// snapMu makes snapshot assignment atomic with respect to GC's
+	// oldest-snapshot computation. StartTx holds it SHARED around
+	// (load lst → store context) — concurrent transaction starts never
+	// serialize on it — while gcTick takes it exclusively for one load:
+	// the barrier guarantees every context whose lt predates the GC
+	// floor is visible to the sweep, so GC can never prune a version a
+	// just-started transaction's snapshot still needs. A writer touches
+	// it twice per second; readers share it, which keeps the read path's
+	// no-plain-Mutex property intact.
+	snapMu sync.RWMutex
+
+	// readPool holds readScratch, fanPool holds fanoutScratch.
+	readPool sync.Pool
+	fanPool  sync.Pool
+
 	mu            sync.Mutex
 	vv            []hlc.Timestamp // version vector: vv[m] is the local version clock
-	lst           hlc.Timestamp   // local stable time known to this server
-	rst           hlc.Timestamp   // remote stable time known to this server
 	prepared      map[uint64]*preparedTx
 	committed     []*committedTx
-	txCtx         map[uint64]*txContext
 	peerLocal     []hlc.Timestamp // per-partition gossiped local version clocks
 	peerRemoteMin []hlc.Timestamp // per-partition gossiped min remote entries
 	peerOldest    []hlc.Timestamp // per-partition gossiped oldest active snapshots
 
-	pendingSlice   map[uint64]*sliceCall
 	pendingPrepare map[uint64]*prepareCall
 
 	reqSeq  atomic.Uint64
@@ -209,7 +262,13 @@ type Server struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	reqWG     sync.WaitGroup
-	draining  bool // guarded by mu; set during Stop
+
+	// drainMu orders goAsync's draining check + reqWG.Add against Stop's
+	// draining=true + reqWG.Wait: without it, an Add could race Wait at
+	// counter zero (a documented WaitGroup misuse that panics). Only the
+	// commit path touches it; reads no longer use goAsync at all.
+	drainMu  sync.Mutex
+	draining bool // guarded by drainMu; set during Stop
 }
 
 // NewServer constructs a Wren partition server. Call Start to register it
@@ -235,14 +294,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		st:             eng,
 		vv:             make([]hlc.Timestamp, cfg.NumDCs),
 		prepared:       make(map[uint64]*preparedTx),
-		txCtx:          make(map[uint64]*txContext),
+		txCtx:          stripemap.New[txContext](0),
 		peerLocal:      make([]hlc.Timestamp, cfg.NumPartitions),
 		peerRemoteMin:  make([]hlc.Timestamp, cfg.NumPartitions),
 		peerOldest:     make([]hlc.Timestamp, cfg.NumPartitions),
-		pendingSlice:   make(map[uint64]*sliceCall),
+		pendingSlice:   stripemap.New[*fanin.TxRead](0),
 		pendingPrepare: make(map[uint64]*prepareCall),
 		stop:           make(chan struct{}),
 	}
+	s.readPool.New = func() any {
+		rs := &readScratch{pred: cantorPred{localDC: uint8(cfg.DC)}}
+		// Bind the method value once: reusing it is what keeps the
+		// predicate allocation off the per-read path.
+		rs.visible = rs.pred.visible
+		return rs
+	}
+	s.fanPool.New = func() any { return &fanin.Fanout{} }
 	return s, nil
 }
 
@@ -280,9 +347,9 @@ func (s *Server) Start() {
 func (s *Server) Stop() {
 	var flush bool
 	s.stopOnce.Do(func() {
-		s.mu.Lock()
+		s.drainMu.Lock()
 		s.draining = true
-		s.mu.Unlock()
+		s.drainMu.Unlock()
 		close(s.stop)
 		flush = true
 	})
@@ -345,26 +412,29 @@ func (s *Server) flushCommitted() {
 }
 
 // goAsync runs fn on a tracked goroutine unless the server is draining.
-// Handlers use it for work that must not block a delivery link.
+// The commit path uses it for the 2PC response collection, which must not
+// block a delivery link. (Reads no longer need it: their fan-in is a
+// completion counter, not a parked goroutine.)
 func (s *Server) goAsync(fn func()) {
-	s.mu.Lock()
+	s.drainMu.Lock()
 	if s.draining {
-		s.mu.Unlock()
+		s.drainMu.Unlock()
 		return
 	}
 	s.reqWG.Add(1)
-	s.mu.Unlock()
+	s.drainMu.Unlock()
 	go func() {
 		defer s.reqWG.Done()
 		fn()
 	}()
 }
 
-// StableTimes returns the server's current view of (LST, RST).
+// StableTimes returns the server's current view of (LST, RST). The two
+// scalars are loaded independently; each is monotone, and no protocol rule
+// requires them to be read as a pair (StartTx re-establishes rt < lt
+// itself).
 func (s *Server) StableTimes() (lst, rst hlc.Timestamp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lst, s.rst
+	return s.lst.Load(), s.rst.Load()
 }
 
 // VersionVector returns a copy of the server's version vector.
@@ -438,141 +508,128 @@ func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
 // stable times with the client's, then assign the transaction snapshot
 // (lst, min(rst, lst−1)).
 func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
-	s.mu.Lock()
-	if m.LST > s.lst {
-		s.lst = m.LST
-	}
-	if m.RST > s.rst {
-		s.rst = m.RST
-	}
+	s.lst.Advance(m.LST)
+	s.rst.Advance(m.RST)
 	id := s.newTxID()
-	lt := s.lst
-	rt := hlc.Min(s.rst, lt.Prev())
-	s.txCtx[id] = &txContext{lt: lt, rt: rt, created: time.Now()}
-	s.mu.Unlock()
+	s.snapMu.RLock()
+	lt := s.lst.Load()
+	rt := hlc.Min(s.rst.Load(), lt.Prev())
+	s.txCtx.Store(id, txContext{lt: lt, rt: rt, created: time.Now()})
+	s.snapMu.RUnlock()
 
 	s.metrics.TxStarted.Inc()
 	s.send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, LST: lt, RST: rt})
 }
 
 // handleTxRead implements Algorithm 2 lines 7–16: fan the key set out to
-// the responsible partitions and merge the slices.
+// the responsible partitions and merge the slices via a completion-counter
+// fan-in — the last arriving SliceResp assembles and sends the TxReadResp,
+// so no goroutine parks per in-flight read and no server-wide lock is
+// taken.
 func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
-	s.mu.Lock()
-	ctx, ok := s.txCtx[m.TxID]
-	var lt, rt hlc.Timestamp
-	if ok {
-		lt, rt = ctx.lt, ctx.rt
-	}
-	s.mu.Unlock()
+	ctx, ok := s.txCtx.Load(m.TxID)
 	if !ok {
 		// Unknown (expired) transaction: reply empty so the client can fail fast.
 		s.send(from, &wire.TxReadResp{ReqID: m.ReqID})
 		return
 	}
+	lt, rt := ctx.lt, ctx.rt
 
-	groups := sharding.GroupByPartition(m.Keys, s.cfg.NumPartitions)
+	fo := s.fanPool.Get().(*fanin.Fanout)
+	fo.Reset(s.cfg.NumPartitions)
+	for _, k := range m.Keys {
+		fo.Add(sharding.PartitionOf(k, s.cfg.NumPartitions), k)
+	}
+	remote := len(fo.Touched)
+	if len(fo.Groups[s.cfg.Partition]) > 0 {
+		remote--
+	}
+
+	fi := fanin.Start(from, m.ReqID, remote)
+
 	// Keys this partition owns are served locally with one batched store
-	// read instead of a self-addressed SliceReq round trip.
-	localKeys := groups[s.cfg.Partition]
-	delete(groups, s.cfg.Partition)
-	calls := make([]*sliceCall, 0, len(groups))
-	s.mu.Lock()
-	type out struct {
-		to  transport.NodeID
-		req *wire.SliceReq
-	}
-	outs := make([]out, 0, len(groups))
-	for p, keys := range groups {
-		reqID := s.reqSeq.Add(1)
-		call := &sliceCall{ch: make(chan *wire.SliceResp, 1)}
-		s.pendingSlice[reqID] = call
-		calls = append(calls, call)
-		outs = append(outs, out{
-			to:  transport.ServerID(s.cfg.DC, p),
-			req: &wire.SliceReq{ReqID: reqID, Keys: keys, LT: lt, RT: rt},
-		})
-	}
-	s.mu.Unlock()
-	for _, o := range outs {
-		s.send(o.to, o.req)
+	// read instead of a self-addressed SliceReq round trip, appending
+	// straight into the response buffer: this runs before any remote
+	// registration, so nothing can race the append and no staging copy
+	// is paid.
+	if localKeys := fo.Groups[s.cfg.Partition]; len(localKeys) > 0 {
+		fi.SetItems(s.readSlice(localKeys, lt, rt, fi.Items()))
+		s.metrics.SlicesServed.Inc()
 	}
 
-	// Collect the slice responses off the handler goroutine so the link is
-	// never blocked.
-	s.goAsync(func() {
-		resp := &wire.TxReadResp{ReqID: m.ReqID}
-		if len(localKeys) > 0 {
-			resp.Items = append(resp.Items, s.readSlice(localKeys, lt, rt)...)
-			s.metrics.SlicesServed.Inc()
+	for _, p := range fo.Touched {
+		if p == s.cfg.Partition {
+			continue
 		}
-		for _, call := range calls {
-			select {
-			case sr := <-call.ch:
-				resp.Items = append(resp.Items, sr.Items...)
-				if sr.BlockedMicros > resp.BlockedMicros {
-					resp.BlockedMicros = sr.BlockedMicros
-				}
-			case <-s.stop:
-				return
-			}
-		}
-		s.send(from, resp)
-	})
+		reqID := s.reqSeq.Add(1)
+		req := wire.GetSliceReq()
+		req.ReqID, req.LT, req.RT = reqID, lt, rt
+		req.Keys = append(req.Keys[:0], fo.Groups[p]...)
+		s.pendingSlice.Store(reqID, fi)
+		s.send(transport.ServerID(s.cfg.DC, p), req)
+	}
+	s.fanPool.Put(fo)
+
+	// Release the coordinator's own contribution; when every remote slice
+	// already answered (or none was needed), this assembles the response.
+	if resp, to, last := fi.Finish(); last {
+		s.send(to, resp)
+	}
 }
 
 // handleSliceReq implements Algorithm 3 lines 1–12: refresh stable times
-// and return the freshest visible version of each key — without blocking.
+// and return the freshest visible version of each key — without blocking
+// and without acquiring any server-wide mutex. The response message and
+// its item buffer come from pools; the receiver releases them.
 func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
-	s.mu.Lock()
-	if m.LT > s.lst {
-		s.lst = m.LT
-	}
-	if m.RT > s.rst {
-		s.rst = m.RT
-	}
-	s.mu.Unlock()
+	s.lst.Advance(m.LT)
+	s.rst.Advance(m.RT)
 
-	items := s.readSlice(m.Keys, m.LT, m.RT)
+	resp := wire.GetSliceResp()
+	resp.ReqID = m.ReqID
+	resp.Items = s.readSlice(m.Keys, m.LT, m.RT, resp.Items[:0])
 	s.metrics.SlicesServed.Inc()
-	s.send(from, &wire.SliceResp{ReqID: m.ReqID, Items: items})
+	s.send(from, resp)
+	wire.PutSliceReq(m)
 }
 
 // readSlice resolves keys under the CANToR snapshot (lt, rt) with one
-// batched store pass: one read-lock acquisition per touched shard. A
-// visible tombstone means the key is deleted in this snapshot — it hides
-// older versions and is reported as absence (no item), like a key never
-// written.
-func (s *Server) readSlice(keys []string, lt, rt hlc.Timestamp) []wire.Item {
-	visible := visibleFunc(uint8(s.cfg.DC), lt, rt)
-	vs := s.st.ReadVisibleBatch(keys, visible)
-	items := make([]wire.Item, 0, len(keys))
-	for i, v := range vs {
+// batched store pass — one read-lock acquisition per touched shard — and
+// appends the visible items to dst, which it returns. In steady state it
+// allocates nothing: the bound predicate and the version buffer come from
+// the server's read pool. A visible tombstone means the key is deleted in
+// this snapshot — it hides older versions and is reported as absence (no
+// item), like a key never written.
+func (s *Server) readSlice(keys []string, lt, rt hlc.Timestamp, dst []wire.Item) []wire.Item {
+	rs := s.readPool.Get().(*readScratch)
+	rs.pred.lt, rs.pred.rt = lt, rt
+	rs.vers = s.st.ReadVisibleBatchInto(keys, rs.visible, rs.vers)
+	for i, v := range rs.vers {
 		if v != nil && v.Value != nil {
-			items = append(items, wire.Item{
+			dst = append(dst, wire.Item{
 				Key: keys[i], Value: v.Value, UT: v.UT, RDT: v.RDT, TxID: v.TxID, SrcDC: v.SrcDC,
 			})
 		}
 	}
-	return items
+	clear(rs.vers) // don't pin GC-able version chains while idle in the pool
+	s.readPool.Put(rs)
+	return dst
 }
 
 func (s *Server) handleSliceResp(m *wire.SliceResp) {
-	s.mu.Lock()
-	call := s.pendingSlice[m.ReqID]
-	delete(s.pendingSlice, m.ReqID)
-	s.mu.Unlock()
-	if call != nil {
-		call.ch <- m
+	if fi, ok := s.pendingSlice.LoadAndDelete(m.ReqID); ok {
+		fi.Fold(m.Items, m.BlockedMicros)
+		if resp, to, last := fi.Finish(); last {
+			s.send(to, resp)
+		}
 	}
+	wire.PutSliceResp(m)
 }
 
 // handleCommitReq implements Algorithm 2 lines 17–28: run the two-phase
 // commit across the cohort partitions.
 func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
-	s.mu.Lock()
-	ctx, ok := s.txCtx[m.TxID]
-	delete(s.txCtx, m.TxID)
+	ctx, ok := s.txCtx.LoadAndDelete(m.TxID)
 	var lt, rt hlc.Timestamp
 	if ok {
 		lt, rt = ctx.lt, ctx.rt
@@ -580,9 +637,8 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 		// Context expired (or read-only cleanup racing): fall back to the
 		// server's current stable times; commit timestamps proposed below
 		// still exceed every snapshot the client has seen via hwt.
-		lt, rt = s.lst, s.rst
+		lt, rt = s.lst.Load(), s.rst.Load()
 	}
-	s.mu.Unlock()
 
 	if len(m.Writes) == 0 {
 		// Read-only transactions just release their context (the paper's
@@ -643,13 +699,7 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 			// slow (paper §III-B).
 			ticker := time.NewTicker(time.Millisecond)
 			defer ticker.Stop()
-			for {
-				s.mu.Lock()
-				stable := s.lst >= ct
-				s.mu.Unlock()
-				if stable {
-					break
-				}
+			for s.lst.Load() < ct {
 				select {
 				case <-ticker.C:
 				case <-s.stop:
@@ -666,13 +716,9 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 // everything the client has seen and propose it as the commit timestamp.
 func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
 	pt := s.clock.TickPast(hlc.Max(m.HT, m.LT, m.RT))
+	s.lst.Advance(m.LT)
+	s.rst.Advance(m.RT)
 	s.mu.Lock()
-	if m.LT > s.lst {
-		s.lst = m.LT
-	}
-	if m.RT > s.rst {
-		s.rst = m.RT
-	}
 	s.prepared[m.TxID] = &preparedTx{pt: pt, rst: m.RT, writes: m.Writes}
 	s.mu.Unlock()
 	s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt})
@@ -742,14 +788,8 @@ func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
 // messages (tree topology) carry the final LST/RST directly.
 func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
 	if m.Aggregate {
-		s.mu.Lock()
-		if m.Local > s.lst {
-			s.lst = m.Local
-		}
-		if m.RemoteMin > s.rst {
-			s.rst = m.RemoteMin
-		}
-		s.mu.Unlock()
+		s.lst.Advance(m.Local)
+		s.rst.Advance(m.RemoteMin)
 		return
 	}
 	p := int(m.Partition)
@@ -768,7 +808,9 @@ func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
 }
 
 // recomputeStableLocked folds the gossiped per-partition contributions into
-// LST and RST. Both are monotone because each peer's contributions are.
+// the published LST and RST. Both are monotone because each peer's
+// contributions are; publication is an atomic max-merge, so readers load
+// them without touching s.mu.
 func (s *Server) recomputeStableLocked() {
 	lst := s.peerLocal[0]
 	rst := s.peerRemoteMin[0]
@@ -780,12 +822,8 @@ func (s *Server) recomputeStableLocked() {
 			rst = s.peerRemoteMin[i]
 		}
 	}
-	if lst > s.lst {
-		s.lst = lst
-	}
-	if rst > s.rst {
-		s.rst = rst
-	}
+	s.lst.Advance(lst)
+	s.rst.Advance(rst)
 }
 
 // localContribution returns this server's own BiST scalars: its local
@@ -947,8 +985,8 @@ func (s *Server) gossipTick() {
 		s.peerRemoteMin[s.cfg.Partition] = remoteMin
 	}
 	s.recomputeStableLocked()
-	lst, rst := s.lst, s.rst
 	s.mu.Unlock()
+	lst, rst := s.lst.Load(), s.rst.Load()
 
 	if s.cfg.GossipTree {
 		if s.cfg.Partition == 0 {
@@ -996,22 +1034,47 @@ func (s *Server) gcLoop() {
 
 func (s *Server) gcTick() {
 	now := time.Now()
-	s.mu.Lock()
-	// Expire abandoned transaction contexts so they cannot hold back GC.
-	for id, ctx := range s.txCtx {
+	// Expire abandoned transaction contexts so they cannot hold back GC,
+	// and compute the oldest snapshot of a surviving transaction — or the
+	// current visible snapshot when idle (paper §IV-B). The GC floor is
+	// the stable time loaded under the snapMu barrier: every in-flight
+	// snapshot assignment drains first, so any context the Range below
+	// cannot see yet was assigned lt ≥ this floor and needs no
+	// protection from it.
+	s.snapMu.Lock()
+	oldest := s.lst.Load()
+	s.snapMu.Unlock()
+	var expired []uint64
+	s.txCtx.Range(func(id uint64, ctx txContext) bool {
 		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
-			delete(s.txCtx, id)
-			s.metrics.CtxExpired.Inc()
+			expired = append(expired, id)
+			return true
 		}
-	}
-	// Oldest snapshot of an active transaction, or the current visible
-	// snapshot when idle (paper §IV-B).
-	oldest := s.lst
-	for _, ctx := range s.txCtx {
 		if ctx.lt < oldest {
 			oldest = ctx.lt
 		}
+		return true
+	})
+	for _, id := range expired {
+		if _, ok := s.txCtx.LoadAndDelete(id); ok {
+			s.metrics.CtxExpired.Inc()
+		}
 	}
+	// Sweep in-flight read fan-ins whose slice responses will never come
+	// (a peer died mid-read): the client has long timed out; dropping the
+	// entry lets the fan-in state be reclaimed.
+	var staleReads []uint64
+	s.pendingSlice.Range(func(reqID uint64, fi *fanin.TxRead) bool {
+		if now.Sub(fi.Created()) > s.cfg.TxContextTTL {
+			staleReads = append(staleReads, reqID)
+		}
+		return true
+	})
+	for _, reqID := range staleReads {
+		s.pendingSlice.Delete(reqID)
+	}
+
+	s.mu.Lock()
 	if oldest > s.peerOldest[s.cfg.Partition] {
 		s.peerOldest[s.cfg.Partition] = oldest
 	}

@@ -275,6 +275,8 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 			t.rsMiss[k] = struct{}{}
 		}
 	}
+	// The pooled response is consumed; the session releases it.
+	wire.PutTxReadResp(rr)
 	return result, nil
 }
 

@@ -9,11 +9,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wren/internal/fanin"
 	"wren/internal/hlc"
 	"wren/internal/sharding"
 	"wren/internal/stats"
 	"wren/internal/store"
 	"wren/internal/store/backend"
+	"wren/internal/stripemap"
 	"wren/internal/transport"
 	"wren/internal/wire"
 )
@@ -128,21 +130,37 @@ type committedTx struct {
 }
 
 // waiter is a parked slice read whose snapshot is not yet installed — the
-// blocking behaviour that Wren eliminates.
+// blocking behaviour that Wren eliminates. req is retained (and released
+// to the message pool only after the read is served or failed) because
+// keys and sv alias its buffers.
 type waiter struct {
 	from    transport.NodeID
 	reqID   uint64
 	keys    []string
 	sv      []hlc.Timestamp
+	req     *wire.SliceReq
 	arrived time.Time
-}
-
-type sliceCall struct {
-	ch chan *wire.SliceResp
 }
 
 type prepareCall struct {
 	ch chan hlc.Timestamp
+}
+
+// curePred is Cure's snapshot-vector visibility predicate in reusable
+// form: a pooled readScratch binds its visible method once, so a slice
+// read updates one field instead of allocating a closure.
+type curePred struct {
+	sv []hlc.Timestamp
+}
+
+func (p *curePred) visible(v *store.Version) bool { return leqAll(v.DV, p.sv) }
+
+// readScratch is the pooled per-read working set (predicate + version
+// buffer), mirroring package core.
+type readScratch struct {
+	pred    curePred
+	visible store.VisibleFunc
+	vers    []*store.Version
 }
 
 // Metrics exposes Cure server counters; BlockedReads/BlockedMicros feed the
@@ -160,23 +178,46 @@ type Metrics struct {
 }
 
 // Server is one Cure/H-Cure partition server.
+//
+// Mirroring package core, the read path is lock-free where the protocol
+// allows: the version vector and global stable vector are atomically
+// published (so the installed-snapshot check on every slice read takes no
+// lock), per-request bookkeeping lives in striped maps, and read fan-ins
+// are completion counters. What remains under s.mu is the writer state and
+// the parked-reader list — the blocking that defines this baseline.
 type Server struct {
 	cfg   ServerConfig
 	id    transport.NodeID
 	clock *hlc.Clock
 	st    store.Engine
 
+	// vv[m] = local version clock; vv[i] = received from DC i. gsv is the
+	// global stable vector from gossip (entrywise min over peers). Both are
+	// entrywise-monotone atomics, loaded lock-free on the read path.
+	vv  hlc.AtomicVector
+	gsv hlc.AtomicVector
+
+	txCtx        *stripemap.Map[*txContext]
+	pendingSlice *stripemap.Map[*fanin.TxRead]
+
+	// snapMu makes snapshot-vector assignment atomic with respect to
+	// GC's oldest-snapshot computation, exactly as in package core:
+	// StartTx holds it shared around (read gsv/clock → store context);
+	// gcTick takes it exclusively while loading the GC floor, so any
+	// context invisible to the subsequent sweep was assigned a snapshot
+	// at or above the floor.
+	snapMu sync.RWMutex
+
+	readPool sync.Pool
+	fanPool  sync.Pool
+
 	mu        sync.Mutex
-	vv        []hlc.Timestamp   // vv[m] = local version clock; vv[i] = received from DC i
-	gsv       []hlc.Timestamp   // global stable vector from gossip (entrywise min)
 	peerVV    [][]hlc.Timestamp // last gossiped VV per peer partition
 	prepared  map[uint64]*preparedTx
 	committed []*committedTx
-	txCtx     map[uint64]*txContext
 	waiters   []*waiter
 	oldest    []hlc.Timestamp // gossiped oldest-active snapshot per partition
 
-	pendingSlice   map[uint64]*sliceCall
 	pendingPrepare map[uint64]*prepareCall
 
 	reqSeq  atomic.Uint64
@@ -188,7 +229,11 @@ type Server struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	reqWG     sync.WaitGroup
-	draining  bool
+
+	// drainMu orders goAsync's draining check + reqWG.Add against Stop's
+	// draining=true + reqWG.Wait, as in package core.
+	drainMu  sync.Mutex
+	draining bool // guarded by drainMu
 }
 
 // NewServer constructs a Cure or H-Cure partition server.
@@ -211,19 +256,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
 		st:             eng,
-		vv:             make([]hlc.Timestamp, cfg.NumDCs),
-		gsv:            make([]hlc.Timestamp, cfg.NumDCs),
+		vv:             hlc.NewAtomicVector(cfg.NumDCs),
+		gsv:            hlc.NewAtomicVector(cfg.NumDCs),
 		peerVV:         make([][]hlc.Timestamp, cfg.NumPartitions),
 		prepared:       make(map[uint64]*preparedTx),
-		txCtx:          make(map[uint64]*txContext),
+		txCtx:          stripemap.New[*txContext](0),
 		oldest:         make([]hlc.Timestamp, cfg.NumPartitions),
-		pendingSlice:   make(map[uint64]*sliceCall),
+		pendingSlice:   stripemap.New[*fanin.TxRead](0),
 		pendingPrepare: make(map[uint64]*prepareCall),
 		stop:           make(chan struct{}),
 	}
 	for p := range s.peerVV {
 		s.peerVV[p] = make([]hlc.Timestamp, cfg.NumDCs)
 	}
+	s.readPool.New = func() any {
+		rs := &readScratch{}
+		rs.visible = rs.pred.visible
+		return rs
+	}
+	s.fanPool.New = func() any { return &fanin.Fanout{} }
 	return s, nil
 }
 
@@ -258,14 +309,19 @@ func (s *Server) Start() {
 func (s *Server) Stop() {
 	var flush bool
 	s.stopOnce.Do(func() {
-		s.mu.Lock()
+		s.drainMu.Lock()
 		s.draining = true
+		s.drainMu.Unlock()
+		s.mu.Lock()
 		waiters := s.waiters
 		s.waiters = nil
 		s.mu.Unlock()
 		// Fail parked reads so clients aren't left hanging.
 		for _, w := range waiters {
 			s.send(w.from, &wire.SliceResp{ReqID: w.reqID})
+			if w.req != nil {
+				wire.PutSliceReq(w.req)
+			}
 		}
 		close(s.stop)
 		flush = true
@@ -319,13 +375,13 @@ func (s *Server) flushCommitted() {
 }
 
 func (s *Server) goAsync(fn func()) {
-	s.mu.Lock()
+	s.drainMu.Lock()
 	if s.draining {
-		s.mu.Unlock()
+		s.drainMu.Unlock()
 		return
 	}
 	s.reqWG.Add(1)
-	s.mu.Unlock()
+	s.drainMu.Unlock()
 	go func() {
 		defer s.reqWG.Done()
 		fn()
@@ -334,23 +390,17 @@ func (s *Server) goAsync(fn func()) {
 
 // StableVector returns a copy of the server's global stable vector.
 func (s *Server) StableVector() []hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return copyVec(s.gsv)
+	return s.gsv.Snapshot(nil)
 }
 
 // VersionVector returns a copy of the server's version vector.
 func (s *Server) VersionVector() []hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return copyVec(s.vv)
+	return s.vv.Snapshot(nil)
 }
 
 // LocalVersionClock returns vv[m].
 func (s *Server) LocalVersionClock() hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.vv[s.cfg.DC]
+	return s.vv.Load(s.cfg.DC)
 }
 
 func (s *Server) newTxID() uint64 {
@@ -401,96 +451,90 @@ func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
 // the design choice that makes Cure reads block — raised to the client's
 // dependency vector.
 func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
-	s.mu.Lock()
-	sv := copyVec(s.gsv)
+	id := s.newTxID()
+	s.snapMu.RLock()
+	sv := s.gsv.Snapshot(nil)
 	sv[s.cfg.DC] = s.now()
 	if len(m.DV) == len(sv) {
 		maxInto(sv, m.DV)
 	}
-	id := s.newTxID()
-	s.txCtx[id] = &txContext{sv: sv, created: time.Now()}
-	s.mu.Unlock()
+	s.txCtx.Store(id, &txContext{sv: sv, created: time.Now()})
+	s.snapMu.RUnlock()
 
 	s.metrics.TxStarted.Inc()
 	s.send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, SV: sv})
 }
 
+// handleTxRead fans the key set out per partition and merges the slices
+// via a completion-counter fan-in (as in package core): the last arriving
+// SliceResp assembles the TxReadResp, no goroutine parks per read. Unlike
+// Wren's coordinator there is no local fast path — even the coordinator's
+// own slice goes through handleSliceReq, which may legitimately park it
+// (the blocking this baseline exists to exhibit).
 func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
-	s.mu.Lock()
-	ctx, ok := s.txCtx[m.TxID]
-	var sv []hlc.Timestamp
-	if ok {
-		sv = ctx.sv
-	}
-	s.mu.Unlock()
+	ctx, ok := s.txCtx.Load(m.TxID)
 	if !ok {
 		s.send(from, &wire.TxReadResp{ReqID: m.ReqID})
 		return
 	}
+	sv := ctx.sv
 
-	groups := sharding.GroupByPartition(m.Keys, s.cfg.NumPartitions)
-	type out struct {
-		to  transport.NodeID
-		req *wire.SliceReq
+	fo := s.fanPool.Get().(*fanin.Fanout)
+	fo.Reset(s.cfg.NumPartitions)
+	for _, k := range m.Keys {
+		fo.Add(sharding.PartitionOf(k, s.cfg.NumPartitions), k)
 	}
-	var outs []out
-	calls := make([]*sliceCall, 0, len(groups))
-	s.mu.Lock()
-	for p, keys := range groups {
+
+	fi := fanin.Start(from, m.ReqID, len(fo.Touched))
+	for _, p := range fo.Touched {
 		reqID := s.reqSeq.Add(1)
-		call := &sliceCall{ch: make(chan *wire.SliceResp, 1)}
-		s.pendingSlice[reqID] = call
-		calls = append(calls, call)
-		outs = append(outs, out{
-			to:  transport.ServerID(s.cfg.DC, p),
-			req: &wire.SliceReq{ReqID: reqID, Keys: keys, SV: sv},
-		})
+		req := wire.GetSliceReq()
+		req.ReqID = reqID
+		req.Keys = append(req.Keys[:0], fo.Groups[p]...)
+		req.SV = sv // aliases the tx context's vector; PutSliceReq drops it
+		s.pendingSlice.Store(reqID, fi)
+		s.send(transport.ServerID(s.cfg.DC, p), req)
 	}
-	s.mu.Unlock()
-	for _, o := range outs {
-		s.send(o.to, o.req)
-	}
+	s.fanPool.Put(fo)
 
-	s.goAsync(func() {
-		resp := &wire.TxReadResp{ReqID: m.ReqID}
-		for _, call := range calls {
-			select {
-			case sr := <-call.ch:
-				resp.Items = append(resp.Items, sr.Items...)
-				if sr.BlockedMicros > resp.BlockedMicros {
-					resp.BlockedMicros = sr.BlockedMicros
-				}
-			case <-s.stop:
-				return
-			}
-		}
-		s.send(from, resp)
-	})
+	if resp, to, last := fi.Finish(); last {
+		s.send(to, resp)
+	}
 }
 
 // installed reports whether this partition has installed snapshot sv:
-// every version-vector entry has reached the snapshot's.
-func (s *Server) installedLocked(sv []hlc.Timestamp) bool {
-	return leqAll(sv, s.vv)
+// every version-vector entry has reached the snapshot's. Lock-free — the
+// version vector is entrywise-monotone, so a true result never reverts.
+func (s *Server) installed(sv []hlc.Timestamp) bool {
+	return s.vv.Covers(sv)
 }
 
 // handleSliceReq serves the read if the snapshot is installed; otherwise it
 // PARKS the request until the apply loop or replication catches up. This is
-// the blocking that Wren's CANToR protocol eliminates.
+// the blocking that Wren's CANToR protocol eliminates. The installed fast
+// path takes no lock at all; only parking does.
 func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 	if s.cfg.UseHLC {
 		// H-Cure: the HLC absorbs the snapshot timestamp, so an idle
 		// partition's clock no longer lags the coordinator's.
 		s.clock.Update(m.SV[s.cfg.DC])
 	}
+	if s.installed(m.SV) {
+		s.serveSlice(from, m.ReqID, m.Keys, m.SV, 0)
+		wire.PutSliceReq(m)
+		return
+	}
 	s.mu.Lock()
-	if s.installedLocked(m.SV) {
+	// Re-check under the lock: a concurrent vv advance that ran its waiter
+	// release before we parked would otherwise be a lost wakeup.
+	if s.installed(m.SV) {
 		s.mu.Unlock()
 		s.serveSlice(from, m.ReqID, m.Keys, m.SV, 0)
+		wire.PutSliceReq(m)
 		return
 	}
 	s.waiters = append(s.waiters, &waiter{
-		from: from, reqID: m.ReqID, keys: m.Keys, sv: m.SV, arrived: time.Now(),
+		from: from, reqID: m.ReqID, keys: m.Keys, sv: m.SV, req: m, arrived: time.Now(),
 	})
 	s.mu.Unlock()
 	// Try to install a fresher snapshot right away: if nothing is pending
@@ -502,26 +546,33 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 }
 
 // serveSlice returns the freshest version of each key whose dependency
-// vector is within the snapshot.
+// vector is within the snapshot. The response and its working memory come
+// from pools; the receiver releases the response.
 func (s *Server) serveSlice(to transport.NodeID, reqID uint64, keys []string, sv []hlc.Timestamp, blocked time.Duration) {
-	visible := func(v *store.Version) bool { return leqAll(v.DV, sv) }
-	vs := s.st.ReadVisibleBatch(keys, visible)
-	items := make([]wire.Item, 0, len(keys))
-	for i, v := range vs {
+	rs := s.readPool.Get().(*readScratch)
+	rs.pred.sv = sv
+	rs.vers = s.st.ReadVisibleBatchInto(keys, rs.visible, rs.vers)
+	resp := wire.GetSliceResp()
+	resp.ReqID = reqID
+	for i, v := range rs.vers {
 		// A visible tombstone (nil Value) reads as absence, hiding any
 		// older live version.
 		if v != nil && v.Value != nil {
-			items = append(items, wire.Item{
+			resp.Items = append(resp.Items, wire.Item{
 				Key: keys[i], Value: v.Value, UT: v.UT, TxID: v.TxID, SrcDC: v.SrcDC, DV: v.DV,
 			})
 		}
 	}
+	rs.pred.sv = nil // do not pin the snapshot vector in the pool
+	clear(rs.vers)   // nor GC-able version chains
+	s.readPool.Put(rs)
 	s.metrics.SlicesServed.Inc()
 	if blocked > 0 {
 		s.metrics.BlockedReads.Inc()
 		s.metrics.BlockedMicros.Add(uint64(blocked.Microseconds()))
 	}
-	s.send(to, &wire.SliceResp{ReqID: reqID, Items: items, BlockedMicros: blocked.Microseconds()})
+	resp.BlockedMicros = blocked.Microseconds()
+	s.send(to, resp)
 }
 
 // releaseWaitersLocked finds parked reads whose snapshot is now installed.
@@ -534,7 +585,7 @@ func (s *Server) releaseWaitersLocked() []*waiter {
 	var ready []*waiter
 	rest := s.waiters[:0]
 	for _, w := range s.waiters {
-		if s.installedLocked(w.sv) {
+		if s.installed(w.sv) {
 			ready = append(ready, w)
 		} else {
 			rest = append(rest, w)
@@ -547,31 +598,33 @@ func (s *Server) releaseWaitersLocked() []*waiter {
 func (s *Server) serveReady(ready []*waiter) {
 	for _, w := range ready {
 		s.serveSlice(w.from, w.reqID, w.keys, w.sv, time.Since(w.arrived))
+		if w.req != nil {
+			// keys and sv alias the request's buffers; release only after
+			// the read is fully served.
+			wire.PutSliceReq(w.req)
+		}
 	}
 }
 
 func (s *Server) handleSliceResp(m *wire.SliceResp) {
-	s.mu.Lock()
-	call := s.pendingSlice[m.ReqID]
-	delete(s.pendingSlice, m.ReqID)
-	s.mu.Unlock()
-	if call != nil {
-		call.ch <- m
+	if fi, ok := s.pendingSlice.LoadAndDelete(m.ReqID); ok {
+		fi.Fold(m.Items, m.BlockedMicros)
+		if resp, to, last := fi.Finish(); last {
+			s.send(to, resp)
+		}
 	}
+	wire.PutSliceResp(m)
 }
 
 func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
-	s.mu.Lock()
-	ctx, ok := s.txCtx[m.TxID]
-	delete(s.txCtx, m.TxID)
+	ctx, ok := s.txCtx.LoadAndDelete(m.TxID)
 	var sv []hlc.Timestamp
 	if ok {
 		sv = ctx.sv
 	} else {
-		sv = copyVec(s.gsv)
+		sv = s.gsv.Snapshot(nil)
 		sv[s.cfg.DC] = s.now()
 	}
-	s.mu.Unlock()
 
 	if len(m.Writes) == 0 {
 		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
@@ -680,20 +733,16 @@ func (s *Server) handleReplicate(m *wire.Replicate) {
 		return
 	}
 	last := m.Txs[len(m.Txs)-1].CT
+	s.vv.Advance(int(m.SrcDC), last)
 	s.mu.Lock()
-	if last > s.vv[m.SrcDC] {
-		s.vv[m.SrcDC] = last
-	}
 	ready := s.releaseWaitersLocked()
 	s.mu.Unlock()
 	s.serveReady(ready)
 }
 
 func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
+	s.vv.Advance(int(m.SrcDC), m.TS)
 	s.mu.Lock()
-	if m.TS > s.vv[m.SrcDC] {
-		s.vv[m.SrcDC] = m.TS
-	}
 	ready := s.releaseWaitersLocked()
 	s.mu.Unlock()
 	s.serveReady(ready)
@@ -712,6 +761,9 @@ func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
 	s.mu.Unlock()
 }
 
+// recomputeStableLocked folds the per-peer vectors into the published
+// global stable vector. Caller holds s.mu (which serializes peerVV);
+// publication itself is an entrywise atomic max-merge.
 func (s *Server) recomputeStableLocked() {
 	for i := 0; i < s.cfg.NumDCs; i++ {
 		m := s.peerVV[0][i]
@@ -720,9 +772,7 @@ func (s *Server) recomputeStableLocked() {
 				m = s.peerVV[p][i]
 			}
 		}
-		if m > s.gsv[i] {
-			s.gsv[i] = m
-		}
+		s.gsv.Advance(i, m)
 	}
 }
 
@@ -764,8 +814,8 @@ func (s *Server) applyTick(heartbeat bool) {
 		// root cause of skew-induced read blocking.
 		ub = s.clock.PhysicalNow()
 	}
-	if ub < s.vv[s.cfg.DC] {
-		ub = s.vv[s.cfg.DC]
+	if local := s.vv.Load(s.cfg.DC); ub < local {
+		ub = local
 	}
 
 	hadCommitted := len(s.committed) > 0
@@ -810,10 +860,8 @@ func (s *Server) applyTick(heartbeat bool) {
 		i = j
 	}
 
+	s.vv.Advance(s.cfg.DC, ub)
 	s.mu.Lock()
-	if ub > s.vv[s.cfg.DC] {
-		s.vv[s.cfg.DC] = ub
-	}
 	ready := s.releaseWaitersLocked()
 	s.mu.Unlock()
 	s.serveReady(ready)
@@ -854,8 +902,8 @@ func (s *Server) gossipLoop() {
 // gossipTick broadcasts the full M-entry version vector — Cure's
 // stabilization messages are M timestamps versus Wren's two (Figure 7a).
 func (s *Server) gossipTick() {
+	vvCopy := s.vv.Snapshot(nil)
 	s.mu.Lock()
-	vvCopy := copyVec(s.vv)
 	maxInto(s.peerVV[s.cfg.Partition], vvCopy)
 	s.recomputeStableLocked()
 	s.mu.Unlock()
@@ -885,31 +933,55 @@ func (s *Server) gcLoop() {
 
 func (s *Server) gcTick() {
 	now := time.Now()
-	s.mu.Lock()
-	for id, ctx := range s.txCtx {
+	var expired []uint64
+	s.txCtx.Range(func(id uint64, ctx *txContext) bool {
 		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
-			delete(s.txCtx, id)
+			expired = append(expired, id)
+		}
+		return true
+	})
+	for _, id := range expired {
+		if _, ok := s.txCtx.LoadAndDelete(id); ok {
 			s.metrics.CtxExpired.Inc()
 		}
 	}
+	// Sweep abandoned read fan-ins, mirroring package core.
+	var staleReads []uint64
+	s.pendingSlice.Range(func(reqID uint64, fi *fanin.TxRead) bool {
+		if now.Sub(fi.Created()) > s.cfg.TxContextTTL {
+			staleReads = append(staleReads, reqID)
+		}
+		return true
+	})
+	for _, reqID := range staleReads {
+		s.pendingSlice.Delete(reqID)
+	}
+
 	// Conservative scalar bound: the minimum entry of any active snapshot
-	// vector (or of the stable vector when idle).
-	oldest := s.gsv[0]
-	for _, t := range s.gsv[1:] {
-		if t < oldest {
+	// vector (or of the stable vector when idle). The floor is loaded
+	// under the snapMu barrier: in-flight snapshot assignments drain
+	// first, so a context the Range below cannot see yet was assigned
+	// entries at or above these values and needs no protection.
+	s.snapMu.Lock()
+	oldest := s.gsv.Load(0)
+	for i := 1; i < s.cfg.NumDCs; i++ {
+		if t := s.gsv.Load(i); t < oldest {
 			oldest = t
 		}
 	}
-	if s.vv[s.cfg.DC] < oldest {
-		oldest = s.vv[s.cfg.DC]
+	if local := s.vv.Load(s.cfg.DC); local < oldest {
+		oldest = local
 	}
-	for _, ctx := range s.txCtx {
+	s.snapMu.Unlock()
+	s.txCtx.Range(func(_ uint64, ctx *txContext) bool {
 		for _, t := range ctx.sv {
 			if t < oldest {
 				oldest = t
 			}
 		}
-	}
+		return true
+	})
+	s.mu.Lock()
 	if oldest > s.oldest[s.cfg.Partition] {
 		s.oldest[s.cfg.Partition] = oldest
 	}

@@ -1,0 +1,81 @@
+package fanin
+
+import (
+	"sync"
+	"testing"
+
+	"wren/internal/transport"
+	"wren/internal/wire"
+)
+
+func TestSingleContribution(t *testing.T) {
+	from := transport.ClientID(0, 1)
+	fi := Start(from, 99, 0)
+	fi.Fold([]wire.Item{{Key: "k", Value: []byte("v")}}, 0)
+	resp, to, last := fi.Finish()
+	if !last {
+		t.Fatal("sole Finish must complete the read")
+	}
+	if to != from || resp.ReqID != 99 || len(resp.Items) != 1 {
+		t.Fatalf("resp = %+v to %v", resp, to)
+	}
+	wire.PutTxReadResp(resp)
+}
+
+func TestLastArrivalAssembles(t *testing.T) {
+	const calls = 4
+	fi := Start(transport.ClientID(0, 0), 7, calls)
+	// Coordinator finishes first: response must wait for all remote calls.
+	if _, _, last := fi.Finish(); last {
+		t.Fatal("coordinator Finish completed before remote calls")
+	}
+	var wg sync.WaitGroup
+	out := make(chan *wire.TxReadResp, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fi.Fold([]wire.Item{{Key: "k", TxID: uint64(i)}}, int64(i))
+			if resp, _, last := fi.Finish(); last {
+				out <- resp
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(out)
+	var resps []*wire.TxReadResp
+	for r := range out {
+		resps = append(resps, r)
+	}
+	if len(resps) != 1 {
+		t.Fatalf("exactly one contributor must assemble; got %d", len(resps))
+	}
+	resp := resps[0]
+	if len(resp.Items) != calls {
+		t.Fatalf("assembled %d items, want %d", len(resp.Items), calls)
+	}
+	if resp.BlockedMicros != calls-1 {
+		t.Fatalf("BlockedMicros = %d, want max %d", resp.BlockedMicros, calls-1)
+	}
+	wire.PutTxReadResp(resp)
+}
+
+func TestPooledReuse(t *testing.T) {
+	// A completed fan-in's TxRead returns to the pool; a subsequent Start
+	// must hand out fresh state however the previous read ended.
+	for i := 0; i < 100; i++ {
+		fi := Start(transport.ClientID(0, 0), uint64(i), 1)
+		fi.Fold([]wire.Item{{Key: "a"}}, 0)
+		if _, _, last := fi.Finish(); last {
+			t.Fatal("first Finish of two must not complete")
+		}
+		resp, _, last := fi.Finish()
+		if !last {
+			t.Fatal("second Finish must complete")
+		}
+		if resp.ReqID != uint64(i) || len(resp.Items) != 1 {
+			t.Fatalf("iteration %d: stale pooled state: %+v", i, resp)
+		}
+		wire.PutTxReadResp(resp)
+	}
+}

@@ -1,0 +1,76 @@
+package hlc
+
+import "sync/atomic"
+
+// AtomicTimestamp is a Timestamp updated by monotonic max-merge without a
+// lock. Servers publish their stable times (LST, RST) through it so the
+// read path — which consults those times on every transactional read —
+// never serializes on a mutex shared with the commit/apply/gossip paths.
+//
+// The zero value is ready to use and holds the zero Timestamp.
+type AtomicTimestamp struct {
+	v atomic.Uint64
+}
+
+// Load returns the current value.
+func (a *AtomicTimestamp) Load() Timestamp { return Timestamp(a.v.Load()) }
+
+// Store unconditionally sets the value. Only for initialization; concurrent
+// publishers must use Advance to preserve monotonicity.
+func (a *AtomicTimestamp) Store(t Timestamp) { a.v.Store(uint64(t)) }
+
+// Advance merges t into the value by CAS max-merge: the stored timestamp
+// only ever moves forward, whatever the interleaving of concurrent
+// publishers. It reports whether t advanced the value.
+func (a *AtomicTimestamp) Advance(t Timestamp) bool {
+	for {
+		cur := a.v.Load()
+		if uint64(t) <= cur {
+			return false
+		}
+		if a.v.CompareAndSwap(cur, uint64(t)) {
+			return true
+		}
+	}
+}
+
+// AtomicVector is a fixed-length vector of independently atomic timestamps
+// (one entry per DC). Cure-style servers publish their version vector
+// through it so installed-snapshot checks on the read path are lock-free.
+// Entries are individually monotone; a reader loading the whole vector may
+// observe entries from slightly different instants, which is safe exactly
+// because each entry only moves forward.
+type AtomicVector []AtomicTimestamp
+
+// NewAtomicVector returns a zeroed vector of length n.
+func NewAtomicVector(n int) AtomicVector { return make(AtomicVector, n) }
+
+// Load returns entry i.
+func (v AtomicVector) Load(i int) Timestamp { return v[i].Load() }
+
+// Advance max-merges t into entry i.
+func (v AtomicVector) Advance(i int, t Timestamp) { v[i].Advance(t) }
+
+// Snapshot copies the vector into dst (allocating when dst is too short)
+// and returns it.
+func (v AtomicVector) Snapshot(dst []Timestamp) []Timestamp {
+	if cap(dst) < len(v) {
+		dst = make([]Timestamp, len(v))
+	}
+	dst = dst[:len(v)]
+	for i := range v {
+		dst[i] = v[i].Load()
+	}
+	return dst
+}
+
+// Covers reports whether every entry of want is ≤ the corresponding
+// vector entry — the lock-free "snapshot installed" check.
+func (v AtomicVector) Covers(want []Timestamp) bool {
+	for i, t := range want {
+		if t > v[i].Load() {
+			return false
+		}
+	}
+	return true
+}

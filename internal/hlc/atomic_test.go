@@ -1,0 +1,146 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicTimestampAdvanceMonotone(t *testing.T) {
+	var a AtomicTimestamp
+	if a.Load() != 0 {
+		t.Fatalf("zero value = %v, want 0", a.Load())
+	}
+	if !a.Advance(10) {
+		t.Fatal("Advance(10) from 0 should report true")
+	}
+	if a.Advance(5) {
+		t.Fatal("Advance(5) below current should report false")
+	}
+	if got := a.Load(); got != 10 {
+		t.Fatalf("Load = %v, want 10", got)
+	}
+	if a.Advance(10) {
+		t.Fatal("Advance(equal) should report false")
+	}
+}
+
+func TestAtomicTimestampConcurrentAdvance(t *testing.T) {
+	var a AtomicTimestamp
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				a.Advance(Timestamp(g*perG + i))
+			}
+		}(g)
+	}
+	// A concurrent reader must only ever observe a non-decreasing value.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last Timestamp
+		for i := 0; i < 100000; i++ {
+			cur := a.Load()
+			if cur < last {
+				t.Errorf("observed regression: %v after %v", cur, last)
+				return
+			}
+			last = cur
+		}
+	}()
+	wg.Wait()
+	<-done
+	want := Timestamp((goroutines-1)*perG + perG - 1)
+	if got := a.Load(); got != want {
+		t.Fatalf("final = %v, want %v", got, want)
+	}
+}
+
+func TestAtomicVector(t *testing.T) {
+	v := NewAtomicVector(3)
+	v.Advance(0, 5)
+	v.Advance(1, 7)
+	v.Advance(1, 3) // no-op
+	if got := v.Snapshot(nil); got[0] != 5 || got[1] != 7 || got[2] != 0 {
+		t.Fatalf("snapshot = %v", got)
+	}
+	if !v.Covers([]Timestamp{5, 7, 0}) {
+		t.Fatal("Covers should accept an entrywise-≤ vector")
+	}
+	if v.Covers([]Timestamp{5, 8, 0}) {
+		t.Fatal("Covers should reject an exceeding entry")
+	}
+	// Snapshot reuses a big-enough destination without allocating.
+	dst := make([]Timestamp, 3)
+	if allocs := testing.AllocsPerRun(100, func() { dst = v.Snapshot(dst) }); allocs != 0 {
+		t.Fatalf("Snapshot into sized buffer allocated %.1f/op", allocs)
+	}
+}
+
+func TestClockLockFreeSemantics(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewClock(src)
+
+	// Tick is strictly increasing even when physical time stalls.
+	prev := c.Tick()
+	for i := 0; i < 100; i++ {
+		cur := c.Tick()
+		if cur <= prev {
+			t.Fatalf("Tick not strictly increasing: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+
+	// Update absorbs a remote timestamp ahead of the physical clock.
+	remote := New(5000, 3)
+	if got := c.Update(remote); got < remote {
+		t.Fatalf("Update = %v, want >= %v", got, remote)
+	}
+	if got := c.Latest(); got < remote {
+		t.Fatalf("Latest = %v, want >= %v", got, remote)
+	}
+
+	// TickPast lands strictly above its argument and everything issued.
+	after := New(9000, 0)
+	pt := c.TickPast(after)
+	if pt <= after || pt <= remote {
+		t.Fatalf("TickPast = %v, want > %v and > %v", pt, after, remote)
+	}
+}
+
+func TestClockConcurrentTickUnique(t *testing.T) {
+	src := NewManualSource(1000) // stalled physical clock forces CAS contention
+	c := NewClock(src)
+	const goroutines, perG = 8, 5000
+	out := make([][]Timestamp, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ts := make([]Timestamp, perG)
+			for i := range ts {
+				ts[i] = c.Tick()
+			}
+			out[g] = ts
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, goroutines*perG)
+	for g := range out {
+		prev := Timestamp(0)
+		for _, ts := range out[g] {
+			if ts <= prev {
+				t.Fatalf("goroutine %d saw non-increasing ticks: %v then %v", g, prev, ts)
+			}
+			prev = ts
+			if seen[ts] {
+				t.Fatalf("duplicate tick %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}

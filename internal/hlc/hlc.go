@@ -191,10 +191,13 @@ func (s *ManualSource) Set(micros int64) {
 // Clock is a hybrid logical clock. It produces monotonically increasing
 // Timestamps that stay close to the underlying physical Source while
 // capturing causality from remote timestamps passed to Update.
+//
+// The clock is lock-free: its state is one CAS-advanced timestamp, so
+// H-Cure's read handlers (which absorb snapshot timestamps on every slice
+// read) and the prepare path never serialize on a clock mutex.
 type Clock struct {
-	mu     sync.Mutex
 	src    Source
-	latest Timestamp
+	latest AtomicTimestamp
 }
 
 // NewClock returns a Clock backed by the given physical source.
@@ -206,13 +209,11 @@ func NewClock(src Source) *Clock {
 // returned value is the max of physical time and the latest issued
 // timestamp. It does not advance the logical counter.
 func (c *Clock) Now() Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	phys := New(c.src.NowMicros(), 0)
-	if phys > c.latest {
-		return phys
+	if latest := c.latest.Load(); latest > phys {
+		return latest
 	}
-	return c.latest
+	return phys
 }
 
 // PhysicalNow returns the raw physical reading of the underlying source as
@@ -224,43 +225,47 @@ func (c *Clock) PhysicalNow() Timestamp {
 // Tick records a local event and returns a timestamp strictly greater than
 // every timestamp previously issued or observed by this clock.
 func (c *Clock) Tick() Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	phys := New(c.src.NowMicros(), 0)
-	if phys > c.latest {
-		c.latest = phys
-	} else {
-		c.latest++
+	for {
+		cur := c.latest.Load()
+		next := cur.Next()
+		if phys > next {
+			next = phys
+		}
+		if c.latest.v.CompareAndSwap(uint64(cur), uint64(next)) {
+			return next
+		}
 	}
-	return c.latest
 }
 
 // Update merges a remote timestamp into the clock (an HLC receive event) and
 // returns the clock's resulting value. The result is ≥ the remote timestamp
 // and ≥ every previously issued timestamp.
 func (c *Clock) Update(remote Timestamp) Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	phys := New(c.src.NowMicros(), 0)
-	c.latest = Max(c.latest, remote, phys)
-	return c.latest
+	target := Max(remote, phys)
+	c.latest.Advance(target)
+	// Another publisher may have advanced further; the caller's guarantee
+	// (result ≥ remote, ≥ anything previously issued) holds either way.
+	return Max(c.latest.Load(), target)
 }
 
 // TickPast records an event that must be ordered strictly after the given
 // timestamp, implementing the Wren prepare rule
 // HLC ← max(Clock, ht+1, HLC+1) (Algorithm 3, line 14).
 func (c *Clock) TickPast(after Timestamp) Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	phys := New(c.src.NowMicros(), 0)
-	c.latest = Max(phys, after.Next(), c.latest.Next())
-	return c.latest
+	for {
+		cur := c.latest.Load()
+		next := Max(phys, after.Next(), cur.Next())
+		if c.latest.v.CompareAndSwap(uint64(cur), uint64(next)) {
+			return next
+		}
+	}
 }
 
 // Latest returns the largest timestamp issued or observed so far, without
 // consulting the physical source.
 func (c *Clock) Latest() Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.latest
+	return c.latest.Load()
 }

@@ -4,27 +4,27 @@
 // on this mapping.
 package sharding
 
-import "hash/fnv"
-
 // PartitionOf returns the partition responsible for key in a system with
 // numPartitions partitions. It panics if numPartitions is not positive,
 // because every deployment must have at least one partition.
+//
+// The hash is FNV-1a, computed inline: the hash/fnv package would force a
+// []byte conversion and an interface call per key, and PartitionOf runs
+// once per key on the coordinator's read fan-out path. The result is
+// bit-identical to fnv.New32a over the key's bytes, so existing key
+// placements are unchanged.
 func PartitionOf(key string, numPartitions int) int {
 	if numPartitions <= 0 {
 		panic("sharding: numPartitions must be positive")
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(numPartitions))
-}
-
-// GroupByPartition splits keys into per-partition groups, preserving the
-// relative order of keys within each group.
-func GroupByPartition(keys []string, numPartitions int) map[int][]string {
-	out := make(map[int][]string)
-	for _, k := range keys {
-		p := PartitionOf(k, numPartitions)
-		out[p] = append(out[p], k)
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
 	}
-	return out
+	return int(h % uint32(numPartitions))
 }

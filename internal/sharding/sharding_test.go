@@ -49,44 +49,3 @@ func TestPartitionOfSpread(t *testing.T) {
 		}
 	}
 }
-
-func TestGroupByPartition(t *testing.T) {
-	keys := []string{"a", "b", "c", "d", "e"}
-	groups := GroupByPartition(keys, 4)
-	total := 0
-	for p, g := range groups {
-		if p < 0 || p >= 4 {
-			t.Errorf("invalid partition %d", p)
-		}
-		for _, k := range g {
-			if PartitionOf(k, 4) != p {
-				t.Errorf("key %q grouped into wrong partition %d", k, p)
-			}
-		}
-		total += len(g)
-	}
-	if total != len(keys) {
-		t.Errorf("grouped %d keys, want %d", total, len(keys))
-	}
-}
-
-func TestGroupByPartitionPreservesOrder(t *testing.T) {
-	keys := []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"}
-	groups := GroupByPartition(keys, 2)
-	for p, g := range groups {
-		lastIdx := -1
-		for _, k := range g {
-			idx := -1
-			for i, orig := range keys {
-				if orig == k {
-					idx = i
-					break
-				}
-			}
-			if idx < lastIdx {
-				t.Errorf("partition %d: order not preserved: %v", p, g)
-			}
-			lastIdx = idx
-		}
-	}
-}

@@ -25,6 +25,11 @@ type Engine interface {
 	// ReadVisibleBatch resolves many keys under one snapshot predicate; the
 	// result is aligned with keys, nil where nothing is visible.
 	ReadVisibleBatch(keys []string, visible VisibleFunc) []*Version
+	// ReadVisibleBatchInto is ReadVisibleBatch with a caller-supplied result
+	// buffer: out is truncated/extended to len(keys) reusing its capacity
+	// and returned. With a large-enough buffer the call performs no heap
+	// allocation — this is the read hot path for pooled slice reads.
+	ReadVisibleBatchInto(keys []string, visible VisibleFunc, out []*Version) []*Version
 	// Latest returns the newest version of key regardless of visibility.
 	Latest(key string) *Version
 	// GC prunes version chains against the oldest snapshot still visible to

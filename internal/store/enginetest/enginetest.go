@@ -23,6 +23,7 @@ func Run(t *testing.T, open Factory) {
 	t.Run("PutReadVisible", func(t *testing.T) { testPutReadVisible(t, open(t)) })
 	t.Run("LastWriterWins", func(t *testing.T) { testLastWriterWins(t, open(t)) })
 	t.Run("BatchAlignment", func(t *testing.T) { testBatchAlignment(t, open(t)) })
+	t.Run("BatchInto", func(t *testing.T) { testBatchInto(t, open(t)) })
 	t.Run("TombstoneReadsAndGC", func(t *testing.T) { testTombstones(t, open(t)) })
 	t.Run("GCAccounting", func(t *testing.T) { testGCAccounting(t, open(t)) })
 	t.Run("CountsAndIteration", func(t *testing.T) { testCounts(t, open(t)) })
@@ -119,6 +120,65 @@ func testBatchAlignment(t *testing.T, e store.Engine) {
 	e.PutBatch(nil)
 	if out := e.ReadVisibleBatch(nil, all); len(out) != 0 {
 		t.Errorf("empty batch read returned %d entries", len(out))
+	}
+}
+
+// testBatchInto verifies the caller-buffer batch read: results must match
+// ReadVisibleBatch exactly, the supplied buffer must be reused when large
+// enough (including clearing stale entries), and a too-small buffer must
+// grow transparently.
+func testBatchInto(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	var kvs []store.KV
+	for i := 0; i < 40; i++ {
+		kvs = append(kvs, store.KV{
+			Key:     fmt.Sprintf("key-%03d", i),
+			Version: version(fmt.Sprintf("val-%03d", i), hlc.Timestamp(100+i), uint64(i)),
+		})
+	}
+	e.PutBatch(kvs)
+
+	keys := []string{"key-000", "missing-a", "key-020", "key-039", "missing-b"}
+	want := e.ReadVisibleBatch(keys, all)
+
+	// Oversized buffer pre-filled with garbage: every slot must be
+	// rewritten, none left stale, and the backing array reused.
+	buf := make([]*store.Version, 8)
+	garbage := version("garbage", 1, 999)
+	for i := range buf {
+		buf[i] = garbage
+	}
+	got := e.ReadVisibleBatchInto(keys, all, buf)
+	if len(got) != len(keys) {
+		t.Fatalf("Into result length %d, want %d", len(got), len(keys))
+	}
+	if &got[0] != &buf[0] {
+		t.Error("Into did not reuse a large-enough caller buffer")
+	}
+	for i := range keys {
+		if (got[i] == nil) != (want[i] == nil) {
+			t.Fatalf("slot %d: Into=%+v, Batch=%+v", i, got[i], want[i])
+		}
+		if got[i] != nil && string(got[i].Value) != string(want[i].Value) {
+			t.Fatalf("slot %d: Into=%q, Batch=%q", i, got[i].Value, want[i].Value)
+		}
+		if got[i] == garbage {
+			t.Fatalf("slot %d: stale buffer entry survived", i)
+		}
+	}
+
+	// Undersized (nil) buffer grows.
+	if got := e.ReadVisibleBatchInto(keys, all, nil); len(got) != len(keys) || got[0] == nil {
+		t.Fatalf("Into with nil buffer = %v", got)
+	}
+	// Empty key set with a dirty buffer returns an empty slice.
+	if got := e.ReadVisibleBatchInto(nil, all, buf); len(got) != 0 {
+		t.Fatalf("Into with no keys returned %d entries", len(got))
+	}
+	// Single-key fast path.
+	one := e.ReadVisibleBatchInto([]string{"key-007"}, all, buf[:0])
+	if len(one) != 1 || one[0] == nil || string(one[0].Value) != "val-007" {
+		t.Fatalf("single-key Into = %v", one)
 	}
 }
 

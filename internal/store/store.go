@@ -246,22 +246,49 @@ func readVisibleChain(chain []*Version, visible VisibleFunc) *Version {
 
 // ReadVisibleBatch resolves many keys under one snapshot predicate, taking
 // each touched shard's read lock exactly once. The result is aligned with
-// keys; entries are nil where no version is visible. This is the read hot
-// path for transactional slice requests.
+// keys; entries are nil where no version is visible.
 func (s *Store) ReadVisibleBatch(keys []string, visible VisibleFunc) []*Version {
-	out := make([]*Version, len(keys))
-	if len(keys) == 0 {
-		return out
+	return s.ReadVisibleBatchInto(keys, visible, nil)
+}
+
+// batchStackKeys bounds the stack-allocated scratch of a batch read; a
+// slice read rarely touches more keys than this (the paper's transactions
+// read ≤ 20), and larger batches just fall back to heap scratch.
+const batchStackKeys = 32
+
+// ReadVisibleBatchInto is ReadVisibleBatch with a caller-supplied result
+// buffer, reused across reads so the hot path performs no heap allocation:
+// grouping scratch lives on the stack for batches of up to batchStackKeys
+// keys. This is the read hot path for transactional slice requests.
+func (s *Store) ReadVisibleBatchInto(keys []string, visible VisibleFunc, out []*Version) []*Version {
+	if cap(out) >= len(keys) {
+		out = out[:len(keys)]
+	} else {
+		out = make([]*Version, len(keys))
 	}
-	if len(keys) == 1 {
+	switch len(keys) {
+	case 0:
+		return out
+	case 1:
 		out[0] = s.ReadVisible(keys[0], visible)
 		return out
 	}
-	ids := make([]uint32, len(keys))
+	var (
+		idsBuf  [batchStackKeys]uint32
+		doneBuf [batchStackKeys]bool
+		ids     []uint32
+		done    []bool
+	)
+	if len(keys) <= batchStackKeys {
+		// Both arrays are freshly declared per call, so the language has
+		// already zeroed them.
+		ids, done = idsBuf[:len(keys)], doneBuf[:len(keys)]
+	} else {
+		ids, done = make([]uint32, len(keys)), make([]bool, len(keys))
+	}
 	for i, k := range keys {
 		ids[i] = fnv1a(k) & s.mask
 	}
-	done := make([]bool, len(keys))
 	for i := range keys {
 		if done[i] {
 			continue

@@ -1,0 +1,134 @@
+package stripemap
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasicOperations(t *testing.T) {
+	m := New[string](0)
+	if _, ok := m.Load(1); ok {
+		t.Fatal("empty map Load should miss")
+	}
+	m.Store(1, "a")
+	m.Store(2, "b")
+	if v, ok := m.Load(1); !ok || v != "a" {
+		t.Fatalf("Load(1) = %q,%v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Store(1, "a2") // overwrite
+	if v, _ := m.Load(1); v != "a2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d, want 2", m.Len())
+	}
+	m.Delete(2)
+	if _, ok := m.Load(2); ok {
+		t.Fatal("Delete left the entry")
+	}
+}
+
+func TestLoadAndDeleteClaimsOnce(t *testing.T) {
+	m := New[int](4)
+	const key = 42
+	m.Store(key, 7)
+	const claimers = 16
+	var wg sync.WaitGroup
+	won := make(chan int, claimers)
+	for i := 0; i < claimers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, ok := m.LoadAndDelete(key); ok {
+				won <- v
+			}
+		}()
+	}
+	wg.Wait()
+	close(won)
+	var winners []int
+	for v := range won {
+		winners = append(winners, v)
+	}
+	if len(winners) != 1 || winners[0] != 7 {
+		t.Fatalf("LoadAndDelete claimed %v times (values %v), want exactly once", len(winners), winners)
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	m := New[uint64](8)
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		m.Store(i, i*2)
+	}
+	seen := make(map[uint64]uint64, n)
+	m.Range(func(k, v uint64) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), n)
+	}
+	for k, v := range seen {
+		if v != k*2 {
+			t.Fatalf("entry %d = %d, want %d", k, v, k*2)
+		}
+	}
+	// Early termination.
+	count := 0
+	m.Range(func(uint64, uint64) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Range after false continued: %d visits", count)
+	}
+}
+
+func TestSequentialKeysSpreadAcrossStripes(t *testing.T) {
+	m := New[int](64)
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		m.Store(i, 0)
+	}
+	perStripe := make(map[uint64]int)
+	for i := uint64(0); i < n; i++ {
+		perStripe[mix(i)&m.mask]++
+	}
+	if len(perStripe) < 32 {
+		t.Fatalf("sequential keys landed in only %d/64 stripes", len(perStripe))
+	}
+	for stripe, c := range perStripe {
+		if c > n/8 {
+			t.Fatalf("stripe %d holds %d/%d keys — mixer not spreading", stripe, c, n)
+		}
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	m := New[uint64](0)
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * perG)
+			for i := uint64(0); i < perG; i++ {
+				k := base + i
+				m.Store(k, k)
+				if v, ok := m.Load(k); !ok || v != k {
+					t.Errorf("Load(%d) = %d,%v", k, v, ok)
+					return
+				}
+				if i%2 == 0 {
+					m.LoadAndDelete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := m.Len(), goroutines*perG/2; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}

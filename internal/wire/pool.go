@@ -1,0 +1,75 @@
+package wire
+
+import "sync"
+
+// Read-path message pools. A slice read allocates three messages per hop
+// (SliceReq out, SliceResp back, TxReadResp to the client); pooling them —
+// together with the caller-buffer store reads and the pooled frame encoder
+// — makes the slice-read hot path allocation-free end to end.
+//
+// Ownership rule: the RECEIVER releases a pooled message. The in-memory
+// transport delivers the sender's pointer directly to the receiving
+// handler, so the sender must never touch a message after Send; the
+// handler calls the matching Put once it has copied what it needs. Over
+// the TCP transport the receiver decodes a fresh message and releases that
+// one instead; the sender's copy is simply dropped to the GC (a pool miss,
+// not a leak). Releasing is always optional — a dropped message is
+// reclaimed by the GC like any other.
+
+var (
+	sliceReqPool   = sync.Pool{New: func() any { return new(SliceReq) }}
+	sliceRespPool  = sync.Pool{New: func() any { return new(SliceResp) }}
+	txReadRespPool = sync.Pool{New: func() any { return new(TxReadResp) }}
+)
+
+// GetSliceReq returns an empty SliceReq. Keys keeps the capacity of its
+// previous use; append into Keys[:0].
+func GetSliceReq() *SliceReq { return sliceReqPool.Get().(*SliceReq) }
+
+// PutSliceReq releases m for reuse. The Keys backing array is retained
+// (its strings are cleared so it pins nothing); SV is NOT retained — on
+// the coordinator it aliases the transaction's snapshot vector, which must
+// never be scribbled on by a later user of the pooled message.
+func PutSliceReq(m *SliceReq) {
+	clearStrings(m.Keys)
+	m.Keys = m.Keys[:0]
+	*m = SliceReq{Keys: m.Keys}
+	sliceReqPool.Put(m)
+}
+
+// GetSliceResp returns an empty SliceResp. Items keeps the capacity of its
+// previous use; append into Items[:0].
+func GetSliceResp() *SliceResp { return sliceRespPool.Get().(*SliceResp) }
+
+// PutSliceResp releases m for reuse, clearing Items so the pooled slot
+// does not pin keys and values of a finished read.
+func PutSliceResp(m *SliceResp) {
+	clearItems(m.Items)
+	m.Items = m.Items[:0]
+	*m = SliceResp{Items: m.Items}
+	sliceRespPool.Put(m)
+}
+
+// GetTxReadResp returns an empty TxReadResp. Items keeps the capacity of
+// its previous use; append into Items[:0].
+func GetTxReadResp() *TxReadResp { return txReadRespPool.Get().(*TxReadResp) }
+
+// PutTxReadResp releases m for reuse.
+func PutTxReadResp(m *TxReadResp) {
+	clearItems(m.Items)
+	m.Items = m.Items[:0]
+	*m = TxReadResp{Items: m.Items}
+	txReadRespPool.Put(m)
+}
+
+func clearItems(items []Item) {
+	for i := range items {
+		items[i] = Item{}
+	}
+}
+
+func clearStrings(ss []string) {
+	for i := range ss {
+		ss[i] = ""
+	}
+}

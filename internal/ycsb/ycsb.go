@@ -21,8 +21,11 @@ type Mix struct {
 	Writes int
 }
 
-// Predefined mixes from the paper.
+// Predefined mixes from the paper, plus a read-only mix used by the
+// read-path benchmark suite (the paper's workloads always include writes;
+// reads-only isolates the nonblocking read path itself).
 var (
+	Mix100 = Mix{Reads: 20, Writes: 0}
 	Mix95  = Mix{Reads: 19, Writes: 1}
 	Mix90  = Mix{Reads: 18, Writes: 2}
 	Mix50  = Mix{Reads: 10, Writes: 10}
