@@ -7,6 +7,7 @@
 //	wren-bench -ablation blocking-commit
 //	wren-bench -quick -figure 3a   # reduced topology for a fast look
 //	wren-bench -read-path          # read-path suite -> BENCH_read_path.json
+//	wren-bench -engines memory,wal,sst   # engine sweep -> BENCH_engines.json
 //
 // Figures: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b, 7a, 7b.
 // Ablations: blocking-commit, gossip-interval, snapshot-age.
@@ -17,18 +18,25 @@
 // BENCH_read_path.json) so successive PRs leave a comparable perf
 // trajectory. The run fails if the mutex profile shows contention on a
 // plain mutex inside the server read handlers.
+//
+// -engines sweeps the storage backends (memory vs wal vs sst) under a
+// read-heavy and a write-heavy mix on the same Wren topology, fails if
+// any engine finishes a sweep with a recorded write-path failure, and
+// writes BENCH_engines.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
 
 	"wren/internal/bench"
 	"wren/internal/cluster"
+	"wren/internal/store/backend"
 	"wren/internal/ycsb"
 )
 
@@ -53,20 +61,22 @@ func run(args []string) error {
 		keys       = fs.Int("keys", 1000, "keys per partition")
 		skew       = fs.Duration("skew", 2*time.Millisecond, "max clock skew per server")
 		shards     = fs.Int("store-shards", 0, "version-store lock stripes per server (0 = default 64)")
-		storeBack  = fs.String("store-backend", "memory", "storage engine: memory or wal")
-		dataDir    = fs.String("data-dir", "", "root data directory for the wal backend; each benchmark cluster uses a fresh subdirectory (empty = per-cluster temp dir)")
-		fsync      = fs.String("fsync", "", "wal fsync policy: always, interval (default) or never")
+		storeBack  = fs.String("store-backend", "memory", "storage engine: memory, wal or sst")
+		dataDir    = fs.String("data-dir", "", "root data directory for durable backends; each benchmark cluster uses a fresh subdirectory (empty = per-cluster temp dir)")
+		fsync      = fs.String("fsync", "", "durable-backend fsync policy: always, interval (default) or never")
 		seed       = fs.Int64("seed", 1, "random seed")
 		quick      = fs.Bool("quick", false, "reduced topology and windows for a fast run")
 		readPath   = fs.Bool("read-path", false, "run the read-path suite and emit a JSON report")
 		jsonOut    = fs.String("out", "BENCH_read_path.json", "output path for the -read-path JSON report")
+		engines    = fs.String("engines", "", "comma-separated storage engines to sweep (e.g. memory,wal,sst); emits -engines-out")
+		enginesOut = fs.String("engines-out", "BENCH_engines.json", "output path for the -engines JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *figure == "" && *ablation == "" && !*readPath {
+	if *figure == "" && *ablation == "" && !*readPath && *engines == "" {
 		fs.Usage()
-		return fmt.Errorf("one of -figure, -ablation or -read-path is required")
+		return fmt.Errorf("one of -figure, -ablation, -read-path or -engines is required")
 	}
 
 	o := bench.DefaultOptions()
@@ -98,6 +108,13 @@ func run(args []string) error {
 		o.KeysPerPartition = q.KeysPerPartition
 	}
 
+	if *engines != "" {
+		list, err := parseEngines(*engines)
+		if err != nil {
+			return err
+		}
+		return runEngines(o, list, *enginesOut)
+	}
 	if *readPath {
 		return runReadPath(o, *jsonOut)
 	}
@@ -212,6 +229,50 @@ func runFigure(o bench.Options, figure string) error {
 		return fmt.Errorf("unknown figure %q", figure)
 	}
 	return nil
+}
+
+func parseEngines(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if !slices.Contains(backend.Names, name) {
+			return nil, fmt.Errorf("unknown engine %q (want one of %s)", name, strings.Join(backend.Names, ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no engines given")
+	}
+	return out, nil
+}
+
+func runEngines(o bench.Options, engines []string, out string) error {
+	start := time.Now()
+	// A failed sweep (e.g. the engine-health gate) still returns the rows
+	// measured so far; write them before surfacing the error, so the
+	// failing CI run leaves its partial report as the artifact.
+	rep, err := bench.RunEngines(o, engines, o.Threads)
+	if rep != nil {
+		fmt.Print(bench.FormatEngines(rep))
+		fmt.Printf("[engines done in %v]\n", time.Since(start).Round(time.Second))
+		if out != "" {
+			data, jerr := rep.WriteJSON()
+			if jerr == nil {
+				jerr = os.WriteFile(out, append(data, '\n'), 0o644)
+			}
+			switch {
+			case jerr == nil:
+				fmt.Printf("report written to %s\n", out)
+			case err == nil:
+				err = jerr
+			default:
+				// The sweep error wins, but the missing artifact must not
+				// be a silent mystery.
+				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
+			}
+		}
+	}
+	return err
 }
 
 func runReadPath(o bench.Options, out string) error {

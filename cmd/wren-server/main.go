@@ -51,9 +51,9 @@ func run(args []string) error {
 		gossipMs   = fs.Duration("gossip-interval", 5*time.Millisecond, "ΔG stabilization period")
 		gcEvery    = fs.Duration("gc-interval", 500*time.Millisecond, "GC period (negative disables)")
 		shards     = fs.Int("store-shards", 0, "version-store lock stripes (0 = default 64, rounded up to a power of two)")
-		storeBack  = fs.String("store-backend", "memory", "storage engine: memory or wal")
-		dataDir    = fs.String("data-dir", "", "root data directory for the wal backend (server writes under dc<m>-p<n>)")
-		fsync      = fs.String("fsync", "", "wal fsync policy: always, interval (default) or never")
+		storeBack  = fs.String("store-backend", "memory", "storage engine: memory, wal or sst")
+		dataDir    = fs.String("data-dir", "", "root data directory for durable backends (server writes under dc<m>-p<n>)")
+		fsync      = fs.String("fsync", "", "durable-backend fsync policy: always, interval (default) or never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"wren/internal/cluster"
+	"wren/internal/ycsb"
+)
+
+// The storage-engine sweep compares every backend — the in-memory
+// lock-striped engine, the per-shard WAL engine and the memtable+SST
+// engine — on the same Wren cluster under a read-heavy and a write-heavy
+// mix, so every PR that touches a backend leaves a comparable
+// apples-to-apples trajectory (BENCH_engines.json, uploaded as a CI
+// artifact by bench-smoke). Each cluster's engines must also finish the
+// run healthy: a backend that silently froze a shard log mid-benchmark
+// fails the sweep instead of publishing numbers measured on a degraded
+// write path.
+
+// EngineWorkloads are the mixes the engine sweep runs: the paper's
+// read-heavy default and a write-heavy mix where the durable engines'
+// append cost dominates.
+var EngineWorkloads = []ycsb.Mix{ycsb.Mix95, ycsb.Mix50}
+
+// EngineRow is one measured cell of the storage-engine sweep.
+type EngineRow struct {
+	Engine       string  `json:"engine"`        // "memory", "wal", "sst"
+	Workload     string  `json:"workload"`      // "95:5", "50:50"
+	Threads      int     `json:"threads"`       // client goroutines per (DC, partition)
+	TotalThreads int     `json:"total_threads"` // across the whole cluster
+	TxPerSec     float64 `json:"tx_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"` // individual key writes/s
+	MeanLatMs    float64 `json:"mean_lat_ms"`
+	P50LatMs     float64 `json:"p50_lat_ms"`
+	P99LatMs     float64 `json:"p99_lat_ms"`
+	Committed    uint64  `json:"committed"`
+	Errors       uint64  `json:"errors"`
+}
+
+// EnginesReport is the machine-readable output of the engine sweep.
+type EnginesReport struct {
+	Protocol   string      `json:"protocol"`
+	Fsync      string      `json:"fsync"` // policy the durable engines ran with
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	DCs        int         `json:"dcs"`
+	Partitions int         `json:"partitions"`
+	Rows       []EngineRow `json:"rows"`
+}
+
+// RunEngines sweeps the given storage engines across EngineWorkloads and
+// thread counts on a Wren cluster (one fresh cluster, with a fresh data
+// directory, per engine × mix). After each cluster's load points it
+// verifies every server engine is still healthy and fails otherwise. On
+// failure the report accumulated so far is returned alongside the error,
+// so callers can still persist the rows that DID complete — the failing
+// run's partial artifact is the evidence of where the sweep stopped.
+func RunEngines(o Options, engines []string, threads []int) (*EnginesReport, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("bench: no engines to sweep")
+	}
+	if len(threads) == 0 {
+		threads = []int{1, 4}
+	}
+	fsync := o.FsyncPolicy
+	if fsync == "" {
+		fsync = "interval"
+	}
+	rep := &EnginesReport{
+		Protocol:   cluster.Wren.String(),
+		Fsync:      fsync,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		DCs:        o.DCs,
+		Partitions: o.Partitions,
+	}
+	for _, engine := range engines {
+		for _, mix := range EngineWorkloads {
+			eo := o
+			eo.StoreBackend = engine
+			cl, err := cluster.New(eo.clusterConfig(cluster.Wren, o.DCs, o.Partitions))
+			if err != nil {
+				return rep, fmt.Errorf("engine %s: %w", engine, err)
+			}
+			pTx := 4
+			if pTx > o.Partitions {
+				pTx = o.Partitions
+			}
+			w, err := ycsb.NewWorkload(o.workloadConfig(mix, pTx, o.Partitions))
+			if err != nil {
+				cl.Close()
+				return rep, err
+			}
+			if err := Preload(cl, w); err != nil {
+				cl.Close()
+				return rep, err
+			}
+			for _, t := range threads {
+				res, err := RunLoadPoint(LoadConfig{
+					Cluster: cl, Workload: w, ThreadsPerClient: t,
+					Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed,
+				})
+				if err != nil {
+					cl.Close()
+					return rep, fmt.Errorf("engine %s %s x%d: %w", engine, mix.Name(), t, err)
+				}
+				rep.Rows = append(rep.Rows, EngineRow{
+					Engine:       backendLabel(engine),
+					Workload:     mix.Name(),
+					Threads:      t,
+					TotalThreads: res.Threads,
+					TxPerSec:     res.Throughput,
+					WritesPerSec: res.Throughput * float64(mix.Writes),
+					MeanLatMs:    res.MeanLatMs,
+					P50LatMs:     res.P50LatMs,
+					P99LatMs:     res.P99LatMs,
+					Committed:    res.Committed,
+					Errors:       res.Errors,
+				})
+			}
+			// The health gate: numbers measured on a degraded write path
+			// (a frozen shard log, a failed flush) must not be published.
+			herr := cl.EnginesHealthy()
+			cl.Close()
+			if herr != nil {
+				return rep, fmt.Errorf("engine %s finished the %s sweep degraded: %w", engine, mix.Name(), herr)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented for diffable commits.
+func (r *EnginesReport) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatEngines renders the report for humans.
+func FormatEngines(r *EnginesReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage engines (%s, fsync=%s, GOMAXPROCS=%d, %dx%d)\n",
+		r.Protocol, r.Fsync, r.GoMaxProcs, r.DCs, r.Partitions)
+	fmt.Fprintf(&b, "%-8s %-8s %8s %12s %12s %10s %10s %10s\n",
+		"engine", "mix", "threads", "tx/s", "writes/s", "mean(ms)", "p50(ms)", "p99(ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-8s %8d %12.0f %12.0f %10.2f %10.2f %10.2f\n",
+			row.Engine, row.Workload, row.TotalThreads, row.TxPerSec, row.WritesPerSec,
+			row.MeanLatMs, row.P50LatMs, row.P99LatMs)
+	}
+	return b.String()
+}

@@ -42,7 +42,8 @@ type Options struct {
 	// (0 = store default).
 	StoreShards int
 	// StoreBackend selects the servers' storage engine ("" or "memory",
-	// or "wal" for the durable per-shard log engine).
+	// "wal" for the durable per-shard log engine, "sst" for the
+	// memtable+sorted-run engine).
 	StoreBackend string
 	// DataDir is the root data directory for durable backends; every
 	// cluster a run builds gets its own cluster-<n> subdirectory so no

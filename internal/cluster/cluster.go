@@ -87,9 +87,10 @@ type Config struct {
 	StoreShards int
 	// StoreBackend selects each server's storage engine: "" or "memory"
 	// for the in-memory engine, "wal" for the durable per-shard log
-	// engine. An empty value can also be overridden by the
-	// WREN_STORE_BACKEND environment variable, which is how CI runs the
-	// whole suite against the WAL backend.
+	// engine, "sst" for the memtable+sorted-run engine. An empty value
+	// can also be overridden by the WREN_STORE_BACKEND environment
+	// variable, which is how CI runs the whole suite against each durable
+	// backend.
 	StoreBackend string
 	// DataDir is the root directory durable backends write under; every
 	// server gets its own dc<m>-p<n> subdirectory, so one root serves the
@@ -379,6 +380,29 @@ func (c *Cluster) RemoteUpdateVisible(dc, p, srcDC int, ct hlc.Timestamp) bool {
 		gsv := c.cureServers[dc][p].StableVector()
 		return gsv[srcDC] >= ct
 	}
+}
+
+// EnginesHealthy returns the first storage-engine write-path failure any
+// server in the deployment has recorded, or nil while every engine is
+// fully healthy. Durable backends keep acknowledging from memory after a
+// log or flush failure, so benchmarks and tests use this to detect a
+// silently degraded shard log instead of discovering it at shutdown.
+func (c *Cluster) EnginesHealthy() error {
+	for dc, row := range c.wrenServers {
+		for p, s := range row {
+			if err := s.EngineHealthy(); err != nil {
+				return fmt.Errorf("dc%d/p%d: %w", dc, p, err)
+			}
+		}
+	}
+	for dc, row := range c.cureServers {
+		for p, s := range row {
+			if err := s.EngineHealthy(); err != nil {
+				return fmt.Errorf("dc%d/p%d: %w", dc, p, err)
+			}
+		}
+	}
+	return nil
 }
 
 // CommittedTxCount sums committed-transaction counters across all servers.

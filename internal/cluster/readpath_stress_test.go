@@ -23,8 +23,10 @@ func TestReadPathStress(t *testing.T) {
 	}{
 		{"wren-memory", Wren, "memory"},
 		{"wren-wal", Wren, "wal"},
+		{"wren-sst", Wren, "sst"},
 		{"cure-memory", Cure, "memory"},
 		{"hcure-wal", HCure, "wal"},
+		{"hcure-sst", HCure, "sst"},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
@@ -237,6 +239,11 @@ func stressReadPath(t *testing.T, proto Protocol, backendName string) {
 	}
 	if readOps.Load() == 0 || writeOps.Load() == 0 {
 		t.Fatalf("stress made no progress: reads=%d writes=%d", readOps.Load(), writeOps.Load())
+	}
+	// No engine may have recorded a write-path failure under the churn: a
+	// silently-frozen shard log would otherwise survive until Close.
+	if err := cl.EnginesHealthy(); err != nil {
+		t.Fatalf("storage engine degraded during stress: %v", err)
 	}
 	t.Logf("%s: %d read txs, %d write txs, GC racing every 5ms", cl.Config().Protocol, readOps.Load(), writeOps.Load())
 }

@@ -6,6 +6,7 @@ import (
 
 	"wren/internal/hlc"
 	"wren/internal/store"
+	"wren/internal/store/sst"
 	"wren/internal/transport"
 	"wren/internal/wire"
 )
@@ -86,6 +87,22 @@ func TestReadSliceAllocsWAL(t *testing.T) {
 	s := newAllocServer(t, "wal", t.TempDir())
 	if allocs := measureReadSliceAllocs(t, s); allocs > 0 {
 		t.Fatalf("readSlice(8 keys, wal engine) allocates %.1f/op, want 0 (baseline before this PR: 5)", allocs)
+	}
+}
+
+func TestReadSliceAllocsSST(t *testing.T) {
+	skipUnderRace(t)
+	s := newAllocServer(t, "sst", t.TempDir())
+	// Flush the first fill into an immutable run so the measurement covers
+	// the tiered path — memtable probe plus lock-free run merge — not just
+	// the memtable fast path (measureReadSliceAllocs refills the same keys
+	// afterwards, layering fresh memtable versions over the run).
+	fillKeys(s, 64)
+	if err := s.st.(*sst.Engine).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := measureReadSliceAllocs(t, s); allocs > 0 {
+		t.Fatalf("readSlice(8 keys, sst engine, run+memtable) allocates %.1f/op, want 0", allocs)
 	}
 }
 

@@ -74,11 +74,14 @@ type ServerConfig struct {
 	StoreShards int
 	// StoreBackend selects the storage engine: backend.Memory (the ""
 	// default) keeps versions only in memory; backend.WAL adds per-shard
-	// append-only logs that are replayed on restart.
+	// append-only logs that are replayed on restart; backend.SST is the
+	// memtable+sorted-run engine (WAL over the active memtable only,
+	// immutable runs serving snapshot reads lock-free, merge compaction).
 	StoreBackend string
 	// DataDir is the root directory durable backends write under. The
 	// server uses DataDir/dc<m>-p<n>, so servers of one deployment can
-	// share a root. Required when StoreBackend is backend.WAL.
+	// share a root. Required when StoreBackend is backend.WAL or
+	// backend.SST.
 	DataDir string
 	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
 	// (the "" default) or "never". Ignored by the memory backend.
@@ -321,6 +324,12 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 
 // Store exposes the underlying storage engine (read-only use in tests).
 func (s *Server) Store() store.Engine { return s.st }
+
+// EngineHealthy reports the first write-path failure the storage engine
+// has recorded, or nil while it is fully healthy. A durable backend keeps
+// acknowledging from memory after a log failure, so this is the signal
+// benchmarks and operators poll to catch silently degraded durability.
+func (s *Server) EngineHealthy() error { return s.st.Healthy() }
 
 // Start registers the server on the network and launches the apply (ΔR),
 // stabilization (ΔG) and garbage-collection loops.

@@ -49,10 +49,12 @@ type ServerConfig struct {
 	// of two.
 	StoreShards int
 	// StoreBackend selects the storage engine ("" or "memory" for the
-	// in-memory engine, "wal" for the durable per-shard log engine).
+	// in-memory engine, "wal" for the durable per-shard log engine,
+	// "sst" for the memtable+sorted-run engine).
 	StoreBackend string
 	// DataDir is the root directory durable backends write under (the
-	// server uses DataDir/dc<m>-p<n>). Required for the wal backend.
+	// server uses DataDir/dc<m>-p<n>). Required for the wal and sst
+	// backends.
 	DataDir string
 	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
 	// (the "" default) or "never".
@@ -286,6 +288,10 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 
 // Store exposes the underlying storage engine for tests.
 func (s *Server) Store() store.Engine { return s.st }
+
+// EngineHealthy reports the first write-path failure the storage engine
+// has recorded, or nil while it is fully healthy.
+func (s *Server) EngineHealthy() error { return s.st.Healthy() }
 
 // Start registers the server and launches its background loops.
 func (s *Server) Start() {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"wren/internal/store"
+	"wren/internal/store/sst"
 	"wren/internal/store/wal"
 )
 
@@ -19,19 +20,28 @@ const (
 	// WAL is the durable engine: the memory engine fronted by per-shard
 	// append-only logs that are replayed on startup.
 	WAL = "wal"
+	// SST is the memtable+sorted-run engine: a WAL covers only the active
+	// memtable, background flushes emit immutable sorted runs that serve
+	// snapshot reads lock-free, and merge compaction folds runs together.
+	SST = "sst"
 )
+
+// Names lists every recognized backend, for flag help and sweeps.
+var Names = []string{Memory, WAL, SST}
 
 // Options describes the engine one partition server wants.
 type Options struct {
-	// Backend is Memory, WAL, or "" (which selects Memory).
+	// Backend is Memory, WAL, SST, or "" (which selects Memory).
 	Backend string
 	// Shards is the lock-stripe count (0 selects store.DefaultShards).
 	Shards int
 	// DataDir is the directory a durable backend writes under. Required
-	// for WAL; ignored by Memory. Each server must get its own directory.
+	// for WAL and SST; ignored by Memory. Each server must get its own
+	// directory.
 	DataDir string
-	// Fsync is the WAL group-commit policy: wal.FsyncAlways,
-	// wal.FsyncInterval (the "" default) or wal.FsyncNever.
+	// Fsync is the WAL group-commit policy shared by the durable
+	// backends: wal.FsyncAlways, wal.FsyncInterval (the "" default) or
+	// wal.FsyncNever.
 	Fsync string
 }
 
@@ -42,16 +52,16 @@ func Validate(name, dataDir, fsync string) error {
 	switch name {
 	case "", Memory:
 		return nil
-	case WAL:
+	case WAL, SST:
 		if dataDir == "" {
-			return fmt.Errorf("backend %q requires a data directory", WAL)
+			return fmt.Errorf("backend %q requires a data directory", name)
 		}
 		if _, err := wal.ParseFsync(fsync); err != nil {
 			return err
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown store backend %q (want %q or %q)", name, Memory, WAL)
+		return fmt.Errorf("unknown store backend %q (want %q, %q or %q)", name, Memory, WAL, SST)
 	}
 }
 
@@ -60,12 +70,20 @@ func Open(opts Options) (store.Engine, error) {
 	if err := Validate(opts.Backend, opts.DataDir, opts.Fsync); err != nil {
 		return nil, err
 	}
-	if opts.Backend == WAL {
+	switch opts.Backend {
+	case WAL:
 		return wal.Open(wal.Options{
 			Dir:    opts.DataDir,
 			Shards: opts.Shards,
 			Fsync:  opts.Fsync,
 		})
+	case SST:
+		return sst.Open(sst.Options{
+			Dir:    opts.DataDir,
+			Shards: opts.Shards,
+			Fsync:  opts.Fsync,
+		})
+	default:
+		return store.NewMemoryEngine(opts.Shards), nil
 	}
-	return store.NewMemoryEngine(opts.Shards), nil
 }

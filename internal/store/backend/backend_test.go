@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"wren/internal/store"
+	"wren/internal/store/sst"
 	"wren/internal/store/wal"
 )
 
@@ -19,6 +20,10 @@ func TestValidate(t *testing.T) {
 		{"wal all policies", WAL, "/tmp/x", wal.FsyncAlways, false},
 		{"wal without dir", WAL, "", "", true},
 		{"wal bad fsync", WAL, "/tmp/x", "sometimes", true},
+		{"sst with dir", SST, "/tmp/x", "", false},
+		{"sst all policies", SST, "/tmp/x", wal.FsyncNever, false},
+		{"sst without dir", SST, "", "", true},
+		{"sst bad fsync", SST, "/tmp/x", "sometimes", true},
 		{"unknown", "rocksdb", "/tmp/x", "", true},
 	}
 	for _, c := range cases {
@@ -50,10 +55,65 @@ func TestOpenSelectsEngine(t *testing.T) {
 	}
 	_ = weng.Close()
 
+	seng, err := Open(Options{Backend: SST, Shards: 8, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := seng.(*sst.Engine); !ok {
+		t.Errorf("sst backend opened %T, want *sst.Engine", seng)
+	}
+	if seng.NumShards() != 8 {
+		t.Errorf("NumShards = %d, want 8", seng.NumShards())
+	}
+	_ = seng.Close()
+
 	if _, err := Open(Options{Backend: WAL}); err == nil {
 		t.Error("wal backend without DataDir should fail to open")
 	}
+	if _, err := Open(Options{Backend: SST}); err == nil {
+		t.Error("sst backend without DataDir should fail to open")
+	}
 	if _, err := Open(Options{Backend: "rocksdb"}); err == nil {
 		t.Error("unknown backend should fail to open")
+	}
+}
+
+// TestCrossEngineDirRejected: a data directory created by one durable
+// engine must be refused by the other — each ignores the other's files,
+// so adopting the directory would silently serve empty state (and two
+// live engines would interleave writes into one directory).
+func TestCrossEngineDirRejected(t *testing.T) {
+	for _, c := range []struct{ first, second string }{{WAL, SST}, {SST, WAL}} {
+		t.Run(c.first+"-then-"+c.second, func(t *testing.T) {
+			dir := t.TempDir()
+			eng, err := Open(Options{Backend: c.first, DataDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Put("k", &store.Version{Value: []byte("v"), UT: 1})
+
+			// While the first engine is live, the shared lock rejects the
+			// second regardless of type.
+			if _, err := Open(Options{Backend: c.second, DataDir: dir}); err == nil {
+				t.Fatalf("%s opened a directory locked by a live %s engine", c.second, c.first)
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// After a clean close, the engine-type marker still refuses the
+			// mismatched engine...
+			if _, err := Open(Options{Backend: c.second, DataDir: dir}); err == nil {
+				t.Fatalf("%s adopted a closed %s data directory", c.second, c.first)
+			}
+			// ...while the original type reopens and recovers fine.
+			re, err := Open(Options{Backend: c.first, DataDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := re.Latest("k"); got == nil || string(got.Value) != "v" {
+				t.Fatalf("recovered Latest = %+v, want v", got)
+			}
+			_ = re.Close()
+		})
 	}
 }

@@ -47,6 +47,12 @@ type Engine interface {
 	NumShards() int
 	// ForEachKey calls fn for every key; fn runs without shard locks held.
 	ForEachKey(fn func(key string))
+	// Healthy reports the first write-path failure the engine has hit, or
+	// nil while fully healthy. Durable engines keep serving from memory
+	// after a log or flush failure, so without this signal a silently
+	// degraded engine is indistinguishable from a healthy one until Close;
+	// servers and benchmarks poll Healthy to detect it while running.
+	Healthy() error
 	// Close releases engine resources (files, background syncers). The
 	// engine must not be used afterwards. Close is idempotent.
 	Close() error

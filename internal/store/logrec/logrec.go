@@ -1,0 +1,103 @@
+// Package logrec defines the framed on-disk record format shared by the
+// durable storage engines (the per-shard WAL in store/wal, the
+// memtable+sorted-run engine in store/sst): one record per version,
+// length-prefixed and CRC32-checksummed, with the payload produced by the
+// internal/wire encoder. Keeping the format in one place means every log
+// and run file in a data directory is scanned, validated and truncated by
+// the exact same rules, and a future engine cannot drift from them.
+//
+// Record layout:
+//
+//	4 bytes  little-endian payload length
+//	4 bytes  little-endian CRC32 (IEEE) of the payload
+//	payload  key, tombstone flag, value, UT, RDT, TxID, SrcDC, DV
+package logrec
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"wren/internal/store"
+	"wren/internal/wire"
+)
+
+// HeaderSize is the per-record framing overhead: 4-byte payload length
+// plus 4-byte CRC32 of the payload.
+const HeaderSize = 8
+
+// Append encodes one version as a framed record at the end of enc's buffer
+// and back-patches the length and checksum.
+func Append(enc *wire.Encoder, key string, v *store.Version) {
+	off := enc.Reserve(HeaderSize)
+	enc.String(key)
+	enc.Bool(v.Value == nil)
+	enc.BytesField(v.Value)
+	enc.Timestamp(v.UT)
+	enc.Timestamp(v.RDT)
+	enc.Uvarint(v.TxID)
+	enc.Byte(v.SrcDC)
+	enc.Timestamps(v.DV)
+	buf := enc.Bytes()
+	payload := buf[off+HeaderSize:]
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[off+4:], crc32.ChecksumIEEE(payload))
+}
+
+// Decode parses one record payload back into a version.
+func Decode(payload []byte) (string, *store.Version, error) {
+	d := wire.NewDecoder(payload)
+	key := d.String()
+	tombstone := d.Bool()
+	raw := d.BytesField()
+	v := &store.Version{
+		UT:    d.Timestamp(),
+		RDT:   d.Timestamp(),
+		TxID:  d.Uvarint(),
+		SrcDC: d.Byte(),
+		DV:    d.Timestamps(),
+	}
+	if err := d.Err(); err != nil {
+		return "", nil, err
+	}
+	if !tombstone {
+		v.Value = append([]byte{}, raw...)
+	}
+	return key, v, nil
+}
+
+// Scan walks the intact prefix of a log or run file image, invoking fn for
+// every record that frames and checksums clean, and returns the byte
+// offset just past the last intact record. A record whose length prefix
+// runs off the buffer, whose checksum does not hold, or whose payload does
+// not parse — the footprint of a crash mid-append — ends the scan; callers
+// decide whether the tail is truncated (WAL recovery) or fatal (immutable
+// run files, which are only ever renamed into place complete).
+//
+// No upper bound is imposed on the record length beyond the buffer itself:
+// a record of any size that was fully written and checksums clean is valid
+// — an arbitrary cap would make one large committed value poison every
+// record behind it. Corrupt lengths fail the bounds check or the CRC.
+func Scan(buf []byte, fn func(key string, v *store.Version)) (good int) {
+	for off := 0; off < len(buf); {
+		rest := buf[off:]
+		if len(rest) < HeaderSize {
+			break // torn header
+		}
+		plen := binary.LittleEndian.Uint32(rest[:4])
+		if HeaderSize+int(plen) > len(rest) {
+			break // torn payload (or a corrupt length running off the file)
+		}
+		payload := rest[HeaderSize : HeaderSize+int(plen)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			break // corrupt record
+		}
+		key, v, err := Decode(payload)
+		if err != nil {
+			break // payload does not parse: treat like a torn record
+		}
+		fn(key, v)
+		off += HeaderSize + int(plen)
+		good = off
+	}
+	return good
+}

@@ -42,7 +42,7 @@ func (s *globalLockStore) Put(key string, v *Version) {
 func (s *globalLockStore) ReadVisible(key string, visible VisibleFunc) *Version {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return readVisibleChain(s.chains[key], visible)
+	return ReadVisibleChain(s.chains[key], visible)
 }
 
 func (s *globalLockStore) Latest(key string) *Version {

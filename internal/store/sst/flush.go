@@ -1,0 +1,487 @@
+package sst
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+	"wren/internal/store/fsutil"
+	"wren/internal/store/logrec"
+	"wren/internal/store/shardlog"
+	"wren/internal/store/wal"
+	"wren/internal/wire"
+)
+
+// Flush freezes the active memtable and writes it out as one immutable
+// sorted run, then deletes the WAL generations the run supersedes. It is
+// a no-op on an empty memtable. Flush is what the background trigger
+// calls; tests and tooling may call it directly.
+func (e *Engine) Flush() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	tabs := e.tabs.Load()
+	if tabs.frozen != nil {
+		return nil // only after a simulated-crash hook; never in production
+	}
+	if tabs.active.Versions() == 0 {
+		return nil
+	}
+
+	// Freeze: rotate in a fresh memtable and a fresh WAL generation under
+	// every shard lock, so each write lands wholly in the old tier or
+	// wholly in the new one. The old memtable becomes the frozen tier —
+	// still readable — while its run is written without any lock.
+	for _, sh := range e.shards {
+		sh.Mu.Lock()
+	}
+	oldGen := e.gen
+	newGen := oldGen + 1
+	frozenMin := e.minGen
+	newFiles := make([]*os.File, e.nShards)
+	var ferr error
+	for si := range e.shards {
+		f, err := os.OpenFile(e.walPath(newGen, si), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			ferr = err
+			break
+		}
+		newFiles[si] = f
+	}
+	if ferr == nil {
+		// Persist the new generation's directory entries BEFORE any write
+		// can be acknowledged against them: once the shard locks drop, an
+		// fsync=always Put syncs file contents only, and without this a
+		// power loss could drop the entries themselves — acknowledged
+		// records vanishing with their files.
+		if derr := fsutil.SyncDir(e.dir); derr != nil {
+			ferr = derr
+		}
+	}
+	if ferr != nil {
+		for _, f := range newFiles {
+			if f != nil {
+				_ = f.Close()
+			}
+		}
+		for i := e.nShards - 1; i >= 0; i-- {
+			e.shards[i].Mu.Unlock()
+		}
+		err := fmt.Errorf("sst: rotate wal generation: %w", ferr)
+		e.recordErr(err)
+		return err
+	}
+	frozen := tabs.active
+	oldFiles := make([]*os.File, e.nShards)
+	for si, sh := range e.shards {
+		oldFiles[si] = sh.F
+		sh.F = newFiles[si]
+		sh.Size = 0
+		sh.Dirty = false
+		sh.Failed = false // the fresh generation file repairs a frozen shard log
+	}
+	e.gen = newGen
+	e.minGen = newGen
+	e.memBytes.Store(0)
+	e.tabs.Store(&tables{active: store.NewSharded(e.nShards), frozen: frozen, runs: tabs.runs})
+	for i := e.nShards - 1; i >= 0; i-- {
+		e.shards[i].Mu.Unlock()
+	}
+
+	// The rotated-out generation may hold appends the interval policy has
+	// not synced yet, and the fsync loop can no longer reach them (the
+	// shards now point at the new generation). Sync them here so the
+	// interval loss bound stays one interval plus this sync, not the whole
+	// run-write duration; fsync=never keeps its no-promises contract.
+	if e.fsync != wal.FsyncNever {
+		shardlog.SyncFiles(oldFiles, e.onErr)
+	}
+
+	// Write the run. No locks are needed: the frozen memtable is
+	// immutable, and readers keep serving from it through the tables
+	// snapshot for the whole duration.
+	r, err := e.writeRun(frozen, frozenMin, oldGen)
+	if err != nil {
+		// The frozen records are still durable in WAL generations
+		// [frozenMin, oldGen]: sync and close those handles, fold the
+		// frozen memtable back into the active tier, and let the next
+		// flush retry with a run covering the whole span.
+		for _, f := range oldFiles {
+			_ = f.Sync()
+			_ = f.Close()
+		}
+		e.unfreeze(frozen, frozenMin)
+		e.recordErr(err)
+		return err
+	}
+	if e.opts.crashAfterFlushRename {
+		for _, f := range oldFiles {
+			_ = f.Close()
+		}
+		e.markCrashed()
+		return nil
+	}
+
+	// Publish: one atomic swap replaces the frozen memtable with the run,
+	// so there is never a window where the data is invisible or counted
+	// twice by the flushMu-holding counting methods.
+	cur := e.tabs.Load()
+	runs := make([]*run, 0, len(cur.runs)+1)
+	runs = append(runs, r)
+	runs = append(runs, cur.runs...)
+	e.tabs.Store(&tables{active: cur.active, frozen: nil, runs: runs})
+
+	// The durable run supersedes the WAL generations it covers.
+	for _, f := range oldFiles {
+		_ = f.Close()
+	}
+	for g := frozenMin; g <= oldGen; g++ {
+		for si := 0; si < e.nShards; si++ {
+			if err := os.Remove(e.walPath(g, si)); err != nil && !os.IsNotExist(err) {
+				e.recordErr(fmt.Errorf("sst: remove superseded wal: %w", err))
+			}
+		}
+	}
+	e.metrics.add(func(m *Metrics) { m.flushes++ })
+	e.maybeCompactLocked()
+	return nil
+}
+
+// unfreeze folds a frozen memtable whose flush failed back into the
+// active tier. Readers may briefly see a version in both tiers; the
+// last-writer-wins merge makes that harmless, and the counting methods
+// are blocked on flushMu (held here) until the fold completes.
+func (e *Engine) unfreeze(frozen *store.Store, frozenMin uint64) {
+	cur := e.tabs.Load()
+	var bytes int64
+	frozen.ForEachKey(func(k string) {
+		for _, v := range frozen.ChainInto(k, nil) {
+			cur.active.Put(k, v)
+			bytes += writeSize(k, v)
+		}
+	})
+	e.tabs.Store(&tables{active: cur.active, frozen: nil, runs: cur.runs})
+	e.minGen = frozenMin
+	e.memBytes.Add(bytes)
+}
+
+// writeRun writes the frozen memtable as one immutable sorted run file
+// covering WAL generations [minGen, maxGen]: keys in sorted order, each
+// key's version chain contiguous in last-writer-wins (timestamp) order.
+// The file is written to a temp name, fsynced, atomically renamed into
+// place and the directory synced — only then may the WAL generations it
+// covers be deleted.
+func (e *Engine) writeRun(frozen *store.Store, minGen, maxGen uint64) (*run, error) {
+	keys := make([]string, 0, frozen.Keys())
+	frozen.ForEachKey(func(k string) { keys = append(keys, k) })
+	sort.Strings(keys)
+	idx := make(map[string][]*store.Version, len(keys))
+	versions := 0
+	for _, k := range keys {
+		chain := frozen.ChainInto(k, nil)
+		idx[k] = chain
+		versions += len(chain)
+	}
+	path := e.runPath(minGen, maxGen)
+	if err := writeRunFile(path, keys, idx); err != nil {
+		return nil, err
+	}
+	if err := fsutil.SyncDir(e.dir); err != nil {
+		return nil, fmt.Errorf("sst: sync dir: %w", err)
+	}
+	return &run{path: path, minGen: minGen, maxGen: maxGen, index: idx, versions: versions}, nil
+}
+
+// writeRunFile streams the records of a run to path via a temp file,
+// fsyncs, and renames it into place.
+func writeRunFile(path string, keys []string, idx map[string][]*store.Version) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("sst: write run: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := wire.NewEncoder()
+	for _, k := range keys {
+		for _, v := range idx[k] {
+			enc.Reset()
+			logrec.Append(enc, k, v)
+			if _, err = w.Write(enc.Bytes()); err != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("sst: write run %s: %w", path, err)
+	}
+	return nil
+}
+
+// maybeCompactLocked triggers a merge compaction when runs pile up or
+// enough GC-pruned garbage lingers in the run files. Caller holds
+// flushMu.
+func (e *Engine) maybeCompactLocked() {
+	if e.compactRuns < 0 {
+		return
+	}
+	runs := e.tabs.Load().runs
+	if len(runs) >= e.compactRuns || (len(runs) > 0 && e.garbage >= e.compactGarbage) {
+		e.compactLocked()
+	}
+}
+
+// Compact forces a merge compaction (tests and tooling; production
+// compaction is triggered by run count and GC garbage).
+func (e *Engine) Compact() {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.compactLocked()
+}
+
+// compactLocked folds every run into one: chains are merged per key in
+// last-writer-wins order from the LIVE in-memory indexes — which already
+// exclude everything GC pruned, so stale versions and tombstoned chains
+// whose deletion became stable leave the disk here — and the merged run
+// atomically replaces the originals. Caller holds flushMu.
+func (e *Engine) compactLocked() {
+	tabs := e.tabs.Load()
+	runs := tabs.runs
+	if len(runs) == 0 || (len(runs) == 1 && e.garbage == 0) {
+		return
+	}
+	minGen, maxGen := runs[0].minGen, runs[0].maxGen
+	merged := make(map[string][]*store.Version)
+	for i := len(runs) - 1; i >= 0; i-- { // oldest first
+		r := runs[i]
+		if r.minGen < minGen {
+			minGen = r.minGen
+		}
+		if r.maxGen > maxGen {
+			maxGen = r.maxGen
+		}
+		for k, chain := range r.index {
+			merged[k] = append(merged[k], chain...)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	versions := 0
+	for k, chain := range merged {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].Less(chain[j]) })
+		versions += len(chain)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	path := e.runPath(minGen, maxGen)
+	if err := writeRunFile(path, keys, merged); err != nil {
+		e.recordErr(err)
+		return
+	}
+	if err := fsutil.SyncDir(e.dir); err != nil {
+		e.recordErr(fmt.Errorf("sst: sync dir: %w", err))
+		return
+	}
+	if e.opts.crashAfterCompactRename {
+		e.markCrashed()
+		return
+	}
+	mergedRun := &run{path: path, minGen: minGen, maxGen: maxGen, index: merged, versions: versions}
+	cur := e.tabs.Load()
+	e.tabs.Store(&tables{active: cur.active, frozen: cur.frozen, runs: []*run{mergedRun}})
+	for _, r := range runs {
+		if r.path == path {
+			continue // a single-run rewrite replaced its own file via the rename
+		}
+		if err := os.Remove(r.path); err != nil {
+			e.recordErr(fmt.Errorf("sst: remove compacted run: %w", err))
+		}
+	}
+	e.garbage = 0
+	e.metrics.add(func(m *Metrics) { m.compactions++ })
+}
+
+// GCStats implements store.Engine. GC must make ONE decision per key
+// across every tier: with a chain split between the memtable and several
+// runs, each tier's own "newest version with UT ≤ oldest" differs from
+// the global one, and pruning tiers independently would keep one extra
+// version per tier and break the exact accounting the Engine contract
+// promises. The pass therefore computes the global base — the newest
+// version with UT ≤ oldest across all tiers — then prunes the memtable
+// through PruneChain and republishes pruned copies of the affected run
+// indexes (the immutable maps are replaced wholesale, never mutated, so
+// concurrent readers stay lock-free). Run FILES keep the garbage until a
+// merge compaction rewrites them; the garbage counter feeds that trigger.
+func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	res := store.GCResult{PerShard: make([]int, e.nShards)}
+	tabs := e.tabs.Load()
+	if tabs.frozen != nil {
+		return res // only after a simulated-crash hook; never in production
+	}
+	active := tabs.active
+	newIdx := make([]map[string][]*store.Version, len(tabs.runs))
+	newDead := make([]map[string]struct{}, len(tabs.runs))
+	newVers := make([]int, len(tabs.runs))
+	for i, r := range tabs.runs {
+		newVers[i] = r.versions
+	}
+	visited := make(map[string]struct{})
+	var scratch []*store.Version
+	gcKey := func(key string) {
+		if _, ok := visited[key]; ok {
+			return
+		}
+		visited[key] = struct{}{}
+		scratch = active.ChainInto(key, scratch[:0])
+		var base, newest *store.Version
+		scan := func(chain []*store.Version) {
+			if len(chain) == 0 {
+				return
+			}
+			if t := chain[len(chain)-1]; newest == nil || newest.Less(t) {
+				newest = t
+			}
+			for i := len(chain) - 1; i >= 0; i-- {
+				if chain[i].UT <= oldest {
+					if base == nil || base.Less(chain[i]) {
+						base = chain[i]
+					}
+					break
+				}
+			}
+		}
+		scan(scratch)
+		for _, r := range tabs.runs {
+			scan(r.index[key])
+		}
+		if base == nil {
+			return // every version is newer than the oldest snapshot
+		}
+		// The stable snapshot base is a tombstone and nothing newer exists
+		// in any tier: every reader would see "not found" — drop the whole
+		// chain. The drop is bounded by base (see store.ChainCut): a write
+		// racing into the memtable after this decision is newer than base
+		// and survives.
+		//
+		// Durability gates the MEMTABLE side of the drop: while any run
+		// FILE may still hold versions of the key (files shrink only at
+		// compaction, so the pruned indexes are consulted together with
+		// their dead sets), the memtable tombstone — whose WAL generation
+		// the next flush will supersede — is the only durable witness
+		// shadowing them. Dropping it would let a crash resurrect the
+		// deleted key from the stale run file. So the tombstone is kept
+		// and flushes into a run like any version; it leaves memory at a
+		// later pass (once only indexes hold it) and leaves the disk when
+		// compaction rewrites every file.
+		dropWhole := base.Value == nil && base == newest
+		memDrop := dropWhole
+		if dropWhole {
+			for _, r := range tabs.runs {
+				if r.fileHas(key) {
+					memDrop = false
+					break
+				}
+			}
+		}
+		removed := active.PruneChain(key, base, memDrop)
+		for ri, r := range tabs.runs {
+			chain := r.index[key]
+			if newIdx[ri] != nil {
+				chain = newIdx[ri][key]
+			}
+			if len(chain) == 0 {
+				continue
+			}
+			cut := store.ChainCut(chain, base, dropWhole)
+			if cut == 0 {
+				continue
+			}
+			if newIdx[ri] == nil {
+				newIdx[ri] = make(map[string][]*store.Version, len(r.index))
+				for k, c := range r.index {
+					newIdx[ri][k] = c
+				}
+			}
+			if cut == len(chain) {
+				delete(newIdx[ri], key)
+				if newDead[ri] == nil {
+					newDead[ri] = make(map[string]struct{})
+				}
+				newDead[ri][key] = struct{}{}
+			} else {
+				newIdx[ri][key] = chain[cut:]
+			}
+			newVers[ri] -= cut
+			removed += cut
+		}
+		if removed > 0 {
+			res.PerShard[store.Fingerprint(key)&e.mask] += removed
+		}
+		// The chain counts as dropped once no in-memory tier shows it:
+		// either the memtable side was allowed to drop, or the chain
+		// lived only in run indexes (all of which dropWhole just pruned).
+		if dropWhole && (memDrop || len(scratch) == 0) {
+			res.DroppedKeys++
+		}
+	}
+	active.ForEachKey(gcKey)
+	for _, r := range tabs.runs {
+		for k := range r.index {
+			gcKey(k)
+		}
+	}
+
+	changed := false
+	newRuns := make([]*run, len(tabs.runs))
+	for ri, r := range tabs.runs {
+		if newIdx[ri] == nil {
+			newRuns[ri] = r
+			continue
+		}
+		changed = true
+		e.garbage += r.versions - newVers[ri]
+		dead := r.dead
+		if len(newDead[ri]) > 0 {
+			dead = make(map[string]struct{}, len(r.dead)+len(newDead[ri]))
+			for k := range r.dead {
+				dead[k] = struct{}{}
+			}
+			for k := range newDead[ri] {
+				dead[k] = struct{}{}
+			}
+		}
+		newRuns[ri] = &run{path: r.path, minGen: r.minGen, maxGen: r.maxGen, index: newIdx[ri], versions: newVers[ri], dead: dead}
+	}
+	if changed {
+		cur := e.tabs.Load()
+		e.tabs.Store(&tables{active: cur.active, frozen: cur.frozen, runs: newRuns})
+	}
+	for _, n := range res.PerShard {
+		res.Removed += n
+	}
+	e.maybeCompactLocked()
+	return res
+}

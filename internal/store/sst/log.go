@@ -1,0 +1,139 @@
+package sst
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"wren/internal/store"
+	"wren/internal/store/logrec"
+	"wren/internal/store/shardlog"
+	"wren/internal/store/wal"
+)
+
+// logShard is the shared per-shard log state (see shardlog.Shard). Mu
+// also covers the memtable insert of an append, and the freeze step of a
+// flush acquires EVERY shard lock while swapping in the new memtable and
+// WAL generation — so any write either fully lands in the old
+// generation+memtable or fully in the new one, never split. A shard whose
+// append path failed stays frozen (memory authoritative) until the next
+// flush rotates in a fresh generation file.
+type logShard = shardlog.Shard
+
+// onErr adapts recordErr to the shardlog callbacks, prefixing the engine
+// name.
+func (e *Engine) onErr(err error) { e.recordErr(fmt.Errorf("sst: %w", err)) }
+
+// Put implements store.Engine.
+func (e *Engine) Put(key string, v *store.Version) {
+	sh := e.shards[store.Fingerprint(key)&e.mask]
+	sh.Mu.Lock()
+	sh.Enc.Reset()
+	logrec.Append(sh.Enc, key, v)
+	sh.AppendLocked(e.onErr)
+	if e.fsync == wal.FsyncAlways && !sh.Failed {
+		// Syncing inside the shard lock is safe against rotation: the
+		// freeze needs every shard lock, so sh.F cannot change under us.
+		if err := sh.F.Sync(); err != nil {
+			e.recordErr(fmt.Errorf("sst: sync: %w", err))
+		}
+		sh.Dirty = false
+	}
+	// The memtable insert happens under the WAL shard lock, so a freeze
+	// can never interleave between the log append and the insert.
+	e.tabs.Load().active.Put(key, v)
+	sh.Mu.Unlock()
+	e.noteWrite(writeSize(key, v))
+}
+
+// PutBatch implements store.Engine: all records of one batch destined for
+// the same shard are appended with a single write (group commit). Under
+// fsync=always the batch pays ONE coalesced sync phase across every
+// touched shard log, exactly like the WAL engine; the handles are
+// captured at append time so a concurrent memtable freeze rotating the
+// generation cannot divert the sync onto the fresh empty file (see
+// shardlog.SyncFiles).
+func (e *Engine) PutBatch(kvs []store.KV) {
+	switch len(kvs) {
+	case 0:
+		return
+	case 1:
+		e.Put(kvs[0].Key, kvs[0].Version)
+		return
+	}
+	groupSync := e.fsync == wal.FsyncAlways
+	var touched []*os.File
+	var bytes int64
+	store.ForEachShardGroup(e.mask, kvs, func(id uint32, group []store.KV) {
+		sh := e.shards[id]
+		sh.Mu.Lock()
+		sh.Enc.Reset()
+		for _, kv := range group {
+			logrec.Append(sh.Enc, kv.Key, kv.Version)
+			bytes += writeSize(kv.Key, kv.Version)
+		}
+		sh.AppendLocked(e.onErr)
+		e.tabs.Load().active.PutBatch(group)
+		if groupSync && !sh.Failed {
+			touched = append(touched, sh.F)
+			sh.Dirty = false
+		}
+		sh.Mu.Unlock()
+	})
+	if groupSync {
+		shardlog.SyncFiles(touched, e.onErr)
+	}
+	e.noteWrite(bytes)
+}
+
+// noteWrite tracks the approximate memtable size and schedules a
+// background flush once it crosses the threshold.
+func (e *Engine) noteWrite(n int64) {
+	if e.flushBytes < 0 {
+		return
+	}
+	if e.memBytes.Add(n) < e.flushBytes {
+		return
+	}
+	e.triggerFlush()
+}
+
+// triggerFlush schedules at most one background flush at a time.
+func (e *Engine) triggerFlush() {
+	if !e.flushing.CompareAndSwap(false, true) {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.flushing.Store(false)
+		return
+	}
+	e.wg.Add(1)
+	e.mu.Unlock()
+	go func() {
+		defer e.wg.Done()
+		defer e.flushing.Store(false)
+		_ = e.Flush()
+	}()
+}
+
+// fsyncLoop flushes dirty shard logs on a timer (interval policy). An
+// append racing in re-sets Dirty, keeping the one-interval loss bound; a
+// handle the freeze closed is skipped — its records are stable through
+// the run that superseded it.
+func (e *Engine) fsyncLoop(every time.Duration) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, sh := range e.shards {
+				sh.SyncIfDirty(e.onErr)
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,728 @@
+// Package sst implements a memtable+sorted-run (LSM-style) storage
+// engine behind store.Engine.
+//
+// Writes land in an active memtable — the same lock-striped version store
+// the memory engine uses — and are covered by a write-ahead log that
+// spans ONLY the active memtable: per-shard log files named by a flush
+// generation, using the same FNV-1a striping and the shared logrec record
+// format. When the memtable grows past the flush threshold it is frozen
+// (a fresh memtable and a fresh WAL generation take over under the shard
+// locks) and written out in the background as one immutable sorted run:
+// keys in sorted order, each key's version chain in last-writer-wins
+// (timestamp) order, every record length-prefixed and CRC32-checksummed.
+// Once the run is durable the WAL generations it covers are deleted — the
+// log never grows past one memtable's worth of writes.
+//
+// Snapshot reads are served lock-free from the immutable side: a run's
+// in-memory index is a plain map built at flush/load time and never
+// mutated (GC and compaction publish replacement indexes through one
+// atomic pointer), so the multi-version visibility scan that backs Wren's
+// nonblocking reads touches no lock at all for flushed data. Only the
+// active-memtable probe takes its striped read lock. This maps the
+// paper's stable-snapshot property onto storage: a snapshot read's
+// versions live overwhelmingly in immutable runs, exactly because the
+// snapshot is old enough to be stable.
+//
+// Background merge compaction folds all runs into one — applying the GC
+// decisions already taken against the in-memory indexes, so pruned
+// versions and tombstoned chains whose deletion became stable leave the
+// disk — and startup recovery reloads run indexes with one sequential
+// scan per file (no mmap), replays the WAL generations no run covers,
+// and truncates a torn WAL tail by the shared logrec rules.
+package sst
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+	"wren/internal/store/fsutil"
+	"wren/internal/store/logrec"
+	"wren/internal/store/wal"
+	"wren/internal/wire"
+)
+
+const (
+	// DefaultFlushBytes is the approximate memtable payload size that
+	// triggers a background flush to a sorted run.
+	DefaultFlushBytes = 4 << 20
+	// DefaultCompactRuns is how many sorted runs may accumulate before a
+	// merge compaction folds them into one.
+	DefaultCompactRuns = 4
+	// DefaultCompactGarbage is how many GC-pruned versions may linger in
+	// run files before a merge compaction rewrites them out.
+	DefaultCompactGarbage = 4096
+	// DefaultFsyncInterval is the timer period of the interval fsync
+	// policy (shared with the WAL engine).
+	DefaultFsyncInterval = 10 * time.Millisecond
+
+	// versionOverhead approximates the per-version bookkeeping bytes used
+	// when sizing the memtable for the flush trigger.
+	versionOverhead = 64
+)
+
+// Options configures an SST engine.
+type Options struct {
+	// Dir is the data directory (WAL generations, run files, meta, lock).
+	// Created if missing. One engine must own it exclusively.
+	Dir string
+	// Shards is the stripe count (0 selects store.DefaultShards; rounded
+	// up to a power of two). Persisted at creation; reopening with a
+	// different value adopts the persisted count.
+	Shards int
+	// Fsync is the WAL group-commit policy for the active memtable's log:
+	// wal.FsyncAlways, wal.FsyncInterval ("" default) or wal.FsyncNever.
+	// Run files are always fsynced before they count as durable,
+	// regardless of policy.
+	Fsync string
+	// FsyncInterval overrides the sync timer period for the interval
+	// policy (0 selects DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// FlushBytes overrides the memtable size that triggers a background
+	// flush (0 selects DefaultFlushBytes; negative disables auto-flush —
+	// Flush can still be called explicitly).
+	FlushBytes int64
+	// CompactRuns overrides how many runs trigger a merge compaction
+	// (0 selects DefaultCompactRuns; negative disables compaction).
+	CompactRuns int
+	// CompactGarbage overrides how many GC-pruned versions lingering in
+	// run files trigger a merge compaction (0 selects
+	// DefaultCompactGarbage).
+	CompactGarbage int
+
+	// Test-only crash simulation: abort the flush right after the run
+	// rename (before the WAL generations are deleted), or abort the
+	// compaction right after the merged-run rename (before the old run
+	// files are deleted). The engine is poisoned afterwards — Close skips
+	// every sync and flush, emulating the on-disk state of a kill at that
+	// instant.
+	crashAfterFlushRename   bool
+	crashAfterCompactRename bool
+}
+
+// run is one immutable sorted run: a durable file plus the in-memory
+// index serving lock-free reads. It covers a contiguous range of WAL
+// generations. The index map is never mutated after construction; GC
+// publishes pruned replacements wholesale.
+//
+// dead records the keys GC removed from the index entirely while the
+// FILE still holds their versions (files only shrink at compaction).
+// index ∪ dead is therefore exactly the key set recovery would reload
+// from the file — the set GC must consult before letting a tombstone
+// leave the memtable, because a tombstone whose WAL generation gets
+// superseded is the only durable witness shadowing those file-resident
+// versions. Compaction rewrites the file from the index and resets dead.
+type run struct {
+	path           string
+	minGen, maxGen uint64
+	index          map[string][]*store.Version
+	versions       int // live versions in index
+	dead           map[string]struct{}
+}
+
+// fileHas reports whether the run's FILE may still contain versions of
+// key, regardless of what the pruned index shows.
+func (r *run) fileHas(key string) bool {
+	if _, ok := r.index[key]; ok {
+		return true
+	}
+	_, ok := r.dead[key]
+	return ok
+}
+
+// tables is the read snapshot: one atomic pointer swap publishes any
+// change to the source set, so readers always see a consistent tiering.
+// frozen is non-nil only while a flush is writing its run.
+type tables struct {
+	active *store.Store
+	frozen *store.Store
+	runs   []*run // newest first
+}
+
+// Engine is the memtable+sorted-run storage engine.
+type Engine struct {
+	dir            string
+	fsync          string
+	flushBytes     int64
+	compactRuns    int
+	compactGarbage int
+	opts           Options
+	mask           uint32
+	nShards        int
+
+	tabs   atomic.Pointer[tables]
+	shards []*logShard // active-memtable WAL, one log per memtable stripe
+
+	// flushMu serializes every structural change to the tiering — flush,
+	// compaction, GC, recovery-time setup — and the counting methods that
+	// need a non-overlapping view. The read and write hot paths never
+	// take it.
+	flushMu sync.Mutex
+	gen     uint64 // active WAL generation (flushMu; written under all shard locks)
+	minGen  uint64 // lowest generation whose data lives only in the memtable (flushMu)
+	garbage int    // versions GC pruned from run indexes since the last compaction (flushMu)
+
+	memBytes atomic.Int64 // approximate active-memtable payload size
+	flushing atomic.Bool  // a background flush is scheduled or running
+
+	lock *os.File // exclusive advisory lock on the data directory
+
+	mu      sync.Mutex // guards err, closed, crashed
+	err     error      // first write-path failure, surfaced by Healthy/Close
+	closed  bool
+	crashed bool // test hooks only: simulate a kill
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	metrics Metrics
+}
+
+// Metrics counts engine-level events for tests and monitoring.
+type Metrics struct {
+	mu          sync.Mutex
+	flushes     int
+	compactions int
+	recovered   int
+	truncated   int
+	runsLoaded  int
+}
+
+func (m *Metrics) add(f func(*Metrics)) { m.mu.Lock(); f(m); m.mu.Unlock() }
+
+// Flushes returns how many memtable flushes have written a run.
+func (m *Metrics) Flushes() int { m.mu.Lock(); defer m.mu.Unlock(); return m.flushes }
+
+// Compactions returns how many merge compactions have run.
+func (m *Metrics) Compactions() int { m.mu.Lock(); defer m.mu.Unlock(); return m.compactions }
+
+// Recovered returns how many WAL records startup recovery replayed.
+func (m *Metrics) Recovered() int { m.mu.Lock(); defer m.mu.Unlock(); return m.recovered }
+
+// TruncatedShards returns how many WAL shard files had a torn tail cut
+// off during recovery.
+func (m *Metrics) TruncatedShards() int { m.mu.Lock(); defer m.mu.Unlock(); return m.truncated }
+
+// RunsLoaded returns how many sorted-run files recovery loaded.
+func (m *Metrics) RunsLoaded() int { m.mu.Lock(); defer m.mu.Unlock(); return m.runsLoaded }
+
+var _ store.Engine = (*Engine)(nil)
+
+// Open creates or recovers an SST engine in opts.Dir: leftover temp files
+// are removed, run files are loaded (dropping any run subsumed by a wider
+// merged run — the footprint of a crash mid-compaction), WAL generations
+// a run already covers are deleted, and the rest are replayed into a
+// fresh memtable, truncating a torn tail.
+func Open(opts Options) (*Engine, error) {
+	policy, err := wal.ParseFsync(opts.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("sst: %w", err)
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = DefaultFsyncInterval
+	}
+	flushBytes := opts.FlushBytes
+	if flushBytes == 0 {
+		flushBytes = DefaultFlushBytes
+	}
+	compactRuns := opts.CompactRuns
+	if compactRuns == 0 {
+		compactRuns = DefaultCompactRuns
+	}
+	compactGarbage := opts.CompactGarbage
+	if compactGarbage == 0 {
+		compactGarbage = DefaultCompactGarbage
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sst: create dir: %w", err)
+	}
+	lock, err := fsutil.ClaimDir(opts.Dir, "sst")
+	if err != nil {
+		return nil, fmt.Errorf("sst: %w", err)
+	}
+	fail := func(err error) (*Engine, error) {
+		_ = lock.Close()
+		return nil, err
+	}
+
+	n, err := fsutil.LoadOrInitShards(opts.Dir, "sst.meta", store.ResolveShards(opts.Shards), store.MaxShards)
+	if err != nil {
+		return fail(fmt.Errorf("sst: %w", err))
+	}
+	e := &Engine{
+		dir:            opts.Dir,
+		fsync:          policy,
+		flushBytes:     flushBytes,
+		compactRuns:    compactRuns,
+		compactGarbage: compactGarbage,
+		opts:           opts,
+		mask:           uint32(n - 1),
+		nShards:        n,
+		lock:           lock,
+		stop:           make(chan struct{}),
+	}
+	if err := e.recover(); err != nil {
+		for _, sh := range e.shards {
+			if sh != nil && sh.F != nil {
+				_ = sh.F.Close()
+			}
+		}
+		return fail(err)
+	}
+	// One directory sync covers every temp-file removal, superseded-WAL
+	// deletion and log creation above.
+	if err := fsutil.SyncDir(opts.Dir); err != nil {
+		_ = e.Close()
+		return nil, fmt.Errorf("sst: sync dir: %w", err)
+	}
+	if policy == wal.FsyncInterval {
+		e.wg.Add(1)
+		go e.fsyncLoop(opts.FsyncInterval)
+	}
+	return e, nil
+}
+
+func (e *Engine) walPath(gen uint64, si int) string {
+	return filepath.Join(e.dir, fmt.Sprintf("wal-%06d-%05d.log", gen, si))
+}
+
+func (e *Engine) runPath(minGen, maxGen uint64) string {
+	return filepath.Join(e.dir, fmt.Sprintf("run-%06d-%06d.sst", minGen, maxGen))
+}
+
+// recover rebuilds the engine state from the data directory. Generations
+// start at 1, so a fresh directory begins with WAL generation 1 and no
+// runs.
+func (e *Engine) recover() error {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return fmt.Errorf("sst: read dir: %w", err)
+	}
+	var runFiles []*run
+	walGens := map[uint64][]int{} // generation -> shard indexes present
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash mid-flush or mid-compaction: the rename never
+			// happened, so the file holds nothing durable.
+			if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
+				return fmt.Errorf("sst: remove leftover %s: %w", name, err)
+			}
+		case strings.HasSuffix(name, ".sst"):
+			var lo, hi uint64
+			if _, err := fmt.Sscanf(name, "run-%d-%d.sst", &lo, &hi); err != nil || lo == 0 || hi < lo {
+				return fmt.Errorf("sst: unrecognized run file %s", name)
+			}
+			runFiles = append(runFiles, &run{path: filepath.Join(e.dir, name), minGen: lo, maxGen: hi})
+		case strings.HasSuffix(name, ".log"):
+			var g uint64
+			var si int
+			if _, err := fmt.Sscanf(name, "wal-%d-%d.log", &g, &si); err != nil || g == 0 {
+				return fmt.Errorf("sst: unrecognized wal file %s", name)
+			}
+			walGens[g] = append(walGens[g], si)
+		}
+	}
+
+	// Drop runs subsumed by a wider (merged) run: the footprint of a
+	// crash after a compaction rename but before the old files were
+	// deleted.
+	runs := runFiles[:0]
+	for _, r := range runFiles {
+		subsumed := false
+		for _, o := range runFiles {
+			if o != r && o.minGen <= r.minGen && r.maxGen <= o.maxGen {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			if err := os.Remove(r.path); err != nil {
+				return fmt.Errorf("sst: remove subsumed run %s: %w", r.path, err)
+			}
+			continue
+		}
+		runs = append(runs, r)
+	}
+	// Load surviving run indexes, newest first. Run files are only ever
+	// renamed into place complete, so a scan that stops early means real
+	// corruption — fail loudly rather than silently dropping durable
+	// versions.
+	sort.Slice(runs, func(i, j int) bool { return runs[i].maxGen > runs[j].maxGen })
+	var maxCovered uint64
+	for _, r := range runs {
+		buf, err := os.ReadFile(r.path)
+		if err != nil {
+			return fmt.Errorf("sst: read run %s: %w", r.path, err)
+		}
+		r.index = make(map[string][]*store.Version)
+		good := logrec.Scan(buf, func(key string, v *store.Version) {
+			// Flush wrote each key's chain contiguously in LWW order, so
+			// appending preserves the chain invariant.
+			r.index[key] = append(r.index[key], v)
+			r.versions++
+		})
+		if good != len(buf) {
+			return fmt.Errorf("sst: corrupt run file %s (%d of %d bytes intact)", r.path, good, len(buf))
+		}
+		if r.maxGen > maxCovered {
+			maxCovered = r.maxGen
+		}
+		e.metrics.add(func(m *Metrics) { m.runsLoaded++ })
+	}
+
+	// WAL generations a run covers are superseded; delete them. The rest
+	// are replayed, oldest generation first.
+	var gens []uint64
+	for g := range walGens {
+		if g <= maxCovered {
+			for _, si := range walGens[g] {
+				if err := os.Remove(e.walPath(g, si)); err != nil {
+					return fmt.Errorf("sst: remove superseded wal: %w", err)
+				}
+			}
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+
+	activeGen := maxCovered + 1
+	if len(gens) > 0 {
+		activeGen = gens[len(gens)-1]
+	}
+	mem := store.NewSharded(e.nShards)
+	var memBytes int64
+	for _, g := range gens {
+		if g == activeGen {
+			continue // replayed below, per shard, with torn-tail truncation
+		}
+		// A frozen generation whose flush never completed. Every append
+		// to it finished before the freeze (the freeze holds all shard
+		// locks), so normally it scans end to end; a short scan here —
+		// power loss in the freeze window, or bit rot — still replays the
+		// intact prefix but is accounted like the active generation's
+		// torn tail rather than silently swallowed.
+		for _, si := range walGens[g] {
+			buf, err := os.ReadFile(e.walPath(g, si))
+			if err != nil {
+				return fmt.Errorf("sst: read wal: %w", err)
+			}
+			var kvs []store.KV
+			good := logrec.Scan(buf, func(key string, v *store.Version) {
+				kvs = append(kvs, store.KV{Key: key, Version: v})
+				memBytes += writeSize(key, v)
+			})
+			mem.PutBatch(kvs)
+			e.metrics.add(func(m *Metrics) {
+				m.recovered += len(kvs)
+				if good < len(buf) {
+					m.truncated++
+				}
+			})
+		}
+	}
+
+	// The newest generation is the one a crash may have torn mid-append:
+	// recover each shard file like the WAL engine does — replay the
+	// intact prefix, truncate the rest, keep the handle for appending.
+	e.shards = make([]*logShard, e.nShards)
+	for si := 0; si < e.nShards; si++ {
+		sh := &logShard{Enc: wire.NewEncoder()}
+		path := e.walPath(activeGen, si)
+		buf, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("sst: read wal %s: %w", path, err)
+		}
+		var kvs []store.KV
+		good := logrec.Scan(buf, func(key string, v *store.Version) {
+			kvs = append(kvs, store.KV{Key: key, Version: v})
+			memBytes += writeSize(key, v)
+		})
+		mem.PutBatch(kvs)
+		e.metrics.add(func(m *Metrics) {
+			m.recovered += len(kvs)
+			if good < len(buf) {
+				m.truncated++
+			}
+		})
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("sst: open wal %s: %w", path, err)
+		}
+		if good < len(buf) {
+			if err := f.Truncate(int64(good)); err != nil {
+				_ = f.Close()
+				return fmt.Errorf("sst: truncate torn tail of %s: %w", path, err)
+			}
+		}
+		if _, err := f.Seek(int64(good), 0); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("sst: seek %s: %w", path, err)
+		}
+		sh.F = f
+		sh.Size = int64(good)
+		e.shards[si] = sh
+	}
+
+	e.gen = activeGen
+	e.minGen = activeGen
+	if len(gens) > 0 {
+		e.minGen = gens[0]
+	}
+	e.memBytes.Store(memBytes)
+	e.tabs.Store(&tables{active: mem, runs: runs})
+	return nil
+}
+
+// writeSize approximates the memtable footprint of one version for the
+// flush trigger.
+func writeSize(key string, v *store.Version) int64 {
+	return int64(len(key)+len(v.Value)) + versionOverhead
+}
+
+// best returns the later of two versions under last-writer-wins order.
+func best(a, b *store.Version) *store.Version {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// ReadVisible implements store.Engine: the freshest visible version
+// across the active memtable, the frozen memtable (if a flush is in
+// progress) and every immutable run. Runs are probed without any lock.
+func (e *Engine) ReadVisible(key string, visible store.VisibleFunc) *store.Version {
+	tabs := e.tabs.Load()
+	v := tabs.active.ReadVisible(key, visible)
+	if tabs.frozen != nil {
+		v = best(v, tabs.frozen.ReadVisible(key, visible))
+	}
+	for _, r := range tabs.runs {
+		v = best(v, store.ReadVisibleChain(r.index[key], visible))
+	}
+	return v
+}
+
+// ReadVisibleBatch implements store.Engine.
+func (e *Engine) ReadVisibleBatch(keys []string, visible store.VisibleFunc) []*store.Version {
+	return e.ReadVisibleBatchInto(keys, visible, nil)
+}
+
+// ReadVisibleBatchInto implements store.Engine: the active memtable is
+// resolved with the striped batch read (one read-lock acquisition per
+// touched stripe), then each key is merged against the frozen memtable
+// and the immutable runs lock-free. With a large-enough caller buffer the
+// call performs no heap allocation, preserving the zero-alloc slice-read
+// path.
+func (e *Engine) ReadVisibleBatchInto(keys []string, visible store.VisibleFunc, out []*store.Version) []*store.Version {
+	tabs := e.tabs.Load()
+	out = tabs.active.ReadVisibleBatchInto(keys, visible, out)
+	if tabs.frozen == nil && len(tabs.runs) == 0 {
+		return out
+	}
+	for j, k := range keys {
+		v := out[j]
+		if tabs.frozen != nil {
+			v = best(v, tabs.frozen.ReadVisible(k, visible))
+		}
+		for _, r := range tabs.runs {
+			v = best(v, store.ReadVisibleChain(r.index[k], visible))
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// Latest implements store.Engine.
+func (e *Engine) Latest(key string) *store.Version {
+	tabs := e.tabs.Load()
+	v := tabs.active.Latest(key)
+	if tabs.frozen != nil {
+		v = best(v, tabs.frozen.Latest(key))
+	}
+	for _, r := range tabs.runs {
+		if chain := r.index[key]; len(chain) > 0 {
+			v = best(v, chain[len(chain)-1])
+		}
+	}
+	return v
+}
+
+// GC implements store.Engine.
+func (e *Engine) GC(oldest hlc.Timestamp) int { return e.GCStats(oldest).Removed }
+
+// Keys implements store.Engine: the number of distinct keys across every
+// tier (a key flushed to a run and rewritten since counts once).
+func (e *Engine) Keys() int {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	tabs := e.tabs.Load()
+	if tabs.frozen == nil && len(tabs.runs) == 0 {
+		return tabs.active.Keys()
+	}
+	seen := make(map[string]struct{})
+	collect := func(k string) { seen[k] = struct{}{} }
+	tabs.active.ForEachKey(collect)
+	if tabs.frozen != nil {
+		tabs.frozen.ForEachKey(collect)
+	}
+	for _, r := range tabs.runs {
+		for k := range r.index {
+			seen[k] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Versions implements store.Engine. Every version lives in exactly one
+// tier, so the tier totals sum without deduplication.
+func (e *Engine) Versions() int {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	tabs := e.tabs.Load()
+	n := tabs.active.Versions()
+	if tabs.frozen != nil {
+		n += tabs.frozen.Versions()
+	}
+	for _, r := range tabs.runs {
+		n += r.versions
+	}
+	return n
+}
+
+// VersionsOf implements store.Engine.
+func (e *Engine) VersionsOf(key string) int {
+	tabs := e.tabs.Load()
+	n := tabs.active.VersionsOf(key)
+	if tabs.frozen != nil {
+		n += tabs.frozen.VersionsOf(key)
+	}
+	for _, r := range tabs.runs {
+		n += len(r.index[key])
+	}
+	return n
+}
+
+// NumShards implements store.Engine.
+func (e *Engine) NumShards() int { return e.nShards }
+
+// ForEachKey implements store.Engine: each distinct key is yielded once.
+// The deduplicated key list is snapshotted first, so fn runs without any
+// engine lock held and may call back into the engine.
+func (e *Engine) ForEachKey(fn func(key string)) {
+	e.flushMu.Lock()
+	tabs := e.tabs.Load()
+	seen := make(map[string]struct{})
+	collect := func(k string) { seen[k] = struct{}{} }
+	tabs.active.ForEachKey(collect)
+	if tabs.frozen != nil {
+		tabs.frozen.ForEachKey(collect)
+	}
+	for _, r := range tabs.runs {
+		for k := range r.index {
+			seen[k] = struct{}{}
+		}
+	}
+	e.flushMu.Unlock()
+	for k := range seen {
+		fn(k)
+	}
+}
+
+// Healthy implements store.Engine: it returns the first WAL append/sync,
+// flush or compaction failure the engine has recorded, or nil while the
+// write path is fully intact. The engine keeps serving from memory after
+// a failure, so this signal is how servers and benchmarks detect a
+// silently degraded shard log.
+func (e *Engine) Healthy() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// Dir returns the engine's data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Runs returns the number of live sorted runs (for tests and monitoring).
+func (e *Engine) Runs() int {
+	return len(e.tabs.Load().runs)
+}
+
+// recordErr remembers the first write-path failure, printing it to stderr
+// right away — an operator must learn that durability degraded when it
+// happens, not at Close. The in-memory tiers stay authoritative for reads
+// either way; Healthy surfaces the error while the engine runs.
+func (e *Engine) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	first := e.err == nil
+	if first {
+		e.err = err
+	}
+	e.mu.Unlock()
+	if first {
+		fmt.Fprintf(os.Stderr, "sst: durability degraded in %s: %v\n", e.dir, err)
+	}
+}
+
+// markCrashed poisons the engine after a simulated kill (test hooks):
+// Close releases resources without syncing or flushing anything, so the
+// directory is left exactly as the crash point shaped it.
+func (e *Engine) markCrashed() {
+	e.mu.Lock()
+	e.crashed = true
+	e.mu.Unlock()
+}
+
+// Close implements store.Engine: it stops the background work, forces the
+// active WAL generation to stable storage (a clean shutdown is always
+// fully durable, whatever the fsync policy), closes the files, and
+// returns the first error the write path hit.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		err := e.err
+		e.mu.Unlock()
+		return err
+	}
+	e.closed = true
+	crashed := e.crashed
+	e.mu.Unlock()
+
+	close(e.stop)
+	e.wg.Wait()
+	for _, sh := range e.shards {
+		sh.Mu.Lock()
+		if !crashed {
+			if err := sh.F.Sync(); err != nil {
+				e.recordErr(fmt.Errorf("sst: close sync: %w", err))
+			}
+		}
+		if err := sh.F.Close(); err != nil && !crashed {
+			e.recordErr(fmt.Errorf("sst: close: %w", err))
+		}
+		sh.Mu.Unlock()
+	}
+	_ = e.lock.Close() // releases the directory lock
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

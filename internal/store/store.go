@@ -99,10 +99,12 @@ type Store struct {
 // New returns an empty store with DefaultShards shards.
 func New() *Store { return NewSharded(DefaultShards) }
 
-// NewSharded returns an empty store with at least n shards, rounded up to
-// the next power of two for mask-based indexing. n <= 0 selects
-// DefaultShards; n above MaxShards is capped.
-func NewSharded(n int) *Store {
+// ResolveShards returns the shard count NewSharded(n) would actually use:
+// n <= 0 selects DefaultShards, values above MaxShards are capped, and the
+// result is rounded up to the next power of two for mask-based indexing.
+// Durable engines use it to resolve a configured count before persisting
+// it, without building a throwaway store.
+func ResolveShards(n int) int {
 	if n <= 0 {
 		n = DefaultShards
 	}
@@ -113,6 +115,13 @@ func NewSharded(n int) *Store {
 	for size < n {
 		size <<= 1
 	}
+	return size
+}
+
+// NewSharded returns an empty store with at least n shards, resolved by
+// ResolveShards.
+func NewSharded(n int) *Store {
+	size := ResolveShards(n)
 	s := &Store{shards: make([]shard, size), mask: uint32(size - 1)}
 	for i := range s.shards {
 		s.shards[i].chains = make(map[string][]*Version)
@@ -230,12 +239,16 @@ func ForEachShardGroup(mask uint32, kvs []KV, fn func(shard uint32, group []KV))
 func (s *Store) ReadVisible(key string, visible VisibleFunc) *Version {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
-	v := readVisibleChain(sh.chains[key], visible)
+	v := ReadVisibleChain(sh.chains[key], visible)
 	sh.mu.RUnlock()
 	return v
 }
 
-func readVisibleChain(chain []*Version, visible VisibleFunc) *Version {
+// ReadVisibleChain returns the freshest version in chain (sorted
+// ascending in last-writer-wins order) satisfying visible, or nil.
+// Exported so tiered engines scan their immutable run chains with the
+// exact same visibility rule the memtable uses.
+func ReadVisibleChain(chain []*Version, visible VisibleFunc) *Version {
 	for i := len(chain) - 1; i >= 0; i-- {
 		if visible(chain[i]) {
 			return chain[i]
@@ -297,7 +310,7 @@ func (s *Store) ReadVisibleBatchInto(keys []string, visible VisibleFunc, out []*
 		sh.mu.RLock()
 		for j := i; j < len(keys); j++ {
 			if !done[j] && ids[j] == ids[i] {
-				out[j] = readVisibleChain(sh.chains[keys[j]], visible)
+				out[j] = ReadVisibleChain(sh.chains[keys[j]], visible)
 				done[j] = true
 			}
 		}
@@ -406,6 +419,76 @@ func (s *Store) VersionsOf(key string) int {
 	return len(sh.chains[key])
 }
 
+// ChainInto appends every stored version of key to buf, oldest first in
+// last-writer-wins order, and returns the extended buffer. The Version
+// pointers are shared with the store and must be treated as read-only.
+// Tiered engines use it to snapshot one key's chain (for run flushes and
+// cross-source GC decisions) without holding the shard lock afterwards.
+func (s *Store) ChainInto(key string, buf []*Version) []*Version {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	buf = append(buf, sh.chains[key]...)
+	sh.mu.RUnlock()
+	return buf
+}
+
+// PruneChain removes from key's chain every version strictly older than
+// base in last-writer-wins order; with dropWhole set, base itself is
+// removed too (the caller decided the whole chain up to and including
+// base is dead — a stable tombstone with nothing newer). It returns the
+// number of versions removed. base need not be resident in this store:
+// engines that tier one key's chain across several stores (an active
+// memtable plus immutable sorted runs) compute the GC base globally and
+// use PruneChain to apply the decision to the slice of the chain this
+// store holds.
+//
+// dropWhole deliberately does NOT clear the chain unconditionally: the
+// caller's decision was made from a snapshot, and a writer may have
+// inserted a version newer than base since. Bounding the drop by base
+// keeps such a racing write alive — deleting it would silently lose an
+// acknowledged committed update.
+func (s *Store) PruneChain(key string, base *Version, dropWhole bool) int {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.chains[key]
+	if len(chain) == 0 {
+		return 0
+	}
+	cut := ChainCut(chain, base, dropWhole)
+	switch {
+	case cut == 0:
+		return 0
+	case cut == len(chain):
+		delete(sh.chains, key)
+		return cut
+	}
+	newChain := make([]*Version, len(chain)-cut)
+	copy(newChain, chain[cut:])
+	sh.chains[key] = newChain
+	return cut
+}
+
+// ChainCut returns how many leading versions of chain (sorted ascending
+// in last-writer-wins order) a GC decision removes: everything strictly
+// older than base, plus base itself when dropWhole is set — but never a
+// version newer than base, so a write that raced in after the decision
+// survives. The single definition is shared by PruneChain and by tiered
+// engines pruning immutable run chains, which must apply the exact same
+// rule or their tiers' GC decisions desynchronize.
+func ChainCut(chain []*Version, base *Version, dropWhole bool) int {
+	cut := 0
+	for cut < len(chain) && chain[cut].Less(base) {
+		cut++
+	}
+	if dropWhole {
+		for cut < len(chain) && !base.Less(chain[cut]) {
+			cut++
+		}
+	}
+	return cut
+}
+
 // ShardSnapshot returns every version stored in shard si, in chain order
 // per key (oldest first under last-writer-wins). The returned Version
 // pointers are shared with the store and must be treated as read-only.
@@ -422,6 +505,10 @@ func (s *Store) ShardSnapshot(si int) []KV {
 	}
 	return out
 }
+
+// Healthy implements Engine. The in-memory engine has no write path that
+// can fail, so it is always healthy.
+func (s *Store) Healthy() error { return nil }
 
 // Close implements Engine. The in-memory engine holds no external
 // resources, so Close is a no-op.

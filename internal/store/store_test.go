@@ -260,3 +260,47 @@ func TestConcurrentReadersWriters(t *testing.T) {
 		t.Error("store empty after concurrent writes")
 	}
 }
+
+// TestPruneChainBoundedByBase pins the cross-tier GC primitive: removals
+// are bounded by the caller's base version, so a write that raced in
+// AFTER the caller's drop-whole-chain decision (it is newer than base)
+// must survive — an unconditional chain delete would silently lose an
+// acknowledged committed update.
+func TestPruneChainBoundedByBase(t *testing.T) {
+	s := NewSharded(2)
+	old := &Version{Value: []byte("old"), UT: 10, TxID: 1}
+	tomb := &Version{Value: nil, UT: 20, TxID: 2}
+	s.Put("k", old)
+	s.Put("k", tomb)
+
+	// Plain prune: versions strictly older than base go, base stays.
+	if got := s.PruneChain("k", tomb, false); got != 1 {
+		t.Fatalf("PruneChain(!dropWhole) removed %d, want 1", got)
+	}
+	if got := s.VersionsOf("k"); got != 1 {
+		t.Fatalf("VersionsOf = %d, want 1 (the base)", got)
+	}
+
+	// dropWhole with a version newer than base present — the racing-write
+	// shape: only versions up to and including base are removed.
+	racing := &Version{Value: []byte("racing"), UT: 30, TxID: 3}
+	s.Put("k", racing)
+	if got := s.PruneChain("k", tomb, true); got != 1 {
+		t.Fatalf("PruneChain(dropWhole, racing write) removed %d, want 1 (the tombstone)", got)
+	}
+	if lv := s.Latest("k"); lv != racing {
+		t.Fatalf("racing write lost: Latest = %+v", lv)
+	}
+
+	// dropWhole with nothing newer: the whole chain goes.
+	if got := s.PruneChain("k", racing, true); got != 1 {
+		t.Fatalf("PruneChain(dropWhole) removed %d, want 1", got)
+	}
+	if got := s.Keys(); got != 0 {
+		t.Fatalf("Keys = %d after whole-chain drop, want 0", got)
+	}
+	// Absent keys and bases older than everything are no-ops.
+	if got := s.PruneChain("absent", tomb, true); got != 0 {
+		t.Fatalf("PruneChain(absent) = %d, want 0", got)
+	}
+}

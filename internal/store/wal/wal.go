@@ -20,18 +20,17 @@ package wal
 
 import (
 	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
-	"syscall"
 	"time"
 
 	"wren/internal/hlc"
 	"wren/internal/store"
+	"wren/internal/store/fsutil"
+	"wren/internal/store/logrec"
+	"wren/internal/store/shardlog"
 	"wren/internal/wire"
 )
 
@@ -62,10 +61,6 @@ func ParseFsync(s string) (string, error) {
 }
 
 const (
-	// recordHeader is the per-record framing: 4-byte little-endian payload
-	// length plus 4-byte CRC32 (IEEE) of the payload.
-	recordHeader = 8
-
 	// DefaultFsyncInterval is the timer period of the FsyncInterval policy.
 	DefaultFsyncInterval = 10 * time.Millisecond
 	// DefaultCompactThreshold is the number of GC-dropped versions a shard
@@ -94,18 +89,13 @@ type Options struct {
 	CompactThreshold int
 }
 
-// walShard pairs one log file with its append state. The mutex also covers
-// the memory-stripe insert of an append, so compaction's snapshot-and-
-// rewrite can never miss a version that is in the log but not yet in
-// memory (or vice versa).
+// walShard is the shared per-shard log state plus this engine's
+// compaction accounting. Shard.Mu also covers the memory-stripe insert of
+// an append, so compaction's snapshot-and-rewrite can never miss a
+// version that is in the log but not yet in memory (or vice versa).
 type walShard struct {
-	mu      sync.Mutex
-	f       *os.File
-	enc     *wire.Encoder // reusable append buffer, guarded by mu
-	size    int64         // bytes of intact records in f (rollback point)
-	failed  bool          // append path broken; log frozen until compaction
-	dirty   bool          // has unsynced appends (interval policy)
-	dropped int           // versions GC removed since the last compaction
+	shardlog.Shard
+	dropped int // versions GC removed since the last compaction (under Mu)
 }
 
 // Engine is the durable WAL-backed storage engine.
@@ -165,7 +155,7 @@ func Open(opts Options) (*Engine, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
-	lock, err := acquireLock(opts.Dir)
+	lock, err := fsutil.ClaimDir(opts.Dir, "wal")
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +165,10 @@ func Open(opts Options) (*Engine, error) {
 	// reopening with a different stripe count would read too few logs or
 	// compact records into the wrong one. The count persisted at creation
 	// is therefore authoritative; a differing Shards option is overridden.
-	n, err := loadOrInitShards(opts.Dir, mem.NumShards())
+	// The bound matters: a count above store.MaxShards would be clamped
+	// by the memory engine, desynchronizing the log↔stripe mapping
+	// compaction relies on.
+	n, err := fsutil.LoadOrInitShards(opts.Dir, "wal.meta", mem.NumShards(), store.MaxShards)
 	if err != nil {
 		_ = lock.Close()
 		return nil, err
@@ -194,12 +187,12 @@ func Open(opts Options) (*Engine, error) {
 		stop:   make(chan struct{}),
 	}
 	for si := 0; si < n; si++ {
-		sh := &walShard{enc: wire.NewEncoder()}
+		sh := &walShard{Shard: shardlog.Shard{Enc: wire.NewEncoder()}}
 		if err := e.recoverShard(si, sh); err != nil {
 			// Close whatever opened before the failure.
 			for _, prev := range e.shards {
-				if prev != nil && prev.f != nil {
-					_ = prev.f.Close()
+				if prev != nil && prev.F != nil {
+					_ = prev.F.Close()
 				}
 			}
 			_ = lock.Close()
@@ -209,7 +202,7 @@ func Open(opts Options) (*Engine, error) {
 	}
 	// One directory sync covers every shard log created (or truncated)
 	// above, so a fresh data dir survives power loss as a unit.
-	if err := syncDir(opts.Dir); err != nil {
+	if err := fsutil.SyncDir(opts.Dir); err != nil {
 		_ = e.Close()
 		return nil, fmt.Errorf("wal: sync dir: %w", err)
 	}
@@ -218,69 +211,6 @@ func Open(opts Options) (*Engine, error) {
 		go e.fsyncLoop(opts.FsyncInterval)
 	}
 	return e, nil
-}
-
-// acquireLock takes an exclusive advisory lock on the data directory,
-// enforcing the one-engine-per-directory requirement: a second engine (or
-// a second server process pointed at the same -data-dir) fails at startup
-// instead of silently interleaving appends. The lock dies with the
-// process, so a crash never leaves a stale lock behind.
-func acquireLock(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("wal: lock: %w", err)
-	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("wal: data dir %s is in use by another engine: %w", dir, err)
-	}
-	return f, nil
-}
-
-// syncDir fsyncs a directory so file creations and renames inside it
-// survive power loss, not just the file contents.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// loadOrInitShards returns the stripe count the data directory was created
-// with, persisting the resolved count (atomically, fsynced) on first open.
-func loadOrInitShards(dir string, resolved int) (int, error) {
-	path := filepath.Join(dir, "wal.meta")
-	b, err := os.ReadFile(path)
-	if err == nil {
-		var n int
-		if _, serr := fmt.Sscanf(string(b), "shards=%d", &n); serr != nil ||
-			n <= 0 || n > store.MaxShards || n&(n-1) != 0 {
-			// The bound matters: a count above store.MaxShards would be
-			// clamped by the memory engine, desynchronizing the log↔stripe
-			// mapping compaction relies on.
-			return 0, fmt.Errorf("wal: corrupt meta file %s: %q", path, b)
-		}
-		return n, nil
-	}
-	if !os.IsNotExist(err) {
-		return 0, fmt.Errorf("wal: read meta: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("shards=%d\n", resolved)), 0o644); err != nil {
-		return 0, fmt.Errorf("wal: write meta: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return 0, fmt.Errorf("wal: write meta: %w", err)
-	}
-	if err := syncDir(dir); err != nil {
-		return 0, fmt.Errorf("wal: sync dir: %w", err)
-	}
-	return resolved, nil
 }
 
 // shardPath names shard si's log file.
@@ -300,33 +230,9 @@ func (e *Engine) recoverShard(si int, sh *walShard) error {
 	}
 
 	var kvs []store.KV
-	good := 0 // byte offset of the end of the last intact record
-	for off := 0; off < len(buf); {
-		rest := buf[off:]
-		if len(rest) < recordHeader {
-			break // torn header
-		}
-		plen := binary.LittleEndian.Uint32(rest[:4])
-		// No upper bound on plen beyond the file itself: a record of any
-		// size that was fully written and checksums clean is valid — an
-		// arbitrary cap here would make a large committed value poison
-		// every record behind it. Corrupt lengths fail the bounds check or
-		// the CRC below.
-		if recordHeader+int(plen) > len(rest) {
-			break // torn payload (or a corrupt length running off the file)
-		}
-		payload := rest[recordHeader : recordHeader+int(plen)]
-		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
-			break // corrupt record
-		}
-		key, v, derr := decodeRecord(payload)
-		if derr != nil {
-			break // payload does not parse: treat like a torn record
-		}
+	good := logrec.Scan(buf, func(key string, v *store.Version) {
 		kvs = append(kvs, store.KV{Key: key, Version: v})
-		off += recordHeader + int(plen)
-		good = off
-	}
+	})
 	e.mem.PutBatch(kvs)
 	e.metrics.mu.Lock()
 	e.metrics.recovered += len(kvs)
@@ -349,56 +255,16 @@ func (e *Engine) recoverShard(si int, sh *walShard) error {
 		_ = f.Close()
 		return fmt.Errorf("wal: seek %s: %w", path, err)
 	}
-	sh.f = f
-	sh.size = int64(good)
+	sh.F = f
+	sh.Size = int64(good)
 	return nil
-}
-
-// appendRecord encodes one version as a framed record at the end of enc's
-// buffer and back-patches the length and checksum.
-func appendRecord(enc *wire.Encoder, key string, v *store.Version) {
-	off := enc.Reserve(recordHeader)
-	enc.String(key)
-	enc.Bool(v.Value == nil)
-	enc.BytesField(v.Value)
-	enc.Timestamp(v.UT)
-	enc.Timestamp(v.RDT)
-	enc.Uvarint(v.TxID)
-	enc.Byte(v.SrcDC)
-	enc.Timestamps(v.DV)
-	buf := enc.Bytes()
-	payload := buf[off+recordHeader:]
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[off+4:], crc32.ChecksumIEEE(payload))
-}
-
-// decodeRecord parses one record payload back into a version.
-func decodeRecord(payload []byte) (string, *store.Version, error) {
-	d := wire.NewDecoder(payload)
-	key := d.String()
-	tombstone := d.Bool()
-	raw := d.BytesField()
-	v := &store.Version{
-		UT:    d.Timestamp(),
-		RDT:   d.Timestamp(),
-		TxID:  d.Uvarint(),
-		SrcDC: d.Byte(),
-		DV:    d.Timestamps(),
-	}
-	if err := d.Err(); err != nil {
-		return "", nil, err
-	}
-	if !tombstone {
-		v.Value = append([]byte{}, raw...)
-	}
-	return key, v, nil
 }
 
 // recordErr remembers the first append/sync failure, printing it to
 // stderr right away — an operator must learn that durability degraded
 // when it happens, not at Close. The memory stripes stay authoritative
-// for reads either way. (A write-path health signal servers could stop
-// acking on is tracked in ROADMAP.md.)
+// for reads either way; Healthy surfaces the error to callers that want
+// to stop acknowledging writes (or fail a benchmark) on degradation.
 func (e *Engine) recordErr(err error) {
 	if err == nil {
 		return
@@ -414,86 +280,37 @@ func (e *Engine) recordErr(err error) {
 	}
 }
 
-// appendLocked writes enc's buffered records to the shard log and applies
-// the fsync policy. Caller holds sh.mu. With deferSync set, the FsyncAlways
-// sync is skipped — the caller (PutBatch's group commit) issues one
-// coalesced sync phase for every touched shard after all appends land.
-//
-// A failed or short write must not leave a torn record mid-log: recovery
-// stops at the first bad record, so appending past it would make every
-// later record — even fsynced ones — unreachable after a restart. The
-// failed append is rolled back by truncating to the last intact offset;
-// if even that fails the log is frozen (memory stays authoritative) until
-// a compaction rewrites it from live state.
+// onErr adapts recordErr to the shardlog callbacks, prefixing the engine
+// name.
+func (e *Engine) onErr(err error) { e.recordErr(fmt.Errorf("wal: %w", err)) }
+
+// appendLocked writes Enc's buffered records to the shard log (rollback
+// on failure, freeze on rollback failure — see shardlog.Shard) and
+// applies the fsync policy. Caller holds sh.Mu. With deferSync set, the
+// FsyncAlways sync is skipped — the caller (PutBatch's group commit)
+// issues one coalesced sync phase for every touched shard after all
+// appends land.
 func (e *Engine) appendLocked(sh *walShard, deferSync bool) {
-	if sh.enc.Len() == 0 || sh.failed {
-		return
-	}
-	if _, err := sh.f.Write(sh.enc.Bytes()); err != nil {
-		e.recordErr(fmt.Errorf("wal: append: %w", err))
-		if terr := sh.f.Truncate(sh.size); terr == nil {
-			_, terr = sh.f.Seek(sh.size, 0)
-			if terr == nil {
-				return
-			}
-		}
-		sh.failed = true
-		e.recordErr(fmt.Errorf("wal: append rollback failed, freezing shard log: %w", err))
-		return
-	}
-	sh.size += int64(len(sh.enc.Bytes()))
-	if e.fsync == FsyncAlways && !deferSync {
-		if err := sh.f.Sync(); err != nil {
+	sh.AppendLocked(e.onErr)
+	if e.fsync == FsyncAlways && !deferSync && !sh.Failed {
+		if err := sh.F.Sync(); err != nil {
 			e.recordErr(fmt.Errorf("wal: sync: %w", err))
 		}
-	} else {
-		sh.dirty = true
-	}
-}
-
-// syncShards forces the touched shard logs to stable storage concurrently:
-// one group-commit sync phase whose latency is the slowest single fsync,
-// not the sum of one serialized fsync per stripe (the ROADMAP's
-// fsync=always hot-path cost). The file handle is captured under the shard
-// lock; a concurrent compaction may close it underneath, which is harmless
-// — the log compaction installs in its place is synced before the swap.
-func (e *Engine) syncShards(shards []*walShard) {
-	if len(shards) == 1 {
-		e.syncShard(shards[0])
-		return
-	}
-	var wg sync.WaitGroup
-	for _, sh := range shards {
-		wg.Add(1)
-		go func(sh *walShard) {
-			defer wg.Done()
-			e.syncShard(sh)
-		}(sh)
-	}
-	wg.Wait()
-}
-
-func (e *Engine) syncShard(sh *walShard) {
-	sh.mu.Lock()
-	f := sh.f
-	sh.dirty = false
-	sh.mu.Unlock()
-	if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
-		e.recordErr(fmt.Errorf("wal: sync: %w", err))
+		sh.Dirty = false
 	}
 }
 
 // Put implements store.Engine.
 func (e *Engine) Put(key string, v *store.Version) {
 	sh := e.shards[store.Fingerprint(key)&e.mask]
-	sh.mu.Lock()
-	sh.enc.Reset()
-	appendRecord(sh.enc, key, v)
+	sh.Mu.Lock()
+	sh.Enc.Reset()
+	logrec.Append(sh.Enc, key, v)
 	e.appendLocked(sh, false)
 	// The memory insert happens under the WAL shard lock so compaction's
 	// snapshot-and-rewrite can never interleave between log and memory.
 	e.mem.Put(key, v)
-	sh.mu.Unlock()
+	sh.Mu.Unlock()
 }
 
 // PutBatch implements store.Engine: all records of one batch destined for
@@ -514,23 +331,28 @@ func (e *Engine) PutBatch(kvs []store.KV) {
 		return
 	}
 	groupSync := e.fsync == FsyncAlways
-	var touched []*walShard
+	var touched []*os.File
 	store.ForEachShardGroup(e.mask, kvs, func(id uint32, group []store.KV) {
 		sh := e.shards[id]
-		sh.mu.Lock()
-		sh.enc.Reset()
+		sh.Mu.Lock()
+		sh.Enc.Reset()
 		for _, kv := range group {
-			appendRecord(sh.enc, kv.Key, kv.Version)
+			logrec.Append(sh.Enc, kv.Key, kv.Version)
 		}
 		e.appendLocked(sh, groupSync)
 		e.mem.PutBatch(group)
-		sh.mu.Unlock()
-		if groupSync {
-			touched = append(touched, sh)
+		if groupSync && !sh.Failed {
+			// Capture the handle under the lock, at append time: a
+			// compaction may swap sh.F before the sync phase runs, and the
+			// records must be fsynced through THIS handle (or already be
+			// stable via the rewrite that closed it).
+			touched = append(touched, sh.F)
+			sh.Dirty = false
 		}
+		sh.Mu.Unlock()
 	})
 	if groupSync {
-		e.syncShards(touched)
+		shardlog.SyncFiles(touched, e.onErr)
 	}
 }
 
@@ -570,10 +392,10 @@ func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
 			continue
 		}
 		sh := e.shards[si]
-		sh.mu.Lock()
+		sh.Mu.Lock()
 		sh.dropped += n
 		compact := sh.dropped >= e.compat
-		sh.mu.Unlock()
+		sh.Mu.Unlock()
 		if compact {
 			e.compactShard(si)
 		}
@@ -586,8 +408,8 @@ func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
 // over the old log. Appends to the shard are blocked for the duration.
 func (e *Engine) compactShard(si int) {
 	sh := e.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.Mu.Lock()
+	defer sh.Mu.Unlock()
 
 	snap := e.mem.ShardSnapshot(si)
 	path := e.shardPath(si)
@@ -598,7 +420,7 @@ func (e *Engine) compactShard(si int) {
 		return
 	}
 	// Stream the rewrite through a throwaway encoder and a buffered
-	// writer: sh.enc lives as long as the engine, and Reset keeps buffer
+	// writer: sh.Enc lives as long as the engine, and Reset keeps buffer
 	// capacity, so encoding a whole shard into it would pin a
 	// snapshot-sized allocation per shard forever.
 	w := bufio.NewWriterSize(f, 1<<16)
@@ -606,7 +428,7 @@ func (e *Engine) compactShard(si int) {
 	var written int64
 	for _, kv := range snap {
 		enc.Reset()
-		appendRecord(enc, kv.Key, kv.Version)
+		logrec.Append(enc, kv.Key, kv.Version)
 		if _, err = w.Write(enc.Bytes()); err != nil {
 			break
 		}
@@ -632,16 +454,16 @@ func (e *Engine) compactShard(si int) {
 	// it), positioned at its end — it becomes the append handle directly,
 	// so there is no reopen step that could fail and leave appends going
 	// to a dead file.
-	_ = sh.f.Close()
-	sh.f = f
-	sh.size = written
+	_ = sh.F.Close()
+	sh.F = f
+	sh.Size = written
 	sh.dropped = 0
-	sh.dirty = false
-	sh.failed = false // the rewrite from live memory state repairs a frozen log
+	sh.Dirty = false
+	sh.Failed = false // the rewrite from live memory state repairs a frozen log
 	// Persist the rename itself: without the directory sync a power loss
 	// could revert the name to the pre-compaction inode, losing every
 	// post-compaction append.
-	if derr := syncDir(e.dir); derr != nil {
+	if derr := fsutil.SyncDir(e.dir); derr != nil {
 		e.recordErr(fmt.Errorf("wal: compact %s: sync dir: %w", path, derr))
 	}
 	e.metrics.mu.Lock()
@@ -664,6 +486,17 @@ func (e *Engine) NumShards() int { return e.mem.NumShards() }
 // ForEachKey implements store.Engine.
 func (e *Engine) ForEachKey(fn func(key string)) { e.mem.ForEachKey(fn) }
 
+// Healthy implements store.Engine: it returns the first append, sync or
+// compaction failure the engine has recorded, or nil while the write path
+// is fully intact. After a failure the engine keeps serving reads and
+// writes from the memory stripes, so without this signal a frozen shard
+// log is invisible until Close.
+func (e *Engine) Healthy() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
 // Metrics returns the engine's counters.
 func (e *Engine) Metrics() *Metrics { return &e.metrics }
 
@@ -685,26 +518,13 @@ func (e *Engine) fsyncLoop(every time.Duration) {
 	}
 }
 
+// syncDirty flushes dirty shard logs (interval policy). An append racing
+// in re-sets Dirty, keeping the one-interval loss bound; a concurrent
+// compaction may close a captured handle, which shardlog skips — the log
+// installed in its place was synced before the swap.
 func (e *Engine) syncDirty() {
 	for _, sh := range e.shards {
-		sh.mu.Lock()
-		var f *os.File
-		if sh.dirty {
-			f = sh.f
-			sh.dirty = false
-		}
-		sh.mu.Unlock()
-		if f == nil {
-			continue
-		}
-		// Sync outside the shard lock so appends are not stalled behind
-		// the fsync this policy opted out of waiting for. An append racing
-		// in re-sets dirty, keeping the one-interval loss bound. A
-		// concurrent compaction may close f under us — harmless, since the
-		// log it installs in f's place is synced before the swap.
-		if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
-			e.recordErr(fmt.Errorf("wal: sync: %w", err))
-		}
+		sh.SyncIfDirty(e.onErr)
 	}
 }
 
@@ -725,14 +545,14 @@ func (e *Engine) Close() error {
 	close(e.stop)
 	e.wg.Wait()
 	for _, sh := range e.shards {
-		sh.mu.Lock()
-		if err := sh.f.Sync(); err != nil {
+		sh.Mu.Lock()
+		if err := sh.F.Sync(); err != nil {
 			e.recordErr(fmt.Errorf("wal: close sync: %w", err))
 		}
-		if err := sh.f.Close(); err != nil {
+		if err := sh.F.Close(); err != nil {
 			e.recordErr(fmt.Errorf("wal: close: %w", err))
 		}
-		sh.mu.Unlock()
+		sh.Mu.Unlock()
 	}
 	_ = e.lock.Close() // releases the directory lock
 	e.mu.Lock()

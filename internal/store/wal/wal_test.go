@@ -32,6 +32,17 @@ func TestWALEngineConformance(t *testing.T) {
 	}
 }
 
+// TestWALDurable runs the shared recovery suite (clean close/reopen
+// cycles preserve every version; deletes stay deleted).
+func TestWALDurable(t *testing.T) {
+	enginetest.RunDurable(t, func(t *testing.T) func() store.Engine {
+		dir := t.TempDir()
+		return func() store.Engine {
+			return mustOpen(t, Options{Dir: dir, Shards: 4, Fsync: FsyncAlways})
+		}
+	})
+}
+
 func v(val string, ut hlc.Timestamp, tx uint64) *store.Version {
 	return &store.Version{Value: []byte(val), UT: ut, RDT: ut / 2, TxID: tx, SrcDC: uint8(tx % 3)}
 }
@@ -318,20 +329,28 @@ func TestAppendFailureFreezesLog(t *testing.T) {
 	dir := t.TempDir()
 	e := mustOpen(t, Options{Dir: dir, Shards: 1, Fsync: FsyncNever, CompactThreshold: 1})
 	e.Put("k", v("before", 1, 1))
+	if err := e.Healthy(); err != nil {
+		t.Fatalf("healthy engine reported %v", err)
+	}
 
 	// Force every write and truncate to fail by closing the file out from
 	// under the shard (same package: reach into the unexported state).
 	sh := e.shards[0]
-	sh.mu.Lock()
-	_ = sh.f.Close()
-	sh.mu.Unlock()
+	sh.Mu.Lock()
+	_ = sh.F.Close()
+	sh.Mu.Unlock()
 
 	e.Put("k", v("during", 2, 2))
-	sh.mu.Lock()
-	frozen := sh.failed
-	sh.mu.Unlock()
+	sh.Mu.Lock()
+	frozen := sh.Failed
+	sh.Mu.Unlock()
 	if !frozen {
 		t.Fatal("shard log not frozen after append+rollback failure")
+	}
+	// The failure must be visible to Healthy immediately — not only at
+	// Close — so servers and benchmarks can detect the degraded log.
+	if err := e.Healthy(); err == nil {
+		t.Fatal("Healthy() = nil after append+rollback failure")
 	}
 	// Memory stays authoritative; further appends are skipped, not torn.
 	if lv := e.Latest("k"); lv == nil || string(lv.Value) != "during" {
@@ -344,9 +363,9 @@ func TestAppendFailureFreezesLog(t *testing.T) {
 	if removed := e.GC(10); removed != 2 {
 		t.Fatalf("GC removed %d, want 2", removed)
 	}
-	sh.mu.Lock()
-	frozen = sh.failed
-	sh.mu.Unlock()
+	sh.Mu.Lock()
+	frozen = sh.Failed
+	sh.Mu.Unlock()
 	if frozen {
 		t.Fatal("compaction did not repair the frozen shard log")
 	}

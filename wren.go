@@ -101,11 +101,14 @@ type Config struct {
 	StoreShards int
 	// StoreBackend selects each server's storage engine: "" or "memory"
 	// keeps versions only in memory; "wal" adds durable per-shard
-	// append-only logs replayed on restart, making a cluster restartable
-	// from the same DataDir.
+	// append-only logs replayed on restart; "sst" is the memtable+
+	// sorted-run engine — a WAL over the active memtable only, with
+	// background flushes to immutable sorted runs that serve snapshot
+	// reads lock-free and merge compaction folding them together. Both
+	// durable backends make a cluster restartable from the same DataDir.
 	StoreBackend string
-	// DataDir is the root directory the wal backend writes under; every
-	// server uses its own dc<m>-p<n> subdirectory. Empty with the wal
+	// DataDir is the root directory durable backends write under; every
+	// server uses its own dc<m>-p<n> subdirectory. Empty with a durable
 	// backend selects a temporary directory removed on Close.
 	DataDir string
 	// FsyncPolicy is the WAL group-commit policy: "always" (fsync every

@@ -6,15 +6,22 @@ import (
 	"time"
 )
 
-// TestClusterRestartRecovery is the acceptance test for the WAL backend: a
-// cluster stopped and restarted from the same data directory must serve
-// every transaction committed before the stop.
+// TestClusterRestartRecovery is the acceptance test for the durable
+// backends: a cluster stopped and restarted from the same data directory
+// must serve every transaction committed before the stop — and deletes
+// must stay deleted — whichever durable engine is underneath.
 func TestClusterRestartRecovery(t *testing.T) {
+	for _, backend := range []string{"wal", "sst"} {
+		t.Run(backend, func(t *testing.T) { testClusterRestartRecovery(t, backend) })
+	}
+}
+
+func testClusterRestartRecovery(t *testing.T, backend string) {
 	dataDir := t.TempDir()
 	cfg := Config{
 		NumDCs:        1,
 		NumPartitions: 2,
-		StoreBackend:  "wal",
+		StoreBackend:  backend,
 		DataDir:       dataDir,
 		FsyncPolicy:   "always",
 	}
