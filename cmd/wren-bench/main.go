@@ -8,6 +8,7 @@
 //	wren-bench -quick -figure 3a   # reduced topology for a fast look
 //	wren-bench -read-path          # read-path suite -> BENCH_read_path.json
 //	wren-bench -engines memory,wal,sst   # engine sweep -> BENCH_engines.json
+//	wren-bench -txlog              # commit-ack latency sweep -> BENCH_txlog.json
 //
 // Figures: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b, 7a, 7b.
 // Ablations: blocking-commit, gossip-interval, snapshot-age.
@@ -23,6 +24,12 @@
 // read-heavy and a write-heavy mix on the same Wren topology, fails if
 // any engine finishes a sweep with a recorded write-path failure, and
 // writes BENCH_engines.json.
+//
+// -txlog prices the durable transaction-lifecycle log: the same
+// write-only closed loop with commit-record logging on vs off, under each
+// fsync policy, reporting client-observed commit-ack latency percentiles
+// (the log writes PREPARE and COMMIT records before the ack, so the ack
+// now carries the logging cost). Writes BENCH_txlog.json.
 package main
 
 import (
@@ -70,13 +77,15 @@ func run(args []string) error {
 		jsonOut    = fs.String("out", "BENCH_read_path.json", "output path for the -read-path JSON report")
 		engines    = fs.String("engines", "", "comma-separated storage engines to sweep (e.g. memory,wal,sst); emits -engines-out")
 		enginesOut = fs.String("engines-out", "BENCH_engines.json", "output path for the -engines JSON report")
+		txlogSweep = fs.Bool("txlog", false, "run the commit-ack latency sweep (txlog on vs off, per fsync policy); emits -txlog-out")
+		txlogOut   = fs.String("txlog-out", "BENCH_txlog.json", "output path for the -txlog JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *figure == "" && *ablation == "" && !*readPath && *engines == "" {
+	if *figure == "" && *ablation == "" && !*readPath && *engines == "" && !*txlogSweep {
 		fs.Usage()
-		return fmt.Errorf("one of -figure, -ablation, -read-path or -engines is required")
+		return fmt.Errorf("one of -figure, -ablation, -read-path, -engines or -txlog is required")
 	}
 
 	o := bench.DefaultOptions()
@@ -108,6 +117,9 @@ func run(args []string) error {
 		o.KeysPerPartition = q.KeysPerPartition
 	}
 
+	if *txlogSweep {
+		return runTxLogSweep(o, *txlogOut)
+	}
 	if *engines != "" {
 		list, err := parseEngines(*engines)
 		if err != nil {
@@ -268,6 +280,32 @@ func runEngines(o bench.Options, engines []string, out string) error {
 			default:
 				// The sweep error wins, but the missing artifact must not
 				// be a silent mystery.
+				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
+			}
+		}
+	}
+	return err
+}
+
+func runTxLogSweep(o bench.Options, out string) error {
+	start := time.Now()
+	// A failed sweep still returns the rows measured so far; persist them
+	// before surfacing the error (same discipline as -engines).
+	rep, err := bench.RunTxLog(o)
+	if rep != nil {
+		fmt.Print(bench.FormatTxLog(rep))
+		fmt.Printf("[txlog done in %v]\n", time.Since(start).Round(time.Second))
+		if out != "" {
+			data, jerr := rep.WriteJSON()
+			if jerr == nil {
+				jerr = os.WriteFile(out, append(data, '\n'), 0o644)
+			}
+			switch {
+			case jerr == nil:
+				fmt.Printf("report written to %s\n", out)
+			case err == nil:
+				err = jerr
+			default:
 				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
 			}
 		}

@@ -14,6 +14,7 @@
 //	delete <key>            buffer a delete in the open transaction
 //	commit                  commit the open transaction
 //	abort                   abort the open transaction
+//	health                  durability state of every partition in the DC
 //	quit
 package main
 
@@ -84,10 +85,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	defer client.Close()
 
 	fmt.Fprintf(out, "wren-cli: connected (dc%d, %d partitions). Type 'help'.\n", *dc, *partitions)
-	return repl(client, in, out)
+	return repl(client, *partitions, in, out)
 }
 
-func repl(client *core.Client, in io.Reader, out io.Writer) error {
+func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) error {
 	var tx *core.Tx
 	scanner := bufio.NewScanner(in)
 	fmt.Fprint(out, "> ")
@@ -102,7 +103,9 @@ func repl(client *core.Client, in io.Reader, out io.Writer) error {
 		case "quit", "exit":
 			return nil
 		case "help":
-			fmt.Fprintln(out, "commands: get put del begin read write delete commit abort quit")
+			fmt.Fprintln(out, "commands: get put del begin read write delete commit abort health quit")
+		case "health":
+			showHealth(client, partitions, out)
 		case "get":
 			oneShotRead(client, out, rest)
 		case "put":
@@ -255,6 +258,23 @@ func oneShotDelete(client *core.Client, out io.Writer, keys []string) {
 		return
 	}
 	fmt.Fprintf(out, "deleted at %v\n", ct)
+}
+
+// showHealth probes every partition server of the client's DC for its
+// durability/admission state, so a degraded (read-only) server is
+// observable from the command line without a metrics poller.
+func showHealth(client *core.Client, partitions int, out io.Writer) {
+	for p := 0; p < partitions; p++ {
+		readOnly, detail, err := client.Health(p)
+		switch {
+		case err != nil:
+			fmt.Fprintf(out, "p%d: unreachable: %v\n", p, err)
+		case readOnly:
+			fmt.Fprintf(out, "p%d: READ-ONLY (durability degraded): %s\n", p, detail)
+		default:
+			fmt.Fprintf(out, "p%d: healthy\n", p)
+		}
+	}
 }
 
 func printRead(out io.Writer, got map[string][]byte, err error) {

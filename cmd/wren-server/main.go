@@ -54,6 +54,7 @@ func run(args []string) error {
 		storeBack  = fs.String("store-backend", "memory", "storage engine: memory, wal or sst")
 		dataDir    = fs.String("data-dir", "", "root data directory for durable backends (server writes under dc<m>-p<n>)")
 		fsync      = fs.String("fsync", "", "durable-backend fsync policy: always, interval (default) or never")
+		txlogOn    = fs.Bool("txlog", true, "durable transaction-lifecycle log: commit records ahead of acks + replication cursor (durable backends only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +89,7 @@ func run(args []string) error {
 			StoreBackend:   *storeBack,
 			DataDir:        *dataDir,
 			FsyncPolicy:    *fsync,
+			DisableTxLog:   !*txlogOn,
 		})
 		if err != nil {
 			return err
@@ -107,6 +109,7 @@ func run(args []string) error {
 			StoreBackend:   *storeBack,
 			DataDir:        *dataDir,
 			FsyncPolicy:    *fsync,
+			DisableTxLog:   !*txlogOn,
 		})
 		if err != nil {
 			return err

@@ -100,6 +100,13 @@ type Config struct {
 	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
 	// (the "" default) or "never".
 	FsyncPolicy string
+	// DisableTxLog turns off the durable transaction-lifecycle log that
+	// servers with a durable backend keep by default: commit records
+	// written before acknowledgements, a persisted per-DC replication
+	// cursor, and restart recovery of acknowledged-but-unapplied
+	// transactions. Disabling it regresses the durability unit to the
+	// applied transaction (used to benchmark the commit-logging cost).
+	DisableTxLog bool
 	// Seed makes clock-skew assignment reproducible.
 	Seed int64
 	// RequestTimeout bounds client round trips. Zero selects 10s.
@@ -239,6 +246,7 @@ func New(cfg Config) (*Cluster, error) {
 					StoreBackend:   cfg.StoreBackend,
 					DataDir:        cfg.DataDir,
 					FsyncPolicy:    cfg.FsyncPolicy,
+					DisableTxLog:   cfg.DisableTxLog,
 				})
 				if err != nil {
 					c.wrenServers = append(c.wrenServers, wrenRow)
@@ -259,6 +267,7 @@ func New(cfg Config) (*Cluster, error) {
 					StoreBackend:   cfg.StoreBackend,
 					DataDir:        cfg.DataDir,
 					FsyncPolicy:    cfg.FsyncPolicy,
+					DisableTxLog:   cfg.DisableTxLog,
 				})
 				if err != nil {
 					c.cureServers = append(c.cureServers, cureRow)
@@ -405,6 +414,29 @@ func (c *Cluster) EnginesHealthy() error {
 	return nil
 }
 
+// Healthy returns the first write-path durability failure — storage engine
+// or transaction log — any server in the deployment has recorded, or nil
+// while every server is fully healthy. Unlike EnginesHealthy this covers
+// the whole durable write path; a non-nil result means at least one server
+// has shed into read-only admission.
+func (c *Cluster) Healthy() error {
+	for dc, row := range c.wrenServers {
+		for p, s := range row {
+			if err := s.Healthy(); err != nil {
+				return fmt.Errorf("dc%d/p%d: %w", dc, p, err)
+			}
+		}
+	}
+	for dc, row := range c.cureServers {
+		for p, s := range row {
+			if err := s.Healthy(); err != nil {
+				return fmt.Errorf("dc%d/p%d: %w", dc, p, err)
+			}
+		}
+	}
+	return nil
+}
+
 // CommittedTxCount sums committed-transaction counters across all servers.
 func (c *Cluster) CommittedTxCount() uint64 {
 	var total uint64
@@ -427,7 +459,19 @@ func (c *Cluster) CommittedTxCount() uint64 {
 
 // Close stops every server and the network, and removes the data
 // directory if the cluster created it itself.
-func (c *Cluster) Close() {
+func (c *Cluster) Close() { c.stop(false) }
+
+// Kill hard-stops the deployment, skipping every shutdown courtesy: no
+// final apply tick, no commit-list flush, no replies to parked readers —
+// the closest an in-process cluster gets to SIGKILL. Recovery tests use it
+// with an explicit DataDir to prove that a restarted cluster serves every
+// ACKNOWLEDGED transaction from its transaction logs and reconverges its
+// DCs from the replication cursors. In-flight messages (including queued
+// inter-DC Replicate traffic) die with the network. An ephemeral data
+// directory is still removed — nothing could ever reopen it.
+func (c *Cluster) Kill() { c.stop(true) }
+
+func (c *Cluster) stop(kill bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -442,7 +486,11 @@ func (c *Cluster) Close() {
 			wg.Add(1)
 			go func(s *core.Server) {
 				defer wg.Done()
-				s.Stop()
+				if kill {
+					s.Kill()
+				} else {
+					s.Stop()
+				}
 			}(s)
 		}
 	}
@@ -451,7 +499,11 @@ func (c *Cluster) Close() {
 			wg.Add(1)
 			go func(s *cure.Server) {
 				defer wg.Done()
-				s.Stop()
+				if kill {
+					s.Kill()
+				} else {
+					s.Stop()
+				}
 			}(s)
 		}
 	}

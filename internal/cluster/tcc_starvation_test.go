@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCCConformanceUnderStarvation is the codified repro for the two
+// scheduling-sensitive installed-snapshot races fixed alongside it (both
+// produced causal/atomic violations and monotonic-read regressions in
+// TestTCCConformance{Cure,HCure} whenever the host was heavily
+// oversubscribed — ~25–50% of runs on a starved 1-CPU box):
+//
+//  1. handlePrepareReq computed its TickPast proposal BEFORE registering
+//     the transaction in the pending list; an applyTick preempting the
+//     goroutine between the two statements published a version-clock bound
+//     at or above the proposal, and the transaction later committed inside
+//     the installed region (fixed in core and cure: proposal and
+//     registration are atomic under s.mu).
+//  2. Cure/H-Cure run applyTick concurrently (apply loop + the eager
+//     install attempt of every parked read); a tick preempted between
+//     taking its committed batch and writing it to the engine let a
+//     second tick publish a larger bound with those writes still in
+//     flight (fixed with applyMu serializing the tick end to end).
+//
+// The test oversubscribes the scheduler with spinning goroutines — the
+// injected scheduling delay that stretches both preemption windows from
+// nanoseconds to milliseconds — and runs the checker workload on all three
+// protocols. It burns several CPU-seconds by design, so it only runs when
+// WREN_STARVATION_TEST is set (CI smoke stays deterministic); the plain
+// TestTCCConformance* tests cover the fixed code on every run.
+func TestTCCConformanceUnderStarvation(t *testing.T) {
+	if os.Getenv("WREN_STARVATION_TEST") == "" {
+		t.Skip("set WREN_STARVATION_TEST=1 to run the scheduler-starvation repro")
+	}
+	// 4 spinners per core reliably reproduced both races before the fix.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4*runtime.GOMAXPROCS(0); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	for _, tc := range []struct {
+		name  string
+		proto Protocol
+	}{
+		{"HCure", HCure},
+		{"Cure", Cure},
+		{"Wren", Wren},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runTCCWorkload(t, tc.proto, 2, 4, 1200*time.Millisecond, false)
+		})
+	}
+}

@@ -25,6 +25,12 @@ var (
 	ErrTimeout = errors.New("core: request timed out")
 	// ErrClosed is returned after the client session is closed.
 	ErrClosed = errors.New("core: client closed")
+	// ErrReadOnly is returned by Commit when the server refused the write
+	// because its durability is degraded (a failed storage engine or
+	// transaction log shed it into read-only admission). The transaction
+	// did not commit; callers can retry against a different coordinator or
+	// surface the outage. Matched with errors.Is.
+	ErrReadOnly = errors.New("core: server is read-only (durability degraded)")
 )
 
 // DefaultRequestTimeout bounds each client-coordinator round trip.
@@ -116,6 +122,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 		reqID = msg.ReqID
 	case *wire.CommitResp:
 		reqID = msg.ReqID
+	case *wire.HealthResp:
+		reqID = msg.ReqID
 	default:
 		return
 	}
@@ -126,6 +134,27 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 	if ch != nil {
 		ch <- m
 	}
+}
+
+// Health probes the durability/admission state of one partition server in
+// the client's DC: whether it has shed into read-only admission, and the
+// first write-path failure it recorded (empty while healthy). This is the
+// operator-facing path behind wren-cli's health command — degraded
+// servers are observable without polling process-internal state.
+func (c *Client) Health(partition int) (readOnly bool, detail string, err error) {
+	if partition < 0 || partition >= c.cfg.NumPartitions {
+		return false, "", fmt.Errorf("core: partition %d out of range [0,%d)", partition, c.cfg.NumPartitions)
+	}
+	reqID := c.reqSeq.Add(1)
+	resp, err := c.call(transport.ServerID(c.cfg.DC, partition), reqID, &wire.HealthReq{ReqID: reqID})
+	if err != nil {
+		return false, "", err
+	}
+	hr, ok := resp.(*wire.HealthResp)
+	if !ok {
+		return false, "", fmt.Errorf("core: unexpected response %T to HealthReq", resp)
+	}
+	return hr.ReadOnly, hr.Err, nil
 }
 
 // call performs one request/response round trip with the coordinator.
@@ -407,6 +436,9 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	cr, ok := resp.(*wire.CommitResp)
 	if !ok {
 		return 0, fmt.Errorf("core: unexpected response %T to CommitReq", resp)
+	}
+	if cr.Code != wire.CommitOK {
+		return 0, fmt.Errorf("%w: %s", ErrReadOnly, cr.Err)
 	}
 	if len(writes) == 0 {
 		return 0, nil

@@ -17,6 +17,7 @@ import (
 	"wren/internal/store/backend"
 	"wren/internal/stripemap"
 	"wren/internal/transport"
+	"wren/internal/txlog"
 	"wren/internal/wire"
 )
 
@@ -28,6 +29,41 @@ const (
 	DefaultGCInterval     = 500 * time.Millisecond
 	DefaultTxContextTTL   = 30 * time.Second
 )
+
+// recoveryGrace is how long a prepare recovered from the transaction log
+// waits for its re-driven 2PC outcome after a restart before the cohort
+// starts probing the coordinator with TxStatusReq (and between re-probes).
+// A recovered prepare is only ever aborted on the coordinator's explicit
+// "not committed" answer — a timeout alone cannot distinguish a doomed
+// prepare from a durably-decided transaction whose coordinator is slow to
+// come back. Recovered prepares do NOT hold back the apply upper bound
+// while they wait.
+const recoveryGrace = 15 * time.Second
+
+// redriveAfter is how old an unresolved commit decision must be before
+// the coordinator re-sends its CommitTx to the cohorts that have not
+// acknowledged a durable outcome — recovering from a CommitTx or ack lost
+// to a cohort crash without waiting for this coordinator to restart.
+const redriveAfter = 5 * time.Second
+
+// resendBatchSize bounds how many recovered transactions one resync
+// Replicate message carries.
+const resendBatchSize = 128
+
+// lifecycleInterval is the period of the transaction-lifecycle maintenance
+// loop (status probes for recovered prepares, re-drives of unresolved
+// decisions). It runs on its own timer, NOT the GC loop's: GC is an
+// optional subsystem (GCInterval <= 0 disables it) and 2PC termination
+// must not be.
+const lifecycleInterval = time.Second
+
+// seqBlockSize is how many transaction sequence numbers a server reserves
+// from its transaction log at a time. Ids must be reserved durably BEFORE
+// use — an id handed out at StartTx can reach a cohort's durable log even
+// if this server crashes before logging anything itself — and block
+// reservation amortizes that to one log record (one fsync under
+// fsync=always) per million transactions.
+const seqBlockSize = 1 << 20
 
 // ServerConfig configures one Wren partition server p_n^m.
 type ServerConfig struct {
@@ -86,6 +122,16 @@ type ServerConfig struct {
 	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
 	// (the "" default) or "never". Ignored by the memory backend.
 	FsyncPolicy string
+	// DisableTxLog turns off the durable transaction-lifecycle log that
+	// durable backends get by default. With the log, PREPARE and
+	// COMMIT records are written before the corresponding acknowledgement
+	// leaves the server — the durability unit becomes the ACKNOWLEDGED
+	// transaction — and a persisted per-DC replication cursor lets a
+	// restarted server re-send the unreplicated tail. Without it the
+	// durability unit regresses to the applied transaction (the pre-txlog
+	// behaviour, kept for benchmarking the commit-logging cost). Ignored
+	// by the memory backend, which has nowhere durable to recover from.
+	DisableTxLog bool
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -164,9 +210,27 @@ type committedTx struct {
 	writes []wire.KV
 }
 
+// prepareVote is one cohort's answer in the 2PC: a proposed commit
+// timestamp, or a refusal (non-empty err) from a cohort whose durability
+// is degraded.
+type prepareVote struct {
+	pt  hlc.Timestamp
+	err string
+}
+
 // prepareCall collects PrepareResp messages for one committing transaction.
 type prepareCall struct {
-	ch chan hlc.Timestamp
+	ch chan prepareVote
+}
+
+// recoveredPrepare is a prepare replayed from the transaction log after a
+// restart: its 2PC outcome is unknown until a coordinator re-drives it or
+// a TxStatusResp settles it. It is kept out of s.prepared so it cannot
+// hold the apply upper bound — and therefore the stable snapshot — back
+// while it waits; nextProbe paces the status queries.
+type recoveredPrepare struct {
+	tx        *txlog.PreparedTx
+	nextProbe time.Time
 }
 
 // cantorPred is the CANToR visibility predicate (Algorithm 3 lines 7–8) in
@@ -221,6 +285,30 @@ type Server struct {
 	clock *hlc.Clock
 	st    store.Engine
 
+	// tl is the durable transaction-lifecycle log (nil for the memory
+	// backend or when disabled): commit records ahead of acknowledgements,
+	// the per-DC replication cursor, and restart recovery state.
+	tl *txlog.Log
+	// resendTails[dc] is the unreplicated committed tail snapshotted at
+	// construction time — BEFORE any new commit or acknowledgement can
+	// race the snapshot — for recoveryResend to replay; the txlog's
+	// cursor stays pinned below each tail until its resync is confirmed.
+	resendTails [][]*txlog.CommittedTx
+	// resyncTailSent[dc] flips once recoveryResend has enqueued dc's tail;
+	// resyncDone[dc] (touched only by the single applyTick goroutine)
+	// gates ordinary replication to dc: until the tail is on the FIFO
+	// link, no new batch or heartbeat may overtake it — the peer's version
+	// vector would advance past transactions it has not received, a
+	// transient causal hole. The transition tick ships a dedupe-safe
+	// catch-up of everything still unconfirmed, then normal replication
+	// resumes.
+	resyncTailSent []atomic.Bool
+	resyncDone     []bool
+	// seqLimit is the durably reserved transaction-sequence ceiling;
+	// seqMu serializes block refills (see seqBlockSize).
+	seqLimit atomic.Uint64
+	seqMu    sync.Mutex
+
 	// lst/rst are the stable times (LST, RST): lock-free monotonic
 	// max-merge publication, loaded on every read.
 	lst hlc.AtomicTimestamp
@@ -249,6 +337,7 @@ type Server struct {
 	mu            sync.Mutex
 	vv            []hlc.Timestamp // version vector: vv[m] is the local version clock
 	prepared      map[uint64]*preparedTx
+	recovered     map[uint64]*recoveredPrepare // txlog prepares awaiting a re-driven outcome
 	committed     []*committedTx
 	peerLocal     []hlc.Timestamp // per-partition gossiped local version clocks
 	peerRemoteMin []hlc.Timestamp // per-partition gossiped min remote entries
@@ -290,13 +379,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open store: %w", err)
 	}
+	// The transaction log lives beside the engine's files, inside the
+	// directory the engine just claimed — covered by the same exclusive
+	// lock and engine-type marker. Memory backends have nowhere durable to
+	// recover from, so they run without one.
+	var tl *txlog.Log
+	if cfg.StoreBackend != "" && cfg.StoreBackend != backend.Memory && !cfg.DisableTxLog {
+		tl, err = txlog.Open(txlog.Options{
+			Dir:    filepath.Join(cfg.engineDir(), "txlog"),
+			NumDCs: cfg.NumDCs,
+			SelfDC: cfg.DC,
+			Fsync:  cfg.FsyncPolicy,
+		})
+		if err != nil {
+			_ = eng.Close()
+			return nil, fmt.Errorf("core: open txlog: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:            cfg,
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
 		st:             eng,
+		tl:             tl,
 		vv:             make([]hlc.Timestamp, cfg.NumDCs),
 		prepared:       make(map[uint64]*preparedTx),
+		recovered:      make(map[uint64]*recoveredPrepare),
 		txCtx:          stripemap.New[txContext](0),
 		peerLocal:      make([]hlc.Timestamp, cfg.NumPartitions),
 		peerRemoteMin:  make([]hlc.Timestamp, cfg.NumPartitions),
@@ -304,6 +412,44 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		pendingSlice:   stripemap.New[*fanin.TxRead](0),
 		pendingPrepare: make(map[uint64]*prepareCall),
 		stop:           make(chan struct{}),
+	}
+	if tl != nil {
+		// Recovery order: the engine replayed its own logs in Open above;
+		// now the txlog's committed-but-unapplied transactions go into the
+		// engine BEFORE the server serves anything, so a kill between the
+		// client ack and the apply tick loses nothing.
+		s.recoverFromTxLog()
+		// Fresh transaction ids must clear every id of the previous
+		// lives: the log keeps old ids live across restarts (resync
+		// dedupe, re-driven outcomes, remote cohorts' retained prepares),
+		// so a colliding new id would match an unrelated old transaction.
+		// Seed above the durably reserved watermark and reserve the first
+		// block.
+		floor := tl.NextSeqFloor()
+		s.txSeq.Store(floor)
+		tl.ReserveSeqs(floor + seqBlockSize)
+		s.seqLimit.Store(floor + seqBlockSize)
+		// Snapshot each peer DC's unreplicated tail NOW, before the
+		// server serves anything: once live traffic flows, a peer's
+		// acknowledgement of a NEW batch could advance its cursor past
+		// the old tail before recoveryResend reads it, silently dropping
+		// the very transactions the cursor exists to recover. The cursor
+		// stays pinned at each tail's high-water mark until the re-sent
+		// tail itself is acknowledged.
+		s.resendTails = make([][]*txlog.CommittedTx, cfg.NumDCs)
+		s.resyncTailSent = make([]atomic.Bool, cfg.NumDCs)
+		s.resyncDone = make([]bool, cfg.NumDCs)
+		for dc := 0; dc < cfg.NumDCs; dc++ {
+			s.resyncDone[dc] = true
+			if dc == cfg.DC {
+				continue
+			}
+			if tail := tl.UnreplicatedTail(dc); len(tail) > 0 {
+				s.resendTails[dc] = tail
+				s.resyncDone[dc] = false
+				tl.PinResync(dc, tail[len(tail)-1].CT)
+			}
+		}
 	}
 	s.readPool.New = func() any {
 		rs := &readScratch{pred: cantorPred{localDC: uint8(cfg.DC)}}
@@ -331,6 +477,143 @@ func (s *Server) Store() store.Engine { return s.st }
 // benchmarks and operators poll to catch silently degraded durability.
 func (s *Server) EngineHealthy() error { return s.st.Healthy() }
 
+// Healthy reports the first durability failure of the server's write path
+// — storage engine or transaction log — or nil while both are intact.
+// Unlike the earlier poll-only signal, the server ACTS on this one: a
+// degraded server sheds into read-only admission (see ReadOnly).
+func (s *Server) Healthy() error {
+	if err := s.st.Healthy(); err != nil {
+		return err
+	}
+	if s.tl != nil {
+		if err := s.tl.Healthy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadOnly reports whether the server has shed into read-only admission:
+// new prepares and commits are refused with a typed error while reads keep
+// their nonblocking path. It flips as soon as the engine or the
+// transaction log records a write-path failure — an acknowledgement whose
+// durability promise cannot be kept must not be issued.
+func (s *Server) ReadOnly() bool { return s.Healthy() != nil }
+
+// TxLog exposes the transaction log (nil when disabled); read-only use in
+// tests.
+func (s *Server) TxLog() *txlog.Log { return s.tl }
+
+// txApplied reports whether the storage engine already holds a version
+// written by txID under key — the idempotence check recovery replay and
+// resync application run before re-inserting a transaction's writes.
+// Transaction ids embed the DC and partition, so a TxID match is exact.
+func (s *Server) txApplied(key string, txID uint64) bool {
+	return s.st.ReadVisible(key, func(v *store.Version) bool { return v.TxID == txID }) != nil
+}
+
+// recoverFromTxLog replays the log's committed transactions into the
+// storage engine (skipping the writes the engine already recovered
+// itself) and stages outcome-less prepares for the re-driven CommitTx a
+// restarted coordinator sends. Runs before the server is registered on
+// the network. The idempotence check is per KEY, not per transaction: a
+// kill can land mid-PutBatch, leaving some of a transaction's shard logs
+// appended and others not, and a whole-transaction skip would lose the
+// missing keys.
+func (s *Server) recoverFromTxLog() {
+	committed := s.tl.Committed()
+	applied := make([]uint64, 0, len(committed))
+	for _, t := range committed {
+		applied = append(applied, t.TxID)
+		var puts []store.KV
+		for _, kv := range t.Writes {
+			if s.txApplied(kv.Key, t.TxID) {
+				continue
+			}
+			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
+				Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: uint8(s.cfg.DC),
+			}})
+		}
+		s.st.PutBatch(puts)
+	}
+	// Everything committed in the log is now in the engine.
+	s.tl.MarkApplied(applied)
+	probe := time.Now().Add(recoveryGrace)
+	for _, p := range s.tl.Prepared() {
+		s.recovered[p.TxID] = &recoveredPrepare{tx: p, nextProbe: probe}
+	}
+}
+
+// redriveRecovered is the restart half of the coordinator's lifecycle:
+// re-drive the unresolved commit decisions this coordinator acknowledged
+// (their cohorts may have crashed between PrepareResp and CommitTx),
+// retrying while destinations are still coming up. Anything it cannot
+// finish is picked up by the periodic lifecycle loop.
+func (s *Server) redriveRecovered() {
+	defer s.wg.Done()
+	for _, c := range s.tl.CoordPending() {
+		for _, p := range c.Cohorts {
+			if !s.sendRetry(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT}) {
+				return
+			}
+		}
+	}
+}
+
+// resendTailTo re-sends one peer DC the committed tail above its
+// replication cursor, snapshotted at construction time, as resync batches
+// the receiver deduplicates. Each peer gets its own goroutine — until the
+// tail is on the link, applyTick withholds all ordinary replication to
+// that DC, and one unreachable peer must not extend that hold to the
+// others.
+func (s *Server) resendTailTo(dc int, tail []*txlog.CommittedTx) {
+	defer s.wg.Done()
+	for i := 0; i < len(tail); i += resendBatchSize {
+		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
+		for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+			batch.Txs = append(batch.Txs, wire.ReplTx{TxID: t.TxID, CT: t.CT, RST: t.RST, Writes: t.Writes})
+		}
+		if !s.sendRetry(transport.ServerID(dc, s.cfg.Partition), batch) {
+			return
+		}
+	}
+	s.resyncTailSent[dc].Store(true)
+}
+
+// lifecycleLoop runs the periodic transaction-lifecycle maintenance
+// (txLifecycleTick) on its own timer, independent of the optional GC loop.
+func (s *Server) lifecycleLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(lifecycleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.txLifecycleTick(time.Now())
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// sendRetry delivers a recovery message, retrying while the destination is
+// unreachable: servers of a restarting deployment come up in arbitrary
+// order, and a re-driven outcome or resync batch dropped on the floor
+// would silently undo the durability the log just recovered. Gives up only
+// when this server stops; reports whether the send succeeded.
+func (s *Server) sendRetry(to transport.NodeID, m wire.Message) bool {
+	for {
+		if err := s.cfg.Network.Send(s.id, to, m); err == nil {
+			return true
+		}
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
 // Start registers the server on the network and launches the apply (ΔR),
 // stabilization (ΔG) and garbage-collection loops.
 func (s *Server) Start() {
@@ -344,16 +627,43 @@ func (s *Server) Start() {
 			s.wg.Add(1)
 			go s.gcLoop()
 		}
+		if s.tl != nil {
+			// Recovery sends run per destination: a re-drive retrying
+			// toward one dead cohort, or one unreachable peer DC, must
+			// not block the resync tails — and with them ALL replication
+			// — to everyone else.
+			s.wg.Add(1)
+			go s.redriveRecovered()
+			for dc, tail := range s.resendTails {
+				if len(tail) > 0 {
+					s.wg.Add(1)
+					go s.resendTailTo(dc, tail)
+				}
+			}
+			s.wg.Add(1)
+			go s.lifecycleLoop()
+		}
 	})
 }
 
 // Stop terminates the background loops, waits for them to exit, flushes
 // any transactions still on the commit list into the store, and closes
-// the storage engine. With a durable backend this makes a clean shutdown
-// keep everything the engine was ever asked to apply; like a crash, it
-// can still lose an acknowledged commit whose CommitTx was in flight when
-// draining began — the commit-time durability gap tracked in ROADMAP.md.
-func (s *Server) Stop() {
+// the storage engine and the transaction log. With the transaction log
+// enabled the flush is an optimization, not the durability mechanism: an
+// acknowledged commit whose CommitTx was in flight when draining began is
+// already logged and is recovered on the next start — the commit-time
+// durability gap the pre-txlog shutdown special-cases existed for is
+// closed by the log itself.
+func (s *Server) Stop() { s.shutdown(false) }
+
+// Kill stops the server WITHOUT the final apply/flush, simulating a hard
+// kill for recovery tests: acknowledged-but-unapplied transactions stay
+// out of the engine and must come back through transaction-log recovery.
+// (In-process, file writes already handed to the OS survive regardless —
+// what Kill withholds is every shutdown courtesy the process performs.)
+func (s *Server) Kill() { s.shutdown(true) }
+
+func (s *Server) shutdown(kill bool) {
 	var flush bool
 	s.stopOnce.Do(func() {
 		s.drainMu.Lock()
@@ -364,21 +674,31 @@ func (s *Server) Stop() {
 	})
 	s.wg.Wait()
 	s.reqWG.Wait()
-	if flush {
+	if !flush {
+		return
+	}
+	if !kill {
 		// Prepared-but-uncommitted transactions can never commit now, but
 		// their proposed timestamps would hold the apply upper bound below
 		// later acknowledged commits; drop them so the final apply flushes
-		// every transaction on the commit list.
+		// every transaction on the commit list. (With the txlog their
+		// prepares stay logged, so a commit decision that surfaces after a
+		// restart can still be honored.)
 		s.mu.Lock()
 		s.prepared = make(map[uint64]*preparedTx)
 		s.mu.Unlock()
 		s.applyTick()
 		s.flushCommitted()
-		if err := s.st.Close(); err != nil {
-			// The engine surfaces its first append/sync failure here; it
-			// must not vanish silently — acknowledged commits may not have
-			// reached disk.
-			fmt.Fprintf(os.Stderr, "core: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
+	}
+	if err := s.st.Close(); err != nil {
+		// The engine surfaces its first append/sync failure here; it
+		// must not vanish silently — acknowledged commits may not have
+		// reached disk.
+		fmt.Fprintf(os.Stderr, "core: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
+	}
+	if s.tl != nil {
+		if err := s.tl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "core: dc%d/p%d txlog close: %v\n", s.cfg.DC, s.cfg.Partition, err)
 		}
 	}
 }
@@ -418,6 +738,13 @@ func (s *Server) flushCommitted() {
 		}
 	}
 	s.st.PutBatch(puts)
+	if s.tl != nil {
+		ids := make([]uint64, len(apply))
+		for i, t := range apply {
+			ids[i] = t.txID
+		}
+		s.tl.MarkApplied(ids)
+	}
 }
 
 // goAsync runs fn on a tracked goroutine unless the server is draining.
@@ -464,9 +791,21 @@ func (s *Server) LocalVersionClock() hlc.Timestamp {
 }
 
 // newTxID generates a globally unique transaction id: DC in the top byte,
-// partition in the next two, then a local sequence number.
+// partition in the next two, then a local sequence number. With a
+// transaction log, sequence numbers are drawn from durably reserved
+// blocks so ids stay unique across restarts too (an id can outlive this
+// process in a cohort's log the moment it is handed out).
 func (s *Server) newTxID() uint64 {
-	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | s.txSeq.Add(1)
+	seq := s.txSeq.Add(1)
+	if s.tl != nil && seq > s.seqLimit.Load() {
+		s.seqMu.Lock()
+		if seq > s.seqLimit.Load() {
+			s.tl.ReserveSeqs(seq + seqBlockSize)
+			s.seqLimit.Store(seq + seqBlockSize)
+		}
+		s.seqMu.Unlock()
+	}
+	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | seq
 }
 
 // visibleFunc builds the CANToR snapshot visibility predicate
@@ -501,15 +840,25 @@ func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
 	case *wire.PrepareResp:
 		s.handlePrepareResp(msg)
 	case *wire.CommitTx:
-		s.handleCommitTx(msg)
+		s.handleCommitTx(from, msg)
+	case *wire.CommitAck:
+		s.handleCommitAck(msg)
 	case *wire.Replicate:
 		s.handleReplicate(msg)
+	case *wire.ReplicateAck:
+		s.handleReplicateAck(msg)
 	case *wire.Heartbeat:
 		s.handleHeartbeat(msg)
 	case *wire.StableBroadcast:
 		s.handleStableBroadcast(msg)
 	case *wire.GCBroadcast:
 		s.handleGCBroadcast(msg)
+	case *wire.HealthReq:
+		s.handleHealthReq(from, msg)
+	case *wire.TxStatusReq:
+		s.handleTxStatusReq(from, msg)
+	case *wire.TxStatusResp:
+		s.handleTxStatusResp(from, msg)
 	}
 }
 
@@ -651,8 +1000,16 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 
 	if len(m.Writes) == 0 {
 		// Read-only transactions just release their context (the paper's
-		// COMMIT is only invoked when WS ≠ ∅).
+		// COMMIT is only invoked when WS ≠ ∅). They are admitted even in
+		// read-only degraded mode — nothing about them needs durability.
 		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
+		return
+	}
+	if err := s.Healthy(); err != nil {
+		// Read-only admission: the durability this acknowledgement would
+		// promise cannot be delivered, so the write is refused with a
+		// typed error instead of being accepted into a degraded log.
+		s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
 		return
 	}
 
@@ -672,7 +1029,7 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
 	}
 
-	call := &prepareCall{ch: make(chan hlc.Timestamp, len(cohorts))}
+	call := &prepareCall{ch: make(chan prepareVote, len(cohorts))}
 	s.mu.Lock()
 	s.pendingPrepare[m.TxID] = call
 	s.mu.Unlock()
@@ -686,19 +1043,71 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 
 	s.goAsync(func() {
 		var ct hlc.Timestamp
+		var refusal string
 		for range cohorts {
 			select {
-			case pt := <-call.ch:
-				if pt > ct {
-					ct = pt
+			case v := <-call.ch:
+				if v.err != "" && refusal == "" {
+					refusal = v.err
+				}
+				if v.pt > ct {
+					ct = v.pt
 				}
 			case <-s.stop:
 				return
 			}
 		}
-		s.mu.Lock()
-		delete(s.pendingPrepare, m.TxID)
-		s.mu.Unlock()
+		// The pendingPrepare entry stays registered until the outcome is
+		// decided (logged or aborted): TxStatusReq answers "not committed"
+		// only when a transaction is in NEITHER pendingPrepare nor the
+		// decision log, so the in-flight window must never show a gap — a
+		// cohort that restarted mid-2PC probes for exactly this state, and
+		// a false final verdict would abort a prepare this decision is
+		// about to commit.
+		finish := func() {
+			s.mu.Lock()
+			delete(s.pendingPrepare, m.TxID)
+			s.mu.Unlock()
+		}
+		if refusal != "" {
+			// A degraded cohort refused its prepare: abort the 2PC (zero
+			// CT releases the healthy cohorts' prepares) and surface the
+			// typed refusal to the client.
+			finish()
+			for _, c := range cohorts {
+				s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
+			}
+			s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: refusal})
+			return
+		}
+		if s.tl != nil {
+			// The commit decision is logged and made stable BEFORE
+			// CommitTx leaves and BEFORE the client ack: the ack's
+			// durability promise is this record, and holding CommitTx
+			// back until it holds means a failed append/fsync can still
+			// abort the whole 2PC cleanly — no cohort has committed yet.
+			parts := make([]uint16, 0, len(cohorts))
+			for _, c := range cohorts {
+				parts = append(parts, uint16(c.partition))
+			}
+			s.tl.LogCoordCommit(m.TxID, ct, parts)
+			if s.tl.SyncOnAppend() {
+				s.tl.Sync()
+			}
+			if err := s.tl.Healthy(); err != nil {
+				// The decision never became durable: withdraw it (so a
+				// recovery cannot re-drive a commit the client was told
+				// failed), abort the cohorts, refuse the client.
+				s.tl.CoordAbort(m.TxID)
+				finish()
+				for _, c := range cohorts {
+					s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
+				}
+				s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
+				return
+			}
+		}
+		finish()
 		for _, c := range cohorts {
 			s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
 		}
@@ -723,14 +1132,57 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 
 // handlePrepareReq implements Algorithm 3 lines 13–19: advance the HLC past
 // everything the client has seen and propose it as the commit timestamp.
+//
+// The proposal and its registration in the pending list happen atomically
+// under s.mu, the same mutex applyTick holds while computing its apply
+// upper bound. Without that, applyTick could interleave between TickPast
+// and the registration, compute an upper bound at or above the proposal
+// (TickPast has already advanced the clock), publish it as stable — and
+// the transaction would later commit INSIDE the stable region, applied
+// after readers were already served without it: the causal/atomic
+// violations TestTCCConformance* exhibited under CPU starvation, where the
+// preemption window between the two statements stretched to milliseconds.
 func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
-	pt := s.clock.TickPast(hlc.Max(m.HT, m.LT, m.RT))
 	s.lst.Advance(m.LT)
 	s.rst.Advance(m.RT)
+	if err := s.Healthy(); err != nil {
+		// Degraded durability: refuse, so the coordinator aborts instead
+		// of committing a write set this cohort cannot log.
+		s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, Err: err.Error()})
+		return
+	}
 	s.mu.Lock()
+	pt := s.clock.TickPast(hlc.Max(m.HT, m.LT, m.RT))
 	s.prepared[m.TxID] = &preparedTx{pt: pt, rst: m.RT, writes: m.Writes}
 	s.mu.Unlock()
-	s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt})
+	resp := &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt}
+	if s.tl != nil {
+		s.tl.LogPrepare(&txlog.PreparedTx{TxID: m.TxID, PT: pt, RST: m.RT, Writes: m.Writes})
+		if s.tl.SyncOnAppend() {
+			// The fsync must not stall the delivery link (reads share it):
+			// the proposal leaves on a tracked goroutine once the prepare
+			// record is stable.
+			s.goAsync(func() {
+				s.tl.Sync()
+				s.send(from, s.checkedPrepareResp(resp))
+			})
+			return
+		}
+		resp = s.checkedPrepareResp(resp)
+	}
+	s.send(from, resp)
+}
+
+// checkedPrepareResp downgrades a prepare proposal to a refusal when the
+// append (or fsync) backing it failed: the proposal claims the write set
+// is recoverable here, and a vote whose own record never became durable
+// must not be cast — only LATER requests being refused would let this one
+// transaction commit on a broken promise.
+func (s *Server) checkedPrepareResp(resp *wire.PrepareResp) *wire.PrepareResp {
+	if err := s.tl.Healthy(); err != nil {
+		return &wire.PrepareResp{ReqID: resp.ReqID, TxID: resp.TxID, Err: err.Error()}
+	}
+	return resp
 }
 
 func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
@@ -738,32 +1190,128 @@ func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
 	call := s.pendingPrepare[m.TxID]
 	s.mu.Unlock()
 	if call != nil {
-		call.ch <- m.PT
+		call.ch <- prepareVote{pt: m.PT, err: m.Err}
 	}
 }
 
 // handleCommitTx implements Algorithm 3 lines 20–24: move the transaction
-// from the pending list to the commit list under its final timestamp.
-func (s *Server) handleCommitTx(m *wire.CommitTx) {
+// from the pending list to the commit list under its final timestamp. A
+// zero CT aborts instead (degraded-cohort refusal). With the transaction
+// log enabled the outcome is logged and acknowledged back to the
+// coordinator, which releases the coordinator's logged decision once every
+// cohort holds the outcome durably; re-driven outcomes after a restart
+// resolve recovered prepares, and outcomes already known deduplicate to
+// just the acknowledgement.
+func (s *Server) handleCommitTx(from transport.NodeID, m *wire.CommitTx) {
+	if m.CT == 0 {
+		s.mu.Lock()
+		delete(s.prepared, m.TxID)
+		delete(s.recovered, m.TxID)
+		s.mu.Unlock()
+		if s.tl != nil {
+			s.tl.LogAbort(m.TxID)
+		}
+		return
+	}
 	s.clock.Update(m.CT)
 	s.mu.Lock()
-	p, ok := s.prepared[m.TxID]
-	if ok {
+	committed := false
+	if p, ok := s.prepared[m.TxID]; ok {
 		delete(s.prepared, m.TxID)
 		s.committed = append(s.committed, &committedTx{
 			txID: m.TxID, ct: m.CT, rst: p.rst, writes: p.writes,
 		})
+		committed = true
+	} else if rp, ok := s.recovered[m.TxID]; ok {
+		// A re-driven outcome for a prepare recovered from the txlog: the
+		// client was acknowledged in a previous life; commit it now.
+		delete(s.recovered, m.TxID)
+		s.committed = append(s.committed, &committedTx{
+			txID: m.TxID, ct: m.CT, rst: rp.tx.RST, writes: rp.tx.Writes,
+		})
+		committed = true
 	}
 	s.mu.Unlock()
+	if s.tl == nil {
+		return
+	}
+	if committed {
+		s.tl.LogCommit(m.TxID, m.CT)
+	}
+	// The ack states "outcome durable here"; it may only leave after the
+	// commit record is stable (and not on the delivery goroutine), and
+	// never when the append or fsync backing it failed — withholding it
+	// keeps the coordinator's decision pending, to be re-driven rather
+	// than resolved on a broken promise. DUPLICATE outcomes take the same
+	// sync barrier: a re-driven CommitTx can arrive while the first
+	// copy's fsync is still in flight, and acknowledging it early would
+	// resolve the decision against an unsynced record (the group-commit
+	// sync is free once the record is already stable).
+	ack := &wire.CommitAck{TxID: m.TxID, Partition: uint16(s.cfg.Partition)}
+	if s.tl.SyncOnAppend() {
+		s.goAsync(func() {
+			s.tl.Sync()
+			if s.tl.Healthy() == nil {
+				s.send(from, ack)
+			}
+		})
+		return
+	}
+	if s.tl.Healthy() == nil {
+		s.send(from, ack)
+	}
+}
+
+// handleCommitAck releases the coordinator's logged commit decision once
+// the acknowledging cohort — and eventually all of them — holds the
+// outcome durably.
+func (s *Server) handleCommitAck(m *wire.CommitAck) {
+	if s.tl != nil {
+		s.tl.CoordAck(m.TxID, m.Partition)
+	}
+}
+
+// handleReplicateAck advances the persisted replication cursor for the
+// acknowledging DC: everything up to UpTo is confirmed applied there, so a
+// restart re-sends only what lies above. While a post-restart resync is
+// outstanding the cursor is pinned below the re-sent tail (only the
+// tail's own acknowledgement lifts it) — the txlog clamps the advance.
+func (s *Server) handleReplicateAck(m *wire.ReplicateAck) {
+	if s.tl == nil {
+		return
+	}
+	s.tl.AdvanceCursor(int(m.DC), m.UpTo)
+	if m.Resync {
+		s.tl.UnpinResync(int(m.DC), m.UpTo)
+	}
+}
+
+// handleHealthReq answers the operator-facing health probe (wren-cli
+// health): whether this server is in read-only admission and why.
+func (s *Server) handleHealthReq(from transport.NodeID, m *wire.HealthReq) {
+	resp := &wire.HealthResp{ReqID: m.ReqID}
+	if err := s.Healthy(); err != nil {
+		resp.ReadOnly = true
+		resp.Err = err.Error()
+	}
+	s.send(from, resp)
 }
 
 // handleReplicate applies remotely committed transactions (Algorithm 4
 // lines 22–26). FIFO links guarantee commit-timestamp order per sender.
+// Resync batches — a restarted sender replaying its unconfirmed tail — are
+// deduplicated per transaction against the engine; ordinary batches skip
+// that check. When the transaction log is enabled the batch is
+// acknowledged so the sender's replication cursor can advance.
 func (s *Server) handleReplicate(m *wire.Replicate) {
 	var puts []store.KV
 	for i := range m.Txs {
 		t := &m.Txs[i]
 		for _, kv := range t.Writes {
+			if m.Resync && s.txApplied(kv.Key, t.TxID) {
+				continue // already applied in a previous life (per key: an
+				// earlier kill may have split the transaction's batch)
+			}
 			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
 				Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: m.SrcDC,
 			}})
@@ -780,6 +1328,18 @@ func (s *Server) handleReplicate(m *wire.Replicate) {
 		s.vv[m.SrcDC] = last
 	}
 	s.mu.Unlock()
+	if s.tl != nil && s.Healthy() == nil {
+		// The engine write above honored the fsync policy, so the ack's
+		// durability statement is exactly as strong as every other one —
+		// unless this replica's write path is degraded and the batch only
+		// reached memory: then the ack is withheld, the sender's cursor
+		// stays put, and its retained tail can still resync us after a
+		// restart instead of leaving the DCs durably diverged. The Resync
+		// echo lets the sender's cursor pin distinguish tail confirmation
+		// from ordinary traffic.
+		s.send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
+			&wire.ReplicateAck{DC: uint8(s.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
+	}
 }
 
 // handleHeartbeat advances the version-vector entry of an idle remote
@@ -949,21 +1509,49 @@ func (s *Server) applyTick() {
 		s.vv[s.cfg.DC] = ub
 	}
 	s.mu.Unlock()
+	if s.tl != nil && len(apply) > 0 {
+		// Exactly these transactions are now in the engine; the log may
+		// release their records once replication confirms them. Marked by
+		// id, not by ub: a re-driven recovered commit logged concurrently
+		// can carry an old ct ≤ ub without being in this batch.
+		ids := make([]uint64, len(apply))
+		for i, t := range apply {
+			ids[i] = t.txID
+		}
+		s.tl.MarkApplied(ids)
+	}
 
-	for _, b := range batches {
-		for dc := 0; dc < s.cfg.NumDCs; dc++ {
-			if dc == s.cfg.DC {
+	hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		if s.tl != nil && !s.resyncDone[dc] {
+			// Replication to this DC is held until the restart resync
+			// tail is on its link: a batch or heartbeat overtaking the
+			// tail would advance the peer's version vector past
+			// transactions still in flight behind it. Once the tail is
+			// enqueued, this (single-goroutine) tick ships one dedupe-safe
+			// catch-up of everything still unconfirmed — including this
+			// tick's transactions — and normal replication resumes next
+			// tick.
+			if !s.resyncTailSent[dc].Load() {
 				continue
 			}
+			for i, tail := 0, s.tl.UnreplicatedTail(dc); i < len(tail); i += resendBatchSize {
+				batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
+				for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+					batch.Txs = append(batch.Txs, wire.ReplTx{TxID: t.TxID, CT: t.CT, RST: t.RST, Writes: t.Writes})
+				}
+				s.send(transport.ServerID(dc, s.cfg.Partition), batch)
+			}
+			s.resyncDone[dc] = true
+			continue
+		}
+		for _, b := range batches {
 			s.send(transport.ServerID(dc, s.cfg.Partition), b)
 		}
-	}
-	if !hadCommitted {
-		hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
-		for dc := 0; dc < s.cfg.NumDCs; dc++ {
-			if dc == s.cfg.DC {
-				continue
-			}
+		if !hadCommitted {
 			s.send(transport.ServerID(dc, s.cfg.Partition), hb)
 		}
 	}
@@ -1082,7 +1670,6 @@ func (s *Server) gcTick() {
 	for _, reqID := range staleReads {
 		s.pendingSlice.Delete(reqID)
 	}
-
 	s.mu.Lock()
 	if oldest > s.peerOldest[s.cfg.Partition] {
 		s.peerOldest[s.cfg.Partition] = oldest
@@ -1111,6 +1698,91 @@ func (s *Server) gcTick() {
 		if res.DroppedKeys > 0 {
 			s.metrics.GCKeysDropped.Add(uint64(res.DroppedKeys))
 		}
+	}
+}
+
+// txLifecycleTick is the periodic maintenance of the durable transaction
+// lifecycle, run from lifecycleLoop: probe the coordinators of recovered
+// prepares whose outcome has not arrived (cooperative 2PC termination —
+// only an explicit "not committed" answer may abort them), and re-drive
+// the CommitTx of unresolved commit decisions whose cohorts have not all
+// confirmed a durable outcome (a cohort crash can swallow the original
+// CommitTx or its ack without this coordinator ever restarting).
+func (s *Server) txLifecycleTick(now time.Time) {
+	if s.tl == nil {
+		return
+	}
+	var probes []uint64
+	s.mu.Lock()
+	for id, rp := range s.recovered {
+		if now.After(rp.nextProbe) {
+			probes = append(probes, id)
+			rp.nextProbe = now.Add(recoveryGrace)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range probes {
+		dc, p := coordinatorOf(id)
+		if dc < s.cfg.NumDCs && p < s.cfg.NumPartitions {
+			s.send(transport.ServerID(dc, p), &wire.TxStatusReq{TxID: id})
+		}
+	}
+	for _, c := range s.tl.RedrivePending(redriveAfter) {
+		for _, p := range c.Cohorts {
+			s.send(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT})
+		}
+	}
+}
+
+// coordinatorOf decodes the coordinator server embedded in a transaction
+// id (see newTxID: DC in the top byte, partition in the next two).
+func coordinatorOf(txID uint64) (dc, partition int) {
+	return int(txID >> 56), int(uint16(txID >> 40))
+}
+
+// handleTxStatusReq answers a cohort's 2PC-termination probe from the
+// coordinator's logged decisions. "No decision retained" is a final abort
+// verdict for a cohort still holding the prepare — either the client was
+// never acknowledged, or the decision was resolved, which requires that
+// very cohort's durable-commit ack, contradicting a still-dangling
+// prepare — UNLESS the 2PC is still collecting votes: then the outcome is
+// genuinely undecided (a slow sibling cohort can stall it past the probe
+// grace) and the coordinator stays silent, leaving the cohort to re-probe.
+func (s *Server) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) {
+	ct, ok := s.coordDecision(m.TxID)
+	if !ok {
+		s.mu.Lock()
+		_, inFlight := s.pendingPrepare[m.TxID]
+		s.mu.Unlock()
+		if inFlight {
+			return
+		}
+	}
+	s.send(from, &wire.TxStatusResp{TxID: m.TxID, CT: ct, Committed: ok})
+}
+
+// coordDecision is a nil-safe lookup of the coordinator decision.
+func (s *Server) coordDecision(txID uint64) (hlc.Timestamp, bool) {
+	if s.tl == nil {
+		return 0, false
+	}
+	return s.tl.CoordDecision(txID)
+}
+
+// handleTxStatusResp settles a recovered prepare: a committed verdict
+// flows through the normal commit path (including the durable-commit ack
+// back to the coordinator); a not-committed verdict finally aborts it.
+func (s *Server) handleTxStatusResp(from transport.NodeID, m *wire.TxStatusResp) {
+	if m.Committed {
+		s.handleCommitTx(from, &wire.CommitTx{TxID: m.TxID, CT: m.CT})
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.recovered[m.TxID]
+	delete(s.recovered, m.TxID)
+	s.mu.Unlock()
+	if ok && s.tl != nil {
+		s.tl.LogAbort(m.TxID)
 	}
 }
 

@@ -19,6 +19,10 @@ var (
 	ErrTxDone  = errors.New("cure: transaction already finished")
 	ErrTimeout = errors.New("cure: request timed out")
 	ErrClosed  = errors.New("cure: client closed")
+	// ErrReadOnly is returned by Commit when the server refused the write
+	// because its durability is degraded (read-only admission). Matched
+	// with errors.Is; the transaction did not commit.
+	ErrReadOnly = errors.New("cure: server is read-only (durability degraded)")
 )
 
 // DefaultRequestTimeout bounds each client-coordinator round trip.
@@ -96,6 +100,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 		reqID = msg.ReqID
 	case *wire.CommitResp:
 		reqID = msg.ReqID
+	case *wire.HealthResp:
+		reqID = msg.ReqID
 	default:
 		return
 	}
@@ -106,6 +112,24 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 	if ch != nil {
 		ch <- m
 	}
+}
+
+// Health probes the durability/admission state of one partition server in
+// the client's DC, mirroring core.Client.Health.
+func (c *Client) Health(partition int) (readOnly bool, detail string, err error) {
+	if partition < 0 || partition >= c.cfg.NumPartitions {
+		return false, "", fmt.Errorf("cure: partition %d out of range [0,%d)", partition, c.cfg.NumPartitions)
+	}
+	reqID := c.reqSeq.Add(1)
+	resp, err := c.call(transport.ServerID(c.cfg.DC, partition), reqID, &wire.HealthReq{ReqID: reqID})
+	if err != nil {
+		return false, "", err
+	}
+	hr, ok := resp.(*wire.HealthResp)
+	if !ok {
+		return false, "", fmt.Errorf("cure: unexpected response %T to HealthReq", resp)
+	}
+	return hr.ReadOnly, hr.Err, nil
 }
 
 func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.Message, error) {
@@ -333,6 +357,9 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	cr, ok := resp.(*wire.CommitResp)
 	if !ok {
 		return 0, fmt.Errorf("cure: unexpected response %T to CommitReq", resp)
+	}
+	if cr.Code != wire.CommitOK {
+		return 0, fmt.Errorf("%w: %s", ErrReadOnly, cr.Err)
 	}
 	if len(writes) == 0 {
 		return 0, nil

@@ -17,6 +17,7 @@ import (
 	"wren/internal/store/backend"
 	"wren/internal/stripemap"
 	"wren/internal/transport"
+	"wren/internal/txlog"
 	"wren/internal/wire"
 )
 
@@ -26,6 +27,18 @@ const (
 	DefaultGossipInterval = 5 * time.Millisecond
 	DefaultGCInterval     = 500 * time.Millisecond
 	DefaultTxContextTTL   = 30 * time.Second
+)
+
+// recoveryGrace, redriveAfter and resendBatchSize mirror package core:
+// the status-probe cadence for recovered prepares, the age after which an
+// unresolved commit decision's CommitTx is re-driven, and the resync
+// Replicate batch size.
+const (
+	recoveryGrace     = 15 * time.Second
+	redriveAfter      = 5 * time.Second
+	resendBatchSize   = 128
+	seqBlockSize      = 1 << 20 // durable id-block reservation, as in core
+	lifecycleInterval = time.Second
 )
 
 // ServerConfig configures one Cure/H-Cure partition server.
@@ -59,6 +72,11 @@ type ServerConfig struct {
 	// FsyncPolicy is the WAL group-commit policy: "always", "interval"
 	// (the "" default) or "never".
 	FsyncPolicy string
+	// DisableTxLog turns off the durable transaction-lifecycle log that
+	// durable backends get by default (see core.ServerConfig.DisableTxLog:
+	// with the log, the durability unit is the ACKNOWLEDGED transaction
+	// and replication progress survives restarts).
+	DisableTxLog bool
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -144,8 +162,24 @@ type waiter struct {
 	arrived time.Time
 }
 
+// prepareVote is one cohort's 2PC answer: a proposed commit timestamp, or
+// a refusal (non-empty err) from a cohort whose durability is degraded.
+type prepareVote struct {
+	pt  hlc.Timestamp
+	err string
+}
+
 type prepareCall struct {
-	ch chan hlc.Timestamp
+	ch chan prepareVote
+}
+
+// recoveredPrepare is a prepare replayed from the transaction log after a
+// restart, awaiting a re-driven outcome or a TxStatusResp verdict; kept
+// out of s.prepared so it cannot hold the apply upper bound back (see
+// package core).
+type recoveredPrepare struct {
+	tx        *txlog.PreparedTx
+	nextProbe time.Time
 }
 
 // curePred is Cure's snapshot-vector visibility predicate in reusable
@@ -193,6 +227,20 @@ type Server struct {
 	clock *hlc.Clock
 	st    store.Engine
 
+	// tl is the durable transaction-lifecycle log (nil for the memory
+	// backend or when disabled), exactly as in package core; resendTails,
+	// seqLimit and seqMu mirror core's restart-resync snapshot and
+	// durable id-block reservation.
+	tl          *txlog.Log
+	resendTails [][]*txlog.CommittedTx
+	seqLimit    atomic.Uint64
+	seqMu       sync.Mutex
+	// resyncTailSent/resyncDone gate ordinary replication per DC until
+	// the restart resync tail is on the link (resyncDone is only touched
+	// under applyMu) — see core.Server for the ordering rationale.
+	resyncTailSent []atomic.Bool
+	resyncDone     []bool
+
 	// vv[m] = local version clock; vv[i] = received from DC i. gsv is the
 	// global stable vector from gossip (entrywise min over peers). Both are
 	// entrywise-monotone atomics, loaded lock-free on the read path.
@@ -213,9 +261,26 @@ type Server struct {
 	readPool sync.Pool
 	fanPool  sync.Pool
 
+	// applyMu serializes applyTick end to end. Unlike Wren, whose apply
+	// tick only ever runs on the apply-loop goroutine, Cure/H-Cure ALSO
+	// run it from every parked slice read (the eager-install attempt in
+	// handleSliceReq) — and two overlapping ticks break the installed-
+	// snapshot invariant: tick A takes committed transactions up to its
+	// bound and is preempted before writing them to the engine; tick B,
+	// finding the commit list empty, computes a LARGER bound and publishes
+	// it via vv.Advance while A's writes are still in flight. Readers
+	// whose snapshot the new vv now "covers" are served without those
+	// versions — the monotonic-read regressions and causal/atomic
+	// violations TestTCCConformance{Cure,HCure} showed under CPU
+	// starvation, where the preemption window stretched to milliseconds.
+	// s.mu cannot serve this purpose: applyTick must release it around the
+	// engine write, which is exactly the window that must stay ordered.
+	applyMu sync.Mutex
+
 	mu        sync.Mutex
 	peerVV    [][]hlc.Timestamp // last gossiped VV per peer partition
 	prepared  map[uint64]*preparedTx
+	recovered map[uint64]*recoveredPrepare // txlog prepares awaiting a re-driven outcome
 	committed []*committedTx
 	waiters   []*waiter
 	oldest    []hlc.Timestamp // gossiped oldest-active snapshot per partition
@@ -253,15 +318,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cure: open store: %w", err)
 	}
+	// The transaction log lives inside the engine's claimed directory,
+	// covered by its lock and marker (see package core).
+	var tl *txlog.Log
+	if cfg.StoreBackend != "" && cfg.StoreBackend != backend.Memory && !cfg.DisableTxLog {
+		tl, err = txlog.Open(txlog.Options{
+			Dir:    filepath.Join(cfg.engineDir(), "txlog"),
+			NumDCs: cfg.NumDCs,
+			SelfDC: cfg.DC,
+			Fsync:  cfg.FsyncPolicy,
+		})
+		if err != nil {
+			_ = eng.Close()
+			return nil, fmt.Errorf("cure: open txlog: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:            cfg,
 		id:             transport.ServerID(cfg.DC, cfg.Partition),
 		clock:          hlc.NewClock(cfg.ClockSource),
 		st:             eng,
+		tl:             tl,
 		vv:             hlc.NewAtomicVector(cfg.NumDCs),
 		gsv:            hlc.NewAtomicVector(cfg.NumDCs),
 		peerVV:         make([][]hlc.Timestamp, cfg.NumPartitions),
 		prepared:       make(map[uint64]*preparedTx),
+		recovered:      make(map[uint64]*recoveredPrepare),
 		txCtx:          stripemap.New[*txContext](0),
 		oldest:         make([]hlc.Timestamp, cfg.NumPartitions),
 		pendingSlice:   stripemap.New[*fanin.TxRead](0),
@@ -270,6 +352,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	for p := range s.peerVV {
 		s.peerVV[p] = make([]hlc.Timestamp, cfg.NumDCs)
+	}
+	if tl != nil {
+		s.recoverFromTxLog()
+		// Fresh transaction ids must clear every id of the previous
+		// lives; seed above the reserved watermark and reserve the first
+		// block (see package core).
+		floor := tl.NextSeqFloor()
+		s.txSeq.Store(floor)
+		tl.ReserveSeqs(floor + seqBlockSize)
+		s.seqLimit.Store(floor + seqBlockSize)
+		// Snapshot the unreplicated tails before serving and pin the
+		// cursors below them (see package core for the race this closes).
+		s.resendTails = make([][]*txlog.CommittedTx, cfg.NumDCs)
+		s.resyncTailSent = make([]atomic.Bool, cfg.NumDCs)
+		s.resyncDone = make([]bool, cfg.NumDCs)
+		for dc := 0; dc < cfg.NumDCs; dc++ {
+			s.resyncDone[dc] = true
+			if dc == cfg.DC {
+				continue
+			}
+			if tail := tl.UnreplicatedTail(dc); len(tail) > 0 {
+				s.resendTails[dc] = tail
+				s.resyncDone[dc] = false
+				tl.PinResync(dc, tail[len(tail)-1].CT)
+			}
+		}
 	}
 	s.readPool.New = func() any {
 		rs := &readScratch{}
@@ -293,6 +401,139 @@ func (s *Server) Store() store.Engine { return s.st }
 // has recorded, or nil while it is fully healthy.
 func (s *Server) EngineHealthy() error { return s.st.Healthy() }
 
+// Healthy reports the first durability failure of the server's write path
+// — storage engine or transaction log — or nil while both are intact.
+func (s *Server) Healthy() error {
+	if err := s.st.Healthy(); err != nil {
+		return err
+	}
+	if s.tl != nil {
+		if err := s.tl.Healthy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadOnly reports whether the server has shed into read-only admission
+// (see core.Server.ReadOnly).
+func (s *Server) ReadOnly() bool { return s.Healthy() != nil }
+
+// TxLog exposes the transaction log (nil when disabled) for tests.
+func (s *Server) TxLog() *txlog.Log { return s.tl }
+
+// txApplied reports whether the engine already holds a version written by
+// txID under key — the idempotence check for recovery replay and resync.
+func (s *Server) txApplied(key string, txID uint64) bool {
+	return s.st.ReadVisible(key, func(v *store.Version) bool { return v.TxID == txID }) != nil
+}
+
+// depVector derives a version's dependency vector from its prepare-time
+// snapshot vector and final commit timestamp.
+func (s *Server) depVector(sv []hlc.Timestamp, ct hlc.Timestamp) []hlc.Timestamp {
+	var dv []hlc.Timestamp
+	if len(sv) == s.cfg.NumDCs {
+		dv = copyVec(sv)
+	} else {
+		dv = make([]hlc.Timestamp, s.cfg.NumDCs)
+	}
+	dv[s.cfg.DC] = ct
+	return dv
+}
+
+// recoverFromTxLog replays the log's committed transactions into the
+// engine and stages outcome-less prepares for re-driven outcomes, before
+// the server is registered on the network (see package core).
+func (s *Server) recoverFromTxLog() {
+	committed := s.tl.Committed()
+	applied := make([]uint64, 0, len(committed))
+	for _, t := range committed {
+		applied = append(applied, t.TxID)
+		// Per-KEY idempotence: a kill mid-PutBatch can leave some of a
+		// transaction's shard logs appended and others not.
+		dv := s.depVector(t.SV, t.CT)
+		var puts []store.KV
+		for _, kv := range t.Writes {
+			if s.txApplied(kv.Key, t.TxID) {
+				continue
+			}
+			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
+				Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: uint8(s.cfg.DC), DV: dv,
+			}})
+		}
+		s.st.PutBatch(puts)
+	}
+	s.tl.MarkApplied(applied)
+	probe := time.Now().Add(recoveryGrace)
+	for _, p := range s.tl.Prepared() {
+		s.recovered[p.TxID] = &recoveredPrepare{tx: p, nextProbe: probe}
+	}
+}
+
+// redriveRecovered re-drives unresolved commit decisions at startup; the
+// lifecycle loop picks up anything it cannot finish (see package core).
+func (s *Server) redriveRecovered() {
+	defer s.wg.Done()
+	for _, c := range s.tl.CoordPending() {
+		for _, p := range c.Cohorts {
+			if !s.sendRetry(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT}) {
+				return
+			}
+		}
+	}
+}
+
+// resendTailTo re-sends one peer DC its snapshotted unreplicated tail —
+// one goroutine per peer, so one unreachable DC cannot hold the others'
+// resync (and therefore all their replication) hostage.
+func (s *Server) resendTailTo(dc int, tail []*txlog.CommittedTx) {
+	defer s.wg.Done()
+	for i := 0; i < len(tail); i += resendBatchSize {
+		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
+		for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+			batch.Txs = append(batch.Txs, wire.ReplTx{
+				TxID: t.TxID, CT: t.CT, DV: s.depVector(t.SV, t.CT), Writes: t.Writes,
+			})
+		}
+		if !s.sendRetry(transport.ServerID(dc, s.cfg.Partition), batch) {
+			return
+		}
+	}
+	s.resyncTailSent[dc].Store(true)
+}
+
+// lifecycleLoop runs txLifecycleTick on its own timer, independent of the
+// optional GC loop.
+func (s *Server) lifecycleLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(lifecycleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.txLifecycleTick(time.Now())
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// sendRetry delivers a recovery message, retrying while the destination is
+// unreachable (peers of a restarting deployment come up in arbitrary
+// order); gives up only when this server stops. See core.Server.sendRetry.
+func (s *Server) sendRetry(to transport.NodeID, m wire.Message) bool {
+	for {
+		if err := s.cfg.Network.Send(s.id, to, m); err == nil {
+			return true
+		}
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
 // Start registers the server and launches its background loops.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
@@ -305,14 +546,36 @@ func (s *Server) Start() {
 			s.wg.Add(1)
 			go s.gcLoop()
 		}
+		if s.tl != nil {
+			// Per-destination recovery sends + independent lifecycle
+			// timer, as in package core.
+			s.wg.Add(1)
+			go s.redriveRecovered()
+			for dc, tail := range s.resendTails {
+				if len(tail) > 0 {
+					s.wg.Add(1)
+					go s.resendTailTo(dc, tail)
+				}
+			}
+			s.wg.Add(1)
+			go s.lifecycleLoop()
+		}
 	})
 }
 
 // Stop terminates background loops, waits for them, flushes the commit
-// list into the store, and closes the storage engine. As in core.Server,
-// an acknowledged commit whose CommitTx was still in flight when draining
-// began can be lost (the commit-time durability gap in ROADMAP.md).
-func (s *Server) Stop() {
+// list into the store, and closes the storage engine and transaction log.
+// With the transaction log enabled the flush is an optimization: an
+// acknowledged commit whose CommitTx was still in flight when draining
+// began is already logged and recovers on the next start.
+func (s *Server) Stop() { s.shutdown(false) }
+
+// Kill stops the server WITHOUT the final apply/flush (and without the
+// courtesy replies to parked readers), simulating a hard kill for
+// recovery tests; see core.Server.Kill.
+func (s *Server) Kill() { s.shutdown(true) }
+
+func (s *Server) shutdown(kill bool) {
 	var flush bool
 	s.stopOnce.Do(func() {
 		s.drainMu.Lock()
@@ -322,11 +585,14 @@ func (s *Server) Stop() {
 		waiters := s.waiters
 		s.waiters = nil
 		s.mu.Unlock()
-		// Fail parked reads so clients aren't left hanging.
-		for _, w := range waiters {
-			s.send(w.from, &wire.SliceResp{ReqID: w.reqID})
-			if w.req != nil {
-				wire.PutSliceReq(w.req)
+		// Fail parked reads so clients aren't left hanging (a killed
+		// server answers nobody).
+		if !kill {
+			for _, w := range waiters {
+				s.send(w.from, &wire.SliceResp{ReqID: w.reqID})
+				if w.req != nil {
+					wire.PutSliceReq(w.req)
+				}
 			}
 		}
 		close(s.stop)
@@ -334,7 +600,10 @@ func (s *Server) Stop() {
 	})
 	s.wg.Wait()
 	s.reqWG.Wait()
-	if flush {
+	if !flush {
+		return
+	}
+	if !kill {
 		// Prepared-but-uncommitted transactions can never commit now; drop
 		// them so their proposed timestamps do not hold the final apply's
 		// upper bound below acknowledged commits still on the commit list.
@@ -343,8 +612,13 @@ func (s *Server) Stop() {
 		s.mu.Unlock()
 		s.applyTick(false)
 		s.flushCommitted()
-		if err := s.st.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "cure: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
+	}
+	if err := s.st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cure: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
+	}
+	if s.tl != nil {
+		if err := s.tl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cure: dc%d/p%d txlog close: %v\n", s.cfg.DC, s.cfg.Partition, err)
 		}
 	}
 }
@@ -378,6 +652,13 @@ func (s *Server) flushCommitted() {
 		}
 	}
 	s.st.PutBatch(puts)
+	if s.tl != nil {
+		ids := make([]uint64, len(apply))
+		for i, t := range apply {
+			ids[i] = t.txID
+		}
+		s.tl.MarkApplied(ids)
+	}
 }
 
 func (s *Server) goAsync(fn func()) {
@@ -409,8 +690,20 @@ func (s *Server) LocalVersionClock() hlc.Timestamp {
 	return s.vv.Load(s.cfg.DC)
 }
 
+// newTxID mirrors core.newTxID: sequence numbers come from durably
+// reserved blocks when the transaction log is on, so ids stay unique
+// across restarts.
 func (s *Server) newTxID() uint64 {
-	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | s.txSeq.Add(1)
+	seq := s.txSeq.Add(1)
+	if s.tl != nil && seq > s.seqLimit.Load() {
+		s.seqMu.Lock()
+		if seq > s.seqLimit.Load() {
+			s.tl.ReserveSeqs(seq + seqBlockSize)
+			s.seqLimit.Store(seq + seqBlockSize)
+		}
+		s.seqMu.Unlock()
+	}
+	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | seq
 }
 
 // now returns the coordinator clock reading used for snapshot local
@@ -440,15 +733,25 @@ func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
 	case *wire.PrepareResp:
 		s.handlePrepareResp(msg)
 	case *wire.CommitTx:
-		s.handleCommitTx(msg)
+		s.handleCommitTx(from, msg)
+	case *wire.CommitAck:
+		s.handleCommitAck(msg)
 	case *wire.Replicate:
 		s.handleReplicate(msg)
+	case *wire.ReplicateAck:
+		s.handleReplicateAck(msg)
 	case *wire.Heartbeat:
 		s.handleHeartbeat(msg)
 	case *wire.StableBroadcast:
 		s.handleStableBroadcast(msg)
 	case *wire.GCBroadcast:
 		s.handleGCBroadcast(msg)
+	case *wire.HealthReq:
+		s.handleHealthReq(from, msg)
+	case *wire.TxStatusReq:
+		s.handleTxStatusReq(from, msg)
+	case *wire.TxStatusResp:
+		s.handleTxStatusResp(from, msg)
 	}
 }
 
@@ -636,6 +939,11 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
 		return
 	}
+	if err := s.Healthy(); err != nil {
+		// Read-only admission, exactly as in package core.
+		s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
+		return
+	}
 
 	byPartition := make(map[int][]wire.KV)
 	for _, kv := range m.Writes {
@@ -651,7 +959,7 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
 	}
 
-	call := &prepareCall{ch: make(chan hlc.Timestamp, len(cohorts))}
+	call := &prepareCall{ch: make(chan prepareVote, len(cohorts))}
 	s.mu.Lock()
 	s.pendingPrepare[m.TxID] = call
 	s.mu.Unlock()
@@ -665,19 +973,59 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 
 	s.goAsync(func() {
 		var ct hlc.Timestamp
+		var refusal string
 		for range cohorts {
 			select {
-			case pt := <-call.ch:
-				if pt > ct {
-					ct = pt
+			case v := <-call.ch:
+				if v.err != "" && refusal == "" {
+					refusal = v.err
+				}
+				if v.pt > ct {
+					ct = v.pt
 				}
 			case <-s.stop:
 				return
 			}
 		}
-		s.mu.Lock()
-		delete(s.pendingPrepare, m.TxID)
-		s.mu.Unlock()
+		// pendingPrepare stays registered until the outcome is decided, so
+		// a TxStatusReq can never see an in-flight transaction in neither
+		// place — see core.handleCommitReq.
+		finish := func() {
+			s.mu.Lock()
+			delete(s.pendingPrepare, m.TxID)
+			s.mu.Unlock()
+		}
+		if refusal != "" {
+			finish()
+			for _, c := range cohorts {
+				s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
+			}
+			s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: refusal})
+			return
+		}
+		if s.tl != nil {
+			// Decision logged and stable before CommitTx leaves and
+			// before the client ack — see core.handleCommitReq: a failed
+			// append/fsync can then abort the whole 2PC cleanly.
+			parts := make([]uint16, 0, len(cohorts))
+			for _, c := range cohorts {
+				parts = append(parts, uint16(c.partition))
+			}
+			s.tl.LogCoordCommit(m.TxID, ct, parts)
+			if s.tl.SyncOnAppend() {
+				s.tl.Sync()
+			}
+			if err := s.tl.Healthy(); err != nil {
+				s.tl.CoordAbort(m.TxID)
+				finish()
+				for _, c := range cohorts {
+					s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
+				}
+				s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
+				return
+			}
+		}
+		finish()
 		for _, c := range cohorts {
 			s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
 		}
@@ -689,12 +1037,47 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 // handlePrepareReq proposes a commit timestamp strictly above the snapshot
 // and everything the client saw. Cure draws it from the (possibly lagging)
 // physical clock; H-Cure's HLC can jump.
+//
+// As in package core, the proposal and its registration are atomic under
+// s.mu, the mutex applyTick computes its upper bound under: an applyTick
+// interleaving between TickPast and the registration could publish a
+// version-clock at or above the proposal, and the transaction would later
+// commit inside the installed region — readers served from vv would miss
+// it while its sibling writes were already visible on other partitions.
+// This was the real timing hole behind TestTCCConformanceHCure's
+// causal/atomic violations under CPU starvation, where preemption
+// stretched that two-statement window to milliseconds.
 func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
-	pt := s.clock.TickPast(m.HT)
+	if err := s.Healthy(); err != nil {
+		s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, Err: err.Error()})
+		return
+	}
 	s.mu.Lock()
+	pt := s.clock.TickPast(m.HT)
 	s.prepared[m.TxID] = &preparedTx{pt: pt, sv: m.SV, writes: m.Writes}
 	s.mu.Unlock()
-	s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt})
+	resp := &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt}
+	if s.tl != nil {
+		s.tl.LogPrepare(&txlog.PreparedTx{TxID: m.TxID, PT: pt, SV: m.SV, Writes: m.Writes})
+		if s.tl.SyncOnAppend() {
+			s.goAsync(func() {
+				s.tl.Sync()
+				s.send(from, s.checkedPrepareResp(resp))
+			})
+			return
+		}
+		resp = s.checkedPrepareResp(resp)
+	}
+	s.send(from, resp)
+}
+
+// checkedPrepareResp downgrades a prepare proposal to a refusal when the
+// append (or fsync) backing it failed — see core.checkedPrepareResp.
+func (s *Server) checkedPrepareResp(resp *wire.PrepareResp) *wire.PrepareResp {
+	if err := s.tl.Healthy(); err != nil {
+		return &wire.PrepareResp{ReqID: resp.ReqID, TxID: resp.TxID, Err: err.Error()}
+	}
+	return resp
 }
 
 func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
@@ -702,25 +1085,97 @@ func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
 	call := s.pendingPrepare[m.TxID]
 	s.mu.Unlock()
 	if call != nil {
-		call.ch <- m.PT
+		call.ch <- prepareVote{pt: m.PT, err: m.Err}
 	}
 }
 
-func (s *Server) handleCommitTx(m *wire.CommitTx) {
+func (s *Server) handleCommitTx(from transport.NodeID, m *wire.CommitTx) {
+	if m.CT == 0 {
+		// 2PC abort (a degraded cohort refused its prepare).
+		s.mu.Lock()
+		delete(s.prepared, m.TxID)
+		delete(s.recovered, m.TxID)
+		s.mu.Unlock()
+		if s.tl != nil {
+			s.tl.LogAbort(m.TxID)
+		}
+		return
+	}
 	if s.cfg.UseHLC {
 		s.clock.Update(m.CT)
 	}
 	s.mu.Lock()
-	p, ok := s.prepared[m.TxID]
-	if ok {
+	committed := false
+	if p, ok := s.prepared[m.TxID]; ok {
 		delete(s.prepared, m.TxID)
 		dv := copyVec(p.sv)
 		dv[s.cfg.DC] = m.CT
 		s.committed = append(s.committed, &committedTx{
 			txID: m.TxID, ct: m.CT, dv: dv, writes: p.writes,
 		})
+		committed = true
+	} else if rp, ok := s.recovered[m.TxID]; ok {
+		// A re-driven outcome for a prepare recovered from the txlog.
+		delete(s.recovered, m.TxID)
+		s.committed = append(s.committed, &committedTx{
+			txID: m.TxID, ct: m.CT, dv: s.depVector(rp.tx.SV, m.CT), writes: rp.tx.Writes,
+		})
+		committed = true
 	}
 	s.mu.Unlock()
+	if s.tl == nil {
+		return
+	}
+	if committed {
+		s.tl.LogCommit(m.TxID, m.CT)
+	}
+	// Ack only once the outcome is durable here — never on a failed
+	// append/fsync, and duplicates take the same sync barrier (see
+	// core.handleCommitTx).
+	ack := &wire.CommitAck{TxID: m.TxID, Partition: uint16(s.cfg.Partition)}
+	if s.tl.SyncOnAppend() {
+		s.goAsync(func() {
+			s.tl.Sync()
+			if s.tl.Healthy() == nil {
+				s.send(from, ack)
+			}
+		})
+		return
+	}
+	if s.tl.Healthy() == nil {
+		s.send(from, ack)
+	}
+}
+
+// handleCommitAck releases the coordinator's logged commit decision (see
+// package core).
+func (s *Server) handleCommitAck(m *wire.CommitAck) {
+	if s.tl != nil {
+		s.tl.CoordAck(m.TxID, m.Partition)
+	}
+}
+
+// handleReplicateAck advances the persisted replication cursor for the
+// acknowledging DC (clamped below a pending resync's pin — see package
+// core).
+func (s *Server) handleReplicateAck(m *wire.ReplicateAck) {
+	if s.tl == nil {
+		return
+	}
+	s.tl.AdvanceCursor(int(m.DC), m.UpTo)
+	if m.Resync {
+		s.tl.UnpinResync(int(m.DC), m.UpTo)
+	}
+}
+
+// handleHealthReq answers the operator-facing health probe.
+func (s *Server) handleHealthReq(from transport.NodeID, m *wire.HealthReq) {
+	resp := &wire.HealthResp{ReqID: m.ReqID}
+	if err := s.Healthy(); err != nil {
+		resp.ReadOnly = true
+		resp.Err = err.Error()
+	}
+	s.send(from, resp)
 }
 
 func (s *Server) handleReplicate(m *wire.Replicate) {
@@ -728,6 +1183,9 @@ func (s *Server) handleReplicate(m *wire.Replicate) {
 	for i := range m.Txs {
 		t := &m.Txs[i]
 		for _, kv := range t.Writes {
+			if m.Resync && s.txApplied(kv.Key, t.TxID) {
+				continue // already applied in a previous life (per key)
+			}
 			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
 				Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: m.SrcDC, DV: t.DV,
 			}})
@@ -744,6 +1202,13 @@ func (s *Server) handleReplicate(m *wire.Replicate) {
 	ready := s.releaseWaitersLocked()
 	s.mu.Unlock()
 	s.serveReady(ready)
+	if s.tl != nil && s.Healthy() == nil {
+		// A degraded replica's batch only reached memory: withhold the
+		// ack so the sender's cursor — and resync tail — stay intact (see
+		// core.handleReplicate). The Resync echo feeds the cursor pin.
+		s.send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
+			&wire.ReplicateAck{DC: uint8(s.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
+	}
 }
 
 func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
@@ -799,8 +1264,12 @@ func (s *Server) applyLoop() {
 // applyTick installs committed transactions up to the safe bound and, when
 // called from the apply loop (heartbeat=true), replicates or heartbeats to
 // the peer replicas. Read handlers also invoke it (heartbeat=false) to
-// install snapshots eagerly.
+// install snapshots eagerly; applyMu keeps those concurrent invocations
+// from publishing a version-clock bound whose transactions an earlier,
+// still-running tick has not finished applying (see the field comment).
 func (s *Server) applyTick(heartbeat bool) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
 	s.mu.Lock()
 	var ub hlc.Timestamp
 	if len(s.prepared) > 0 {
@@ -817,8 +1286,14 @@ func (s *Server) applyTick(heartbeat bool) {
 		s.clock.Update(ub)
 	} else {
 		// Cure: the version clock can only follow the physical clock — the
-		// root cause of skew-induced read blocking.
+		// root cause of skew-induced read blocking. The HLC is still
+		// pinned to the bound: prepares propose via TickPast, and the pin
+		// guarantees every later proposal lands strictly above a bound
+		// already published as installed — without it, a proposal could
+		// tie the bound at microsecond granularity and commit inside the
+		// installed region.
 		ub = s.clock.PhysicalNow()
+		s.clock.Update(ub)
 	}
 	if local := s.vv.Load(s.cfg.DC); ub < local {
 		ub = local
@@ -867,25 +1342,49 @@ func (s *Server) applyTick(heartbeat bool) {
 	}
 
 	s.vv.Advance(s.cfg.DC, ub)
+	if s.tl != nil && len(apply) > 0 {
+		// Exactly these transactions are in the engine now — marked by
+		// id, not by ub (see core.applyTick).
+		ids := make([]uint64, len(apply))
+		for i, t := range apply {
+			ids[i] = t.txID
+		}
+		s.tl.MarkApplied(ids)
+	}
 	s.mu.Lock()
 	ready := s.releaseWaitersLocked()
 	s.mu.Unlock()
 	s.serveReady(ready)
 
-	for _, b := range batches {
-		for dc := 0; dc < s.cfg.NumDCs; dc++ {
-			if dc == s.cfg.DC {
+	hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		if s.tl != nil && !s.resyncDone[dc] {
+			// Hold replication to this DC until the restart resync tail
+			// is on its link, then ship one dedupe-safe catch-up — see
+			// core.applyTick (resyncDone is safe here: applyMu serializes
+			// the whole tick).
+			if !s.resyncTailSent[dc].Load() {
 				continue
 			}
+			for i, tail := 0, s.tl.UnreplicatedTail(dc); i < len(tail); i += resendBatchSize {
+				batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
+				for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+					batch.Txs = append(batch.Txs, wire.ReplTx{
+						TxID: t.TxID, CT: t.CT, DV: s.depVector(t.SV, t.CT), Writes: t.Writes,
+					})
+				}
+				s.send(transport.ServerID(dc, s.cfg.Partition), batch)
+			}
+			s.resyncDone[dc] = true
+			continue
+		}
+		for _, b := range batches {
 			s.send(transport.ServerID(dc, s.cfg.Partition), b)
 		}
-	}
-	if heartbeat && !hadCommitted {
-		hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
-		for dc := 0; dc < s.cfg.NumDCs; dc++ {
-			if dc == s.cfg.DC {
-				continue
-			}
+		if heartbeat && !hadCommitted {
 			s.send(transport.ServerID(dc, s.cfg.Partition), hb)
 		}
 	}
@@ -962,7 +1461,6 @@ func (s *Server) gcTick() {
 	for _, reqID := range staleReads {
 		s.pendingSlice.Delete(reqID)
 	}
-
 	// Conservative scalar bound: the minimum entry of any active snapshot
 	// vector (or of the stable vector when idle). The floor is loaded
 	// under the snapMu barrier: in-flight snapshot assignments drain
@@ -1015,6 +1513,77 @@ func (s *Server) gcTick() {
 		if res.DroppedKeys > 0 {
 			s.metrics.GCKeysDropped.Add(uint64(res.DroppedKeys))
 		}
+	}
+}
+
+// txLifecycleTick mirrors core.txLifecycleTick: probe coordinators of
+// recovered prepares (cooperative 2PC termination) and re-drive the
+// CommitTx of unresolved decisions with unacked cohorts.
+func (s *Server) txLifecycleTick(now time.Time) {
+	if s.tl == nil {
+		return
+	}
+	var probes []uint64
+	s.mu.Lock()
+	for id, rp := range s.recovered {
+		if now.After(rp.nextProbe) {
+			probes = append(probes, id)
+			rp.nextProbe = now.Add(recoveryGrace)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range probes {
+		dc, p := coordinatorOf(id)
+		if dc < s.cfg.NumDCs && p < s.cfg.NumPartitions {
+			s.send(transport.ServerID(dc, p), &wire.TxStatusReq{TxID: id})
+		}
+	}
+	for _, c := range s.tl.RedrivePending(redriveAfter) {
+		for _, p := range c.Cohorts {
+			s.send(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT})
+		}
+	}
+}
+
+// coordinatorOf decodes the coordinator server embedded in a transaction
+// id (see newTxID).
+func coordinatorOf(txID uint64) (dc, partition int) {
+	return int(txID >> 56), int(uint16(txID >> 40))
+}
+
+// handleTxStatusReq answers a cohort's 2PC-termination probe — see
+// core.handleTxStatusReq for why the answer is final, and why an
+// in-flight 2PC stays silent instead.
+func (s *Server) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) {
+	var ct hlc.Timestamp
+	var ok bool
+	if s.tl != nil {
+		ct, ok = s.tl.CoordDecision(m.TxID)
+	}
+	if !ok {
+		s.mu.Lock()
+		_, inFlight := s.pendingPrepare[m.TxID]
+		s.mu.Unlock()
+		if inFlight {
+			return
+		}
+	}
+	s.send(from, &wire.TxStatusResp{TxID: m.TxID, CT: ct, Committed: ok})
+}
+
+// handleTxStatusResp settles a recovered prepare: committed verdicts flow
+// through the normal commit path, not-committed verdicts abort it.
+func (s *Server) handleTxStatusResp(from transport.NodeID, m *wire.TxStatusResp) {
+	if m.Committed {
+		s.handleCommitTx(from, &wire.CommitTx{TxID: m.TxID, CT: m.CT})
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.recovered[m.TxID]
+	delete(s.recovered, m.TxID)
+	s.mu.Unlock()
+	if ok && s.tl != nil {
+		s.tl.LogAbort(m.TxID)
 	}
 }
 

@@ -25,22 +25,34 @@ import (
 // plus 4-byte CRC32 of the payload.
 const HeaderSize = 8
 
-// Append encodes one version as a framed record at the end of enc's buffer
-// and back-patches the length and checksum.
-func Append(enc *wire.Encoder, key string, v *store.Version) {
+// AppendFrame encodes one framed record at the end of enc's buffer: it
+// reserves the header, runs encode to produce the payload, and back-patches
+// the length and checksum. It is the record-agnostic core Append is built
+// on; other durable subsystems (the transaction-lifecycle log in
+// internal/txlog) frame their own payloads through it so every log file in
+// a data directory tears and truncates by identical rules.
+func AppendFrame(enc *wire.Encoder, encode func(*wire.Encoder)) {
 	off := enc.Reserve(HeaderSize)
-	enc.String(key)
-	enc.Bool(v.Value == nil)
-	enc.BytesField(v.Value)
-	enc.Timestamp(v.UT)
-	enc.Timestamp(v.RDT)
-	enc.Uvarint(v.TxID)
-	enc.Byte(v.SrcDC)
-	enc.Timestamps(v.DV)
+	encode(enc)
 	buf := enc.Bytes()
 	payload := buf[off+HeaderSize:]
 	binary.LittleEndian.PutUint32(buf[off:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[off+4:], crc32.ChecksumIEEE(payload))
+}
+
+// Append encodes one version as a framed record at the end of enc's buffer
+// and back-patches the length and checksum.
+func Append(enc *wire.Encoder, key string, v *store.Version) {
+	AppendFrame(enc, func(enc *wire.Encoder) {
+		enc.String(key)
+		enc.Bool(v.Value == nil)
+		enc.BytesField(v.Value)
+		enc.Timestamp(v.UT)
+		enc.Timestamp(v.RDT)
+		enc.Uvarint(v.TxID)
+		enc.Byte(v.SrcDC)
+		enc.Timestamps(v.DV)
+	})
 }
 
 // Decode parses one record payload back into a version.
@@ -65,19 +77,20 @@ func Decode(payload []byte) (string, *store.Version, error) {
 	return key, v, nil
 }
 
-// Scan walks the intact prefix of a log or run file image, invoking fn for
-// every record that frames and checksums clean, and returns the byte
+// ScanFrames walks the intact prefix of a log file image, invoking fn with
+// every payload that frames and checksums clean, and returns the byte
 // offset just past the last intact record. A record whose length prefix
-// runs off the buffer, whose checksum does not hold, or whose payload does
-// not parse — the footprint of a crash mid-append — ends the scan; callers
-// decide whether the tail is truncated (WAL recovery) or fatal (immutable
-// run files, which are only ever renamed into place complete).
+// runs off the buffer, whose checksum does not hold, or whose payload fn
+// rejects (returns a non-nil error) — the footprint of a crash mid-append —
+// ends the scan; callers decide whether the tail is truncated (log
+// recovery) or fatal (immutable run files, which are only ever renamed
+// into place complete).
 //
 // No upper bound is imposed on the record length beyond the buffer itself:
 // a record of any size that was fully written and checksums clean is valid
 // — an arbitrary cap would make one large committed value poison every
 // record behind it. Corrupt lengths fail the bounds check or the CRC.
-func Scan(buf []byte, fn func(key string, v *store.Version)) (good int) {
+func ScanFrames(buf []byte, fn func(payload []byte) error) (good int) {
 	for off := 0; off < len(buf); {
 		rest := buf[off:]
 		if len(rest) < HeaderSize {
@@ -91,13 +104,24 @@ func Scan(buf []byte, fn func(key string, v *store.Version)) (good int) {
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
 			break // corrupt record
 		}
-		key, v, err := Decode(payload)
-		if err != nil {
+		if fn(payload) != nil {
 			break // payload does not parse: treat like a torn record
 		}
-		fn(key, v)
 		off += HeaderSize + int(plen)
 		good = off
 	}
 	return good
+}
+
+// Scan is ScanFrames specialized to the version-record payload written by
+// Append: fn receives every intact version record in file order.
+func Scan(buf []byte, fn func(key string, v *store.Version)) (good int) {
+	return ScanFrames(buf, func(payload []byte) error {
+		key, v, err := Decode(payload)
+		if err != nil {
+			return err
+		}
+		fn(key, v)
+		return nil
+	})
 }

@@ -1,0 +1,1044 @@
+// Package txlog is the durable transaction-lifecycle log of a partition
+// server: an append-only commit-record log that makes the ACKNOWLEDGED
+// transaction — not just the applied one — the system's durability unit,
+// and persists the replication progress toward every peer data center.
+//
+// The protocol servers (internal/core, internal/cure) write three kinds of
+// lifecycle records before the corresponding acknowledgement leaves the
+// server, under the same fsync policies as the storage engines:
+//
+//   - a PREPARE record (proposed timestamp, snapshot metadata, the write
+//     set) before a cohort answers PrepareResp — so the writes of any
+//     transaction the coordinator could go on to commit are durable at
+//     every cohort;
+//   - a COMMIT record (final commit timestamp) when a cohort learns the
+//     2PC outcome, before it acknowledges the coordinator;
+//   - a COORD-COMMIT record (commit timestamp + cohort partitions) at the
+//     coordinator before the client is acknowledged — the client-visible
+//     durability point. After a crash the coordinator re-drives CommitTx
+//     from these records, so a cohort that crashed between PrepareResp and
+//     CommitTx still learns the outcome.
+//
+// The log also persists a per-DC replicated-up-to CURSOR, advanced as
+// Replicate batches are acknowledged by the peer replicas; after a restart
+// the server re-sends every committed transaction above a peer's cursor,
+// closing the gap where transactions applied during shutdown (or whose
+// Replicate message died with a draining peer) persisted locally but never
+// reached the remote DCs.
+//
+// With fsync=always the guarantee is exact: a kill at any point after the
+// client ack loses nothing. With fsync=interval the exposure is bounded by
+// the sync interval, exactly like the storage engines; fsync=never leaves
+// flushing to the OS page cache.
+//
+// On disk the log is one append-only file (commit.log) of records framed
+// by the exact same rules as every other log in the data directory
+// (internal/store/logrec: length prefix + CRC32, torn tail truncated on
+// recovery), living in a txlog/ subdirectory of the engine's data dir so
+// it is covered by the engine's directory lock and engine-type marker.
+// Group commit batches concurrent fsyncs: each syncer forces everything
+// appended so far, and later syncers whose records are already covered
+// return without touching the disk. Compaction rewrites the file keeping
+// only records still needed — prepares without an outcome, committed
+// transactions not yet both applied and replicated everywhere, unresolved
+// coordinator decisions, and the cursors.
+package txlog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/store/fsutil"
+	"wren/internal/store/logrec"
+	"wren/internal/store/shardlog"
+	"wren/internal/store/wal"
+	"wren/internal/wire"
+)
+
+// logName is the commit-record log file inside Options.Dir.
+const logName = "commit.log"
+
+// DefaultCompactThreshold is the number of appended records after which the
+// log is rewritten from retained state.
+const DefaultCompactThreshold = 4096
+
+// Record kinds on disk. Values are part of the on-disk format; do not
+// reorder.
+const (
+	recPrepare     = 1
+	recCommit      = 2
+	recCoordCommit = 3
+	recCursor      = 4
+	recAbort       = 5
+	recResolved    = 6
+	// recSeq persists the highest transaction sequence number the log has
+	// seen, so a restarted server can seed its id generator ABOVE every
+	// id of its previous lives. Without it, sequence numbers restart at 1
+	// each life while the txlog keeps old ids alive across lives (resync
+	// dedupe, re-driven outcomes), and a colliding fresh id could match a
+	// previous life's transaction. Written on compaction, which is what
+	// drops the old records the maximum would otherwise be rescanned from.
+	recSeq = 7
+)
+
+// seqMask extracts the 40-bit sequence component of a transaction id
+// (DC in the top byte, partition in the next two — see Server.newTxID).
+const seqMask = (uint64(1) << 40) - 1
+
+// Options configures a transaction log.
+type Options struct {
+	// Dir is the directory holding the log (created if missing). The
+	// servers place it INSIDE the engine's data directory, so the engine's
+	// exclusive lock and engine-type marker cover it.
+	Dir string
+	// NumDCs sizes the replication cursor (one entry per DC).
+	NumDCs int
+	// SelfDC is this server's DC; its own cursor entry is never a
+	// retention constraint.
+	SelfDC int
+	// Fsync is the group-commit policy shared with the storage engines:
+	// wal.FsyncAlways, wal.FsyncInterval (the "" default) or
+	// wal.FsyncNever.
+	Fsync string
+	// FsyncInterval overrides the sync timer period for the interval
+	// policy (0 selects wal.DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// CompactThreshold overrides how many appended records trigger a
+	// rewrite (0 selects DefaultCompactThreshold; negative disables
+	// compaction).
+	CompactThreshold int
+}
+
+// PreparedTx is a logged prepare: the cohort-local write set of a
+// transaction whose 2PC outcome is not yet known.
+type PreparedTx struct {
+	TxID   uint64
+	PT     hlc.Timestamp   // proposed commit timestamp
+	RST    hlc.Timestamp   // Wren: transaction's remote snapshot time
+	SV     []hlc.Timestamp // Cure: snapshot vector
+	Writes []wire.KV
+}
+
+// CommittedTx is a logged commit: a prepare whose final timestamp arrived.
+type CommittedTx struct {
+	TxID   uint64
+	CT     hlc.Timestamp
+	RST    hlc.Timestamp
+	SV     []hlc.Timestamp
+	Writes []wire.KV
+
+	// applied is set by MarkApplied once the transaction's writes have
+	// reached the storage engine. Per entry, not a watermark: a re-driven
+	// recovered commit lands with a ct BELOW timestamps already marked
+	// applied (recovered prepares deliberately do not hold the apply
+	// bound back), and a watermark comparison would let compaction
+	// release its record before the engine ever saw the writes.
+	applied bool
+}
+
+// CoordTx is a coordinator-side commit decision: the record that makes the
+// client acknowledgement durable. Cohorts lists the partitions the
+// decision must reach; the entry is retained until every cohort has
+// acknowledged a durable COMMIT record of its own.
+type CoordTx struct {
+	TxID    uint64
+	CT      hlc.Timestamp
+	Cohorts []uint16
+
+	pending map[uint16]struct{}
+	created time.Time // when the decision was logged (or recovered)
+}
+
+// Log is the durable transaction-lifecycle log of one partition server.
+// All methods are safe for concurrent use.
+type Log struct {
+	dir    string
+	fsync  string
+	compat int
+	numDCs int
+	selfDC int
+
+	// sh.Mu guards both the file append state and the in-memory lifecycle
+	// state below — a single-file log needs no striping, and one lock
+	// keeps a record append atomic with its state transition.
+	sh shardlog.Shard
+	// stopped (under sh.Mu) quiesces appends after Close: the network
+	// delivers messages on goroutines the server shutdown does not join,
+	// so a straggler acknowledgement arriving after Close must become a
+	// no-op, not a recorded durability failure on a closed file.
+	stopped   bool
+	prepared  map[uint64]*PreparedTx
+	committed map[uint64]*CommittedTx
+	coord     map[uint64]*CoordTx
+	cursor    []hlc.Timestamp
+	// pins[dc], while non-zero, caps cursor advancement at the resync
+	// high-water mark for that DC: an acknowledgement for NEWER traffic
+	// must not imply the re-sent tail landed (the tail may still be in
+	// flight on the FIFO link behind it), and a cursor past unconfirmed
+	// records would release them from the log — and, persisted, hide them
+	// from the next life's UnreplicatedTail.
+	pins    []hlc.Timestamp
+	appends int    // records since the last compaction
+	maxSeq  uint64 // reserved/observed tx-sequence watermark (persisted by recSeq)
+	// gen identifies the current log file; Compact bumps it when it swaps
+	// the handle, and synced is only advanced for the generation a sync
+	// actually ran against — without the guard, a Sync that raced a
+	// compaction could stamp the OLD file's (larger) size onto the NEW
+	// file's watermark and permanently suppress every later fsync.
+	gen    uint64
+	synced int64 // bytes of the current generation known stable (under sh.Mu)
+
+	// syncMu serializes the group-commit fsyncs themselves; state they
+	// read and write lives under sh.Mu. Lock order: syncMu then sh.Mu.
+	syncMu sync.Mutex
+
+	errMu  sync.Mutex
+	err    error
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates or recovers a transaction log in opts.Dir: existing records
+// are replayed into the in-memory lifecycle state (truncating a torn
+// tail), pairing prepares with their outcomes.
+func Open(opts Options) (*Log, error) {
+	policy, err := wal.ParseFsync(opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = wal.DefaultFsyncInterval
+	}
+	if opts.NumDCs <= 0 {
+		return nil, fmt.Errorf("txlog: NumDCs must be positive")
+	}
+	compact := opts.CompactThreshold
+	if compact == 0 {
+		compact = DefaultCompactThreshold
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("txlog: create dir: %w", err)
+	}
+	l := &Log{
+		dir:       opts.Dir,
+		fsync:     policy,
+		compat:    compact,
+		numDCs:    opts.NumDCs,
+		selfDC:    opts.SelfDC,
+		prepared:  make(map[uint64]*PreparedTx),
+		committed: make(map[uint64]*CommittedTx),
+		coord:     make(map[uint64]*CoordTx),
+		cursor:    make([]hlc.Timestamp, opts.NumDCs),
+		pins:      make([]hlc.Timestamp, opts.NumDCs),
+		stop:      make(chan struct{}),
+	}
+	l.sh.Enc = wire.NewEncoder()
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	// One directory sync covers the log file creation (or truncation), so
+	// a fresh txlog directory survives power loss as a unit.
+	if err := fsutil.SyncDir(opts.Dir); err != nil {
+		_ = l.sh.F.Close()
+		return nil, fmt.Errorf("txlog: sync dir: %w", err)
+	}
+	if policy == wal.FsyncInterval {
+		l.wg.Add(1)
+		go l.fsyncLoop(opts.FsyncInterval)
+	}
+	return l, nil
+}
+
+// path names the log file.
+func (l *Log) path() string { return filepath.Join(l.dir, logName) }
+
+// recover replays the log into the lifecycle state and leaves the file
+// open for appending, truncating a torn tail.
+func (l *Log) recover() error {
+	path := l.path()
+	buf, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("txlog: read %s: %w", path, err)
+	}
+	good := logrec.ScanFrames(buf, l.applyRecord)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("txlog: open %s: %w", path, err)
+	}
+	if good < len(buf) {
+		if err := f.Truncate(int64(good)); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("txlog: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("txlog: seek %s: %w", path, err)
+	}
+	l.sh.F = f
+	l.sh.Size = int64(good)
+	l.synced = int64(good) // everything read back is on disk by definition
+	return nil
+}
+
+// applyRecord replays one scanned payload into the lifecycle state. A
+// non-nil error marks the record torn, ending the scan there.
+func (l *Log) applyRecord(payload []byte) error {
+	d := wire.NewDecoder(payload)
+	kind := d.Byte()
+	switch kind {
+	case recPrepare:
+		p := &PreparedTx{TxID: d.Uvarint(), PT: d.Timestamp(), RST: d.Timestamp(), SV: d.Timestamps()}
+		p.Writes = decodeWrites(d)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		l.prepared[p.TxID] = p
+		l.noteSeq(p.TxID)
+	case recCommit:
+		txID, ct := d.Uvarint(), d.Timestamp()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if p, ok := l.prepared[txID]; ok {
+			delete(l.prepared, txID)
+			l.committed[txID] = &CommittedTx{TxID: txID, CT: ct, RST: p.RST, SV: p.SV, Writes: p.Writes}
+		}
+		l.noteSeq(txID)
+	case recCoordCommit:
+		c := &CoordTx{TxID: d.Uvarint(), CT: d.Timestamp(), created: time.Now()}
+		n := d.Uvarint()
+		if n > 1<<16 {
+			return fmt.Errorf("txlog: cohort count %d out of range", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			c.Cohorts = append(c.Cohorts, uint16(d.Uvarint()))
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		c.pending = make(map[uint16]struct{}, len(c.Cohorts))
+		for _, p := range c.Cohorts {
+			c.pending[p] = struct{}{}
+		}
+		l.coord[c.TxID] = c
+		l.noteSeq(c.TxID)
+	case recCursor:
+		dc, upTo := int(d.Byte()), d.Timestamp()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if dc >= 0 && dc < l.numDCs && upTo > l.cursor[dc] {
+			l.cursor[dc] = upTo
+		}
+	case recAbort:
+		txID := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		delete(l.prepared, txID)
+	case recResolved:
+		txID := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		delete(l.coord, txID)
+	case recSeq:
+		seq := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if seq > l.maxSeq {
+			l.maxSeq = seq
+		}
+	default:
+		return fmt.Errorf("txlog: unknown record kind %d", kind)
+	}
+	return nil
+}
+
+// noteSeq folds a transaction id's sequence component into the persisted
+// maximum (see recSeq).
+func (l *Log) noteSeq(txID uint64) {
+	if seq := txID & seqMask; seq > l.maxSeq {
+		l.maxSeq = seq
+	}
+}
+
+func encodeWrites(e *wire.Encoder, writes []wire.KV) {
+	e.Uvarint(uint64(len(writes)))
+	for i := range writes {
+		e.String(writes[i].Key)
+		e.BytesField(writes[i].Value)
+		e.Bool(writes[i].Tombstone)
+	}
+}
+
+func decodeWrites(d *wire.Decoder) []wire.KV {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 || n > 1<<22 {
+		return nil
+	}
+	out := make([]wire.KV, n)
+	for i := range out {
+		out[i].Key = d.String()
+		out[i].Value = append([]byte(nil), d.BytesField()...)
+		out[i].Tombstone = d.Bool()
+	}
+	return out
+}
+
+// recordErr remembers the first append/sync failure, printing it to stderr
+// at occurrence (matching the storage engines' discipline): degraded
+// commit-record durability must not wait for Close to surface.
+func (l *Log) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	l.errMu.Lock()
+	first := l.err == nil
+	if first {
+		l.err = err
+	}
+	l.errMu.Unlock()
+	if first {
+		fmt.Fprintf(os.Stderr, "txlog: durability degraded in %s: %v\n", l.dir, err)
+	}
+}
+
+func (l *Log) onErr(err error) { l.recordErr(fmt.Errorf("txlog: %w", err)) }
+
+// Healthy reports the first append, sync or compaction failure the log has
+// recorded, or nil while the write path is fully intact. Servers consult
+// it (together with the engine's) to stop admitting writes when the
+// durability the acknowledgement promises can no longer be delivered.
+func (l *Log) Healthy() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}
+
+// InjectFailure records err as a write-path failure, flipping Healthy —
+// and with it the owning server into read-only admission. Test-only: it
+// lets admission tests exercise the degraded path without arranging a
+// real I/O error on the log file.
+func (l *Log) InjectFailure(err error) { l.recordErr(err) }
+
+// appendLocked frames one record into the shard encoder and appends it.
+// Caller holds sh.Mu. After Close the append quietly drops: straggler
+// messages delivered during shutdown are not durability failures.
+func (l *Log) appendLocked(encode func(*wire.Encoder)) {
+	if l.stopped {
+		return
+	}
+	l.sh.Enc.Reset()
+	logrec.AppendFrame(l.sh.Enc, encode)
+	l.sh.AppendLocked(l.onErr)
+	l.appends++
+}
+
+// SyncOnAppend reports whether the fsync policy requires a Sync before a
+// record-backed acknowledgement may leave the server (fsync=always).
+func (l *Log) SyncOnAppend() bool { return l.fsync == wal.FsyncAlways }
+
+// Sync forces every record appended so far to stable storage. Concurrent
+// callers group-commit: the first syncer covers everything appended at
+// that point, and callers whose records are already covered return
+// without another fsync. Callers needing a durability STATEMENT (an
+// acknowledgement) must consult Healthy afterwards — a failed fsync is
+// recorded, not returned.
+func (l *Log) Sync() {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.sh.Mu.Lock()
+	size, f, gen, synced := l.sh.Size, l.sh.F, l.gen, l.synced
+	l.sh.Mu.Unlock()
+	if f == nil || synced >= size {
+		return
+	}
+	if err := f.Sync(); err != nil {
+		// A handle closed by a concurrent compaction means the rewrite
+		// already made these records stable through the replacement file;
+		// the generation guard below keeps the stale size from being
+		// stamped onto the new file's watermark either way.
+		if !errors.Is(err, os.ErrClosed) {
+			l.recordErr(fmt.Errorf("txlog: sync: %w", err))
+		}
+		return
+	}
+	l.sh.Mu.Lock()
+	if l.gen == gen && size > l.synced {
+		l.synced = size
+	}
+	l.sh.Mu.Unlock()
+}
+
+// LogPrepare records a cohort-side prepare. Under fsync=always the caller
+// must Sync before sending PrepareResp.
+func (l *Log) LogPrepare(p *PreparedTx) {
+	l.sh.Mu.Lock()
+	l.prepared[p.TxID] = p
+	l.noteSeq(p.TxID)
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recPrepare)
+		e.Uvarint(p.TxID)
+		e.Timestamp(p.PT)
+		e.Timestamp(p.RST)
+		e.Timestamps(p.SV)
+		encodeWrites(e, p.Writes)
+	})
+	compact := l.compactNeededLocked()
+	l.sh.Mu.Unlock()
+	if compact {
+		l.Compact()
+	}
+}
+
+// LogCommit records the 2PC outcome for a prepared transaction, moving it
+// to the committed set. It reports whether the transaction was prepared
+// here and not yet committed — false means the record is a duplicate (a
+// re-driven CommitTx after recovery) and nothing was appended. Under
+// fsync=always the caller must Sync before acknowledging the coordinator.
+func (l *Log) LogCommit(txID uint64, ct hlc.Timestamp) bool {
+	l.sh.Mu.Lock()
+	p, ok := l.prepared[txID]
+	if !ok {
+		l.sh.Mu.Unlock()
+		return false
+	}
+	delete(l.prepared, txID)
+	l.committed[txID] = &CommittedTx{TxID: txID, CT: ct, RST: p.RST, SV: p.SV, Writes: p.Writes}
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recCommit)
+		e.Uvarint(txID)
+		e.Timestamp(ct)
+	})
+	l.sh.Mu.Unlock()
+	return true
+}
+
+// LogCoordCommit records a coordinator commit decision — the record whose
+// durability backs the client acknowledgement. The caller must Sync before
+// replying to the client (fsync=always), and should send CommitTx to the
+// cohorts only after this call so a cohort's CommitAck can never arrive
+// before the decision is registered.
+func (l *Log) LogCoordCommit(txID uint64, ct hlc.Timestamp, cohorts []uint16) {
+	c := &CoordTx{TxID: txID, CT: ct, Cohorts: append([]uint16(nil), cohorts...),
+		pending: make(map[uint16]struct{}, len(cohorts)), created: time.Now()}
+	for _, p := range c.Cohorts {
+		c.pending[p] = struct{}{}
+	}
+	l.sh.Mu.Lock()
+	l.coord[txID] = c
+	l.noteSeq(txID)
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recCoordCommit)
+		e.Uvarint(txID)
+		e.Timestamp(ct)
+		e.Uvarint(uint64(len(c.Cohorts)))
+		for _, p := range c.Cohorts {
+			e.Uvarint(uint64(p))
+		}
+	})
+	l.sh.Mu.Unlock()
+}
+
+// NextSeqFloor returns the reserved/observed transaction-sequence
+// watermark. A restarted server seeds its id generator above it, so fresh
+// transaction ids can never collide with a previous life's — ids the log
+// keeps alive across lives (resync dedupe, re-driven outcomes, a remote
+// cohort's retained prepare) would otherwise match unrelated new
+// transactions.
+func (l *Log) NextSeqFloor() uint64 {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	return l.maxSeq
+}
+
+// ReserveSeqs durably raises the sequence watermark to at least upTo,
+// BEFORE the server hands out ids below it: an id can reach another
+// server's durable log (a cohort's prepare) without ever producing a
+// record here — the coordinator may crash right after StartTx — so the
+// watermark must cover allocations, not just logged lifecycles. The
+// record is fsynced under the always policy; under interval/never the
+// reuse window after a crash is the same bounded one every other
+// durability statement has.
+func (l *Log) ReserveSeqs(upTo uint64) {
+	l.sh.Mu.Lock()
+	if upTo <= l.maxSeq {
+		l.sh.Mu.Unlock()
+		return
+	}
+	l.maxSeq = upTo
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recSeq)
+		e.Uvarint(upTo)
+	})
+	l.sh.Mu.Unlock()
+	if l.SyncOnAppend() {
+		l.Sync()
+	}
+}
+
+// CoordDecision reports the logged-but-unresolved commit decision for a
+// transaction this server coordinated, if any. Cohorts use it through the
+// TxStatus wire probe to terminate recovered prepares safely: a decision
+// can only be made in the life that ran the 2PC, so "no decision
+// retained" from the coordinator means the transaction never was — or no
+// longer needs to be — committed here. (A RESOLVED decision implies every
+// cohort already holds the outcome durably, so no cohort with a dangling
+// prepare can be asking about it.)
+func (l *Log) CoordDecision(txID uint64) (hlc.Timestamp, bool) {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	c, ok := l.coord[txID]
+	if !ok {
+		return 0, false
+	}
+	return c.CT, true
+}
+
+// CoordAbort withdraws a logged commit decision whose client
+// acknowledgement was never sent (the decision's own fsync failed and the
+// 2PC was aborted): a RESOLVED record keeps a later recovery from
+// re-driving a commit the client was told failed.
+func (l *Log) CoordAbort(txID uint64) {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	if _, ok := l.coord[txID]; !ok {
+		return
+	}
+	delete(l.coord, txID)
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recResolved)
+		e.Uvarint(txID)
+	})
+}
+
+// RedrivePending returns the unresolved commit decisions older than age,
+// each with Cohorts narrowed to the partitions that have not yet
+// acknowledged a durable outcome. The server periodically re-sends their
+// CommitTx: a cohort that crashed between PrepareResp and CommitTx — or
+// whose acknowledgement was lost — eventually receives the outcome even
+// when this coordinator itself never restarts.
+func (l *Log) RedrivePending(age time.Duration) []*CoordTx {
+	cutoff := time.Now().Add(-age)
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	var out []*CoordTx
+	for _, c := range l.coord {
+		if c.created.After(cutoff) || len(c.pending) == 0 {
+			continue
+		}
+		snap := &CoordTx{TxID: c.TxID, CT: c.CT, Cohorts: make([]uint16, 0, len(c.pending))}
+		for p := range c.pending {
+			snap.Cohorts = append(snap.Cohorts, p)
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// CoordAck records that a cohort holds a durable COMMIT record for the
+// transaction. Once every cohort has acknowledged, the decision is
+// resolved: it no longer needs re-driving after a restart, so a RESOLVED
+// record releases it (lazily synced — a lost resolution only costs a
+// harmless, deduplicated re-drive).
+func (l *Log) CoordAck(txID uint64, partition uint16) {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	c, ok := l.coord[txID]
+	if !ok {
+		return
+	}
+	delete(c.pending, partition)
+	if len(c.pending) > 0 {
+		return
+	}
+	delete(l.coord, txID)
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recResolved)
+		e.Uvarint(txID)
+	})
+}
+
+// LogAbort releases a prepared transaction whose 2PC was abandoned (a
+// degraded cohort aborted the commit, or a recovered prepare expired with
+// no outcome). Lazily synced: a lost abort only resurrects a prepare that
+// will expire again.
+func (l *Log) LogAbort(txID uint64) {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	if _, ok := l.prepared[txID]; !ok {
+		return
+	}
+	delete(l.prepared, txID)
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recAbort)
+		e.Uvarint(txID)
+	})
+}
+
+// AdvanceCursor records that the peer DC has acknowledged every local
+// transaction with commit timestamp ≤ upTo. Lazily synced: replaying a
+// stale cursor after a crash only re-sends transactions the receiver
+// deduplicates.
+func (l *Log) AdvanceCursor(dc int, upTo hlc.Timestamp) {
+	if dc < 0 || dc >= l.numDCs {
+		return
+	}
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	if pin := l.pins[dc]; pin != 0 && upTo > pin {
+		// Resync to this DC is still unconfirmed: acks for newer traffic
+		// may not vouch for the re-sent tail (see pins).
+		upTo = pin
+	}
+	if upTo <= l.cursor[dc] {
+		return
+	}
+	l.cursor[dc] = upTo
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recCursor)
+		e.Byte(uint8(dc))
+		e.Timestamp(upTo)
+	})
+}
+
+// PinResync caps cursor advancement for dc at upTo — the high-water mark
+// of the unreplicated tail about to be re-sent — until UnpinResync
+// confirms the tail was acknowledged. Called before the server starts
+// serving, so no concurrent ack can slip past first.
+func (l *Log) PinResync(dc int, upTo hlc.Timestamp) {
+	if dc < 0 || dc >= l.numDCs || upTo == 0 {
+		return
+	}
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	l.pins[dc] = upTo
+}
+
+// UnpinResync lifts dc's resync pin once the re-sent tail has been
+// acknowledged through upTo (acks for earlier resync batches leave the
+// pin in place).
+func (l *Log) UnpinResync(dc int, upTo hlc.Timestamp) {
+	if dc < 0 || dc >= l.numDCs {
+		return
+	}
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	if l.pins[dc] != 0 && upTo >= l.pins[dc] {
+		l.pins[dc] = 0
+	}
+}
+
+// Cursor returns the replicated-up-to mark for a peer DC.
+func (l *Log) Cursor(dc int) hlc.Timestamp {
+	if dc < 0 || dc >= l.numDCs {
+		return 0
+	}
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	return l.cursor[dc]
+}
+
+// MarkApplied records that the writes of exactly these transactions have
+// been written to the storage engine. Identified by id, never by a
+// timestamp bound: a re-driven recovered commit can be logged
+// concurrently with an apply tick, carrying an old ct the tick's bound
+// already covers, and a bound comparison would mark it applied before the
+// engine ever saw it. Only compaction consults the marks — a committed
+// record may leave the log once the transaction is both applied and
+// replicated everywhere.
+func (l *Log) MarkApplied(txIDs []uint64) {
+	if len(txIDs) == 0 {
+		return
+	}
+	l.sh.Mu.Lock()
+	for _, id := range txIDs {
+		if c, ok := l.committed[id]; ok {
+			c.applied = true
+		}
+	}
+	compact := l.compactNeededLocked()
+	l.sh.Mu.Unlock()
+	if compact {
+		l.Compact()
+	}
+}
+
+// releasableLocked reports whether a committed record is no longer needed:
+// applied to the engine and covered by every peer DC's cursor.
+func (l *Log) releasableLocked(c *CommittedTx) bool {
+	if !c.applied {
+		return false
+	}
+	for dc := 0; dc < l.numDCs; dc++ {
+		if dc == l.selfDC {
+			continue
+		}
+		if c.CT > l.cursor[dc] {
+			return false
+		}
+	}
+	return true
+}
+
+// Committed returns the retained committed transactions in commit-timestamp
+// order. At recovery the server replays them into the storage engine
+// (deduplicating against what the engine already holds) before serving.
+func (l *Log) Committed() []*CommittedTx {
+	l.sh.Mu.Lock()
+	out := make([]*CommittedTx, 0, len(l.committed))
+	for _, c := range l.committed {
+		out = append(out, c)
+	}
+	l.sh.Mu.Unlock()
+	sortCommitted(out)
+	return out
+}
+
+// Prepared returns the retained prepares without an outcome. After a
+// restart these are doomed unless a coordinator re-drives their CommitTx.
+func (l *Log) Prepared() []*PreparedTx {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	out := make([]*PreparedTx, 0, len(l.prepared))
+	for _, p := range l.prepared {
+		out = append(out, p)
+	}
+	return out
+}
+
+// CoordPending returns the unresolved coordinator decisions: transactions
+// acknowledged to clients whose cohorts have not all confirmed a durable
+// COMMIT record. After a restart the server re-sends their CommitTx.
+func (l *Log) CoordPending() []*CoordTx {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	out := make([]*CoordTx, 0, len(l.coord))
+	for _, c := range l.coord {
+		out = append(out, c)
+	}
+	return out
+}
+
+// UnreplicatedTail returns the retained committed transactions above the
+// peer DC's cursor, in commit-timestamp order — the tail a restarted
+// server re-sends so the replicas reconverge.
+func (l *Log) UnreplicatedTail(dc int) []*CommittedTx {
+	if dc < 0 || dc >= l.numDCs {
+		return nil
+	}
+	l.sh.Mu.Lock()
+	cur := l.cursor[dc]
+	out := make([]*CommittedTx, 0, 8)
+	for _, c := range l.committed {
+		if c.CT > cur {
+			out = append(out, c)
+		}
+	}
+	l.sh.Mu.Unlock()
+	sortCommitted(out)
+	return out
+}
+
+func sortCommitted(txs []*CommittedTx) {
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].CT != txs[j].CT {
+			return txs[i].CT < txs[j].CT
+		}
+		return txs[i].TxID < txs[j].TxID
+	})
+}
+
+func (l *Log) compactNeededLocked() bool {
+	return l.compat >= 0 && l.appends >= l.compat
+}
+
+// Compact rewrites the log from retained state — prepares, unreleased
+// committed transactions, unresolved coordinator decisions, cursors —
+// dropping everything whose lifecycle has run its course. Same discipline
+// as the engines' compactions: temp file, fsync, atomic rename, directory
+// sync, and the write handle carries over so there is no reopen window.
+func (l *Log) Compact() {
+	l.sh.Mu.Lock()
+	defer l.sh.Mu.Unlock()
+	if l.stopped {
+		return // a straggler trigger after Close must not resurrect the file
+	}
+
+	// Release committed entries whose records are no longer needed.
+	for id, c := range l.committed {
+		if l.releasableLocked(c) {
+			delete(l.committed, id)
+		}
+	}
+
+	path := l.path()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		l.recordErr(fmt.Errorf("txlog: compact: %w", err))
+		return
+	}
+	// Stream the rewrite record by record through a throwaway encoder and
+	// a buffered writer (the WAL engine's compaction discipline): encoding
+	// the whole retained state into one buffer would pin a rewrite-sized
+	// allocation for every burst of retained transactions.
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := wire.NewEncoder()
+	var written int64
+	var werr error
+	emit := func(encode func(*wire.Encoder)) {
+		if werr != nil {
+			return
+		}
+		enc.Reset()
+		logrec.AppendFrame(enc, encode)
+		if _, err := w.Write(enc.Bytes()); err != nil {
+			werr = err
+			return
+		}
+		written += int64(len(enc.Bytes()))
+	}
+	// The sequence floor first: it outlives the records it was learned
+	// from, so id uniqueness survives the rewrite dropping them.
+	if l.maxSeq > 0 {
+		emit(func(e *wire.Encoder) {
+			e.Byte(recSeq)
+			e.Uvarint(l.maxSeq)
+		})
+	}
+	for _, p := range l.prepared {
+		emit(func(e *wire.Encoder) {
+			e.Byte(recPrepare)
+			e.Uvarint(p.TxID)
+			e.Timestamp(p.PT)
+			e.Timestamp(p.RST)
+			e.Timestamps(p.SV)
+			encodeWrites(e, p.Writes)
+		})
+	}
+	for _, c := range l.committed {
+		// A committed transaction is rewritten as its prepare + commit
+		// pair, so recovery rebuilds it by the same pairing rule as live
+		// records.
+		emit(func(e *wire.Encoder) {
+			e.Byte(recPrepare)
+			e.Uvarint(c.TxID)
+			e.Timestamp(c.CT)
+			e.Timestamp(c.RST)
+			e.Timestamps(c.SV)
+			encodeWrites(e, c.Writes)
+		})
+		emit(func(e *wire.Encoder) {
+			e.Byte(recCommit)
+			e.Uvarint(c.TxID)
+			e.Timestamp(c.CT)
+		})
+	}
+	for _, c := range l.coord {
+		emit(func(e *wire.Encoder) {
+			e.Byte(recCoordCommit)
+			e.Uvarint(c.TxID)
+			e.Timestamp(c.CT)
+			e.Uvarint(uint64(len(c.Cohorts)))
+			for _, p := range c.Cohorts {
+				e.Uvarint(uint64(p))
+			}
+		})
+	}
+	for dc, upTo := range l.cursor {
+		if upTo == 0 {
+			continue
+		}
+		emit(func(e *wire.Encoder) {
+			e.Byte(recCursor)
+			e.Byte(uint8(dc))
+			e.Timestamp(upTo)
+		})
+	}
+
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		l.recordErr(fmt.Errorf("txlog: compact: %w", werr))
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return
+	}
+	// f now lives at path (the rename moved the inode), positioned at its
+	// end — it becomes the append handle directly, with no reopen window.
+	_ = l.sh.F.Close()
+	l.sh.F = f
+	l.sh.Size = written
+	l.sh.Failed = false // the rewrite from retained state repairs a frozen log
+	l.sh.Dirty = false
+	l.appends = 0
+	l.gen++            // a racing Sync must not stamp the old file's size on us
+	l.synced = written // the rewrite was fsynced in full
+	if derr := fsutil.SyncDir(l.dir); derr != nil {
+		l.recordErr(fmt.Errorf("txlog: compact: sync dir: %w", derr))
+	}
+}
+
+// fsyncLoop flushes appended records on a timer (interval policy).
+func (l *Log) fsyncLoop(every time.Duration) {
+	defer l.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.Sync()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close stops the sync loop, forces the log to stable storage (a clean
+// shutdown is fully durable whatever the policy), closes the file, and
+// returns the first error any append, sync or compaction hit.
+func (l *Log) Close() error {
+	l.errMu.Lock()
+	if l.closed {
+		err := l.err
+		l.errMu.Unlock()
+		return err
+	}
+	l.closed = true
+	l.errMu.Unlock()
+
+	close(l.stop)
+	l.wg.Wait()
+	l.Sync()
+	l.sh.Mu.Lock()
+	l.stopped = true
+	if l.sh.F != nil {
+		if err := l.sh.F.Close(); err != nil {
+			l.recordErr(fmt.Errorf("txlog: close: %w", err))
+		}
+	}
+	l.sh.Mu.Unlock()
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}

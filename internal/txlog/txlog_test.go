@@ -1,0 +1,422 @@
+package txlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/wire"
+)
+
+func ts(v uint64) hlc.Timestamp { return hlc.Timestamp(v) }
+
+func openLog(t *testing.T, dir string, numDCs int) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, NumDCs: numDCs, SelfDC: 0, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func kv(key, val string) wire.KV { return wire.KV{Key: key, Value: []byte(val)} }
+
+func TestPrepareCommitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 2)
+	l.LogPrepare(&PreparedTx{TxID: 1, PT: ts(100), RST: ts(50), Writes: []wire.KV{kv("a", "v1")}})
+	l.LogPrepare(&PreparedTx{TxID: 2, PT: ts(110), RST: ts(50), Writes: []wire.KV{kv("b", "v2")}})
+	if !l.LogCommit(1, ts(120)) {
+		t.Fatal("LogCommit(1) reported unknown")
+	}
+	if l.LogCommit(1, ts(120)) {
+		t.Fatal("duplicate LogCommit(1) must report false")
+	}
+	l.Sync()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openLog(t, dir, 2)
+	defer r.Close()
+	committed := r.Committed()
+	if len(committed) != 1 || committed[0].TxID != 1 || committed[0].CT != ts(120) {
+		t.Fatalf("recovered committed = %+v, want tx 1 @120", committed)
+	}
+	if committed[0].RST != ts(50) || string(committed[0].Writes[0].Value) != "v1" {
+		t.Fatalf("recovered committed lost metadata: %+v", committed[0])
+	}
+	prepared := r.Prepared()
+	if len(prepared) != 1 || prepared[0].TxID != 2 {
+		t.Fatalf("recovered prepared = %+v, want tx 2", prepared)
+	}
+}
+
+func TestCoordCommitResolution(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 1)
+	l.LogCoordCommit(7, ts(200), []uint16{0, 1})
+	l.LogCoordCommit(8, ts(210), []uint16{2})
+	l.CoordAck(7, 0)
+	l.CoordAck(7, 1) // fully acked: resolved
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openLog(t, dir, 1)
+	defer r.Close()
+	pending := r.CoordPending()
+	if len(pending) != 1 || pending[0].TxID != 8 || pending[0].CT != ts(210) {
+		t.Fatalf("pending = %+v, want only tx 8", pending)
+	}
+	if got := pending[0].Cohorts; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("cohorts = %v, want [2]", got)
+	}
+}
+
+func TestCursorPersistsAndBoundsTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 3)
+	for i := uint64(1); i <= 4; i++ {
+		l.LogPrepare(&PreparedTx{TxID: i, PT: ts(i * 10), Writes: []wire.KV{kv("k", "v")}})
+		l.LogCommit(i, ts(i*10))
+	}
+	l.AdvanceCursor(1, ts(20))
+	l.AdvanceCursor(2, ts(40))
+	l.AdvanceCursor(1, ts(10)) // regression ignored
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openLog(t, dir, 3)
+	defer r.Close()
+	if got := r.Cursor(1); got != ts(20) {
+		t.Fatalf("cursor[1] = %v, want 20", got)
+	}
+	tail := r.UnreplicatedTail(1)
+	if len(tail) != 2 || tail[0].CT != ts(30) || tail[1].CT != ts(40) {
+		t.Fatalf("tail for dc1 = %+v, want cts 30,40 in order", tail)
+	}
+	if tail = r.UnreplicatedTail(2); len(tail) != 0 {
+		t.Fatalf("tail for dc2 = %+v, want empty", tail)
+	}
+}
+
+func TestAbortReleasesPrepare(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 1)
+	l.LogPrepare(&PreparedTx{TxID: 5, PT: ts(10), Writes: []wire.KV{kv("x", "y")}})
+	l.LogAbort(5)
+	if l.LogCommit(5, ts(20)) {
+		t.Fatal("commit after abort must be a no-op")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openLog(t, dir, 1)
+	defer r.Close()
+	if p := r.Prepared(); len(p) != 0 {
+		t.Fatalf("aborted prepare resurrected: %+v", p)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 1)
+	l.LogPrepare(&PreparedTx{TxID: 1, PT: ts(10), Writes: []wire.KV{kv("a", "v")}})
+	l.LogCommit(1, ts(20))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage simulating a torn record.
+	path := filepath.Join(dir, "commit.log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openLog(t, dir, 1)
+	committed := r.Committed()
+	if len(committed) != 1 || committed[0].TxID != 1 {
+		t.Fatalf("recovery after torn tail = %+v", committed)
+	}
+	// New appends after the truncation must survive another cycle.
+	r.LogPrepare(&PreparedTx{TxID: 2, PT: ts(30), Writes: []wire.KV{kv("b", "w")}})
+	r.LogCommit(2, ts(40))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := openLog(t, dir, 1)
+	defer r2.Close()
+	if got := r2.Committed(); len(got) != 2 {
+		t.Fatalf("post-truncation appends lost: %+v", got)
+	}
+}
+
+func TestCompactionReleasesFinishedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 2, SelfDC: 0, Fsync: "never", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		l.LogPrepare(&PreparedTx{TxID: i, PT: ts(i * 10), Writes: []wire.KV{kv("k", "v")}})
+		l.LogCommit(i, ts(i*10))
+	}
+	// txs 1..3 applied and confirmed by the only peer; 4..6 still needed.
+	l.MarkApplied([]uint64{1, 2, 3})
+	l.AdvanceCursor(1, ts(35))
+	before, _ := os.Stat(filepath.Join(dir, "commit.log"))
+	l.Compact()
+	after, _ := os.Stat(filepath.Join(dir, "commit.log"))
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before.Size(), after.Size())
+	}
+	if got := l.Committed(); len(got) != 3 || got[0].CT != ts(40) {
+		t.Fatalf("retained after compact = %+v, want cts 40,50,60", got)
+	}
+	// Appends after compaction land in the renamed file and survive.
+	l.LogPrepare(&PreparedTx{TxID: 7, PT: ts(70), Writes: []wire.KV{kv("z", "v7")}})
+	l.LogCommit(7, ts(70))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openLog(t, dir, 2)
+	defer r.Close()
+	got := r.Committed()
+	if len(got) != 4 || got[3].CT != ts(70) {
+		t.Fatalf("recovered after compact+append = %+v, want 4 txs ending at 70", got)
+	}
+	if c := r.Cursor(1); c != ts(35) {
+		t.Fatalf("cursor lost by compaction: %v", c)
+	}
+}
+
+func TestReleaseRequiresBothAppliedAndReplicated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 2, SelfDC: 0, Fsync: "never", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.LogPrepare(&PreparedTx{TxID: 1, PT: ts(10), Writes: []wire.KV{kv("a", "v")}})
+	l.LogCommit(1, ts(10))
+
+	l.MarkApplied([]uint64{1}) // applied but not replicated
+	l.Compact()
+	if got := l.Committed(); len(got) != 1 {
+		t.Fatalf("record released before replication confirmed: %+v", got)
+	}
+	l.AdvanceCursor(1, ts(10)) // now both
+	l.Compact()
+	if got := l.Committed(); len(got) != 0 {
+		t.Fatalf("record not released after apply+replication: %+v", got)
+	}
+}
+
+func TestSingleDCReleasesOnApplyAlone(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 1, SelfDC: 0, Fsync: "never", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.LogPrepare(&PreparedTx{TxID: 1, PT: ts(10), Writes: []wire.KV{kv("a", "v")}})
+	l.LogCommit(1, ts(10))
+	l.MarkApplied([]uint64{1})
+	l.Compact()
+	if got := l.Committed(); len(got) != 0 {
+		t.Fatalf("single-DC record not released on apply: %+v", got)
+	}
+}
+
+func TestSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 3)
+	sv := []hlc.Timestamp{ts(1), ts(2), ts(3)}
+	l.LogPrepare(&PreparedTx{TxID: 9, PT: ts(10), SV: sv, Writes: []wire.KV{
+		{Key: "t", Tombstone: true},
+		kv("u", ""),
+	}})
+	l.LogCommit(9, ts(12))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openLog(t, dir, 3)
+	defer r.Close()
+	got := r.Committed()
+	if len(got) != 1 || len(got[0].SV) != 3 || got[0].SV[2] != ts(3) {
+		t.Fatalf("snapshot vector lost: %+v", got)
+	}
+	if !got[0].Writes[0].Tombstone || got[0].Writes[0].Value != nil {
+		t.Fatalf("tombstone flag lost: %+v", got[0].Writes[0])
+	}
+	if got[0].Writes[1].Tombstone {
+		t.Fatalf("empty value decoded as tombstone: %+v", got[0].Writes[1])
+	}
+}
+
+func TestSeqFloorSurvivesCompactionAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 1, SelfDC: 0, Fsync: "never", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transaction ids carry DC/partition in the top bytes; the floor is
+	// the 40-bit sequence component.
+	id := func(seq uint64) uint64 { return 1<<56 | 2<<40 | seq }
+	l.LogPrepare(&PreparedTx{TxID: id(7), PT: ts(10), Writes: []wire.KV{kv("a", "v")}})
+	l.LogCommit(id(7), ts(10))
+	l.LogCoordCommit(id(9), ts(11), []uint16{0})
+	if got := l.NextSeqFloor(); got != 9 {
+		t.Fatalf("floor = %d, want 9", got)
+	}
+	// Release everything, compact (dropping the records), reopen: the
+	// floor must survive through the recSeq record.
+	l.MarkApplied([]uint64{id(7)})
+	l.CoordAck(id(9), 0)
+	l.Compact()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openLog(t, dir, 1)
+	defer r.Close()
+	if got := r.Committed(); len(got) != 0 {
+		t.Fatalf("records not released: %+v", got)
+	}
+	if got := r.NextSeqFloor(); got != 9 {
+		t.Fatalf("floor after compaction+restart = %d, want 9", got)
+	}
+}
+
+func TestRedrivePendingAndCoordAbort(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 1, SelfDC: 0, Fsync: "never", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.LogCoordCommit(1, ts(10), []uint16{0, 1})
+	l.LogCoordCommit(2, ts(20), []uint16{3})
+	l.CoordAck(1, 0) // partition 1 still pending
+
+	if got := l.RedrivePending(time.Hour); len(got) != 0 {
+		t.Fatalf("nothing is an hour old yet: %+v", got)
+	}
+	red := l.RedrivePending(0)
+	if len(red) != 2 {
+		t.Fatalf("redrive = %+v, want both decisions", red)
+	}
+	for _, c := range red {
+		switch c.TxID {
+		case 1:
+			if len(c.Cohorts) != 1 || c.Cohorts[0] != 1 {
+				t.Fatalf("tx1 pending cohorts = %v, want [1]", c.Cohorts)
+			}
+		case 2:
+			if len(c.Cohorts) != 1 || c.Cohorts[0] != 3 {
+				t.Fatalf("tx2 pending cohorts = %v, want [3]", c.Cohorts)
+			}
+		}
+	}
+
+	if ct, ok := l.CoordDecision(2); !ok || ct != ts(20) {
+		t.Fatalf("CoordDecision(2) = %v,%v", ct, ok)
+	}
+	l.CoordAbort(2)
+	if _, ok := l.CoordDecision(2); ok {
+		t.Fatal("aborted decision still visible")
+	}
+	if got := l.RedrivePending(0); len(got) != 1 || got[0].TxID != 1 {
+		t.Fatalf("redrive after abort = %+v, want only tx1", got)
+	}
+}
+
+func TestResyncPinClampsCursor(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 2, SelfDC: 0, Fsync: "never", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		l.LogPrepare(&PreparedTx{TxID: i, PT: ts(i * 10), Writes: []wire.KV{kv("k", "v")}})
+		l.LogCommit(i, ts(i*10))
+	}
+	// Unreplicated tail up to ct=30; pin it as a restarting server would.
+	l.PinResync(1, ts(30))
+	// An ack for NEWER traffic must not advance the cursor past the pin —
+	// the tail may still be in flight behind it.
+	l.AdvanceCursor(1, ts(100))
+	if got := l.Cursor(1); got != ts(30) {
+		t.Fatalf("pinned cursor = %v, want clamped to 30", got)
+	}
+	// An earlier resync batch's ack does not lift the pin.
+	l.UnpinResync(1, ts(20))
+	l.AdvanceCursor(1, ts(100))
+	if got := l.Cursor(1); got != ts(30) {
+		t.Fatalf("cursor after partial resync ack = %v, want 30", got)
+	}
+	// The tail's own ack lifts it; newer acks then advance freely.
+	l.UnpinResync(1, ts(30))
+	l.AdvanceCursor(1, ts(100))
+	if got := l.Cursor(1); got != ts(100) {
+		t.Fatalf("cursor after unpin = %v, want 100", got)
+	}
+	// The clamp must also have kept release at bay across the window.
+	l.MarkApplied([]uint64{1, 2, 3})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openLog(t, dir, 2)
+	defer r.Close()
+	if got := r.Cursor(1); got != ts(100) {
+		t.Fatalf("persisted cursor = %v, want 100", got)
+	}
+}
+
+func TestReserveSeqsDurable(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 1)
+	l.ReserveSeqs(500)
+	l.ReserveSeqs(400) // regression ignored
+	if got := l.NextSeqFloor(); got != 500 {
+		t.Fatalf("floor = %d, want 500", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openLog(t, dir, 1)
+	defer r.Close()
+	if got := r.NextSeqFloor(); got != 500 {
+		t.Fatalf("floor after restart = %d, want 500", got)
+	}
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, NumDCs: 1, SelfDC: 0, Fsync: "never", CompactThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(1); i <= 50; i++ {
+		l.LogPrepare(&PreparedTx{TxID: i, PT: ts(i), Writes: []wire.KV{kv("k", "v")}})
+		l.LogCommit(i, ts(i))
+		l.MarkApplied([]uint64{i})
+	}
+	st, err := os.Stat(filepath.Join(dir, "commit.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 prepare+commit pairs uncompacted would be far larger; after
+	// threshold-triggered rewrites only a handful of records remain.
+	if st.Size() > 2048 {
+		t.Fatalf("auto-compaction never ran: log is %d bytes", st.Size())
+	}
+}

@@ -26,6 +26,12 @@ const (
 	KindHeartbeat
 	KindStableBroadcast
 	KindGCBroadcast
+	KindCommitAck
+	KindReplicateAck
+	KindHealthReq
+	KindHealthResp
+	KindTxStatusReq
+	KindTxStatusResp
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -61,6 +67,18 @@ func (k Kind) String() string {
 		return "StableBroadcast"
 	case KindGCBroadcast:
 		return "GCBroadcast"
+	case KindCommitAck:
+		return "CommitAck"
+	case KindReplicateAck:
+		return "ReplicateAck"
+	case KindHealthReq:
+		return "HealthReq"
+	case KindHealthResp:
+		return "HealthResp"
+	case KindTxStatusReq:
+		return "TxStatusReq"
+	case KindTxStatusResp:
+		return "TxStatusResp"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -353,10 +371,25 @@ func (m *CommitReq) decodeFrom(d *Decoder) {
 	m.Writes = decodeKVs(d)
 }
 
-// CommitResp returns the commit timestamp.
+// Commit error codes carried by CommitResp. Values are part of the wire
+// format; do not reorder.
+const (
+	// CommitOK means the transaction committed (or was read-only).
+	CommitOK uint8 = iota
+	// CommitErrReadOnly means the server refused the write: its durability
+	// is degraded (a failed storage engine or transaction log) and it has
+	// shed into read-only admission. Clients surface this as a typed error
+	// so callers can retry against a healthy replica.
+	CommitErrReadOnly
+)
+
+// CommitResp returns the commit timestamp, or a typed refusal when the
+// server is in read-only admission.
 type CommitResp struct {
 	ReqID uint64
 	CT    hlc.Timestamp
+	Code  uint8  // CommitOK or CommitErrReadOnly
+	Err   string // human-readable detail when Code != CommitOK
 }
 
 // Kind implements Message.
@@ -368,11 +401,15 @@ func (*CommitResp) Class() Class { return ClassClient }
 func (m *CommitResp) encodeTo(e *Encoder) {
 	e.Uvarint(m.ReqID)
 	e.Timestamp(m.CT)
+	e.Byte(m.Code)
+	e.String(m.Err)
 }
 
 func (m *CommitResp) decodeFrom(d *Decoder) {
 	m.ReqID = d.Uvarint()
 	m.CT = d.Timestamp()
+	m.Code = d.Byte()
+	m.Err = d.String()
 }
 
 // SliceReq is the coordinator-to-cohort read (Alg. 2 line 12). Wren sends
@@ -469,11 +506,14 @@ func (m *PrepareReq) decodeFrom(d *Decoder) {
 	m.Writes = decodeKVs(d)
 }
 
-// PrepareResp carries the cohort's proposed commit timestamp.
+// PrepareResp carries the cohort's proposed commit timestamp, or a
+// non-empty Err when the cohort refused the prepare (degraded durability:
+// the cohort could not log the write set, so the coordinator must abort).
 type PrepareResp struct {
 	ReqID uint64
 	TxID  uint64
 	PT    hlc.Timestamp
+	Err   string
 }
 
 // Kind implements Message.
@@ -486,15 +526,21 @@ func (m *PrepareResp) encodeTo(e *Encoder) {
 	e.Uvarint(m.ReqID)
 	e.Uvarint(m.TxID)
 	e.Timestamp(m.PT)
+	e.String(m.Err)
 }
 
 func (m *PrepareResp) decodeFrom(d *Decoder) {
 	m.ReqID = d.Uvarint()
 	m.TxID = d.Uvarint()
 	m.PT = d.Timestamp()
+	m.Err = d.String()
 }
 
-// CommitTx is the second phase of the 2PC commit (Alg. 2 line 26).
+// CommitTx is the second phase of the 2PC commit (Alg. 2 line 26). A zero
+// CT aborts: the cohort drops the prepared transaction instead of
+// committing it (used when a degraded cohort refused its prepare). After a
+// restart, coordinators re-send CommitTx for every unresolved logged
+// decision; cohorts deduplicate by transaction id.
 type CommitTx struct {
 	TxID uint64
 	CT   hlc.Timestamp
@@ -528,9 +574,16 @@ type ReplTx struct {
 // Replicate propagates applied transactions to the peer replicas of the
 // same partition in remote DCs (Alg. 4 line 14). Transactions with equal
 // commit timestamps are packed into one message, as in the paper.
+//
+// Resync marks a re-sent batch: after a restart, the sender replays the
+// committed transactions above the receiver's replication cursor, and the
+// receiver deduplicates each transaction against its storage engine before
+// applying — ordinary batches skip that check, keeping the steady-state
+// apply path untouched.
 type Replicate struct {
 	SrcDC     uint8
 	Partition uint16
+	Resync    bool
 	Txs       []ReplTx
 }
 
@@ -543,6 +596,7 @@ func (*Replicate) Class() Class { return ClassReplication }
 func (m *Replicate) encodeTo(e *Encoder) {
 	e.Byte(m.SrcDC)
 	e.Uvarint(uint64(m.Partition))
+	e.Bool(m.Resync)
 	e.Uvarint(uint64(len(m.Txs)))
 	for i := range m.Txs {
 		t := &m.Txs[i]
@@ -557,6 +611,7 @@ func (m *Replicate) encodeTo(e *Encoder) {
 func (m *Replicate) decodeFrom(d *Decoder) {
 	m.SrcDC = d.Byte()
 	m.Partition = uint16(d.Uvarint())
+	m.Resync = d.Bool()
 	n := d.Uvarint()
 	if !d.checkLen(n) {
 		return
@@ -641,6 +696,159 @@ func (m *StableBroadcast) decodeFrom(d *Decoder) {
 	m.VV = d.Timestamps()
 }
 
+// CommitAck confirms to the coordinator that a cohort holds a DURABLE
+// commit record for the transaction (fsync-policy-bound, like every
+// durability statement in the system). Once every cohort has acknowledged,
+// the coordinator's logged decision is resolved and no longer needs
+// re-driving after a restart. Only sent when the transaction log is
+// enabled.
+type CommitAck struct {
+	TxID      uint64
+	Partition uint16 // the acknowledging cohort
+}
+
+// Kind implements Message.
+func (*CommitAck) Kind() Kind { return KindCommitAck }
+
+// Class implements Message.
+func (*CommitAck) Class() Class { return ClassTransaction }
+
+func (m *CommitAck) encodeTo(e *Encoder) {
+	e.Uvarint(m.TxID)
+	e.Uvarint(uint64(m.Partition))
+}
+
+func (m *CommitAck) decodeFrom(d *Decoder) {
+	m.TxID = d.Uvarint()
+	m.Partition = uint16(d.Uvarint())
+}
+
+// ReplicateAck confirms to the sending replica that every transaction of a
+// Replicate batch up to UpTo has been applied by the receiver. The sender
+// advances its persisted replication cursor for the acknowledging DC, so a
+// restart re-sends only the unconfirmed tail. Resync echoes the batch's
+// Resync flag: only the re-sent tail's own acknowledgement may lift the
+// sender's post-restart cursor pin — an ack for newer traffic cannot vouch
+// for a tail still in flight behind it. Only sent when the transaction log
+// is enabled.
+type ReplicateAck struct {
+	DC        uint8  // the acknowledging (receiver's) DC
+	Partition uint16 // the partition the batch belonged to
+	UpTo      hlc.Timestamp
+	Resync    bool
+}
+
+// Kind implements Message.
+func (*ReplicateAck) Kind() Kind { return KindReplicateAck }
+
+// Class implements Message.
+func (*ReplicateAck) Class() Class { return ClassReplication }
+
+func (m *ReplicateAck) encodeTo(e *Encoder) {
+	e.Byte(m.DC)
+	e.Uvarint(uint64(m.Partition))
+	e.Timestamp(m.UpTo)
+	e.Bool(m.Resync)
+}
+
+func (m *ReplicateAck) decodeFrom(d *Decoder) {
+	m.DC = d.Byte()
+	m.Partition = uint16(d.Uvarint())
+	m.UpTo = d.Timestamp()
+	m.Resync = d.Bool()
+}
+
+// HealthReq asks a server for its durability/admission state, so operators
+// (wren-cli health) can observe a degraded, read-only server without
+// polling process-internal state.
+type HealthReq struct {
+	ReqID uint64
+}
+
+// Kind implements Message.
+func (*HealthReq) Kind() Kind { return KindHealthReq }
+
+// Class implements Message.
+func (*HealthReq) Class() Class { return ClassClient }
+
+func (m *HealthReq) encodeTo(e *Encoder)   { e.Uvarint(m.ReqID) }
+func (m *HealthReq) decodeFrom(d *Decoder) { m.ReqID = d.Uvarint() }
+
+// HealthResp reports a server's durability state: ReadOnly is set when the
+// server has shed into read-only admission, and Err carries the first
+// recorded write-path failure (empty while fully healthy).
+type HealthResp struct {
+	ReqID    uint64
+	ReadOnly bool
+	Err      string
+}
+
+// Kind implements Message.
+func (*HealthResp) Kind() Kind { return KindHealthResp }
+
+// Class implements Message.
+func (*HealthResp) Class() Class { return ClassClient }
+
+func (m *HealthResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Bool(m.ReadOnly)
+	e.String(m.Err)
+}
+
+func (m *HealthResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.ReadOnly = d.Bool()
+	m.Err = d.String()
+}
+
+// TxStatusReq is the cooperative termination probe of the 2PC: a cohort
+// holding a prepare recovered from its transaction log — whose outcome
+// never arrived — asks the transaction's coordinator (derived from the
+// transaction id) whether a commit decision exists. Decisions are only
+// ever made in the life that ran the 2PC, so the coordinator's answer is
+// final: a recovered prepare may only be aborted on an explicit
+// "not committed" answer, never on a timeout alone.
+type TxStatusReq struct {
+	TxID uint64
+}
+
+// Kind implements Message.
+func (*TxStatusReq) Kind() Kind { return KindTxStatusReq }
+
+// Class implements Message.
+func (*TxStatusReq) Class() Class { return ClassTransaction }
+
+func (m *TxStatusReq) encodeTo(e *Encoder)   { e.Uvarint(m.TxID) }
+func (m *TxStatusReq) decodeFrom(d *Decoder) { m.TxID = d.Uvarint() }
+
+// TxStatusResp answers a TxStatusReq: Committed with the decision's CT
+// when the coordinator's log retains an unresolved commit decision for
+// the transaction, otherwise not committed (the transaction never was, or
+// no longer needs to be, committed at the asking cohort).
+type TxStatusResp struct {
+	TxID      uint64
+	CT        hlc.Timestamp
+	Committed bool
+}
+
+// Kind implements Message.
+func (*TxStatusResp) Kind() Kind { return KindTxStatusResp }
+
+// Class implements Message.
+func (*TxStatusResp) Class() Class { return ClassTransaction }
+
+func (m *TxStatusResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.TxID)
+	e.Timestamp(m.CT)
+	e.Bool(m.Committed)
+}
+
+func (m *TxStatusResp) decodeFrom(d *Decoder) {
+	m.TxID = d.Uvarint()
+	m.CT = d.Timestamp()
+	m.Committed = d.Bool()
+}
+
 // GCBroadcast exchanges the oldest snapshot visible to any running
 // transaction so partitions can prune version chains (paper §IV-B).
 type GCBroadcast struct {
@@ -697,6 +905,18 @@ func newMessage(kind Kind) (Message, error) {
 		return &StableBroadcast{}, nil
 	case KindGCBroadcast:
 		return &GCBroadcast{}, nil
+	case KindCommitAck:
+		return &CommitAck{}, nil
+	case KindReplicateAck:
+		return &ReplicateAck{}, nil
+	case KindHealthReq:
+		return &HealthReq{}, nil
+	case KindHealthResp:
+		return &HealthResp{}, nil
+	case KindTxStatusReq:
+		return &TxStatusReq{}, nil
+	case KindTxStatusResp:
+		return &TxStatusResp{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

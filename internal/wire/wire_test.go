@@ -62,6 +62,17 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&StableBroadcast{Partition: 4, Local: ts(500, 1), RemoteMin: ts(400, 2)},
 		&StableBroadcast{Partition: 4, VV: []hlc.Timestamp{ts(1, 0), ts(2, 0), ts(3, 0)}},
 		&GCBroadcast{Partition: 6, Oldest: ts(333, 3)},
+		&CommitResp{ReqID: 15, Code: CommitErrReadOnly, Err: "durability degraded"},
+		&PrepareResp{ReqID: 16, TxID: 100, Err: "txlog frozen"},
+		&Replicate{SrcDC: 1, Partition: 2, Resync: true, Txs: []ReplTx{
+			{TxID: 3, CT: ts(11, 0), Writes: []KV{{Key: "r", Value: []byte("s")}}},
+		}},
+		&CommitAck{TxID: 99, Partition: 7},
+		&ReplicateAck{DC: 2, Partition: 5, UpTo: ts(444, 4), Resync: true},
+		&HealthReq{ReqID: 17},
+		&HealthResp{ReqID: 18, ReadOnly: true, Err: "wal: sync: broken"},
+		&TxStatusReq{TxID: 321},
+		&TxStatusResp{TxID: 321, CT: ts(555, 5), Committed: true},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -170,7 +181,7 @@ func TestItemRoundTripProperty(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindStartTxReq; k <= KindGCBroadcast; k++ {
+	for k := KindStartTxReq; k <= KindTxStatusResp; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' && s[1] == 'i' {
 			t.Errorf("Kind %d has no name: %q", k, s)
 		}
