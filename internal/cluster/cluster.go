@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -75,6 +76,15 @@ type Config struct {
 	ApplyInterval  time.Duration
 	GossipInterval time.Duration
 	GCInterval     time.Duration
+	// RepairInterval paces each server's degraded-mode probation exit
+	// (txlog repair + write readmission). Zero selects the replica-runtime
+	// default; negative disables automatic repair, keeping a degraded
+	// server read-only until restart — what degradation tests want.
+	RepairInterval time.Duration
+	// ClientFailover makes sessions returned by NewClient retry a commit
+	// refused with a read-only error once, against a different healthy
+	// coordinator partition, instead of surfacing the error immediately.
+	ClientFailover bool
 	// BlockingCommit enables the commit-blocks-until-stable ablation on
 	// Wren servers (the "simple solution" the paper rejects in §III-B).
 	BlockingCommit bool
@@ -153,6 +163,8 @@ type Tx interface {
 	// Blocked reports how long the transaction's reads were blocked
 	// server-side (always zero for Wren).
 	Blocked() time.Duration
+	// Coordinator returns the coordinator partition the transaction ran on.
+	Coordinator() int
 }
 
 // Client is the protocol-independent client session.
@@ -240,6 +252,7 @@ func New(cfg Config) (*Cluster, error) {
 					ApplyInterval:  cfg.ApplyInterval,
 					GossipInterval: cfg.GossipInterval,
 					GCInterval:     cfg.GCInterval,
+					RepairInterval: cfg.RepairInterval,
 					BlockingCommit: cfg.BlockingCommit,
 					GossipTree:     cfg.GossipTree,
 					StoreShards:    cfg.StoreShards,
@@ -263,6 +276,7 @@ func New(cfg Config) (*Cluster, error) {
 					ApplyInterval:  cfg.ApplyInterval,
 					GossipInterval: cfg.GossipInterval,
 					GCInterval:     cfg.GCInterval,
+					RepairInterval: cfg.RepairInterval,
 					StoreShards:    cfg.StoreShards,
 					StoreBackend:   cfg.StoreBackend,
 					DataDir:        cfg.DataDir,
@@ -311,6 +325,7 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 	idx := c.clientSeq
 	c.mu.Unlock()
 
+	var sess session
 	switch c.cfg.Protocol {
 	case Wren:
 		cl, err := core.NewClient(core.ClientConfig{
@@ -323,7 +338,7 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		return wrenClient{cl}, nil
+		sess = wrenClient{cl}
 	default:
 		cl, err := cure.NewClient(cure.ClientConfig{
 			DC: dc, ClientIndex: idx,
@@ -336,8 +351,12 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		return cureClient{cl}, nil
+		sess = cureClient{cl}
 	}
+	if c.cfg.ClientFailover {
+		return &failoverClient{sess: sess, numPartitions: c.cfg.NumPartitions}, nil
+	}
+	return sess, nil
 }
 
 // WrenServer returns the Wren server at (dc, partition); nil for other
@@ -514,6 +533,16 @@ func (c *Cluster) stop(kill bool) {
 	}
 }
 
+// session is the protocol-side surface the failover wrapper needs beyond
+// the public Client interface: explicit-coordinator begins, health probes,
+// and read-only error detection.
+type session interface {
+	Client
+	beginAt(coordinator int) (Tx, error)
+	health(partition int) (readOnly bool, detail string, err error)
+	isReadOnly(err error) bool
+}
+
 // wrenClient adapts *core.Client to the Client interface.
 type wrenClient struct{ c *core.Client }
 
@@ -524,6 +553,18 @@ func (w wrenClient) Begin() (Tx, error) {
 	}
 	return tx, nil
 }
+
+func (w wrenClient) beginAt(coordinator int) (Tx, error) {
+	tx, err := w.c.BeginAt(coordinator)
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+func (w wrenClient) health(partition int) (bool, string, error) { return w.c.Health(partition) }
+
+func (w wrenClient) isReadOnly(err error) bool { return errors.Is(err, core.ErrReadOnly) }
 
 func (w wrenClient) Close() { w.c.Close() }
 
@@ -538,7 +579,117 @@ func (cc cureClient) Begin() (Tx, error) {
 	return tx, nil
 }
 
+func (cc cureClient) beginAt(coordinator int) (Tx, error) {
+	tx, err := cc.c.BeginAt(coordinator)
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+func (cc cureClient) health(partition int) (bool, string, error) { return cc.c.Health(partition) }
+
+func (cc cureClient) isReadOnly(err error) bool { return errors.Is(err, cure.ErrReadOnly) }
+
 func (cc cureClient) Close() { cc.c.Close() }
+
+// failoverClient wraps a session so that a commit refused with a read-only
+// error is retried ONCE against a different healthy coordinator partition
+// instead of surfacing the refusal immediately. The refusal means the
+// transaction did not commit anywhere, so replaying the buffered write set
+// through a fresh transaction on the same session is safe — and the
+// session's causal state (Wren's hwt and write cache, Cure's dependency
+// vector) guarantees the retried commit still lands strictly after
+// everything the session has observed.
+type failoverClient struct {
+	sess          session
+	numPartitions int
+}
+
+func (f *failoverClient) Begin() (Tx, error) {
+	tx, err := f.sess.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &failoverTx{Tx: tx, f: f}, nil
+}
+
+func (f *failoverClient) Close() { f.sess.Close() }
+
+// writeOp is one buffered mutation, recorded in arrival order so a replay
+// preserves last-write-wins within the transaction.
+type writeOp struct {
+	key   string
+	value []byte
+	del   bool
+}
+
+// failoverTx records the transaction's mutations so a refused commit can
+// be replayed on a different coordinator.
+type failoverTx struct {
+	Tx
+	f      *failoverClient
+	writes []writeOp
+}
+
+func (t *failoverTx) Write(key string, value []byte) error {
+	if err := t.Tx.Write(key, value); err != nil {
+		return err
+	}
+	t.writes = append(t.writes, writeOp{key: key, value: value})
+	return nil
+}
+
+func (t *failoverTx) Delete(key string) error {
+	if err := t.Tx.Delete(key); err != nil {
+		return err
+	}
+	t.writes = append(t.writes, writeOp{key: key, del: true})
+	return nil
+}
+
+func (t *failoverTx) Commit() (hlc.Timestamp, error) {
+	ct, err := t.Tx.Commit()
+	if err == nil || !t.f.sess.isReadOnly(err) {
+		return ct, err
+	}
+	// The refused coordinator is degraded; probe the remaining partitions
+	// for a healthy one and replay there. If none answers healthy, the
+	// original refusal stands.
+	failed := t.Tx.Coordinator()
+	alt := -1
+	for p := 0; p < t.f.numPartitions; p++ {
+		if p == failed {
+			continue
+		}
+		if ro, _, herr := t.f.sess.health(p); herr == nil && !ro {
+			alt = p
+			break
+		}
+	}
+	if alt < 0 {
+		return 0, err
+	}
+	retry, berr := t.f.sess.beginAt(alt)
+	if berr != nil {
+		return 0, err
+	}
+	for _, w := range t.writes {
+		var werr error
+		if w.del {
+			werr = retry.Delete(w.key)
+		} else {
+			werr = retry.Write(w.key, w.value)
+		}
+		if werr != nil {
+			_ = retry.Abort()
+			return 0, err
+		}
+	}
+	// A second refusal (or any other failure) surfaces directly: the
+	// failover retries once, it does not hunt.
+	return retry.Commit()
+}
 
 var (
 	_ Tx = (*core.Tx)(nil)

@@ -38,12 +38,9 @@ func crashConfig(proto Protocol, dcs int, dataDir string, backend string) Config
 	}
 }
 
-func TestCrashBetweenAckAndApply(t *testing.T) {
-	for _, backend := range []string{"wal", "sst"} {
-		t.Run("wren-"+backend, func(t *testing.T) { testCrashBetweenAckAndApply(t, Wren, backend) })
-	}
-	t.Run("hcure-wal", func(t *testing.T) { testCrashBetweenAckAndApply(t, HCure, "wal") })
-}
+// The crash scenarios run from the TestLifecycleConformance matrix in
+// lifecycle_conformance_test.go, which covers every protocol × durable
+// backend combination.
 
 func testCrashBetweenAckAndApply(t *testing.T, proto Protocol, backend string) {
 	dataDir := t.TempDir()
@@ -150,13 +147,6 @@ func testCrashBetweenAckAndApply(t *testing.T, proto Protocol, backend string) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-}
-
-func TestCrashBeforeReplicateReconverges(t *testing.T) {
-	for _, backend := range []string{"wal", "sst"} {
-		t.Run("wren-"+backend, func(t *testing.T) { testCrashBeforeReplicate(t, Wren, backend) })
-	}
-	t.Run("hcure-wal", func(t *testing.T) { testCrashBeforeReplicate(t, HCure, "wal") })
 }
 
 func testCrashBeforeReplicate(t *testing.T, proto Protocol, backend string) {

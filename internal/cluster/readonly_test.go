@@ -30,6 +30,10 @@ func testReadOnlyAdmission(t *testing.T, proto Protocol) {
 		NumPartitions: 2,
 		StoreBackend:  "wal",
 		DataDir:       t.TempDir(),
+		// Pin the degradation: this test asserts the STICKY read-only
+		// state, so the automatic probation exit must stay off (the
+		// readmit path has its own conformance scenario).
+		RepairInterval: -1,
 	}
 	cl, err := New(cfg)
 	if err != nil {

@@ -192,6 +192,20 @@ func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.M
 // the snapshot from a coordinator and prunes the client cache of entries
 // already covered by the local stable snapshot.
 func (c *Client) Begin() (*Tx, error) {
+	return c.BeginAt(c.cfg.CoordinatorPartition)
+}
+
+// BeginAt starts a transaction on an explicit coordinator partition; a
+// negative value picks a random one (the Begin default). It is the
+// failover entry point: after a read-only commit refusal a session can
+// retry against a different, healthy coordinator while keeping its causal
+// session state — snapshot times, write cache and hwt all carry over, so
+// the retried transaction still commits strictly after everything this
+// session has observed.
+func (c *Client) BeginAt(coordinator int) (*Tx, error) {
+	if coordinator >= c.cfg.NumPartitions {
+		return nil, fmt.Errorf("core: coordinator partition %d out of range [0,%d)", coordinator, c.cfg.NumPartitions)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -203,7 +217,7 @@ func (c *Client) Begin() (*Tx, error) {
 	}
 	lst, rst := c.lst, c.rst
 	dc := c.cfg.DC
-	coordPartition := c.cfg.CoordinatorPartition
+	coordPartition := coordinator
 	if coordPartition < 0 {
 		coordPartition = c.rng.Intn(c.cfg.NumPartitions)
 	}
@@ -237,14 +251,15 @@ func (c *Client) Begin() (*Tx, error) {
 		}
 	}
 	tx := &Tx{
-		client: c,
-		coord:  coord,
-		id:     st.TxID,
-		lt:     st.LST,
-		rt:     st.RST,
-		ws:     make(map[string][]byte),
-		rs:     make(map[string][]byte),
-		rsMiss: make(map[string]struct{}),
+		client:    c,
+		coord:     coord,
+		partition: coordPartition,
+		id:        st.TxID,
+		lt:        st.LST,
+		rt:        st.RST,
+		ws:        make(map[string][]byte),
+		rs:        make(map[string][]byte),
+		rsMiss:    make(map[string]struct{}),
 	}
 	c.tx = tx
 	return tx, nil
@@ -276,15 +291,16 @@ func (c *Client) SnapshotTimes() (lst, rst hlc.Timestamp) {
 
 // Tx is an interactive read-write transaction.
 type Tx struct {
-	client *Client
-	coord  transport.NodeID
-	id     uint64
-	lt     hlc.Timestamp
-	rt     hlc.Timestamp
-	ws     map[string][]byte
-	rs     map[string][]byte
-	rsMiss map[string]struct{} // keys known absent in this snapshot
-	done   bool
+	client    *Client
+	coord     transport.NodeID
+	partition int // coordinator partition index
+	id        uint64
+	lt        hlc.Timestamp
+	rt        hlc.Timestamp
+	ws        map[string][]byte
+	rs        map[string][]byte
+	rsMiss    map[string]struct{} // keys known absent in this snapshot
+	done      bool
 
 	// BlockedMicros accumulates server-reported read blocking time; always
 	// zero for Wren, used by the Cure client which shares this API shape.
@@ -293,6 +309,10 @@ type Tx struct {
 
 // ID returns the transaction identifier assigned by the coordinator.
 func (t *Tx) ID() uint64 { return t.id }
+
+// Coordinator returns the coordinator partition this transaction ran on —
+// the partition a failover retry must avoid.
+func (t *Tx) Coordinator() int { return t.partition }
 
 // Blocked returns the total time this transaction's reads spent blocked on
 // servers. It is always zero in Wren — the protocol's defining property —

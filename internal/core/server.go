@@ -1,69 +1,29 @@
 package core
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"wren/internal/fanin"
 	"wren/internal/hlc"
+	"wren/internal/replica"
 	"wren/internal/sharding"
 	"wren/internal/stats"
 	"wren/internal/store"
-	"wren/internal/store/backend"
 	"wren/internal/stripemap"
 	"wren/internal/transport"
 	"wren/internal/txlog"
 	"wren/internal/wire"
 )
 
-// Default protocol timer intervals. The paper runs its stabilization
-// protocols every 5 milliseconds (§V-A).
+// Default protocol timer intervals, shared with the replica runtime. The
+// paper runs its stabilization protocols every 5 milliseconds (§V-A).
 const (
-	DefaultApplyInterval  = 5 * time.Millisecond
-	DefaultGossipInterval = 5 * time.Millisecond
-	DefaultGCInterval     = 500 * time.Millisecond
-	DefaultTxContextTTL   = 30 * time.Second
+	DefaultApplyInterval  = replica.DefaultApplyInterval
+	DefaultGossipInterval = replica.DefaultGossipInterval
+	DefaultGCInterval     = replica.DefaultGCInterval
+	DefaultTxContextTTL   = replica.DefaultTxContextTTL
 )
-
-// recoveryGrace is how long a prepare recovered from the transaction log
-// waits for its re-driven 2PC outcome after a restart before the cohort
-// starts probing the coordinator with TxStatusReq (and between re-probes).
-// A recovered prepare is only ever aborted on the coordinator's explicit
-// "not committed" answer — a timeout alone cannot distinguish a doomed
-// prepare from a durably-decided transaction whose coordinator is slow to
-// come back. Recovered prepares do NOT hold back the apply upper bound
-// while they wait.
-const recoveryGrace = 15 * time.Second
-
-// redriveAfter is how old an unresolved commit decision must be before
-// the coordinator re-sends its CommitTx to the cohorts that have not
-// acknowledged a durable outcome — recovering from a CommitTx or ack lost
-// to a cohort crash without waiting for this coordinator to restart.
-const redriveAfter = 5 * time.Second
-
-// resendBatchSize bounds how many recovered transactions one resync
-// Replicate message carries.
-const resendBatchSize = 128
-
-// lifecycleInterval is the period of the transaction-lifecycle maintenance
-// loop (status probes for recovered prepares, re-drives of unresolved
-// decisions). It runs on its own timer, NOT the GC loop's: GC is an
-// optional subsystem (GCInterval <= 0 disables it) and 2PC termination
-// must not be.
-const lifecycleInterval = time.Second
-
-// seqBlockSize is how many transaction sequence numbers a server reserves
-// from its transaction log at a time. Ids must be reserved durably BEFORE
-// use — an id handed out at StartTx can reach a cohort's durable log even
-// if this server crashes before logging anything itself — and block
-// reservation amortizes that to one log record (one fsync under
-// fsync=always) per million transactions.
-const seqBlockSize = 1 << 20
 
 // ServerConfig configures one Wren partition server p_n^m.
 type ServerConfig struct {
@@ -93,6 +53,12 @@ type ServerConfig struct {
 	// before being expired (a backstop for abandoned sessions). Zero
 	// selects DefaultTxContextTTL.
 	TxContextTTL time.Duration
+	// RepairInterval paces the degraded-mode probation exit: how often a
+	// server whose transaction log recorded a write-path failure (but whose
+	// storage engine is healthy) attempts a full repair-and-readmit. Zero
+	// selects replica.DefaultRepairInterval; negative disables automatic
+	// repair, leaving a degraded server read-only until restart.
+	RepairInterval time.Duration
 	// BlockingCommit enables an ablation of CANToR: instead of relying on
 	// the client-side cache, the coordinator delays the commit reply until
 	// the commit timestamp is covered by the local stable snapshot — the
@@ -134,53 +100,27 @@ type ServerConfig struct {
 	DisableTxLog bool
 }
 
-func (c *ServerConfig) fillDefaults() {
-	if c.ClockSource == nil {
-		c.ClockSource = hlc.SystemSource{}
+// runtimeConfig maps the public config onto the shared replica runtime's.
+func (c *ServerConfig) runtimeConfig() replica.Config {
+	return replica.Config{
+		Name:           "core",
+		DC:             c.DC,
+		Partition:      c.Partition,
+		NumDCs:         c.NumDCs,
+		NumPartitions:  c.NumPartitions,
+		Network:        c.Network,
+		ClockSource:    c.ClockSource,
+		ApplyInterval:  c.ApplyInterval,
+		GossipInterval: c.GossipInterval,
+		GCInterval:     c.GCInterval,
+		TxContextTTL:   c.TxContextTTL,
+		RepairInterval: c.RepairInterval,
+		StoreShards:    c.StoreShards,
+		StoreBackend:   c.StoreBackend,
+		DataDir:        c.DataDir,
+		FsyncPolicy:    c.FsyncPolicy,
+		DisableTxLog:   c.DisableTxLog,
 	}
-	if c.ApplyInterval == 0 {
-		c.ApplyInterval = DefaultApplyInterval
-	}
-	if c.GossipInterval == 0 {
-		c.GossipInterval = DefaultGossipInterval
-	}
-	if c.GCInterval == 0 {
-		c.GCInterval = DefaultGCInterval
-	}
-	if c.TxContextTTL == 0 {
-		c.TxContextTTL = DefaultTxContextTTL
-	}
-}
-
-func (c *ServerConfig) validate() error {
-	if c.NumDCs <= 0 || c.NumPartitions <= 0 {
-		return fmt.Errorf("core: invalid topology %dx%d", c.NumDCs, c.NumPartitions)
-	}
-	if c.DC < 0 || c.DC >= c.NumDCs {
-		return fmt.Errorf("core: DC %d out of range [0,%d)", c.DC, c.NumDCs)
-	}
-	if c.Partition < 0 || c.Partition >= c.NumPartitions {
-		return fmt.Errorf("core: partition %d out of range [0,%d)", c.Partition, c.NumPartitions)
-	}
-	if c.Network == nil {
-		return fmt.Errorf("core: network is required")
-	}
-	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
-		return fmt.Errorf("core: store shards %d out of range [0,%d]", c.StoreShards, store.MaxShards)
-	}
-	if err := backend.Validate(c.StoreBackend, c.DataDir, c.FsyncPolicy); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	return nil
-}
-
-// engineDir is the per-server subdirectory of DataDir a durable backend
-// writes to, so all servers of a deployment can share one root.
-func (c *ServerConfig) engineDir() string {
-	if c.DataDir == "" {
-		return ""
-	}
-	return filepath.Join(c.DataDir, fmt.Sprintf("dc%d-p%d", c.DC, c.Partition))
 }
 
 // txContext is the coordinator-side state of an open transaction
@@ -191,46 +131,6 @@ type txContext struct {
 	lt      hlc.Timestamp
 	rt      hlc.Timestamp
 	created time.Time
-}
-
-// preparedTx is a transaction in the pending list: prepared but not yet
-// committed (Algorithm 3, line 18).
-type preparedTx struct {
-	pt     hlc.Timestamp // proposed commit timestamp
-	rst    hlc.Timestamp // transaction's remote snapshot time
-	writes []wire.KV
-}
-
-// committedTx is a transaction in the commit list, waiting to be applied
-// in commit-timestamp order (Algorithm 3, line 24).
-type committedTx struct {
-	txID   uint64
-	ct     hlc.Timestamp
-	rst    hlc.Timestamp
-	writes []wire.KV
-}
-
-// prepareVote is one cohort's answer in the 2PC: a proposed commit
-// timestamp, or a refusal (non-empty err) from a cohort whose durability
-// is degraded.
-type prepareVote struct {
-	pt  hlc.Timestamp
-	err string
-}
-
-// prepareCall collects PrepareResp messages for one committing transaction.
-type prepareCall struct {
-	ch chan prepareVote
-}
-
-// recoveredPrepare is a prepare replayed from the transaction log after a
-// restart: its 2PC outcome is unknown until a coordinator re-drives it or
-// a TxStatusResp settles it. It is kept out of s.prepared so it cannot
-// hold the apply upper bound — and therefore the stable snapshot — back
-// while it waits; nextProbe paces the status queries.
-type recoveredPrepare struct {
-	tx        *txlog.PreparedTx
-	nextProbe time.Time
 }
 
 // cantorPred is the CANToR visibility predicate (Algorithm 3 lines 7–8) in
@@ -269,188 +169,70 @@ type Metrics struct {
 	CtxExpired    stats.Counter
 }
 
-// Server is one Wren partition server p_n^m.
+// Server is one Wren partition server p_n^m: the protocol-specific half —
+// the CANToR snapshot (two stable scalars) and the nonblocking read path —
+// over the shared replica runtime, which owns the durable transaction
+// lifecycle, recovery, and every background loop.
 //
-// The state is split so that the read path — handleStartTx, handleTxRead,
-// handleSliceReq, handleSliceResp — never acquires the server-wide mutex:
-// the stable times are atomically published scalars, per-request
-// bookkeeping lives in striped maps keyed by TxID/ReqID, and per-read
-// working memory comes from pools. s.mu guards only writer state (the
-// pending/commit lists, the version vector, gossip aggregation arrays),
-// so reads never wait behind commits, replication applies or BiST gossip —
-// the paper's nonblocking-read property held at the implementation level.
+// The state split keeps the read path — handleStartTx, handleTxRead,
+// handleSliceReq — off every mutex shared with the write path: the stable
+// times are atomically published scalars, transaction contexts live in a
+// striped map, and per-read working memory comes from pools — the paper's
+// nonblocking-read property held at the implementation level.
 type Server struct {
-	cfg   ServerConfig
-	id    transport.NodeID
-	clock *hlc.Clock
-	st    store.Engine
-
-	// tl is the durable transaction-lifecycle log (nil for the memory
-	// backend or when disabled): commit records ahead of acknowledgements,
-	// the per-DC replication cursor, and restart recovery state.
-	tl *txlog.Log
-	// resendTails[dc] is the unreplicated committed tail snapshotted at
-	// construction time — BEFORE any new commit or acknowledgement can
-	// race the snapshot — for recoveryResend to replay; the txlog's
-	// cursor stays pinned below each tail until its resync is confirmed.
-	resendTails [][]*txlog.CommittedTx
-	// resyncTailSent[dc] flips once recoveryResend has enqueued dc's tail;
-	// resyncDone[dc] (touched only by the single applyTick goroutine)
-	// gates ordinary replication to dc: until the tail is on the FIFO
-	// link, no new batch or heartbeat may overtake it — the peer's version
-	// vector would advance past transactions it has not received, a
-	// transient causal hole. The transition tick ships a dedupe-safe
-	// catch-up of everything still unconfirmed, then normal replication
-	// resumes.
-	resyncTailSent []atomic.Bool
-	resyncDone     []bool
-	// seqLimit is the durably reserved transaction-sequence ceiling;
-	// seqMu serializes block refills (see seqBlockSize).
-	seqLimit atomic.Uint64
-	seqMu    sync.Mutex
+	cfg ServerConfig
+	rt  *replica.Runtime
+	// st aliases rt.Engine(); the zero-alloc slice-read path dereferences
+	// it directly.
+	st store.Engine
 
 	// lst/rst are the stable times (LST, RST): lock-free monotonic
 	// max-merge publication, loaded on every read.
 	lst hlc.AtomicTimestamp
 	rst hlc.AtomicTimestamp
 
-	// txCtx and pendingSlice are read-path bookkeeping: open transaction
-	// contexts and in-flight slice-read fan-ins.
-	txCtx        *stripemap.Map[txContext]
-	pendingSlice *stripemap.Map[*fanin.TxRead]
+	// txCtx holds open transaction contexts, keyed by TxID.
+	txCtx *stripemap.Map[txContext]
 
-	// snapMu makes snapshot assignment atomic with respect to GC's
-	// oldest-snapshot computation. StartTx holds it SHARED around
-	// (load lst → store context) — concurrent transaction starts never
-	// serialize on it — while gcTick takes it exclusively for one load:
-	// the barrier guarantees every context whose lt predates the GC
-	// floor is visible to the sweep, so GC can never prune a version a
-	// just-started transaction's snapshot still needs. A writer touches
-	// it twice per second; readers share it, which keeps the read path's
-	// no-plain-Mutex property intact.
-	snapMu sync.RWMutex
-
-	// readPool holds readScratch, fanPool holds fanoutScratch.
+	// readPool holds readScratch, fanPool holds fanin.Fanout scratch.
 	readPool sync.Pool
 	fanPool  sync.Pool
 
-	mu            sync.Mutex
-	vv            []hlc.Timestamp // version vector: vv[m] is the local version clock
-	prepared      map[uint64]*preparedTx
-	recovered     map[uint64]*recoveredPrepare // txlog prepares awaiting a re-driven outcome
-	committed     []*committedTx
+	// gossipMu guards the BiST aggregation arrays. Protocol-only state:
+	// the runtime's writer mutex is never taken on the gossip path.
+	gossipMu      sync.Mutex
 	peerLocal     []hlc.Timestamp // per-partition gossiped local version clocks
 	peerRemoteMin []hlc.Timestamp // per-partition gossiped min remote entries
-	peerOldest    []hlc.Timestamp // per-partition gossiped oldest active snapshots
 
-	pendingPrepare map[uint64]*prepareCall
-
-	reqSeq  atomic.Uint64
-	txSeq   atomic.Uint64
 	metrics Metrics
-
-	startOnce sync.Once
-	stopOnce  sync.Once
-	stop      chan struct{}
-	wg        sync.WaitGroup
-	reqWG     sync.WaitGroup
-
-	// drainMu orders goAsync's draining check + reqWG.Add against Stop's
-	// draining=true + reqWG.Wait: without it, an Add could race Wait at
-	// counter zero (a documented WaitGroup misuse that panics). Only the
-	// commit path touches it; reads no longer use goAsync at all.
-	drainMu  sync.Mutex
-	draining bool // guarded by drainMu; set during Stop
 }
 
 // NewServer constructs a Wren partition server. Call Start to register it
 // on the network and launch its background protocols.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	cfg.fillDefaults()
-	if err := cfg.validate(); err != nil {
+	rcfg := cfg.runtimeConfig()
+	rcfg.FillDefaults()
+	if err := rcfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng, err := backend.Open(backend.Options{
-		Backend: cfg.StoreBackend,
-		Shards:  cfg.StoreShards,
-		DataDir: cfg.engineDir(),
-		Fsync:   cfg.FsyncPolicy,
+	cfg.TxContextTTL = rcfg.TxContextTTL
+	s := &Server{
+		cfg:           cfg,
+		txCtx:         stripemap.New[txContext](0),
+		peerLocal:     make([]hlc.Timestamp, cfg.NumPartitions),
+		peerRemoteMin: make([]hlc.Timestamp, cfg.NumPartitions),
+	}
+	rt, err := replica.New(rcfg, (*wrenProtocol)(s), replica.Counters{
+		TxCommitted:   &s.metrics.TxCommitted,
+		ReplTxApplied: &s.metrics.ReplTxApplied,
+		GCRemoved:     &s.metrics.GCRemoved,
+		GCKeysDropped: &s.metrics.GCKeysDropped,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: open store: %w", err)
+		return nil, err
 	}
-	// The transaction log lives beside the engine's files, inside the
-	// directory the engine just claimed — covered by the same exclusive
-	// lock and engine-type marker. Memory backends have nowhere durable to
-	// recover from, so they run without one.
-	var tl *txlog.Log
-	if cfg.StoreBackend != "" && cfg.StoreBackend != backend.Memory && !cfg.DisableTxLog {
-		tl, err = txlog.Open(txlog.Options{
-			Dir:    filepath.Join(cfg.engineDir(), "txlog"),
-			NumDCs: cfg.NumDCs,
-			SelfDC: cfg.DC,
-			Fsync:  cfg.FsyncPolicy,
-		})
-		if err != nil {
-			_ = eng.Close()
-			return nil, fmt.Errorf("core: open txlog: %w", err)
-		}
-	}
-	s := &Server{
-		cfg:            cfg,
-		id:             transport.ServerID(cfg.DC, cfg.Partition),
-		clock:          hlc.NewClock(cfg.ClockSource),
-		st:             eng,
-		tl:             tl,
-		vv:             make([]hlc.Timestamp, cfg.NumDCs),
-		prepared:       make(map[uint64]*preparedTx),
-		recovered:      make(map[uint64]*recoveredPrepare),
-		txCtx:          stripemap.New[txContext](0),
-		peerLocal:      make([]hlc.Timestamp, cfg.NumPartitions),
-		peerRemoteMin:  make([]hlc.Timestamp, cfg.NumPartitions),
-		peerOldest:     make([]hlc.Timestamp, cfg.NumPartitions),
-		pendingSlice:   stripemap.New[*fanin.TxRead](0),
-		pendingPrepare: make(map[uint64]*prepareCall),
-		stop:           make(chan struct{}),
-	}
-	if tl != nil {
-		// Recovery order: the engine replayed its own logs in Open above;
-		// now the txlog's committed-but-unapplied transactions go into the
-		// engine BEFORE the server serves anything, so a kill between the
-		// client ack and the apply tick loses nothing.
-		s.recoverFromTxLog()
-		// Fresh transaction ids must clear every id of the previous
-		// lives: the log keeps old ids live across restarts (resync
-		// dedupe, re-driven outcomes, remote cohorts' retained prepares),
-		// so a colliding new id would match an unrelated old transaction.
-		// Seed above the durably reserved watermark and reserve the first
-		// block.
-		floor := tl.NextSeqFloor()
-		s.txSeq.Store(floor)
-		tl.ReserveSeqs(floor + seqBlockSize)
-		s.seqLimit.Store(floor + seqBlockSize)
-		// Snapshot each peer DC's unreplicated tail NOW, before the
-		// server serves anything: once live traffic flows, a peer's
-		// acknowledgement of a NEW batch could advance its cursor past
-		// the old tail before recoveryResend reads it, silently dropping
-		// the very transactions the cursor exists to recover. The cursor
-		// stays pinned at each tail's high-water mark until the re-sent
-		// tail itself is acknowledged.
-		s.resendTails = make([][]*txlog.CommittedTx, cfg.NumDCs)
-		s.resyncTailSent = make([]atomic.Bool, cfg.NumDCs)
-		s.resyncDone = make([]bool, cfg.NumDCs)
-		for dc := 0; dc < cfg.NumDCs; dc++ {
-			s.resyncDone[dc] = true
-			if dc == cfg.DC {
-				continue
-			}
-			if tail := tl.UnreplicatedTail(dc); len(tail) > 0 {
-				s.resendTails[dc] = tail
-				s.resyncDone[dc] = false
-				tl.PinResync(dc, tail[len(tail)-1].CT)
-			}
-		}
-	}
+	s.rt = rt
+	s.st = rt.Engine()
 	s.readPool.New = func() any {
 		rs := &readScratch{pred: cantorPred{localDC: uint8(cfg.DC)}}
 		// Bind the method value once: reusing it is what keeps the
@@ -463,7 +245,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // ID returns the server's node id.
-func (s *Server) ID() transport.NodeID { return s.id }
+func (s *Server) ID() transport.NodeID { return s.rt.ID() }
 
 // Metrics returns the server's counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
@@ -481,289 +263,34 @@ func (s *Server) EngineHealthy() error { return s.st.Healthy() }
 // — storage engine or transaction log — or nil while both are intact.
 // Unlike the earlier poll-only signal, the server ACTS on this one: a
 // degraded server sheds into read-only admission (see ReadOnly).
-func (s *Server) Healthy() error {
-	if err := s.st.Healthy(); err != nil {
-		return err
-	}
-	if s.tl != nil {
-		if err := s.tl.Healthy(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (s *Server) Healthy() error { return s.rt.Healthy() }
 
 // ReadOnly reports whether the server has shed into read-only admission:
 // new prepares and commits are refused with a typed error while reads keep
 // their nonblocking path. It flips as soon as the engine or the
 // transaction log records a write-path failure — an acknowledgement whose
-// durability promise cannot be kept must not be issued.
-func (s *Server) ReadOnly() bool { return s.Healthy() != nil }
+// durability promise cannot be kept must not be issued — and flips back if
+// a probation repair succeeds (see ServerConfig.RepairInterval).
+func (s *Server) ReadOnly() bool { return s.rt.Healthy() != nil }
 
 // TxLog exposes the transaction log (nil when disabled); read-only use in
 // tests.
-func (s *Server) TxLog() *txlog.Log { return s.tl }
+func (s *Server) TxLog() *txlog.Log { return s.rt.TxLog() }
 
-// txApplied reports whether the storage engine already holds a version
-// written by txID under key — the idempotence check recovery replay and
-// resync application run before re-inserting a transaction's writes.
-// Transaction ids embed the DC and partition, so a TxID match is exact.
-func (s *Server) txApplied(key string, txID uint64) bool {
-	return s.st.ReadVisible(key, func(v *store.Version) bool { return v.TxID == txID }) != nil
-}
+// Start registers the server on the network and launches the shared
+// runtime's apply (ΔR), stabilization (ΔG), garbage-collection and
+// lifecycle loops.
+func (s *Server) Start() { s.rt.Start() }
 
-// recoverFromTxLog replays the log's committed transactions into the
-// storage engine (skipping the writes the engine already recovered
-// itself) and stages outcome-less prepares for the re-driven CommitTx a
-// restarted coordinator sends. Runs before the server is registered on
-// the network. The idempotence check is per KEY, not per transaction: a
-// kill can land mid-PutBatch, leaving some of a transaction's shard logs
-// appended and others not, and a whole-transaction skip would lose the
-// missing keys.
-func (s *Server) recoverFromTxLog() {
-	committed := s.tl.Committed()
-	applied := make([]uint64, 0, len(committed))
-	for _, t := range committed {
-		applied = append(applied, t.TxID)
-		var puts []store.KV
-		for _, kv := range t.Writes {
-			if s.txApplied(kv.Key, t.TxID) {
-				continue
-			}
-			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: uint8(s.cfg.DC),
-			}})
-		}
-		s.st.PutBatch(puts)
-	}
-	// Everything committed in the log is now in the engine.
-	s.tl.MarkApplied(applied)
-	probe := time.Now().Add(recoveryGrace)
-	for _, p := range s.tl.Prepared() {
-		s.recovered[p.TxID] = &recoveredPrepare{tx: p, nextProbe: probe}
-	}
-}
-
-// redriveRecovered is the restart half of the coordinator's lifecycle:
-// re-drive the unresolved commit decisions this coordinator acknowledged
-// (their cohorts may have crashed between PrepareResp and CommitTx),
-// retrying while destinations are still coming up. Anything it cannot
-// finish is picked up by the periodic lifecycle loop.
-func (s *Server) redriveRecovered() {
-	defer s.wg.Done()
-	for _, c := range s.tl.CoordPending() {
-		for _, p := range c.Cohorts {
-			if !s.sendRetry(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT}) {
-				return
-			}
-		}
-	}
-}
-
-// resendTailTo re-sends one peer DC the committed tail above its
-// replication cursor, snapshotted at construction time, as resync batches
-// the receiver deduplicates. Each peer gets its own goroutine — until the
-// tail is on the link, applyTick withholds all ordinary replication to
-// that DC, and one unreachable peer must not extend that hold to the
-// others.
-func (s *Server) resendTailTo(dc int, tail []*txlog.CommittedTx) {
-	defer s.wg.Done()
-	for i := 0; i < len(tail); i += resendBatchSize {
-		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
-		for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
-			batch.Txs = append(batch.Txs, wire.ReplTx{TxID: t.TxID, CT: t.CT, RST: t.RST, Writes: t.Writes})
-		}
-		if !s.sendRetry(transport.ServerID(dc, s.cfg.Partition), batch) {
-			return
-		}
-	}
-	s.resyncTailSent[dc].Store(true)
-}
-
-// lifecycleLoop runs the periodic transaction-lifecycle maintenance
-// (txLifecycleTick) on its own timer, independent of the optional GC loop.
-func (s *Server) lifecycleLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(lifecycleInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.txLifecycleTick(time.Now())
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-// sendRetry delivers a recovery message, retrying while the destination is
-// unreachable: servers of a restarting deployment come up in arbitrary
-// order, and a re-driven outcome or resync batch dropped on the floor
-// would silently undo the durability the log just recovered. Gives up only
-// when this server stops; reports whether the send succeeded.
-func (s *Server) sendRetry(to transport.NodeID, m wire.Message) bool {
-	for {
-		if err := s.cfg.Network.Send(s.id, to, m); err == nil {
-			return true
-		}
-		select {
-		case <-s.stop:
-			return false
-		case <-time.After(20 * time.Millisecond):
-		}
-	}
-}
-
-// Start registers the server on the network and launches the apply (ΔR),
-// stabilization (ΔG) and garbage-collection loops.
-func (s *Server) Start() {
-	s.startOnce.Do(func() {
-		s.cfg.Network.Register(s.id, s)
-		s.wg.Add(1)
-		go s.applyLoop()
-		s.wg.Add(1)
-		go s.gossipLoop()
-		if s.cfg.GCInterval > 0 {
-			s.wg.Add(1)
-			go s.gcLoop()
-		}
-		if s.tl != nil {
-			// Recovery sends run per destination: a re-drive retrying
-			// toward one dead cohort, or one unreachable peer DC, must
-			// not block the resync tails — and with them ALL replication
-			// — to everyone else.
-			s.wg.Add(1)
-			go s.redriveRecovered()
-			for dc, tail := range s.resendTails {
-				if len(tail) > 0 {
-					s.wg.Add(1)
-					go s.resendTailTo(dc, tail)
-				}
-			}
-			s.wg.Add(1)
-			go s.lifecycleLoop()
-		}
-	})
-}
-
-// Stop terminates the background loops, waits for them to exit, flushes
-// any transactions still on the commit list into the store, and closes
-// the storage engine and the transaction log. With the transaction log
-// enabled the flush is an optimization, not the durability mechanism: an
-// acknowledged commit whose CommitTx was in flight when draining began is
-// already logged and is recovered on the next start — the commit-time
-// durability gap the pre-txlog shutdown special-cases existed for is
-// closed by the log itself.
-func (s *Server) Stop() { s.shutdown(false) }
+// Stop terminates the background loops, flushes any transactions still on
+// the commit list into the store, and closes the storage engine and the
+// transaction log.
+func (s *Server) Stop() { s.rt.Stop() }
 
 // Kill stops the server WITHOUT the final apply/flush, simulating a hard
 // kill for recovery tests: acknowledged-but-unapplied transactions stay
 // out of the engine and must come back through transaction-log recovery.
-// (In-process, file writes already handed to the OS survive regardless —
-// what Kill withholds is every shutdown courtesy the process performs.)
-func (s *Server) Kill() { s.shutdown(true) }
-
-func (s *Server) shutdown(kill bool) {
-	var flush bool
-	s.stopOnce.Do(func() {
-		s.drainMu.Lock()
-		s.draining = true
-		s.drainMu.Unlock()
-		close(s.stop)
-		flush = true
-	})
-	s.wg.Wait()
-	s.reqWG.Wait()
-	if !flush {
-		return
-	}
-	if !kill {
-		// Prepared-but-uncommitted transactions can never commit now, but
-		// their proposed timestamps would hold the apply upper bound below
-		// later acknowledged commits; drop them so the final apply flushes
-		// every transaction on the commit list. (With the txlog their
-		// prepares stay logged, so a commit decision that surfaces after a
-		// restart can still be honored.)
-		s.mu.Lock()
-		s.prepared = make(map[uint64]*preparedTx)
-		s.mu.Unlock()
-		s.applyTick()
-		s.flushCommitted()
-	}
-	if err := s.st.Close(); err != nil {
-		// The engine surfaces its first append/sync failure here; it
-		// must not vanish silently — acknowledged commits may not have
-		// reached disk.
-		fmt.Fprintf(os.Stderr, "core: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
-	}
-	if s.tl != nil {
-		if err := s.tl.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "core: dc%d/p%d txlog close: %v\n", s.cfg.DC, s.cfg.Partition, err)
-		}
-	}
-}
-
-// flushCommitted force-applies every transaction still on the commit list
-// to the storage engine, ignoring the apply upper bound. Only used during
-// Stop: the server serves no more reads, and a durable engine must not
-// close with acknowledged commits unapplied. The regular final applyTick
-// usually drains the list already; this catches commit timestamps the
-// local clock has not caught up to.
-//
-// Replication is NOT retried here: a transaction flushed this way (or
-// whose Replicate message was dropped by draining peers) persists locally
-// but never reaches remote DCs — there is no replication cursor yet, so a
-// restart can leave DCs durably diverged on the final pre-shutdown
-// transactions (tracked in ROADMAP.md alongside commit-time durability).
-func (s *Server) flushCommitted() {
-	s.mu.Lock()
-	apply := s.committed
-	s.committed = nil
-	s.mu.Unlock()
-	if len(apply) == 0 {
-		return
-	}
-	sort.Slice(apply, func(i, j int) bool {
-		if apply[i].ct != apply[j].ct {
-			return apply[i].ct < apply[j].ct
-		}
-		return apply[i].txID < apply[j].txID
-	})
-	var puts []store.KV
-	for _, t := range apply {
-		for _, kv := range t.writes {
-			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.VersionValue(), UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
-			}})
-		}
-	}
-	s.st.PutBatch(puts)
-	if s.tl != nil {
-		ids := make([]uint64, len(apply))
-		for i, t := range apply {
-			ids[i] = t.txID
-		}
-		s.tl.MarkApplied(ids)
-	}
-}
-
-// goAsync runs fn on a tracked goroutine unless the server is draining.
-// The commit path uses it for the 2PC response collection, which must not
-// block a delivery link. (Reads no longer need it: their fan-in is a
-// completion counter, not a parked goroutine.)
-func (s *Server) goAsync(fn func()) {
-	s.drainMu.Lock()
-	if s.draining {
-		s.drainMu.Unlock()
-		return
-	}
-	s.reqWG.Add(1)
-	s.drainMu.Unlock()
-	go func() {
-		defer s.reqWG.Done()
-		fn()
-	}()
-}
+func (s *Server) Kill() { s.rt.Kill() }
 
 // StableTimes returns the server's current view of (LST, RST). The two
 // scalars are loaded independently; each is monotone, and no protocol rule
@@ -775,38 +302,17 @@ func (s *Server) StableTimes() (lst, rst hlc.Timestamp) {
 
 // VersionVector returns a copy of the server's version vector.
 func (s *Server) VersionVector() []hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]hlc.Timestamp, len(s.vv))
-	copy(out, s.vv)
-	return out
+	return s.rt.VV.Snapshot(nil)
 }
 
 // LocalVersionClock returns vv[m], the local snapshot installed by this
 // partition.
 func (s *Server) LocalVersionClock() hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.vv[s.cfg.DC]
+	return s.rt.VV.Load(s.cfg.DC)
 }
 
-// newTxID generates a globally unique transaction id: DC in the top byte,
-// partition in the next two, then a local sequence number. With a
-// transaction log, sequence numbers are drawn from durably reserved
-// blocks so ids stay unique across restarts too (an id can outlive this
-// process in a cohort's log the moment it is handed out).
-func (s *Server) newTxID() uint64 {
-	seq := s.txSeq.Add(1)
-	if s.tl != nil && seq > s.seqLimit.Load() {
-		s.seqMu.Lock()
-		if seq > s.seqLimit.Load() {
-			s.tl.ReserveSeqs(seq + seqBlockSize)
-			s.seqLimit.Store(seq + seqBlockSize)
-		}
-		s.seqMu.Unlock()
-	}
-	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | seq
-}
+// newTxID delegates to the runtime's durable id-block reservation.
+func (s *Server) newTxID() uint64 { return s.rt.NewTxID() }
 
 // visibleFunc builds the CANToR snapshot visibility predicate
 // (Algorithm 3 lines 7–8): a local item is visible when ut ≤ lt ∧ rdt ≤ rt;
@@ -820,10 +326,125 @@ func visibleFunc(localDC uint8, lt, rt hlc.Timestamp) store.VisibleFunc {
 	}
 }
 
-// HandleMessage implements transport.Handler. It dispatches on message
-// type; handlers never block (Wren's defining property), so the per-link
-// FIFO delivery goroutines are never stalled.
-func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
+// wrenProtocol is the replica.Protocol implementation: the seam through
+// which the shared runtime calls back into Wren's snapshot representation.
+// It is a distinct type (not methods on Server) so the hook set stays out
+// of the server's public API.
+type wrenProtocol Server
+
+func (p *wrenProtocol) server() *Server { return (*Server)(p) }
+
+// AppendLocalPuts renders a locally committed transaction into engine
+// versions: update time CT, remote dependency time RST, origin this DC.
+func (p *wrenProtocol) AppendLocalPuts(dst []store.KV, t *txlog.CommittedTx, skip replica.SkipFunc) []store.KV {
+	s := p.server()
+	for _, kv := range t.Writes {
+		if skip != nil && skip(kv.Key, t.TxID) {
+			continue
+		}
+		dst = append(dst, store.KV{Key: kv.Key, Version: &store.Version{
+			Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: uint8(s.cfg.DC),
+		}})
+	}
+	return dst
+}
+
+// AppendRemotePuts renders one replicated transaction from srcDC.
+func (p *wrenProtocol) AppendRemotePuts(dst []store.KV, srcDC uint8, t *wire.ReplTx, skip replica.SkipFunc) []store.KV {
+	for _, kv := range t.Writes {
+		if skip != nil && skip(kv.Key, t.TxID) {
+			continue
+		}
+		dst = append(dst, store.KV{Key: kv.Key, Version: &store.Version{
+			Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: srcDC,
+		}})
+	}
+	return dst
+}
+
+// ReplTxRecord ships the scalar remote-dependency time with each
+// replicated transaction — Wren's whole snapshot overhead is one
+// timestamp (Figure 7a).
+func (p *wrenProtocol) ReplTxRecord(t *txlog.CommittedTx) wire.ReplTx {
+	return wire.ReplTx{TxID: t.TxID, CT: t.CT, RST: t.RST, Writes: t.Writes}
+}
+
+// ApplyBound reads the HLC and pins it, so any later prepare proposes
+// strictly above the bound. Called under the runtime's writer mutex.
+func (p *wrenProtocol) ApplyBound() hlc.Timestamp {
+	s := p.server()
+	ub := s.rt.Clock.Now()
+	s.rt.Clock.Update(ub)
+	return ub
+}
+
+// ObserveCommitTS absorbs an incoming commit timestamp into the HLC.
+func (p *wrenProtocol) ObserveCommitTS(ct hlc.Timestamp) { p.server().rt.Clock.Update(ct) }
+
+// AfterInstall is a no-op: Wren's reads never wait for installation —
+// that is the point of the protocol.
+func (p *wrenProtocol) AfterInstall() {}
+
+// GossipTick runs one BiST round.
+func (p *wrenProtocol) GossipTick() { p.server().gossipTick() }
+
+// OldestActiveSnapshot expires abandoned transaction contexts and returns
+// the oldest local snapshot time a surviving transaction still needs — or
+// the current stable time when idle (paper §IV-B). The GC floor is loaded
+// under the runtime's SnapMu barrier: every in-flight snapshot assignment
+// drains first, so any context the Range below cannot see yet was assigned
+// lt ≥ this floor and needs no protection from it.
+func (p *wrenProtocol) OldestActiveSnapshot(now time.Time) hlc.Timestamp {
+	s := p.server()
+	s.rt.SnapMu.Lock()
+	oldest := s.lst.Load()
+	s.rt.SnapMu.Unlock()
+	var expired []uint64
+	s.txCtx.Range(func(id uint64, ctx txContext) bool {
+		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
+			expired = append(expired, id)
+			return true
+		}
+		if ctx.lt < oldest {
+			oldest = ctx.lt
+		}
+		return true
+	})
+	for _, id := range expired {
+		if _, ok := s.txCtx.LoadAndDelete(id); ok {
+			s.metrics.CtxExpired.Inc()
+		}
+	}
+	return oldest
+}
+
+// BeforeCommitReply implements the BlockingCommit ablation: hold the reply
+// until the write is stable everywhere in the DC, making the client cache
+// unnecessary — and commits slow (paper §III-B).
+func (p *wrenProtocol) BeforeCommitReply(ct hlc.Timestamp) bool {
+	s := p.server()
+	if !s.cfg.BlockingCommit {
+		return true
+	}
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for s.lst.Load() < ct {
+		select {
+		case <-ticker.C:
+		case <-s.rt.Stopping():
+			return false
+		}
+	}
+	return true
+}
+
+// OnStop is a no-op: Wren parks no readers.
+func (p *wrenProtocol) OnStop(bool) {}
+
+// HandleMessage dispatches the snapshot-carrying messages the runtime
+// forwards to the protocol.
+func (p *wrenProtocol) HandleMessage(from transport.NodeID, m wire.Message) {
+	s := p.server()
 	switch msg := m.(type) {
 	case *wire.StartTxReq:
 		s.handleStartTx(from, msg)
@@ -833,50 +454,29 @@ func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
 		s.handleCommitReq(from, msg)
 	case *wire.SliceReq:
 		s.handleSliceReq(from, msg)
-	case *wire.SliceResp:
-		s.handleSliceResp(msg)
 	case *wire.PrepareReq:
 		s.handlePrepareReq(from, msg)
-	case *wire.PrepareResp:
-		s.handlePrepareResp(msg)
-	case *wire.CommitTx:
-		s.handleCommitTx(from, msg)
-	case *wire.CommitAck:
-		s.handleCommitAck(msg)
-	case *wire.Replicate:
-		s.handleReplicate(msg)
-	case *wire.ReplicateAck:
-		s.handleReplicateAck(msg)
-	case *wire.Heartbeat:
-		s.handleHeartbeat(msg)
 	case *wire.StableBroadcast:
 		s.handleStableBroadcast(msg)
-	case *wire.GCBroadcast:
-		s.handleGCBroadcast(msg)
-	case *wire.HealthReq:
-		s.handleHealthReq(from, msg)
-	case *wire.TxStatusReq:
-		s.handleTxStatusReq(from, msg)
-	case *wire.TxStatusResp:
-		s.handleTxStatusResp(from, msg)
 	}
 }
 
 // handleStartTx implements Algorithm 2 lines 1–6: refresh the server's
 // stable times with the client's, then assign the transaction snapshot
-// (lst, min(rst, lst−1)).
+// (lst, min(rst, lst−1)). SnapMu is held SHARED around the assignment so
+// GC's exclusive floor load can never miss a context it must protect.
 func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
 	s.lst.Advance(m.LST)
 	s.rst.Advance(m.RST)
-	id := s.newTxID()
-	s.snapMu.RLock()
+	id := s.rt.NewTxID()
+	s.rt.SnapMu.RLock()
 	lt := s.lst.Load()
 	rt := hlc.Min(s.rst.Load(), lt.Prev())
 	s.txCtx.Store(id, txContext{lt: lt, rt: rt, created: time.Now()})
-	s.snapMu.RUnlock()
+	s.rt.SnapMu.RUnlock()
 
 	s.metrics.TxStarted.Inc()
-	s.send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, LST: lt, RST: rt})
+	s.rt.Send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, LST: lt, RST: rt})
 }
 
 // handleTxRead implements Algorithm 2 lines 7–16: fan the key set out to
@@ -888,7 +488,7 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	ctx, ok := s.txCtx.Load(m.TxID)
 	if !ok {
 		// Unknown (expired) transaction: reply empty so the client can fail fast.
-		s.send(from, &wire.TxReadResp{ReqID: m.ReqID})
+		s.rt.Send(from, &wire.TxReadResp{ReqID: m.ReqID})
 		return
 	}
 	lt, rt := ctx.lt, ctx.rt
@@ -919,19 +519,19 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 		if p == s.cfg.Partition {
 			continue
 		}
-		reqID := s.reqSeq.Add(1)
+		reqID := s.rt.NextReqID()
 		req := wire.GetSliceReq()
 		req.ReqID, req.LT, req.RT = reqID, lt, rt
 		req.Keys = append(req.Keys[:0], fo.Groups[p]...)
-		s.pendingSlice.Store(reqID, fi)
-		s.send(transport.ServerID(s.cfg.DC, p), req)
+		s.rt.TrackRead(reqID, fi)
+		s.rt.Send(transport.ServerID(s.cfg.DC, p), req)
 	}
 	s.fanPool.Put(fo)
 
 	// Release the coordinator's own contribution; when every remote slice
 	// already answered (or none was needed), this assembles the response.
 	if resp, to, last := fi.Finish(); last {
-		s.send(to, resp)
+		s.rt.Send(to, resp)
 	}
 }
 
@@ -947,7 +547,7 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 	resp.ReqID = m.ReqID
 	resp.Items = s.readSlice(m.Keys, m.LT, m.RT, resp.Items[:0])
 	s.metrics.SlicesServed.Inc()
-	s.send(from, resp)
+	s.rt.Send(from, resp)
 	wire.PutSliceReq(m)
 }
 
@@ -974,18 +574,9 @@ func (s *Server) readSlice(keys []string, lt, rt hlc.Timestamp, dst []wire.Item)
 	return dst
 }
 
-func (s *Server) handleSliceResp(m *wire.SliceResp) {
-	if fi, ok := s.pendingSlice.LoadAndDelete(m.ReqID); ok {
-		fi.Fold(m.Items, m.BlockedMicros)
-		if resp, to, last := fi.Finish(); last {
-			s.send(to, resp)
-		}
-	}
-	wire.PutSliceResp(m)
-}
-
-// handleCommitReq implements Algorithm 2 lines 17–28: run the two-phase
-// commit across the cohort partitions.
+// handleCommitReq resolves the transaction's snapshot and hands the 2PC to
+// the runtime (Algorithm 2 lines 17–28); each cohort's PrepareReq carries
+// the snapshot scalars and the proposal floor ht.
 func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 	ctx, ok := s.txCtx.LoadAndDelete(m.TxID)
 	var lt, rt hlc.Timestamp
@@ -997,359 +588,19 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 		// still exceed every snapshot the client has seen via hwt.
 		lt, rt = s.lst.Load(), s.rst.Load()
 	}
-
-	if len(m.Writes) == 0 {
-		// Read-only transactions just release their context (the paper's
-		// COMMIT is only invoked when WS ≠ ∅). They are admitted even in
-		// read-only degraded mode — nothing about them needs durability.
-		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
-		return
-	}
-	if err := s.Healthy(); err != nil {
-		// Read-only admission: the durability this acknowledgement would
-		// promise cannot be delivered, so the write is refused with a
-		// typed error instead of being accepted into a degraded log.
-		s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
-		return
-	}
-
 	ht := hlc.Max(lt, rt, m.HWT) // Algorithm 2 line 19
-
-	type cohortWrites struct {
-		partition int
-		writes    []wire.KV
-	}
-	byPartition := make(map[int][]wire.KV)
-	for _, kv := range m.Writes {
-		p := sharding.PartitionOf(kv.Key, s.cfg.NumPartitions)
-		byPartition[p] = append(byPartition[p], kv)
-	}
-	cohorts := make([]cohortWrites, 0, len(byPartition))
-	for p, ws := range byPartition {
-		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
-	}
-
-	call := &prepareCall{ch: make(chan prepareVote, len(cohorts))}
-	s.mu.Lock()
-	s.pendingPrepare[m.TxID] = call
-	s.mu.Unlock()
-
-	for _, c := range cohorts {
-		s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.PrepareReq{
-			ReqID: s.reqSeq.Add(1), TxID: m.TxID,
-			LT: lt, RT: rt, HT: ht, Writes: c.writes,
-		})
-	}
-
-	s.goAsync(func() {
-		var ct hlc.Timestamp
-		var refusal string
-		for range cohorts {
-			select {
-			case v := <-call.ch:
-				if v.err != "" && refusal == "" {
-					refusal = v.err
-				}
-				if v.pt > ct {
-					ct = v.pt
-				}
-			case <-s.stop:
-				return
-			}
-		}
-		// The pendingPrepare entry stays registered until the outcome is
-		// decided (logged or aborted): TxStatusReq answers "not committed"
-		// only when a transaction is in NEITHER pendingPrepare nor the
-		// decision log, so the in-flight window must never show a gap — a
-		// cohort that restarted mid-2PC probes for exactly this state, and
-		// a false final verdict would abort a prepare this decision is
-		// about to commit.
-		finish := func() {
-			s.mu.Lock()
-			delete(s.pendingPrepare, m.TxID)
-			s.mu.Unlock()
-		}
-		if refusal != "" {
-			// A degraded cohort refused its prepare: abort the 2PC (zero
-			// CT releases the healthy cohorts' prepares) and surface the
-			// typed refusal to the client.
-			finish()
-			for _, c := range cohorts {
-				s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
-			}
-			s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: refusal})
-			return
-		}
-		if s.tl != nil {
-			// The commit decision is logged and made stable BEFORE
-			// CommitTx leaves and BEFORE the client ack: the ack's
-			// durability promise is this record, and holding CommitTx
-			// back until it holds means a failed append/fsync can still
-			// abort the whole 2PC cleanly — no cohort has committed yet.
-			parts := make([]uint16, 0, len(cohorts))
-			for _, c := range cohorts {
-				parts = append(parts, uint16(c.partition))
-			}
-			s.tl.LogCoordCommit(m.TxID, ct, parts)
-			if s.tl.SyncOnAppend() {
-				s.tl.Sync()
-			}
-			if err := s.tl.Healthy(); err != nil {
-				// The decision never became durable: withdraw it (so a
-				// recovery cannot re-drive a commit the client was told
-				// failed), abort the cohorts, refuse the client.
-				s.tl.CoordAbort(m.TxID)
-				finish()
-				for _, c := range cohorts {
-					s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
-				}
-				s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
-				return
-			}
-		}
-		finish()
-		for _, c := range cohorts {
-			s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
-		}
-		if s.cfg.BlockingCommit {
-			// Ablation: hold the reply until the write is stable everywhere
-			// in the DC, making the client cache unnecessary — and commits
-			// slow (paper §III-B).
-			ticker := time.NewTicker(time.Millisecond)
-			defer ticker.Stop()
-			for s.lst.Load() < ct {
-				select {
-				case <-ticker.C:
-				case <-s.stop:
-					return
-				}
-			}
-		}
-		s.metrics.TxCommitted.Inc()
-		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: ct})
+	s.rt.Commit(from, m, func() *wire.PrepareReq {
+		return &wire.PrepareReq{LT: lt, RT: rt, HT: ht}
 	})
 }
 
-// handlePrepareReq implements Algorithm 3 lines 13–19: advance the HLC past
-// everything the client has seen and propose it as the commit timestamp.
-//
-// The proposal and its registration in the pending list happen atomically
-// under s.mu, the same mutex applyTick holds while computing its apply
-// upper bound. Without that, applyTick could interleave between TickPast
-// and the registration, compute an upper bound at or above the proposal
-// (TickPast has already advanced the clock), publish it as stable — and
-// the transaction would later commit INSIDE the stable region, applied
-// after readers were already served without it: the causal/atomic
-// violations TestTCCConformance* exhibited under CPU starvation, where the
-// preemption window between the two statements stretched to milliseconds.
+// handlePrepareReq refreshes the stable times and hands the cohort side of
+// the 2PC to the runtime: propose strictly past everything the client has
+// seen (Algorithm 3 lines 13–19).
 func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
 	s.lst.Advance(m.LT)
 	s.rst.Advance(m.RT)
-	if err := s.Healthy(); err != nil {
-		// Degraded durability: refuse, so the coordinator aborts instead
-		// of committing a write set this cohort cannot log.
-		s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, Err: err.Error()})
-		return
-	}
-	s.mu.Lock()
-	pt := s.clock.TickPast(hlc.Max(m.HT, m.LT, m.RT))
-	s.prepared[m.TxID] = &preparedTx{pt: pt, rst: m.RT, writes: m.Writes}
-	s.mu.Unlock()
-	resp := &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt}
-	if s.tl != nil {
-		s.tl.LogPrepare(&txlog.PreparedTx{TxID: m.TxID, PT: pt, RST: m.RT, Writes: m.Writes})
-		if s.tl.SyncOnAppend() {
-			// The fsync must not stall the delivery link (reads share it):
-			// the proposal leaves on a tracked goroutine once the prepare
-			// record is stable.
-			s.goAsync(func() {
-				s.tl.Sync()
-				s.send(from, s.checkedPrepareResp(resp))
-			})
-			return
-		}
-		resp = s.checkedPrepareResp(resp)
-	}
-	s.send(from, resp)
-}
-
-// checkedPrepareResp downgrades a prepare proposal to a refusal when the
-// append (or fsync) backing it failed: the proposal claims the write set
-// is recoverable here, and a vote whose own record never became durable
-// must not be cast — only LATER requests being refused would let this one
-// transaction commit on a broken promise.
-func (s *Server) checkedPrepareResp(resp *wire.PrepareResp) *wire.PrepareResp {
-	if err := s.tl.Healthy(); err != nil {
-		return &wire.PrepareResp{ReqID: resp.ReqID, TxID: resp.TxID, Err: err.Error()}
-	}
-	return resp
-}
-
-func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
-	s.mu.Lock()
-	call := s.pendingPrepare[m.TxID]
-	s.mu.Unlock()
-	if call != nil {
-		call.ch <- prepareVote{pt: m.PT, err: m.Err}
-	}
-}
-
-// handleCommitTx implements Algorithm 3 lines 20–24: move the transaction
-// from the pending list to the commit list under its final timestamp. A
-// zero CT aborts instead (degraded-cohort refusal). With the transaction
-// log enabled the outcome is logged and acknowledged back to the
-// coordinator, which releases the coordinator's logged decision once every
-// cohort holds the outcome durably; re-driven outcomes after a restart
-// resolve recovered prepares, and outcomes already known deduplicate to
-// just the acknowledgement.
-func (s *Server) handleCommitTx(from transport.NodeID, m *wire.CommitTx) {
-	if m.CT == 0 {
-		s.mu.Lock()
-		delete(s.prepared, m.TxID)
-		delete(s.recovered, m.TxID)
-		s.mu.Unlock()
-		if s.tl != nil {
-			s.tl.LogAbort(m.TxID)
-		}
-		return
-	}
-	s.clock.Update(m.CT)
-	s.mu.Lock()
-	committed := false
-	if p, ok := s.prepared[m.TxID]; ok {
-		delete(s.prepared, m.TxID)
-		s.committed = append(s.committed, &committedTx{
-			txID: m.TxID, ct: m.CT, rst: p.rst, writes: p.writes,
-		})
-		committed = true
-	} else if rp, ok := s.recovered[m.TxID]; ok {
-		// A re-driven outcome for a prepare recovered from the txlog: the
-		// client was acknowledged in a previous life; commit it now.
-		delete(s.recovered, m.TxID)
-		s.committed = append(s.committed, &committedTx{
-			txID: m.TxID, ct: m.CT, rst: rp.tx.RST, writes: rp.tx.Writes,
-		})
-		committed = true
-	}
-	s.mu.Unlock()
-	if s.tl == nil {
-		return
-	}
-	if committed {
-		s.tl.LogCommit(m.TxID, m.CT)
-	}
-	// The ack states "outcome durable here"; it may only leave after the
-	// commit record is stable (and not on the delivery goroutine), and
-	// never when the append or fsync backing it failed — withholding it
-	// keeps the coordinator's decision pending, to be re-driven rather
-	// than resolved on a broken promise. DUPLICATE outcomes take the same
-	// sync barrier: a re-driven CommitTx can arrive while the first
-	// copy's fsync is still in flight, and acknowledging it early would
-	// resolve the decision against an unsynced record (the group-commit
-	// sync is free once the record is already stable).
-	ack := &wire.CommitAck{TxID: m.TxID, Partition: uint16(s.cfg.Partition)}
-	if s.tl.SyncOnAppend() {
-		s.goAsync(func() {
-			s.tl.Sync()
-			if s.tl.Healthy() == nil {
-				s.send(from, ack)
-			}
-		})
-		return
-	}
-	if s.tl.Healthy() == nil {
-		s.send(from, ack)
-	}
-}
-
-// handleCommitAck releases the coordinator's logged commit decision once
-// the acknowledging cohort — and eventually all of them — holds the
-// outcome durably.
-func (s *Server) handleCommitAck(m *wire.CommitAck) {
-	if s.tl != nil {
-		s.tl.CoordAck(m.TxID, m.Partition)
-	}
-}
-
-// handleReplicateAck advances the persisted replication cursor for the
-// acknowledging DC: everything up to UpTo is confirmed applied there, so a
-// restart re-sends only what lies above. While a post-restart resync is
-// outstanding the cursor is pinned below the re-sent tail (only the
-// tail's own acknowledgement lifts it) — the txlog clamps the advance.
-func (s *Server) handleReplicateAck(m *wire.ReplicateAck) {
-	if s.tl == nil {
-		return
-	}
-	s.tl.AdvanceCursor(int(m.DC), m.UpTo)
-	if m.Resync {
-		s.tl.UnpinResync(int(m.DC), m.UpTo)
-	}
-}
-
-// handleHealthReq answers the operator-facing health probe (wren-cli
-// health): whether this server is in read-only admission and why.
-func (s *Server) handleHealthReq(from transport.NodeID, m *wire.HealthReq) {
-	resp := &wire.HealthResp{ReqID: m.ReqID}
-	if err := s.Healthy(); err != nil {
-		resp.ReadOnly = true
-		resp.Err = err.Error()
-	}
-	s.send(from, resp)
-}
-
-// handleReplicate applies remotely committed transactions (Algorithm 4
-// lines 22–26). FIFO links guarantee commit-timestamp order per sender.
-// Resync batches — a restarted sender replaying its unconfirmed tail — are
-// deduplicated per transaction against the engine; ordinary batches skip
-// that check. When the transaction log is enabled the batch is
-// acknowledged so the sender's replication cursor can advance.
-func (s *Server) handleReplicate(m *wire.Replicate) {
-	var puts []store.KV
-	for i := range m.Txs {
-		t := &m.Txs[i]
-		for _, kv := range t.Writes {
-			if m.Resync && s.txApplied(kv.Key, t.TxID) {
-				continue // already applied in a previous life (per key: an
-				// earlier kill may have split the transaction's batch)
-			}
-			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.VersionValue(), UT: t.CT, RDT: t.RST, TxID: t.TxID, SrcDC: m.SrcDC,
-			}})
-		}
-	}
-	s.st.PutBatch(puts)
-	s.metrics.ReplTxApplied.Add(uint64(len(puts)))
-	if len(m.Txs) == 0 {
-		return
-	}
-	last := m.Txs[len(m.Txs)-1].CT
-	s.mu.Lock()
-	if last > s.vv[m.SrcDC] {
-		s.vv[m.SrcDC] = last
-	}
-	s.mu.Unlock()
-	if s.tl != nil && s.Healthy() == nil {
-		// The engine write above honored the fsync policy, so the ack's
-		// durability statement is exactly as strong as every other one —
-		// unless this replica's write path is degraded and the batch only
-		// reached memory: then the ack is withheld, the sender's cursor
-		// stays put, and its retained tail can still resync us after a
-		// restart instead of leaving the DCs durably diverged. The Resync
-		// echo lets the sender's cursor pin distinguish tail confirmation
-		// from ordinary traffic.
-		s.send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
-			&wire.ReplicateAck{DC: uint8(s.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
-	}
-}
-
-// handleHeartbeat advances the version-vector entry of an idle remote
-// replica (Algorithm 4 lines 27–28).
-func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
-	s.mu.Lock()
-	if m.TS > s.vv[m.SrcDC] {
-		s.vv[m.SrcDC] = m.TS
-	}
-	s.mu.Unlock()
+	s.rt.Prepare(from, m, hlc.Max(m.HT, m.LT, m.RT))
 }
 
 // handleStableBroadcast ingests a peer partition's BiST contribution and
@@ -1365,7 +616,7 @@ func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
 	if p < 0 || p >= s.cfg.NumPartitions {
 		return
 	}
-	s.mu.Lock()
+	s.gossipMu.Lock()
 	if m.Local > s.peerLocal[p] {
 		s.peerLocal[p] = m.Local
 	}
@@ -1373,13 +624,13 @@ func (s *Server) handleStableBroadcast(m *wire.StableBroadcast) {
 		s.peerRemoteMin[p] = m.RemoteMin
 	}
 	s.recomputeStableLocked()
-	s.mu.Unlock()
+	s.gossipMu.Unlock()
 }
 
 // recomputeStableLocked folds the gossiped per-partition contributions into
 // the published LST and RST. Both are monotone because each peer's
 // contributions are; publication is an atomic max-merge, so readers load
-// them without touching s.mu.
+// them without touching gossipMu.
 func (s *Server) recomputeStableLocked() {
 	lst := s.peerLocal[0]
 	rst := s.peerRemoteMin[0]
@@ -1397,19 +648,22 @@ func (s *Server) recomputeStableLocked() {
 
 // localContribution returns this server's own BiST scalars: its local
 // version clock and the minimum over its remote version-vector entries.
-func (s *Server) localContributionLocked() (local, remoteMin hlc.Timestamp) {
-	local = s.vv[s.cfg.DC]
+// The vector is loaded entry-by-entry from the runtime's atomic vector;
+// each entry is monotone, so the min over entries loaded at slightly
+// different instants is still a valid (conservative) remote floor.
+func (s *Server) localContribution() (local, remoteMin hlc.Timestamp) {
+	local = s.rt.VV.Load(s.cfg.DC)
 	if s.cfg.NumDCs == 1 {
 		// With a single site there are no remote dependencies; the remote
 		// stable time tracks the local one.
 		return local, local
 	}
 	first := true
-	for i, t := range s.vv {
+	for i := 0; i < s.cfg.NumDCs; i++ {
 		if i == s.cfg.DC {
 			continue
 		}
-		if first || t < remoteMin {
+		if t := s.rt.VV.Load(i); first || t < remoteMin {
 			remoteMin = t
 			first = false
 		}
@@ -1417,164 +671,12 @@ func (s *Server) localContributionLocked() (local, remoteMin hlc.Timestamp) {
 	return local, remoteMin
 }
 
-// applyLoop runs Algorithm 4 lines 5–21 every ΔR.
-func (s *Server) applyLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.ApplyInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.applyTick()
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-// applyTick applies committed transactions up to the safe upper bound and
-// replicates them; when idle it heartbeats instead.
-func (s *Server) applyTick() {
-	s.mu.Lock()
-	var ub hlc.Timestamp
-	if len(s.prepared) > 0 {
-		first := true
-		for _, p := range s.prepared {
-			if first || p.pt < ub {
-				ub = p.pt
-				first = false
-			}
-		}
-		ub = ub.Prev()
-	} else {
-		ub = s.clock.Now()
-		// Pin the HLC so any later prepare proposes strictly above ub;
-		// otherwise a commit could land at a timestamp we already declared
-		// stable.
-		s.clock.Update(ub)
-	}
-	if ub < s.vv[s.cfg.DC] {
-		ub = s.vv[s.cfg.DC]
-	}
-
-	hadCommitted := len(s.committed) > 0
-	var apply []*committedTx
-	if hadCommitted {
-		rest := s.committed[:0]
-		for _, c := range s.committed {
-			if c.ct <= ub {
-				apply = append(apply, c)
-			} else {
-				rest = append(rest, c)
-			}
-		}
-		s.committed = rest
-	}
-	s.mu.Unlock()
-
-	// Apply in commit-timestamp order, grouping equal timestamps into one
-	// replication message (Algorithm 4 lines 8–16). Each group's writes go
-	// through one shard-grouped PutBatch, and all writes happen before
-	// vv[m] is published so no reader can observe a stable time whose
-	// versions are missing.
-	sort.Slice(apply, func(i, j int) bool {
-		if apply[i].ct != apply[j].ct {
-			return apply[i].ct < apply[j].ct
-		}
-		return apply[i].txID < apply[j].txID
-	})
-	var batches []*wire.Replicate
-	for i := 0; i < len(apply); {
-		j := i
-		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition)}
-		var puts []store.KV
-		for ; j < len(apply) && apply[j].ct == apply[i].ct; j++ {
-			t := apply[j]
-			for _, kv := range t.writes {
-				puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-					Value: kv.VersionValue(), UT: t.ct, RDT: t.rst, TxID: t.txID, SrcDC: uint8(s.cfg.DC),
-				}})
-			}
-			batch.Txs = append(batch.Txs, wire.ReplTx{
-				TxID: t.txID, CT: t.ct, RST: t.rst, Writes: t.writes,
-			})
-		}
-		s.st.PutBatch(puts)
-		batches = append(batches, batch)
-		i = j
-	}
-
-	s.mu.Lock()
-	if ub > s.vv[s.cfg.DC] {
-		s.vv[s.cfg.DC] = ub
-	}
-	s.mu.Unlock()
-	if s.tl != nil && len(apply) > 0 {
-		// Exactly these transactions are now in the engine; the log may
-		// release their records once replication confirms them. Marked by
-		// id, not by ub: a re-driven recovered commit logged concurrently
-		// can carry an old ct ≤ ub without being in this batch.
-		ids := make([]uint64, len(apply))
-		for i, t := range apply {
-			ids[i] = t.txID
-		}
-		s.tl.MarkApplied(ids)
-	}
-
-	hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
-	for dc := 0; dc < s.cfg.NumDCs; dc++ {
-		if dc == s.cfg.DC {
-			continue
-		}
-		if s.tl != nil && !s.resyncDone[dc] {
-			// Replication to this DC is held until the restart resync
-			// tail is on its link: a batch or heartbeat overtaking the
-			// tail would advance the peer's version vector past
-			// transactions still in flight behind it. Once the tail is
-			// enqueued, this (single-goroutine) tick ships one dedupe-safe
-			// catch-up of everything still unconfirmed — including this
-			// tick's transactions — and normal replication resumes next
-			// tick.
-			if !s.resyncTailSent[dc].Load() {
-				continue
-			}
-			for i, tail := 0, s.tl.UnreplicatedTail(dc); i < len(tail); i += resendBatchSize {
-				batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
-				for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
-					batch.Txs = append(batch.Txs, wire.ReplTx{TxID: t.TxID, CT: t.CT, RST: t.RST, Writes: t.Writes})
-				}
-				s.send(transport.ServerID(dc, s.cfg.Partition), batch)
-			}
-			s.resyncDone[dc] = true
-			continue
-		}
-		for _, b := range batches {
-			s.send(transport.ServerID(dc, s.cfg.Partition), b)
-		}
-		if !hadCommitted {
-			s.send(transport.ServerID(dc, s.cfg.Partition), hb)
-		}
-	}
-}
-
-// gossipLoop runs the BiST exchange every ΔG.
-func (s *Server) gossipLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.GossipInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.gossipTick()
-		case <-s.stop:
-			return
-		}
-	}
-}
-
+// gossipTick runs one BiST exchange: fold in this server's own
+// contribution, then broadcast — all-to-all, or up/down the aggregation
+// tree when GossipTree is on.
 func (s *Server) gossipTick() {
-	s.mu.Lock()
-	local, remoteMin := s.localContributionLocked()
+	local, remoteMin := s.localContribution()
+	s.gossipMu.Lock()
 	if local > s.peerLocal[s.cfg.Partition] {
 		s.peerLocal[s.cfg.Partition] = local
 	}
@@ -1582,7 +684,7 @@ func (s *Server) gossipTick() {
 		s.peerRemoteMin[s.cfg.Partition] = remoteMin
 	}
 	s.recomputeStableLocked()
-	s.mu.Unlock()
+	s.gossipMu.Unlock()
 	lst, rst := s.lst.Load(), s.rst.Load()
 
 	if s.cfg.GossipTree {
@@ -1592,12 +694,12 @@ func (s *Server) gossipTick() {
 				Partition: 0, Aggregate: true, Local: lst, RemoteMin: rst,
 			}
 			for p := 1; p < s.cfg.NumPartitions; p++ {
-				s.send(transport.ServerID(s.cfg.DC, p), agg)
+				s.rt.Send(transport.ServerID(s.cfg.DC, p), agg)
 			}
 			return
 		}
 		// Leaf: report the local contribution to the root only.
-		s.send(transport.ServerID(s.cfg.DC, 0), &wire.StableBroadcast{
+		s.rt.Send(transport.ServerID(s.cfg.DC, 0), &wire.StableBroadcast{
 			Partition: uint16(s.cfg.Partition), Local: local, RemoteMin: remoteMin,
 		})
 		return
@@ -1610,196 +712,8 @@ func (s *Server) gossipTick() {
 		if p == s.cfg.Partition {
 			continue
 		}
-		s.send(transport.ServerID(s.cfg.DC, p), msg)
+		s.rt.Send(transport.ServerID(s.cfg.DC, p), msg)
 	}
 }
 
-// gcLoop exchanges oldest-active snapshots and prunes version chains.
-func (s *Server) gcLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.GCInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.gcTick()
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-func (s *Server) gcTick() {
-	now := time.Now()
-	// Expire abandoned transaction contexts so they cannot hold back GC,
-	// and compute the oldest snapshot of a surviving transaction — or the
-	// current visible snapshot when idle (paper §IV-B). The GC floor is
-	// the stable time loaded under the snapMu barrier: every in-flight
-	// snapshot assignment drains first, so any context the Range below
-	// cannot see yet was assigned lt ≥ this floor and needs no
-	// protection from it.
-	s.snapMu.Lock()
-	oldest := s.lst.Load()
-	s.snapMu.Unlock()
-	var expired []uint64
-	s.txCtx.Range(func(id uint64, ctx txContext) bool {
-		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
-			expired = append(expired, id)
-			return true
-		}
-		if ctx.lt < oldest {
-			oldest = ctx.lt
-		}
-		return true
-	})
-	for _, id := range expired {
-		if _, ok := s.txCtx.LoadAndDelete(id); ok {
-			s.metrics.CtxExpired.Inc()
-		}
-	}
-	// Sweep in-flight read fan-ins whose slice responses will never come
-	// (a peer died mid-read): the client has long timed out; dropping the
-	// entry lets the fan-in state be reclaimed.
-	var staleReads []uint64
-	s.pendingSlice.Range(func(reqID uint64, fi *fanin.TxRead) bool {
-		if now.Sub(fi.Created()) > s.cfg.TxContextTTL {
-			staleReads = append(staleReads, reqID)
-		}
-		return true
-	})
-	for _, reqID := range staleReads {
-		s.pendingSlice.Delete(reqID)
-	}
-	s.mu.Lock()
-	if oldest > s.peerOldest[s.cfg.Partition] {
-		s.peerOldest[s.cfg.Partition] = oldest
-	}
-	threshold := s.peerOldest[0]
-	for _, t := range s.peerOldest[1:] {
-		if t < threshold {
-			threshold = t
-		}
-	}
-	s.mu.Unlock()
-
-	msg := &wire.GCBroadcast{Partition: uint16(s.cfg.Partition), Oldest: oldest}
-	for p := 0; p < s.cfg.NumPartitions; p++ {
-		if p == s.cfg.Partition {
-			continue
-		}
-		s.send(transport.ServerID(s.cfg.DC, p), msg)
-	}
-
-	if threshold > 0 {
-		res := s.st.GCStats(threshold)
-		if res.Removed > 0 {
-			s.metrics.GCRemoved.Add(uint64(res.Removed))
-		}
-		if res.DroppedKeys > 0 {
-			s.metrics.GCKeysDropped.Add(uint64(res.DroppedKeys))
-		}
-	}
-}
-
-// txLifecycleTick is the periodic maintenance of the durable transaction
-// lifecycle, run from lifecycleLoop: probe the coordinators of recovered
-// prepares whose outcome has not arrived (cooperative 2PC termination —
-// only an explicit "not committed" answer may abort them), and re-drive
-// the CommitTx of unresolved commit decisions whose cohorts have not all
-// confirmed a durable outcome (a cohort crash can swallow the original
-// CommitTx or its ack without this coordinator ever restarting).
-func (s *Server) txLifecycleTick(now time.Time) {
-	if s.tl == nil {
-		return
-	}
-	var probes []uint64
-	s.mu.Lock()
-	for id, rp := range s.recovered {
-		if now.After(rp.nextProbe) {
-			probes = append(probes, id)
-			rp.nextProbe = now.Add(recoveryGrace)
-		}
-	}
-	s.mu.Unlock()
-	for _, id := range probes {
-		dc, p := coordinatorOf(id)
-		if dc < s.cfg.NumDCs && p < s.cfg.NumPartitions {
-			s.send(transport.ServerID(dc, p), &wire.TxStatusReq{TxID: id})
-		}
-	}
-	for _, c := range s.tl.RedrivePending(redriveAfter) {
-		for _, p := range c.Cohorts {
-			s.send(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT})
-		}
-	}
-}
-
-// coordinatorOf decodes the coordinator server embedded in a transaction
-// id (see newTxID: DC in the top byte, partition in the next two).
-func coordinatorOf(txID uint64) (dc, partition int) {
-	return int(txID >> 56), int(uint16(txID >> 40))
-}
-
-// handleTxStatusReq answers a cohort's 2PC-termination probe from the
-// coordinator's logged decisions. "No decision retained" is a final abort
-// verdict for a cohort still holding the prepare — either the client was
-// never acknowledged, or the decision was resolved, which requires that
-// very cohort's durable-commit ack, contradicting a still-dangling
-// prepare — UNLESS the 2PC is still collecting votes: then the outcome is
-// genuinely undecided (a slow sibling cohort can stall it past the probe
-// grace) and the coordinator stays silent, leaving the cohort to re-probe.
-func (s *Server) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) {
-	ct, ok := s.coordDecision(m.TxID)
-	if !ok {
-		s.mu.Lock()
-		_, inFlight := s.pendingPrepare[m.TxID]
-		s.mu.Unlock()
-		if inFlight {
-			return
-		}
-	}
-	s.send(from, &wire.TxStatusResp{TxID: m.TxID, CT: ct, Committed: ok})
-}
-
-// coordDecision is a nil-safe lookup of the coordinator decision.
-func (s *Server) coordDecision(txID uint64) (hlc.Timestamp, bool) {
-	if s.tl == nil {
-		return 0, false
-	}
-	return s.tl.CoordDecision(txID)
-}
-
-// handleTxStatusResp settles a recovered prepare: a committed verdict
-// flows through the normal commit path (including the durable-commit ack
-// back to the coordinator); a not-committed verdict finally aborts it.
-func (s *Server) handleTxStatusResp(from transport.NodeID, m *wire.TxStatusResp) {
-	if m.Committed {
-		s.handleCommitTx(from, &wire.CommitTx{TxID: m.TxID, CT: m.CT})
-		return
-	}
-	s.mu.Lock()
-	_, ok := s.recovered[m.TxID]
-	delete(s.recovered, m.TxID)
-	s.mu.Unlock()
-	if ok && s.tl != nil {
-		s.tl.LogAbort(m.TxID)
-	}
-}
-
-func (s *Server) handleGCBroadcast(m *wire.GCBroadcast) {
-	p := int(m.Partition)
-	if p < 0 || p >= s.cfg.NumPartitions {
-		return
-	}
-	s.mu.Lock()
-	if m.Oldest > s.peerOldest[p] {
-		s.peerOldest[p] = m.Oldest
-	}
-	s.mu.Unlock()
-}
-
-// send transmits a message, ignoring delivery errors: the network rejects
-// sends only during shutdown, when responses are moot.
-func (s *Server) send(to transport.NodeID, m wire.Message) {
-	_ = s.cfg.Network.Send(s.id, to, m)
-}
+var _ replica.Protocol = (*wrenProtocol)(nil)

@@ -76,10 +76,7 @@ func TestStopFlushesCommittedDespiteStuckPrepared(t *testing.T) {
 	// Wait until the CommitTx lands on the commit list.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		srv.mu.Lock()
-		n := len(srv.committed)
-		srv.mu.Unlock()
-		if n == 1 {
+		if srv.rt.CommitQueueLen() == 1 {
 			break
 		}
 		if time.Now().After(deadline) {

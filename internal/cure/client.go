@@ -163,6 +163,20 @@ func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.M
 
 // Begin starts a transaction, piggybacking the client's dependency vector.
 func (c *Client) Begin() (*Tx, error) {
+	return c.BeginAt(c.cfg.CoordinatorPartition)
+}
+
+// BeginAt starts a transaction on an explicit coordinator partition; a
+// negative value picks a random one (the Begin default). It is the
+// failover entry point: after a read-only commit refusal a session can
+// retry against a different, healthy coordinator while keeping its causal
+// session state — the dependency vector carries over, so the retried
+// transaction still commits strictly after everything this session has
+// observed.
+func (c *Client) BeginAt(coordinator int) (*Tx, error) {
+	if coordinator >= c.cfg.NumPartitions {
+		return nil, fmt.Errorf("cure: coordinator partition %d out of range [0,%d)", coordinator, c.cfg.NumPartitions)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -173,7 +187,7 @@ func (c *Client) Begin() (*Tx, error) {
 		return nil, ErrTxOpen
 	}
 	dv := copyVec(c.dv)
-	coordPartition := c.cfg.CoordinatorPartition
+	coordPartition := coordinator
 	if coordPartition < 0 {
 		coordPartition = c.rng.Intn(c.cfg.NumPartitions)
 	}
@@ -194,13 +208,14 @@ func (c *Client) Begin() (*Tx, error) {
 	defer c.mu.Unlock()
 	maxInto(c.dv, st.SV)
 	tx := &Tx{
-		client: c,
-		coord:  coord,
-		id:     st.TxID,
-		sv:     st.SV,
-		ws:     make(map[string][]byte),
-		rs:     make(map[string][]byte),
-		rsMiss: make(map[string]struct{}),
+		client:    c,
+		coord:     coord,
+		partition: coordPartition,
+		id:        st.TxID,
+		sv:        st.SV,
+		ws:        make(map[string][]byte),
+		rs:        make(map[string][]byte),
+		rsMiss:    make(map[string]struct{}),
 	}
 	c.tx = tx
 	return tx, nil
@@ -223,14 +238,15 @@ func (c *Client) DependencyVector() []hlc.Timestamp {
 
 // Tx is an interactive Cure transaction.
 type Tx struct {
-	client *Client
-	coord  transport.NodeID
-	id     uint64
-	sv     []hlc.Timestamp
-	ws     map[string][]byte
-	rs     map[string][]byte
-	rsMiss map[string]struct{}
-	done   bool
+	client    *Client
+	coord     transport.NodeID
+	partition int // coordinator partition index
+	id        uint64
+	sv        []hlc.Timestamp
+	ws        map[string][]byte
+	rs        map[string][]byte
+	rsMiss    map[string]struct{}
+	done      bool
 
 	// BlockedMicros is the maximum time any read of this transaction spent
 	// blocked on a laggard partition (Figure 3b's measured quantity).
@@ -239,6 +255,10 @@ type Tx struct {
 
 // ID returns the transaction id.
 func (t *Tx) ID() uint64 { return t.id }
+
+// Coordinator returns the coordinator partition this transaction ran on —
+// the partition a failover retry must avoid.
+func (t *Tx) Coordinator() int { return t.partition }
 
 // SnapshotVector returns the transaction's snapshot vector.
 func (t *Tx) SnapshotVector() []hlc.Timestamp { return copyVec(t.sv) }

@@ -1,44 +1,27 @@
 package cure
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"wren/internal/fanin"
 	"wren/internal/hlc"
+	"wren/internal/replica"
 	"wren/internal/sharding"
 	"wren/internal/stats"
 	"wren/internal/store"
-	"wren/internal/store/backend"
 	"wren/internal/stripemap"
 	"wren/internal/transport"
 	"wren/internal/txlog"
 	"wren/internal/wire"
 )
 
-// Default protocol timer intervals, matching package core.
+// Default protocol timer intervals, shared with the replica runtime.
 const (
-	DefaultApplyInterval  = 5 * time.Millisecond
-	DefaultGossipInterval = 5 * time.Millisecond
-	DefaultGCInterval     = 500 * time.Millisecond
-	DefaultTxContextTTL   = 30 * time.Second
-)
-
-// recoveryGrace, redriveAfter and resendBatchSize mirror package core:
-// the status-probe cadence for recovered prepares, the age after which an
-// unresolved commit decision's CommitTx is re-driven, and the resync
-// Replicate batch size.
-const (
-	recoveryGrace     = 15 * time.Second
-	redriveAfter      = 5 * time.Second
-	resendBatchSize   = 128
-	seqBlockSize      = 1 << 20 // durable id-block reservation, as in core
-	lifecycleInterval = time.Second
+	DefaultApplyInterval  = replica.DefaultApplyInterval
+	DefaultGossipInterval = replica.DefaultGossipInterval
+	DefaultGCInterval     = replica.DefaultGCInterval
+	DefaultTxContextTTL   = replica.DefaultTxContextTTL
 )
 
 // ServerConfig configures one Cure/H-Cure partition server.
@@ -57,6 +40,10 @@ type ServerConfig struct {
 	GossipInterval time.Duration
 	GCInterval     time.Duration
 	TxContextTTL   time.Duration
+	// RepairInterval paces the degraded-mode probation exit (see
+	// core.ServerConfig.RepairInterval): zero selects
+	// replica.DefaultRepairInterval, negative disables automatic repair.
+	RepairInterval time.Duration
 	// StoreShards is the number of lock stripes in the version store.
 	// Zero selects store.DefaultShards; the value is rounded up to a power
 	// of two.
@@ -79,74 +66,33 @@ type ServerConfig struct {
 	DisableTxLog bool
 }
 
-func (c *ServerConfig) fillDefaults() {
-	if c.ClockSource == nil {
-		c.ClockSource = hlc.SystemSource{}
+// runtimeConfig maps the public config onto the shared replica runtime's.
+func (c *ServerConfig) runtimeConfig() replica.Config {
+	return replica.Config{
+		Name:           "cure",
+		DC:             c.DC,
+		Partition:      c.Partition,
+		NumDCs:         c.NumDCs,
+		NumPartitions:  c.NumPartitions,
+		Network:        c.Network,
+		ClockSource:    c.ClockSource,
+		ApplyInterval:  c.ApplyInterval,
+		GossipInterval: c.GossipInterval,
+		GCInterval:     c.GCInterval,
+		TxContextTTL:   c.TxContextTTL,
+		RepairInterval: c.RepairInterval,
+		StoreShards:    c.StoreShards,
+		StoreBackend:   c.StoreBackend,
+		DataDir:        c.DataDir,
+		FsyncPolicy:    c.FsyncPolicy,
+		DisableTxLog:   c.DisableTxLog,
 	}
-	if c.ApplyInterval == 0 {
-		c.ApplyInterval = DefaultApplyInterval
-	}
-	if c.GossipInterval == 0 {
-		c.GossipInterval = DefaultGossipInterval
-	}
-	if c.GCInterval == 0 {
-		c.GCInterval = DefaultGCInterval
-	}
-	if c.TxContextTTL == 0 {
-		c.TxContextTTL = DefaultTxContextTTL
-	}
-}
-
-func (c *ServerConfig) validate() error {
-	if c.NumDCs <= 0 || c.NumPartitions <= 0 {
-		return fmt.Errorf("cure: invalid topology %dx%d", c.NumDCs, c.NumPartitions)
-	}
-	if c.DC < 0 || c.DC >= c.NumDCs {
-		return fmt.Errorf("cure: DC %d out of range [0,%d)", c.DC, c.NumDCs)
-	}
-	if c.Partition < 0 || c.Partition >= c.NumPartitions {
-		return fmt.Errorf("cure: partition %d out of range [0,%d)", c.Partition, c.NumPartitions)
-	}
-	if c.Network == nil {
-		return fmt.Errorf("cure: network is required")
-	}
-	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
-		return fmt.Errorf("cure: store shards %d out of range [0,%d]", c.StoreShards, store.MaxShards)
-	}
-	if err := backend.Validate(c.StoreBackend, c.DataDir, c.FsyncPolicy); err != nil {
-		return fmt.Errorf("cure: %w", err)
-	}
-	return nil
-}
-
-// engineDir is the per-server subdirectory of DataDir a durable backend
-// writes to.
-func (c *ServerConfig) engineDir() string {
-	if c.DataDir == "" {
-		return ""
-	}
-	return filepath.Join(c.DataDir, fmt.Sprintf("dc%d-p%d", c.DC, c.Partition))
 }
 
 // txContext is the coordinator-side state of an open transaction.
 type txContext struct {
 	sv      []hlc.Timestamp // snapshot vector
 	created time.Time
-}
-
-// preparedTx is a prepared-but-uncommitted transaction.
-type preparedTx struct {
-	pt     hlc.Timestamp
-	sv     []hlc.Timestamp
-	writes []wire.KV
-}
-
-// committedTx awaits application in commit-timestamp order.
-type committedTx struct {
-	txID   uint64
-	ct     hlc.Timestamp
-	dv     []hlc.Timestamp // final dependency vector (dv[m] = ct)
-	writes []wire.KV
 }
 
 // waiter is a parked slice read whose snapshot is not yet installed — the
@@ -160,26 +106,6 @@ type waiter struct {
 	sv      []hlc.Timestamp
 	req     *wire.SliceReq
 	arrived time.Time
-}
-
-// prepareVote is one cohort's 2PC answer: a proposed commit timestamp, or
-// a refusal (non-empty err) from a cohort whose durability is degraded.
-type prepareVote struct {
-	pt  hlc.Timestamp
-	err string
-}
-
-type prepareCall struct {
-	ch chan prepareVote
-}
-
-// recoveredPrepare is a prepare replayed from the transaction log after a
-// restart, awaiting a re-driven outcome or a TxStatusResp verdict; kept
-// out of s.prepared so it cannot hold the apply upper bound back (see
-// package core).
-type recoveredPrepare struct {
-	tx        *txlog.PreparedTx
-	nextProbe time.Time
 }
 
 // curePred is Cure's snapshot-vector visibility predicate in reusable
@@ -213,172 +139,71 @@ type Metrics struct {
 	CtxExpired    stats.Counter
 }
 
-// Server is one Cure/H-Cure partition server.
+// Server is one Cure/H-Cure partition server: the vector-snapshot half —
+// snapshot-vector assignment, the parked-reader (blocking) read path, and
+// the full-vector stabilization gossip — over the shared replica runtime,
+// which owns the durable transaction lifecycle, recovery, and every
+// background loop.
 //
 // Mirroring package core, the read path is lock-free where the protocol
 // allows: the version vector and global stable vector are atomically
 // published (so the installed-snapshot check on every slice read takes no
 // lock), per-request bookkeeping lives in striped maps, and read fan-ins
-// are completion counters. What remains under s.mu is the writer state and
-// the parked-reader list — the blocking that defines this baseline.
+// are completion counters. What remains under s.mu is the parked-reader
+// list and the gossip aggregation — the blocking that defines this
+// baseline.
 type Server struct {
-	cfg   ServerConfig
-	id    transport.NodeID
-	clock *hlc.Clock
-	st    store.Engine
+	cfg ServerConfig
+	rt  *replica.Runtime
+	// st aliases rt.Engine() for the slice-read path.
+	st store.Engine
 
-	// tl is the durable transaction-lifecycle log (nil for the memory
-	// backend or when disabled), exactly as in package core; resendTails,
-	// seqLimit and seqMu mirror core's restart-resync snapshot and
-	// durable id-block reservation.
-	tl          *txlog.Log
-	resendTails [][]*txlog.CommittedTx
-	seqLimit    atomic.Uint64
-	seqMu       sync.Mutex
-	// resyncTailSent/resyncDone gate ordinary replication per DC until
-	// the restart resync tail is on the link (resyncDone is only touched
-	// under applyMu) — see core.Server for the ordering rationale.
-	resyncTailSent []atomic.Bool
-	resyncDone     []bool
-
-	// vv[m] = local version clock; vv[i] = received from DC i. gsv is the
-	// global stable vector from gossip (entrywise min over peers). Both are
-	// entrywise-monotone atomics, loaded lock-free on the read path.
-	vv  hlc.AtomicVector
+	// gsv is the global stable vector from gossip (entrywise min over
+	// peers): entrywise-monotone, loaded lock-free on the read path.
 	gsv hlc.AtomicVector
 
-	txCtx        *stripemap.Map[*txContext]
-	pendingSlice *stripemap.Map[*fanin.TxRead]
-
-	// snapMu makes snapshot-vector assignment atomic with respect to
-	// GC's oldest-snapshot computation, exactly as in package core:
-	// StartTx holds it shared around (read gsv/clock → store context);
-	// gcTick takes it exclusively while loading the GC floor, so any
-	// context invisible to the subsequent sweep was assigned a snapshot
-	// at or above the floor.
-	snapMu sync.RWMutex
+	txCtx *stripemap.Map[*txContext]
 
 	readPool sync.Pool
 	fanPool  sync.Pool
 
-	// applyMu serializes applyTick end to end. Unlike Wren, whose apply
-	// tick only ever runs on the apply-loop goroutine, Cure/H-Cure ALSO
-	// run it from every parked slice read (the eager-install attempt in
-	// handleSliceReq) — and two overlapping ticks break the installed-
-	// snapshot invariant: tick A takes committed transactions up to its
-	// bound and is preempted before writing them to the engine; tick B,
-	// finding the commit list empty, computes a LARGER bound and publishes
-	// it via vv.Advance while A's writes are still in flight. Readers
-	// whose snapshot the new vv now "covers" are served without those
-	// versions — the monotonic-read regressions and causal/atomic
-	// violations TestTCCConformance{Cure,HCure} showed under CPU
-	// starvation, where the preemption window stretched to milliseconds.
-	// s.mu cannot serve this purpose: applyTick must release it around the
-	// engine write, which is exactly the window that must stay ordered.
-	applyMu sync.Mutex
+	// mu guards the parked-reader list and the gossip aggregation.
+	// Protocol-only state: disjoint from the runtime's writer mutex.
+	mu      sync.Mutex
+	waiters []*waiter
+	peerVV  [][]hlc.Timestamp // last gossiped VV per peer partition
 
-	mu        sync.Mutex
-	peerVV    [][]hlc.Timestamp // last gossiped VV per peer partition
-	prepared  map[uint64]*preparedTx
-	recovered map[uint64]*recoveredPrepare // txlog prepares awaiting a re-driven outcome
-	committed []*committedTx
-	waiters   []*waiter
-	oldest    []hlc.Timestamp // gossiped oldest-active snapshot per partition
-
-	pendingPrepare map[uint64]*prepareCall
-
-	reqSeq  atomic.Uint64
-	txSeq   atomic.Uint64
 	metrics Metrics
-
-	startOnce sync.Once
-	stopOnce  sync.Once
-	stop      chan struct{}
-	wg        sync.WaitGroup
-	reqWG     sync.WaitGroup
-
-	// drainMu orders goAsync's draining check + reqWG.Add against Stop's
-	// draining=true + reqWG.Wait, as in package core.
-	drainMu  sync.Mutex
-	draining bool // guarded by drainMu
 }
 
 // NewServer constructs a Cure or H-Cure partition server.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	cfg.fillDefaults()
-	if err := cfg.validate(); err != nil {
+	rcfg := cfg.runtimeConfig()
+	rcfg.FillDefaults()
+	if err := rcfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng, err := backend.Open(backend.Options{
-		Backend: cfg.StoreBackend,
-		Shards:  cfg.StoreShards,
-		DataDir: cfg.engineDir(),
-		Fsync:   cfg.FsyncPolicy,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("cure: open store: %w", err)
-	}
-	// The transaction log lives inside the engine's claimed directory,
-	// covered by its lock and marker (see package core).
-	var tl *txlog.Log
-	if cfg.StoreBackend != "" && cfg.StoreBackend != backend.Memory && !cfg.DisableTxLog {
-		tl, err = txlog.Open(txlog.Options{
-			Dir:    filepath.Join(cfg.engineDir(), "txlog"),
-			NumDCs: cfg.NumDCs,
-			SelfDC: cfg.DC,
-			Fsync:  cfg.FsyncPolicy,
-		})
-		if err != nil {
-			_ = eng.Close()
-			return nil, fmt.Errorf("cure: open txlog: %w", err)
-		}
-	}
+	cfg.TxContextTTL = rcfg.TxContextTTL
 	s := &Server{
-		cfg:            cfg,
-		id:             transport.ServerID(cfg.DC, cfg.Partition),
-		clock:          hlc.NewClock(cfg.ClockSource),
-		st:             eng,
-		tl:             tl,
-		vv:             hlc.NewAtomicVector(cfg.NumDCs),
-		gsv:            hlc.NewAtomicVector(cfg.NumDCs),
-		peerVV:         make([][]hlc.Timestamp, cfg.NumPartitions),
-		prepared:       make(map[uint64]*preparedTx),
-		recovered:      make(map[uint64]*recoveredPrepare),
-		txCtx:          stripemap.New[*txContext](0),
-		oldest:         make([]hlc.Timestamp, cfg.NumPartitions),
-		pendingSlice:   stripemap.New[*fanin.TxRead](0),
-		pendingPrepare: make(map[uint64]*prepareCall),
-		stop:           make(chan struct{}),
+		cfg:    cfg,
+		gsv:    hlc.NewAtomicVector(cfg.NumDCs),
+		txCtx:  stripemap.New[*txContext](0),
+		peerVV: make([][]hlc.Timestamp, cfg.NumPartitions),
 	}
 	for p := range s.peerVV {
 		s.peerVV[p] = make([]hlc.Timestamp, cfg.NumDCs)
 	}
-	if tl != nil {
-		s.recoverFromTxLog()
-		// Fresh transaction ids must clear every id of the previous
-		// lives; seed above the reserved watermark and reserve the first
-		// block (see package core).
-		floor := tl.NextSeqFloor()
-		s.txSeq.Store(floor)
-		tl.ReserveSeqs(floor + seqBlockSize)
-		s.seqLimit.Store(floor + seqBlockSize)
-		// Snapshot the unreplicated tails before serving and pin the
-		// cursors below them (see package core for the race this closes).
-		s.resendTails = make([][]*txlog.CommittedTx, cfg.NumDCs)
-		s.resyncTailSent = make([]atomic.Bool, cfg.NumDCs)
-		s.resyncDone = make([]bool, cfg.NumDCs)
-		for dc := 0; dc < cfg.NumDCs; dc++ {
-			s.resyncDone[dc] = true
-			if dc == cfg.DC {
-				continue
-			}
-			if tail := tl.UnreplicatedTail(dc); len(tail) > 0 {
-				s.resendTails[dc] = tail
-				s.resyncDone[dc] = false
-				tl.PinResync(dc, tail[len(tail)-1].CT)
-			}
-		}
+	rt, err := replica.New(rcfg, (*cureProtocol)(s), replica.Counters{
+		TxCommitted:   &s.metrics.TxCommitted,
+		ReplTxApplied: &s.metrics.ReplTxApplied,
+		GCRemoved:     &s.metrics.GCRemoved,
+		GCKeysDropped: &s.metrics.GCKeysDropped,
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.rt = rt
+	s.st = rt.Engine()
 	s.readPool.New = func() any {
 		rs := &readScratch{}
 		rs.visible = rs.pred.visible
@@ -389,7 +214,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // ID returns the server's node id.
-func (s *Server) ID() transport.NodeID { return s.id }
+func (s *Server) ID() transport.NodeID { return s.rt.ID() }
 
 // Metrics returns the server's counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
@@ -403,29 +228,49 @@ func (s *Server) EngineHealthy() error { return s.st.Healthy() }
 
 // Healthy reports the first durability failure of the server's write path
 // — storage engine or transaction log — or nil while both are intact.
-func (s *Server) Healthy() error {
-	if err := s.st.Healthy(); err != nil {
-		return err
-	}
-	if s.tl != nil {
-		if err := s.tl.Healthy(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (s *Server) Healthy() error { return s.rt.Healthy() }
 
 // ReadOnly reports whether the server has shed into read-only admission
 // (see core.Server.ReadOnly).
-func (s *Server) ReadOnly() bool { return s.Healthy() != nil }
+func (s *Server) ReadOnly() bool { return s.rt.Healthy() != nil }
 
 // TxLog exposes the transaction log (nil when disabled) for tests.
-func (s *Server) TxLog() *txlog.Log { return s.tl }
+func (s *Server) TxLog() *txlog.Log { return s.rt.TxLog() }
 
-// txApplied reports whether the engine already holds a version written by
-// txID under key — the idempotence check for recovery replay and resync.
-func (s *Server) txApplied(key string, txID uint64) bool {
-	return s.st.ReadVisible(key, func(v *store.Version) bool { return v.TxID == txID }) != nil
+// Start registers the server and launches the runtime's background loops.
+func (s *Server) Start() { s.rt.Start() }
+
+// Stop terminates background loops, flushes the commit list into the
+// store, and closes the storage engine and transaction log.
+func (s *Server) Stop() { s.rt.Stop() }
+
+// Kill stops the server WITHOUT the final apply/flush (and without the
+// courtesy replies to parked readers), simulating a hard kill for
+// recovery tests; see core.Server.Kill.
+func (s *Server) Kill() { s.rt.Kill() }
+
+// StableVector returns a copy of the server's global stable vector.
+func (s *Server) StableVector() []hlc.Timestamp {
+	return s.gsv.Snapshot(nil)
+}
+
+// VersionVector returns a copy of the server's version vector.
+func (s *Server) VersionVector() []hlc.Timestamp {
+	return s.rt.VV.Snapshot(nil)
+}
+
+// LocalVersionClock returns vv[m].
+func (s *Server) LocalVersionClock() hlc.Timestamp {
+	return s.rt.VV.Load(s.cfg.DC)
+}
+
+// now returns the coordinator clock reading used for snapshot local
+// entries: the HLC for H-Cure, the raw physical clock for Cure.
+func (s *Server) now() hlc.Timestamp {
+	if s.cfg.UseHLC {
+		return s.rt.Clock.Now()
+	}
+	return s.rt.Clock.PhysicalNow()
 }
 
 // depVector derives a version's dependency vector from its prepare-time
@@ -441,282 +286,179 @@ func (s *Server) depVector(sv []hlc.Timestamp, ct hlc.Timestamp) []hlc.Timestamp
 	return dv
 }
 
-// recoverFromTxLog replays the log's committed transactions into the
-// engine and stages outcome-less prepares for re-driven outcomes, before
-// the server is registered on the network (see package core).
-func (s *Server) recoverFromTxLog() {
-	committed := s.tl.Committed()
-	applied := make([]uint64, 0, len(committed))
-	for _, t := range committed {
-		applied = append(applied, t.TxID)
-		// Per-KEY idempotence: a kill mid-PutBatch can leave some of a
-		// transaction's shard logs appended and others not.
-		dv := s.depVector(t.SV, t.CT)
-		var puts []store.KV
-		for _, kv := range t.Writes {
-			if s.txApplied(kv.Key, t.TxID) {
-				continue
-			}
-			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: uint8(s.cfg.DC), DV: dv,
-			}})
+// cureProtocol is the replica.Protocol implementation: the seam through
+// which the shared runtime calls back into Cure's vector-snapshot logic.
+type cureProtocol Server
+
+func (p *cureProtocol) server() *Server { return (*Server)(p) }
+
+// AppendLocalPuts renders a locally committed transaction into engine
+// versions carrying its dependency vector, derived from the prepare-time
+// snapshot vector and the final commit timestamp.
+func (p *cureProtocol) AppendLocalPuts(dst []store.KV, t *txlog.CommittedTx, skip replica.SkipFunc) []store.KV {
+	s := p.server()
+	dv := s.depVector(t.SV, t.CT)
+	for _, kv := range t.Writes {
+		if skip != nil && skip(kv.Key, t.TxID) {
+			continue
 		}
-		s.st.PutBatch(puts)
+		dst = append(dst, store.KV{Key: kv.Key, Version: &store.Version{
+			Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: uint8(s.cfg.DC), DV: dv,
+		}})
 	}
-	s.tl.MarkApplied(applied)
-	probe := time.Now().Add(recoveryGrace)
-	for _, p := range s.tl.Prepared() {
-		s.recovered[p.TxID] = &recoveredPrepare{tx: p, nextProbe: probe}
-	}
+	return dst
 }
 
-// redriveRecovered re-drives unresolved commit decisions at startup; the
-// lifecycle loop picks up anything it cannot finish (see package core).
-func (s *Server) redriveRecovered() {
-	defer s.wg.Done()
-	for _, c := range s.tl.CoordPending() {
-		for _, p := range c.Cohorts {
-			if !s.sendRetry(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT}) {
-				return
-			}
+// AppendRemotePuts renders one replicated transaction from srcDC; its
+// dependency vector arrives on the wire.
+func (p *cureProtocol) AppendRemotePuts(dst []store.KV, srcDC uint8, t *wire.ReplTx, skip replica.SkipFunc) []store.KV {
+	for _, kv := range t.Writes {
+		if skip != nil && skip(kv.Key, t.TxID) {
+			continue
 		}
+		dst = append(dst, store.KV{Key: kv.Key, Version: &store.Version{
+			Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: srcDC, DV: t.DV,
+		}})
 	}
+	return dst
 }
 
-// resendTailTo re-sends one peer DC its snapshotted unreplicated tail —
-// one goroutine per peer, so one unreachable DC cannot hold the others'
-// resync (and therefore all their replication) hostage.
-func (s *Server) resendTailTo(dc int, tail []*txlog.CommittedTx) {
-	defer s.wg.Done()
-	for i := 0; i < len(tail); i += resendBatchSize {
-		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
-		for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
-			batch.Txs = append(batch.Txs, wire.ReplTx{
-				TxID: t.TxID, CT: t.CT, DV: s.depVector(t.SV, t.CT), Writes: t.Writes,
-			})
-		}
-		if !s.sendRetry(transport.ServerID(dc, s.cfg.Partition), batch) {
-			return
-		}
-	}
-	s.resyncTailSent[dc].Store(true)
+// ReplTxRecord ships the full M-entry dependency vector with each
+// replicated transaction — Cure's snapshot overhead versus Wren's one
+// scalar (Figure 7a).
+func (p *cureProtocol) ReplTxRecord(t *txlog.CommittedTx) wire.ReplTx {
+	s := p.server()
+	return wire.ReplTx{TxID: t.TxID, CT: t.CT, DV: s.depVector(t.SV, t.CT), Writes: t.Writes}
 }
 
-// lifecycleLoop runs txLifecycleTick on its own timer, independent of the
-// optional GC loop.
-func (s *Server) lifecycleLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(lifecycleInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.txLifecycleTick(time.Now())
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-// sendRetry delivers a recovery message, retrying while the destination is
-// unreachable (peers of a restarting deployment come up in arbitrary
-// order); gives up only when this server stops. See core.Server.sendRetry.
-func (s *Server) sendRetry(to transport.NodeID, m wire.Message) bool {
-	for {
-		if err := s.cfg.Network.Send(s.id, to, m); err == nil {
-			return true
-		}
-		select {
-		case <-s.stop:
-			return false
-		case <-time.After(20 * time.Millisecond):
-		}
-	}
-}
-
-// Start registers the server and launches its background loops.
-func (s *Server) Start() {
-	s.startOnce.Do(func() {
-		s.cfg.Network.Register(s.id, s)
-		s.wg.Add(1)
-		go s.applyLoop()
-		s.wg.Add(1)
-		go s.gossipLoop()
-		if s.cfg.GCInterval > 0 {
-			s.wg.Add(1)
-			go s.gcLoop()
-		}
-		if s.tl != nil {
-			// Per-destination recovery sends + independent lifecycle
-			// timer, as in package core.
-			s.wg.Add(1)
-			go s.redriveRecovered()
-			for dc, tail := range s.resendTails {
-				if len(tail) > 0 {
-					s.wg.Add(1)
-					go s.resendTailTo(dc, tail)
-				}
-			}
-			s.wg.Add(1)
-			go s.lifecycleLoop()
-		}
-	})
-}
-
-// Stop terminates background loops, waits for them, flushes the commit
-// list into the store, and closes the storage engine and transaction log.
-// With the transaction log enabled the flush is an optimization: an
-// acknowledged commit whose CommitTx was still in flight when draining
-// began is already logged and recovers on the next start.
-func (s *Server) Stop() { s.shutdown(false) }
-
-// Kill stops the server WITHOUT the final apply/flush (and without the
-// courtesy replies to parked readers), simulating a hard kill for
-// recovery tests; see core.Server.Kill.
-func (s *Server) Kill() { s.shutdown(true) }
-
-func (s *Server) shutdown(kill bool) {
-	var flush bool
-	s.stopOnce.Do(func() {
-		s.drainMu.Lock()
-		s.draining = true
-		s.drainMu.Unlock()
-		s.mu.Lock()
-		waiters := s.waiters
-		s.waiters = nil
-		s.mu.Unlock()
-		// Fail parked reads so clients aren't left hanging (a killed
-		// server answers nobody).
-		if !kill {
-			for _, w := range waiters {
-				s.send(w.from, &wire.SliceResp{ReqID: w.reqID})
-				if w.req != nil {
-					wire.PutSliceReq(w.req)
-				}
-			}
-		}
-		close(s.stop)
-		flush = true
-	})
-	s.wg.Wait()
-	s.reqWG.Wait()
-	if !flush {
-		return
-	}
-	if !kill {
-		// Prepared-but-uncommitted transactions can never commit now; drop
-		// them so their proposed timestamps do not hold the final apply's
-		// upper bound below acknowledged commits still on the commit list.
-		s.mu.Lock()
-		s.prepared = make(map[uint64]*preparedTx)
-		s.mu.Unlock()
-		s.applyTick(false)
-		s.flushCommitted()
-	}
-	if err := s.st.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "cure: dc%d/p%d store close: %v\n", s.cfg.DC, s.cfg.Partition, err)
-	}
-	if s.tl != nil {
-		if err := s.tl.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "cure: dc%d/p%d txlog close: %v\n", s.cfg.DC, s.cfg.Partition, err)
-		}
-	}
-}
-
-// flushCommitted force-applies every transaction still on the commit list,
-// ignoring the apply upper bound. Only used during Stop. This matters for
-// plain Cure in particular: its upper bound follows the raw physical
-// clock, so under skew a commit timestamp assigned by a faster coordinator
-// can sit above PhysicalNow() at shutdown and would otherwise never be
-// applied (and never reach a durable engine).
-func (s *Server) flushCommitted() {
-	s.mu.Lock()
-	apply := s.committed
-	s.committed = nil
-	s.mu.Unlock()
-	if len(apply) == 0 {
-		return
-	}
-	sort.Slice(apply, func(i, j int) bool {
-		if apply[i].ct != apply[j].ct {
-			return apply[i].ct < apply[j].ct
-		}
-		return apply[i].txID < apply[j].txID
-	})
-	var puts []store.KV
-	for _, t := range apply {
-		for _, kv := range t.writes {
-			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.VersionValue(), UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
-			}})
-		}
-	}
-	s.st.PutBatch(puts)
-	if s.tl != nil {
-		ids := make([]uint64, len(apply))
-		for i, t := range apply {
-			ids[i] = t.txID
-		}
-		s.tl.MarkApplied(ids)
-	}
-}
-
-func (s *Server) goAsync(fn func()) {
-	s.drainMu.Lock()
-	if s.draining {
-		s.drainMu.Unlock()
-		return
-	}
-	s.reqWG.Add(1)
-	s.drainMu.Unlock()
-	go func() {
-		defer s.reqWG.Done()
-		fn()
-	}()
-}
-
-// StableVector returns a copy of the server's global stable vector.
-func (s *Server) StableVector() []hlc.Timestamp {
-	return s.gsv.Snapshot(nil)
-}
-
-// VersionVector returns a copy of the server's version vector.
-func (s *Server) VersionVector() []hlc.Timestamp {
-	return s.vv.Snapshot(nil)
-}
-
-// LocalVersionClock returns vv[m].
-func (s *Server) LocalVersionClock() hlc.Timestamp {
-	return s.vv.Load(s.cfg.DC)
-}
-
-// newTxID mirrors core.newTxID: sequence numbers come from durably
-// reserved blocks when the transaction log is on, so ids stay unique
-// across restarts.
-func (s *Server) newTxID() uint64 {
-	seq := s.txSeq.Add(1)
-	if s.tl != nil && seq > s.seqLimit.Load() {
-		s.seqMu.Lock()
-		if seq > s.seqLimit.Load() {
-			s.tl.ReserveSeqs(seq + seqBlockSize)
-			s.seqLimit.Store(seq + seqBlockSize)
-		}
-		s.seqMu.Unlock()
-	}
-	return uint64(s.cfg.DC)<<56 | uint64(s.cfg.Partition)<<40 | seq
-}
-
-// now returns the coordinator clock reading used for snapshot local
-// entries: the HLC for H-Cure, the raw physical clock for Cure.
-func (s *Server) now() hlc.Timestamp {
+// ApplyBound follows the clock the variant runs on. Cure: the version
+// clock can only follow the raw physical clock — the root cause of
+// skew-induced read blocking. H-Cure: the HLC, which message receipt can
+// advance. Either way the HLC is pinned to the bound: prepares propose via
+// TickPast, and the pin guarantees every later proposal lands strictly
+// above a bound already published as installed — without it, a proposal
+// could tie the bound at microsecond granularity and commit inside the
+// installed region. Called under the runtime's writer mutex.
+func (p *cureProtocol) ApplyBound() hlc.Timestamp {
+	s := p.server()
+	var ub hlc.Timestamp
 	if s.cfg.UseHLC {
-		return s.clock.Now()
+		ub = s.rt.Clock.Now()
+	} else {
+		ub = s.rt.Clock.PhysicalNow()
 	}
-	return s.clock.PhysicalNow()
+	s.rt.Clock.Update(ub)
+	return ub
 }
 
-// HandleMessage implements transport.Handler.
-func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
+// ObserveCommitTS absorbs an incoming commit timestamp into the clock —
+// only H-Cure's HLC may jump; plain Cure's physical clock must not.
+func (p *cureProtocol) ObserveCommitTS(ct hlc.Timestamp) {
+	s := p.server()
+	if s.cfg.UseHLC {
+		s.rt.Clock.Update(ct)
+	}
+}
+
+// AfterInstall releases parked slice reads whose snapshot the advanced
+// version vector now covers — the wakeup half of Cure's blocking reads.
+func (p *cureProtocol) AfterInstall() {
+	s := p.server()
+	s.mu.Lock()
+	ready := s.releaseWaitersLocked()
+	s.mu.Unlock()
+	s.serveReady(ready)
+}
+
+// GossipTick broadcasts the full M-entry version vector — Cure's
+// stabilization messages are M timestamps versus Wren's two (Figure 7a).
+func (p *cureProtocol) GossipTick() {
+	s := p.server()
+	vvCopy := s.rt.VV.Snapshot(nil)
+	s.mu.Lock()
+	maxInto(s.peerVV[s.cfg.Partition], vvCopy)
+	s.recomputeStableLocked()
+	s.mu.Unlock()
+
+	msg := &wire.StableBroadcast{Partition: uint16(s.cfg.Partition), VV: vvCopy}
+	for q := 0; q < s.cfg.NumPartitions; q++ {
+		if q == s.cfg.Partition {
+			continue
+		}
+		s.rt.Send(transport.ServerID(s.cfg.DC, q), msg)
+	}
+}
+
+// OldestActiveSnapshot expires abandoned transaction contexts and returns
+// a conservative scalar GC bound: the minimum entry of any active snapshot
+// vector (or of the stable vector when idle). The floor is loaded under
+// the runtime's SnapMu barrier: in-flight snapshot assignments drain
+// first, so a context the Range below cannot see yet was assigned entries
+// at or above these values and needs no protection.
+func (p *cureProtocol) OldestActiveSnapshot(now time.Time) hlc.Timestamp {
+	s := p.server()
+	var expired []uint64
+	s.txCtx.Range(func(id uint64, ctx *txContext) bool {
+		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
+			expired = append(expired, id)
+		}
+		return true
+	})
+	for _, id := range expired {
+		if _, ok := s.txCtx.LoadAndDelete(id); ok {
+			s.metrics.CtxExpired.Inc()
+		}
+	}
+	s.rt.SnapMu.Lock()
+	oldest := s.gsv.Load(0)
+	for i := 1; i < s.cfg.NumDCs; i++ {
+		if t := s.gsv.Load(i); t < oldest {
+			oldest = t
+		}
+	}
+	if local := s.rt.VV.Load(s.cfg.DC); local < oldest {
+		oldest = local
+	}
+	s.rt.SnapMu.Unlock()
+	s.txCtx.Range(func(_ uint64, ctx *txContext) bool {
+		for _, t := range ctx.sv {
+			if t < oldest {
+				oldest = t
+			}
+		}
+		return true
+	})
+	return oldest
+}
+
+// BeforeCommitReply is a no-op for Cure: commits are acknowledged as soon
+// as the decision is durable.
+func (p *cureProtocol) BeforeCommitReply(hlc.Timestamp) bool { return true }
+
+// OnStop fails parked reads so clients aren't left hanging (a killed
+// server answers nobody). Runs inside the runtime's shutdown sequence
+// before the stop channel closes.
+func (p *cureProtocol) OnStop(kill bool) {
+	s := p.server()
+	s.mu.Lock()
+	waiters := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	if kill {
+		return
+	}
+	for _, w := range waiters {
+		s.rt.Send(w.from, &wire.SliceResp{ReqID: w.reqID})
+		if w.req != nil {
+			wire.PutSliceReq(w.req)
+		}
+	}
+}
+
+// HandleMessage dispatches the snapshot-carrying messages the runtime
+// forwards to the protocol.
+func (p *cureProtocol) HandleMessage(from transport.NodeID, m wire.Message) {
+	s := p.server()
 	switch msg := m.(type) {
 	case *wire.StartTxReq:
 		s.handleStartTx(from, msg)
@@ -726,52 +468,31 @@ func (s *Server) HandleMessage(from transport.NodeID, m wire.Message) {
 		s.handleCommitReq(from, msg)
 	case *wire.SliceReq:
 		s.handleSliceReq(from, msg)
-	case *wire.SliceResp:
-		s.handleSliceResp(msg)
 	case *wire.PrepareReq:
 		s.handlePrepareReq(from, msg)
-	case *wire.PrepareResp:
-		s.handlePrepareResp(msg)
-	case *wire.CommitTx:
-		s.handleCommitTx(from, msg)
-	case *wire.CommitAck:
-		s.handleCommitAck(msg)
-	case *wire.Replicate:
-		s.handleReplicate(msg)
-	case *wire.ReplicateAck:
-		s.handleReplicateAck(msg)
-	case *wire.Heartbeat:
-		s.handleHeartbeat(msg)
 	case *wire.StableBroadcast:
 		s.handleStableBroadcast(msg)
-	case *wire.GCBroadcast:
-		s.handleGCBroadcast(msg)
-	case *wire.HealthReq:
-		s.handleHealthReq(from, msg)
-	case *wire.TxStatusReq:
-		s.handleTxStatusReq(from, msg)
-	case *wire.TxStatusResp:
-		s.handleTxStatusResp(from, msg)
 	}
 }
 
 // handleStartTx assigns the snapshot vector: remote entries from the
 // stable vector, the local entry from the coordinator's CURRENT clock —
 // the design choice that makes Cure reads block — raised to the client's
-// dependency vector.
+// dependency vector. SnapMu is held SHARED around the assignment so GC's
+// exclusive floor load can never miss a context it must protect.
 func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
-	id := s.newTxID()
-	s.snapMu.RLock()
+	id := s.rt.NewTxID()
+	s.rt.SnapMu.RLock()
 	sv := s.gsv.Snapshot(nil)
 	sv[s.cfg.DC] = s.now()
 	if len(m.DV) == len(sv) {
 		maxInto(sv, m.DV)
 	}
 	s.txCtx.Store(id, &txContext{sv: sv, created: time.Now()})
-	s.snapMu.RUnlock()
+	s.rt.SnapMu.RUnlock()
 
 	s.metrics.TxStarted.Inc()
-	s.send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, SV: sv})
+	s.rt.Send(from, &wire.StartTxResp{ReqID: m.ReqID, TxID: id, SV: sv})
 }
 
 // handleTxRead fans the key set out per partition and merges the slices
@@ -783,7 +504,7 @@ func (s *Server) handleStartTx(from transport.NodeID, m *wire.StartTxReq) {
 func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	ctx, ok := s.txCtx.Load(m.TxID)
 	if !ok {
-		s.send(from, &wire.TxReadResp{ReqID: m.ReqID})
+		s.rt.Send(from, &wire.TxReadResp{ReqID: m.ReqID})
 		return
 	}
 	sv := ctx.sv
@@ -796,18 +517,18 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 
 	fi := fanin.Start(from, m.ReqID, len(fo.Touched))
 	for _, p := range fo.Touched {
-		reqID := s.reqSeq.Add(1)
+		reqID := s.rt.NextReqID()
 		req := wire.GetSliceReq()
 		req.ReqID = reqID
 		req.Keys = append(req.Keys[:0], fo.Groups[p]...)
 		req.SV = sv // aliases the tx context's vector; PutSliceReq drops it
-		s.pendingSlice.Store(reqID, fi)
-		s.send(transport.ServerID(s.cfg.DC, p), req)
+		s.rt.TrackRead(reqID, fi)
+		s.rt.Send(transport.ServerID(s.cfg.DC, p), req)
 	}
 	s.fanPool.Put(fo)
 
 	if resp, to, last := fi.Finish(); last {
-		s.send(to, resp)
+		s.rt.Send(to, resp)
 	}
 }
 
@@ -815,7 +536,7 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 // every version-vector entry has reached the snapshot's. Lock-free — the
 // version vector is entrywise-monotone, so a true result never reverts.
 func (s *Server) installed(sv []hlc.Timestamp) bool {
-	return s.vv.Covers(sv)
+	return s.rt.VV.Covers(sv)
 }
 
 // handleSliceReq serves the read if the snapshot is installed; otherwise it
@@ -826,7 +547,7 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 	if s.cfg.UseHLC {
 		// H-Cure: the HLC absorbs the snapshot timestamp, so an idle
 		// partition's clock no longer lags the coordinator's.
-		s.clock.Update(m.SV[s.cfg.DC])
+		s.rt.Clock.Update(m.SV[s.cfg.DC])
 	}
 	if s.installed(m.SV) {
 		s.serveSlice(from, m.ReqID, m.Keys, m.SV, 0)
@@ -851,7 +572,7 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 	// next apply tick. What remains is genuine blocking: pending
 	// transactions below the snapshot, clock skew (Cure only), or missing
 	// remote updates.
-	s.applyTick(false)
+	s.rt.ApplyTick(false)
 }
 
 // serveSlice returns the freshest version of each key whose dependency
@@ -881,7 +602,7 @@ func (s *Server) serveSlice(to transport.NodeID, reqID uint64, keys []string, sv
 		s.metrics.BlockedMicros.Add(uint64(blocked.Microseconds()))
 	}
 	resp.BlockedMicros = blocked.Microseconds()
-	s.send(to, resp)
+	s.rt.Send(to, resp)
 }
 
 // releaseWaitersLocked finds parked reads whose snapshot is now installed.
@@ -915,16 +636,9 @@ func (s *Server) serveReady(ready []*waiter) {
 	}
 }
 
-func (s *Server) handleSliceResp(m *wire.SliceResp) {
-	if fi, ok := s.pendingSlice.LoadAndDelete(m.ReqID); ok {
-		fi.Fold(m.Items, m.BlockedMicros)
-		if resp, to, last := fi.Finish(); last {
-			s.send(to, resp)
-		}
-	}
-	wire.PutSliceResp(m)
-}
-
+// handleCommitReq resolves the transaction's snapshot vector and hands the
+// 2PC to the runtime; each cohort's PrepareReq carries the vector and the
+// proposal floor ht.
 func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 	ctx, ok := s.txCtx.LoadAndDelete(m.TxID)
 	var sv []hlc.Timestamp
@@ -934,289 +648,17 @@ func (s *Server) handleCommitReq(from transport.NodeID, m *wire.CommitReq) {
 		sv = s.gsv.Snapshot(nil)
 		sv[s.cfg.DC] = s.now()
 	}
-
-	if len(m.Writes) == 0 {
-		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
-		return
-	}
-	if err := s.Healthy(); err != nil {
-		// Read-only admission, exactly as in package core.
-		s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
-		return
-	}
-
-	byPartition := make(map[int][]wire.KV)
-	for _, kv := range m.Writes {
-		p := sharding.PartitionOf(kv.Key, s.cfg.NumPartitions)
-		byPartition[p] = append(byPartition[p], kv)
-	}
-	type cohortWrites struct {
-		partition int
-		writes    []wire.KV
-	}
-	cohorts := make([]cohortWrites, 0, len(byPartition))
-	for p, ws := range byPartition {
-		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
-	}
-
-	call := &prepareCall{ch: make(chan prepareVote, len(cohorts))}
-	s.mu.Lock()
-	s.pendingPrepare[m.TxID] = call
-	s.mu.Unlock()
-
 	ht := hlc.Max(m.HWT, sv[s.cfg.DC])
-	for _, c := range cohorts {
-		s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.PrepareReq{
-			ReqID: s.reqSeq.Add(1), TxID: m.TxID, HT: ht, SV: sv, Writes: c.writes,
-		})
-	}
-
-	s.goAsync(func() {
-		var ct hlc.Timestamp
-		var refusal string
-		for range cohorts {
-			select {
-			case v := <-call.ch:
-				if v.err != "" && refusal == "" {
-					refusal = v.err
-				}
-				if v.pt > ct {
-					ct = v.pt
-				}
-			case <-s.stop:
-				return
-			}
-		}
-		// pendingPrepare stays registered until the outcome is decided, so
-		// a TxStatusReq can never see an in-flight transaction in neither
-		// place — see core.handleCommitReq.
-		finish := func() {
-			s.mu.Lock()
-			delete(s.pendingPrepare, m.TxID)
-			s.mu.Unlock()
-		}
-		if refusal != "" {
-			finish()
-			for _, c := range cohorts {
-				s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
-			}
-			s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: refusal})
-			return
-		}
-		if s.tl != nil {
-			// Decision logged and stable before CommitTx leaves and
-			// before the client ack — see core.handleCommitReq: a failed
-			// append/fsync can then abort the whole 2PC cleanly.
-			parts := make([]uint16, 0, len(cohorts))
-			for _, c := range cohorts {
-				parts = append(parts, uint16(c.partition))
-			}
-			s.tl.LogCoordCommit(m.TxID, ct, parts)
-			if s.tl.SyncOnAppend() {
-				s.tl.Sync()
-			}
-			if err := s.tl.Healthy(); err != nil {
-				s.tl.CoordAbort(m.TxID)
-				finish()
-				for _, c := range cohorts {
-					s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
-				}
-				s.send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
-				return
-			}
-		}
-		finish()
-		for _, c := range cohorts {
-			s.send(transport.ServerID(s.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
-		}
-		s.metrics.TxCommitted.Inc()
-		s.send(from, &wire.CommitResp{ReqID: m.ReqID, CT: ct})
+	s.rt.Commit(from, m, func() *wire.PrepareReq {
+		return &wire.PrepareReq{HT: ht, SV: sv}
 	})
 }
 
-// handlePrepareReq proposes a commit timestamp strictly above the snapshot
-// and everything the client saw. Cure draws it from the (possibly lagging)
-// physical clock; H-Cure's HLC can jump.
-//
-// As in package core, the proposal and its registration are atomic under
-// s.mu, the mutex applyTick computes its upper bound under: an applyTick
-// interleaving between TickPast and the registration could publish a
-// version-clock at or above the proposal, and the transaction would later
-// commit inside the installed region — readers served from vv would miss
-// it while its sibling writes were already visible on other partitions.
-// This was the real timing hole behind TestTCCConformanceHCure's
-// causal/atomic violations under CPU starvation, where preemption
-// stretched that two-statement window to milliseconds.
+// handlePrepareReq hands the cohort side of the 2PC to the runtime: Cure
+// proposes from the (possibly lagging) physical clock via the HLC's
+// TickPast; H-Cure's HLC can jump.
 func (s *Server) handlePrepareReq(from transport.NodeID, m *wire.PrepareReq) {
-	if err := s.Healthy(); err != nil {
-		s.send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, Err: err.Error()})
-		return
-	}
-	s.mu.Lock()
-	pt := s.clock.TickPast(m.HT)
-	s.prepared[m.TxID] = &preparedTx{pt: pt, sv: m.SV, writes: m.Writes}
-	s.mu.Unlock()
-	resp := &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt}
-	if s.tl != nil {
-		s.tl.LogPrepare(&txlog.PreparedTx{TxID: m.TxID, PT: pt, SV: m.SV, Writes: m.Writes})
-		if s.tl.SyncOnAppend() {
-			s.goAsync(func() {
-				s.tl.Sync()
-				s.send(from, s.checkedPrepareResp(resp))
-			})
-			return
-		}
-		resp = s.checkedPrepareResp(resp)
-	}
-	s.send(from, resp)
-}
-
-// checkedPrepareResp downgrades a prepare proposal to a refusal when the
-// append (or fsync) backing it failed — see core.checkedPrepareResp.
-func (s *Server) checkedPrepareResp(resp *wire.PrepareResp) *wire.PrepareResp {
-	if err := s.tl.Healthy(); err != nil {
-		return &wire.PrepareResp{ReqID: resp.ReqID, TxID: resp.TxID, Err: err.Error()}
-	}
-	return resp
-}
-
-func (s *Server) handlePrepareResp(m *wire.PrepareResp) {
-	s.mu.Lock()
-	call := s.pendingPrepare[m.TxID]
-	s.mu.Unlock()
-	if call != nil {
-		call.ch <- prepareVote{pt: m.PT, err: m.Err}
-	}
-}
-
-func (s *Server) handleCommitTx(from transport.NodeID, m *wire.CommitTx) {
-	if m.CT == 0 {
-		// 2PC abort (a degraded cohort refused its prepare).
-		s.mu.Lock()
-		delete(s.prepared, m.TxID)
-		delete(s.recovered, m.TxID)
-		s.mu.Unlock()
-		if s.tl != nil {
-			s.tl.LogAbort(m.TxID)
-		}
-		return
-	}
-	if s.cfg.UseHLC {
-		s.clock.Update(m.CT)
-	}
-	s.mu.Lock()
-	committed := false
-	if p, ok := s.prepared[m.TxID]; ok {
-		delete(s.prepared, m.TxID)
-		dv := copyVec(p.sv)
-		dv[s.cfg.DC] = m.CT
-		s.committed = append(s.committed, &committedTx{
-			txID: m.TxID, ct: m.CT, dv: dv, writes: p.writes,
-		})
-		committed = true
-	} else if rp, ok := s.recovered[m.TxID]; ok {
-		// A re-driven outcome for a prepare recovered from the txlog.
-		delete(s.recovered, m.TxID)
-		s.committed = append(s.committed, &committedTx{
-			txID: m.TxID, ct: m.CT, dv: s.depVector(rp.tx.SV, m.CT), writes: rp.tx.Writes,
-		})
-		committed = true
-	}
-	s.mu.Unlock()
-	if s.tl == nil {
-		return
-	}
-	if committed {
-		s.tl.LogCommit(m.TxID, m.CT)
-	}
-	// Ack only once the outcome is durable here — never on a failed
-	// append/fsync, and duplicates take the same sync barrier (see
-	// core.handleCommitTx).
-	ack := &wire.CommitAck{TxID: m.TxID, Partition: uint16(s.cfg.Partition)}
-	if s.tl.SyncOnAppend() {
-		s.goAsync(func() {
-			s.tl.Sync()
-			if s.tl.Healthy() == nil {
-				s.send(from, ack)
-			}
-		})
-		return
-	}
-	if s.tl.Healthy() == nil {
-		s.send(from, ack)
-	}
-}
-
-// handleCommitAck releases the coordinator's logged commit decision (see
-// package core).
-func (s *Server) handleCommitAck(m *wire.CommitAck) {
-	if s.tl != nil {
-		s.tl.CoordAck(m.TxID, m.Partition)
-	}
-}
-
-// handleReplicateAck advances the persisted replication cursor for the
-// acknowledging DC (clamped below a pending resync's pin — see package
-// core).
-func (s *Server) handleReplicateAck(m *wire.ReplicateAck) {
-	if s.tl == nil {
-		return
-	}
-	s.tl.AdvanceCursor(int(m.DC), m.UpTo)
-	if m.Resync {
-		s.tl.UnpinResync(int(m.DC), m.UpTo)
-	}
-}
-
-// handleHealthReq answers the operator-facing health probe.
-func (s *Server) handleHealthReq(from transport.NodeID, m *wire.HealthReq) {
-	resp := &wire.HealthResp{ReqID: m.ReqID}
-	if err := s.Healthy(); err != nil {
-		resp.ReadOnly = true
-		resp.Err = err.Error()
-	}
-	s.send(from, resp)
-}
-
-func (s *Server) handleReplicate(m *wire.Replicate) {
-	var puts []store.KV
-	for i := range m.Txs {
-		t := &m.Txs[i]
-		for _, kv := range t.Writes {
-			if m.Resync && s.txApplied(kv.Key, t.TxID) {
-				continue // already applied in a previous life (per key)
-			}
-			puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-				Value: kv.VersionValue(), UT: t.CT, TxID: t.TxID, SrcDC: m.SrcDC, DV: t.DV,
-			}})
-		}
-	}
-	s.st.PutBatch(puts)
-	s.metrics.ReplTxApplied.Add(uint64(len(puts)))
-	if len(m.Txs) == 0 {
-		return
-	}
-	last := m.Txs[len(m.Txs)-1].CT
-	s.vv.Advance(int(m.SrcDC), last)
-	s.mu.Lock()
-	ready := s.releaseWaitersLocked()
-	s.mu.Unlock()
-	s.serveReady(ready)
-	if s.tl != nil && s.Healthy() == nil {
-		// A degraded replica's batch only reached memory: withhold the
-		// ack so the sender's cursor — and resync tail — stay intact (see
-		// core.handleReplicate). The Resync echo feeds the cursor pin.
-		s.send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
-			&wire.ReplicateAck{DC: uint8(s.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
-	}
-}
-
-func (s *Server) handleHeartbeat(m *wire.Heartbeat) {
-	s.vv.Advance(int(m.SrcDC), m.TS)
-	s.mu.Lock()
-	ready := s.releaseWaitersLocked()
-	s.mu.Unlock()
-	s.serveReady(ready)
+	s.rt.Prepare(from, m, m.HT)
 }
 
 // handleStableBroadcast ingests a peer's full version vector and recomputes
@@ -1247,358 +689,4 @@ func (s *Server) recomputeStableLocked() {
 	}
 }
 
-func (s *Server) applyLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.ApplyInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.applyTick(true)
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-// applyTick installs committed transactions up to the safe bound and, when
-// called from the apply loop (heartbeat=true), replicates or heartbeats to
-// the peer replicas. Read handlers also invoke it (heartbeat=false) to
-// install snapshots eagerly; applyMu keeps those concurrent invocations
-// from publishing a version-clock bound whose transactions an earlier,
-// still-running tick has not finished applying (see the field comment).
-func (s *Server) applyTick(heartbeat bool) {
-	s.applyMu.Lock()
-	defer s.applyMu.Unlock()
-	s.mu.Lock()
-	var ub hlc.Timestamp
-	if len(s.prepared) > 0 {
-		first := true
-		for _, p := range s.prepared {
-			if first || p.pt < ub {
-				ub = p.pt
-				first = false
-			}
-		}
-		ub = ub.Prev()
-	} else if s.cfg.UseHLC {
-		ub = s.clock.Now()
-		s.clock.Update(ub)
-	} else {
-		// Cure: the version clock can only follow the physical clock — the
-		// root cause of skew-induced read blocking. The HLC is still
-		// pinned to the bound: prepares propose via TickPast, and the pin
-		// guarantees every later proposal lands strictly above a bound
-		// already published as installed — without it, a proposal could
-		// tie the bound at microsecond granularity and commit inside the
-		// installed region.
-		ub = s.clock.PhysicalNow()
-		s.clock.Update(ub)
-	}
-	if local := s.vv.Load(s.cfg.DC); ub < local {
-		ub = local
-	}
-
-	hadCommitted := len(s.committed) > 0
-	var apply []*committedTx
-	if hadCommitted {
-		rest := s.committed[:0]
-		for _, c := range s.committed {
-			if c.ct <= ub {
-				apply = append(apply, c)
-			} else {
-				rest = append(rest, c)
-			}
-		}
-		s.committed = rest
-	}
-	s.mu.Unlock()
-
-	sort.Slice(apply, func(i, j int) bool {
-		if apply[i].ct != apply[j].ct {
-			return apply[i].ct < apply[j].ct
-		}
-		return apply[i].txID < apply[j].txID
-	})
-	var batches []*wire.Replicate
-	for i := 0; i < len(apply); {
-		j := i
-		batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition)}
-		var puts []store.KV
-		for ; j < len(apply) && apply[j].ct == apply[i].ct; j++ {
-			t := apply[j]
-			for _, kv := range t.writes {
-				puts = append(puts, store.KV{Key: kv.Key, Version: &store.Version{
-					Value: kv.VersionValue(), UT: t.ct, TxID: t.txID, SrcDC: uint8(s.cfg.DC), DV: t.dv,
-				}})
-			}
-			batch.Txs = append(batch.Txs, wire.ReplTx{
-				TxID: t.txID, CT: t.ct, RST: 0, DV: t.dv, Writes: t.writes,
-			})
-		}
-		s.st.PutBatch(puts)
-		batches = append(batches, batch)
-		i = j
-	}
-
-	s.vv.Advance(s.cfg.DC, ub)
-	if s.tl != nil && len(apply) > 0 {
-		// Exactly these transactions are in the engine now — marked by
-		// id, not by ub (see core.applyTick).
-		ids := make([]uint64, len(apply))
-		for i, t := range apply {
-			ids[i] = t.txID
-		}
-		s.tl.MarkApplied(ids)
-	}
-	s.mu.Lock()
-	ready := s.releaseWaitersLocked()
-	s.mu.Unlock()
-	s.serveReady(ready)
-
-	hb := &wire.Heartbeat{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), TS: ub}
-	for dc := 0; dc < s.cfg.NumDCs; dc++ {
-		if dc == s.cfg.DC {
-			continue
-		}
-		if s.tl != nil && !s.resyncDone[dc] {
-			// Hold replication to this DC until the restart resync tail
-			// is on its link, then ship one dedupe-safe catch-up — see
-			// core.applyTick (resyncDone is safe here: applyMu serializes
-			// the whole tick).
-			if !s.resyncTailSent[dc].Load() {
-				continue
-			}
-			for i, tail := 0, s.tl.UnreplicatedTail(dc); i < len(tail); i += resendBatchSize {
-				batch := &wire.Replicate{SrcDC: uint8(s.cfg.DC), Partition: uint16(s.cfg.Partition), Resync: true}
-				for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
-					batch.Txs = append(batch.Txs, wire.ReplTx{
-						TxID: t.TxID, CT: t.CT, DV: s.depVector(t.SV, t.CT), Writes: t.Writes,
-					})
-				}
-				s.send(transport.ServerID(dc, s.cfg.Partition), batch)
-			}
-			s.resyncDone[dc] = true
-			continue
-		}
-		for _, b := range batches {
-			s.send(transport.ServerID(dc, s.cfg.Partition), b)
-		}
-		if heartbeat && !hadCommitted {
-			s.send(transport.ServerID(dc, s.cfg.Partition), hb)
-		}
-	}
-}
-
-func (s *Server) gossipLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.GossipInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.gossipTick()
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-// gossipTick broadcasts the full M-entry version vector — Cure's
-// stabilization messages are M timestamps versus Wren's two (Figure 7a).
-func (s *Server) gossipTick() {
-	vvCopy := s.vv.Snapshot(nil)
-	s.mu.Lock()
-	maxInto(s.peerVV[s.cfg.Partition], vvCopy)
-	s.recomputeStableLocked()
-	s.mu.Unlock()
-
-	msg := &wire.StableBroadcast{Partition: uint16(s.cfg.Partition), VV: vvCopy}
-	for p := 0; p < s.cfg.NumPartitions; p++ {
-		if p == s.cfg.Partition {
-			continue
-		}
-		s.send(transport.ServerID(s.cfg.DC, p), msg)
-	}
-}
-
-func (s *Server) gcLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.GCInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			s.gcTick()
-		case <-s.stop:
-			return
-		}
-	}
-}
-
-func (s *Server) gcTick() {
-	now := time.Now()
-	var expired []uint64
-	s.txCtx.Range(func(id uint64, ctx *txContext) bool {
-		if now.Sub(ctx.created) > s.cfg.TxContextTTL {
-			expired = append(expired, id)
-		}
-		return true
-	})
-	for _, id := range expired {
-		if _, ok := s.txCtx.LoadAndDelete(id); ok {
-			s.metrics.CtxExpired.Inc()
-		}
-	}
-	// Sweep abandoned read fan-ins, mirroring package core.
-	var staleReads []uint64
-	s.pendingSlice.Range(func(reqID uint64, fi *fanin.TxRead) bool {
-		if now.Sub(fi.Created()) > s.cfg.TxContextTTL {
-			staleReads = append(staleReads, reqID)
-		}
-		return true
-	})
-	for _, reqID := range staleReads {
-		s.pendingSlice.Delete(reqID)
-	}
-	// Conservative scalar bound: the minimum entry of any active snapshot
-	// vector (or of the stable vector when idle). The floor is loaded
-	// under the snapMu barrier: in-flight snapshot assignments drain
-	// first, so a context the Range below cannot see yet was assigned
-	// entries at or above these values and needs no protection.
-	s.snapMu.Lock()
-	oldest := s.gsv.Load(0)
-	for i := 1; i < s.cfg.NumDCs; i++ {
-		if t := s.gsv.Load(i); t < oldest {
-			oldest = t
-		}
-	}
-	if local := s.vv.Load(s.cfg.DC); local < oldest {
-		oldest = local
-	}
-	s.snapMu.Unlock()
-	s.txCtx.Range(func(_ uint64, ctx *txContext) bool {
-		for _, t := range ctx.sv {
-			if t < oldest {
-				oldest = t
-			}
-		}
-		return true
-	})
-	s.mu.Lock()
-	if oldest > s.oldest[s.cfg.Partition] {
-		s.oldest[s.cfg.Partition] = oldest
-	}
-	threshold := s.oldest[0]
-	for _, t := range s.oldest[1:] {
-		if t < threshold {
-			threshold = t
-		}
-	}
-	s.mu.Unlock()
-
-	msg := &wire.GCBroadcast{Partition: uint16(s.cfg.Partition), Oldest: oldest}
-	for p := 0; p < s.cfg.NumPartitions; p++ {
-		if p == s.cfg.Partition {
-			continue
-		}
-		s.send(transport.ServerID(s.cfg.DC, p), msg)
-	}
-
-	if threshold > 0 {
-		res := s.st.GCStats(threshold)
-		if res.Removed > 0 {
-			s.metrics.GCRemoved.Add(uint64(res.Removed))
-		}
-		if res.DroppedKeys > 0 {
-			s.metrics.GCKeysDropped.Add(uint64(res.DroppedKeys))
-		}
-	}
-}
-
-// txLifecycleTick mirrors core.txLifecycleTick: probe coordinators of
-// recovered prepares (cooperative 2PC termination) and re-drive the
-// CommitTx of unresolved decisions with unacked cohorts.
-func (s *Server) txLifecycleTick(now time.Time) {
-	if s.tl == nil {
-		return
-	}
-	var probes []uint64
-	s.mu.Lock()
-	for id, rp := range s.recovered {
-		if now.After(rp.nextProbe) {
-			probes = append(probes, id)
-			rp.nextProbe = now.Add(recoveryGrace)
-		}
-	}
-	s.mu.Unlock()
-	for _, id := range probes {
-		dc, p := coordinatorOf(id)
-		if dc < s.cfg.NumDCs && p < s.cfg.NumPartitions {
-			s.send(transport.ServerID(dc, p), &wire.TxStatusReq{TxID: id})
-		}
-	}
-	for _, c := range s.tl.RedrivePending(redriveAfter) {
-		for _, p := range c.Cohorts {
-			s.send(transport.ServerID(s.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT})
-		}
-	}
-}
-
-// coordinatorOf decodes the coordinator server embedded in a transaction
-// id (see newTxID).
-func coordinatorOf(txID uint64) (dc, partition int) {
-	return int(txID >> 56), int(uint16(txID >> 40))
-}
-
-// handleTxStatusReq answers a cohort's 2PC-termination probe — see
-// core.handleTxStatusReq for why the answer is final, and why an
-// in-flight 2PC stays silent instead.
-func (s *Server) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) {
-	var ct hlc.Timestamp
-	var ok bool
-	if s.tl != nil {
-		ct, ok = s.tl.CoordDecision(m.TxID)
-	}
-	if !ok {
-		s.mu.Lock()
-		_, inFlight := s.pendingPrepare[m.TxID]
-		s.mu.Unlock()
-		if inFlight {
-			return
-		}
-	}
-	s.send(from, &wire.TxStatusResp{TxID: m.TxID, CT: ct, Committed: ok})
-}
-
-// handleTxStatusResp settles a recovered prepare: committed verdicts flow
-// through the normal commit path, not-committed verdicts abort it.
-func (s *Server) handleTxStatusResp(from transport.NodeID, m *wire.TxStatusResp) {
-	if m.Committed {
-		s.handleCommitTx(from, &wire.CommitTx{TxID: m.TxID, CT: m.CT})
-		return
-	}
-	s.mu.Lock()
-	_, ok := s.recovered[m.TxID]
-	delete(s.recovered, m.TxID)
-	s.mu.Unlock()
-	if ok && s.tl != nil {
-		s.tl.LogAbort(m.TxID)
-	}
-}
-
-func (s *Server) handleGCBroadcast(m *wire.GCBroadcast) {
-	p := int(m.Partition)
-	if p < 0 || p >= s.cfg.NumPartitions {
-		return
-	}
-	s.mu.Lock()
-	if m.Oldest > s.oldest[p] {
-		s.oldest[p] = m.Oldest
-	}
-	s.mu.Unlock()
-}
-
-func (s *Server) send(to transport.NodeID, m wire.Message) {
-	_ = s.cfg.Network.Send(s.id, to, m)
-}
+var _ replica.Protocol = (*cureProtocol)(nil)

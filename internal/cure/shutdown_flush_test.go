@@ -63,10 +63,7 @@ func TestStopFlushesCommitAboveLocalClock(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		srv.mu.Lock()
-		n := len(srv.committed)
-		srv.mu.Unlock()
-		if n == 1 {
+		if srv.rt.CommitQueueLen() == 1 {
 			break
 		}
 		if time.Now().After(deadline) {

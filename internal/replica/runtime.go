@@ -1,0 +1,1511 @@
+// Package replica is the protocol-agnostic replica runtime shared by the
+// Wren (internal/core) and Cure/H-Cure (internal/cure) partition servers.
+//
+// The two protocols differ only in their snapshot representation — Wren's
+// two stable scalars (LST, RST) against Cure's stability vector — and in
+// the read-visibility rule that representation induces. Everything else a
+// partition server does is protocol-independent and lives here exactly
+// once:
+//
+//   - the durable transaction lifecycle: prepare/commit logging, the
+//     decision-fsynced-before-ack discipline, CommitAck resolution,
+//     cooperative 2PC termination probes, and the periodic redrive of
+//     unresolved decisions;
+//   - restart recovery: replay of committed-but-unapplied transactions,
+//     per-peer resend of the unreplicated committed tail, and the pinned
+//     replication cursors that make the resend safe;
+//   - durable transaction-id block reservation;
+//   - the apply (ΔR), gossip (ΔG), GC and lifecycle timer loops, with the
+//     resync gating that keeps ordinary replication from overtaking a
+//     restart resync;
+//   - health-driven read-only admission, including the degraded-mode
+//     probation exit that re-verifies and readmits a transiently broken
+//     transaction log.
+//
+// A protocol plugs in through the Protocol interface: how a committed
+// transaction's writes render into engine versions and replication
+// records, how the apply upper bound follows the clock, and the handlers
+// for the snapshot-carrying messages (StartTx, reads, commit entry,
+// stability gossip). The seam is deliberately small so a third snapshot
+// representation — e.g. the per-(partition, DC) cursors partial
+// replication needs — slots in without touching the lifecycle machinery.
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wren/internal/fanin"
+	"wren/internal/hlc"
+	"wren/internal/sharding"
+	"wren/internal/stats"
+	"wren/internal/store"
+	"wren/internal/store/backend"
+	"wren/internal/stripemap"
+	"wren/internal/transport"
+	"wren/internal/txlog"
+	"wren/internal/wire"
+)
+
+// Default protocol timer intervals. The paper runs its stabilization
+// protocols every 5 milliseconds (§V-A).
+const (
+	DefaultApplyInterval  = 5 * time.Millisecond
+	DefaultGossipInterval = 5 * time.Millisecond
+	DefaultGCInterval     = 500 * time.Millisecond
+	DefaultTxContextTTL   = 30 * time.Second
+	// DefaultRepairInterval paces the degraded-mode probation exit: how
+	// often a server whose transaction log is degraded (but whose storage
+	// engine is healthy) attempts a repair-and-readmit.
+	DefaultRepairInterval = 5 * time.Second
+)
+
+// recoveryGrace is how long a prepare recovered from the transaction log
+// waits for its re-driven 2PC outcome after a restart before the cohort
+// starts probing the coordinator with TxStatusReq (and between re-probes).
+// A recovered prepare is only ever aborted on the coordinator's explicit
+// "not committed" answer — a timeout alone cannot distinguish a doomed
+// prepare from a durably-decided transaction whose coordinator is slow to
+// come back. Recovered prepares do NOT hold back the apply upper bound
+// while they wait.
+const recoveryGrace = 15 * time.Second
+
+// redriveAfter is how old an unresolved commit decision must be before
+// the coordinator re-sends its CommitTx to the cohorts that have not
+// acknowledged a durable outcome — recovering from a CommitTx or ack lost
+// to a cohort crash without waiting for this coordinator to restart.
+const redriveAfter = 5 * time.Second
+
+// resendBatchSize bounds how many recovered transactions one resync
+// Replicate message carries.
+const resendBatchSize = 128
+
+// lifecycleInterval is the period of the transaction-lifecycle maintenance
+// loop (status probes for recovered prepares, re-drives of unresolved
+// decisions, degraded-mode repair probes). It runs on its own timer, NOT
+// the GC loop's: GC is an optional subsystem (GCInterval <= 0 disables it)
+// and 2PC termination must not be.
+const lifecycleInterval = time.Second
+
+// seqBlockSize is how many transaction sequence numbers a server reserves
+// from its transaction log at a time. Ids must be reserved durably BEFORE
+// use — an id handed out at StartTx can reach a cohort's durable log even
+// if this server crashes before logging anything itself — and block
+// reservation amortizes that to one log record (one fsync under
+// fsync=always) per million transactions.
+const seqBlockSize = 1 << 20
+
+// Config carries the protocol-independent part of a partition server's
+// configuration. The protocol packages keep their own public ServerConfig
+// types and convert.
+type Config struct {
+	// Name tags errors and shutdown diagnostics with the owning protocol
+	// package ("core", "cure").
+	Name string
+	// DC and Partition locate the server in the M×N deployment grid.
+	DC        int
+	Partition int
+	// NumDCs is the number of replication sites M; NumPartitions the
+	// number of partitions per DC, N.
+	NumDCs        int
+	NumPartitions int
+	// Network delivers messages between nodes.
+	Network transport.Network
+	// ClockSource supplies physical time. Nil means the system clock.
+	ClockSource hlc.Source
+	// ApplyInterval (ΔR), GossipInterval (ΔG), GCInterval and TxContextTTL
+	// follow the semantics documented on the protocol ServerConfigs. Zero
+	// selects the defaults; a negative GCInterval disables GC.
+	ApplyInterval  time.Duration
+	GossipInterval time.Duration
+	GCInterval     time.Duration
+	TxContextTTL   time.Duration
+	// RepairInterval paces the degraded-mode probation exit (see
+	// Runtime.maybeRepair). Zero selects DefaultRepairInterval; negative
+	// disables automatic repair, leaving a degraded server read-only until
+	// restart (the pre-probation behaviour some admission tests pin).
+	RepairInterval time.Duration
+	// StoreShards, StoreBackend, DataDir, FsyncPolicy and DisableTxLog
+	// configure the storage engine and the transaction log, as documented
+	// on the protocol ServerConfigs.
+	StoreShards  int
+	StoreBackend string
+	DataDir      string
+	FsyncPolicy  string
+	DisableTxLog bool
+}
+
+// FillDefaults resolves zero values to the package defaults.
+func (c *Config) FillDefaults() {
+	if c.ClockSource == nil {
+		c.ClockSource = hlc.SystemSource{}
+	}
+	if c.ApplyInterval == 0 {
+		c.ApplyInterval = DefaultApplyInterval
+	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = DefaultGossipInterval
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultGCInterval
+	}
+	if c.TxContextTTL == 0 {
+		c.TxContextTTL = DefaultTxContextTTL
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = DefaultRepairInterval
+	}
+}
+
+// Validate checks the topology and storage configuration, prefixing
+// errors with the protocol package name.
+func (c *Config) Validate() error {
+	if c.NumDCs <= 0 || c.NumPartitions <= 0 {
+		return fmt.Errorf("%s: invalid topology %dx%d", c.Name, c.NumDCs, c.NumPartitions)
+	}
+	if c.DC < 0 || c.DC >= c.NumDCs {
+		return fmt.Errorf("%s: DC %d out of range [0,%d)", c.Name, c.DC, c.NumDCs)
+	}
+	if c.Partition < 0 || c.Partition >= c.NumPartitions {
+		return fmt.Errorf("%s: partition %d out of range [0,%d)", c.Name, c.Partition, c.NumPartitions)
+	}
+	if c.Network == nil {
+		return fmt.Errorf("%s: network is required", c.Name)
+	}
+	if c.StoreShards < 0 || c.StoreShards > store.MaxShards {
+		return fmt.Errorf("%s: store shards %d out of range [0,%d]", c.Name, c.StoreShards, store.MaxShards)
+	}
+	if err := backend.Validate(c.StoreBackend, c.DataDir, c.FsyncPolicy); err != nil {
+		return fmt.Errorf("%s: %w", c.Name, err)
+	}
+	return nil
+}
+
+// EngineDir is the per-server subdirectory of DataDir a durable backend
+// writes to, so all servers of a deployment can share one root.
+func (c *Config) EngineDir() string {
+	if c.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.DataDir, fmt.Sprintf("dc%d-p%d", c.DC, c.Partition))
+}
+
+// SkipFunc is the per-key idempotence check the runtime passes to the
+// Protocol's put renderers during recovery replay and resync application:
+// it reports whether the engine already holds key's version from txID, in
+// which case the write must not be re-inserted. Per KEY, not per
+// transaction — a kill can land mid-PutBatch, leaving some of a
+// transaction's shard logs appended and others not, and a
+// whole-transaction skip would lose the missing keys.
+type SkipFunc func(key string, txID uint64) bool
+
+// Protocol is the seam between the shared runtime and a snapshot
+// representation. Implementations are the per-protocol servers; every
+// method is called by at most the documented goroutines.
+type Protocol interface {
+	// AppendLocalPuts renders a locally committed transaction into engine
+	// inserts appended to dst (returned like append). skip, when non-nil,
+	// is the recovery/resync idempotence check.
+	AppendLocalPuts(dst []store.KV, t *txlog.CommittedTx, skip SkipFunc) []store.KV
+	// AppendRemotePuts renders one replicated transaction from srcDC.
+	AppendRemotePuts(dst []store.KV, srcDC uint8, t *wire.ReplTx, skip SkipFunc) []store.KV
+	// ReplTxRecord renders a committed transaction's replication record
+	// (Wren ships the scalar RST; Cure a dependency vector).
+	ReplTxRecord(t *txlog.CommittedTx) wire.ReplTx
+	// ApplyBound returns the apply upper bound when no prepare is pending,
+	// pinning the clock so later prepares propose strictly above it.
+	// Called with the runtime's writer mutex held.
+	ApplyBound() hlc.Timestamp
+	// ObserveCommitTS lets the protocol's clock absorb a commit timestamp
+	// carried by an incoming CommitTx (Wren always; H-Cure only).
+	ObserveCommitTS(ct hlc.Timestamp)
+	// AfterInstall runs after the runtime advanced the version vector
+	// (apply tick, replication, heartbeat): Cure releases parked readers
+	// whose snapshot is now installed; Wren has nothing to do.
+	AfterInstall()
+	// GossipTick emits one round of the protocol's stabilization exchange.
+	GossipTick()
+	// OldestActiveSnapshot returns the oldest snapshot any live transaction
+	// context still needs (expiring abandoned contexts as a side effect) —
+	// the protocol half of the GC tick.
+	OldestActiveSnapshot(now time.Time) hlc.Timestamp
+	// BeforeCommitReply runs between the CommitTx fanout and the client
+	// acknowledgement; returning false abandons the reply (stopping).
+	// Wren's BlockingCommit ablation waits for ct to become stable here.
+	BeforeCommitReply(ct hlc.Timestamp) bool
+	// OnStop runs inside the shutdown sequence before the stop channel
+	// closes: Cure flushes parked readers (with courtesy replies unless
+	// kill) so clients are not left hanging.
+	OnStop(kill bool)
+	// HandleMessage handles the snapshot-carrying messages the runtime
+	// does not: StartTxReq, TxReadReq, CommitReq, SliceReq, PrepareReq,
+	// StableBroadcast.
+	HandleMessage(from transport.NodeID, m wire.Message)
+}
+
+// Counters are the runtime-maintained metrics, pointing into the owning
+// server's Metrics struct so the public Metrics() API is unchanged.
+type Counters struct {
+	TxCommitted   *stats.Counter
+	ReplTxApplied *stats.Counter
+	GCRemoved     *stats.Counter
+	GCKeysDropped *stats.Counter
+}
+
+// recoveredPrepare is a prepare replayed from the transaction log after a
+// restart: its 2PC outcome is unknown until a coordinator re-drives it or
+// a TxStatusResp settles it. It is kept out of the pending list so it
+// cannot hold the apply upper bound — and therefore the stable snapshot —
+// back while it waits; nextProbe paces the status queries.
+type recoveredPrepare struct {
+	tx        *txlog.PreparedTx
+	nextProbe time.Time
+}
+
+// prepareVote is one cohort's answer in the 2PC: a proposed commit
+// timestamp, or a refusal (non-empty err) from a cohort whose durability
+// is degraded.
+type prepareVote struct {
+	pt  hlc.Timestamp
+	err string
+}
+
+// prepareCall collects PrepareResp messages for one committing transaction.
+type prepareCall struct {
+	ch chan prepareVote
+}
+
+// Runtime is the shared replica core under one partition server. The
+// protocol server owns the public API and the read path; the runtime owns
+// the writer state, the durable lifecycle and every background loop.
+//
+// The state is split so the protocol's read path never acquires the
+// runtime's writer mutex: the version vector is an entrywise-monotone
+// atomic, per-request bookkeeping lives in striped maps, and mu guards
+// only writer state (the pending/commit lists and GC aggregation).
+type Runtime struct {
+	cfg   Config
+	proto Protocol
+	ctr   Counters
+	id    transport.NodeID
+
+	// Clock is the server's hybrid logical clock. It is exported for the
+	// protocol's snapshot assignment; mutating calls that must be atomic
+	// with the pending list (TickPast) happen inside Runtime.Prepare.
+	Clock *hlc.Clock
+
+	st store.Engine
+	// tl is the durable transaction-lifecycle log (nil for the memory
+	// backend or when disabled): commit records ahead of acknowledgements,
+	// the per-DC replication cursor, and restart recovery state.
+	tl *txlog.Log
+
+	// resendTails[dc] is the unreplicated committed tail snapshotted at
+	// construction time — BEFORE any new commit or acknowledgement can
+	// race the snapshot — for resendTailTo to replay; the txlog's cursor
+	// stays pinned below each tail until its resync is confirmed.
+	resendTails [][]*txlog.CommittedTx
+	// resyncTailSent[dc] flips once resendTailTo has enqueued dc's tail;
+	// resyncDone[dc] (touched only under applyMu) gates ordinary
+	// replication to dc: until the tail is on the FIFO link, no new batch
+	// or heartbeat may overtake it — the peer's version vector would
+	// advance past transactions it has not received, a transient causal
+	// hole. The transition tick ships a dedupe-safe catch-up of everything
+	// still unconfirmed, then normal replication resumes.
+	resyncTailSent []atomic.Bool
+	resyncDone     []bool
+
+	// seqLimit is the durably reserved transaction-sequence ceiling;
+	// seqMu serializes block refills (see seqBlockSize).
+	seqLimit atomic.Uint64
+	seqMu    sync.Mutex
+
+	// VV is the version vector: VV[m] is the locally installed snapshot,
+	// VV[i] the latest commit timestamp received from DC i. Entrywise
+	// monotone, so protocols load it lock-free on the read path.
+	VV hlc.AtomicVector
+
+	// SnapMu makes the protocol's snapshot assignment atomic with respect
+	// to GC's oldest-snapshot computation. StartTx handlers hold it SHARED
+	// around (load stable snapshot → store context) — concurrent starts
+	// never serialize on it — while the GC tick takes it exclusively for
+	// one load inside Protocol.OldestActiveSnapshot: the barrier
+	// guarantees every context predating the GC floor is visible to the
+	// sweep, so GC can never prune a version a just-started transaction's
+	// snapshot still needs.
+	SnapMu sync.RWMutex
+
+	// pendingSlice tracks in-flight slice-read fan-ins by request id.
+	pendingSlice *stripemap.Map[*fanin.TxRead]
+
+	// applyMu serializes ApplyTick end to end. Cure runs the tick from
+	// every parked slice read besides the apply loop, and two overlapping
+	// ticks break the installed-snapshot invariant: tick A takes committed
+	// transactions up to its bound and is preempted before writing them to
+	// the engine; tick B, finding the commit list empty, computes a LARGER
+	// bound and publishes it while A's writes are still in flight —
+	// readers whose snapshot the new bound "covers" are served without
+	// those versions. mu cannot serve this purpose: the tick must release
+	// it around the engine write, which is exactly the window that must
+	// stay ordered.
+	applyMu sync.Mutex
+
+	mu             sync.Mutex
+	prepared       map[uint64]*txlog.PreparedTx
+	recovered      map[uint64]*recoveredPrepare // txlog prepares awaiting a re-driven outcome
+	committed      []*txlog.CommittedTx
+	peerOldest     []hlc.Timestamp // per-partition gossiped oldest active snapshots
+	pendingPrepare map[uint64]*prepareCall
+
+	reqSeq atomic.Uint64
+	txSeq  atomic.Uint64
+
+	// nextRepair paces maybeRepair; touched only by the lifecycle loop.
+	nextRepair time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	reqWG     sync.WaitGroup
+
+	// drainMu orders GoAsync's draining check + reqWG.Add against Stop's
+	// draining=true + reqWG.Wait: without it, an Add could race Wait at
+	// counter zero (a documented WaitGroup misuse that panics). Only the
+	// commit path touches it; reads never use GoAsync at all.
+	drainMu  sync.Mutex
+	draining bool // guarded by drainMu; set during Stop
+}
+
+// New opens the storage engine and transaction log, replays recovery
+// state through the protocol's put renderer, and returns a runtime ready
+// for Start. cfg must already be filled and validated (the protocol
+// constructor does both so its own config errors keep their package
+// prefix). proto may rely only on its configuration during New — the
+// runtime pointer is handed to it by its own constructor afterwards.
+func New(cfg Config, proto Protocol, ctr Counters) (*Runtime, error) {
+	eng, err := backend.Open(backend.Options{
+		Backend: cfg.StoreBackend,
+		Shards:  cfg.StoreShards,
+		DataDir: cfg.EngineDir(),
+		Fsync:   cfg.FsyncPolicy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: open store: %w", cfg.Name, err)
+	}
+	// The transaction log lives beside the engine's files, inside the
+	// directory the engine just claimed — covered by the same exclusive
+	// lock and engine-type marker. Memory backends have nowhere durable to
+	// recover from, so they run without one.
+	var tl *txlog.Log
+	if cfg.StoreBackend != "" && cfg.StoreBackend != backend.Memory && !cfg.DisableTxLog {
+		tl, err = txlog.Open(txlog.Options{
+			Dir:    filepath.Join(cfg.EngineDir(), "txlog"),
+			NumDCs: cfg.NumDCs,
+			SelfDC: cfg.DC,
+			Fsync:  cfg.FsyncPolicy,
+		})
+		if err != nil {
+			_ = eng.Close()
+			return nil, fmt.Errorf("%s: open txlog: %w", cfg.Name, err)
+		}
+	}
+	r := &Runtime{
+		cfg:            cfg,
+		proto:          proto,
+		ctr:            ctr,
+		id:             transport.ServerID(cfg.DC, cfg.Partition),
+		Clock:          hlc.NewClock(cfg.ClockSource),
+		st:             eng,
+		tl:             tl,
+		VV:             hlc.NewAtomicVector(cfg.NumDCs),
+		prepared:       make(map[uint64]*txlog.PreparedTx),
+		recovered:      make(map[uint64]*recoveredPrepare),
+		peerOldest:     make([]hlc.Timestamp, cfg.NumPartitions),
+		pendingSlice:   stripemap.New[*fanin.TxRead](0),
+		pendingPrepare: make(map[uint64]*prepareCall),
+		stop:           make(chan struct{}),
+	}
+	if tl != nil {
+		// Recovery order: the engine replayed its own logs in Open above;
+		// now the txlog's committed-but-unapplied transactions go into the
+		// engine BEFORE the server serves anything, so a kill between the
+		// client ack and the apply tick loses nothing.
+		r.recoverFromTxLog()
+		// Fresh transaction ids must clear every id of the previous
+		// lives: the log keeps old ids live across restarts (resync
+		// dedupe, re-driven outcomes, remote cohorts' retained prepares),
+		// so a colliding new id would match an unrelated old transaction.
+		// Seed above the durably reserved watermark and reserve the first
+		// block.
+		floor := tl.NextSeqFloor()
+		r.txSeq.Store(floor)
+		tl.ReserveSeqs(floor + seqBlockSize)
+		r.seqLimit.Store(floor + seqBlockSize)
+		// Snapshot each peer DC's unreplicated tail NOW, before the
+		// server serves anything: once live traffic flows, a peer's
+		// acknowledgement of a NEW batch could advance its cursor past
+		// the old tail before resendTailTo reads it, silently dropping
+		// the very transactions the cursor exists to recover. The cursor
+		// stays pinned at each tail's high-water mark until the re-sent
+		// tail itself is acknowledged.
+		r.resendTails = make([][]*txlog.CommittedTx, cfg.NumDCs)
+		r.resyncTailSent = make([]atomic.Bool, cfg.NumDCs)
+		r.resyncDone = make([]bool, cfg.NumDCs)
+		for dc := 0; dc < cfg.NumDCs; dc++ {
+			r.resyncDone[dc] = true
+			if dc == cfg.DC {
+				continue
+			}
+			if tail := tl.UnreplicatedTail(dc); len(tail) > 0 {
+				r.resendTails[dc] = tail
+				r.resyncDone[dc] = false
+				tl.PinResync(dc, tail[len(tail)-1].CT)
+			}
+		}
+	}
+	return r, nil
+}
+
+// ID returns the server's node id.
+func (r *Runtime) ID() transport.NodeID { return r.id }
+
+// Engine exposes the storage engine.
+func (r *Runtime) Engine() store.Engine { return r.st }
+
+// TxLog exposes the transaction log (nil when disabled).
+func (r *Runtime) TxLog() *txlog.Log { return r.tl }
+
+// Healthy reports the first durability failure of the server's write path
+// — storage engine or transaction log — or nil while both are intact. The
+// runtime ACTS on this signal: a degraded server sheds into read-only
+// admission (prepares and commits are refused with a typed error) until
+// restart or a successful probation repair.
+func (r *Runtime) Healthy() error {
+	if err := r.st.Healthy(); err != nil {
+		return err
+	}
+	if r.tl != nil {
+		if err := r.tl.Healthy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stopping exposes the stop channel for protocol hooks that wait
+// (BeforeCommitReply).
+func (r *Runtime) Stopping() <-chan struct{} { return r.stop }
+
+// NextReqID allocates a request id for an outgoing fan-out request.
+func (r *Runtime) NextReqID() uint64 { return r.reqSeq.Add(1) }
+
+// TrackRead registers an in-flight slice-read fan-in under reqID; the
+// matching SliceResp resolves it, the GC tick sweeps it if abandoned.
+func (r *Runtime) TrackRead(reqID uint64, fi *fanin.TxRead) {
+	r.pendingSlice.Store(reqID, fi)
+}
+
+// CommitQueueLen reports the current commit-list length (tests only).
+func (r *Runtime) CommitQueueLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.committed)
+}
+
+// Send transmits a message, ignoring delivery errors: the network rejects
+// sends only during shutdown, when responses are moot.
+func (r *Runtime) Send(to transport.NodeID, m wire.Message) {
+	_ = r.cfg.Network.Send(r.id, to, m)
+}
+
+// TxApplied reports whether the storage engine already holds a version
+// written by txID under key — the idempotence check recovery replay and
+// resync application run before re-inserting a transaction's writes.
+// Transaction ids embed the DC and partition, so a TxID match is exact.
+func (r *Runtime) TxApplied(key string, txID uint64) bool {
+	return r.st.ReadVisible(key, func(v *store.Version) bool { return v.TxID == txID }) != nil
+}
+
+// NewTxID generates a globally unique transaction id: DC in the top byte,
+// partition in the next two, then a local sequence number. With a
+// transaction log, sequence numbers are drawn from durably reserved
+// blocks so ids stay unique across restarts too (an id can outlive this
+// process in a cohort's log the moment it is handed out).
+func (r *Runtime) NewTxID() uint64 {
+	seq := r.txSeq.Add(1)
+	if r.tl != nil && seq > r.seqLimit.Load() {
+		r.seqMu.Lock()
+		if seq > r.seqLimit.Load() {
+			r.tl.ReserveSeqs(seq + seqBlockSize)
+			r.seqLimit.Store(seq + seqBlockSize)
+		}
+		r.seqMu.Unlock()
+	}
+	return uint64(r.cfg.DC)<<56 | uint64(r.cfg.Partition)<<40 | seq
+}
+
+// CoordinatorOf decodes the coordinator server embedded in a transaction
+// id (see NewTxID: DC in the top byte, partition in the next two).
+func CoordinatorOf(txID uint64) (dc, partition int) {
+	return int(txID >> 56), int(uint16(txID >> 40))
+}
+
+// recoverFromTxLog replays the log's committed transactions into the
+// storage engine (skipping the writes the engine already recovered
+// itself) and stages outcome-less prepares for the re-driven CommitTx a
+// restarted coordinator sends. Runs before the server is registered on
+// the network.
+func (r *Runtime) recoverFromTxLog() {
+	committed := r.tl.Committed()
+	applied := make([]uint64, 0, len(committed))
+	for _, t := range committed {
+		applied = append(applied, t.TxID)
+		r.st.PutBatch(r.proto.AppendLocalPuts(nil, t, r.TxApplied))
+	}
+	// Everything committed in the log is now in the engine.
+	r.tl.MarkApplied(applied)
+	probe := time.Now().Add(recoveryGrace)
+	for _, p := range r.tl.Prepared() {
+		r.recovered[p.TxID] = &recoveredPrepare{tx: p, nextProbe: probe}
+	}
+}
+
+// redriveRecovered is the restart half of the coordinator's lifecycle:
+// re-drive the unresolved commit decisions this coordinator acknowledged
+// (their cohorts may have crashed between PrepareResp and CommitTx),
+// retrying while destinations are still coming up. Anything it cannot
+// finish is picked up by the periodic lifecycle loop.
+func (r *Runtime) redriveRecovered() {
+	defer r.wg.Done()
+	for _, c := range r.tl.CoordPending() {
+		for _, p := range c.Cohorts {
+			if !r.sendRetry(transport.ServerID(r.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT}) {
+				return
+			}
+		}
+	}
+}
+
+// resendTailTo re-sends one peer DC the committed tail above its
+// replication cursor, snapshotted at construction time, as resync batches
+// the receiver deduplicates. Each peer gets its own goroutine — until the
+// tail is on the link, ApplyTick withholds all ordinary replication to
+// that DC, and one unreachable peer must not extend that hold to the
+// others.
+func (r *Runtime) resendTailTo(dc int, tail []*txlog.CommittedTx) {
+	defer r.wg.Done()
+	for i := 0; i < len(tail); i += resendBatchSize {
+		batch := &wire.Replicate{SrcDC: uint8(r.cfg.DC), Partition: uint16(r.cfg.Partition), Resync: true}
+		for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+			batch.Txs = append(batch.Txs, r.proto.ReplTxRecord(t))
+		}
+		if !r.sendRetry(transport.ServerID(dc, r.cfg.Partition), batch) {
+			return
+		}
+	}
+	r.resyncTailSent[dc].Store(true)
+}
+
+// sendRetry delivers a recovery message, retrying while the destination is
+// unreachable: servers of a restarting deployment come up in arbitrary
+// order, and a re-driven outcome or resync batch dropped on the floor
+// would silently undo the durability the log just recovered. Gives up only
+// when this server stops; reports whether the send succeeded.
+func (r *Runtime) sendRetry(to transport.NodeID, m wire.Message) bool {
+	for {
+		if err := r.cfg.Network.Send(r.id, to, m); err == nil {
+			return true
+		}
+		select {
+		case <-r.stop:
+			return false
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// Start registers the runtime as the server's transport handler and
+// launches the apply (ΔR), stabilization (ΔG), garbage-collection and
+// lifecycle loops.
+func (r *Runtime) Start() {
+	r.startOnce.Do(func() {
+		r.cfg.Network.Register(r.id, r)
+		r.wg.Add(1)
+		go r.applyLoop()
+		r.wg.Add(1)
+		go r.gossipLoop()
+		if r.cfg.GCInterval > 0 {
+			r.wg.Add(1)
+			go r.gcLoop()
+		}
+		if r.tl != nil {
+			// Recovery sends run per destination: a re-drive retrying
+			// toward one dead cohort, or one unreachable peer DC, must
+			// not block the resync tails — and with them ALL replication
+			// — to everyone else.
+			r.wg.Add(1)
+			go r.redriveRecovered()
+			for dc, tail := range r.resendTails {
+				if len(tail) > 0 {
+					r.wg.Add(1)
+					go r.resendTailTo(dc, tail)
+				}
+			}
+			r.wg.Add(1)
+			go r.lifecycleLoop()
+		}
+	})
+}
+
+// Stop terminates the background loops, waits for them to exit, flushes
+// any transactions still on the commit list into the store, and closes
+// the storage engine and the transaction log. With the transaction log
+// enabled the flush is an optimization, not the durability mechanism: an
+// acknowledged commit whose CommitTx was in flight when draining began is
+// already logged and is recovered on the next start.
+func (r *Runtime) Stop() { r.shutdown(false) }
+
+// Kill stops the server WITHOUT the final apply/flush, simulating a hard
+// kill for recovery tests: acknowledged-but-unapplied transactions stay
+// out of the engine and must come back through transaction-log recovery.
+// (In-process, file writes already handed to the OS survive regardless —
+// what Kill withholds is every shutdown courtesy the process performs.)
+func (r *Runtime) Kill() { r.shutdown(true) }
+
+func (r *Runtime) shutdown(kill bool) {
+	var flush bool
+	r.stopOnce.Do(func() {
+		r.drainMu.Lock()
+		r.draining = true
+		r.drainMu.Unlock()
+		r.proto.OnStop(kill)
+		close(r.stop)
+		flush = true
+	})
+	r.wg.Wait()
+	r.reqWG.Wait()
+	if !flush {
+		return
+	}
+	if !kill {
+		// Prepared-but-uncommitted transactions can never commit now, but
+		// their proposed timestamps would hold the apply upper bound below
+		// later acknowledged commits; drop them so the final apply flushes
+		// every transaction on the commit list. (With the txlog their
+		// prepares stay logged, so a commit decision that surfaces after a
+		// restart can still be honored.)
+		r.mu.Lock()
+		r.prepared = make(map[uint64]*txlog.PreparedTx)
+		r.mu.Unlock()
+		r.ApplyTick(false)
+		r.flushCommitted()
+	}
+	if err := r.st.Close(); err != nil {
+		// The engine surfaces its first append/sync failure here; it
+		// must not vanish silently — acknowledged commits may not have
+		// reached disk.
+		fmt.Fprintf(os.Stderr, "%s: dc%d/p%d store close: %v\n", r.cfg.Name, r.cfg.DC, r.cfg.Partition, err)
+	}
+	if r.tl != nil {
+		if err := r.tl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: dc%d/p%d txlog close: %v\n", r.cfg.Name, r.cfg.DC, r.cfg.Partition, err)
+		}
+	}
+}
+
+// flushCommitted force-applies every transaction still on the commit list
+// to the storage engine, ignoring the apply upper bound. Only used during
+// Stop: the server serves no more reads, and a durable engine must not
+// close with acknowledged commits unapplied. The regular final ApplyTick
+// usually drains the list already; this catches commit timestamps the
+// local clock has not caught up to (for plain Cure in particular, whose
+// bound follows the raw physical clock: under skew a timestamp assigned
+// by a faster coordinator can sit above PhysicalNow() at shutdown).
+//
+// Replication is NOT retried here: a transaction flushed this way (or
+// whose Replicate message was dropped by draining peers) persists locally
+// but never reaches remote DCs — there is no replication cursor yet, so a
+// restart can leave DCs durably diverged on the final pre-shutdown
+// transactions (tracked in ROADMAP.md alongside commit-time durability).
+func (r *Runtime) flushCommitted() {
+	r.mu.Lock()
+	apply := r.committed
+	r.committed = nil
+	r.mu.Unlock()
+	if len(apply) == 0 {
+		return
+	}
+	sortCommitted(apply)
+	var puts []store.KV
+	for _, t := range apply {
+		puts = r.proto.AppendLocalPuts(puts, t, nil)
+	}
+	r.st.PutBatch(puts)
+	if r.tl != nil {
+		ids := make([]uint64, len(apply))
+		for i, t := range apply {
+			ids[i] = t.TxID
+		}
+		r.tl.MarkApplied(ids)
+	}
+}
+
+// GoAsync runs fn on a tracked goroutine unless the server is draining.
+// The commit path uses it for the 2PC response collection and post-append
+// fsyncs, which must not block a delivery link. (Reads do not need it:
+// their fan-in is a completion counter, not a parked goroutine.)
+func (r *Runtime) GoAsync(fn func()) {
+	r.drainMu.Lock()
+	if r.draining {
+		r.drainMu.Unlock()
+		return
+	}
+	r.reqWG.Add(1)
+	r.drainMu.Unlock()
+	go func() {
+		defer r.reqWG.Done()
+		fn()
+	}()
+}
+
+// sortCommitted orders transactions by (commit timestamp, id) — the apply
+// and flush order.
+func sortCommitted(txs []*txlog.CommittedTx) {
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].CT != txs[j].CT {
+			return txs[i].CT < txs[j].CT
+		}
+		return txs[i].TxID < txs[j].TxID
+	})
+}
+
+// HandleMessage implements transport.Handler: the runtime dispatches the
+// protocol-independent messages itself and forwards the snapshot-carrying
+// rest to the protocol. Handlers never block (Wren's defining property),
+// so the per-link FIFO delivery goroutines are never stalled.
+func (r *Runtime) HandleMessage(from transport.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.SliceResp:
+		r.handleSliceResp(msg)
+	case *wire.PrepareResp:
+		r.handlePrepareResp(msg)
+	case *wire.CommitTx:
+		r.HandleCommitTx(from, msg)
+	case *wire.CommitAck:
+		r.handleCommitAck(msg)
+	case *wire.Replicate:
+		r.handleReplicate(msg)
+	case *wire.ReplicateAck:
+		r.handleReplicateAck(msg)
+	case *wire.Heartbeat:
+		r.handleHeartbeat(msg)
+	case *wire.GCBroadcast:
+		r.handleGCBroadcast(msg)
+	case *wire.HealthReq:
+		r.handleHealthReq(from, msg)
+	case *wire.TxStatusReq:
+		r.handleTxStatusReq(from, msg)
+	case *wire.TxStatusResp:
+		r.handleTxStatusResp(from, msg)
+	default:
+		r.proto.HandleMessage(from, m)
+	}
+}
+
+// handleSliceResp folds a remote slice into its read fan-in; the last
+// arriving slice assembles and sends the TxReadResp.
+func (r *Runtime) handleSliceResp(m *wire.SliceResp) {
+	if fi, ok := r.pendingSlice.LoadAndDelete(m.ReqID); ok {
+		fi.Fold(m.Items, m.BlockedMicros)
+		if resp, to, last := fi.Finish(); last {
+			r.Send(to, resp)
+		}
+	}
+	wire.PutSliceResp(m)
+}
+
+// Commit runs the coordinator side of the two-phase commit (Algorithm 2
+// lines 17–28). The protocol has already resolved the transaction's
+// snapshot and supplies makePrepare, which renders a cohort's PrepareReq
+// carrying that snapshot; the runtime fills ReqID, TxID and Writes.
+func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare func() *wire.PrepareReq) {
+	if len(m.Writes) == 0 {
+		// Read-only transactions just release their context (the paper's
+		// COMMIT is only invoked when WS ≠ ∅). They are admitted even in
+		// read-only degraded mode — nothing about them needs durability.
+		r.Send(from, &wire.CommitResp{ReqID: m.ReqID, CT: 0})
+		return
+	}
+	if err := r.Healthy(); err != nil {
+		// Read-only admission: the durability this acknowledgement would
+		// promise cannot be delivered, so the write is refused with a
+		// typed error instead of being accepted into a degraded log.
+		r.Send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: err.Error()})
+		return
+	}
+
+	type cohortWrites struct {
+		partition int
+		writes    []wire.KV
+	}
+	byPartition := make(map[int][]wire.KV)
+	for _, kv := range m.Writes {
+		p := sharding.PartitionOf(kv.Key, r.cfg.NumPartitions)
+		byPartition[p] = append(byPartition[p], kv)
+	}
+	cohorts := make([]cohortWrites, 0, len(byPartition))
+	for p, ws := range byPartition {
+		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
+	}
+
+	call := &prepareCall{ch: make(chan prepareVote, len(cohorts))}
+	r.mu.Lock()
+	r.pendingPrepare[m.TxID] = call
+	r.mu.Unlock()
+
+	for _, c := range cohorts {
+		req := makePrepare()
+		req.ReqID = r.reqSeq.Add(1)
+		req.TxID = m.TxID
+		req.Writes = c.writes
+		r.Send(transport.ServerID(r.cfg.DC, c.partition), req)
+	}
+
+	r.GoAsync(func() {
+		var ct hlc.Timestamp
+		var refusal string
+		for range cohorts {
+			select {
+			case v := <-call.ch:
+				if v.err != "" && refusal == "" {
+					refusal = v.err
+				}
+				if v.pt > ct {
+					ct = v.pt
+				}
+			case <-r.stop:
+				return
+			}
+		}
+		// The pendingPrepare entry stays registered until the outcome is
+		// decided (logged or aborted): TxStatusReq answers "not committed"
+		// only when a transaction is in NEITHER pendingPrepare nor the
+		// decision log, so the in-flight window must never show a gap — a
+		// cohort that restarted mid-2PC probes for exactly this state, and
+		// a false final verdict would abort a prepare this decision is
+		// about to commit.
+		finish := func() {
+			r.mu.Lock()
+			delete(r.pendingPrepare, m.TxID)
+			r.mu.Unlock()
+		}
+		abort := func(errText string) {
+			finish()
+			for _, c := range cohorts {
+				r.Send(transport.ServerID(r.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
+			}
+			r.Send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrReadOnly, Err: errText})
+		}
+		if refusal != "" {
+			// A degraded cohort refused its prepare: abort the 2PC (zero
+			// CT releases the healthy cohorts' prepares) and surface the
+			// typed refusal to the client.
+			abort(refusal)
+			return
+		}
+		if r.tl != nil {
+			// The commit decision is logged and made stable BEFORE
+			// CommitTx leaves and BEFORE the client ack: the ack's
+			// durability promise is this record, and holding CommitTx
+			// back until it holds means a failed append/fsync can still
+			// abort the whole 2PC cleanly — no cohort has committed yet.
+			parts := make([]uint16, 0, len(cohorts))
+			for _, c := range cohorts {
+				parts = append(parts, uint16(c.partition))
+			}
+			r.tl.LogCoordCommit(m.TxID, ct, parts)
+			if r.tl.SyncOnAppend() {
+				r.tl.Sync()
+			}
+			if err := r.tl.Healthy(); err != nil {
+				// The decision never became durable: withdraw it (so a
+				// recovery cannot re-drive a commit the client was told
+				// failed), abort the cohorts, refuse the client.
+				r.tl.CoordAbort(m.TxID)
+				abort(err.Error())
+				return
+			}
+		}
+		finish()
+		for _, c := range cohorts {
+			r.Send(transport.ServerID(r.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
+		}
+		if !r.proto.BeforeCommitReply(ct) {
+			return
+		}
+		r.ctr.TxCommitted.Inc()
+		r.Send(from, &wire.CommitResp{ReqID: m.ReqID, CT: ct})
+	})
+}
+
+// Prepare runs the cohort side of the 2PC (Algorithm 3 lines 13–19):
+// propose a commit timestamp strictly past ht and register the prepare.
+// The protocol passes ht already folded over everything the client saw;
+// the unified log record keeps whichever snapshot fields the message
+// carried (Wren's RT scalar, Cure's SV vector).
+//
+// The proposal and its registration in the pending list happen atomically
+// under mu, the same mutex ApplyTick holds while computing its apply
+// upper bound. Without that, a tick could interleave between TickPast and
+// the registration, compute an upper bound at or above the proposal
+// (TickPast has already advanced the clock), publish it as stable — and
+// the transaction would later commit INSIDE the stable region, applied
+// after readers were already served without it: the causal/atomic
+// violations TestTCCConformance* exhibited under CPU starvation, where the
+// preemption window between the two statements stretched to milliseconds.
+func (r *Runtime) Prepare(from transport.NodeID, m *wire.PrepareReq, ht hlc.Timestamp) {
+	if err := r.Healthy(); err != nil {
+		// Degraded durability: refuse, so the coordinator aborts instead
+		// of committing a write set this cohort cannot log.
+		r.Send(from, &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, Err: err.Error()})
+		return
+	}
+	r.mu.Lock()
+	pt := r.Clock.TickPast(ht)
+	p := &txlog.PreparedTx{TxID: m.TxID, PT: pt, RST: m.RT, SV: m.SV, Writes: m.Writes}
+	r.prepared[m.TxID] = p
+	r.mu.Unlock()
+	resp := &wire.PrepareResp{ReqID: m.ReqID, TxID: m.TxID, PT: pt}
+	if r.tl != nil {
+		r.tl.LogPrepare(p)
+		if r.tl.SyncOnAppend() {
+			// The fsync must not stall the delivery link (reads share it):
+			// the proposal leaves on a tracked goroutine once the prepare
+			// record is stable.
+			r.GoAsync(func() {
+				r.tl.Sync()
+				r.Send(from, r.checkedPrepareResp(resp))
+			})
+			return
+		}
+		resp = r.checkedPrepareResp(resp)
+	}
+	r.Send(from, resp)
+}
+
+// checkedPrepareResp downgrades a prepare proposal to a refusal when the
+// append (or fsync) backing it failed: the proposal claims the write set
+// is recoverable here, and a vote whose own record never became durable
+// must not be cast — only LATER requests being refused would let this one
+// transaction commit on a broken promise.
+func (r *Runtime) checkedPrepareResp(resp *wire.PrepareResp) *wire.PrepareResp {
+	if err := r.tl.Healthy(); err != nil {
+		return &wire.PrepareResp{ReqID: resp.ReqID, TxID: resp.TxID, Err: err.Error()}
+	}
+	return resp
+}
+
+func (r *Runtime) handlePrepareResp(m *wire.PrepareResp) {
+	r.mu.Lock()
+	call := r.pendingPrepare[m.TxID]
+	r.mu.Unlock()
+	if call != nil {
+		call.ch <- prepareVote{pt: m.PT, err: m.Err}
+	}
+}
+
+// HandleCommitTx implements Algorithm 3 lines 20–24: move the transaction
+// from the pending list to the commit list under its final timestamp. A
+// zero CT aborts instead (degraded-cohort refusal). With the transaction
+// log enabled the outcome is logged and acknowledged back to the
+// coordinator, which releases the coordinator's logged decision once every
+// cohort holds the outcome durably; re-driven outcomes after a restart
+// resolve recovered prepares, and outcomes already known deduplicate to
+// just the acknowledgement. (Exported because TxStatusResp verdicts flow
+// through the same path.)
+func (r *Runtime) HandleCommitTx(from transport.NodeID, m *wire.CommitTx) {
+	if m.CT == 0 {
+		r.mu.Lock()
+		delete(r.prepared, m.TxID)
+		delete(r.recovered, m.TxID)
+		r.mu.Unlock()
+		if r.tl != nil {
+			r.tl.LogAbort(m.TxID)
+		}
+		return
+	}
+	r.proto.ObserveCommitTS(m.CT)
+	r.mu.Lock()
+	committed := false
+	if p, ok := r.prepared[m.TxID]; ok {
+		delete(r.prepared, m.TxID)
+		r.committed = append(r.committed, &txlog.CommittedTx{
+			TxID: m.TxID, CT: m.CT, RST: p.RST, SV: p.SV, Writes: p.Writes,
+		})
+		committed = true
+	} else if rp, ok := r.recovered[m.TxID]; ok {
+		// A re-driven outcome for a prepare recovered from the txlog: the
+		// client was acknowledged in a previous life; commit it now.
+		delete(r.recovered, m.TxID)
+		r.committed = append(r.committed, &txlog.CommittedTx{
+			TxID: m.TxID, CT: m.CT, RST: rp.tx.RST, SV: rp.tx.SV, Writes: rp.tx.Writes,
+		})
+		committed = true
+	}
+	r.mu.Unlock()
+	if r.tl == nil {
+		return
+	}
+	if committed {
+		r.tl.LogCommit(m.TxID, m.CT)
+	}
+	// The ack states "outcome durable here"; it may only leave after the
+	// commit record is stable (and not on the delivery goroutine), and
+	// never when the append or fsync backing it failed — withholding it
+	// keeps the coordinator's decision pending, to be re-driven rather
+	// than resolved on a broken promise. DUPLICATE outcomes take the same
+	// sync barrier: a re-driven CommitTx can arrive while the first
+	// copy's fsync is still in flight, and acknowledging it early would
+	// resolve the decision against an unsynced record (the group-commit
+	// sync is free once the record is already stable).
+	ack := &wire.CommitAck{TxID: m.TxID, Partition: uint16(r.cfg.Partition)}
+	if r.tl.SyncOnAppend() {
+		r.GoAsync(func() {
+			r.tl.Sync()
+			if r.tl.Healthy() == nil {
+				r.Send(from, ack)
+			}
+		})
+		return
+	}
+	if r.tl.Healthy() == nil {
+		r.Send(from, ack)
+	}
+}
+
+// handleCommitAck releases the coordinator's logged commit decision once
+// the acknowledging cohort — and eventually all of them — holds the
+// outcome durably.
+func (r *Runtime) handleCommitAck(m *wire.CommitAck) {
+	if r.tl != nil {
+		r.tl.CoordAck(m.TxID, m.Partition)
+	}
+}
+
+// handleReplicateAck advances the persisted replication cursor for the
+// acknowledging DC: everything up to UpTo is confirmed applied there, so a
+// restart re-sends only what lies above. While a post-restart resync is
+// outstanding the cursor is pinned below the re-sent tail (only the
+// tail's own acknowledgement lifts it) — the txlog clamps the advance.
+func (r *Runtime) handleReplicateAck(m *wire.ReplicateAck) {
+	if r.tl == nil {
+		return
+	}
+	r.tl.AdvanceCursor(int(m.DC), m.UpTo)
+	if m.Resync {
+		r.tl.UnpinResync(int(m.DC), m.UpTo)
+	}
+}
+
+// handleHealthReq answers the operator-facing health probe (wren-cli
+// health): whether this server is in read-only admission and why.
+func (r *Runtime) handleHealthReq(from transport.NodeID, m *wire.HealthReq) {
+	resp := &wire.HealthResp{ReqID: m.ReqID}
+	if err := r.Healthy(); err != nil {
+		resp.ReadOnly = true
+		resp.Err = err.Error()
+	}
+	r.Send(from, resp)
+}
+
+// handleReplicate applies remotely committed transactions (Algorithm 4
+// lines 22–26). FIFO links guarantee commit-timestamp order per sender.
+// Resync batches — a restarted sender replaying its unconfirmed tail — are
+// deduplicated per transaction against the engine; ordinary batches skip
+// that check. When the transaction log is enabled the batch is
+// acknowledged so the sender's replication cursor can advance.
+func (r *Runtime) handleReplicate(m *wire.Replicate) {
+	var skip SkipFunc
+	if m.Resync {
+		skip = r.TxApplied
+	}
+	var puts []store.KV
+	for i := range m.Txs {
+		puts = r.proto.AppendRemotePuts(puts, m.SrcDC, &m.Txs[i], skip)
+	}
+	r.st.PutBatch(puts)
+	r.ctr.ReplTxApplied.Add(uint64(len(puts)))
+	if len(m.Txs) == 0 {
+		return
+	}
+	last := m.Txs[len(m.Txs)-1].CT
+	r.VV.Advance(int(m.SrcDC), last)
+	r.proto.AfterInstall()
+	if r.tl != nil && r.Healthy() == nil {
+		// The engine write above honored the fsync policy, so the ack's
+		// durability statement is exactly as strong as every other one —
+		// unless this replica's write path is degraded and the batch only
+		// reached memory: then the ack is withheld, the sender's cursor
+		// stays put, and its retained tail can still resync us after a
+		// restart instead of leaving the DCs durably diverged. The Resync
+		// echo lets the sender's cursor pin distinguish tail confirmation
+		// from ordinary traffic.
+		r.Send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
+			&wire.ReplicateAck{DC: uint8(r.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
+	}
+}
+
+// handleHeartbeat advances the version-vector entry of an idle remote
+// replica (Algorithm 4 lines 27–28).
+func (r *Runtime) handleHeartbeat(m *wire.Heartbeat) {
+	r.VV.Advance(int(m.SrcDC), m.TS)
+	r.proto.AfterInstall()
+}
+
+// applyLoop runs Algorithm 4 lines 5–21 every ΔR.
+func (r *Runtime) applyLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.ApplyInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.ApplyTick(true)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// ApplyTick applies committed transactions up to the safe upper bound and
+// replicates them; when called from the apply loop (heartbeat=true) it
+// heartbeats idle peers instead. Protocols may also invoke it
+// (heartbeat=false) to install snapshots eagerly — Cure does from every
+// parked slice read; applyMu keeps those concurrent invocations from
+// publishing a bound whose transactions an earlier, still-running tick
+// has not finished applying.
+func (r *Runtime) ApplyTick(heartbeat bool) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	r.mu.Lock()
+	var ub hlc.Timestamp
+	if len(r.prepared) > 0 {
+		first := true
+		for _, p := range r.prepared {
+			if first || p.PT < ub {
+				ub = p.PT
+				first = false
+			}
+		}
+		ub = ub.Prev()
+	} else {
+		// No pending prepare: the bound follows the protocol's clock
+		// reading, which also pins the HLC so any later prepare proposes
+		// strictly above ub — otherwise a commit could land at a timestamp
+		// already declared stable.
+		ub = r.proto.ApplyBound()
+	}
+	if local := r.VV.Load(r.cfg.DC); ub < local {
+		ub = local
+	}
+
+	hadCommitted := len(r.committed) > 0
+	var apply []*txlog.CommittedTx
+	if hadCommitted {
+		rest := r.committed[:0]
+		for _, c := range r.committed {
+			if c.CT <= ub {
+				apply = append(apply, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		r.committed = rest
+	}
+	r.mu.Unlock()
+
+	// Apply in commit-timestamp order, grouping equal timestamps into one
+	// replication message (Algorithm 4 lines 8–16). Each group's writes go
+	// through one shard-grouped PutBatch, and all writes happen before
+	// the version vector is published so no reader can observe a stable
+	// time whose versions are missing.
+	sortCommitted(apply)
+	var batches []*wire.Replicate
+	for i := 0; i < len(apply); {
+		j := i
+		batch := &wire.Replicate{SrcDC: uint8(r.cfg.DC), Partition: uint16(r.cfg.Partition)}
+		var puts []store.KV
+		for ; j < len(apply) && apply[j].CT == apply[i].CT; j++ {
+			t := apply[j]
+			puts = r.proto.AppendLocalPuts(puts, t, nil)
+			batch.Txs = append(batch.Txs, r.proto.ReplTxRecord(t))
+		}
+		r.st.PutBatch(puts)
+		batches = append(batches, batch)
+		i = j
+	}
+
+	r.VV.Advance(r.cfg.DC, ub)
+	if r.tl != nil && len(apply) > 0 {
+		// Exactly these transactions are now in the engine; the log may
+		// release their records once replication confirms them. Marked by
+		// id, not by ub: a re-driven recovered commit logged concurrently
+		// can carry an old ct ≤ ub without being in this batch.
+		ids := make([]uint64, len(apply))
+		for i, t := range apply {
+			ids[i] = t.TxID
+		}
+		r.tl.MarkApplied(ids)
+	}
+	r.proto.AfterInstall()
+
+	hb := &wire.Heartbeat{SrcDC: uint8(r.cfg.DC), Partition: uint16(r.cfg.Partition), TS: ub}
+	for dc := 0; dc < r.cfg.NumDCs; dc++ {
+		if dc == r.cfg.DC {
+			continue
+		}
+		if r.tl != nil && !r.resyncDone[dc] {
+			// Replication to this DC is held until the restart resync
+			// tail is on its link: a batch or heartbeat overtaking the
+			// tail would advance the peer's version vector past
+			// transactions still in flight behind it. Once the tail is
+			// enqueued, this tick (applyMu-serialized) ships one
+			// dedupe-safe catch-up of everything still unconfirmed —
+			// including this tick's transactions — and normal replication
+			// resumes next tick.
+			if !r.resyncTailSent[dc].Load() {
+				continue
+			}
+			for i, tail := 0, r.tl.UnreplicatedTail(dc); i < len(tail); i += resendBatchSize {
+				batch := &wire.Replicate{SrcDC: uint8(r.cfg.DC), Partition: uint16(r.cfg.Partition), Resync: true}
+				for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+					batch.Txs = append(batch.Txs, r.proto.ReplTxRecord(t))
+				}
+				r.Send(transport.ServerID(dc, r.cfg.Partition), batch)
+			}
+			r.resyncDone[dc] = true
+			continue
+		}
+		for _, b := range batches {
+			r.Send(transport.ServerID(dc, r.cfg.Partition), b)
+		}
+		if heartbeat && !hadCommitted {
+			r.Send(transport.ServerID(dc, r.cfg.Partition), hb)
+		}
+	}
+}
+
+// gossipLoop runs the protocol's stabilization exchange every ΔG.
+func (r *Runtime) gossipLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.proto.GossipTick()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// gcLoop exchanges oldest-active snapshots and prunes version chains.
+func (r *Runtime) gcLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.GCInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.gcTick()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// gcTick merges the protocol's oldest-active snapshot with the gossiped
+// per-partition floors, prunes version chains below the DC-wide
+// threshold, and sweeps abandoned read fan-ins.
+func (r *Runtime) gcTick() {
+	now := time.Now()
+	oldest := r.proto.OldestActiveSnapshot(now)
+	// Sweep in-flight read fan-ins whose slice responses will never come
+	// (a peer died mid-read): the client has long timed out; dropping the
+	// entry lets the fan-in state be reclaimed.
+	var staleReads []uint64
+	r.pendingSlice.Range(func(reqID uint64, fi *fanin.TxRead) bool {
+		if now.Sub(fi.Created()) > r.cfg.TxContextTTL {
+			staleReads = append(staleReads, reqID)
+		}
+		return true
+	})
+	for _, reqID := range staleReads {
+		r.pendingSlice.Delete(reqID)
+	}
+	r.mu.Lock()
+	if oldest > r.peerOldest[r.cfg.Partition] {
+		r.peerOldest[r.cfg.Partition] = oldest
+	}
+	threshold := r.peerOldest[0]
+	for _, t := range r.peerOldest[1:] {
+		if t < threshold {
+			threshold = t
+		}
+	}
+	r.mu.Unlock()
+
+	msg := &wire.GCBroadcast{Partition: uint16(r.cfg.Partition), Oldest: oldest}
+	for p := 0; p < r.cfg.NumPartitions; p++ {
+		if p == r.cfg.Partition {
+			continue
+		}
+		r.Send(transport.ServerID(r.cfg.DC, p), msg)
+	}
+
+	if threshold > 0 {
+		res := r.st.GCStats(threshold)
+		if res.Removed > 0 {
+			r.ctr.GCRemoved.Add(uint64(res.Removed))
+		}
+		if res.DroppedKeys > 0 {
+			r.ctr.GCKeysDropped.Add(uint64(res.DroppedKeys))
+		}
+	}
+}
+
+func (r *Runtime) handleGCBroadcast(m *wire.GCBroadcast) {
+	p := int(m.Partition)
+	if p < 0 || p >= r.cfg.NumPartitions {
+		return
+	}
+	r.mu.Lock()
+	if m.Oldest > r.peerOldest[p] {
+		r.peerOldest[p] = m.Oldest
+	}
+	r.mu.Unlock()
+}
+
+// lifecycleLoop runs the periodic transaction-lifecycle maintenance —
+// 2PC termination probes, decision re-drives, and the degraded-mode
+// repair probe — on its own timer, independent of the optional GC loop.
+func (r *Runtime) lifecycleLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(lifecycleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			now := time.Now()
+			r.maybeRepair(now)
+			r.txLifecycleTick(now)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// maybeRepair is the degraded-mode probation exit: when the transaction
+// log has recorded a write-path failure but the storage engine is
+// healthy, attempt a full repair (compaction rewrite + probe append —
+// see txlog.Repair) at most once per RepairInterval. On success the
+// sticky error clears and the server readmits writes; a still-broken log
+// stays read-only and is retried next interval. An unhealthy ENGINE is
+// never repaired this way — rewriting the txlog proves nothing about the
+// engine's own logs — and RepairInterval < 0 disables the exit entirely
+// (a degraded server then stays read-only until restart).
+func (r *Runtime) maybeRepair(now time.Time) {
+	if r.cfg.RepairInterval <= 0 || r.tl == nil {
+		return
+	}
+	if r.tl.Healthy() == nil || r.st.Healthy() != nil {
+		return
+	}
+	if now.Before(r.nextRepair) {
+		return
+	}
+	r.nextRepair = now.Add(r.cfg.RepairInterval)
+	r.tl.Repair()
+}
+
+// txLifecycleTick is the periodic maintenance of the durable transaction
+// lifecycle: probe the coordinators of recovered prepares whose outcome
+// has not arrived (cooperative 2PC termination — only an explicit "not
+// committed" answer may abort them), and re-drive the CommitTx of
+// unresolved commit decisions whose cohorts have not all confirmed a
+// durable outcome (a cohort crash can swallow the original CommitTx or
+// its ack without this coordinator ever restarting).
+func (r *Runtime) txLifecycleTick(now time.Time) {
+	if r.tl == nil {
+		return
+	}
+	var probes []uint64
+	r.mu.Lock()
+	for id, rp := range r.recovered {
+		if now.After(rp.nextProbe) {
+			probes = append(probes, id)
+			rp.nextProbe = now.Add(recoveryGrace)
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range probes {
+		dc, p := CoordinatorOf(id)
+		if dc < r.cfg.NumDCs && p < r.cfg.NumPartitions {
+			r.Send(transport.ServerID(dc, p), &wire.TxStatusReq{TxID: id})
+		}
+	}
+	for _, c := range r.tl.RedrivePending(redriveAfter) {
+		for _, p := range c.Cohorts {
+			r.Send(transport.ServerID(r.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT})
+		}
+	}
+}
+
+// handleTxStatusReq answers a cohort's 2PC-termination probe from the
+// coordinator's logged decisions. "No decision retained" is a final abort
+// verdict for a cohort still holding the prepare — either the client was
+// never acknowledged, or the decision was resolved, which requires that
+// very cohort's durable-commit ack, contradicting a still-dangling
+// prepare — UNLESS the 2PC is still collecting votes: then the outcome is
+// genuinely undecided (a slow sibling cohort can stall it past the probe
+// grace) and the coordinator stays silent, leaving the cohort to re-probe.
+func (r *Runtime) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) {
+	var ct hlc.Timestamp
+	var ok bool
+	if r.tl != nil {
+		ct, ok = r.tl.CoordDecision(m.TxID)
+	}
+	if !ok {
+		r.mu.Lock()
+		_, inFlight := r.pendingPrepare[m.TxID]
+		r.mu.Unlock()
+		if inFlight {
+			return
+		}
+	}
+	r.Send(from, &wire.TxStatusResp{TxID: m.TxID, CT: ct, Committed: ok})
+}
+
+// handleTxStatusResp settles a recovered prepare: a committed verdict
+// flows through the normal commit path (including the durable-commit ack
+// back to the coordinator); a not-committed verdict finally aborts it.
+func (r *Runtime) handleTxStatusResp(from transport.NodeID, m *wire.TxStatusResp) {
+	if m.Committed {
+		r.HandleCommitTx(from, &wire.CommitTx{TxID: m.TxID, CT: m.CT})
+		return
+	}
+	r.mu.Lock()
+	_, ok := r.recovered[m.TxID]
+	delete(r.recovered, m.TxID)
+	r.mu.Unlock()
+	if ok && r.tl != nil {
+		r.tl.LogAbort(m.TxID)
+	}
+}

@@ -201,6 +201,7 @@ type Log struct {
 
 	errMu  sync.Mutex
 	err    error
+	errSeq uint64 // bumped on every recorded failure; Repair's staleness check
 	closed bool
 
 	stop chan struct{}
@@ -405,6 +406,7 @@ func (l *Log) recordErr(err error) {
 		return
 	}
 	l.errMu.Lock()
+	l.errSeq++
 	first := l.err == nil
 	if first {
 		l.err = err
@@ -432,6 +434,54 @@ func (l *Log) Healthy() error {
 // lets admission tests exercise the degraded path without arranging a
 // real I/O error on the log file.
 func (l *Log) InjectFailure(err error) { l.recordErr(err) }
+
+// Repair attempts to exit the degraded state: a full compaction rewrites
+// the log from retained in-memory state onto a fresh fsynced file (the
+// rewrite clears a frozen shard and leaves nothing volatile), then a probe
+// append plus sync proves the new handle's write path end to end. Only if
+// no NEW failure was recorded while the repair ran is the sticky error
+// cleared — clearing it first would let an acknowledgement ride on a log
+// that is still broken. Reports whether the log is healthy afterwards.
+//
+// The retained state is exactly what recovery would rebuild, so nothing
+// acknowledged is lost by the rewrite; what was lost to the original
+// failure stayed unacknowledged (the server refuses writes while
+// degraded), which is what makes probation re-admission sound.
+func (l *Log) Repair() bool {
+	l.errMu.Lock()
+	if l.closed || l.err == nil {
+		healthy := l.err == nil
+		l.errMu.Unlock()
+		return healthy
+	}
+	seq := l.errSeq
+	l.errMu.Unlock()
+
+	l.Compact()
+
+	// Probe append: re-record the sequence watermark (idempotent — recovery
+	// max-merges it) through the repaired handle.
+	l.sh.Mu.Lock()
+	if l.stopped {
+		l.sh.Mu.Unlock()
+		return false
+	}
+	l.appendLocked(func(e *wire.Encoder) {
+		e.Byte(recSeq)
+		e.Uvarint(l.maxSeq)
+	})
+	l.sh.Mu.Unlock()
+	l.Sync()
+
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	if l.errSeq != seq {
+		return false // the repair itself (or concurrent traffic) failed again
+	}
+	l.err = nil
+	fmt.Fprintf(os.Stderr, "txlog: durability restored in %s\n", l.dir)
+	return true
+}
 
 // appendLocked frames one record into the shard encoder and appends it.
 // Caller holds sh.Mu. After Close the append quietly drops: straggler
