@@ -8,6 +8,9 @@
 //	get <key>...            one-shot read-only transaction
 //	put <key> <value>...    one-shot write transaction (pairs)
 //	del <key>...            one-shot delete transaction (tombstones)
+//	scan [<start> [<end> [<limit>]]]
+//	                        range scan [start, end) in key order; works
+//	                        one-shot or inside an open transaction
 //	begin                   start an interactive transaction
 //	read <key>...           read within the open transaction
 //	write <key> <value>     buffer a write in the open transaction
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -103,7 +107,7 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 		case "quit", "exit":
 			return nil
 		case "help":
-			fmt.Fprintln(out, "commands: get put del begin read write delete commit abort health quit")
+			fmt.Fprintln(out, "commands: get put del scan begin read write delete commit abort health quit")
 		case "health":
 			showHealth(client, partitions, out)
 		case "get":
@@ -112,6 +116,12 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 			oneShotWrite(client, out, rest)
 		case "del":
 			oneShotDelete(client, out, rest)
+		case "scan":
+			if tx != nil {
+				doScan(tx, out, rest)
+				break
+			}
+			oneShotScan(client, out, rest)
 		case "delete":
 			if tx == nil {
 				fmt.Fprintln(out, "error: no open transaction (use begin, or del)")
@@ -233,6 +243,55 @@ func oneShotWrite(client *core.Client, out io.Writer, kvs []string) {
 		return
 	}
 	fmt.Fprintf(out, "committed at %v\n", ct)
+}
+
+// oneShotScan runs a range scan in its own read-only transaction.
+func oneShotScan(client *core.Client, out io.Writer, args []string) {
+	tx, err := client.Begin()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	doScan(tx, out, args)
+	_ = tx.Abort()
+}
+
+// doScan parses "scan [<start> [<end> [<limit>]]]" and prints the visible
+// keys of [start, end) in order. An omitted end scans to the end of the
+// keyspace; a limit caps the output.
+func doScan(tx *core.Tx, out io.Writer, args []string) {
+	if len(args) > 3 {
+		fmt.Fprintln(out, "usage: scan [<start> [<end> [<limit>]]]")
+		return
+	}
+	var start, end string
+	limit := 0
+	if len(args) > 0 {
+		start = args[0]
+	}
+	if len(args) > 1 {
+		end = args[1]
+	}
+	if len(args) > 2 {
+		n, err := strconv.Atoi(args[2])
+		if err != nil || n < 0 {
+			fmt.Fprintln(out, "usage: scan [<start> [<end> [<limit>]]] (limit must be a non-negative integer)")
+			return
+		}
+		limit = n
+	}
+	kvs, err := tx.Scan(start, end, limit)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if len(kvs) == 0 {
+		fmt.Fprintln(out, "(no keys)")
+		return
+	}
+	for _, kv := range kvs {
+		fmt.Fprintf(out, "%s = %q\n", kv.Key, kv.Value)
+	}
 }
 
 func oneShotDelete(client *core.Client, out io.Writer, keys []string) {

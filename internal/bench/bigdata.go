@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+	"wren/internal/store/sst"
+	"wren/internal/store/wal"
+)
+
+// The big-data profile measures each storage engine directly — no
+// cluster, no protocol — on a dataset many times larger than the SST
+// engine's memtable, so the columns isolate what the LSM machinery
+// costs and saves: how many sorted runs and levels the data settled
+// into, how many bytes of index stay resident (fence keys and Bloom
+// bits, versus the full-index estimate a dense index would pin), and
+// what a negative lookup costs when the Bloom filters are the only
+// thing standing between a miss and a disk read per run. Misses are
+// probed both uniformly and Zipfian-skewed, the mix a cache-hostile
+// read-mostly workload produces.
+
+// bigDataKeys/bigDataValueBytes size the profile dataset: ~4MB of raw
+// values against a 64KB memtable — 64x FlushBytes, comfortably past the
+// >=16x bar where the sparse index starts to matter.
+const (
+	bigDataKeys       = 16384
+	bigDataValueBytes = 256
+	bigDataFlushBytes = 64 << 10
+	bigDataProbes     = 4096
+)
+
+// BigDataRow is one engine's large-dataset profile.
+type BigDataRow struct {
+	Engine             string  `json:"engine"`
+	Keys               int     `json:"keys"`
+	ValueBytes         int     `json:"value_bytes"`
+	DataBytes          int64   `json:"data_bytes"`
+	FlushBytes         int64   `json:"flush_bytes"` // 0 for non-LSM engines
+	Runs               int     `json:"runs"`
+	Levels             int     `json:"levels"`
+	ResidentIndexBytes int64   `json:"resident_index_bytes"`
+	FullIndexEstBytes  int64   `json:"full_index_est_bytes"` // dense-index baseline
+	UniformMissMicros  float64 `json:"uniform_miss_micros"`
+	ZipfMissMicros     float64 `json:"zipf_miss_micros"`
+	PointReadMicros    float64 `json:"point_read_micros"`
+	Healthy            bool    `json:"healthy"`
+}
+
+// lsmIntrospect is the optional metrics surface the SST engine exposes;
+// other engines report zeros.
+type lsmIntrospect interface {
+	Runs() int
+	Levels() int
+	ResidentIndexBytes() int64
+}
+
+// openBigDataEngine builds one backend for the profile. The SST engine
+// gets the profile's small memtable so the dataset flushes into many
+// runs; durable engines run with fsync disabled — the profile measures
+// the read path, not group commit.
+func openBigDataEngine(engine, dir string) (store.Engine, error) {
+	switch engine {
+	case "", "memory":
+		return store.NewMemoryEngine(0), nil
+	case "wal":
+		return wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	case "sst":
+		return sst.Open(sst.Options{
+			Dir: dir, Fsync: wal.FsyncNever,
+			FlushBytes: bigDataFlushBytes,
+		})
+	default:
+		return nil, fmt.Errorf("bench: unknown engine %q", engine)
+	}
+}
+
+// RunBigData profiles each engine on the large dataset and returns one
+// row per engine. A backend that finishes the profile with a recorded
+// write-path failure fails the run — same discipline as the cluster
+// sweep's health gate.
+func RunBigData(engines []string, seed int64) ([]BigDataRow, error) {
+	rows := make([]BigDataRow, 0, len(engines))
+	for _, engine := range engines {
+		row, err := runBigDataEngine(engine, seed)
+		if err != nil {
+			return rows, fmt.Errorf("big-data profile %s: %w", engine, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runBigDataEngine(engine string, seed int64) (BigDataRow, error) {
+	dir, err := os.MkdirTemp("", "wren-bigdata-*")
+	if err != nil {
+		return BigDataRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	e, err := openBigDataEngine(engine, dir)
+	if err != nil {
+		return BigDataRow{}, err
+	}
+	defer e.Close()
+
+	row := BigDataRow{
+		Engine: engine, Keys: bigDataKeys, ValueBytes: bigDataValueBytes,
+	}
+	if engine == "sst" {
+		row.FlushBytes = bigDataFlushBytes
+	}
+
+	// Load in batches; the SST engine flushes and compacts as it goes,
+	// exactly as it would under a sustained write load.
+	val := make([]byte, bigDataValueBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	batch := make([]store.KV, 0, 512)
+	for i := 0; i < bigDataKeys; i++ {
+		key := bigDataKey(i)
+		row.DataBytes += int64(len(key) + bigDataValueBytes)
+		// A dense index pins every key plus a pointer-sized entry.
+		row.FullIndexEstBytes += int64(len(key) + 24)
+		batch = append(batch, store.KV{Key: key, Version: &store.Version{
+			Value: val, UT: hlc.Timestamp(1 + i), RDT: 1, TxID: uint64(i),
+		}})
+		if len(batch) == cap(batch) {
+			e.PutBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		e.PutBatch(batch)
+	}
+	if f, ok := e.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return row, err
+		}
+	}
+
+	visible := func(*store.Version) bool { return true }
+	rng := rand.New(rand.NewSource(seed))
+
+	// Uniform negative lookups over a disjoint keyspace.
+	start := time.Now()
+	for i := 0; i < bigDataProbes; i++ {
+		if v := e.ReadVisible(fmt.Sprintf("miss-%07d", rng.Intn(1<<20)), visible); v != nil {
+			return row, fmt.Errorf("phantom version for absent key")
+		}
+	}
+	row.UniformMissMicros = micros(time.Since(start), bigDataProbes)
+
+	// Zipfian-skewed negative lookups: a few hot absent keys probed over
+	// and over, the shape a read-through cache's misses take.
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	start = time.Now()
+	for i := 0; i < bigDataProbes; i++ {
+		if v := e.ReadVisible(fmt.Sprintf("miss-%07d", zipf.Uint64()), visible); v != nil {
+			return row, fmt.Errorf("phantom version for absent key")
+		}
+	}
+	row.ZipfMissMicros = micros(time.Since(start), bigDataProbes)
+
+	// Uniform present-key point reads.
+	start = time.Now()
+	for i := 0; i < bigDataProbes; i++ {
+		if v := e.ReadVisible(bigDataKey(rng.Intn(bigDataKeys)), visible); v == nil {
+			return row, fmt.Errorf("loaded key missing")
+		}
+	}
+	row.PointReadMicros = micros(time.Since(start), bigDataProbes)
+
+	if lsm, ok := e.(lsmIntrospect); ok {
+		row.Runs = lsm.Runs()
+		row.Levels = lsm.Levels()
+		row.ResidentIndexBytes = lsm.ResidentIndexBytes()
+	}
+	if err := e.Healthy(); err != nil {
+		row.Healthy = false
+		return row, fmt.Errorf("engine finished the profile degraded: %w", err)
+	}
+	row.Healthy = true
+	return row, nil
+}
+
+func bigDataKey(i int) string { return fmt.Sprintf("bigdata-%07d", i) }
+
+func micros(d time.Duration, n int) float64 {
+	return float64(d.Microseconds()) / float64(n)
+}

@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestBigDataProfile pins the large-dataset acceptance properties the
+// profile reports to CI: the SST engine settles the dataset into sorted
+// runs, keeps only a sparse index resident (far under the dense-index
+// estimate), answers negative lookups without per-run disk reads, and
+// every backend finishes the profile healthy.
+func TestBigDataProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-data profile loads several MB per engine")
+	}
+	rows, err := RunBigData([]string{"memory", "wal", "sst"}, 1)
+	if err != nil {
+		t.Fatalf("RunBigData: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Healthy {
+			t.Errorf("engine %s finished unhealthy", row.Engine)
+		}
+		if row.DataBytes < 16*bigDataFlushBytes {
+			t.Errorf("engine %s dataset %dB is under the 16x-memtable bar", row.Engine, row.DataBytes)
+		}
+	}
+	var sst BigDataRow
+	for _, row := range rows {
+		if row.Engine == "sst" {
+			sst = row
+		}
+	}
+	if sst.Runs < 2 {
+		t.Errorf("sst settled into %d runs; the dataset should span several", sst.Runs)
+	}
+	if sst.ResidentIndexBytes <= 0 || sst.ResidentIndexBytes >= sst.FullIndexEstBytes {
+		t.Errorf("sst resident index %dB not sparse against dense estimate %dB",
+			sst.ResidentIndexBytes, sst.FullIndexEstBytes)
+	}
+	// Bloom filters make a miss cheaper than a point read that must
+	// fetch a data block; at minimum a miss must not cost more than a
+	// small multiple of a hit even with several runs live.
+	if sst.UniformMissMicros > 4*sst.PointReadMicros+1 {
+		t.Errorf("sst uniform miss %.2fus vs point read %.2fus: misses are scaling with run count",
+			sst.UniformMissMicros, sst.PointReadMicros)
+	}
+}

@@ -49,6 +49,10 @@ type EnginesReport struct {
 	DCs        int         `json:"dcs"`
 	Partitions int         `json:"partitions"`
 	Rows       []EngineRow `json:"rows"`
+	// BigData is the direct-engine large-dataset profile: run counts,
+	// resident index bytes and negative-lookup latencies on a dataset
+	// far larger than the SST memtable.
+	BigData []BigDataRow `json:"big_data,omitempty"`
 }
 
 // RunEngines sweeps the given storage engines across EngineWorkloads and
@@ -130,6 +134,15 @@ func RunEngines(o Options, engines []string, threads []int) (*EnginesReport, err
 			}
 		}
 	}
+	// The large-dataset profile rides along on the same report: every
+	// swept engine is sized against a dataset many times the SST
+	// memtable, and a backend that ends the profile degraded fails the
+	// sweep just like the cluster health gate above.
+	big, err := RunBigData(engines, o.Seed)
+	rep.BigData = big
+	if err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 
@@ -149,6 +162,19 @@ func FormatEngines(r *EnginesReport) string {
 		fmt.Fprintf(&b, "%-8s %-8s %8d %12.0f %12.0f %10.2f %10.2f %10.2f\n",
 			row.Engine, row.Workload, row.TotalThreads, row.TxPerSec, row.WritesPerSec,
 			row.MeanLatMs, row.P50LatMs, row.P99LatMs)
+	}
+	if len(r.BigData) > 0 {
+		fmt.Fprintf(&b, "Big-data profile (%d keys x %dB values)\n",
+			r.BigData[0].Keys, r.BigData[0].ValueBytes)
+		fmt.Fprintf(&b, "%-8s %6s %7s %14s %14s %12s %12s %12s\n",
+			"engine", "runs", "levels", "resident(B)", "full-idx(B)",
+			"miss-uni(us)", "miss-zipf(us)", "read(us)")
+		for _, row := range r.BigData {
+			fmt.Fprintf(&b, "%-8s %6d %7d %14d %14d %12.2f %12.2f %12.2f\n",
+				row.Engine, row.Runs, row.Levels, row.ResidentIndexBytes,
+				row.FullIndexEstBytes, row.UniformMissMicros, row.ZipfMissMicros,
+				row.PointReadMicros)
+		}
 	}
 	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,6 +124,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 	case *wire.CommitResp:
 		reqID = msg.ReqID
 	case *wire.HealthResp:
+		reqID = msg.ReqID
+	case *wire.ScanResp:
 		reqID = msg.ReqID
 	default:
 		return
@@ -399,6 +402,131 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 	// session — the receiving end — releases it.
 	wire.PutTxReadResp(rr)
 	return result, nil
+}
+
+// ScanKV is one key/value pair yielded by Tx.Scan, in key order.
+type ScanKV struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns every key in [start, end) visible in the transaction
+// snapshot, in ascending key order, with the session's own writes
+// overlaid (uncommitted writes and deletes from this transaction, plus
+// committed writes from the client cache not yet covered by the
+// snapshot). An empty end scans to the end of the keyspace; limit > 0
+// caps the number of results. Keys are hash-sharded, so the range is
+// fanned out to every partition in the client's DC and the per-partition
+// sorted streams are merged; like every Wren read, the partitions answer
+// from their stable snapshot without blocking.
+func (t *Tx) Scan(start, end string, limit int) ([]ScanKV, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	c := t.client
+	n := c.cfg.NumPartitions
+
+	results := make([][]wire.Item, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			reqID := c.reqSeq.Add(1)
+			resp, err := c.call(transport.ServerID(c.cfg.DC, p), reqID, &wire.ScanReq{
+				ReqID: reqID, Start: start, End: end, Limit: uint64(limit),
+				LT: t.lt, RT: t.rt,
+			})
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			sr, ok := resp.(*wire.ScanResp)
+			if !ok {
+				errs[p] = fmt.Errorf("core: unexpected response %T to ScanReq", resp)
+				return
+			}
+			results[p] = sr.Items
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Session overlay: the client cache first (committed writes the
+	// snapshot may not cover yet), then this transaction's write set on
+	// top. A nil value is a delete and hides the key.
+	inRange := func(k string) bool { return k >= start && (end == "" || k < end) }
+	overlay := make(map[string][]byte)
+	c.mu.Lock()
+	for k, e := range c.cache {
+		if inRange(k) {
+			overlay[k] = e.value
+		}
+	}
+	for k, v := range t.ws {
+		if inRange(k) {
+			overlay[k] = v
+		}
+	}
+	c.mu.Unlock()
+	okeys := make([]string, 0, len(overlay))
+	for k := range overlay {
+		okeys = append(okeys, k)
+	}
+	sort.Strings(okeys)
+
+	// K-way merge of the per-partition streams (disjoint key sets, each
+	// sorted) with the sorted overlay, overlay winning.
+	heads := make([]int, n)
+	oi := 0
+	var out []ScanKV
+	for {
+		var minKey string
+		found := false
+		if oi < len(okeys) {
+			minKey, found = okeys[oi], true
+		}
+		for p := 0; p < n; p++ {
+			if heads[p] < len(results[p]) {
+				if k := results[p][heads[p]].Key; !found || k < minKey {
+					minKey, found = k, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		var val []byte
+		have, fromOverlay := false, false
+		if oi < len(okeys) && okeys[oi] == minKey {
+			val = overlay[minKey]
+			have, fromOverlay = val != nil, true
+			oi++
+		}
+		for p := 0; p < n; p++ {
+			if heads[p] < len(results[p]) && results[p][heads[p]].Key == minKey {
+				if !fromOverlay {
+					val, have = results[p][heads[p]].Value, true
+				}
+				heads[p]++
+			}
+		}
+		if have {
+			if val == nil {
+				val = []byte{}
+			}
+			out = append(out, ScanKV{Key: minKey, Value: val})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out, nil
 }
 
 // Write buffers updates in the transaction's write set (Algorithm 1,

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func scanKeys(kvs []ScanKV) []string {
+	keys := make([]string, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	return keys
+}
+
+func TestTxScan(t *testing.T) {
+	tc := newTestCluster(t, clusterOpts{dcs: 1, parts: 3})
+	c := tc.client(0)
+
+	kvs := map[string]string{}
+	for i := 0; i < 20; i++ {
+		kvs[fmt.Sprintf("scan-%02d", i)] = fmt.Sprintf("v%02d", i)
+	}
+	commitKV(t, c, kvs)
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := tx.Delete("scan-05"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("Commit(delete): %v", err)
+	}
+
+	// Same-session scan: the client cache overlays the snapshot, so every
+	// committed write (and the delete) is observed immediately.
+	tx, err = c.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	got, err := tx.Scan("scan-", "scan-zz", 0)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != 19 {
+		t.Fatalf("full scan returned %d keys (%v), want 19", len(got), scanKeys(got))
+	}
+	for i, kv := range got {
+		if i > 0 && got[i-1].Key >= kv.Key {
+			t.Fatalf("scan out of order: %q before %q", got[i-1].Key, kv.Key)
+		}
+		if kv.Key == "scan-05" {
+			t.Fatal("deleted key scan-05 in scan results")
+		}
+		if want := "v" + kv.Key[len("scan-"):]; string(kv.Value) != want {
+			t.Fatalf("key %s scanned %q, want %q", kv.Key, kv.Value, want)
+		}
+	}
+
+	// Bounded range: [scan-10, scan-13).
+	got, err = tx.Scan("scan-10", "scan-13", 0)
+	if err != nil {
+		t.Fatalf("Scan(bounded): %v", err)
+	}
+	if want := []string{"scan-10", "scan-11", "scan-12"}; fmt.Sprint(scanKeys(got)) != fmt.Sprint(want) {
+		t.Fatalf("bounded scan = %v, want %v", scanKeys(got), want)
+	}
+
+	// Limit: the first 5 keys of the range.
+	got, err = tx.Scan("scan-", "", 5)
+	if err != nil {
+		t.Fatalf("Scan(limit): %v", err)
+	}
+	if want := []string{"scan-00", "scan-01", "scan-02", "scan-03", "scan-04"}; fmt.Sprint(scanKeys(got)) != fmt.Sprint(want) {
+		t.Fatalf("limited scan = %v, want %v", scanKeys(got), want)
+	}
+
+	// Uncommitted overlay: this transaction's own writes and deletes win.
+	if err := tx.Write("scan-035", []byte("inserted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("scan-07"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = tx.Scan("scan-03", "scan-09", 0)
+	if err != nil {
+		t.Fatalf("Scan(overlay): %v", err)
+	}
+	if want := []string{"scan-03", "scan-035", "scan-04", "scan-06", "scan-08"}; fmt.Sprint(scanKeys(got)) != fmt.Sprint(want) {
+		t.Fatalf("overlay scan = %v, want %v", scanKeys(got), want)
+	}
+	if string(got[1].Value) != "inserted" {
+		t.Fatalf("overlay value = %q, want inserted", got[1].Value)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+
+	// Pure server-side path: a fresh session has no cache, so results come
+	// entirely from the partitions' stable snapshots once they cover the
+	// commits.
+	c2 := tc.client(0)
+	eventually(t, 5*time.Second, "scan visible from a fresh session", func() bool {
+		tx, err := c2.Begin()
+		if err != nil {
+			return false
+		}
+		defer tx.Abort()
+		got, err := tx.Scan("scan-", "scan-zz", 0)
+		if err != nil || len(got) != 19 {
+			return false
+		}
+		for i, kv := range got {
+			if i > 0 && got[i-1].Key >= kv.Key {
+				return false
+			}
+			if kv.Key == "scan-05" {
+				return false
+			}
+		}
+		return true
+	})
+}

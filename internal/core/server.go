@@ -454,6 +454,8 @@ func (p *wrenProtocol) HandleMessage(from transport.NodeID, m wire.Message) {
 		s.handleCommitReq(from, msg)
 	case *wire.SliceReq:
 		s.handleSliceReq(from, msg)
+	case *wire.ScanReq:
+		s.handleScanReq(from, msg)
 	case *wire.PrepareReq:
 		s.handlePrepareReq(from, msg)
 	case *wire.StableBroadcast:
@@ -549,6 +551,37 @@ func (s *Server) handleSliceReq(from transport.NodeID, m *wire.SliceReq) {
 	s.metrics.SlicesServed.Inc()
 	s.rt.Send(from, resp)
 	wire.PutSliceReq(m)
+}
+
+// handleScanReq serves one partition's share of a range scan on the same
+// nonblocking snapshot path as slice reads: the CANToR predicate decides
+// visibility per version, the engine streams its keyspace in order, and
+// nothing ever waits for replication. Tombstones are elided by the engine;
+// a per-partition Limit truncates the stream and flags More so the client
+// knows this partition was not exhausted.
+func (s *Server) handleScanReq(from transport.NodeID, m *wire.ScanReq) {
+	s.lst.Advance(m.LT)
+	s.rst.Advance(m.RT)
+
+	resp := &wire.ScanResp{ReqID: m.ReqID}
+	rs := s.readPool.Get().(*readScratch)
+	rs.pred.lt, rs.pred.rt = m.LT, m.RT
+	// A scan error means a failed storage backend; it already surfaces
+	// through Healthy and write admission, so the reply carries whatever
+	// prefix was streamed before the fault.
+	_ = s.st.Scan(m.Start, m.End, rs.visible, func(k string, v *store.Version) bool {
+		if m.Limit > 0 && uint64(len(resp.Items)) >= m.Limit {
+			resp.More = true
+			return false
+		}
+		resp.Items = append(resp.Items, wire.Item{
+			Key: k, Value: v.Value, UT: v.UT, RDT: v.RDT, TxID: v.TxID, SrcDC: v.SrcDC,
+		})
+		return true
+	})
+	s.readPool.Put(rs)
+	s.metrics.SlicesServed.Inc()
+	s.rt.Send(from, resp)
 }
 
 // readSlice resolves keys under the CANToR snapshot (lt, rt) with one

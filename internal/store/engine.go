@@ -47,6 +47,17 @@ type Engine interface {
 	NumShards() int
 	// ForEachKey calls fn for every key; fn runs without shard locks held.
 	ForEachKey(fn func(key string))
+	// Scan streams the keys in [start, end) in ascending key order,
+	// invoking fn with the freshest version of each key that satisfies
+	// visible. Keys whose freshest visible version is a tombstone are
+	// elided — like ReadVisible, a visible deletion reads as absence. An
+	// empty end means "to the last key". fn returning false stops the scan
+	// early. fn runs without shard locks held; writes that race with a
+	// scan may or may not be observed, but never corrupt the iteration.
+	// Version pointers handed to fn are shared, stable and must be treated
+	// as immutable — engines that stream blocks from disk materialize the
+	// winning version before invoking fn, so retaining it is safe.
+	Scan(start, end string, visible VisibleFunc, fn func(key string, v *Version) bool) error
 	// Healthy reports the first write-path failure the engine has hit, or
 	// nil while fully healthy. Durable engines keep serving from memory
 	// after a log or flush failure, so without this signal a silently

@@ -27,6 +27,8 @@ func Run(t *testing.T, open Factory) {
 	t.Run("TombstoneReadsAndGC", func(t *testing.T) { testTombstones(t, open(t)) })
 	t.Run("GCAccounting", func(t *testing.T) { testGCAccounting(t, open(t)) })
 	t.Run("CountsAndIteration", func(t *testing.T) { testCounts(t, open(t)) })
+	t.Run("Scan", func(t *testing.T) { testScan(t, open(t)) })
+	t.Run("ScanConcurrent", func(t *testing.T) { testScanConcurrent(t, open(t)) })
 	t.Run("ConcurrentUse", func(t *testing.T) { testConcurrent(t, open(t)) })
 	t.Run("Healthy", func(t *testing.T) { testHealthy(t, open(t)) })
 	t.Run("CloseIdempotent", func(t *testing.T) { testCloseIdempotent(t, open(t)) })
@@ -287,6 +289,141 @@ func testCounts(t *testing.T, e store.Engine) {
 	if seen != 50 {
 		t.Errorf("ForEachKey yielded %d keys, want 50", seen)
 	}
+}
+
+// testScan pins the range-scan contract: ascending key order, inclusive
+// start / exclusive end bounds, "" meaning to-the-last-key, snapshot
+// visibility per key, tombstone elision, and early stop.
+func testScan(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	collect := func(start, end string, visible store.VisibleFunc) (keys []string, vals []string) {
+		if err := e.Scan(start, end, visible, func(k string, v *store.Version) bool {
+			keys = append(keys, k)
+			vals = append(vals, string(v.Value))
+			return true
+		}); err != nil {
+			t.Fatalf("Scan(%q, %q): %v", start, end, err)
+		}
+		return keys, vals
+	}
+
+	// Empty engine: no callbacks, no error.
+	if keys, _ := collect("", "", all); len(keys) != 0 {
+		t.Fatalf("scan of empty engine yielded %v", keys)
+	}
+
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		e.Put(k, version(fmt.Sprintf("old-%02d", i), hlc.Timestamp(10+i), uint64(i)))
+		e.Put(k, version(fmt.Sprintf("new-%02d", i), hlc.Timestamp(100+i), uint64(100+i)))
+	}
+	// A deleted key must be elided; one key deleted then re-created must
+	// show its newest live value.
+	e.Put("key-05", &store.Version{Value: nil, UT: 500, RDT: 500, TxID: 500})
+	e.Put("key-07", &store.Version{Value: nil, UT: 500, RDT: 500, TxID: 501})
+	e.Put("key-07", version("reborn", 600, 502))
+
+	keys, vals := collect("", "", all)
+	if len(keys) != 29 {
+		t.Fatalf("full scan yielded %d keys, want 29 (tombstone elided): %v", len(keys), keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("scan out of order: %q before %q", keys[i-1], keys[i])
+		}
+	}
+	for i, k := range keys {
+		if k == "key-05" {
+			t.Fatal("scan yielded deleted key-05")
+		}
+		want := "new-" + k[len("key-"):]
+		if k == "key-07" {
+			want = "reborn"
+		}
+		if vals[i] != want {
+			t.Fatalf("key %q scanned value %q, want %q", k, vals[i], want)
+		}
+	}
+
+	// Bounds: start inclusive, end exclusive.
+	keys, _ = collect("key-10", "key-13", all)
+	if len(keys) != 3 || keys[0] != "key-10" || keys[2] != "key-12" {
+		t.Fatalf("bounded scan = %v, want [key-10 key-11 key-12]", keys)
+	}
+	// Start past every key, and an empty range.
+	if keys, _ = collect("key-99", "", all); len(keys) != 0 {
+		t.Fatalf("scan past the last key yielded %v", keys)
+	}
+	if keys, _ = collect("key-10", "key-10", all); len(keys) != 0 {
+		t.Fatalf("empty range yielded %v", keys)
+	}
+
+	// Snapshot visibility: at ts 50 only the old versions exist, and
+	// neither deletion has happened yet.
+	keys, vals = collect("key-04", "key-08", upTo(50))
+	if len(keys) != 4 || vals[0] != "old-04" || vals[1] != "old-05" || vals[3] != "old-07" {
+		t.Fatalf("snapshot scan = %v / %v, want old-04..old-07", keys, vals)
+	}
+
+	// Early stop: fn returning false ends the scan.
+	n := 0
+	if err := e.Scan("", "", all, func(string, *store.Version) bool {
+		n++
+		return n < 5
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("early-stopped scan made %d callbacks, want 5", n)
+	}
+}
+
+// testScanConcurrent pins that scans tolerate racing writes: every key
+// written before the scan started must appear, in order, with some
+// committed value — concurrent writes may or may not be observed but
+// must never corrupt the iteration.
+func testScanConcurrent(t *testing.T, e store.Engine) {
+	defer func() { _ = e.Close() }()
+	const stable = 50
+	for i := 0; i < stable; i++ {
+		e.Put(fmt.Sprintf("stable-%02d", i), version("s", hlc.Timestamp(i+1), uint64(i)))
+	}
+	stopWriters := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriters:
+				return
+			default:
+			}
+			e.Put(fmt.Sprintf("hot-%02d", i%20), version("w", hlc.Timestamp(1000+i), uint64(i)))
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		var got []string
+		if err := e.Scan("stable-", "stable-zzz", all, func(k string, v *store.Version) bool {
+			if v == nil || v.Value == nil {
+				t.Errorf("scan yielded key %q with no live version", k)
+			}
+			got = append(got, k)
+			return true
+		}); err != nil {
+			t.Fatalf("Scan during writes: %v", err)
+		}
+		if len(got) != stable {
+			t.Fatalf("scan round %d yielded %d stable keys, want %d", round, len(got), stable)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("scan round %d out of order: %q before %q", round, got[i-1], got[i])
+			}
+		}
+	}
+	close(stopWriters)
+	wg.Wait()
 }
 
 func testConcurrent(t *testing.T, e store.Engine) {

@@ -14,8 +14,10 @@
 package logrec
 
 import (
+	"bufio"
 	"encoding/binary"
 	"hash/crc32"
+	"io"
 
 	"wren/internal/store"
 	"wren/internal/wire"
@@ -117,6 +119,61 @@ func ScanFrames(buf []byte, fn func(payload []byte) error) (good int) {
 // Append: fn receives every intact version record in file order.
 func Scan(buf []byte, fn func(key string, v *store.Version)) (good int) {
 	return ScanFrames(buf, func(payload []byte) error {
+		key, v, err := Decode(payload)
+		if err != nil {
+			return err
+		}
+		fn(key, v)
+		return nil
+	})
+}
+
+// ScanReaderFrames is ScanFrames over an io.Reader: it walks the intact
+// prefix of a log stream without ever materializing the whole file,
+// invoking fn with every payload that frames and checksums clean, and
+// returns the byte offset just past the last intact record. The torn-tail
+// semantics are identical to ScanFrames — a torn header, torn payload,
+// failed checksum or rejected payload ends the scan — so recovery code can
+// switch between the two without changing its truncation rules. Memory use
+// is bounded by the largest single record, not the file size: the payload
+// buffer is reused across records and fn must not retain it.
+func ScanReaderFrames(r io.Reader, fn func(payload []byte) error) (good int64) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var hdr [HeaderSize]byte
+	var payload []byte
+	var off int64
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return good // torn (or clean EOF at a record boundary)
+		}
+		plen := binary.LittleEndian.Uint32(hdr[:4])
+		if int(plen) > cap(payload) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return good // torn payload (or a corrupt length running off the file)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return good // corrupt record
+		}
+		if fn(payload) != nil {
+			return good // payload does not parse: treat like a torn record
+		}
+		off += HeaderSize + int64(plen)
+		good = off
+	}
+}
+
+// ScanReader is ScanReaderFrames specialized to the version-record payload
+// written by Append: fn receives every intact version record in stream
+// order. Durable-engine recovery uses it so startup heap is bounded by
+// record size rather than log-file size.
+func ScanReader(r io.Reader, fn func(key string, v *store.Version)) (good int64) {
+	return ScanReaderFrames(r, func(payload []byte) error {
 		key, v, err := Decode(payload)
 		if err != nil {
 			return err

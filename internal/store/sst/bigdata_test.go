@@ -1,0 +1,366 @@
+package sst
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+	"wren/internal/store/enginetest"
+	"wren/internal/store/logrec"
+	"wren/internal/store/wal"
+	"wren/internal/wire"
+)
+
+// fillRun writes n keys with the given value size through the engine and
+// flushes them into one sorted run.
+func fillRun(t *testing.T, e *Engine, prefix string, n, valBytes int, baseUT hlc.Timestamp) {
+	t.Helper()
+	val := make([]byte, valBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	kvs := make([]store.KV, 0, n)
+	for i := 0; i < n; i++ {
+		kvs = append(kvs, store.KV{
+			Key:     fmt.Sprintf("%s%06d", prefix, i),
+			Version: &store.Version{Value: val, UT: baseUT + hlc.Timestamp(i), RDT: baseUT, TxID: uint64(i)},
+		})
+	}
+	e.PutBatch(kvs)
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+// TestBloomNegativeLookups pins the big-data point-read property: lookups
+// of absent keys are answered by the resident Bloom filters, so their
+// disk cost does not scale with the number of runs. With several runs
+// live, a miss-heavy workload must read almost no blocks (the filters'
+// false-positive rate, ~0.8% at the default 10 bits/key, is the only
+// leak) while present-key lookups still read exactly one block per
+// consulted run.
+func TestBloomNegativeLookups(t *testing.T) {
+	e := mustOpen(t, Options{
+		Dir: t.TempDir(), Shards: 2, Fsync: wal.FsyncNever,
+		FlushBytes: -1, CompactRuns: -1, // manual tiering: keep every run
+	})
+	defer e.Close()
+	const runsWanted, keysPerRun, misses = 4, 500, 2000
+	for r := 0; r < runsWanted; r++ {
+		fillRun(t, e, fmt.Sprintf("run%d-", r), keysPerRun, 32, hlc.Timestamp(1+r*keysPerRun))
+	}
+	if e.Runs() != runsWanted {
+		t.Fatalf("Runs = %d, want %d", e.Runs(), runsWanted)
+	}
+
+	before := e.Metrics().BlockReads()
+	skipsBefore := e.Metrics().BloomSkips()
+	for i := 0; i < misses; i++ {
+		if got := e.ReadVisible(fmt.Sprintf("absent-%06d", i), func(*store.Version) bool { return true }); got != nil {
+			t.Fatalf("absent key read = %+v", got)
+		}
+	}
+	reads := e.Metrics().BlockReads() - before
+	skips := e.Metrics().BloomSkips() - skipsBefore
+	probes := int64(misses * runsWanted)
+	// Allow 5% false positives — six sigma above the expected ~0.8%.
+	if reads > probes/20 {
+		t.Fatalf("miss workload read %d blocks over %d probes; Bloom filters are not short-circuiting", reads, probes)
+	}
+	// The remainder are Bloom skips plus the rare false positive that the
+	// fence index then rejects (absent keys sort before the runs' ranges).
+	if skips < probes*9/10 {
+		t.Fatalf("only %d of %d probes were Bloom-skipped", skips, probes)
+	}
+
+	// A present key costs one block read in the run that holds it (plus
+	// any false positives elsewhere, bounded as above).
+	before = e.Metrics().BlockReads()
+	if got := e.ReadVisible("run2-000123", func(*store.Version) bool { return true }); got == nil {
+		t.Fatal("present key not found")
+	}
+	if reads := e.Metrics().BlockReads() - before; reads < 1 || reads > runsWanted {
+		t.Fatalf("present-key lookup read %d blocks, want 1..%d", reads, runsWanted)
+	}
+}
+
+// TestResidentIndexSparse pins that what stays in memory per run is the
+// sparse index — fence keys and Bloom bits — not the data: for a dataset
+// of large values the resident bytes must be a small fraction of the
+// stored bytes, while every key stays readable through block probes.
+func TestResidentIndexSparse(t *testing.T) {
+	e := mustOpen(t, Options{
+		Dir: t.TempDir(), Shards: 2, Fsync: wal.FsyncNever,
+		FlushBytes: -1, CompactRuns: -1,
+	})
+	defer e.Close()
+	const keys, valBytes = 1000, 1024
+	fillRun(t, e, "big-", keys, valBytes, 1)
+
+	var dataBytes int64
+	for _, r := range e.tabs.Load().runs {
+		dataBytes += r.fileSize
+	}
+	resident := e.ResidentIndexBytes()
+	if resident <= 0 || dataBytes <= 0 {
+		t.Fatalf("resident=%d dataBytes=%d", resident, dataBytes)
+	}
+	// The full-index baseline (the pre-sparse engine) kept every key and
+	// version pointer resident — the same order as the data itself. The
+	// sparse index must be far below that: under 1/16 of the file bytes.
+	if resident*16 > dataBytes {
+		t.Fatalf("resident index %dB is not sparse against %dB of run data", resident, dataBytes)
+	}
+	// Spot-check reads through the sparse index.
+	for _, i := range []int{0, 1, 499, 998, 999} {
+		k := fmt.Sprintf("big-%06d", i)
+		got := e.ReadVisible(k, func(*store.Version) bool { return true })
+		if got == nil || len(got.Value) != valBytes {
+			t.Fatalf("key %s read %+v through sparse index", k, got)
+		}
+	}
+}
+
+// TestLevelCompactionBounded pins the leveled write cost: while a large
+// high-level run exists, compacting a group of small level-0 runs must
+// rewrite only those runs — the bytes written per cycle are bounded by
+// the level, not the dataset.
+func TestLevelCompactionBounded(t *testing.T) {
+	e := mustOpen(t, Options{
+		Dir: t.TempDir(), Shards: 1, Fsync: wal.FsyncNever,
+		FlushBytes: 1024, LevelFanout: 2, CompactRuns: 2, CompactGarbage: 1 << 30,
+	})
+	defer e.Close()
+
+	// One run well past level 0 (level 0 ends at FlushBytes*fanout=2KB).
+	fillRun(t, e, "big-", 100, 64, 1)
+	if e.Runs() != 1 || e.Levels() < 2 {
+		t.Fatalf("big run: Runs=%d Levels=%d, want 1 run past level 0", e.Runs(), e.Levels())
+	}
+	bigPath := e.tabs.Load().runs[0].path
+	bigInfo, err := os.Stat(bigPath)
+	if err != nil {
+		t.Fatalf("stat big run: %v", err)
+	}
+
+	// Two small level-0 runs: the second flush completes a level-0 group
+	// and triggers its merge — without touching the big run.
+	base := e.Metrics().CompactionBytes()
+	fillRun(t, e, "s1-", 4, 16, 10_000)
+	fillRun(t, e, "s2-", 4, 16, 20_000)
+	if got := e.Metrics().Compactions(); got != 1 {
+		t.Fatalf("Compactions = %d, want exactly the level-0 merge", got)
+	}
+	wrote := e.Metrics().CompactionBytes() - base
+	if wrote <= 0 || wrote >= bigInfo.Size() {
+		t.Fatalf("level-0 merge wrote %dB; bound is the small level, not the %dB top run", wrote, bigInfo.Size())
+	}
+	if e.Runs() != 2 {
+		t.Fatalf("Runs = %d after level merge, want big + merged", e.Runs())
+	}
+	if _, err := os.Stat(bigPath); err != nil {
+		t.Fatalf("level-0 merge disturbed the top-level run: %v", err)
+	}
+	// Everything is still readable across the levels.
+	for _, k := range []string{"big-000050", "s1-000002", "s2-000003"} {
+		if got := e.ReadVisible(k, func(*store.Version) bool { return true }); got == nil {
+			t.Fatalf("key %s lost across level compaction", k)
+		}
+	}
+}
+
+// TestCrashDuringLevelCompaction is the level-scoped generalization of
+// the mid-compaction crash test: a kill right after the merged level-0
+// run is renamed — with its superseded inputs still on disk and an
+// untouched higher-level run beside them — must recover to exactly one
+// copy of every key, deleting the subsumed inputs and never resurrecting
+// a deleted key whose tombstone took part in the merge.
+func TestCrashDuringLevelCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Dir: dir, Shards: 1, Fsync: wal.FsyncAlways,
+		FlushBytes: 1024, LevelFanout: 2, CompactRuns: 2, CompactGarbage: 1 << 30,
+		crashAfterCompactRename: true,
+	}
+	e := mustOpen(t, opts)
+	ref := store.NewMemoryEngine(1)
+
+	// Big run past level 0, holding a key that will be deleted in a
+	// level-0 run — the tombstone must shadow it through crash recovery.
+	// One batch, so the background flush trigger fires at most once and
+	// the explicit Flush leaves exactly one run.
+	val := make([]byte, 64)
+	kvs := make([]store.KV, 0, 100)
+	for i := 0; i < 100; i++ {
+		ver := &store.Version{Value: val, UT: hlc.Timestamp(1 + i), RDT: 1, TxID: uint64(i)}
+		kvs = append(kvs, store.KV{Key: fmt.Sprintf("big-%06d", i), Version: ver})
+		ref.Put(fmt.Sprintf("big-%06d", i), ver)
+	}
+	e.PutBatch(kvs)
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if e.Runs() != 1 {
+		t.Fatalf("Runs = %d after big flush, want 1", e.Runs())
+	}
+
+	// Two small flushes; the second triggers the level-0 merge, which
+	// crashes right after the rename.
+	tomb := &store.Version{Value: nil, UT: 10_000, RDT: 10_000, TxID: 999}
+	e.Put("big-000042", tomb)
+	ref.Put("big-000042", tomb)
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	live := &store.Version{Value: []byte("fresh"), UT: 20_000, RDT: 20_000, TxID: 1000}
+	e.Put("extra", live)
+	ref.Put("extra", live)
+	// This flush completes the level-0 group and triggers the merge that
+	// crashes right after the output rename; the error is the crash.
+	_ = e.Flush()
+	_ = e.Close()
+
+	// The crash point: merged run 2-3 renamed, inputs 2-2 and 3-3 not yet
+	// deleted, big run 1-1 untouched.
+	for _, name := range []string{"run-000001-000001.sst", "run-000002-000002.sst", "run-000003-000003.sst", "run-000002-000003.sst"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("crash footprint missing %s: %v", name, err)
+		}
+	}
+
+	opts.crashAfterCompactRename = false
+	re := mustOpen(t, opts)
+	defer re.Close()
+	if re.Runs() != 2 {
+		t.Fatalf("Runs = %d after recovery, want big + merged", re.Runs())
+	}
+	for _, name := range []string{"run-000002-000002.sst", "run-000003-000003.sst"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("subsumed input %s survived recovery (err=%v)", name, err)
+		}
+	}
+	enginetest.RequireSameState(t, re, ref)
+	if got := re.ReadVisible("big-000042", func(*store.Version) bool { return true }); got == nil || got.Value != nil {
+		t.Fatalf("deleted key resurrected across level-compaction crash: %+v", got)
+	}
+}
+
+// TestLegacyRunFormat pins backward compatibility: a run file written in
+// the pre-footer format (bare logrec frames, no trailer) must load by
+// streaming — rebuilding fences, counts and Bloom filter in memory — and
+// serve reads identically; the footer appears when compaction rewrites
+// the file.
+func TestLegacyRunFormat(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-write a legacy run file: sorted keys, chains contiguous,
+	// nothing after the last record.
+	enc := wire.NewEncoder()
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("legacy-%06d", i)
+		logrec.Append(enc, k, &store.Version{Value: []byte("old"), UT: hlc.Timestamp(1 + i), RDT: 1, TxID: uint64(i)})
+		logrec.Append(enc, k, &store.Version{Value: []byte("new"), UT: hlc.Timestamp(1000 + i), RDT: 1, TxID: uint64(keys + i)})
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run-000001-000001.sst"), enc.Bytes(), 0o644); err != nil {
+		t.Fatalf("write legacy run: %v", err)
+	}
+
+	e := mustOpen(t, Options{Dir: dir, Shards: 1, Fsync: wal.FsyncNever, FlushBytes: -1, BlockBytes: 512})
+	defer e.Close()
+	if e.Metrics().RunsLoaded() != 1 || e.Runs() != 1 {
+		t.Fatalf("legacy run not loaded: RunsLoaded=%d Runs=%d", e.Metrics().RunsLoaded(), e.Runs())
+	}
+	if got := e.Versions(); got != 2*keys {
+		t.Fatalf("Versions = %d, want %d", got, 2*keys)
+	}
+	r := e.tabs.Load().runs[0]
+	if len(r.fences) < 2 {
+		t.Fatalf("legacy load built %d fences, want a multi-block index at BlockBytes=512", len(r.fences))
+	}
+	if got := e.ReadVisible("legacy-000137", func(v *store.Version) bool { return v.UT <= 500 }); got == nil || string(got.Value) != "old" {
+		t.Fatalf("snapshot read through legacy run = %+v, want old", got)
+	}
+	if got := e.Latest("legacy-000042"); got == nil || string(got.Value) != "new" {
+		t.Fatalf("Latest through legacy run = %+v, want new", got)
+	}
+	if got := e.ReadVisible("absent", func(*store.Version) bool { return true }); got != nil {
+		t.Fatalf("absent key = %+v", got)
+	}
+
+	// A second run makes Compact a real merge; the rewrite emits the
+	// footered format for the formerly-legacy data.
+	e.Put("legacy-extra", v("x", 5000, 5000))
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	e.Compact()
+	if got := e.Metrics().Compactions(); got != 1 {
+		t.Fatalf("Compactions = %d, want 1", got)
+	}
+	buf, err := os.ReadFile(e.tabs.Load().runs[0].path)
+	if err != nil {
+		t.Fatalf("read rewritten run: %v", err)
+	}
+	if len(buf) < runTrailerSize || string(buf[len(buf)-len(runMagic):]) != runMagic {
+		t.Fatal("compaction did not write the footered format")
+	}
+}
+
+// TestScanStreamsAcrossTiers pins Engine.Scan on a tiering that spans
+// the memtable, several runs and GC overlay cuts at once.
+func TestScanStreamsAcrossTiers(t *testing.T) {
+	e := mustOpen(t, Options{
+		Dir: t.TempDir(), Shards: 2, Fsync: wal.FsyncNever,
+		FlushBytes: -1, CompactRuns: -1,
+	})
+	defer e.Close()
+	// Run 1: keys 0..9 v1. Run 2: keys 5..14 v2. Memtable: keys 12..17 v3,
+	// plus a deletion of key 3.
+	for i := 0; i < 10; i++ {
+		e.Put(fmt.Sprintf("k-%02d", i), v("v1", hlc.Timestamp(10+i), uint64(i)))
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 15; i++ {
+		e.Put(fmt.Sprintf("k-%02d", i), v("v2", hlc.Timestamp(100+i), uint64(100+i)))
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 18; i++ {
+		e.Put(fmt.Sprintf("k-%02d", i), v("v3", hlc.Timestamp(200+i), uint64(200+i)))
+	}
+	e.Put("k-03", &store.Version{Value: nil, UT: 300, RDT: 300, TxID: 300})
+
+	var gotKeys, gotVals []string
+	if err := e.Scan("k-02", "k-16", func(*store.Version) bool { return true }, func(k string, ver *store.Version) bool {
+		gotKeys = append(gotKeys, k)
+		gotVals = append(gotVals, string(ver.Value))
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	wantKeys := []string{"k-02", "k-04", "k-05", "k-06", "k-07", "k-08", "k-09", "k-10", "k-11", "k-12", "k-13", "k-14", "k-15"}
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("scan keys = %v, want %v", gotKeys, wantKeys)
+	}
+	for i, k := range wantKeys {
+		if gotKeys[i] != k {
+			t.Fatalf("scan keys = %v, want %v", gotKeys, wantKeys)
+		}
+		want := "v1"
+		switch {
+		case k >= "k-12" && k <= "k-15":
+			want = "v3"
+		case k >= "k-05":
+			want = "v2"
+		}
+		if gotVals[i] != want {
+			t.Fatalf("key %s scanned %q, want %q", k, gotVals[i], want)
+		}
+	}
+}

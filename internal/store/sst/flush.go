@@ -1,7 +1,6 @@
 package sst
 
 import (
-	"bufio"
 	"fmt"
 	"os"
 	"sort"
@@ -9,10 +8,8 @@ import (
 	"wren/internal/hlc"
 	"wren/internal/store"
 	"wren/internal/store/fsutil"
-	"wren/internal/store/logrec"
 	"wren/internal/store/shardlog"
 	"wren/internal/store/wal"
-	"wren/internal/wire"
 )
 
 // Flush freezes the active memtable and writes it out as one immutable
@@ -173,129 +170,267 @@ func (e *Engine) unfreeze(frozen *store.Store, frozenMin uint64) {
 
 // writeRun writes the frozen memtable as one immutable sorted run file
 // covering WAL generations [minGen, maxGen]: keys in sorted order, each
-// key's version chain contiguous in last-writer-wins (timestamp) order.
-// The file is written to a temp name, fsynced, atomically renamed into
-// place and the directory synced — only then may the WAL generations it
-// covers be deleted.
+// key's version chain contiguous in last-writer-wins (timestamp) order,
+// blocked and footered by the run writer. The file is written to a temp
+// name, fsynced, atomically renamed into place and the directory synced —
+// only then may the WAL generations it covers be deleted.
 func (e *Engine) writeRun(frozen *store.Store, minGen, maxGen uint64) (*run, error) {
 	keys := make([]string, 0, frozen.Keys())
 	frozen.ForEachKey(func(k string) { keys = append(keys, k) })
 	sort.Strings(keys)
-	idx := make(map[string][]*store.Version, len(keys))
-	versions := 0
-	for _, k := range keys {
-		chain := frozen.ChainInto(k, nil)
-		idx[k] = chain
-		versions += len(chain)
+	w, err := newRunWriter(e.runPath(minGen, maxGen), e.blockBytes, len(keys), e.bloomBits)
+	if err != nil {
+		return nil, err
 	}
-	path := e.runPath(minGen, maxGen)
-	if err := writeRunFile(path, keys, idx); err != nil {
+	var chain []*store.Version
+	for _, k := range keys {
+		chain = frozen.ChainInto(k, chain[:0])
+		w.addChain(k, chain)
+	}
+	fileSize, dataSize, err := w.finish()
+	if err != nil {
 		return nil, err
 	}
 	if err := fsutil.SyncDir(e.dir); err != nil {
 		return nil, fmt.Errorf("sst: sync dir: %w", err)
 	}
-	return &run{path: path, minGen: minGen, maxGen: maxGen, index: idx, versions: versions}, nil
+	r, err := w.intoRun(minGen, maxGen, fileSize, dataSize)
+	if err != nil {
+		return nil, err
+	}
+	r.level = e.levelOf(fileSize)
+	return r, nil
 }
 
-// writeRunFile streams the records of a run to path via a temp file,
-// fsyncs, and renames it into place.
-func writeRunFile(path string, keys []string, idx map[string][]*store.Version) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("sst: write run: %w", err)
+// garbageLocked is the number of GC-pruned versions still occupying run
+// files (the sum of the overlay cuts). Caller holds flushMu.
+func (e *Engine) garbageLocked() int {
+	n := 0
+	for _, r := range e.tabs.Load().runs {
+		n += r.cutTotal
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	enc := wire.NewEncoder()
-	for _, k := range keys {
-		for _, v := range idx[k] {
-			enc.Reset()
-			logrec.Append(enc, k, v)
-			if _, err = w.Write(enc.Bytes()); err != nil {
-				break
-			}
+	return n
+}
+
+// levelGroup finds a gen-contiguous group of at least need runs sharing
+// one size level. runs is newest-first; only adjacent-in-generation runs
+// may merge — a merged output's generation interval must subsume exactly
+// its inputs, or crash recovery's subsumption rule would delete an
+// unmerged run sitting inside the interval.
+func levelGroup(runs []*run, need int) []*run {
+	for i := 0; i < len(runs); {
+		j := i
+		for j+1 < len(runs) && runs[j+1].level == runs[i].level && runs[j].minGen == runs[j+1].maxGen+1 {
+			j++
 		}
-		if err != nil {
-			break
+		if j-i+1 >= need {
+			return runs[i : j+1]
 		}
-	}
-	if err == nil {
-		err = w.Flush()
-	}
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		_ = os.Remove(tmp)
-		return fmt.Errorf("sst: write run %s: %w", path, err)
+		i = j + 1
 	}
 	return nil
 }
 
-// maybeCompactLocked triggers a merge compaction when runs pile up or
-// enough GC-pruned garbage lingers in the run files. Caller holds
-// flushMu.
+// maybeCompactLocked triggers compaction when enough GC-pruned garbage
+// lingers in the run files (a major, whole-dataset merge that reclaims
+// it) or when runs pile up within one size level (a level-scoped merge
+// whose I/O is bounded by that level's size, not the dataset). Level
+// merges cascade: folding four level-0 runs can produce a level-1 run
+// that completes a level-1 group, and so on. Caller holds flushMu.
 func (e *Engine) maybeCompactLocked() {
 	if e.compactRuns < 0 {
 		return
 	}
 	runs := e.tabs.Load().runs
-	if len(runs) >= e.compactRuns || (len(runs) > 0 && e.garbage >= e.compactGarbage) {
-		e.compactLocked()
+	if len(runs) == 0 {
+		return
+	}
+	if e.garbageLocked() >= e.compactGarbage {
+		e.compactLocked(runs)
+		return
+	}
+	for {
+		runs = e.tabs.Load().runs
+		group := levelGroup(runs, e.compactRuns)
+		if group == nil {
+			return
+		}
+		e.compactLocked(group)
+		if len(e.tabs.Load().runs) >= len(runs) {
+			return // the merge failed or was a no-op; don't spin
+		}
 	}
 }
 
-// Compact forces a merge compaction (tests and tooling; production
-// compaction is triggered by run count and GC garbage).
+// Compact forces a major compaction folding every run into one (tests
+// and tooling; production compaction is level-scoped and triggered by
+// run count and GC garbage).
 func (e *Engine) Compact() {
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
-	e.compactLocked()
-}
-
-// compactLocked folds every run into one: chains are merged per key in
-// last-writer-wins order from the LIVE in-memory indexes — which already
-// exclude everything GC pruned, so stale versions and tombstoned chains
-// whose deletion became stable leave the disk here — and the merged run
-// atomically replaces the originals. Caller holds flushMu.
-func (e *Engine) compactLocked() {
-	tabs := e.tabs.Load()
-	runs := tabs.runs
-	if len(runs) == 0 || (len(runs) == 1 && e.garbage == 0) {
+	runs := e.tabs.Load().runs
+	if len(runs) == 0 || (len(runs) == 1 && e.garbageLocked() == 0) {
 		return
 	}
-	minGen, maxGen := runs[0].minGen, runs[0].maxGen
-	merged := make(map[string][]*store.Version)
-	for i := len(runs) - 1; i >= 0; i-- { // oldest first
-		r := runs[i]
+	e.compactLocked(runs)
+}
+
+// compactLocked streams the input runs (a gen-contiguous, newest-first
+// subsequence of the live runs) through a k-way merge into one output
+// run: chains are merged per key in last-writer-wins order with the GC
+// overlay cuts applied — so pruned versions and tombstoned chains whose
+// deletion became stable leave the disk here — and the output atomically
+// replaces the inputs. Input files are deleted, and their descriptors
+// released, only after the replacement tables are published, so a
+// concurrent reader either finds its run still probeable or finds tables
+// that no longer list it. Caller holds flushMu.
+//
+// A fully-cut chain whose freshest file version is a tombstone needs one
+// more distinction: if any run OUTSIDE the merge may still hold the key,
+// the tombstone is the durable witness shadowing those file-resident
+// versions — dropping it would let a crash resurrect the deleted key —
+// so the output keeps just the tombstone, still overlay-cut (reads skip
+// it). Only when no other file can hold the key does the chain leave the
+// disk entirely. A major compaction has no outside runs, which restores
+// the old "merge-all drops stable tombstones" behavior.
+func (e *Engine) compactLocked(inputs []*run) {
+	if len(inputs) == 0 {
+		return
+	}
+	tabs := e.tabs.Load()
+	inputSet := make(map[*run]struct{}, len(inputs))
+	for _, r := range inputs {
+		inputSet[r] = struct{}{}
+	}
+	var outside []*run
+	for _, r := range tabs.runs {
+		if _, ok := inputSet[r]; !ok {
+			outside = append(outside, r)
+		}
+	}
+
+	minGen, maxGen := inputs[0].minGen, inputs[0].maxGen
+	expectKeys := 1
+	for _, r := range inputs {
 		if r.minGen < minGen {
 			minGen = r.minGen
 		}
 		if r.maxGen > maxGen {
 			maxGen = r.maxGen
 		}
-		for k, chain := range r.index {
-			merged[k] = append(merged[k], chain...)
+		expectKeys += r.keyCount - r.deadKeys
+	}
+	path := e.runPath(minGen, maxGen)
+	w, err := newRunWriter(path, e.blockBytes, expectKeys, e.bloomBits)
+	if err != nil {
+		e.recordErr(err)
+		return
+	}
+
+	iters := make([]*runIterator, len(inputs))
+	live := make([]bool, len(inputs))
+	for i, r := range inputs {
+		it := newRunIterator(e, r)
+		if it == nil { // retired: impossible under flushMu, but stay safe
+			for j := 0; j < i; j++ {
+				iters[j].close()
+			}
+			w.abort()
+			return
+		}
+		iters[i] = it
+		live[i] = it.next()
+	}
+
+	outCuts := make(map[string]int)
+	var merged []*store.Version
+	for {
+		key := ""
+		have := false
+		for i, it := range iters {
+			if live[i] && (!have || it.key < key) {
+				key, have = it.key, true
+			}
+		}
+		if !have {
+			break
+		}
+		merged = merged[:0]
+		var lastFull *store.Version
+		for i, it := range iters {
+			if !live[i] || it.key != key {
+				continue
+			}
+			full := it.chain
+			if t := full[len(full)-1]; lastFull == nil || lastFull.Less(t) {
+				lastFull = t
+			}
+			if cut := inputs[i].cuts[key]; cut < len(full) {
+				merged = append(merged, full[cut:]...)
+			}
+		}
+		if len(merged) > 0 {
+			sort.Slice(merged, func(a, b int) bool { return merged[a].Less(merged[b]) })
+			w.addChain(key, merged)
+		} else if lastFull != nil && lastFull.Value == nil {
+			shadow := false
+			for _, o := range outside {
+				if o.filter.mayContain(key) {
+					shadow = true
+					break
+				}
+			}
+			if shadow {
+				merged = append(merged, lastFull)
+				w.addChain(key, merged)
+				outCuts[key]++
+			}
+		}
+		for i, it := range iters {
+			if live[i] && it.key == key {
+				live[i] = it.next()
+			}
 		}
 	}
-	keys := make([]string, 0, len(merged))
-	versions := 0
-	for k, chain := range merged {
-		sort.Slice(chain, func(i, j int) bool { return chain[i].Less(chain[j]) })
-		versions += len(chain)
-		keys = append(keys, k)
+	var iterErr error
+	for _, it := range iters {
+		if it.err != nil {
+			iterErr = it.err
+			break
+		}
 	}
-	sort.Strings(keys)
+	for _, it := range iters {
+		it.close()
+	}
+	if iterErr != nil {
+		w.abort() // the iterator already recorded the health error
+		return
+	}
 
-	path := e.runPath(minGen, maxGen)
-	if err := writeRunFile(path, keys, merged); err != nil {
+	if w.keys == 0 {
+		// Every chain was fully cut with nothing left to shadow: there is
+		// no output run at all. Retire the inputs.
+		w.abort()
+		if e.opts.crashAfterCompactRename {
+			e.markCrashed()
+			return
+		}
+		cur := e.tabs.Load()
+		e.tabs.Store(&tables{active: cur.active, frozen: cur.frozen, runs: sortRunsNewestFirst(outside)})
+		for _, r := range inputs {
+			if err := os.Remove(r.path); err != nil {
+				e.recordErr(fmt.Errorf("sst: remove compacted run: %w", err))
+			}
+		}
+		for _, r := range inputs {
+			r.file.release()
+		}
+		e.metrics.add(func(m *Metrics) { m.compactions++ })
+		return
+	}
+
+	fileSize, dataSize, err := w.finish()
+	if err != nil {
 		e.recordErr(err)
 		return
 	}
@@ -307,10 +442,26 @@ func (e *Engine) compactLocked() {
 		e.markCrashed()
 		return
 	}
-	mergedRun := &run{path: path, minGen: minGen, maxGen: maxGen, index: merged, versions: versions}
+	out, err := w.intoRun(minGen, maxGen, fileSize, dataSize)
+	if err != nil {
+		e.recordErr(err)
+		return
+	}
+	out.level = e.levelOf(fileSize)
+	if len(outCuts) > 0 {
+		out.cuts = outCuts
+		for _, c := range outCuts {
+			out.cutTotal += c
+		}
+		out.deadKeys = len(outCuts)
+	}
+
 	cur := e.tabs.Load()
-	e.tabs.Store(&tables{active: cur.active, frozen: cur.frozen, runs: []*run{mergedRun}})
-	for _, r := range runs {
+	newRuns := make([]*run, 0, len(outside)+1)
+	newRuns = append(newRuns, outside...)
+	newRuns = append(newRuns, out)
+	e.tabs.Store(&tables{active: cur.active, frozen: cur.frozen, runs: sortRunsNewestFirst(newRuns)})
+	for _, r := range inputs {
 		if r.path == path {
 			continue // a single-run rewrite replaced its own file via the rename
 		}
@@ -318,8 +469,18 @@ func (e *Engine) compactLocked() {
 			e.recordErr(fmt.Errorf("sst: remove compacted run: %w", err))
 		}
 	}
-	e.garbage = 0
-	e.metrics.add(func(m *Metrics) { m.compactions++ })
+	for _, r := range inputs {
+		r.file.release()
+	}
+	e.metrics.add(func(m *Metrics) {
+		m.compactions++
+		m.compactionBytes += fileSize
+	})
+}
+
+func sortRunsNewestFirst(runs []*run) []*run {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].maxGen > runs[j].maxGen })
+	return runs
 }
 
 // GCStats implements store.Engine. GC must make ONE decision per key
@@ -327,12 +488,14 @@ func (e *Engine) compactLocked() {
 // runs, each tier's own "newest version with UT ≤ oldest" differs from
 // the global one, and pruning tiers independently would keep one extra
 // version per tier and break the exact accounting the Engine contract
-// promises. The pass therefore computes the global base — the newest
-// version with UT ≤ oldest across all tiers — then prunes the memtable
-// through PruneChain and republishes pruned copies of the affected run
-// indexes (the immutable maps are replaced wholesale, never mutated, so
-// concurrent readers stay lock-free). Run FILES keep the garbage until a
-// merge compaction rewrites them; the garbage counter feeds that trigger.
+// promises. The pass therefore streams a k-way merge of the run files
+// (one block buffer each — run data is not resident) against the sorted
+// memtable key set, computes the global base per key — the newest version
+// with UT ≤ oldest across all tiers — prunes the memtable through
+// PruneChain, and extends the per-run overlay cuts, publishing cloned run
+// structs wholesale so concurrent readers stay lock-free. Run FILES keep
+// the garbage until compaction rewrites them; the cut totals feed that
+// trigger.
 func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
@@ -342,20 +505,62 @@ func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
 		return res // only after a simulated-crash hook; never in production
 	}
 	active := tabs.active
-	newIdx := make([]map[string][]*store.Version, len(tabs.runs))
-	newDead := make([]map[string]struct{}, len(tabs.runs))
-	newVers := make([]int, len(tabs.runs))
-	for i, r := range tabs.runs {
-		newVers[i] = r.versions
+	if len(tabs.runs) == 0 {
+		// Pure-memtable tiering: the striped store's own GC has identical
+		// semantics and accounting.
+		res = active.GCStats(oldest)
+		return res
 	}
-	visited := make(map[string]struct{})
-	var scratch []*store.Version
-	gcKey := func(key string) {
-		if _, ok := visited[key]; ok {
-			return
+
+	memKeys := make([]string, 0, active.Keys())
+	active.ForEachKey(func(k string) { memKeys = append(memKeys, k) })
+	sort.Strings(memKeys)
+
+	iters := make([]*runIterator, len(tabs.runs))
+	live := make([]bool, len(tabs.runs))
+	for i, r := range tabs.runs {
+		if it := newRunIterator(e, r); it != nil {
+			iters[i] = it
+			live[i] = it.next()
 		}
-		visited[key] = struct{}{}
+	}
+	defer func() {
+		for _, it := range iters {
+			if it != nil {
+				it.close()
+			}
+		}
+	}()
+
+	newCuts := make([]map[string]int, len(tabs.runs)) // nil = run unchanged
+	addCut := make([]int, len(tabs.runs))
+	addDead := make([]int, len(tabs.runs))
+	cutFor := func(ri int, key string) int {
+		if m := newCuts[ri]; m != nil {
+			return m[key]
+		}
+		return tabs.runs[ri].cuts[key]
+	}
+
+	var scratch []*store.Version
+	mi := 0
+	for {
+		key := ""
+		have := false
+		if mi < len(memKeys) {
+			key, have = memKeys[mi], true
+		}
+		for i, it := range iters {
+			if live[i] && (!have || it.key < key) {
+				key, have = it.key, true
+			}
+		}
+		if !have {
+			break
+		}
+
 		scratch = active.ChainInto(key, scratch[:0])
+		memLen := len(scratch)
 		var base, newest *store.Version
 		scan := func(chain []*store.Version) {
 			if len(chain) == 0 {
@@ -374,11 +579,30 @@ func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
 			}
 		}
 		scan(scratch)
-		for _, r := range tabs.runs {
-			scan(r.index[key])
+		fileHasKey := false
+		for i, it := range iters {
+			if !live[i] || it.key != key {
+				continue
+			}
+			fileHasKey = true
+			if cut := cutFor(i, key); cut < len(it.chain) {
+				scan(it.chain[cut:])
+			}
+		}
+
+		advance := func() {
+			if mi < len(memKeys) && memKeys[mi] == key {
+				mi++
+			}
+			for i, it := range iters {
+				if live[i] && it.key == key {
+					live[i] = it.next()
+				}
+			}
 		}
 		if base == nil {
-			return // every version is newer than the oldest snapshot
+			advance() // every surviving version is newer than the snapshot
+			continue
 		}
 		// The stable snapshot base is a tombstone and nothing newer exists
 		// in any tier: every reader would see "not found" — drop the whole
@@ -387,93 +611,68 @@ func (e *Engine) GCStats(oldest hlc.Timestamp) store.GCResult {
 		// and survives.
 		//
 		// Durability gates the MEMTABLE side of the drop: while any run
-		// FILE may still hold versions of the key (files shrink only at
-		// compaction, so the pruned indexes are consulted together with
-		// their dead sets), the memtable tombstone — whose WAL generation
-		// the next flush will supersede — is the only durable witness
-		// shadowing them. Dropping it would let a crash resurrect the
-		// deleted key from the stale run file. So the tombstone is kept
-		// and flushes into a run like any version; it leaves memory at a
-		// later pass (once only indexes hold it) and leaves the disk when
-		// compaction rewrites every file.
+		// FILE still holds versions of the key (files shrink only at
+		// compaction — a fully-cut chain is still file-resident), the
+		// memtable tombstone — whose WAL generation the next flush will
+		// supersede — is the only durable witness shadowing them. Dropping
+		// it would let a crash resurrect the deleted key from the stale
+		// run file. So the tombstone is kept and flushes into a run like
+		// any version; it leaves memory at a later pass (once only files
+		// hold it) and leaves the disk when compaction rewrites the files.
 		dropWhole := base.Value == nil && base == newest
-		memDrop := dropWhole
-		if dropWhole {
-			for _, r := range tabs.runs {
-				if r.fileHas(key) {
-					memDrop = false
-					break
-				}
-			}
-		}
+		memDrop := dropWhole && !fileHasKey
 		removed := active.PruneChain(key, base, memDrop)
-		for ri, r := range tabs.runs {
-			chain := r.index[key]
-			if newIdx[ri] != nil {
-				chain = newIdx[ri][key]
-			}
-			if len(chain) == 0 {
+		for i, it := range iters {
+			if !live[i] || it.key != key {
 				continue
 			}
-			cut := store.ChainCut(chain, base, dropWhole)
+			prior := cutFor(i, key)
+			if prior >= len(it.chain) {
+				continue // already fully cut
+			}
+			cut := store.ChainCut(it.chain[prior:], base, dropWhole)
 			if cut == 0 {
 				continue
 			}
-			if newIdx[ri] == nil {
-				newIdx[ri] = make(map[string][]*store.Version, len(r.index))
-				for k, c := range r.index {
-					newIdx[ri][k] = c
+			if newCuts[i] == nil {
+				r := tabs.runs[i]
+				newCuts[i] = make(map[string]int, len(r.cuts)+1)
+				for k, c := range r.cuts {
+					newCuts[i][k] = c
 				}
 			}
-			if cut == len(chain) {
-				delete(newIdx[ri], key)
-				if newDead[ri] == nil {
-					newDead[ri] = make(map[string]struct{})
-				}
-				newDead[ri][key] = struct{}{}
-			} else {
-				newIdx[ri][key] = chain[cut:]
-			}
-			newVers[ri] -= cut
+			newCuts[i][key] = prior + cut
+			addCut[i] += cut
 			removed += cut
+			if prior+cut >= len(it.chain) {
+				addDead[i]++
+			}
 		}
 		if removed > 0 {
 			res.PerShard[store.Fingerprint(key)&e.mask] += removed
 		}
 		// The chain counts as dropped once no in-memory tier shows it:
 		// either the memtable side was allowed to drop, or the chain
-		// lived only in run indexes (all of which dropWhole just pruned).
-		if dropWhole && (memDrop || len(scratch) == 0) {
+		// lived only in run files (all of which dropWhole just cut).
+		if dropWhole && (memDrop || memLen == 0) {
 			res.DroppedKeys++
 		}
-	}
-	active.ForEachKey(gcKey)
-	for _, r := range tabs.runs {
-		for k := range r.index {
-			gcKey(k)
-		}
+		advance()
 	}
 
 	changed := false
 	newRuns := make([]*run, len(tabs.runs))
 	for ri, r := range tabs.runs {
-		if newIdx[ri] == nil {
+		if newCuts[ri] == nil {
 			newRuns[ri] = r
 			continue
 		}
 		changed = true
-		e.garbage += r.versions - newVers[ri]
-		dead := r.dead
-		if len(newDead[ri]) > 0 {
-			dead = make(map[string]struct{}, len(r.dead)+len(newDead[ri]))
-			for k := range r.dead {
-				dead[k] = struct{}{}
-			}
-			for k := range newDead[ri] {
-				dead[k] = struct{}{}
-			}
-		}
-		newRuns[ri] = &run{path: r.path, minGen: r.minGen, maxGen: r.maxGen, index: newIdx[ri], versions: newVers[ri], dead: dead}
+		nr := *r // shares the refcounted file; the overlay is replaced wholesale
+		nr.cuts = newCuts[ri]
+		nr.cutTotal = r.cutTotal + addCut[ri]
+		nr.deadKeys = r.deadKeys + addDead[ri]
+		newRuns[ri] = &nr
 	}
 	if changed {
 		cur := e.tabs.Load()

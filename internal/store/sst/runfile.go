@@ -1,0 +1,729 @@
+// Run file format (v2): the on-disk layout behind the sparse block index.
+//
+//	[ data region: logrec version frames, grouped into blocks ]
+//	[ footer: one logrec frame describing the blocks             ]
+//	[ trailer: 4-byte LE footer-frame length + 8-byte magic      ]
+//
+// The data region is the PR 4 format unchanged — one length-prefixed,
+// CRC32-checksummed record per version, keys ascending, each key's chain
+// contiguous in last-writer-wins order — cut into blocks of roughly
+// BlockBytes at key boundaries, so one key's whole chain always lives in
+// exactly one block. The footer carries one fence (first key, length) per
+// block plus the version/key counts and the run's Bloom filter; it is
+// itself a logrec frame, so it tears and checksums by the same rules as
+// every other record in the data directory. Only the fences and the
+// filter stay resident: a point read binary-searches the fence table,
+// preads one block and scans its frames; startup reads the trailer and
+// footer only. A file without the trailer magic is a legacy (pre-footer)
+// run: it is streamed once at load to rebuild fences, counts and filter
+// in memory, and gains a footer the next time compaction rewrites it.
+package sst
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"wren/internal/hlc"
+	"wren/internal/store"
+	"wren/internal/store/logrec"
+	"wren/internal/wire"
+)
+
+const (
+	runMagic       = "wrenSST2"
+	runTrailerSize = 4 + 8 // LE32 footer length + magic (untyped: mixes with int64 offsets)
+	runFormatV2    = 2
+)
+
+var _ = [1]struct{}{}[runTrailerSize-4-len(runMagic)] // magic length must match the trailer layout
+
+// fence locates one block: the first key it holds and its byte range in
+// the data region. Fence keys are the only per-key state a run keeps in
+// memory.
+type fence struct {
+	firstKey string
+	off      int64
+	length   int
+}
+
+// runFile is a run's refcounted file handle. Runs are retired while
+// readers may still be probing them (compaction publishes the replacement
+// tables first, then releases its table reference), so the descriptor
+// closes only when the last reader lets go — never under a concurrent
+// pread, which on fd-reuse could silently read the wrong file. Cloned run
+// structs (GC overlay publication) share one runFile.
+type runFile struct {
+	f    *os.File
+	refs atomic.Int32
+}
+
+// acquire takes a read reference; it fails only when the run was already
+// retired and fully released, in which case the caller reloads the
+// current tables (which no longer list the run) and retries.
+func (rf *runFile) acquire() bool {
+	for {
+		n := rf.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if rf.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (rf *runFile) release() {
+	if rf.refs.Add(-1) == 0 {
+		_ = rf.f.Close()
+	}
+}
+
+// runWriter streams one sorted run to disk: chains arrive in ascending
+// key order, blocks are cut at key boundaries near blockBytes (a chain
+// larger than a block gets one oversized block rather than splitting),
+// and finish appends the footer and trailer, fsyncs, and renames the
+// temp file into place.
+type runWriter struct {
+	path, tmp  string
+	f          *os.File
+	w          *bufio.Writer
+	enc        *wire.Encoder
+	blockBytes int
+
+	fences     []fence
+	filter     bloomFilter
+	off        int64 // data bytes written
+	blockStart int64
+	blockFirst string
+	blockLen   int
+	versions   int
+	keys       int
+	err        error
+}
+
+// newRunWriter opens the temp file. expectedKeys only sizes the Bloom
+// filter, so an upper bound (compaction cannot know the merged distinct
+// count in advance) is fine — oversizing just lowers the FP rate.
+func newRunWriter(path string, blockBytes, expectedKeys, bloomBitsPerKey int) (*runWriter, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sst: write run: %w", err)
+	}
+	return &runWriter{
+		path: path, tmp: tmp, f: f,
+		w:          bufio.NewWriterSize(f, 1<<16),
+		enc:        wire.NewEncoder(),
+		blockBytes: blockBytes,
+		filter:     newBloomFilter(expectedKeys, bloomBitsPerKey),
+	}, nil
+}
+
+// addChain appends one key's whole version chain (ascending LWW order).
+func (w *runWriter) addChain(key string, chain []*store.Version) {
+	if w.err != nil || len(chain) == 0 {
+		return
+	}
+	w.enc.Reset()
+	for _, v := range chain {
+		logrec.Append(w.enc, key, v)
+	}
+	b := w.enc.Bytes()
+	if w.blockLen > 0 && w.blockLen+len(b) > w.blockBytes {
+		w.fences = append(w.fences, fence{firstKey: w.blockFirst, off: w.blockStart, length: w.blockLen})
+		w.blockStart = w.off
+		w.blockLen = 0
+	}
+	if w.blockLen == 0 {
+		w.blockFirst = key
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.off += int64(len(b))
+	w.blockLen += len(b)
+	w.filter.add(key)
+	w.versions += len(chain)
+	w.keys++
+}
+
+// finish seals the file: last fence, footer frame, trailer, flush, fsync,
+// rename. On any error the temp file is removed.
+func (w *runWriter) finish() (fileSize, dataSize int64, err error) {
+	if w.err == nil && w.blockLen > 0 {
+		w.fences = append(w.fences, fence{firstKey: w.blockFirst, off: w.blockStart, length: w.blockLen})
+		w.blockLen = 0
+	}
+	dataSize = w.off
+	if w.err == nil {
+		w.enc.Reset()
+		logrec.AppendFrame(w.enc, func(enc *wire.Encoder) {
+			enc.Byte(runFormatV2)
+			enc.Uvarint(uint64(len(w.fences)))
+			for _, fe := range w.fences {
+				enc.Uvarint(uint64(fe.length))
+				enc.String(fe.firstKey)
+			}
+			enc.Uvarint(uint64(w.versions))
+			enc.Uvarint(uint64(w.keys))
+			enc.Byte(byte(w.filter.hashes))
+			enc.BytesField(w.filter.bits)
+		})
+		footer := w.enc.Bytes()
+		var trailer [runTrailerSize]byte
+		binary.LittleEndian.PutUint32(trailer[:4], uint32(len(footer)))
+		copy(trailer[4:], runMagic)
+		if _, werr := w.w.Write(footer); werr != nil {
+			w.err = werr
+		} else if _, werr := w.w.Write(trailer[:]); werr != nil {
+			w.err = werr
+		}
+		fileSize = dataSize + int64(len(footer)) + runTrailerSize
+	}
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	if w.err == nil {
+		w.err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); w.err == nil {
+		w.err = cerr
+	}
+	if w.err == nil {
+		w.err = os.Rename(w.tmp, w.path)
+	}
+	if w.err != nil {
+		_ = os.Remove(w.tmp)
+		return 0, 0, fmt.Errorf("sst: write run %s: %w", w.path, w.err)
+	}
+	return fileSize, dataSize, nil
+}
+
+// abort discards the half-written temp file.
+func (w *runWriter) abort() {
+	_ = w.f.Close()
+	_ = os.Remove(w.tmp)
+}
+
+// intoRun opens the sealed file read-only and assembles the resident run
+// state the writer already accumulated (fences, filter, counts).
+func (w *runWriter) intoRun(minGen, maxGen uint64, fileSize, dataSize int64) (*run, error) {
+	f, err := os.Open(w.path)
+	if err != nil {
+		return nil, fmt.Errorf("sst: open run %s: %w", w.path, err)
+	}
+	r := &run{
+		file: &runFile{f: f}, path: w.path,
+		minGen: minGen, maxGen: maxGen,
+		fileSize: fileSize, dataSize: dataSize,
+		fences: w.fences, filter: w.filter,
+		versions: w.versions, keyCount: w.keys,
+	}
+	r.file.refs.Store(1)
+	return r, nil
+}
+
+// loadRun opens a run file and its resident index — fences, Bloom filter
+// and counts from the footer, or for a legacy (pre-footer) file by
+// streaming the records to rebuild them. Run files are only ever renamed
+// into place complete, so any structural violation is real corruption and
+// fails the load rather than silently dropping durable versions.
+func loadRun(path string, minGen, maxGen uint64, blockBytes, bloomBitsPerKey int) (*run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sst: open run %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("sst: stat run %s: %w", path, err)
+	}
+	r := &run{file: &runFile{f: f}, path: path, minGen: minGen, maxGen: maxGen, fileSize: st.Size()}
+	r.file.refs.Store(1)
+	ok, err := r.loadFooter()
+	if err == nil && !ok {
+		err = r.loadLegacy(blockBytes, bloomBitsPerKey)
+	}
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadFooter reads the trailer and footer only. It returns (false, nil)
+// when the trailer magic is absent — a legacy file, not corruption.
+func (r *run) loadFooter() (bool, error) {
+	if r.fileSize < runTrailerSize {
+		return false, nil
+	}
+	var trailer [runTrailerSize]byte
+	if _, err := r.file.f.ReadAt(trailer[:], r.fileSize-runTrailerSize); err != nil {
+		return false, fmt.Errorf("sst: read run trailer %s: %w", r.path, err)
+	}
+	if string(trailer[4:]) != runMagic {
+		return false, nil
+	}
+	flen := int64(binary.LittleEndian.Uint32(trailer[:4]))
+	if flen <= 0 || flen+runTrailerSize > r.fileSize {
+		return false, fmt.Errorf("sst: corrupt run footer length in %s", r.path)
+	}
+	footer := make([]byte, flen)
+	footOff := r.fileSize - runTrailerSize - flen
+	if _, err := r.file.f.ReadAt(footer, footOff); err != nil {
+		return false, fmt.Errorf("sst: read run footer %s: %w", r.path, err)
+	}
+	var perr error
+	good := logrec.ScanFrames(footer, func(payload []byte) error {
+		d := wire.NewDecoder(payload)
+		if v := d.Byte(); v != runFormatV2 {
+			perr = fmt.Errorf("sst: unknown run format %d in %s", v, r.path)
+			return perr
+		}
+		nBlocks := int(d.Uvarint())
+		var off int64
+		for i := 0; i < nBlocks && d.Err() == nil; i++ {
+			length := int(d.Uvarint())
+			r.fences = append(r.fences, fence{firstKey: d.String(), off: off, length: length})
+			off += int64(length)
+		}
+		r.versions = int(d.Uvarint())
+		r.keyCount = int(d.Uvarint())
+		hashes := int(d.Byte())
+		bits := d.BytesField()
+		if err := d.Err(); err != nil {
+			perr = fmt.Errorf("sst: corrupt run footer in %s: %w", r.path, err)
+			return perr
+		}
+		if len(bits) > 0 {
+			r.filter = bloomFilter{bits: append([]byte(nil), bits...), hashes: hashes}
+		}
+		r.dataSize = off
+		return nil
+	})
+	if perr != nil {
+		return false, perr
+	}
+	if good != int(flen) {
+		return false, fmt.Errorf("sst: corrupt run footer in %s (%d of %d bytes intact)", r.path, good, flen)
+	}
+	if r.dataSize != footOff {
+		return false, fmt.Errorf("sst: run %s blocks cover %d bytes, data region is %d", r.path, r.dataSize, footOff)
+	}
+	return true, nil
+}
+
+// loadLegacy rebuilds the resident index of a pre-footer run file by
+// streaming it twice: once to count distinct keys (sizing the Bloom
+// filter), once to build fences and the filter. Memory stays bounded by
+// record size, and the whole file must scan clean — these files were
+// renamed into place complete.
+func (r *run) loadLegacy(blockBytes, bloomBitsPerKey int) error {
+	count := func(fn func(key []byte, frameLen int)) error {
+		sr := io.NewSectionReader(r.file.f, 0, r.fileSize)
+		var perr error
+		good := logrec.ScanReaderFrames(bufio.NewReaderSize(sr, 1<<16), func(payload []byte) error {
+			d := wire.NewDecoder(payload)
+			k := d.BytesField()
+			if err := d.Err(); err != nil {
+				perr = err
+				return err
+			}
+			fn(k, logrec.HeaderSize+len(payload))
+			return nil
+		})
+		if perr != nil {
+			return fmt.Errorf("sst: corrupt run file %s: %w", r.path, perr)
+		}
+		if good != r.fileSize {
+			return fmt.Errorf("sst: corrupt run file %s (%d of %d bytes intact)", r.path, good, r.fileSize)
+		}
+		return nil
+	}
+	prev, first := "", true
+	if err := count(func(k []byte, _ int) {
+		if first || string(k) != prev {
+			r.keyCount++
+			prev = string(k)
+			first = false
+		}
+		r.versions++
+	}); err != nil {
+		return err
+	}
+	r.filter = newBloomFilter(r.keyCount, bloomBitsPerKey)
+	var off, blockStart int64
+	blockLen := 0
+	blockFirst := ""
+	prev, first = "", true
+	if err := count(func(k []byte, frameLen int) {
+		if first || string(k) != prev {
+			if blockLen >= blockBytes {
+				r.fences = append(r.fences, fence{firstKey: blockFirst, off: blockStart, length: blockLen})
+				blockStart = off
+				blockLen = 0
+			}
+			if blockLen == 0 {
+				blockFirst = string(k)
+			}
+			prev = string(k)
+			first = false
+			r.filter.add(prev)
+		}
+		off += int64(frameLen)
+		blockLen += frameLen
+	}); err != nil {
+		return err
+	}
+	if blockLen > 0 {
+		r.fences = append(r.fences, fence{firstKey: blockFirst, off: blockStart, length: blockLen})
+	}
+	r.dataSize = r.fileSize
+	return nil
+}
+
+// fenceFor returns the index of the block that may hold key: the last
+// fence with firstKey <= key, or -1 when key sorts before the whole run.
+// Written as a plain loop (not sort.Search) so the read hot path stays
+// closure- and allocation-free.
+func (r *run) fenceFor(key string) int {
+	lo, hi := 0, len(r.fences)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.fences[mid].firstKey <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// probeScratch is the pooled per-probe state: one block buffer, one
+// reusable Version (handed to visibility predicates) and one reusable
+// dependency-vector buffer. Reads borrow it once per batch, so the
+// steady-state point-read path allocates nothing.
+type probeScratch struct {
+	block []byte
+	dv    []hlc.Timestamp
+	ver   store.Version
+}
+
+var probePool = sync.Pool{New: func() any { return new(probeScratch) }}
+
+// probeRun merges run r into the running best version for key: if the
+// freshest version of key in r that satisfies visible strictly beats cur
+// in last-writer-wins order, it is materialized (one allocation, only on
+// the winning path) and returned; otherwise cur comes back untouched. The
+// second result is false only when the run was retired concurrently — the
+// caller reloads the tables and retries.
+//
+// The common paths cost nothing: a Bloom miss answers from memory alone,
+// and a block probe that loses to the memtable (or ties it — the
+// memtable is consulted first, so equal versions keep the already-resident
+// pointer) works entirely in the pooled scratch.
+func (e *Engine) probeRun(r *run, key string, visible store.VisibleFunc, cur *store.Version, sc *probeScratch) (*store.Version, bool) {
+	if !r.filter.mayContain(key) {
+		e.metrics.bloomSkips.Add(1)
+		return cur, true
+	}
+	bi := r.fenceFor(key)
+	if bi < 0 {
+		return cur, true // sorts before the run's first key: filter false positive
+	}
+	fe := r.fences[bi]
+	if !r.file.acquire() {
+		return cur, false
+	}
+	if cap(sc.block) < fe.length {
+		sc.block = make([]byte, fe.length)
+	}
+	blk := sc.block[:fe.length]
+	_, err := r.file.f.ReadAt(blk, fe.off)
+	r.file.release()
+	if err != nil {
+		e.recordErr(fmt.Errorf("sst: read run block %s@%d: %w", r.path, fe.off, err))
+		return cur, true
+	}
+	e.metrics.blockReads.Add(1)
+
+	skip := r.cuts[key]
+	var candPayload []byte
+	var candUT, candRDT hlc.Timestamp
+	var candTx uint64
+	var candSrc uint8
+	matched := false
+	for off := 0; off+logrec.HeaderSize <= len(blk); {
+		plen := int(binary.LittleEndian.Uint32(blk[off:]))
+		end := off + logrec.HeaderSize + plen
+		if end > len(blk) || crc32.ChecksumIEEE(blk[off+logrec.HeaderSize:end]) != binary.LittleEndian.Uint32(blk[off+4:]) {
+			e.recordErr(fmt.Errorf("sst: corrupt record in run block %s@%d", r.path, fe.off+int64(off)))
+			break
+		}
+		payload := blk[off+logrec.HeaderSize : end]
+		off = end
+		d := wire.NewDecoder(payload)
+		k := d.BytesField()
+		if string(k) != key {
+			if matched {
+				break // past the key's contiguous chain
+			}
+			continue
+		}
+		matched = true
+		if skip > 0 {
+			skip-- // leading versions GC already pruned (overlay cut)
+			continue
+		}
+		tomb := d.Bool()
+		val := d.BytesField()
+		ut, rdt := d.Timestamp(), d.Timestamp()
+		txid := d.Uvarint()
+		src := d.Byte()
+		nDV := int(d.Uvarint())
+		sc.dv = sc.dv[:0]
+		for i := 0; i < nDV; i++ {
+			sc.dv = append(sc.dv, d.Timestamp())
+		}
+		if d.Err() != nil {
+			e.recordErr(fmt.Errorf("sst: corrupt record in run %s: %w", r.path, d.Err()))
+			break
+		}
+		v := &sc.ver
+		v.UT, v.RDT, v.TxID, v.SrcDC, v.DV = ut, rdt, txid, src, sc.dv
+		if tomb {
+			v.Value = nil
+		} else {
+			v.Value = val
+		}
+		// The chain is ascending, so the last visible record is the
+		// freshest visible one — later matches simply overwrite.
+		if visible(v) {
+			candPayload = payload
+			candUT, candRDT, candTx, candSrc = ut, rdt, txid, src
+		}
+	}
+	if candPayload == nil {
+		return cur, true
+	}
+	if cur != nil {
+		c := &sc.ver
+		c.UT, c.RDT, c.TxID, c.SrcDC = candUT, candRDT, candTx, candSrc
+		if !cur.Less(c) {
+			return cur, true // the resident version is at least as fresh
+		}
+	}
+	_, v, err := logrec.Decode(candPayload)
+	if err != nil {
+		e.recordErr(fmt.Errorf("sst: corrupt record in run %s: %w", r.path, err))
+		return cur, true
+	}
+	return v, true
+}
+
+// countKey returns how many live versions of key run r holds (file
+// records minus the GC overlay cut), reading at most one block. The
+// second result is false only when the run was retired concurrently.
+func (e *Engine) countKey(r *run, key string) (int, bool) {
+	if !r.filter.mayContain(key) {
+		return 0, true
+	}
+	bi := r.fenceFor(key)
+	if bi < 0 {
+		return 0, true
+	}
+	fe := r.fences[bi]
+	if !r.file.acquire() {
+		return 0, false
+	}
+	sc := probePool.Get().(*probeScratch)
+	defer probePool.Put(sc)
+	if cap(sc.block) < fe.length {
+		sc.block = make([]byte, fe.length)
+	}
+	blk := sc.block[:fe.length]
+	_, err := r.file.f.ReadAt(blk, fe.off)
+	r.file.release()
+	if err != nil {
+		e.recordErr(fmt.Errorf("sst: read run block %s@%d: %w", r.path, fe.off, err))
+		return 0, true
+	}
+	e.metrics.blockReads.Add(1)
+	n := 0
+	for off := 0; off+logrec.HeaderSize <= len(blk); {
+		plen := int(binary.LittleEndian.Uint32(blk[off:]))
+		end := off + logrec.HeaderSize + plen
+		if end > len(blk) {
+			break
+		}
+		payload := blk[off+logrec.HeaderSize : end]
+		off = end
+		d := wire.NewDecoder(payload)
+		k := d.BytesField()
+		if d.Err() != nil {
+			break
+		}
+		if string(k) == key {
+			n++
+		} else if n > 0 {
+			break
+		}
+	}
+	n -= r.cuts[key]
+	if n < 0 {
+		n = 0
+	}
+	return n, true
+}
+
+// runIterator streams a run's records in key order, one block buffer at
+// a time, yielding each key's full file chain (overlay cuts are the
+// caller's to apply — GC accounting needs the full chain, scans need the
+// cut one). The iterator holds a file reference from newRunIterator until
+// close.
+type runIterator struct {
+	e   *Engine
+	r   *run
+	buf []byte
+	bi  int    // next block to load
+	blk []byte // unparsed remainder of the current block
+
+	key   string
+	chain []*store.Version
+
+	pkey string // first record of the next key, parsed past the boundary
+	pv   *store.Version
+	pok  bool
+
+	staged *stagedKey // key re-staged by seek, yielded before any parsing
+	err    error
+}
+
+// stagedKey holds a fully-parsed key that seek overshot and re-staged.
+type stagedKey struct {
+	key   string
+	chain []*store.Version
+}
+
+// newRunIterator acquires the run's file. It returns nil only when the
+// run was already retired (impossible under flushMu, which serializes
+// retirement).
+func newRunIterator(e *Engine, r *run) *runIterator {
+	if !r.file.acquire() {
+		return nil
+	}
+	return &runIterator{e: e, r: r}
+}
+
+func (it *runIterator) close() { it.r.file.release() }
+
+// seek positions the iterator so the next call to next yields the first
+// key >= start: jump to the fence block that may hold start, then walk
+// forward, re-staging the first key that qualifies.
+func (it *runIterator) seek(start string) {
+	if bi := it.r.fenceFor(start); bi > 0 {
+		it.bi = bi
+	}
+	for it.next() {
+		if it.key >= start {
+			it.staged = &stagedKey{key: it.key, chain: append([]*store.Version(nil), it.chain...)}
+			return
+		}
+	}
+}
+
+// next advances to the next key, filling it.key and it.chain (reused
+// between calls — callers must consume before advancing). It returns
+// false at the end of the run or on a corrupt record (surfaced via
+// it.err and the engine health signal).
+func (it *runIterator) next() bool {
+	if it.staged != nil {
+		it.key, it.chain = it.staged.key, it.staged.chain
+		it.staged = nil
+		return true
+	}
+	it.chain = it.chain[:0]
+	if it.err != nil {
+		return false
+	}
+	if it.pok {
+		it.key = it.pkey
+		it.chain = append(it.chain, it.pv)
+		it.pok = false
+	} else {
+		k, v, ok := it.record()
+		if !ok {
+			return false
+		}
+		it.key = k
+		it.chain = append(it.chain, v)
+	}
+	for {
+		k, v, ok := it.record()
+		if !ok {
+			return it.err == nil || len(it.chain) > 0
+		}
+		if k != it.key {
+			it.pkey, it.pv, it.pok = k, v, true
+			return true
+		}
+		it.chain = append(it.chain, v)
+	}
+}
+
+// record parses one version record, loading the next block when the
+// current one is exhausted.
+func (it *runIterator) record() (string, *store.Version, bool) {
+	for len(it.blk) == 0 {
+		if it.bi >= len(it.r.fences) {
+			return "", nil, false
+		}
+		fe := it.r.fences[it.bi]
+		it.bi++
+		if cap(it.buf) < fe.length {
+			it.buf = make([]byte, fe.length)
+		}
+		blk := it.buf[:fe.length]
+		if _, err := it.r.file.f.ReadAt(blk, fe.off); err != nil {
+			it.fail(fmt.Errorf("sst: read run block %s@%d: %w", it.r.path, fe.off, err))
+			return "", nil, false
+		}
+		it.e.metrics.blockReads.Add(1)
+		it.blk = blk
+	}
+	if len(it.blk) < logrec.HeaderSize {
+		it.fail(fmt.Errorf("sst: torn record in run %s", it.r.path))
+		return "", nil, false
+	}
+	plen := int(binary.LittleEndian.Uint32(it.blk[:4]))
+	if logrec.HeaderSize+plen > len(it.blk) {
+		it.fail(fmt.Errorf("sst: torn record in run %s", it.r.path))
+		return "", nil, false
+	}
+	payload := it.blk[logrec.HeaderSize : logrec.HeaderSize+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(it.blk[4:8]) {
+		it.fail(fmt.Errorf("sst: corrupt record in run %s", it.r.path))
+		return "", nil, false
+	}
+	key, v, err := logrec.Decode(payload)
+	if err != nil {
+		it.fail(fmt.Errorf("sst: corrupt record in run %s: %w", it.r.path, err))
+		return "", nil, false
+	}
+	it.blk = it.blk[logrec.HeaderSize+plen:]
+	return key, v, true
+}
+
+func (it *runIterator) fail(err error) {
+	if it.err == nil {
+		it.err = err
+		it.e.recordErr(err)
+	}
+}

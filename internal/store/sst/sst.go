@@ -9,26 +9,43 @@
 // (a fresh memtable and a fresh WAL generation take over under the shard
 // locks) and written out in the background as one immutable sorted run:
 // keys in sorted order, each key's version chain in last-writer-wins
-// (timestamp) order, every record length-prefixed and CRC32-checksummed.
-// Once the run is durable the WAL generations it covers are deleted — the
-// log never grows past one memtable's worth of writes.
+// (timestamp) order, every record length-prefixed and CRC32-checksummed,
+// grouped into fixed-size blocks with a fence-key footer (see runfile.go
+// for the file format). Once the run is durable the WAL generations it
+// covers are deleted — the log never grows past one memtable's worth of
+// writes.
 //
-// Snapshot reads are served lock-free from the immutable side: a run's
-// in-memory index is a plain map built at flush/load time and never
-// mutated (GC and compaction publish replacement indexes through one
-// atomic pointer), so the multi-version visibility scan that backs Wren's
-// nonblocking reads touches no lock at all for flushed data. Only the
+// The resident state per run is a sparse index — one fence key per block
+// plus a Bloom filter over the run's distinct keys — never the data. A
+// point read probes the memtables, then per run answers negative lookups
+// from the filter alone and positive ones with one binary search over the
+// fences and one block pread; startup reads each run's footer, not its
+// data. Memory therefore scales with block count and key count, not with
+// the bytes stored, which is what lets the engine hold datasets far
+// larger than RAM. Snapshot reads stay lock-free on the immutable side
+// (runs are published through one atomic pointer; a refcount on each
+// run's file descriptor lets compaction retire files under concurrent
+// preads), so the multi-version visibility scan that backs Wren's
+// nonblocking reads touches no lock for flushed data — only the
 // active-memtable probe takes its striped read lock. This maps the
 // paper's stable-snapshot property onto storage: a snapshot read's
 // versions live overwhelmingly in immutable runs, exactly because the
 // snapshot is old enough to be stable.
 //
-// Background merge compaction folds all runs into one — applying the GC
-// decisions already taken against the in-memory indexes, so pruned
-// versions and tombstoned chains whose deletion became stable leave the
-// disk — and startup recovery reloads run indexes with one sequential
-// scan per file (no mmap), replays the WAL generations no run covers,
-// and truncates a torn WAL tail by the shared logrec rules.
+// Runs are tiered into size levels (level = log_fanout(size/flushBytes))
+// and background compaction merges gen-contiguous groups of runs within
+// one level, so each compaction cycle's I/O is bounded by the size of one
+// level rather than the whole dataset; GC prunes run data logically
+// through per-run overlay cuts that compaction folds into the files. A
+// whole-dataset (major) compaction still runs when pruned garbage piles
+// up past the threshold, or on demand via Compact. Crash recovery keeps
+// the PR 5 invariants generalized to level merges: a run whose generation
+// interval another run subsumes is the footprint of a crash
+// mid-compaction and is deleted (merge groups are always gen-contiguous,
+// so the merged output subsumes exactly its inputs), leftover temp files
+// are removed, WAL generations a run covers are deleted, and the rest are
+// replayed — streamed, never whole-file-buffered — truncating a torn tail
+// by the shared logrec rules.
 package sst
 
 import (
@@ -53,15 +70,24 @@ const (
 	// DefaultFlushBytes is the approximate memtable payload size that
 	// triggers a background flush to a sorted run.
 	DefaultFlushBytes = 4 << 20
-	// DefaultCompactRuns is how many sorted runs may accumulate before a
-	// merge compaction folds them into one.
+	// DefaultCompactRuns is how many sorted runs may accumulate within one
+	// size level before a compaction merges them.
 	DefaultCompactRuns = 4
 	// DefaultCompactGarbage is how many GC-pruned versions may linger in
-	// run files before a merge compaction rewrites them out.
+	// run files before a major compaction rewrites them out.
 	DefaultCompactGarbage = 4096
 	// DefaultFsyncInterval is the timer period of the interval fsync
 	// policy (shared with the WAL engine).
 	DefaultFsyncInterval = 10 * time.Millisecond
+	// DefaultBlockBytes is the target size of one run-file block — the
+	// unit of disk read on a point lookup and the granularity of the
+	// resident fence index.
+	DefaultBlockBytes = 16 << 10
+	// DefaultBloomBitsPerKey sizes each run's Bloom filter (≈0.8% false
+	// positives at 10 bits per key).
+	DefaultBloomBitsPerKey = 10
+	// DefaultLevelFanout is the size ratio between adjacent run levels.
+	DefaultLevelFanout = 4
 
 	// versionOverhead approximates the per-version bookkeeping bytes used
 	// when sizing the memtable for the flush trigger.
@@ -87,15 +113,27 @@ type Options struct {
 	FsyncInterval time.Duration
 	// FlushBytes overrides the memtable size that triggers a background
 	// flush (0 selects DefaultFlushBytes; negative disables auto-flush —
-	// Flush can still be called explicitly).
+	// Flush can still be called explicitly). It is also the base of the
+	// run-level size ladder.
 	FlushBytes int64
-	// CompactRuns overrides how many runs trigger a merge compaction
-	// (0 selects DefaultCompactRuns; negative disables compaction).
+	// CompactRuns overrides how many runs within one size level trigger a
+	// compaction of that level (0 selects DefaultCompactRuns; negative
+	// disables compaction).
 	CompactRuns int
 	// CompactGarbage overrides how many GC-pruned versions lingering in
-	// run files trigger a merge compaction (0 selects
+	// run files trigger a major compaction (0 selects
 	// DefaultCompactGarbage).
 	CompactGarbage int
+	// BlockBytes overrides the target run-file block size (0 selects
+	// DefaultBlockBytes). Smaller blocks mean finer-grained point reads
+	// and a proportionally larger fence index.
+	BlockBytes int
+	// BloomBitsPerKey overrides the per-run Bloom filter density (0
+	// selects DefaultBloomBitsPerKey; negative disables the filters).
+	BloomBitsPerKey int
+	// LevelFanout overrides the size ratio between adjacent run levels
+	// (0 selects DefaultLevelFanout; minimum 2).
+	LevelFanout int
 
 	// Test-only crash simulation: abort the flush right after the run
 	// rename (before the WAL generations are deleted), or abort the
@@ -107,35 +145,40 @@ type Options struct {
 	crashAfterCompactRename bool
 }
 
-// run is one immutable sorted run: a durable file plus the in-memory
-// index serving lock-free reads. It covers a contiguous range of WAL
-// generations. The index map is never mutated after construction; GC
-// publishes pruned replacements wholesale.
+// run is one immutable sorted run: a durable file plus the sparse
+// resident index serving lock-free reads — fence keys (one per block), a
+// Bloom filter over its distinct keys, and counters. It covers a
+// contiguous range of WAL generations and sits in a size level. Nothing
+// here is mutated after construction; GC publishes replacement run
+// structs wholesale (sharing the same refcounted file).
 //
-// dead records the keys GC removed from the index entirely while the
-// FILE still holds their versions (files only shrink at compaction).
-// index ∪ dead is therefore exactly the key set recovery would reload
-// from the file — the set GC must consult before letting a tombstone
-// leave the memtable, because a tombstone whose WAL generation gets
-// superseded is the only durable witness shadowing those file-resident
-// versions. Compaction rewrites the file from the index and resets dead.
+// cuts is the GC overlay: for each pruned key, how many leading (oldest)
+// versions of its file chain are logically dead. Dropping a prefix is
+// sound because chains are stored in ascending last-writer-wins order and
+// GC only ever removes versions older than the surviving base. A key
+// whose whole chain is cut stays in the FILE until compaction rewrites it
+// — the file key set is exactly what recovery would reload, the set GC
+// must consult before letting a tombstone leave the memtable.
 type run struct {
+	file           *runFile
 	path           string
 	minGen, maxGen uint64
-	index          map[string][]*store.Version
-	versions       int // live versions in index
-	dead           map[string]struct{}
+	level          int
+	fileSize       int64 // whole file, footer included
+	dataSize       int64 // data region only (sum of block lengths)
+
+	fences   []fence
+	filter   bloomFilter
+	versions int // version records in the FILE
+	keyCount int // distinct keys in the FILE
+
+	cuts     map[string]int // key -> leading versions logically dead
+	cutTotal int            // sum of cuts (garbage versions in the file)
+	deadKeys int            // keys whose whole chain is cut
 }
 
-// fileHas reports whether the run's FILE may still contain versions of
-// key, regardless of what the pruned index shows.
-func (r *run) fileHas(key string) bool {
-	if _, ok := r.index[key]; ok {
-		return true
-	}
-	_, ok := r.dead[key]
-	return ok
-}
+// liveVersions is the number of versions reads can still observe.
+func (r *run) liveVersions() int { return r.versions - r.cutTotal }
 
 // tables is the read snapshot: one atomic pointer swap publishes any
 // change to the source set, so readers always see a consistent tiering.
@@ -143,7 +186,7 @@ func (r *run) fileHas(key string) bool {
 type tables struct {
 	active *store.Store
 	frozen *store.Store
-	runs   []*run // newest first
+	runs   []*run // newest first (descending maxGen)
 }
 
 // Engine is the memtable+sorted-run storage engine.
@@ -153,6 +196,9 @@ type Engine struct {
 	flushBytes     int64
 	compactRuns    int
 	compactGarbage int
+	blockBytes     int
+	bloomBits      int
+	levelFanout    int
 	opts           Options
 	mask           uint32
 	nShards        int
@@ -161,13 +207,12 @@ type Engine struct {
 	shards []*logShard // active-memtable WAL, one log per memtable stripe
 
 	// flushMu serializes every structural change to the tiering — flush,
-	// compaction, GC, recovery-time setup — and the counting methods that
-	// need a non-overlapping view. The read and write hot paths never
-	// take it.
+	// compaction, GC, recovery-time setup, run retirement — and the
+	// counting methods that need a non-overlapping view. The read and
+	// write hot paths never take it.
 	flushMu sync.Mutex
 	gen     uint64 // active WAL generation (flushMu; written under all shard locks)
 	minGen  uint64 // lowest generation whose data lives only in the memtable (flushMu)
-	garbage int    // versions GC pruned from run indexes since the last compaction (flushMu)
 
 	memBytes atomic.Int64 // approximate active-memtable payload size
 	flushing atomic.Bool  // a background flush is scheduled or running
@@ -185,12 +230,16 @@ type Engine struct {
 
 // Metrics counts engine-level events for tests and monitoring.
 type Metrics struct {
-	mu          sync.Mutex
-	flushes     int
-	compactions int
-	recovered   int
-	truncated   int
-	runsLoaded  int
+	mu              sync.Mutex
+	flushes         int
+	compactions     int
+	recovered       int
+	truncated       int
+	runsLoaded      int
+	compactionBytes int64
+
+	blockReads atomic.Int64
+	bloomSkips atomic.Int64
 }
 
 func (m *Metrics) add(f func(*Metrics)) { m.mu.Lock(); f(m); m.mu.Unlock() }
@@ -211,13 +260,26 @@ func (m *Metrics) TruncatedShards() int { m.mu.Lock(); defer m.mu.Unlock(); retu
 // RunsLoaded returns how many sorted-run files recovery loaded.
 func (m *Metrics) RunsLoaded() int { m.mu.Lock(); defer m.mu.Unlock(); return m.runsLoaded }
 
+// CompactionBytes returns the total bytes compactions have written —
+// the measure that per-cycle compaction I/O is bounded by level size.
+func (m *Metrics) CompactionBytes() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.compactionBytes }
+
+// BlockReads returns how many run-file blocks reads have fetched.
+func (m *Metrics) BlockReads() int64 { return m.blockReads.Load() }
+
+// BloomSkips returns how many run probes the Bloom filters answered
+// negatively without touching disk.
+func (m *Metrics) BloomSkips() int64 { return m.bloomSkips.Load() }
+
 var _ store.Engine = (*Engine)(nil)
 
 // Open creates or recovers an SST engine in opts.Dir: leftover temp files
-// are removed, run files are loaded (dropping any run subsumed by a wider
-// merged run — the footprint of a crash mid-compaction), WAL generations
-// a run already covers are deleted, and the rest are replayed into a
-// fresh memtable, truncating a torn tail.
+// are removed, run footers are loaded (dropping any run whose generation
+// interval a wider merged run subsumes — the footprint of a crash
+// mid-compaction), WAL generations a run already covers are deleted, and
+// the rest are replayed into a fresh memtable, truncating a torn tail.
+// Startup heap is bounded by record and footer sizes, not file sizes:
+// run data is never read at open, and WAL replay is streamed.
 func Open(opts Options) (*Engine, error) {
 	policy, err := wal.ParseFsync(opts.Fsync)
 	if err != nil {
@@ -237,6 +299,21 @@ func Open(opts Options) (*Engine, error) {
 	compactGarbage := opts.CompactGarbage
 	if compactGarbage == 0 {
 		compactGarbage = DefaultCompactGarbage
+	}
+	blockBytes := opts.BlockBytes
+	if blockBytes <= 0 {
+		blockBytes = DefaultBlockBytes
+	}
+	bloomBits := opts.BloomBitsPerKey
+	if bloomBits == 0 {
+		bloomBits = DefaultBloomBitsPerKey
+	}
+	levelFanout := opts.LevelFanout
+	if levelFanout == 0 {
+		levelFanout = DefaultLevelFanout
+	}
+	if levelFanout < 2 {
+		levelFanout = 2
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sst: create dir: %w", err)
@@ -260,6 +337,9 @@ func Open(opts Options) (*Engine, error) {
 		flushBytes:     flushBytes,
 		compactRuns:    compactRuns,
 		compactGarbage: compactGarbage,
+		blockBytes:     blockBytes,
+		bloomBits:      bloomBits,
+		levelFanout:    levelFanout,
 		opts:           opts,
 		mask:           uint32(n - 1),
 		nShards:        n,
@@ -295,15 +375,40 @@ func (e *Engine) runPath(minGen, maxGen uint64) string {
 	return filepath.Join(e.dir, fmt.Sprintf("run-%06d-%06d.sst", minGen, maxGen))
 }
 
+// levelOf places a run of the given file size on the size ladder: level 0
+// holds runs up to flushBytes*fanout, each level above holds runs up to
+// fanout times its predecessor.
+func (e *Engine) levelOf(size int64) int {
+	base := e.flushBytes
+	if base <= 0 {
+		base = DefaultFlushBytes
+	}
+	level := 0
+	threshold := base * int64(e.levelFanout)
+	for size >= threshold && level < 32 {
+		next := threshold * int64(e.levelFanout)
+		if next <= threshold { // overflow: everything else is the top level
+			break
+		}
+		threshold = next
+		level++
+	}
+	return level
+}
+
 // recover rebuilds the engine state from the data directory. Generations
 // start at 1, so a fresh directory begins with WAL generation 1 and no
 // runs.
-func (e *Engine) recover() error {
+func (e *Engine) recover() (retErr error) {
 	entries, err := os.ReadDir(e.dir)
 	if err != nil {
 		return fmt.Errorf("sst: read dir: %w", err)
 	}
-	var runFiles []*run
+	type runRef struct {
+		path   string
+		lo, hi uint64
+	}
+	var runFiles []runRef
 	walGens := map[uint64][]int{} // generation -> shard indexes present
 	for _, ent := range entries {
 		name := ent.Name()
@@ -319,7 +424,7 @@ func (e *Engine) recover() error {
 			if _, err := fmt.Sscanf(name, "run-%d-%d.sst", &lo, &hi); err != nil || lo == 0 || hi < lo {
 				return fmt.Errorf("sst: unrecognized run file %s", name)
 			}
-			runFiles = append(runFiles, &run{path: filepath.Join(e.dir, name), minGen: lo, maxGen: hi})
+			runFiles = append(runFiles, runRef{path: filepath.Join(e.dir, name), lo: lo, hi: hi})
 		case strings.HasSuffix(name, ".log"):
 			var g uint64
 			var si int
@@ -330,14 +435,17 @@ func (e *Engine) recover() error {
 		}
 	}
 
-	// Drop runs subsumed by a wider (merged) run: the footprint of a
-	// crash after a compaction rename but before the old files were
-	// deleted.
-	runs := runFiles[:0]
+	// Drop runs whose generation interval a wider (merged) run subsumes:
+	// the footprint of a crash after a compaction rename but before the
+	// old files were deleted. Compaction only ever merges gen-contiguous
+	// groups, so the merged output's interval covers exactly its inputs —
+	// a subsumed file is always a superseded input, never an innocent
+	// bystander between two merged neighbours.
+	refs := runFiles[:0]
 	for _, r := range runFiles {
 		subsumed := false
 		for _, o := range runFiles {
-			if o != r && o.minGen <= r.minGen && r.maxGen <= o.maxGen {
+			if o != r && o.lo <= r.lo && r.hi <= o.hi {
 				subsumed = true
 				break
 			}
@@ -348,29 +456,27 @@ func (e *Engine) recover() error {
 			}
 			continue
 		}
-		runs = append(runs, r)
+		refs = append(refs, r)
 	}
-	// Load surviving run indexes, newest first. Run files are only ever
-	// renamed into place complete, so a scan that stops early means real
-	// corruption — fail loudly rather than silently dropping durable
-	// versions.
-	sort.Slice(runs, func(i, j int) bool { return runs[i].maxGen > runs[j].maxGen })
+	// Load surviving run indexes (footer only; a pre-footer legacy file is
+	// streamed once), newest first.
+	sort.Slice(refs, func(i, j int) bool { return refs[i].hi > refs[j].hi })
+	var runs []*run
+	defer func() {
+		if retErr != nil {
+			for _, r := range runs {
+				r.file.release()
+			}
+		}
+	}()
 	var maxCovered uint64
-	for _, r := range runs {
-		buf, err := os.ReadFile(r.path)
+	for _, ref := range refs {
+		r, err := loadRun(ref.path, ref.lo, ref.hi, e.blockBytes, e.bloomBits)
 		if err != nil {
-			return fmt.Errorf("sst: read run %s: %w", r.path, err)
+			return err
 		}
-		r.index = make(map[string][]*store.Version)
-		good := logrec.Scan(buf, func(key string, v *store.Version) {
-			// Flush wrote each key's chain contiguously in LWW order, so
-			// appending preserves the chain invariant.
-			r.index[key] = append(r.index[key], v)
-			r.versions++
-		})
-		if good != len(buf) {
-			return fmt.Errorf("sst: corrupt run file %s (%d of %d bytes intact)", r.path, good, len(buf))
-		}
+		r.level = e.levelOf(r.fileSize)
+		runs = append(runs, r)
 		if r.maxGen > maxCovered {
 			maxCovered = r.maxGen
 		}
@@ -399,6 +505,21 @@ func (e *Engine) recover() error {
 	}
 	mem := store.NewSharded(e.nShards)
 	var memBytes int64
+	// Replay is streamed and batched: records flow through a bounded KV
+	// buffer into the memtable, so recovery heap tracks the memtable the
+	// log describes, never the log file size.
+	var kvs []store.KV
+	drain := func() {
+		mem.PutBatch(kvs)
+		kvs = kvs[:0]
+	}
+	replay := func(key string, v *store.Version) {
+		kvs = append(kvs, store.KV{Key: key, Version: v})
+		memBytes += writeSize(key, v)
+		if len(kvs) >= 1024 {
+			drain()
+		}
+	}
 	for _, g := range gens {
 		if g == activeGen {
 			continue // replayed below, per shard, with torn-tail truncation
@@ -410,19 +531,26 @@ func (e *Engine) recover() error {
 		// intact prefix but is accounted like the active generation's
 		// torn tail rather than silently swallowed.
 		for _, si := range walGens[g] {
-			buf, err := os.ReadFile(e.walPath(g, si))
+			path := e.walPath(g, si)
+			f, err := os.Open(path)
 			if err != nil {
 				return fmt.Errorf("sst: read wal: %w", err)
 			}
-			var kvs []store.KV
-			good := logrec.Scan(buf, func(key string, v *store.Version) {
-				kvs = append(kvs, store.KV{Key: key, Version: v})
-				memBytes += writeSize(key, v)
+			st, err := f.Stat()
+			if err != nil {
+				_ = f.Close()
+				return fmt.Errorf("sst: stat wal %s: %w", path, err)
+			}
+			count := 0
+			good := logrec.ScanReader(f, func(key string, v *store.Version) {
+				replay(key, v)
+				count++
 			})
-			mem.PutBatch(kvs)
+			drain()
+			_ = f.Close()
 			e.metrics.add(func(m *Metrics) {
-				m.recovered += len(kvs)
-				if good < len(buf) {
+				m.recovered += count
+				if good < st.Size() {
 					m.truncated++
 				}
 			})
@@ -436,38 +564,39 @@ func (e *Engine) recover() error {
 	for si := 0; si < e.nShards; si++ {
 		sh := &logShard{Enc: wire.NewEncoder()}
 		path := e.walPath(activeGen, si)
-		buf, err := os.ReadFile(path)
-		if err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("sst: read wal %s: %w", path, err)
-		}
-		var kvs []store.KV
-		good := logrec.Scan(buf, func(key string, v *store.Version) {
-			kvs = append(kvs, store.KV{Key: key, Version: v})
-			memBytes += writeSize(key, v)
-		})
-		mem.PutBatch(kvs)
-		e.metrics.add(func(m *Metrics) {
-			m.recovered += len(kvs)
-			if good < len(buf) {
-				m.truncated++
-			}
-		})
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			return fmt.Errorf("sst: open wal %s: %w", path, err)
 		}
-		if good < len(buf) {
-			if err := f.Truncate(int64(good)); err != nil {
+		st, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("sst: stat wal %s: %w", path, err)
+		}
+		count := 0
+		good := logrec.ScanReader(f, func(key string, v *store.Version) {
+			replay(key, v)
+			count++
+		})
+		drain()
+		e.metrics.add(func(m *Metrics) {
+			m.recovered += count
+			if good < st.Size() {
+				m.truncated++
+			}
+		})
+		if good < st.Size() {
+			if err := f.Truncate(good); err != nil {
 				_ = f.Close()
 				return fmt.Errorf("sst: truncate torn tail of %s: %w", path, err)
 			}
 		}
-		if _, err := f.Seek(int64(good), 0); err != nil {
+		if _, err := f.Seek(good, 0); err != nil {
 			_ = f.Close()
 			return fmt.Errorf("sst: seek %s: %w", path, err)
 		}
 		sh.F = f
-		sh.Size = int64(good)
+		sh.Size = good
 		e.shards[si] = sh
 	}
 
@@ -501,18 +630,47 @@ func best(a, b *store.Version) *store.Version {
 	return a
 }
 
+// alwaysVisible is the visibility predicate of Latest: every version
+// qualifies.
+var alwaysVisible store.VisibleFunc = func(*store.Version) bool { return true }
+
+// mergeDisk folds the frozen memtable and every immutable run into cur,
+// the best version the active memtable produced for key. A probe fails
+// only when its run was retired mid-read (compaction released the file
+// after publishing the replacement tables), so the retry reloads the
+// tables — which no longer list that run — and terminates.
+func (e *Engine) mergeDisk(tabs *tables, key string, visible store.VisibleFunc, cur *store.Version, sc *probeScratch) *store.Version {
+	for {
+		v := cur
+		if tabs.frozen != nil {
+			v = best(v, tabs.frozen.ReadVisible(key, visible))
+		}
+		ok := true
+		for _, r := range tabs.runs {
+			if v, ok = e.probeRun(r, key, visible, v, sc); !ok {
+				break
+			}
+		}
+		if ok {
+			return v
+		}
+		tabs = e.tabs.Load()
+	}
+}
+
 // ReadVisible implements store.Engine: the freshest visible version
 // across the active memtable, the frozen memtable (if a flush is in
-// progress) and every immutable run. Runs are probed without any lock.
+// progress) and every immutable run. Runs are probed without any lock —
+// a Bloom-filter check, then at most one block pread each.
 func (e *Engine) ReadVisible(key string, visible store.VisibleFunc) *store.Version {
 	tabs := e.tabs.Load()
 	v := tabs.active.ReadVisible(key, visible)
-	if tabs.frozen != nil {
-		v = best(v, tabs.frozen.ReadVisible(key, visible))
+	if tabs.frozen == nil && len(tabs.runs) == 0 {
+		return v
 	}
-	for _, r := range tabs.runs {
-		v = best(v, store.ReadVisibleChain(r.index[key], visible))
-	}
+	sc := probePool.Get().(*probeScratch)
+	v = e.mergeDisk(tabs, key, visible, v, sc)
+	probePool.Put(sc)
 	return v
 }
 
@@ -525,24 +683,20 @@ func (e *Engine) ReadVisibleBatch(keys []string, visible store.VisibleFunc) []*s
 // resolved with the striped batch read (one read-lock acquisition per
 // touched stripe), then each key is merged against the frozen memtable
 // and the immutable runs lock-free. With a large-enough caller buffer the
-// call performs no heap allocation, preserving the zero-alloc slice-read
-// path.
+// call performs no heap allocation on the memtable-hit path — run probes
+// run entirely in pooled scratch and only materialize a version when the
+// run strictly wins the last-writer-wins fold.
 func (e *Engine) ReadVisibleBatchInto(keys []string, visible store.VisibleFunc, out []*store.Version) []*store.Version {
 	tabs := e.tabs.Load()
 	out = tabs.active.ReadVisibleBatchInto(keys, visible, out)
 	if tabs.frozen == nil && len(tabs.runs) == 0 {
 		return out
 	}
+	sc := probePool.Get().(*probeScratch)
 	for j, k := range keys {
-		v := out[j]
-		if tabs.frozen != nil {
-			v = best(v, tabs.frozen.ReadVisible(k, visible))
-		}
-		for _, r := range tabs.runs {
-			v = best(v, store.ReadVisibleChain(r.index[k], visible))
-		}
-		out[j] = v
+		out[j] = e.mergeDisk(tabs, k, visible, out[j], sc)
 	}
+	probePool.Put(sc)
 	return out
 }
 
@@ -550,29 +704,23 @@ func (e *Engine) ReadVisibleBatchInto(keys []string, visible store.VisibleFunc, 
 func (e *Engine) Latest(key string) *store.Version {
 	tabs := e.tabs.Load()
 	v := tabs.active.Latest(key)
-	if tabs.frozen != nil {
-		v = best(v, tabs.frozen.Latest(key))
+	if tabs.frozen == nil && len(tabs.runs) == 0 {
+		return v
 	}
-	for _, r := range tabs.runs {
-		if chain := r.index[key]; len(chain) > 0 {
-			v = best(v, chain[len(chain)-1])
-		}
-	}
+	sc := probePool.Get().(*probeScratch)
+	v = e.mergeDisk(tabs, key, alwaysVisible, v, sc)
+	probePool.Put(sc)
 	return v
 }
 
 // GC implements store.Engine.
 func (e *Engine) GC(oldest hlc.Timestamp) int { return e.GCStats(oldest).Removed }
 
-// Keys implements store.Engine: the number of distinct keys across every
-// tier (a key flushed to a run and rewritten since counts once).
-func (e *Engine) Keys() int {
-	e.flushMu.Lock()
-	defer e.flushMu.Unlock()
+// keySet collects the distinct live keys across every tier under flushMu:
+// memtable keys plus a streaming pass over each run file, skipping keys
+// whose whole chain the GC overlay cut.
+func (e *Engine) keySet() map[string]struct{} {
 	tabs := e.tabs.Load()
-	if tabs.frozen == nil && len(tabs.runs) == 0 {
-		return tabs.active.Keys()
-	}
 	seen := make(map[string]struct{})
 	collect := func(k string) { seen[k] = struct{}{} }
 	tabs.active.ForEachKey(collect)
@@ -580,15 +728,38 @@ func (e *Engine) Keys() int {
 		tabs.frozen.ForEachKey(collect)
 	}
 	for _, r := range tabs.runs {
-		for k := range r.index {
-			seen[k] = struct{}{}
+		it := newRunIterator(e, r)
+		if it == nil {
+			continue // retired: impossible under flushMu, but stay safe
 		}
+		for it.next() {
+			if r.cuts[it.key] >= len(it.chain) {
+				continue
+			}
+			seen[it.key] = struct{}{}
+		}
+		it.close()
 	}
-	return len(seen)
+	return seen
+}
+
+// Keys implements store.Engine: the number of distinct keys across every
+// tier (a key flushed to a run and rewritten since counts once). With
+// runs present this streams the run files — it is a counting method, not
+// a hot path.
+func (e *Engine) Keys() int {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	tabs := e.tabs.Load()
+	if tabs.frozen == nil && len(tabs.runs) == 0 {
+		return tabs.active.Keys()
+	}
+	return len(e.keySet())
 }
 
 // Versions implements store.Engine. Every version lives in exactly one
-// tier, so the tier totals sum without deduplication.
+// tier, so the tier totals sum without deduplication; run totals come
+// from the resident counters, never from disk.
 func (e *Engine) Versions() int {
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
@@ -598,22 +769,32 @@ func (e *Engine) Versions() int {
 		n += tabs.frozen.Versions()
 	}
 	for _, r := range tabs.runs {
-		n += r.versions
+		n += r.liveVersions()
 	}
 	return n
 }
 
-// VersionsOf implements store.Engine.
+// VersionsOf implements store.Engine: memtable counts plus one block
+// read per run that may hold the key.
 func (e *Engine) VersionsOf(key string) int {
-	tabs := e.tabs.Load()
-	n := tabs.active.VersionsOf(key)
-	if tabs.frozen != nil {
-		n += tabs.frozen.VersionsOf(key)
+	for {
+		tabs := e.tabs.Load()
+		n := tabs.active.VersionsOf(key)
+		if tabs.frozen != nil {
+			n += tabs.frozen.VersionsOf(key)
+		}
+		ok := true
+		for _, r := range tabs.runs {
+			var m int
+			if m, ok = e.countKey(r, key); !ok {
+				break // run retired mid-read: retry on fresh tables
+			}
+			n += m
+		}
+		if ok {
+			return n
+		}
 	}
-	for _, r := range tabs.runs {
-		n += len(r.index[key])
-	}
-	return n
 }
 
 // NumShards implements store.Engine.
@@ -624,22 +805,110 @@ func (e *Engine) NumShards() int { return e.nShards }
 // engine lock held and may call back into the engine.
 func (e *Engine) ForEachKey(fn func(key string)) {
 	e.flushMu.Lock()
-	tabs := e.tabs.Load()
-	seen := make(map[string]struct{})
-	collect := func(k string) { seen[k] = struct{}{} }
-	tabs.active.ForEachKey(collect)
-	if tabs.frozen != nil {
-		tabs.frozen.ForEachKey(collect)
-	}
-	for _, r := range tabs.runs {
-		for k := range r.index {
-			seen[k] = struct{}{}
-		}
-	}
+	seen := e.keySet()
 	e.flushMu.Unlock()
 	for k := range seen {
 		fn(k)
 	}
+}
+
+// Scan implements store.Engine: a streaming merge of the memtables and
+// every run file over [start, end), in ascending key order. Run files are
+// read block-at-a-time through iterators that hold a file reference for
+// the whole scan (acquired under flushMu, so a concurrent compaction can
+// retire but never close them mid-scan), and each yielded version is a
+// materialized copy — fn may retain it. fn runs with no engine lock held.
+func (e *Engine) Scan(start, end string, visible store.VisibleFunc, fn func(key string, v *store.Version) bool) error {
+	e.flushMu.Lock()
+	tabs := e.tabs.Load()
+	iters := make([]*runIterator, 0, len(tabs.runs))
+	runs := make([]*run, 0, len(tabs.runs))
+	for _, r := range tabs.runs {
+		if it := newRunIterator(e, r); it != nil {
+			iters = append(iters, it)
+			runs = append(runs, r)
+		}
+	}
+	e.flushMu.Unlock()
+	defer func() {
+		for _, it := range iters {
+			it.close()
+		}
+	}()
+
+	inRange := func(k string) bool { return k >= start && (end == "" || k < end) }
+	memKeys := sortedMemKeys(tabs.active, inRange)
+	var frozenKeys []string
+	if tabs.frozen != nil {
+		frozenKeys = sortedMemKeys(tabs.frozen, inRange)
+	}
+	live := make([]bool, len(iters))
+	for i, it := range iters {
+		it.seek(start)
+		live[i] = it.next() && (end == "" || it.key < end)
+	}
+
+	mi, fi := 0, 0
+	for {
+		key := ""
+		have := false
+		if mi < len(memKeys) {
+			key, have = memKeys[mi], true
+		}
+		if fi < len(frozenKeys) && (!have || frozenKeys[fi] < key) {
+			key, have = frozenKeys[fi], true
+		}
+		for i, it := range iters {
+			if live[i] && (!have || it.key < key) {
+				key, have = it.key, true
+			}
+		}
+		if !have {
+			break
+		}
+		var v *store.Version
+		if mi < len(memKeys) && memKeys[mi] == key {
+			v = best(v, tabs.active.ReadVisible(key, visible))
+			mi++
+		}
+		if fi < len(frozenKeys) && frozenKeys[fi] == key {
+			v = best(v, tabs.frozen.ReadVisible(key, visible))
+			fi++
+		}
+		for i, it := range iters {
+			if !live[i] || it.key != key {
+				continue
+			}
+			if cut := runs[i].cuts[key]; cut < len(it.chain) {
+				v = best(v, store.ReadVisibleChain(it.chain[cut:], visible))
+			}
+			live[i] = it.next() && (end == "" || it.key < end)
+		}
+		if v != nil && v.Value != nil {
+			if !fn(key, v) {
+				return nil
+			}
+		}
+	}
+	for _, it := range iters {
+		if it.err != nil {
+			return it.err
+		}
+	}
+	return nil
+}
+
+// sortedMemKeys snapshots a memtable's keys matching the range predicate
+// in ascending order.
+func sortedMemKeys(s *store.Store, inRange func(string) bool) []string {
+	var keys []string
+	s.ForEachKey(func(k string) {
+		if inRange(k) {
+			keys = append(keys, k)
+		}
+	})
+	sort.Strings(keys)
+	return keys
 }
 
 // Healthy implements store.Engine: it returns the first WAL append/sync,
@@ -662,6 +931,36 @@ func (e *Engine) Dir() string { return e.dir }
 // Runs returns the number of live sorted runs (for tests and monitoring).
 func (e *Engine) Runs() int {
 	return len(e.tabs.Load().runs)
+}
+
+// Levels returns the number of occupied size levels (the deepest run's
+// level plus one), 0 with no runs.
+func (e *Engine) Levels() int {
+	n := 0
+	for _, r := range e.tabs.Load().runs {
+		if r.level+1 > n {
+			n = r.level + 1
+		}
+	}
+	return n
+}
+
+// ResidentIndexBytes estimates the memory the run index keeps resident:
+// fence keys, Bloom filter bits and GC overlay entries. This is the
+// number that must stay far below the stored data size — the engine's
+// claim to handling datasets larger than RAM.
+func (e *Engine) ResidentIndexBytes() int64 {
+	var n int64
+	for _, r := range e.tabs.Load().runs {
+		for _, fe := range r.fences {
+			n += int64(len(fe.firstKey)) + 24 // string header + offset + length
+		}
+		n += r.filter.sizeBytes()
+		for k := range r.cuts {
+			n += int64(len(k)) + 32 // map entry estimate
+		}
+	}
+	return n
 }
 
 // recordErr remembers the first write-path failure, printing it to stderr
@@ -694,8 +993,9 @@ func (e *Engine) markCrashed() {
 
 // Close implements store.Engine: it stops the background work, forces the
 // active WAL generation to stable storage (a clean shutdown is always
-// fully durable, whatever the fsync policy), closes the files, and
-// returns the first error the write path hit.
+// fully durable, whatever the fsync policy), closes the files — including
+// the run descriptors, released through their refcounts so a straggling
+// read finishes first — and returns the first error the write path hit.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -720,6 +1020,11 @@ func (e *Engine) Close() error {
 			e.recordErr(fmt.Errorf("sst: close: %w", err))
 		}
 		sh.Mu.Unlock()
+	}
+	if tabs := e.tabs.Load(); tabs != nil {
+		for _, r := range tabs.runs {
+			r.file.release() // drops the table reference taken at creation
+		}
 	}
 	_ = e.lock.Close() // releases the directory lock
 	e.mu.Lock()

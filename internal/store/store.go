@@ -15,6 +15,7 @@
 package store
 
 import (
+	"sort"
 	"sync"
 
 	"wren/internal/hlc"
@@ -513,6 +514,36 @@ func (s *Store) Healthy() error { return nil }
 // Close implements Engine. The in-memory engine holds no external
 // resources, so Close is a no-op.
 func (s *Store) Close() error { return nil }
+
+// Scan implements Engine: keys in [start, end) in ascending order, each
+// resolved to its freshest visible non-tombstone version. The in-range key
+// set is snapshotted one shard at a time and sorted, so fn runs without any
+// shard lock held and may call back into the store; a write racing with
+// the scan may or may not be observed.
+func (s *Store) Scan(start, end string, visible VisibleFunc, fn func(key string, v *Version) bool) error {
+	var keys []string
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for k := range sh.chains {
+			if k >= start && (end == "" || k < end) {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := s.ReadVisible(k, visible)
+		if v == nil || v.Value == nil {
+			continue
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
 
 // ForEachKey calls fn for every key in the store. Iteration order is
 // unspecified; keys are snapshotted one shard at a time, so fn runs without

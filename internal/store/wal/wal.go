@@ -219,44 +219,50 @@ func (e *Engine) shardPath(si int) string {
 }
 
 // recoverShard replays shard si's log into memory and leaves the file open
-// for appending. A record whose length prefix or checksum does not hold —
-// a torn tail from a crash mid-append — is truncated away along with
-// everything after it.
+// for appending. The log is streamed through a bounded read buffer — never
+// materialized whole — so startup heap is set by record size, not log
+// size. A record whose length prefix or checksum does not hold — a torn
+// tail from a crash mid-append — is truncated away along with everything
+// after it.
 func (e *Engine) recoverShard(si int, sh *walShard) error {
 	path := e.shardPath(si)
-	buf, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("wal: read %s: %w", path, err)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	size, err := f.Seek(0, 2)
+	if err == nil {
+		_, err = f.Seek(0, 0)
+	}
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: seek %s: %w", path, err)
 	}
 
 	var kvs []store.KV
-	good := logrec.Scan(buf, func(key string, v *store.Version) {
+	good := logrec.ScanReader(bufio.NewReaderSize(f, 1<<16), func(key string, v *store.Version) {
 		kvs = append(kvs, store.KV{Key: key, Version: v})
 	})
 	e.mem.PutBatch(kvs)
 	e.metrics.mu.Lock()
 	e.metrics.recovered += len(kvs)
-	if good < len(buf) {
+	if good < size {
 		e.metrics.truncated++
 	}
 	e.metrics.mu.Unlock()
 
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: open %s: %w", path, err)
-	}
-	if good < len(buf) {
-		if err := f.Truncate(int64(good)); err != nil {
+	if good < size {
+		if err := f.Truncate(good); err != nil {
 			_ = f.Close()
 			return fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
 		}
 	}
-	if _, err := f.Seek(int64(good), 0); err != nil {
+	if _, err := f.Seek(good, 0); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("wal: seek %s: %w", path, err)
 	}
 	sh.F = f
-	sh.Size = int64(good)
+	sh.Size = good
 	return nil
 }
 
@@ -485,6 +491,12 @@ func (e *Engine) NumShards() int { return e.mem.NumShards() }
 
 // ForEachKey implements store.Engine.
 func (e *Engine) ForEachKey(fn func(key string)) { e.mem.ForEachKey(fn) }
+
+// Scan implements store.Engine: reads are always served by the memory
+// stripes, so the ordered iteration passes straight through.
+func (e *Engine) Scan(start, end string, visible store.VisibleFunc, fn func(key string, v *store.Version) bool) error {
+	return e.mem.Scan(start, end, visible, fn)
+}
 
 // Healthy implements store.Engine: it returns the first append, sync or
 // compaction failure the engine has recorded, or nil while the write path

@@ -32,6 +32,8 @@ const (
 	KindHealthResp
 	KindTxStatusReq
 	KindTxStatusResp
+	KindScanReq
+	KindScanResp
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -79,6 +81,10 @@ func (k Kind) String() string {
 		return "TxStatusReq"
 	case KindTxStatusResp:
 		return "TxStatusResp"
+	case KindScanReq:
+		return "ScanReq"
+	case KindScanResp:
+		return "ScanResp"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -872,6 +878,72 @@ func (m *GCBroadcast) decodeFrom(d *Decoder) {
 	m.Oldest = d.Timestamp()
 }
 
+// ScanReq asks one partition for its keys in [Start, End), read at the
+// transaction's nonblocking snapshot (lt, rt) — the same visibility cut
+// slice reads use, so a scan never blocks behind replication either.
+// An empty End means "to the end of the keyspace". Limit bounds the
+// number of items returned per partition (0 = unlimited); the client
+// merges partitions and re-applies the limit globally.
+type ScanReq struct {
+	ReqID uint64
+	Start string
+	End   string
+	Limit uint64
+	LT    hlc.Timestamp
+	RT    hlc.Timestamp
+}
+
+// Kind implements Message.
+func (*ScanReq) Kind() Kind { return KindScanReq }
+
+// Class implements Message.
+func (*ScanReq) Class() Class { return ClassTransaction }
+
+func (m *ScanReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.String(m.Start)
+	e.String(m.End)
+	e.Uvarint(m.Limit)
+	e.Timestamp(m.LT)
+	e.Timestamp(m.RT)
+}
+
+func (m *ScanReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.Start = d.String()
+	m.End = d.String()
+	m.Limit = d.Uvarint()
+	m.LT = d.Timestamp()
+	m.RT = d.Timestamp()
+}
+
+// ScanResp returns one partition's visible versions for a range scan, in
+// ascending key order. More reports whether the partition had further
+// keys beyond the per-partition limit.
+type ScanResp struct {
+	ReqID uint64
+	Items []Item
+	More  bool
+}
+
+// Kind implements Message.
+func (*ScanResp) Kind() Kind { return KindScanResp }
+
+// Class implements Message.
+func (*ScanResp) Class() Class { return ClassTransaction }
+
+func (m *ScanResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	encodeItems(e, m.Items)
+	e.Bool(m.More)
+}
+
+func (m *ScanResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.Items = decodeItems(d)
+	m.More = d.Bool()
+}
+
 // newMessage allocates an empty message of the given kind.
 func newMessage(kind Kind) (Message, error) {
 	switch kind {
@@ -917,6 +989,10 @@ func newMessage(kind Kind) (Message, error) {
 		return &TxStatusReq{}, nil
 	case KindTxStatusResp:
 		return &TxStatusResp{}, nil
+	case KindScanReq:
+		return &ScanReq{}, nil
+	case KindScanResp:
+		return &ScanResp{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

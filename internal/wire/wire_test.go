@@ -73,6 +73,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&HealthResp{ReqID: 18, ReadOnly: true, Err: "wal: sync: broken"},
 		&TxStatusReq{TxID: 321},
 		&TxStatusResp{TxID: 321, CT: ts(555, 5), Committed: true},
+		&ScanReq{ReqID: 19, Start: "a", End: "m", Limit: 100, LT: ts(50, 0), RT: ts(40, 0)},
+		&ScanReq{ReqID: 20, Start: "", End: "", LT: ts(1, 0), RT: ts(1, 0)},
+		&ScanResp{ReqID: 21, Items: []Item{{Key: "k", Value: []byte("v"),
+			UT: ts(9, 9), RDT: ts(8, 8), TxID: 2, SrcDC: 1}}, More: true},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -181,7 +185,7 @@ func TestItemRoundTripProperty(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindStartTxReq; k <= KindTxStatusResp; k++ {
+	for k := KindStartTxReq; k <= KindScanResp; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' && s[1] == 'i' {
 			t.Errorf("Kind %d has no name: %q", k, s)
 		}
