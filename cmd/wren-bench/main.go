@@ -9,6 +9,7 @@
 //	wren-bench -read-path          # read-path suite -> BENCH_read_path.json
 //	wren-bench -engines memory,wal,sst   # engine sweep -> BENCH_engines.json
 //	wren-bench -txlog              # commit-ack latency sweep -> BENCH_txlog.json
+//	wren-bench -chaos              # client-link loss sweep -> BENCH_chaos.json
 //
 // Figures: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b, 7a, 7b.
 // Ablations: blocking-commit, gossip-interval, snapshot-age.
@@ -30,6 +31,11 @@
 // fsync policy, reporting client-observed commit-ack latency percentiles
 // (the log writes PREPARE and COMMIT records before the ack, so the ack
 // now carries the logging cost). Writes BENCH_txlog.json.
+//
+// -chaos drives the same closed loop through the fault-injecting chaos
+// transport at increasing client-link loss (0%, 1%, 5%), with the bounded
+// client retry policy recovering dropped frames, and reports the
+// throughput/latency cost of each loss level. Writes BENCH_chaos.json.
 package main
 
 import (
@@ -79,13 +85,15 @@ func run(args []string) error {
 		enginesOut = fs.String("engines-out", "BENCH_engines.json", "output path for the -engines JSON report")
 		txlogSweep = fs.Bool("txlog", false, "run the commit-ack latency sweep (txlog on vs off, per fsync policy); emits -txlog-out")
 		txlogOut   = fs.String("txlog-out", "BENCH_txlog.json", "output path for the -txlog JSON report")
+		chaosSweep = fs.Bool("chaos", false, "run the client-link loss sweep through the chaos transport; emits -chaos-out")
+		chaosOut   = fs.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *figure == "" && *ablation == "" && !*readPath && *engines == "" && !*txlogSweep {
+	if *figure == "" && *ablation == "" && !*readPath && *engines == "" && !*txlogSweep && !*chaosSweep {
 		fs.Usage()
-		return fmt.Errorf("one of -figure, -ablation, -read-path, -engines or -txlog is required")
+		return fmt.Errorf("one of -figure, -ablation, -read-path, -engines, -txlog or -chaos is required")
 	}
 
 	o := bench.DefaultOptions()
@@ -117,6 +125,9 @@ func run(args []string) error {
 		o.KeysPerPartition = q.KeysPerPartition
 	}
 
+	if *chaosSweep {
+		return runChaosSweep(o, *chaosOut)
+	}
 	if *txlogSweep {
 		return runTxLogSweep(o, *txlogOut)
 	}
@@ -280,6 +291,32 @@ func runEngines(o bench.Options, engines []string, out string) error {
 			default:
 				// The sweep error wins, but the missing artifact must not
 				// be a silent mystery.
+				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
+			}
+		}
+	}
+	return err
+}
+
+func runChaosSweep(o bench.Options, out string) error {
+	start := time.Now()
+	// A failed sweep still returns the rows measured so far; persist them
+	// before surfacing the error (same discipline as -engines).
+	rep, err := bench.RunChaos(o, bench.ChaosPoints, o.FixedThreads)
+	if rep != nil {
+		fmt.Print(bench.FormatChaos(rep))
+		fmt.Printf("[chaos done in %v]\n", time.Since(start).Round(time.Second))
+		if out != "" {
+			data, jerr := rep.WriteJSON()
+			if jerr == nil {
+				jerr = os.WriteFile(out, append(data, '\n'), 0o644)
+			}
+			switch {
+			case jerr == nil:
+				fmt.Printf("report written to %s\n", out)
+			case err == nil:
+				err = jerr
+			default:
 				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
 			}
 		}

@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,11 +54,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		peersFlag   = fs.String("peers", "", "comma-separated dc/partition=host:port for the local DC's servers")
 		coordinator = fs.Int("coordinator", 0, "coordinator partition (-1 = random per transaction)")
 		clientIdx   = fs.Int("client-index", int(os.Getpid()%10000), "unique client index within the DC")
+		reqTimeout  = fs.Duration("request-timeout", 10*time.Second, "per-request timeout before a retry or error")
+		retries     = fs.Int("retries", 2, "retry attempts after a timed-out request (0 disables retries)")
+		retryWait   = fs.Duration("retry-backoff", 50*time.Millisecond, "initial backoff before the first retry (doubles per attempt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	_ = dcs
+	if *reqTimeout <= 0 {
+		return fmt.Errorf("-request-timeout must be positive")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be non-negative")
+	}
 
 	peerMap, err := peers.Parse(*peersFlag)
 	if err != nil {
@@ -81,7 +91,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		NumPartitions:        *partitions,
 		Network:              net,
 		CoordinatorPartition: *coordinator,
-		RequestTimeout:       10 * time.Second,
+		RequestTimeout:       *reqTimeout,
+		Retry:                core.RetryPolicy{Attempts: *retries, Backoff: *retryWait},
 	})
 	if err != nil {
 		return err
@@ -132,7 +143,7 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 				break
 			}
 			if err := tx.Delete(rest[0]); err != nil {
-				fmt.Fprintln(out, "error:", err)
+				printErr(out, err)
 			}
 		case "begin":
 			if tx != nil {
@@ -141,7 +152,7 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 			}
 			var err error
 			if tx, err = client.Begin(); err != nil {
-				fmt.Fprintln(out, "error:", err)
+				printErr(out, err)
 				break
 			}
 			lt, rt := tx.Snapshot()
@@ -163,7 +174,7 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 				break
 			}
 			if err := tx.Write(rest[0], []byte(rest[1])); err != nil {
-				fmt.Fprintln(out, "error:", err)
+				printErr(out, err)
 			}
 		case "commit":
 			if tx == nil {
@@ -173,7 +184,7 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 			ct, err := tx.Commit()
 			tx = nil
 			if err != nil {
-				fmt.Fprintln(out, "error:", err)
+				printErr(out, err)
 				break
 			}
 			fmt.Fprintf(out, "committed at %v\n", ct)
@@ -185,7 +196,7 @@ func repl(client *core.Client, partitions int, in io.Reader, out io.Writer) erro
 			err := tx.Abort()
 			tx = nil
 			if err != nil {
-				fmt.Fprintln(out, "error:", err)
+				printErr(out, err)
 				break
 			}
 			fmt.Fprintln(out, "aborted")
@@ -204,17 +215,17 @@ func oneShotRead(client *core.Client, out io.Writer, keys []string) {
 	}
 	tx, err := client.Begin()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	got, err := tx.Read(keys...)
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		_ = tx.Abort()
 		return
 	}
 	if _, err := tx.Commit(); err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	printRead(out, got, nil)
@@ -227,19 +238,19 @@ func oneShotWrite(client *core.Client, out io.Writer, kvs []string) {
 	}
 	tx, err := client.Begin()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	for i := 0; i < len(kvs); i += 2 {
 		if err := tx.Write(kvs[i], []byte(kvs[i+1])); err != nil {
-			fmt.Fprintln(out, "error:", err)
+			printErr(out, err)
 			_ = tx.Abort()
 			return
 		}
 	}
 	ct, err := tx.Commit()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	fmt.Fprintf(out, "committed at %v\n", ct)
@@ -249,7 +260,7 @@ func oneShotWrite(client *core.Client, out io.Writer, kvs []string) {
 func oneShotScan(client *core.Client, out io.Writer, args []string) {
 	tx, err := client.Begin()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	doScan(tx, out, args)
@@ -282,7 +293,7 @@ func doScan(tx *core.Tx, out io.Writer, args []string) {
 	}
 	kvs, err := tx.Scan(start, end, limit)
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	if len(kvs) == 0 {
@@ -301,19 +312,19 @@ func oneShotDelete(client *core.Client, out io.Writer, keys []string) {
 	}
 	tx, err := client.Begin()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	for _, k := range keys {
 		if err := tx.Delete(k); err != nil {
-			fmt.Fprintln(out, "error:", err)
+			printErr(out, err)
 			_ = tx.Abort()
 			return
 		}
 	}
 	ct, err := tx.Commit()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	fmt.Fprintf(out, "deleted at %v\n", ct)
@@ -336,9 +347,31 @@ func showHealth(client *core.Client, partitions int, out io.Writer) {
 	}
 }
 
+// printErr reports a command failure, classifying the cause so a slow
+// server (timeout), a misconfigured peer map (no route), and an in-doubt
+// commit read differently at the prompt.
+func printErr(out io.Writer, err error) {
+	switch {
+	case errors.Is(err, core.ErrInDoubt):
+		fmt.Fprintln(out, "error (in doubt):", err)
+		fmt.Fprintln(out, "  the commit may or may not have landed; read the keys back before retrying")
+	case errors.Is(err, core.ErrAborted):
+		fmt.Fprintln(out, "error (aborted):", err)
+		fmt.Fprintln(out, "  the transaction did not commit; safe to retry")
+	case errors.Is(err, core.ErrTimeout):
+		fmt.Fprintln(out, "error (timeout):", err)
+		fmt.Fprintln(out, "  server unresponsive; consider raising -request-timeout or -retries")
+	case errors.Is(err, tcp.ErrNoRoute):
+		fmt.Fprintln(out, "error (no route):", err)
+		fmt.Fprintln(out, "  destination is not in -peers and has never connected; check the peer map")
+	default:
+		fmt.Fprintf(out, "error: %v\n", err)
+	}
+}
+
 func printRead(out io.Writer, got map[string][]byte, err error) {
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		printErr(out, err)
 		return
 	}
 	if len(got) == 0 {

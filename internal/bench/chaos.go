@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"wren/internal/cluster"
+	"wren/internal/transport/chaos"
+	"wren/internal/ycsb"
+)
+
+// The chaos sweep prices the partition-tolerance machinery: the same
+// closed-loop YCSB mix on a small Wren memory cluster, once per
+// client-link loss level, with the chaos transport dropping and
+// duplicating client frames and the clients recovering through the
+// bounded retry policy. The zero-loss row is the control: it runs through
+// the same chaos wrapper (rule installed, probability zero), so any
+// overhead of the wrapper itself is inside the baseline and the other
+// rows isolate the cost of loss alone. CI uploads BENCH_chaos.json so
+// successive PRs leave a comparable resilience trajectory.
+
+// ChaosPoints are the default client-link loss probabilities swept.
+var ChaosPoints = []float64{0, 0.01, 0.05}
+
+// ChaosRow is one measured loss level.
+type ChaosRow struct {
+	LossPct    float64 `json:"loss_pct"` // drop AND duplicate probability, percent
+	TxPerSec   float64 `json:"tx_per_sec"`
+	MeanLatMs  float64 `json:"mean_lat_ms"`
+	P50LatMs   float64 `json:"p50_lat_ms"`
+	P99LatMs   float64 `json:"p99_lat_ms"`
+	Committed  uint64  `json:"committed"`
+	Errors     uint64  `json:"errors"`     // begins/reads/commits that exhausted the retry budget
+	Dropped    uint64  `json:"dropped"`    // frames the chaos layer discarded
+	Duplicated uint64  `json:"duplicated"` // extra frame copies it injected
+}
+
+// ChaosReport is the machine-readable output of the chaos sweep.
+type ChaosReport struct {
+	Protocol         string     `json:"protocol"`
+	GoMaxProcs       int        `json:"gomaxprocs"`
+	NumCPU           int        `json:"num_cpu"`
+	DCs              int        `json:"dcs"`
+	Partitions       int        `json:"partitions"`
+	RequestTimeoutMs float64    `json:"request_timeout_ms"`
+	RetryAttempts    int        `json:"retry_attempts"`
+	RetryBackoffMs   float64    `json:"retry_backoff_ms"`
+	Rows             []ChaosRow `json:"rows"`
+}
+
+// RunChaos sweeps the given client-link loss probabilities (fractions in
+// [0,1]) on a Wren memory cluster, one fresh cluster per point. The loss
+// rule is installed only after the preload, so the fill never races the
+// fault injector. threads is the closed-loop count per (DC, partition).
+func RunChaos(o Options, points []float64, threads int) (*ChaosReport, error) {
+	if len(points) == 0 {
+		points = ChaosPoints
+	}
+	if threads <= 0 {
+		threads = 2
+	}
+	const (
+		requestTimeout = time.Second
+		retryAttempts  = 5
+		retryBackoff   = 2 * time.Millisecond
+	)
+	rep := &ChaosReport{
+		Protocol:         cluster.Wren.String(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		DCs:              o.DCs,
+		Partitions:       o.Partitions,
+		RequestTimeoutMs: float64(requestTimeout) / float64(time.Millisecond),
+		RetryAttempts:    retryAttempts,
+		RetryBackoffMs:   float64(retryBackoff) / float64(time.Millisecond),
+	}
+	for _, loss := range points {
+		if loss < 0 || loss > 1 {
+			return rep, fmt.Errorf("bench: loss probability %v outside [0,1]", loss)
+		}
+		eo := o
+		eo.StoreBackend = "memory" // the sweep prices the network, not the disk
+		ccfg := eo.clusterConfig(cluster.Wren, o.DCs, o.Partitions)
+		ccfg.Chaos = true
+		ccfg.ChaosSeed = o.Seed
+		ccfg.RequestTimeout = requestTimeout
+		ccfg.RetryAttempts = retryAttempts
+		ccfg.RetryBackoff = retryBackoff
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			return rep, err
+		}
+		pTx := 2
+		if pTx > o.Partitions {
+			pTx = o.Partitions
+		}
+		w, err := ycsb.NewWorkload(o.workloadConfig(ycsb.Mix95, pTx, o.Partitions))
+		if err != nil {
+			cl.Close()
+			return rep, err
+		}
+		if err := Preload(cl, w); err != nil {
+			cl.Close()
+			return rep, err
+		}
+		for dc := 0; dc < o.DCs; dc++ {
+			cl.Chaos().SetClientRule(dc, chaos.Rule{DropProb: loss, DupProb: loss})
+		}
+		res, err := RunLoadPoint(LoadConfig{
+			Cluster: cl, Workload: w, ThreadsPerClient: threads,
+			Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed,
+		})
+		faults := cl.Chaos().Stats()
+		cl.Close()
+		if err != nil {
+			return rep, fmt.Errorf("chaos loss=%v: %w", loss, err)
+		}
+		rep.Rows = append(rep.Rows, ChaosRow{
+			LossPct:    loss * 100,
+			TxPerSec:   res.Throughput,
+			MeanLatMs:  res.MeanLatMs,
+			P50LatMs:   res.P50LatMs,
+			P99LatMs:   res.P99LatMs,
+			Committed:  res.Committed,
+			Errors:     res.Errors,
+			Dropped:    faults.Dropped,
+			Duplicated: faults.Duplicated,
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented for diffable commits.
+func (r *ChaosReport) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatChaos renders the report for humans.
+func FormatChaos(r *ChaosReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos sweep (%s, %dx%d, timeout=%.0fms, retries=%d)\n",
+		r.Protocol, r.DCs, r.Partitions, r.RequestTimeoutMs, r.RetryAttempts)
+	fmt.Fprintf(&b, "%8s %12s %10s %10s %10s %10s %8s %9s %11s\n",
+		"loss%", "tx/s", "mean(ms)", "p50(ms)", "p99(ms)", "committed", "errors", "dropped", "duplicated")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.1f %12.0f %10.2f %10.2f %10.2f %10d %8d %9d %11d\n",
+			row.LossPct, row.TxPerSec, row.MeanLatMs, row.P50LatMs, row.P99LatMs,
+			row.Committed, row.Errors, row.Dropped, row.Duplicated)
+	}
+	return b.String()
+}

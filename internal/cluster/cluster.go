@@ -17,6 +17,7 @@ import (
 	"wren/internal/cure"
 	"wren/internal/hlc"
 	"wren/internal/transport"
+	"wren/internal/transport/chaos"
 )
 
 // Protocol selects the consistency protocol a cluster runs.
@@ -121,6 +122,22 @@ type Config struct {
 	Seed int64
 	// RequestTimeout bounds client round trips. Zero selects 10s.
 	RequestTimeout time.Duration
+	// Chaos interposes a fault-injecting wrapper between the deployment and
+	// its simulated network; the Chaos() accessor then exposes partition
+	// cuts and per-link loss/delay/duplication rules at runtime.
+	Chaos bool
+	// ChaosSeed seeds the chaos wrapper's fault decisions (reproducible
+	// runs). Only meaningful with Chaos set.
+	ChaosSeed int64
+	// RetryAttempts is the client retry budget: timed-out idempotent
+	// requests are retried this many extra times (Begin failing over to
+	// alternate coordinators), and an unacknowledged commit is resolved by
+	// up to this many 2PC termination probes instead of being resent. Zero
+	// keeps sessions single-attempt.
+	RetryAttempts int
+	// RetryBackoff is the base client retry backoff (doubling, capped).
+	// Zero selects the client default.
+	RetryBackoff time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -179,6 +196,9 @@ type Client interface {
 type Cluster struct {
 	cfg Config
 	net *transport.Memory
+	// chaosNet wraps net when cfg.Chaos is set; servers and clients are
+	// registered on it so every message crosses the fault injector.
+	chaosNet *chaos.Network
 
 	wrenServers [][]*core.Server
 	cureServers [][]*cure.Server
@@ -212,12 +232,18 @@ func New(cfg Config) (*Cluster, error) {
 		latency = transport.UniformLatency(cfg.IntraDCLatency, cfg.InterDCLatency)
 	}
 	net := transport.NewMemory(latency)
+	var fabric transport.Network = net
+	var chaosNet *chaos.Network
+	if cfg.Chaos {
+		chaosNet = chaos.New(net, cfg.ChaosSeed)
+		fabric = chaosNet
+	}
 
 	var ephemeral string
 	if cfg.StoreBackend != "" && cfg.StoreBackend != "memory" && cfg.DataDir == "" {
 		dir, err := os.MkdirTemp("", "wren-data-*")
 		if err != nil {
-			net.Close()
+			fabric.Close()
 			return nil, fmt.Errorf("cluster: temp data dir: %w", err)
 		}
 		cfg.DataDir = dir
@@ -233,7 +259,7 @@ func New(cfg Config) (*Cluster, error) {
 		return time.Duration(rng.Int63n(2*span+1)-span) * time.Microsecond
 	}
 
-	c := &Cluster{cfg: cfg, net: net, ephemeralDataDir: ephemeral}
+	c := &Cluster{cfg: cfg, net: net, chaosNet: chaosNet, ephemeralDataDir: ephemeral}
 	fail := func(err error) (*Cluster, error) {
 		c.Close()
 		return nil, err
@@ -248,7 +274,7 @@ func New(cfg Config) (*Cluster, error) {
 				srv, err := core.NewServer(core.ServerConfig{
 					DC: dc, Partition: p,
 					NumDCs: cfg.NumDCs, NumPartitions: cfg.NumPartitions,
-					Network: net, ClockSource: src,
+					Network: fabric, ClockSource: src,
 					ApplyInterval:  cfg.ApplyInterval,
 					GossipInterval: cfg.GossipInterval,
 					GCInterval:     cfg.GCInterval,
@@ -271,7 +297,7 @@ func New(cfg Config) (*Cluster, error) {
 				srv, err := cure.NewServer(cure.ServerConfig{
 					DC: dc, Partition: p,
 					NumDCs: cfg.NumDCs, NumPartitions: cfg.NumPartitions,
-					Network: net, ClockSource: src,
+					Network: fabric, ClockSource: src,
 					UseHLC:         cfg.Protocol == HCure,
 					ApplyInterval:  cfg.ApplyInterval,
 					GossipInterval: cfg.GossipInterval,
@@ -308,6 +334,20 @@ func (c *Cluster) Config() Config { return c.cfg }
 // partition injection.
 func (c *Cluster) Network() *transport.Memory { return c.net }
 
+// Chaos returns the fault-injection wrapper, or nil when the cluster was
+// built without Config.Chaos. Tests use it to cut and heal DC links and to
+// impose loss/delay/duplication rules while the deployment is running.
+func (c *Cluster) Chaos() *chaos.Network { return c.chaosNet }
+
+// fabric is the network deployments actually register on: the chaos
+// wrapper when present, the raw simulated network otherwise.
+func (c *Cluster) fabric() transport.Network {
+	if c.chaosNet != nil {
+		return c.chaosNet
+	}
+	return c.net
+}
+
 // NewClient opens a client session in the given DC. A non-negative
 // coordinator fixes the coordinator partition (the paper collocates each
 // client with one partition); a negative value picks a random coordinator
@@ -331,9 +371,13 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 		cl, err := core.NewClient(core.ClientConfig{
 			DC: dc, ClientIndex: idx,
 			NumPartitions:        c.cfg.NumPartitions,
-			Network:              c.net,
+			Network:              c.fabric(),
 			CoordinatorPartition: coordinator,
 			RequestTimeout:       c.cfg.RequestTimeout,
+			Retry: core.RetryPolicy{
+				Attempts: c.cfg.RetryAttempts,
+				Backoff:  c.cfg.RetryBackoff,
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -344,9 +388,13 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 			DC: dc, ClientIndex: idx,
 			NumDCs:               c.cfg.NumDCs,
 			NumPartitions:        c.cfg.NumPartitions,
-			Network:              c.net,
+			Network:              c.fabric(),
 			CoordinatorPartition: coordinator,
 			RequestTimeout:       c.cfg.RequestTimeout,
+			Retry: cure.RetryPolicy{
+				Attempts: c.cfg.RetryAttempts,
+				Backoff:  c.cfg.RetryBackoff,
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -527,7 +575,9 @@ func (c *Cluster) stop(kill bool) {
 		}
 	}
 	wg.Wait()
-	c.net.Close()
+	// Closing the chaos wrapper drains its links and closes the inner
+	// simulated network.
+	c.fabric().Close()
 	if c.ephemeralDataDir != "" {
 		_ = os.RemoveAll(c.ephemeralDataDir)
 	}
@@ -541,6 +591,10 @@ type session interface {
 	beginAt(coordinator int) (Tx, error)
 	health(partition int) (readOnly bool, detail string, err error)
 	isReadOnly(err error) bool
+	// isAborted reports a commit that definitely did not land and whose
+	// transaction id the coordinator has fenced — the other replay-safe
+	// refusal besides read-only admission.
+	isAborted(err error) bool
 }
 
 // wrenClient adapts *core.Client to the Client interface.
@@ -566,6 +620,8 @@ func (w wrenClient) health(partition int) (bool, string, error) { return w.c.Hea
 
 func (w wrenClient) isReadOnly(err error) bool { return errors.Is(err, core.ErrReadOnly) }
 
+func (w wrenClient) isAborted(err error) bool { return errors.Is(err, core.ErrAborted) }
+
 func (w wrenClient) Close() { w.c.Close() }
 
 // cureClient adapts *cure.Client to the Client interface.
@@ -590,6 +646,8 @@ func (cc cureClient) beginAt(coordinator int) (Tx, error) {
 func (cc cureClient) health(partition int) (bool, string, error) { return cc.c.Health(partition) }
 
 func (cc cureClient) isReadOnly(err error) bool { return errors.Is(err, cure.ErrReadOnly) }
+
+func (cc cureClient) isAborted(err error) bool { return errors.Is(err, cure.ErrAborted) }
 
 func (cc cureClient) Close() { cc.c.Close() }
 
@@ -650,24 +708,35 @@ func (t *failoverTx) Delete(key string) error {
 
 func (t *failoverTx) Commit() (hlc.Timestamp, error) {
 	ct, err := t.Tx.Commit()
-	if err == nil || !t.f.sess.isReadOnly(err) {
+	if err == nil {
 		return ct, err
 	}
-	// The refused coordinator is degraded; probe the remaining partitions
-	// for a healthy one and replay there. If none answers healthy, the
-	// original refusal stands.
 	failed := t.Tx.Coordinator()
 	alt := -1
-	for p := 0; p < t.f.numPartitions; p++ {
-		if p == failed {
-			continue
+	switch {
+	case t.f.sess.isReadOnly(err):
+		// The refused coordinator is degraded; probe the remaining
+		// partitions for a healthy one and replay there. If none answers
+		// healthy, the original refusal stands.
+		for p := 0; p < t.f.numPartitions; p++ {
+			if p == failed {
+				continue
+			}
+			if ro, _, herr := t.f.sess.health(p); herr == nil && !ro {
+				alt = p
+				break
+			}
 		}
-		if ro, _, herr := t.f.sess.health(p); herr == nil && !ro {
-			alt = p
-			break
-		}
+	case t.f.sess.isAborted(err):
+		// The commit is fenced: it can never land, so replaying is safe.
+		// The coordinator may merely be unreachable rather than unhealthy,
+		// so skip the health hunt and go straight to the next partition —
+		// the session's own retry policy keeps failing over from there.
+		alt = (failed + 1) % t.f.numPartitions
+	default:
+		return ct, err
 	}
-	if alt < 0 {
+	if alt < 0 || alt == failed {
 		return 0, err
 	}
 	retry, berr := t.f.sess.beginAt(alt)

@@ -32,10 +32,48 @@ var (
 	// did not commit; callers can retry against a different coordinator or
 	// surface the outage. Matched with errors.Is.
 	ErrReadOnly = errors.New("core: server is read-only (durability degraded)")
+	// ErrAborted is returned by Commit when the transaction definitely did
+	// not commit: the coordinator answered a termination probe "not
+	// committed" and thereby fenced the transaction id, so the original
+	// commit can never land late. The session may safely re-run the
+	// transaction. Matched with errors.Is.
+	ErrAborted = errors.New("core: transaction aborted")
+	// ErrInDoubt is returned by Commit when the acknowledgement was lost
+	// and every termination probe also went unanswered: the transaction may
+	// or may not have committed. It wraps the original failure, so
+	// errors.Is(err, ErrTimeout) still holds. Matched with errors.Is.
+	ErrInDoubt = errors.New("core: commit outcome in doubt")
 )
 
 // DefaultRequestTimeout bounds each client-coordinator round trip.
 const DefaultRequestTimeout = 10 * time.Second
+
+// RetryPolicy controls how a client session reacts to timed-out or
+// transiently failed round trips. The zero value disables retries and
+// preserves single-attempt semantics.
+type RetryPolicy struct {
+	// Attempts is the number of additional tries after the first failure
+	// for idempotent requests (Begin, Read, Scan, Health), and the number
+	// of termination probes issued for an unacknowledged commit. Commits
+	// themselves are never resent — see Tx.Commit.
+	Attempts int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// and is capped at 500ms. Zero selects 5ms.
+	Backoff time.Duration
+}
+
+// retryDelay returns the backoff before retry number attempt (1-based).
+func (rp RetryPolicy) retryDelay(attempt int) time.Duration {
+	b := rp.Backoff
+	if b <= 0 {
+		b = 5 * time.Millisecond
+	}
+	d := b << uint(attempt-1)
+	if max := 500 * time.Millisecond; d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
 
 // ClientConfig configures a Wren client session.
 type ClientConfig struct {
@@ -54,6 +92,9 @@ type ClientConfig struct {
 	// RequestTimeout bounds each round trip. Zero selects
 	// DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// Retry controls timeout-driven retries and commit termination
+	// probing. The zero value keeps every request single-attempt.
+	Retry RetryPolicy
 	// Rand seeds coordinator selection; nil uses a time-seeded source.
 	Rand *rand.Rand
 }
@@ -127,6 +168,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 		reqID = msg.ReqID
 	case *wire.ScanResp:
 		reqID = msg.ReqID
+	case *wire.TxStatusResp:
+		reqID = msg.ReqID
 	default:
 		return
 	}
@@ -148,8 +191,9 @@ func (c *Client) Health(partition int) (readOnly bool, detail string, err error)
 	if partition < 0 || partition >= c.cfg.NumPartitions {
 		return false, "", fmt.Errorf("core: partition %d out of range [0,%d)", partition, c.cfg.NumPartitions)
 	}
-	reqID := c.reqSeq.Add(1)
-	resp, err := c.call(transport.ServerID(c.cfg.DC, partition), reqID, &wire.HealthReq{ReqID: reqID})
+	resp, err := c.callRetry(transport.ServerID(c.cfg.DC, partition), func(reqID uint64) wire.Message {
+		return &wire.HealthReq{ReqID: reqID}
+	})
 	if err != nil {
 		return false, "", err
 	}
@@ -191,6 +235,29 @@ func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.M
 	}
 }
 
+// callRetry performs a round trip, retrying timed-out or transiently
+// failed attempts per the session's retry policy. It is only safe for
+// idempotent requests: each attempt carries a fresh request id, so a late
+// response to an abandoned attempt misses the pending map and is dropped.
+func (c *Client) callRetry(to transport.NodeID, build func(reqID uint64) wire.Message) (wire.Message, error) {
+	var err error
+	for attempt := 0; attempt <= c.cfg.Retry.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Retry.retryDelay(attempt))
+		}
+		reqID := c.reqSeq.Add(1)
+		var resp wire.Message
+		resp, err = c.call(to, reqID, build(reqID))
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
 // Begin starts an interactive transaction (Algorithm 1, START): it obtains
 // the snapshot from a coordinator and prunes the client cache of entries
 // already covered by the local stable snapshot.
@@ -220,21 +287,46 @@ func (c *Client) BeginAt(coordinator int) (*Tx, error) {
 	}
 	lst, rst := c.lst, c.rst
 	dc := c.cfg.DC
-	coordPartition := coordinator
-	if coordPartition < 0 {
-		coordPartition = c.rng.Intn(c.cfg.NumPartitions)
-	}
 	c.mu.Unlock()
 
-	coord := transport.ServerID(dc, coordPartition)
-	reqID := c.reqSeq.Add(1)
-	resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, LST: lst, RST: rst})
-	if err != nil {
-		return nil, err
+	// Begin is idempotent (an unanswered StartTxReq just leaves an expiring
+	// context behind), so timeouts fail over to an alternate coordinator:
+	// any partition in the DC can serve the snapshot.
+	var st *wire.StartTxResp
+	var coord transport.NodeID
+	var coordPartition int
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retry.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Retry.retryDelay(attempt))
+		}
+		coordPartition = coordinator
+		if coordPartition < 0 {
+			c.mu.Lock()
+			coordPartition = c.rng.Intn(c.cfg.NumPartitions)
+			c.mu.Unlock()
+		} else if attempt > 0 {
+			coordPartition = (coordinator + attempt) % c.cfg.NumPartitions
+		}
+		coord = transport.ServerID(dc, coordPartition)
+		reqID := c.reqSeq.Add(1)
+		resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, LST: lst, RST: rst})
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		var ok bool
+		st, ok = resp.(*wire.StartTxResp)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected response %T to StartTxReq", resp)
+		}
+		break
 	}
-	st, ok := resp.(*wire.StartTxResp)
-	if !ok {
-		return nil, fmt.Errorf("core: unexpected response %T to StartTxReq", resp)
+	if st == nil {
+		return nil, lastErr
 	}
 
 	c.mu.Lock()
@@ -369,9 +461,8 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 	if len(missing) == 0 {
 		return result, nil
 	}
-	reqID := t.client.reqSeq.Add(1)
-	resp, err := t.client.call(t.coord, reqID, &wire.TxReadReq{
-		ReqID: reqID, TxID: t.id, Keys: missing,
+	resp, err := t.client.callRetry(t.coord, func(reqID uint64) wire.Message {
+		return &wire.TxReadReq{ReqID: reqID, TxID: t.id, Keys: missing}
 	})
 	if err != nil {
 		return nil, err
@@ -433,10 +524,11 @@ func (t *Tx) Scan(start, end string, limit int) ([]ScanKV, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			reqID := c.reqSeq.Add(1)
-			resp, err := c.call(transport.ServerID(c.cfg.DC, p), reqID, &wire.ScanReq{
-				ReqID: reqID, Start: start, End: end, Limit: uint64(limit),
-				LT: t.lt, RT: t.rt,
+			resp, err := c.callRetry(transport.ServerID(c.cfg.DC, p), func(reqID uint64) wire.Message {
+				return &wire.ScanReq{
+					ReqID: reqID, Start: start, End: end, Limit: uint64(limit),
+					LT: t.lt, RT: t.rt,
+				}
 			})
 			if err != nil {
 				errs[p] = err
@@ -579,30 +671,81 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes,
 	})
 	if err != nil {
-		return 0, err
+		if errors.Is(err, ErrClosed) || t.client.cfg.Retry.Attempts <= 0 {
+			return 0, err
+		}
+		// The acknowledgement was lost but the commit may have landed.
+		// Never resend the CommitReq — re-driving an in-doubt 2PC could
+		// double-apply — resolve the outcome via termination probes.
+		return t.resolveCommit(err)
 	}
 	cr, ok := resp.(*wire.CommitResp)
 	if !ok {
 		return 0, fmt.Errorf("core: unexpected response %T to CommitReq", resp)
 	}
-	if cr.Code != wire.CommitOK {
+	switch cr.Code {
+	case wire.CommitOK:
+	case wire.CommitErrAborted:
+		return 0, fmt.Errorf("%w: %s", ErrAborted, cr.Err)
+	default:
 		return 0, fmt.Errorf("%w: %s", ErrReadOnly, cr.Err)
 	}
 	if len(writes) == 0 {
 		return 0, nil
 	}
+	t.finishCommit(cr.CT)
+	return cr.CT, nil
+}
 
-	// Tag the write set with the commit time and move it into the client
-	// cache (Algorithm 1 lines 29–31), overwriting older duplicates.
+// finishCommit tags the write set with the commit time and moves it into
+// the client cache (Algorithm 1 lines 29–31), overwriting older
+// duplicates. Shared by the direct acknowledgement path and a committed
+// verdict from a termination probe.
+func (t *Tx) finishCommit(ct hlc.Timestamp) {
+	if ct == 0 || len(t.ws) == 0 {
+		return
+	}
 	t.client.mu.Lock()
-	if cr.CT > t.client.hwt {
-		t.client.hwt = cr.CT
+	if ct > t.client.hwt {
+		t.client.hwt = ct
 	}
 	for k, v := range t.ws {
-		t.client.cache[k] = cacheEntry{value: v, ct: cr.CT}
+		t.client.cache[k] = cacheEntry{value: v, ct: ct}
 	}
 	t.client.mu.Unlock()
-	return cr.CT, nil
+}
+
+// resolveCommit settles a commit whose acknowledgement was lost by
+// probing the coordinator with TxStatusReq. A committed verdict recovers
+// the commit timestamp and completes the session bookkeeping; a "not
+// committed" verdict is final — answering it fenced the transaction id on
+// the coordinator, so the original CommitReq can never land late and the
+// caller may safely re-run the transaction. If every probe also goes
+// unanswered (the 2PC may still be in flight, leaving the coordinator
+// deliberately silent), the outcome stays ErrInDoubt.
+func (t *Tx) resolveCommit(cause error) (hlc.Timestamp, error) {
+	c := t.client
+	for attempt := 1; attempt <= c.cfg.Retry.Attempts; attempt++ {
+		time.Sleep(c.cfg.Retry.retryDelay(attempt))
+		reqID := c.reqSeq.Add(1)
+		resp, err := c.call(t.coord, reqID, &wire.TxStatusReq{ReqID: reqID, TxID: t.id})
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return 0, err
+			}
+			continue
+		}
+		sr, ok := resp.(*wire.TxStatusResp)
+		if !ok || sr.TxID != t.id {
+			continue
+		}
+		if sr.Committed {
+			t.finishCommit(sr.CT)
+			return sr.CT, nil
+		}
+		return 0, fmt.Errorf("%w: fenced by termination probe after %v", ErrAborted, cause)
+	}
+	return 0, fmt.Errorf("%w: %w", ErrInDoubt, cause)
 }
 
 // Abort abandons the transaction, releasing its coordinator context.

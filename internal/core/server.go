@@ -727,12 +727,12 @@ func (s *Server) gossipTick() {
 				Partition: 0, Aggregate: true, Local: lst, RemoteMin: rst,
 			}
 			for p := 1; p < s.cfg.NumPartitions; p++ {
-				s.rt.Send(transport.ServerID(s.cfg.DC, p), agg)
+				s.rt.SendBounded(transport.ServerID(s.cfg.DC, p), agg)
 			}
 			return
 		}
 		// Leaf: report the local contribution to the root only.
-		s.rt.Send(transport.ServerID(s.cfg.DC, 0), &wire.StableBroadcast{
+		s.rt.SendBounded(transport.ServerID(s.cfg.DC, 0), &wire.StableBroadcast{
 			Partition: uint16(s.cfg.Partition), Local: local, RemoteMin: remoteMin,
 		})
 		return
@@ -745,7 +745,7 @@ func (s *Server) gossipTick() {
 		if p == s.cfg.Partition {
 			continue
 		}
-		s.rt.Send(transport.ServerID(s.cfg.DC, p), msg)
+		s.rt.SendBounded(transport.ServerID(s.cfg.DC, p), msg)
 	}
 }
 

@@ -23,10 +23,44 @@ var (
 	// because its durability is degraded (read-only admission). Matched
 	// with errors.Is; the transaction did not commit.
 	ErrReadOnly = errors.New("cure: server is read-only (durability degraded)")
+	// ErrAborted is returned by Commit when the transaction definitely did
+	// not commit and its id has been fenced on the coordinator, so it is
+	// safe to re-run. Matched with errors.Is.
+	ErrAborted = errors.New("cure: transaction aborted")
+	// ErrInDoubt is returned by Commit when the acknowledgement was lost
+	// and every termination probe went unanswered; it wraps the original
+	// failure. Matched with errors.Is.
+	ErrInDoubt = errors.New("cure: commit outcome in doubt")
 )
 
 // DefaultRequestTimeout bounds each client-coordinator round trip.
 const DefaultRequestTimeout = 10 * time.Second
+
+// RetryPolicy controls how a client session reacts to timed-out or
+// transiently failed round trips. The zero value disables retries and
+// preserves single-attempt semantics.
+type RetryPolicy struct {
+	// Attempts is the number of additional tries after the first failure
+	// for idempotent requests, and the number of termination probes issued
+	// for an unacknowledged commit.
+	Attempts int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// and is capped at 500ms. Zero selects 5ms.
+	Backoff time.Duration
+}
+
+// retryDelay returns the backoff before retry number attempt (1-based).
+func (rp RetryPolicy) retryDelay(attempt int) time.Duration {
+	b := rp.Backoff
+	if b <= 0 {
+		b = 5 * time.Millisecond
+	}
+	d := b << uint(attempt-1)
+	if max := 500 * time.Millisecond; d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
 
 // ClientConfig configures a Cure client session.
 type ClientConfig struct {
@@ -39,7 +73,10 @@ type ClientConfig struct {
 	// coordinator per transaction.
 	CoordinatorPartition int
 	RequestTimeout       time.Duration
-	Rand                 *rand.Rand
+	// Retry controls timeout-driven retries and commit termination
+	// probing. The zero value keeps every request single-attempt.
+	Retry RetryPolicy
+	Rand  *rand.Rand
 }
 
 // Client is a Cure/H-Cure client session. Unlike Wren clients it has no
@@ -102,6 +139,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 		reqID = msg.ReqID
 	case *wire.HealthResp:
 		reqID = msg.ReqID
+	case *wire.TxStatusResp:
+		reqID = msg.ReqID
 	default:
 		return
 	}
@@ -120,8 +159,9 @@ func (c *Client) Health(partition int) (readOnly bool, detail string, err error)
 	if partition < 0 || partition >= c.cfg.NumPartitions {
 		return false, "", fmt.Errorf("cure: partition %d out of range [0,%d)", partition, c.cfg.NumPartitions)
 	}
-	reqID := c.reqSeq.Add(1)
-	resp, err := c.call(transport.ServerID(c.cfg.DC, partition), reqID, &wire.HealthReq{ReqID: reqID})
+	resp, err := c.callRetry(transport.ServerID(c.cfg.DC, partition), func(reqID uint64) wire.Message {
+		return &wire.HealthReq{ReqID: reqID}
+	})
 	if err != nil {
 		return false, "", err
 	}
@@ -161,6 +201,29 @@ func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.M
 	}
 }
 
+// callRetry performs a round trip, retrying timed-out or transiently
+// failed attempts per the session's retry policy. It is only safe for
+// idempotent requests: each attempt carries a fresh request id, so a late
+// response to an abandoned attempt misses the pending map and is dropped.
+func (c *Client) callRetry(to transport.NodeID, build func(reqID uint64) wire.Message) (wire.Message, error) {
+	var err error
+	for attempt := 0; attempt <= c.cfg.Retry.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Retry.retryDelay(attempt))
+		}
+		reqID := c.reqSeq.Add(1)
+		var resp wire.Message
+		resp, err = c.call(to, reqID, build(reqID))
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
 // Begin starts a transaction, piggybacking the client's dependency vector.
 func (c *Client) Begin() (*Tx, error) {
 	return c.BeginAt(c.cfg.CoordinatorPartition)
@@ -187,21 +250,45 @@ func (c *Client) BeginAt(coordinator int) (*Tx, error) {
 		return nil, ErrTxOpen
 	}
 	dv := copyVec(c.dv)
-	coordPartition := coordinator
-	if coordPartition < 0 {
-		coordPartition = c.rng.Intn(c.cfg.NumPartitions)
-	}
 	c.mu.Unlock()
 
-	coord := transport.ServerID(c.cfg.DC, coordPartition)
-	reqID := c.reqSeq.Add(1)
-	resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, DV: dv})
-	if err != nil {
-		return nil, err
+	// Begin is idempotent (an unanswered StartTxReq just leaves an expiring
+	// context behind), so timeouts fail over to an alternate coordinator.
+	var st *wire.StartTxResp
+	var coord transport.NodeID
+	var coordPartition int
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retry.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Retry.retryDelay(attempt))
+		}
+		coordPartition = coordinator
+		if coordPartition < 0 {
+			c.mu.Lock()
+			coordPartition = c.rng.Intn(c.cfg.NumPartitions)
+			c.mu.Unlock()
+		} else if attempt > 0 {
+			coordPartition = (coordinator + attempt) % c.cfg.NumPartitions
+		}
+		coord = transport.ServerID(c.cfg.DC, coordPartition)
+		reqID := c.reqSeq.Add(1)
+		resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, DV: dv})
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		var ok bool
+		st, ok = resp.(*wire.StartTxResp)
+		if !ok {
+			return nil, fmt.Errorf("cure: unexpected response %T to StartTxReq", resp)
+		}
+		break
 	}
-	st, ok := resp.(*wire.StartTxResp)
-	if !ok {
-		return nil, fmt.Errorf("cure: unexpected response %T to StartTxReq", resp)
+	if st == nil {
+		return nil, lastErr
 	}
 
 	c.mu.Lock()
@@ -295,9 +382,8 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 	if len(missing) == 0 {
 		return result, nil
 	}
-	reqID := t.client.reqSeq.Add(1)
-	resp, err := t.client.call(t.coord, reqID, &wire.TxReadReq{
-		ReqID: reqID, TxID: t.id, Keys: missing,
+	resp, err := t.client.callRetry(t.coord, func(reqID uint64) wire.Message {
+		return &wire.TxReadReq{ReqID: reqID, TxID: t.id, Keys: missing}
 	})
 	if err != nil {
 		return nil, err
@@ -372,27 +458,78 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes,
 	})
 	if err != nil {
-		return 0, err
+		if errors.Is(err, ErrClosed) || t.client.cfg.Retry.Attempts <= 0 {
+			return 0, err
+		}
+		// The acknowledgement was lost but the commit may have landed.
+		// Never resend the CommitReq — re-driving an in-doubt 2PC could
+		// double-apply — resolve the outcome via termination probes.
+		return t.resolveCommit(err)
 	}
 	cr, ok := resp.(*wire.CommitResp)
 	if !ok {
 		return 0, fmt.Errorf("cure: unexpected response %T to CommitReq", resp)
 	}
-	if cr.Code != wire.CommitOK {
+	switch cr.Code {
+	case wire.CommitOK:
+	case wire.CommitErrAborted:
+		return 0, fmt.Errorf("%w: %s", ErrAborted, cr.Err)
+	default:
 		return 0, fmt.Errorf("%w: %s", ErrReadOnly, cr.Err)
 	}
 	if len(writes) == 0 {
 		return 0, nil
 	}
-	t.client.mu.Lock()
-	if cr.CT > t.client.hwt {
-		t.client.hwt = cr.CT
-	}
-	if cr.CT > t.client.dv[t.client.cfg.DC] {
-		t.client.dv[t.client.cfg.DC] = cr.CT
-	}
-	t.client.mu.Unlock()
+	t.finishCommit(cr.CT)
 	return cr.CT, nil
+}
+
+// finishCommit folds the commit timestamp into the client's dependency
+// vector and high-water mark. Shared by the direct acknowledgement path
+// and a committed verdict from a termination probe.
+func (t *Tx) finishCommit(ct hlc.Timestamp) {
+	if ct == 0 || len(t.ws) == 0 {
+		return
+	}
+	c := t.client
+	c.mu.Lock()
+	if ct > c.hwt {
+		c.hwt = ct
+	}
+	if ct > c.dv[c.cfg.DC] {
+		c.dv[c.cfg.DC] = ct
+	}
+	c.mu.Unlock()
+}
+
+// resolveCommit settles a commit whose acknowledgement was lost by
+// probing the coordinator with TxStatusReq; the CommitReq is never
+// resent. A "not committed" verdict fenced the transaction id on the
+// coordinator, so re-running the transaction is safe; unanswered probes
+// leave the outcome ErrInDoubt.
+func (t *Tx) resolveCommit(cause error) (hlc.Timestamp, error) {
+	c := t.client
+	for attempt := 1; attempt <= c.cfg.Retry.Attempts; attempt++ {
+		time.Sleep(c.cfg.Retry.retryDelay(attempt))
+		reqID := c.reqSeq.Add(1)
+		resp, err := c.call(t.coord, reqID, &wire.TxStatusReq{ReqID: reqID, TxID: t.id})
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return 0, err
+			}
+			continue
+		}
+		sr, ok := resp.(*wire.TxStatusResp)
+		if !ok || sr.TxID != t.id {
+			continue
+		}
+		if sr.Committed {
+			t.finishCommit(sr.CT)
+			return sr.CT, nil
+		}
+		return 0, fmt.Errorf("%w: fenced by termination probe after %v", ErrAborted, cause)
+	}
+	return 0, fmt.Errorf("%w: %w", ErrInDoubt, cause)
 }
 
 // Abort abandons the transaction, releasing its coordinator context.

@@ -385,7 +385,7 @@ func (p *cureProtocol) GossipTick() {
 		if q == s.cfg.Partition {
 			continue
 		}
-		s.rt.Send(transport.ServerID(s.cfg.DC, q), msg)
+		s.rt.SendBounded(transport.ServerID(s.cfg.DC, q), msg)
 	}
 }
 

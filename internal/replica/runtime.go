@@ -32,6 +32,7 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -91,6 +92,20 @@ const resendBatchSize = 128
 // the GC loop's: GC is an optional subsystem (GCInterval <= 0 disables it)
 // and 2PC termination must not be.
 const lifecycleInterval = time.Second
+
+// decisionGenSize bounds the in-memory commit-decision dedupe map: when
+// the current generation fills, it becomes the previous generation and a
+// fresh one starts, so lookups cover at least the last decisionGenSize
+// outcomes. Sized generously — a client termination probe fenced against
+// an outcome that already rotated out of BOTH generations would falsely
+// abort, so the window must comfortably exceed the commits a coordinator
+// can decide within a client's probe horizon.
+const decisionGenSize = 1 << 16
+
+// liveResyncStallTicks is how many lifecycle ticks a peer DC's
+// unreplicated tail may sit with an unchanged head before the tail is
+// re-sent as resync batches (lost acknowledgements or a recovered link).
+const liveResyncStallTicks = 3
 
 // seqBlockSize is how many transaction sequence numbers a server reserves
 // from its transaction log at a time. Ids must be reserved durably BEFORE
@@ -276,8 +291,12 @@ type prepareVote struct {
 }
 
 // prepareCall collects PrepareResp messages for one committing transaction.
+// seen (guarded by Runtime.mu) deduplicates votes by request id: a
+// duplicated or resent PrepareResp must not count twice, or the collection
+// would finish before every real cohort answered.
 type prepareCall struct {
-	ch chan prepareVote
+	ch   chan prepareVote
+	seen map[uint64]struct{}
 }
 
 // Runtime is the shared replica core under one partition server. The
@@ -362,6 +381,37 @@ type Runtime struct {
 	peerOldest     []hlc.Timestamp // per-partition gossiped oldest active snapshots
 	pendingPrepare map[uint64]*prepareCall
 
+	// decisions / decisionsPrev (guarded by mu) record the recent outcomes
+	// of this coordinator's write commits by transaction id: the commit
+	// timestamp, or zero for aborted-or-fenced. They make the commit path
+	// idempotent against duplicated or resent CommitReqs — a duplicate of
+	// a decided transaction is answered with the same outcome instead of
+	// re-running the 2PC at a new timestamp — and back the client-facing
+	// termination probe on backends without a transaction log. Bounded by
+	// generational rotation; see recordDecisionLocked.
+	decisions     map[uint64]hlc.Timestamp
+	decisionsPrev map[uint64]hlc.Timestamp
+
+	// replWM[dc] is the highest replicated commit timestamp applied from
+	// that DC's sender: batches at or below it were already installed, so
+	// a duplicated frame (chaos duplication, a TCP resend across a
+	// reconnect) deduplicates instead of double-applying.
+	replWM hlc.AtomicVector
+
+	// replPrev[dc] is the commit timestamp of the last transaction this
+	// server shipped to that DC (ordinary or resync); it stamps each
+	// ordinary Replicate batch's Prev so the receiver can detect a lost
+	// predecessor and refuse to apply past the gap.
+	replPrev hlc.AtomicVector
+
+	// tailHead/tailStall track, per peer DC, how long the unreplicated
+	// committed tail has sat with the same head (its acks lost or the peer
+	// temporarily unreachable); after liveResyncStallTicks lifecycle ticks
+	// the tail is re-sent as dedupe-safe resync batches. Touched only by
+	// the lifecycle loop.
+	tailHead  []hlc.Timestamp
+	tailStall []int
+
 	reqSeq atomic.Uint64
 	txSeq  atomic.Uint64
 
@@ -429,6 +479,11 @@ func New(cfg Config, proto Protocol, ctr Counters) (*Runtime, error) {
 		peerOldest:     make([]hlc.Timestamp, cfg.NumPartitions),
 		pendingSlice:   stripemap.New[*fanin.TxRead](0),
 		pendingPrepare: make(map[uint64]*prepareCall),
+		decisions:      make(map[uint64]hlc.Timestamp),
+		replWM:         hlc.NewAtomicVector(cfg.NumDCs),
+		replPrev:       hlc.NewAtomicVector(cfg.NumDCs),
+		tailHead:       make([]hlc.Timestamp, cfg.NumDCs),
+		tailStall:      make([]int, cfg.NumDCs),
 		stop:           make(chan struct{}),
 	}
 	if tl != nil {
@@ -524,6 +579,57 @@ func (r *Runtime) Send(to transport.NodeID, m wire.Message) {
 	_ = r.cfg.Network.Send(r.id, to, m)
 }
 
+// SendBounded transmits protocol maintenance traffic — replication
+// batches, stabilization gossip, resync tails — absorbing transient
+// delivery errors (a TCP peer shedding load, a link mid-redial) with a
+// few short-backoff retries instead of silently dropping. Unlike
+// sendRetry it gives up quickly: every caller's traffic is re-generated
+// by a periodic loop, so the backstop is the next tick, not an unbounded
+// retry. Runs only on protocol loop goroutines, which may stall briefly;
+// never on a delivery handler. Reports whether the send was accepted.
+func (r *Runtime) SendBounded(to transport.NodeID, m wire.Message) bool {
+	const attempts = 4
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-r.stop:
+				return false
+			case <-time.After(time.Duration(i) * 2 * time.Millisecond):
+			}
+		}
+		err := r.cfg.Network.Send(r.id, to, m)
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, transport.ErrClosed) {
+			return false
+		}
+	}
+	return false
+}
+
+// recordDecisionLocked remembers a commit outcome (ct, or zero for
+// aborted/fenced) for duplicate-CommitReq dedupe and client termination
+// probes. Generational rotation bounds the memory: when the current map
+// fills it becomes the previous generation, so at least the last
+// decisionGenSize outcomes stay resolvable. Caller holds r.mu.
+func (r *Runtime) recordDecisionLocked(txID uint64, ct hlc.Timestamp) {
+	if len(r.decisions) >= decisionGenSize {
+		r.decisionsPrev = r.decisions
+		r.decisions = make(map[uint64]hlc.Timestamp, decisionGenSize)
+	}
+	r.decisions[txID] = ct
+}
+
+// lookupDecisionLocked resolves a recorded outcome. Caller holds r.mu.
+func (r *Runtime) lookupDecisionLocked(txID uint64) (hlc.Timestamp, bool) {
+	if ct, ok := r.decisions[txID]; ok {
+		return ct, true
+	}
+	ct, ok := r.decisionsPrev[txID]
+	return ct, ok
+}
+
 // TxApplied reports whether the storage engine already holds a version
 // written by txID under key — the idempotence check recovery replay and
 // resync application run before re-inserting a transaction's writes.
@@ -608,6 +714,7 @@ func (r *Runtime) resendTailTo(dc int, tail []*txlog.CommittedTx) {
 		if !r.sendRetry(transport.ServerID(dc, r.cfg.Partition), batch) {
 			return
 		}
+		r.replPrev.Advance(dc, batch.Txs[len(batch.Txs)-1].CT)
 	}
 	r.resyncTailSent[dc].Store(true)
 }
@@ -864,8 +971,32 @@ func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare f
 		cohorts = append(cohorts, cohortWrites{partition: p, writes: ws})
 	}
 
-	call := &prepareCall{ch: make(chan prepareVote, len(cohorts))}
+	call := &prepareCall{
+		ch:   make(chan prepareVote, len(cohorts)),
+		seen: make(map[uint64]struct{}, len(cohorts)),
+	}
 	r.mu.Lock()
+	if ct, decided := r.lookupDecisionLocked(m.TxID); decided {
+		// A duplicated or resent CommitReq for a transaction this
+		// coordinator already decided: answer with the same outcome.
+		// Re-running the 2PC would commit the write set a second time at a
+		// new timestamp — or, after a "not committed" probe verdict fenced
+		// the id, commit a transaction the client was told had failed.
+		r.mu.Unlock()
+		if ct > 0 {
+			r.Send(from, &wire.CommitResp{ReqID: m.ReqID, CT: ct})
+		} else {
+			r.Send(from, &wire.CommitResp{ReqID: m.ReqID, Code: wire.CommitErrAborted,
+				Err: "transaction aborted (fenced by termination probe)"})
+		}
+		return
+	}
+	if _, inFlight := r.pendingPrepare[m.TxID]; inFlight {
+		// Duplicate of an in-flight commit: the original's collection will
+		// answer the client; a second collection would double-prepare.
+		r.mu.Unlock()
+		return
+	}
 	r.pendingPrepare[m.TxID] = call
 	r.mu.Unlock()
 
@@ -899,14 +1030,17 @@ func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare f
 		// decision log, so the in-flight window must never show a gap — a
 		// cohort that restarted mid-2PC probes for exactly this state, and
 		// a false final verdict would abort a prepare this decision is
-		// about to commit.
-		finish := func() {
+		// about to commit. The outcome is recorded in the same critical
+		// section for the same reason: a duplicate CommitReq between the
+		// delete and the record would slip past both dedupe checks.
+		finish := func(outcome hlc.Timestamp) {
 			r.mu.Lock()
 			delete(r.pendingPrepare, m.TxID)
+			r.recordDecisionLocked(m.TxID, outcome)
 			r.mu.Unlock()
 		}
 		abort := func(errText string) {
-			finish()
+			finish(0)
 			for _, c := range cohorts {
 				r.Send(transport.ServerID(r.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: 0})
 			}
@@ -942,7 +1076,7 @@ func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare f
 				return
 			}
 		}
-		finish()
+		finish(ct)
 		for _, c := range cohorts {
 			r.Send(transport.ServerID(r.cfg.DC, c.partition), &wire.CommitTx{TxID: m.TxID, CT: ct})
 		}
@@ -1014,9 +1148,23 @@ func (r *Runtime) checkedPrepareResp(resp *wire.PrepareResp) *wire.PrepareResp {
 func (r *Runtime) handlePrepareResp(m *wire.PrepareResp) {
 	r.mu.Lock()
 	call := r.pendingPrepare[m.TxID]
-	r.mu.Unlock()
 	if call != nil {
-		call.ch <- prepareVote{pt: m.PT, err: m.Err}
+		if _, dup := call.seen[m.ReqID]; dup {
+			call = nil // duplicated vote: count each cohort's answer once
+		} else {
+			call.seen[m.ReqID] = struct{}{}
+		}
+	}
+	r.mu.Unlock()
+	if call == nil {
+		return
+	}
+	select {
+	case call.ch <- prepareVote{pt: m.PT, err: m.Err}:
+	default:
+		// The channel holds one slot per cohort and votes deduplicate by
+		// request id above, so it cannot fill — but a delivery goroutine
+		// must never block on the commit path regardless.
 	}
 }
 
@@ -1045,6 +1193,10 @@ func (r *Runtime) HandleCommitTx(from transport.NodeID, m *wire.CommitTx) {
 	committed := false
 	if p, ok := r.prepared[m.TxID]; ok {
 		delete(r.prepared, m.TxID)
+		// A recovered copy of the same prepare (the coordinator's CommitReq
+		// was resent across a restart) must go with it, or a later
+		// termination probe would commit the write set a second time.
+		delete(r.recovered, m.TxID)
 		r.committed = append(r.committed, &txlog.CommittedTx{
 			TxID: m.TxID, CT: m.CT, RST: p.RST, SV: p.SV, Writes: p.Writes,
 		})
@@ -1126,13 +1278,54 @@ func (r *Runtime) handleHealthReq(from transport.NodeID, m *wire.HealthReq) {
 
 // handleReplicate applies remotely committed transactions (Algorithm 4
 // lines 22–26). FIFO links guarantee commit-timestamp order per sender.
-// Resync batches — a restarted sender replaying its unconfirmed tail — are
-// deduplicated per transaction against the engine; ordinary batches skip
-// that check. When the transaction log is enabled the batch is
-// acknowledged so the sender's replication cursor can advance.
+// Resync batches — a sender replaying its unconfirmed tail — are
+// deduplicated per transaction against the engine; ordinary batches are
+// deduplicated against the per-sender watermark, so a duplicated frame or
+// a TCP resend across a reconnect is applied exactly once. When the
+// transaction log is enabled the batch is acknowledged so the sender's
+// replication cursor can advance; fully-seen duplicates still re-ack —
+// the duplicate usually means the first acknowledgement was lost.
 func (r *Runtime) handleReplicate(m *wire.Replicate) {
+	if len(m.Txs) == 0 {
+		return
+	}
+	last := m.Txs[len(m.Txs)-1].CT
+	wm := r.replWM.Load(int(m.SrcDC))
+	ack := func() {
+		if r.tl != nil && r.Healthy() == nil {
+			// The engine write honored the fsync policy, so the ack's
+			// durability statement is exactly as strong as every other one
+			// — unless this replica's write path is degraded and the batch
+			// only reached memory: then the ack is withheld, the sender's
+			// cursor stays put, and its retained tail can still resync us
+			// after a restart instead of leaving the DCs durably diverged.
+			// The Resync echo lets the sender's cursor pin distinguish tail
+			// confirmation from ordinary traffic.
+			r.Send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
+				&wire.ReplicateAck{DC: uint8(r.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
+		}
+	}
+	if last <= wm {
+		// Every transaction in the batch was already applied here.
+		ack()
+		return
+	}
+	if !m.Resync && m.Prev > wm && r.tl != nil {
+		// Gap: the sender shipped an earlier batch (ending at Prev) that
+		// never arrived. Applying this one would advance the watermark and
+		// version vector past transactions we do not hold — and its
+		// acknowledgement would move the sender's cursor over the hole,
+		// dropping the lost batch from the retained tail for good. Refuse
+		// it unacknowledged instead: the sender's cursor stalls at the
+		// hole and live resync replays the tail in order. (Without a
+		// transaction log there is no cursor or resync to recover with, so
+		// the legacy accept-in-order behavior stands.)
+		return
+	}
 	var skip SkipFunc
-	if m.Resync {
+	if m.Resync || m.Txs[0].CT <= wm {
+		// Resync replay, or a partial overlap with already-applied traffic:
+		// dedupe per transaction against the engine.
 		skip = r.TxApplied
 	}
 	var puts []store.KV
@@ -1141,24 +1334,10 @@ func (r *Runtime) handleReplicate(m *wire.Replicate) {
 	}
 	r.st.PutBatch(puts)
 	r.ctr.ReplTxApplied.Add(uint64(len(puts)))
-	if len(m.Txs) == 0 {
-		return
-	}
-	last := m.Txs[len(m.Txs)-1].CT
+	r.replWM.Advance(int(m.SrcDC), last)
 	r.VV.Advance(int(m.SrcDC), last)
 	r.proto.AfterInstall()
-	if r.tl != nil && r.Healthy() == nil {
-		// The engine write above honored the fsync policy, so the ack's
-		// durability statement is exactly as strong as every other one —
-		// unless this replica's write path is degraded and the batch only
-		// reached memory: then the ack is withheld, the sender's cursor
-		// stays put, and its retained tail can still resync us after a
-		// restart instead of leaving the DCs durably diverged. The Resync
-		// echo lets the sender's cursor pin distinguish tail confirmation
-		// from ordinary traffic.
-		r.Send(transport.ServerID(int(m.SrcDC), int(m.Partition)),
-			&wire.ReplicateAck{DC: uint8(r.cfg.DC), Partition: m.Partition, UpTo: last, Resync: m.Resync})
-	}
+	ack()
 }
 
 // handleHeartbeat advances the version-vector entry of an idle remote
@@ -1287,14 +1466,27 @@ func (r *Runtime) ApplyTick(heartbeat bool) {
 				for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
 					batch.Txs = append(batch.Txs, r.proto.ReplTxRecord(t))
 				}
-				r.Send(transport.ServerID(dc, r.cfg.Partition), batch)
+				r.SendBounded(transport.ServerID(dc, r.cfg.Partition), batch)
+				r.replPrev.Advance(dc, batch.Txs[len(batch.Txs)-1].CT)
 			}
 			r.resyncDone[dc] = true
 			continue
 		}
+		prev := r.replPrev.Load(dc)
 		for _, b := range batches {
-			r.Send(transport.ServerID(dc, r.cfg.Partition), b)
+			// Chain the batch to its per-DC predecessor so a receiver that
+			// missed one refuses everything after it, and send with bounded
+			// retry: a transiently refused batch (an overloaded TCP peer
+			// queue) is retried briefly rather than dropped — a lost batch
+			// is otherwise only recovered by resync. The batch is shared
+			// across destination DCs, so the per-DC chain stamp goes on a
+			// shallow copy (the Txs slice is immutable once built).
+			bb := *b
+			bb.Prev = prev
+			r.SendBounded(transport.ServerID(dc, r.cfg.Partition), &bb)
+			prev = b.Txs[len(b.Txs)-1].CT
 		}
+		r.replPrev.Advance(dc, prev)
 		if heartbeat && !hadCommitted {
 			r.Send(transport.ServerID(dc, r.cfg.Partition), hb)
 		}
@@ -1466,16 +1658,69 @@ func (r *Runtime) txLifecycleTick(now time.Time) {
 			r.Send(transport.ServerID(r.cfg.DC, int(p)), &wire.CommitTx{TxID: c.TxID, CT: c.CT})
 		}
 	}
+	r.liveResyncTick()
 }
 
-// handleTxStatusReq answers a cohort's 2PC-termination probe from the
-// coordinator's logged decisions. "No decision retained" is a final abort
+// liveResyncTick is the running counterpart of restart resync: when a
+// peer DC's replication cursor has not advanced for several ticks while a
+// committed tail is outstanding — its batches or their acknowledgements
+// lost to a broken link, a shed queue, or a peer crash — the tail is
+// re-sent as dedupe-safe resync batches. The receiver's watermark and
+// per-transaction engine check apply each transaction exactly once and
+// re-acknowledge, so a stall caused by lost acks alone resolves without
+// moving any data.
+func (r *Runtime) liveResyncTick() {
+	r.applyMu.Lock()
+	ready := append([]bool(nil), r.resyncDone...)
+	r.applyMu.Unlock()
+	for dc := 0; dc < r.cfg.NumDCs; dc++ {
+		// Skip peers whose restart resync is still in flight: ApplyTick
+		// owns that replay and gates ordinary replication behind it.
+		if dc == r.cfg.DC || !ready[dc] {
+			continue
+		}
+		tail := r.tl.UnreplicatedTail(dc)
+		if len(tail) == 0 {
+			r.tailHead[dc], r.tailStall[dc] = 0, 0
+			continue
+		}
+		if head := tail[0].CT; head != r.tailHead[dc] {
+			r.tailHead[dc], r.tailStall[dc] = head, 0
+			continue
+		}
+		if r.tailStall[dc]++; r.tailStall[dc] < liveResyncStallTicks {
+			continue
+		}
+		r.tailStall[dc] = 0
+		for i := 0; i < len(tail); i += resendBatchSize {
+			batch := &wire.Replicate{SrcDC: uint8(r.cfg.DC), Partition: uint16(r.cfg.Partition), Resync: true}
+			for _, t := range tail[i:min(i+resendBatchSize, len(tail))] {
+				batch.Txs = append(batch.Txs, r.proto.ReplTxRecord(t))
+			}
+			if !r.SendBounded(transport.ServerID(dc, r.cfg.Partition), batch) {
+				break
+			}
+			r.replPrev.Advance(dc, batch.Txs[len(batch.Txs)-1].CT)
+		}
+	}
+}
+
+// handleTxStatusReq answers a 2PC-termination probe from the
+// coordinator's decisions. "No decision retained" is a final abort
 // verdict for a cohort still holding the prepare — either the client was
 // never acknowledged, or the decision was resolved, which requires that
 // very cohort's durable-commit ack, contradicting a still-dangling
 // prepare — UNLESS the 2PC is still collecting votes: then the outcome is
 // genuinely undecided (a slow sibling cohort can stall it past the probe
-// grace) and the coordinator stays silent, leaving the cohort to re-probe.
+// grace) and the coordinator stays silent, leaving the prober to retry.
+//
+// Clients send the same probe (with a non-zero ReqID) after a commit
+// times out. For them the in-memory decision record answers too — it
+// covers resolved decisions the txlog no longer retains, and backends
+// without a log at all — and a "not committed" answer FENCES the
+// transaction id: the verdict licenses the client to re-drive its write
+// set on another coordinator, so a delayed CommitReq surfacing later must
+// find the id already aborted, never a fresh 2PC.
 func (r *Runtime) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) {
 	var ct hlc.Timestamp
 	var ok bool
@@ -1484,13 +1729,21 @@ func (r *Runtime) handleTxStatusReq(from transport.NodeID, m *wire.TxStatusReq) 
 	}
 	if !ok {
 		r.mu.Lock()
-		_, inFlight := r.pendingPrepare[m.TxID]
-		r.mu.Unlock()
-		if inFlight {
-			return
+		if c, decided := r.lookupDecisionLocked(m.TxID); decided && c > 0 {
+			ct, ok = c, true
 		}
+		if !ok {
+			if _, inFlight := r.pendingPrepare[m.TxID]; inFlight {
+				r.mu.Unlock()
+				return
+			}
+			if m.ReqID != 0 {
+				r.recordDecisionLocked(m.TxID, 0)
+			}
+		}
+		r.mu.Unlock()
 	}
-	r.Send(from, &wire.TxStatusResp{TxID: m.TxID, CT: ct, Committed: ok})
+	r.Send(from, &wire.TxStatusResp{ReqID: m.ReqID, TxID: m.TxID, CT: ct, Committed: ok})
 }
 
 // handleTxStatusResp settles a recovered prepare: a committed verdict

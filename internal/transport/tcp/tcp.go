@@ -9,6 +9,16 @@
 // the FIFO channel assumption of the protocols. Responses to clients reuse
 // the inbound connection the request arrived on, so clients need no listen
 // address.
+//
+// Links self-heal. Each configured peer gets a dedicated writer goroutine
+// draining a bounded outbound queue; when a write or read fails the
+// connection is torn down and the writer redials with capped exponential
+// backoff plus jitter, bumping the link's epoch on every successful
+// (re)establishment. A frame that failed mid-write is resent on the next
+// epoch — delivery is at-least-once across reconnects, and the protocols
+// deduplicate. When the queue is full, Send sheds the message with
+// transport.ErrOverloaded instead of blocking the caller. Dead learned
+// (inbound) connections are evicted immediately, never poisoning a route.
 package tcp
 
 import (
@@ -16,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wren/internal/transport"
@@ -27,6 +39,9 @@ import (
 const (
 	headerLen    = 4 + 1 + 4 + 4
 	maxFrameSize = 64 << 20
+	// maxRetainedReadBuf caps the per-connection read scratch kept between
+	// frames; a rare huge frame doesn't pin its buffer forever.
+	maxRetainedReadBuf = 1 << 20
 )
 
 // ErrClosed is returned by Send after Close.
@@ -47,6 +62,26 @@ type Config struct {
 	Peers map[transport.NodeID]string
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s). A stalled peer
+	// fails the write, tearing the connection down for redial, instead of
+	// wedging the writer goroutine forever.
+	WriteTimeout time.Duration
+	// MaxQueuedFrames bounds each peer's outbound queue (default 1024).
+	// When full, Send returns transport.ErrOverloaded.
+	MaxQueuedFrames int
+	// RedialBackoff is the base delay before the first redial attempt
+	// (default 50ms); it doubles per consecutive failure up to
+	// RedialBackoffCap (default 2s), with uniform jitter in [0.5x, 1.5x).
+	RedialBackoff    time.Duration
+	RedialBackoffCap time.Duration
+}
+
+// Stats counts connection lifecycle events since the network was created.
+type Stats struct {
+	Dials      uint64 // successful connection establishments
+	Redials    uint64 // subset of Dials that replaced a failed connection
+	Evictions  uint64 // connections torn down after a read/write error
+	Overloaded uint64 // sends shed because a peer queue was full
 }
 
 // Network is a TCP-backed transport.Network for a single local node.
@@ -54,12 +89,14 @@ type Network struct {
 	cfg      Config
 	listener net.Listener
 
-	mu       sync.Mutex
-	handler  transport.Handler // handler for Self
-	outbound map[transport.NodeID]*peerConn
-	learned  map[transport.NodeID]*peerConn // inbound connections by sender
-	allConns []*peerConn                    // every connection ever opened
-	closed   bool
+	mu      sync.Mutex
+	handler transport.Handler // handler for Self
+	peers   map[transport.NodeID]*peer
+	learned map[transport.NodeID]*peerConn // inbound connections by sender
+	conns   map[*peerConn]struct{}         // every live connection; pruned on close
+	closed  bool
+
+	dials, redials, evictions, overloaded atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -71,10 +108,23 @@ func New(cfg Config) (*Network, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.MaxQueuedFrames == 0 {
+		cfg.MaxQueuedFrames = 1024
+	}
+	if cfg.RedialBackoff == 0 {
+		cfg.RedialBackoff = 50 * time.Millisecond
+	}
+	if cfg.RedialBackoffCap == 0 {
+		cfg.RedialBackoffCap = 2 * time.Second
+	}
 	n := &Network{
-		cfg:      cfg,
-		outbound: make(map[transport.NodeID]*peerConn),
-		learned:  make(map[transport.NodeID]*peerConn),
+		cfg:     cfg,
+		peers:   make(map[transport.NodeID]*peer),
+		learned: make(map[transport.NodeID]*peerConn),
+		conns:   make(map[*peerConn]struct{}),
 	}
 	if cfg.ListenAddr != "" {
 		l, err := net.Listen("tcp", cfg.ListenAddr)
@@ -106,6 +156,30 @@ func (n *Network) Register(id transport.NodeID, h transport.Handler) {
 	}
 }
 
+// Stats returns a snapshot of the connection lifecycle counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Dials:      n.dials.Load(),
+		Redials:    n.redials.Load(),
+		Evictions:  n.evictions.Load(),
+		Overloaded: n.overloaded.Load(),
+	}
+}
+
+// Epoch reports how many times the managed connection to the given peer
+// has been successfully (re)established; zero when never connected.
+func (n *Network) Epoch(to transport.NodeID) uint64 {
+	n.mu.Lock()
+	p := n.peers[to]
+	n.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
 // Send implements transport.Network.
 func (n *Network) Send(from, to transport.NodeID, m wire.Message) error {
 	if to == n.cfg.Self {
@@ -123,63 +197,35 @@ func (n *Network) Send(from, to transport.NodeID, m wire.Message) error {
 		}
 		return nil
 	}
-	pc, err := n.connTo(to)
-	if err != nil {
-		return err
-	}
-	return pc.write(from, m)
-}
-
-func (n *Network) connTo(to transport.NodeID) (*peerConn, error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if pc, ok := n.outbound[to]; ok {
-		n.mu.Unlock()
-		return pc, nil
-	}
-	if pc, ok := n.learned[to]; ok {
-		n.mu.Unlock()
-		return pc, nil
-	}
-	addr, ok := n.cfg.Peers[to]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNoRoute, to)
-	}
-
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("tcp: dial %v at %s: %w", to, addr, err)
-	}
-	pc := newPeerConn(conn)
 
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		_ = conn.Close()
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	if existing, ok := n.outbound[to]; ok {
-		// Lost a dial race; keep the first connection.
+	if addr, ok := n.cfg.Peers[to]; ok {
+		p := n.peers[to]
+		if p == nil {
+			p = newPeer(n, to, addr)
+			n.peers[to] = p
+		}
 		n.mu.Unlock()
-		_ = conn.Close()
-		return existing, nil
+		return p.enqueue(outMsg{from: from, m: m})
 	}
-	n.outbound[to] = pc
-	n.allConns = append(n.allConns, pc)
+	pc := n.learned[to]
 	n.mu.Unlock()
-
-	// Read responses arriving on this outbound connection too (servers
-	// reply over the connection the request came from).
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		n.readLoop(pc)
-	}()
-	return pc, nil
+	if pc == nil {
+		return fmt.Errorf("%w: %v", ErrNoRoute, to)
+	}
+	// Learned (inbound) connections have no writer goroutine: replies are
+	// written synchronously under a deadline, and a dead connection is
+	// evicted so the next request's connection can be learned fresh.
+	if err := pc.write(from, m, n.cfg.WriteTimeout); err != nil {
+		n.evictions.Add(1)
+		n.forgetConn(pc, nil)
+		return fmt.Errorf("tcp: write to %v: %w", to, err)
+	}
+	return nil
 }
 
 // Close implements transport.Network.
@@ -190,13 +236,22 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
-	conns := make([]*peerConn, len(n.allConns))
-	copy(conns, n.allConns)
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]*peerConn, 0, len(n.conns))
+	for pc := range n.conns {
+		conns = append(conns, pc)
+	}
 	listener := n.listener
 	n.mu.Unlock()
 
 	if listener != nil {
 		_ = listener.Close()
+	}
+	for _, p := range peers {
+		p.close()
 	}
 	for _, pc := range conns {
 		pc.close()
@@ -212,34 +267,67 @@ func (n *Network) acceptLoop() {
 			return // listener closed
 		}
 		pc := newPeerConn(conn)
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
+		if !n.trackConn(pc) {
 			pc.close()
 			return
 		}
-		n.allConns = append(n.allConns, pc)
-		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.readLoop(pc)
+			n.readLoop(pc, nil)
 		}()
+	}
+}
+
+// trackConn records a live connection for Close; false when already closed.
+func (n *Network) trackConn(pc *peerConn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.conns[pc] = struct{}{}
+	return true
+}
+
+// forgetConn closes pc and removes every route through it: the live-conn
+// set, any learned entries, and the owning peer's current connection (so
+// the next queued frame redials immediately instead of failing first).
+func (n *Network) forgetConn(pc *peerConn, owner *peer) {
+	pc.close()
+	n.mu.Lock()
+	delete(n.conns, pc)
+	for id, l := range n.learned {
+		if l == pc {
+			delete(n.learned, id)
+		}
+	}
+	n.mu.Unlock()
+	if owner != nil {
+		owner.mu.Lock()
+		if owner.conn == pc {
+			owner.conn = nil
+		}
+		owner.mu.Unlock()
 	}
 }
 
 // readLoop decodes frames and dispatches them to the local handler,
 // learning the sender's identity so replies can reuse the connection.
-func (n *Network) readLoop(pc *peerConn) {
-	defer pc.close()
+// owner is non-nil for managed (dialed) connections.
+func (n *Network) readLoop(pc *peerConn, owner *peer) {
+	defer n.forgetConn(pc, owner)
 	for {
 		from, msg, err := pc.read()
 		if err != nil {
 			return
 		}
 		n.mu.Lock()
-		if _, known := n.learned[from]; !known {
-			if _, out := n.outbound[from]; !out {
+		if _, hasAddr := n.cfg.Peers[from]; !hasAddr {
+			// No configured route back: remember this connection. A fresh
+			// connection from the same sender (e.g. a restarted client)
+			// replaces the old entry.
+			if n.learned[from] != pc {
 				n.learned[from] = pc
 			}
 		}
@@ -255,12 +343,207 @@ func (n *Network) readLoop(pc *peerConn) {
 	}
 }
 
-// peerConn wraps one TCP connection with serialized framed writes.
+// outMsg is one queued outbound message; frames are encoded at write time
+// so the pooled encoder keeps the steady-state path allocation-free.
+type outMsg struct {
+	from transport.NodeID
+	m    wire.Message
+}
+
+// peer manages the self-healing link to one configured destination.
+type peer struct {
+	n    *Network
+	to   transport.NodeID
+	addr string
+
+	mu     sync.Mutex
+	q      []outMsg
+	conn   *peerConn // current epoch's connection, nil while down
+	epoch  uint64
+	closed bool
+
+	notify chan struct{}
+	done   chan struct{}
+}
+
+func newPeer(n *Network, to transport.NodeID, addr string) *peer {
+	p := &peer{
+		n:      n,
+		to:     to,
+		addr:   addr,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		p.run()
+	}()
+	return p
+}
+
+func (p *peer) enqueue(msg outMsg) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if len(p.q) >= p.n.cfg.MaxQueuedFrames {
+		p.mu.Unlock()
+		p.n.overloaded.Add(1)
+		return fmt.Errorf("%w: %d frames queued to %v", transport.ErrOverloaded, p.n.cfg.MaxQueuedFrames, p.to)
+	}
+	p.q = append(p.q, msg)
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pc := p.conn
+	p.conn = nil
+	p.q = nil
+	p.mu.Unlock()
+	close(p.done)
+	if pc != nil {
+		pc.close()
+	}
+}
+
+// run is the writer loop: peek the head frame, ensure a live connection
+// (redialing with backoff as needed), write, and only then pop — a frame
+// that fails mid-write is retried on the next connection epoch.
+func (p *peer) run() {
+	for {
+		msg, ok := p.peek()
+		if !ok {
+			return
+		}
+		pc := p.ensureConn()
+		if pc == nil {
+			return // closed while (re)dialing
+		}
+		if err := pc.write(msg.from, msg.m, p.n.cfg.WriteTimeout); err != nil {
+			p.n.evictions.Add(1)
+			p.n.forgetConn(pc, p)
+			continue // redial and resend the same frame
+		}
+		p.pop()
+	}
+}
+
+// peek blocks until a frame is queued, returning false when closed.
+func (p *peer) peek() (outMsg, bool) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return outMsg{}, false
+		}
+		if len(p.q) > 0 {
+			msg := p.q[0]
+			p.mu.Unlock()
+			return msg, true
+		}
+		p.mu.Unlock()
+		select {
+		case <-p.notify:
+		case <-p.done:
+			return outMsg{}, false
+		}
+	}
+}
+
+func (p *peer) pop() {
+	p.mu.Lock()
+	if len(p.q) > 0 {
+		copy(p.q, p.q[1:])
+		p.q[len(p.q)-1] = outMsg{}
+		p.q = p.q[:len(p.q)-1]
+	}
+	p.mu.Unlock()
+}
+
+// ensureConn returns the live connection, dialing with capped exponential
+// backoff plus jitter until it succeeds or the peer closes (nil).
+func (p *peer) ensureConn() *peerConn {
+	p.mu.Lock()
+	pc := p.conn
+	p.mu.Unlock()
+	if pc != nil {
+		return pc
+	}
+
+	backoff := p.n.cfg.RedialBackoff
+	for {
+		d := net.Dialer{Timeout: p.n.cfg.DialTimeout, Cancel: p.done}
+		conn, err := d.Dial("tcp", p.addr)
+		if err == nil {
+			pc = newPeerConn(conn)
+			if !p.n.trackConn(pc) {
+				pc.close()
+				return nil
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				pc.close()
+				return nil
+			}
+			p.conn = pc
+			p.epoch++
+			redial := p.epoch > 1
+			p.mu.Unlock()
+			p.n.dials.Add(1)
+			if redial {
+				p.n.redials.Add(1)
+			}
+			// Servers reply over the connection the request came from, so
+			// read it too.
+			p.n.wg.Add(1)
+			go func() {
+				defer p.n.wg.Done()
+				p.n.readLoop(pc, p)
+			}()
+			return pc
+		}
+		select {
+		case <-p.done:
+			return nil
+		default:
+		}
+		// Uniform jitter in [0.5x, 1.5x) de-synchronizes a fleet of
+		// peers redialing the same restarted server.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		select {
+		case <-time.After(sleep):
+		case <-p.done:
+			return nil
+		}
+		if backoff *= 2; backoff > p.n.cfg.RedialBackoffCap {
+			backoff = p.n.cfg.RedialBackoffCap
+		}
+	}
+}
+
+// peerConn wraps one TCP connection with serialized framed writes and a
+// reusable read buffer.
 type peerConn struct {
 	conn net.Conn
 
 	writeMu sync.Mutex
+
 	readMu  sync.Mutex
+	readBuf []byte // scratch reused across frames; decoded with DecodeCopy
 
 	closeOnce sync.Once
 }
@@ -292,17 +575,23 @@ func encodeFrame(enc *wire.Encoder, from transport.NodeID, m wire.Message) []byt
 	return frame
 }
 
-func (pc *peerConn) write(from transport.NodeID, m wire.Message) error {
+func (pc *peerConn) write(from transport.NodeID, m wire.Message, timeout time.Duration) error {
 	enc := encPool.Get().(*wire.Encoder)
 	frame := encodeFrame(enc, from, m)
 
 	pc.writeMu.Lock()
+	if timeout > 0 {
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
 	_, err := pc.conn.Write(frame)
 	pc.writeMu.Unlock()
 	encPool.Put(enc)
 	return err
 }
 
+// read decodes one frame. The frame body lands in a per-connection scratch
+// buffer reused across frames; the message is decoded with copy semantics
+// (wire.DecodeCopy) so nothing retained by handlers aliases the scratch.
 func (pc *peerConn) read() (transport.NodeID, wire.Message, error) {
 	pc.readMu.Lock()
 	defer pc.readMu.Unlock()
@@ -315,7 +604,11 @@ func (pc *peerConn) read() (transport.NodeID, wire.Message, error) {
 	if frameLen < 9 || frameLen > maxFrameSize {
 		return transport.NodeID{}, nil, fmt.Errorf("tcp: bad frame length %d", frameLen)
 	}
-	body := make([]byte, frameLen)
+	if cap(pc.readBuf) < int(frameLen) ||
+		(cap(pc.readBuf) > maxRetainedReadBuf && frameLen <= maxRetainedReadBuf) {
+		pc.readBuf = make([]byte, frameLen)
+	}
+	body := pc.readBuf[:frameLen]
 	if _, err := io.ReadFull(pc.conn, body); err != nil {
 		return transport.NodeID{}, nil, err
 	}
@@ -324,7 +617,7 @@ func (pc *peerConn) read() (transport.NodeID, wire.Message, error) {
 		DC:   int(int32(binary.BigEndian.Uint32(body[1:5]))),
 		Node: int(int32(binary.BigEndian.Uint32(body[5:9]))),
 	}
-	msg, err := wire.Decode(kind, body[9:])
+	msg, err := wire.DecodeCopy(kind, body[9:])
 	if err != nil {
 		return transport.NodeID{}, nil, err
 	}

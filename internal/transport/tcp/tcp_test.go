@@ -1,7 +1,9 @@
 package tcp
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -224,5 +226,223 @@ func TestWrenOverTCP(t *testing.T) {
 	}
 	if _, err := tx2.Commit(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// startEchoServer runs a Network at listen that echoes every Heartbeat
+// back to its sender over the learned (inbound) connection.
+func startEchoServer(t *testing.T, self transport.NodeID, listen string) *Network {
+	t.Helper()
+	var s *Network
+	var err error
+	// A just-closed listener's port can linger briefly; retry the bind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s, err = New(Config{Self: self, ListenAddr: listen})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", listen, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.Register(self, transport.HandlerFunc(func(from transport.NodeID, m wire.Message) {
+		if hb, ok := m.(*wire.Heartbeat); ok {
+			_ = s.Send(self, from, &wire.Heartbeat{TS: hb.TS})
+		}
+	}))
+	return s
+}
+
+// TestReconnectAfterServerRestart kills and restarts the server on the
+// same address mid-session: the client's managed link must redial
+// transparently (new connection epoch) and serve the next request without
+// the client being recreated.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	srvID := transport.ServerID(0, 0)
+	cliID := transport.ClientID(0, 1)
+
+	s1 := startEchoServer(t, srvID, "127.0.0.1:0")
+	addr := s1.Addr()
+
+	cli, err := New(Config{
+		Self:          cliID,
+		Peers:         map[transport.NodeID]string{srvID: addr},
+		RedialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	echoes := make(chan hlc.Timestamp, 64)
+	cli.Register(cliID, transport.HandlerFunc(func(_ transport.NodeID, m wire.Message) {
+		echoes <- m.(*wire.Heartbeat).TS
+	}))
+
+	if err := cli.Send(cliID, srvID, &wire.Heartbeat{TS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-echoes:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no echo before restart")
+	}
+
+	s1.Close()
+	time.Sleep(50 * time.Millisecond) // let the client observe the EOF
+	s2 := startEchoServer(t, srvID, addr)
+	defer s2.Close()
+
+	// The same client object must reach the restarted server. A frame
+	// written into the dying socket before the failure was observed can
+	// be lost by TCP itself, so resend until the echo arrives.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := cli.Send(cliID, srvID, &wire.Heartbeat{TS: 2}); err != nil {
+			t.Fatalf("Send after restart: %v", err)
+		}
+		select {
+		case <-echoes:
+		case <-time.After(250 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("restarted server never served the reconnected client")
+			}
+			continue
+		}
+		break
+	}
+
+	if got := cli.Epoch(srvID); got < 2 {
+		t.Fatalf("expected a new connection epoch after restart, epoch=%d", got)
+	}
+	if st := cli.Stats(); st.Redials == 0 {
+		t.Fatalf("expected redials after restart, stats=%+v", st)
+	}
+}
+
+// TestLearnedConnEvictionOnClientRestart is the learned-route variant:
+// when the client side of an inbound connection goes away, the server's
+// learned entry must be evicted (not poison the route), and a new
+// connection from the same node id must be learned and served.
+func TestLearnedConnEvictionOnClientRestart(t *testing.T) {
+	srvID := transport.ServerID(0, 0)
+	cliID := transport.ClientID(0, 1)
+
+	srv := startEchoServer(t, srvID, "127.0.0.1:0")
+	defer srv.Close()
+	peers := map[transport.NodeID]string{srvID: srv.Addr()}
+
+	roundTrip := func(cli *Network, echoes chan hlc.Timestamp, ts hlc.Timestamp) {
+		t.Helper()
+		if err := cli.Send(cliID, srvID, &wire.Heartbeat{TS: ts}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case got := <-echoes:
+			if got != ts {
+				t.Fatalf("echo = %v, want %v", got, ts)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no echo for ts=%v", ts)
+		}
+	}
+
+	cli1, err := New(Config{Self: cliID, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoes1 := make(chan hlc.Timestamp, 4)
+	cli1.Register(cliID, transport.HandlerFunc(func(_ transport.NodeID, m wire.Message) {
+		echoes1 <- m.(*wire.Heartbeat).TS
+	}))
+	roundTrip(cli1, echoes1, 1)
+
+	cli1.Close()
+	// The dead learned entry must be evicted rather than cached forever:
+	// an unsolicited send to the departed client fails with no-route (or a
+	// write error while the eviction races the EOF), never a silent hang.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := srv.Send(srvID, cliID, &wire.Heartbeat{TS: 9}); err != nil && errors.Is(err, ErrNoRoute) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead learned entry was never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A new session from the same node id is learned afresh and served.
+	cli2, err := New(Config{Self: cliID, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	echoes2 := make(chan hlc.Timestamp, 4)
+	cli2.Register(cliID, transport.HandlerFunc(func(_ transport.NodeID, m wire.Message) {
+		echoes2 <- m.(*wire.Heartbeat).TS
+	}))
+	roundTrip(cli2, echoes2, 2)
+}
+
+// TestSendShedsWhenQueueFull verifies the bounded outbound queue: with
+// the destination unreachable, Send fails fast with a typed overload
+// error instead of blocking the caller.
+func TestSendShedsWhenQueueFull(t *testing.T) {
+	srvID := transport.ServerID(0, 0)
+	cliID := transport.ClientID(0, 1)
+	n, err := New(Config{
+		Self:            cliID,
+		Peers:           map[transport.NodeID]string{srvID: "127.0.0.1:1"}, // refuses
+		MaxQueuedFrames: 4,
+		RedialBackoff:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := n.Send(cliID, srvID, &wire.Heartbeat{})
+		if errors.Is(err, transport.ErrOverloaded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue to unreachable peer never shed load")
+		}
+	}
+	if st := n.Stats(); st.Overloaded == 0 {
+		t.Fatalf("overload not counted: %+v", st)
+	}
+}
+
+// BenchmarkFrameRead measures the per-frame read path; the body buffer is
+// reused across frames, so steady state should not allocate per byte of
+// payload.
+func BenchmarkFrameRead(b *testing.B) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	pc := newPeerConn(c2)
+	frame := encodeFrame(wire.NewEncoder(), transport.ServerID(0, 1),
+		&wire.Heartbeat{SrcDC: 1, Partition: 2, TS: hlc.New(7, 7)})
+	go func() {
+		for {
+			if _, err := c1.Write(frame); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pc.read(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

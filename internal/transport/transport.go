@@ -79,6 +79,12 @@ var ErrClosed = errors.New("transport: network closed")
 // ErrUnknownNode is returned when sending to an unregistered node.
 var ErrUnknownNode = errors.New("transport: unknown destination")
 
+// ErrOverloaded is returned by Send when a transport's bounded outbound
+// queue for the destination is full: the message is shed instead of
+// blocking the caller (protocol handlers must never stall on a slow or
+// dead link). Senders treat it as transient and retry with backoff.
+var ErrOverloaded = errors.New("transport: outbound queue overloaded")
+
 // LatencyFunc returns the one-way delivery latency between two nodes.
 type LatencyFunc func(from, to NodeID) time.Duration
 

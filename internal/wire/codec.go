@@ -164,6 +164,9 @@ type Decoder struct {
 	buf []byte
 	off int
 	err error
+	// copies makes BytesField return an owned copy instead of a slice
+	// aliasing buf, so the caller may reuse buf as scratch (DecodeCopy).
+	copies bool
 }
 
 // NewDecoder returns a Decoder over the given payload.
@@ -254,8 +257,20 @@ func (d *Decoder) Byte() byte {
 func (d *Decoder) Bool() bool { return d.Byte() != 0 }
 
 // BytesField reads a length-prefixed byte slice. The result aliases the
-// input buffer; callers that retain it must copy.
+// input buffer unless the decoder was built by DecodeCopy; aliasing
+// callers that retain it must copy.
 func (d *Decoder) BytesField() []byte {
+	b := d.rawBytes()
+	if d.copies && len(b) > 0 {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	return b
+}
+
+// rawBytes reads a length-prefixed byte slice aliasing the input buffer.
+func (d *Decoder) rawBytes() []byte {
 	n := d.Uvarint()
 	if d.err != nil {
 		return nil
@@ -273,8 +288,9 @@ func (d *Decoder) BytesField() []byte {
 	return b
 }
 
-// String reads a length-prefixed string.
-func (d *Decoder) String() string { return string(d.BytesField()) }
+// String reads a length-prefixed string. The conversion already copies,
+// so copy mode never pays twice.
+func (d *Decoder) String() string { return string(d.rawBytes()) }
 
 // Strings reads a length-prefixed string slice.
 func (d *Decoder) Strings() []string {
@@ -322,13 +338,25 @@ func Size(m Message) int {
 	return e.Len() + headerSize
 }
 
-// Decode parses a message of the given kind from payload bytes.
+// Decode parses a message of the given kind from payload bytes. Byte
+// fields of the result alias payload.
 func Decode(kind Kind, payload []byte) (Message, error) {
+	return decodeWith(kind, &Decoder{buf: payload})
+}
+
+// DecodeCopy parses like Decode but deep-copies every byte field out of
+// payload, so the caller may immediately reuse payload as scratch for the
+// next frame (the TCP read path does, recycling one buffer per
+// connection instead of allocating per frame).
+func DecodeCopy(kind Kind, payload []byte) (Message, error) {
+	return decodeWith(kind, &Decoder{buf: payload, copies: true})
+}
+
+func decodeWith(kind Kind, d *Decoder) (Message, error) {
 	m, err := newMessage(kind)
 	if err != nil {
 		return nil, err
 	}
-	d := NewDecoder(payload)
 	m.decodeFrom(d)
 	if d.err != nil {
 		return nil, fmt.Errorf("wire: decode %v: %w", kind, d.err)

@@ -387,6 +387,11 @@ const (
 	// shed into read-only admission. Clients surface this as a typed error
 	// so callers can retry against a healthy replica.
 	CommitErrReadOnly
+	// CommitErrAborted means the transaction is fenced: a termination
+	// probe already answered "not committed" for this id, so a late or
+	// duplicated CommitReq must be refused — otherwise a client that
+	// failed over after the probe could see its transaction applied twice.
+	CommitErrAborted
 )
 
 // CommitResp returns the commit timestamp, or a typed refusal when the
@@ -394,7 +399,7 @@ const (
 type CommitResp struct {
 	ReqID uint64
 	CT    hlc.Timestamp
-	Code  uint8  // CommitOK or CommitErrReadOnly
+	Code  uint8  // CommitOK, CommitErrReadOnly or CommitErrAborted
 	Err   string // human-readable detail when Code != CommitOK
 }
 
@@ -590,7 +595,16 @@ type Replicate struct {
 	SrcDC     uint8
 	Partition uint16
 	Resync    bool
-	Txs       []ReplTx
+	// Prev chains ordinary batches per destination: the commit timestamp
+	// of the last transaction the sender previously shipped to this DC
+	// (zero when unknown, e.g. the first batch after a restart). A
+	// receiver whose watermark is below Prev is missing an earlier batch
+	// and must refuse this one unacknowledged, so the sender's stalled
+	// replication cursor triggers a dedupe-safe resync instead of the
+	// stream silently applying past a gap. Resync batches are replayed
+	// from the cursor in order and carry no chain.
+	Prev hlc.Timestamp
+	Txs  []ReplTx
 }
 
 // Kind implements Message.
@@ -603,6 +617,7 @@ func (m *Replicate) encodeTo(e *Encoder) {
 	e.Byte(m.SrcDC)
 	e.Uvarint(uint64(m.Partition))
 	e.Bool(m.Resync)
+	e.Timestamp(m.Prev)
 	e.Uvarint(uint64(len(m.Txs)))
 	for i := range m.Txs {
 		t := &m.Txs[i]
@@ -618,6 +633,7 @@ func (m *Replicate) decodeFrom(d *Decoder) {
 	m.SrcDC = d.Byte()
 	m.Partition = uint16(d.Uvarint())
 	m.Resync = d.Bool()
+	m.Prev = d.Timestamp()
 	n := d.Uvarint()
 	if !d.checkLen(n) {
 		return
@@ -814,8 +830,15 @@ func (m *HealthResp) decodeFrom(d *Decoder) {
 // ever made in the life that ran the 2PC, so the coordinator's answer is
 // final: a recovered prepare may only be aborted on an explicit
 // "not committed" answer, never on a timeout alone.
+//
+// Clients reuse the same probe after a commit times out: ReqID is zero
+// for cohort probes and non-zero for client probes (routing the reply
+// through the client's pending-call table). A "not committed" answer to a
+// client probe additionally fences the transaction id at the coordinator,
+// so the client may safely re-drive the write set elsewhere.
 type TxStatusReq struct {
-	TxID uint64
+	ReqID uint64
+	TxID  uint64
 }
 
 // Kind implements Message.
@@ -824,14 +847,22 @@ func (*TxStatusReq) Kind() Kind { return KindTxStatusReq }
 // Class implements Message.
 func (*TxStatusReq) Class() Class { return ClassTransaction }
 
-func (m *TxStatusReq) encodeTo(e *Encoder)   { e.Uvarint(m.TxID) }
-func (m *TxStatusReq) decodeFrom(d *Decoder) { m.TxID = d.Uvarint() }
+func (m *TxStatusReq) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+	e.Uvarint(m.TxID)
+}
+
+func (m *TxStatusReq) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+	m.TxID = d.Uvarint()
+}
 
 // TxStatusResp answers a TxStatusReq: Committed with the decision's CT
 // when the coordinator's log retains an unresolved commit decision for
 // the transaction, otherwise not committed (the transaction never was, or
 // no longer needs to be, committed at the asking cohort).
 type TxStatusResp struct {
+	ReqID     uint64 // echoed from the probe; zero for cohort probes
 	TxID      uint64
 	CT        hlc.Timestamp
 	Committed bool
@@ -844,12 +875,14 @@ func (*TxStatusResp) Kind() Kind { return KindTxStatusResp }
 func (*TxStatusResp) Class() Class { return ClassTransaction }
 
 func (m *TxStatusResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
 	e.Uvarint(m.TxID)
 	e.Timestamp(m.CT)
 	e.Bool(m.Committed)
 }
 
 func (m *TxStatusResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
 	m.TxID = d.Uvarint()
 	m.CT = d.Timestamp()
 	m.Committed = d.Bool()
