@@ -10,6 +10,7 @@
 //	wren-bench -engines memory,wal,sst   # engine sweep -> BENCH_engines.json
 //	wren-bench -txlog              # commit-ack latency sweep -> BENCH_txlog.json
 //	wren-bench -chaos              # client-link loss sweep -> BENCH_chaos.json
+//	wren-bench -clients            # session multiplexing sweep -> BENCH_clients.json
 //
 // Figures: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b, 7a, 7b.
 // Ablations: blocking-commit, gossip-interval, snapshot-age.
@@ -36,6 +37,14 @@
 // transport at increasing client-link loss (0%, 1%, 5%), with the bounded
 // client retry policy recovering dropped frames, and reports the
 // throughput/latency cost of each loss level. Writes BENCH_chaos.json.
+//
+// -clients sweeps concurrent session counts twice per point — legacy
+// one-endpoint-per-session vs all sessions pipelining over the DC's
+// shared connection pool — and reports throughput, latency, admission
+// sheds, and the number of requests that never resolved (which must be
+// zero: a shed or timed-out request retries or errors, never vanishes).
+// Writes BENCH_clients.json; the run fails on unresolved requests or an
+// unhealthy engine.
 package main
 
 import (
@@ -87,13 +96,16 @@ func run(args []string) error {
 		txlogOut   = fs.String("txlog-out", "BENCH_txlog.json", "output path for the -txlog JSON report")
 		chaosSweep = fs.Bool("chaos", false, "run the client-link loss sweep through the chaos transport; emits -chaos-out")
 		chaosOut   = fs.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos JSON report")
+		clientsSwp = fs.Bool("clients", false, "run the session-multiplexing sweep (pooled vs unpooled sessions); emits -clients-out")
+		clientsOut = fs.String("clients-out", "BENCH_clients.json", "output path for the -clients JSON report")
+		poolLinks  = fs.Int("pool-links", bench.DefaultClientPoolLinks, "connection-pool links per DC for the -clients pooled rows")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *figure == "" && *ablation == "" && !*readPath && *engines == "" && !*txlogSweep && !*chaosSweep {
+	if *figure == "" && *ablation == "" && !*readPath && *engines == "" && !*txlogSweep && !*chaosSweep && !*clientsSwp {
 		fs.Usage()
-		return fmt.Errorf("one of -figure, -ablation, -read-path, -engines, -txlog or -chaos is required")
+		return fmt.Errorf("one of -figure, -ablation, -read-path, -engines, -txlog, -chaos or -clients is required")
 	}
 
 	o := bench.DefaultOptions()
@@ -125,6 +137,13 @@ func run(args []string) error {
 		o.KeysPerPartition = q.KeysPerPartition
 	}
 
+	if *clientsSwp {
+		points := bench.ClientsPoints
+		if *quick {
+			points = bench.ClientsQuickPoints
+		}
+		return runClientsSweep(o, points, *poolLinks, *clientsOut)
+	}
 	if *chaosSweep {
 		return runChaosSweep(o, *chaosOut)
 	}
@@ -318,6 +337,37 @@ func runChaosSweep(o bench.Options, out string) error {
 				err = jerr
 			default:
 				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
+			}
+		}
+	}
+	return err
+}
+
+func runClientsSweep(o bench.Options, points []int, links int, out string) error {
+	start := time.Now()
+	// A failed sweep still returns the rows measured so far; persist them
+	// before surfacing the error (same discipline as -engines).
+	rep, err := bench.RunClients(o, points, links)
+	if rep != nil {
+		fmt.Print(bench.FormatClients(rep))
+		fmt.Printf("[clients done in %v]\n", time.Since(start).Round(time.Second))
+		if out != "" {
+			data, jerr := rep.WriteJSON()
+			if jerr == nil {
+				jerr = os.WriteFile(out, append(data, '\n'), 0o644)
+			}
+			switch {
+			case jerr == nil:
+				fmt.Printf("report written to %s\n", out)
+			case err == nil:
+				err = jerr
+			default:
+				fmt.Fprintf(os.Stderr, "wren-bench: report not written to %s: %v\n", out, jerr)
+			}
+		}
+		if err == nil {
+			if n := rep.Unresolved(); n > 0 {
+				err = fmt.Errorf("%d requests never resolved (lost to shedding or a stuck retry)", n)
 			}
 		}
 	}

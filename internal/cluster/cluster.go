@@ -18,6 +18,7 @@ import (
 	"wren/internal/hlc"
 	"wren/internal/transport"
 	"wren/internal/transport/chaos"
+	"wren/internal/transport/pool"
 )
 
 // Protocol selects the consistency protocol a cluster runs.
@@ -138,6 +139,22 @@ type Config struct {
 	// RetryBackoff is the base client retry backoff (doubling, capped).
 	// Zero selects the client default.
 	RetryBackoff time.Duration
+	// ClientPoolLinks multiplexes all of a DC's client sessions over a
+	// shared connection pool with this many links instead of registering
+	// one network endpoint per session: requests from many sessions
+	// pipeline concurrently over the pool's links and responses are
+	// demultiplexed by request id. Zero keeps the legacy
+	// one-endpoint-per-session wiring.
+	ClientPoolLinks int
+	// MaxInflightPerConn bounds how many admitted requests one client
+	// connection may have outstanding per server; excess requests are shed
+	// with a BusyResp that clients treat as backpressure (delay + retry).
+	// Zero selects the replica default; negative disables admission
+	// control.
+	MaxInflightPerConn int
+	// DisableDecisionBatch turns off the fsync=always coordinator-decision
+	// group commit on every server (benchmark ablation).
+	DisableDecisionBatch bool
 }
 
 func (c *Config) fillDefaults() {
@@ -210,6 +227,10 @@ type Cluster struct {
 	mu        sync.Mutex
 	clientSeq int
 	closed    bool
+	// pools holds one lazily built client connection pool per DC when
+	// Config.ClientPoolLinks is set; sessions bind to their DC's pool
+	// instead of registering an endpoint of their own.
+	pools []*pool.Pool
 }
 
 // New builds and starts a cluster.
@@ -286,6 +307,9 @@ func New(cfg Config) (*Cluster, error) {
 					DataDir:        cfg.DataDir,
 					FsyncPolicy:    cfg.FsyncPolicy,
 					DisableTxLog:   cfg.DisableTxLog,
+
+					MaxInflightPerConn:   cfg.MaxInflightPerConn,
+					DisableDecisionBatch: cfg.DisableDecisionBatch,
 				})
 				if err != nil {
 					c.wrenServers = append(c.wrenServers, wrenRow)
@@ -308,6 +332,9 @@ func New(cfg Config) (*Cluster, error) {
 					DataDir:        cfg.DataDir,
 					FsyncPolicy:    cfg.FsyncPolicy,
 					DisableTxLog:   cfg.DisableTxLog,
+
+					MaxInflightPerConn:   cfg.MaxInflightPerConn,
+					DisableDecisionBatch: cfg.DisableDecisionBatch,
 				})
 				if err != nil {
 					c.cureServers = append(c.cureServers, cureRow)
@@ -348,10 +375,42 @@ func (c *Cluster) fabric() transport.Network {
 	return c.net
 }
 
+// poolNodeBase offsets pool-endpoint node indices far above per-session
+// client indices, so pooled link ids can never collide with the ids of
+// legacy unpooled sessions on the same fabric.
+const poolNodeBase = 1 << 20
+
+// poolForDC returns the DC's shared client connection pool, building it on
+// first use. Caller holds c.mu.
+func (c *Cluster) poolForDC(dc int) (*pool.Pool, error) {
+	if c.pools == nil {
+		c.pools = make([]*pool.Pool, c.cfg.NumDCs)
+	}
+	if c.pools[dc] != nil {
+		return c.pools[dc], nil
+	}
+	eps := make([]pool.Endpoint, c.cfg.ClientPoolLinks)
+	for i := range eps {
+		eps[i] = pool.Endpoint{
+			ID:  transport.ClientID(dc, poolNodeBase+i),
+			Net: c.fabric(),
+		}
+	}
+	p, err := pool.New(eps)
+	if err != nil {
+		return nil, err
+	}
+	c.pools[dc] = p
+	return p, nil
+}
+
 // NewClient opens a client session in the given DC. A non-negative
 // coordinator fixes the coordinator partition (the paper collocates each
 // client with one partition); a negative value picks a random coordinator
-// per transaction.
+// per transaction. With Config.ClientPoolLinks set, the session does not
+// get a network endpoint of its own: it binds to one link of the DC's
+// shared connection pool and its requests pipeline there alongside every
+// other session's.
 func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 	if dc < 0 || dc >= c.cfg.NumDCs {
 		return nil, fmt.Errorf("cluster: DC %d out of range", dc)
@@ -363,12 +422,21 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 	}
 	c.clientSeq++
 	idx := c.clientSeq
+	var conn *pool.Conn
+	if c.cfg.ClientPoolLinks > 0 {
+		p, err := c.poolForDC(dc)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		conn = p.Bind()
+	}
 	c.mu.Unlock()
 
 	var sess session
 	switch c.cfg.Protocol {
 	case Wren:
-		cl, err := core.NewClient(core.ClientConfig{
+		cfg := core.ClientConfig{
 			DC: dc, ClientIndex: idx,
 			NumPartitions:        c.cfg.NumPartitions,
 			Network:              c.fabric(),
@@ -378,13 +446,17 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 				Attempts: c.cfg.RetryAttempts,
 				Backoff:  c.cfg.RetryBackoff,
 			},
-		})
+		}
+		if conn != nil {
+			cfg.Conn = conn
+		}
+		cl, err := core.NewClient(cfg)
 		if err != nil {
 			return nil, err
 		}
 		sess = wrenClient{cl}
 	default:
-		cl, err := cure.NewClient(cure.ClientConfig{
+		cfg := cure.ClientConfig{
 			DC: dc, ClientIndex: idx,
 			NumDCs:               c.cfg.NumDCs,
 			NumPartitions:        c.cfg.NumPartitions,
@@ -395,7 +467,11 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 				Attempts: c.cfg.RetryAttempts,
 				Backoff:  c.cfg.RetryBackoff,
 			},
-		})
+		}
+		if conn != nil {
+			cfg.Conn = conn
+		}
+		cl, err := cure.NewClient(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -405,6 +481,17 @@ func (c *Cluster) NewClient(dc, coordinator int) (Client, error) {
 		return &failoverClient{sess: sess, numPartitions: c.cfg.NumPartitions}, nil
 	}
 	return sess, nil
+}
+
+// ClientPool returns the DC's shared connection pool for stats inspection,
+// or nil when the cluster runs unpooled or no session has bound yet.
+func (c *Cluster) ClientPool(dc int) *pool.Pool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pools == nil {
+		return nil
+	}
+	return c.pools[dc]
 }
 
 // WrenServer returns the Wren server at (dc, partition); nil for other
@@ -504,6 +591,25 @@ func (c *Cluster) Healthy() error {
 	return nil
 }
 
+// ShedRequests sums, across every server, the requests refused at
+// per-connection admission control (each answered with a BusyResp that the
+// client retried after backoff). Benchmarks report it so shedding under
+// overload is visible rather than silently folded into latency.
+func (c *Cluster) ShedRequests() uint64 {
+	var total uint64
+	for _, row := range c.wrenServers {
+		for _, s := range row {
+			total += s.ShedRequests()
+		}
+	}
+	for _, row := range c.cureServers {
+		for _, s := range row {
+			total += s.ShedRequests()
+		}
+	}
+	return total
+}
+
 // CommittedTxCount sums committed-transaction counters across all servers.
 func (c *Cluster) CommittedTxCount() uint64 {
 	var total uint64
@@ -575,6 +681,11 @@ func (c *Cluster) stop(kill bool) {
 		}
 	}
 	wg.Wait()
+	for _, p := range c.pools {
+		if p != nil {
+			p.Close()
+		}
+	}
 	// Closing the chaos wrapper drains its links and closes the inner
 	// simulated network.
 	c.fabric().Close()

@@ -75,6 +75,14 @@ func (rp RetryPolicy) retryDelay(attempt int) time.Duration {
 	return d
 }
 
+// Conn is a pooled client connection: one session's handle on a shared
+// connection pool (internal/transport/pool) that multiplexes many
+// sessions over a few transport endpoints. It is declared structurally so
+// the client does not depend on the pool package; *pool.Conn satisfies it.
+type Conn interface {
+	Call(to transport.NodeID, timeout time.Duration, build func(reqID uint64) wire.Message) (wire.Message, error)
+}
+
 // ClientConfig configures a Wren client session.
 type ClientConfig struct {
 	// DC is the client's local data center (clients never leave it; §II-A).
@@ -83,8 +91,16 @@ type ClientConfig struct {
 	ClientIndex int
 	// NumPartitions is the number of partitions per DC.
 	NumPartitions int
-	// Network is the messaging substrate shared with the servers.
+	// Network is the messaging substrate shared with the servers. May be
+	// nil when Conn is set.
 	Network transport.Network
+	// Conn, when non-nil, binds the session to a shared connection pool:
+	// round trips are issued through it — pipelined with other sessions
+	// over the pool's few endpoints — and the session does not register
+	// its own NodeID on the Network. Per-session ordering is preserved by
+	// the pool's endpoint affinity plus this client's sequential API; see
+	// internal/transport/pool.
+	Conn Conn
 	// CoordinatorPartition fixes the coordinator partition; a negative
 	// value picks a random coordinator per transaction (the paper's default
 	// behaviour; the evaluation collocates clients with one coordinator).
@@ -126,8 +142,8 @@ type Client struct {
 
 // NewClient creates a client session and registers it on the network.
 func NewClient(cfg ClientConfig) (*Client, error) {
-	if cfg.Network == nil {
-		return nil, fmt.Errorf("core: network is required")
+	if cfg.Network == nil && cfg.Conn == nil {
+		return nil, fmt.Errorf("core: a network or a pooled connection is required")
 	}
 	if cfg.NumPartitions <= 0 {
 		return nil, fmt.Errorf("core: NumPartitions must be positive")
@@ -146,7 +162,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cache:   make(map[string]cacheEntry),
 		pending: make(map[uint64]chan wire.Message),
 	}
-	cfg.Network.Register(c.id, c)
+	if cfg.Conn == nil {
+		cfg.Network.Register(c.id, c)
+	}
 	return c, nil
 }
 
@@ -169,6 +187,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 	case *wire.ScanResp:
 		reqID = msg.ReqID
 	case *wire.TxStatusResp:
+		reqID = msg.ReqID
+	case *wire.BusyResp:
 		reqID = msg.ReqID
 	default:
 		return
@@ -235,6 +255,46 @@ func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.M
 	}
 }
 
+// roundTrip performs one request/response round trip: through the
+// session's pooled connection when one is bound (cfg.Conn), over the
+// session's own registered endpoint otherwise. build receives the
+// attempt's request id and returns the message to send. A BusyResp — the
+// server's admission pushback — surfaces as an error matching
+// transport.ErrOverloaded, so retry loops back off and try again instead
+// of hot-looping.
+func (c *Client) roundTrip(to transport.NodeID, build func(reqID uint64) wire.Message) (wire.Message, error) {
+	var resp wire.Message
+	var err error
+	if c.cfg.Conn != nil {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		resp, err = c.cfg.Conn.Call(to, c.cfg.RequestTimeout, build)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				return nil, fmt.Errorf("%w (pooled request to %v)", ErrTimeout, to)
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return nil, fmt.Errorf("%w (connection pool closed)", ErrClosed)
+			}
+			return nil, err
+		}
+	} else {
+		reqID := c.reqSeq.Add(1)
+		resp, err = c.call(to, reqID, build(reqID))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, busy := resp.(*wire.BusyResp); busy {
+		return nil, fmt.Errorf("%w: %v shed the request at admission", transport.ErrOverloaded, to)
+	}
+	return resp, nil
+}
+
 // callRetry performs a round trip, retrying timed-out or transiently
 // failed attempts per the session's retry policy. It is only safe for
 // idempotent requests: each attempt carries a fresh request id, so a late
@@ -245,9 +305,8 @@ func (c *Client) callRetry(to transport.NodeID, build func(reqID uint64) wire.Me
 		if attempt > 0 {
 			time.Sleep(c.cfg.Retry.retryDelay(attempt))
 		}
-		reqID := c.reqSeq.Add(1)
 		var resp wire.Message
-		resp, err = c.call(to, reqID, build(reqID))
+		resp, err = c.roundTrip(to, build)
 		if err == nil {
 			return resp, nil
 		}
@@ -309,8 +368,9 @@ func (c *Client) BeginAt(coordinator int) (*Tx, error) {
 			coordPartition = (coordinator + attempt) % c.cfg.NumPartitions
 		}
 		coord = transport.ServerID(dc, coordPartition)
-		reqID := c.reqSeq.Add(1)
-		resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, LST: lst, RST: rst})
+		resp, err := c.roundTrip(coord, func(reqID uint64) wire.Message {
+			return &wire.StartTxReq{ReqID: reqID, LST: lst, RST: rst}
+		})
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
 				return nil, err
@@ -479,6 +539,15 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 		it := &rr.Items[i]
 		result[it.Key] = it.Value
 		t.rs[it.Key] = it.Value
+	}
+	// Large read sets arrive partly as chunks: slice buffers the fan-in
+	// retained by reference instead of copying into Items.
+	for _, chunk := range rr.Chunks {
+		for i := range chunk {
+			it := &chunk[i]
+			result[it.Key] = it.Value
+			t.rs[it.Key] = it.Value
+		}
 	}
 	// Keys absent from the reply are unwritten in this snapshot: record
 	// the absence so repeated reads stay stable.
@@ -666,12 +735,23 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	hwt := t.client.hwt
 	t.client.mu.Unlock()
 
-	reqID := t.client.reqSeq.Add(1)
-	resp, err := t.client.call(t.coord, reqID, &wire.CommitReq{
-		ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes,
-	})
+	var resp wire.Message
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = t.client.roundTrip(t.coord, func(reqID uint64) wire.Message {
+			return &wire.CommitReq{ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes}
+		})
+		// Overload pushback (a BusyResp, or a full transport queue) means
+		// the request was shed before any processing — unlike a timeout it
+		// is provably safe to resend the CommitReq after a backoff.
+		if err == nil || !errors.Is(err, transport.ErrOverloaded) || attempt >= t.client.cfg.Retry.Attempts {
+			break
+		}
+		time.Sleep(t.client.cfg.Retry.retryDelay(attempt + 1))
+	}
 	if err != nil {
-		if errors.Is(err, ErrClosed) || t.client.cfg.Retry.Attempts <= 0 {
+		if errors.Is(err, ErrClosed) || errors.Is(err, transport.ErrOverloaded) ||
+			t.client.cfg.Retry.Attempts <= 0 {
 			return 0, err
 		}
 		// The acknowledgement was lost but the commit may have landed.
@@ -727,8 +807,9 @@ func (t *Tx) resolveCommit(cause error) (hlc.Timestamp, error) {
 	c := t.client
 	for attempt := 1; attempt <= c.cfg.Retry.Attempts; attempt++ {
 		time.Sleep(c.cfg.Retry.retryDelay(attempt))
-		reqID := c.reqSeq.Add(1)
-		resp, err := c.call(t.coord, reqID, &wire.TxStatusReq{ReqID: reqID, TxID: t.id})
+		resp, err := c.roundTrip(t.coord, func(reqID uint64) wire.Message {
+			return &wire.TxStatusReq{ReqID: reqID, TxID: t.id}
+		})
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
 				return 0, err
@@ -756,8 +837,9 @@ func (t *Tx) Abort() error {
 	t.done = true
 	defer t.client.clearTx(t)
 	// An empty commit releases the server-side context without a 2PC.
-	reqID := t.client.reqSeq.Add(1)
-	_, err := t.client.call(t.coord, reqID, &wire.CommitReq{ReqID: reqID, TxID: t.id})
+	_, err := t.client.roundTrip(t.coord, func(reqID uint64) wire.Message {
+		return &wire.CommitReq{ReqID: reqID, TxID: t.id}
+	})
 	return err
 }
 

@@ -98,6 +98,17 @@ type ServerConfig struct {
 	// behaviour, kept for benchmarking the commit-logging cost). Ignored
 	// by the memory backend, which has nowhere durable to recover from.
 	DisableTxLog bool
+	// MaxInflightPerConn bounds how many admitted requests a single client
+	// connection may have outstanding on this server; past the bound, new
+	// requests are shed with a BusyResp before any processing. Zero selects
+	// replica.DefaultMaxInflightPerConn; negative disables admission
+	// control.
+	MaxInflightPerConn int
+	// DisableDecisionBatch turns off the fsync=always coordinator-decision
+	// group commit (the batching of commit-decision records across the
+	// concurrent commit collections of one tick) so its cost can be
+	// benchmarked. No effect under other fsync policies.
+	DisableDecisionBatch bool
 }
 
 // runtimeConfig maps the public config onto the shared replica runtime's.
@@ -120,6 +131,9 @@ func (c *ServerConfig) runtimeConfig() replica.Config {
 		DataDir:        c.DataDir,
 		FsyncPolicy:    c.FsyncPolicy,
 		DisableTxLog:   c.DisableTxLog,
+
+		MaxInflightPerConn:   c.MaxInflightPerConn,
+		DisableDecisionBatch: c.DisableDecisionBatch,
 	}
 }
 
@@ -276,6 +290,11 @@ func (s *Server) ReadOnly() bool { return s.rt.Healthy() != nil }
 // TxLog exposes the transaction log (nil when disabled); read-only use in
 // tests.
 func (s *Server) TxLog() *txlog.Log { return s.rt.TxLog() }
+
+// ShedRequests counts requests refused at per-connection admission (each
+// answered with a BusyResp before any processing) since the server
+// started.
+func (s *Server) ShedRequests() uint64 { return s.rt.ShedCount() }
 
 // Start registers the server on the network and launches the shared
 // runtime's apply (ΔR), stabilization (ΔG), garbage-collection and
@@ -495,6 +514,17 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	}
 	lt, rt := ctx.lt, ctx.rt
 
+	// Per-connection admission: a pooled link multiplexing thousands of
+	// sessions must not be allowed to flood the fan-in tables; past the
+	// bound the request is refused before any slice work happens, and the
+	// client's retry policy backs off. Released when the last slice
+	// arrives (here or in the runtime's SliceResp handler) or when the GC
+	// sweep expires a stale fan-in.
+	if !s.rt.AdmitClient(from) {
+		s.rt.Shed(from, m.ReqID)
+		return
+	}
+
 	fo := s.fanPool.Get().(*fanin.Fanout)
 	fo.Reset(s.cfg.NumPartitions)
 	for _, k := range m.Keys {
@@ -533,6 +563,7 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	// Release the coordinator's own contribution; when every remote slice
 	// already answered (or none was needed), this assembles the response.
 	if resp, to, last := fi.Finish(); last {
+		s.rt.ReleaseClient(to)
 		s.rt.Send(to, resp)
 	}
 }

@@ -62,13 +62,26 @@ func (rp RetryPolicy) retryDelay(attempt int) time.Duration {
 	return d
 }
 
+// Conn is a pooled client connection: one session's handle on a shared
+// connection pool (internal/transport/pool) that multiplexes many
+// sessions over a few transport endpoints. It is declared structurally so
+// the client does not depend on the pool package; *pool.Conn satisfies it.
+type Conn interface {
+	Call(to transport.NodeID, timeout time.Duration, build func(reqID uint64) wire.Message) (wire.Message, error)
+}
+
 // ClientConfig configures a Cure client session.
 type ClientConfig struct {
 	DC            int
 	ClientIndex   int
 	NumDCs        int
 	NumPartitions int
-	Network       transport.Network
+	// Network is the messaging substrate shared with the servers. May be
+	// nil when Conn is set.
+	Network transport.Network
+	// Conn, when non-nil, binds the session to a shared connection pool
+	// instead of a per-session endpoint (see core.ClientConfig.Conn).
+	Conn Conn
 	// CoordinatorPartition fixes the coordinator; negative picks a random
 	// coordinator per transaction.
 	CoordinatorPartition int
@@ -100,8 +113,8 @@ type Client struct {
 
 // NewClient creates a Cure client session and registers it on the network.
 func NewClient(cfg ClientConfig) (*Client, error) {
-	if cfg.Network == nil {
-		return nil, fmt.Errorf("cure: network is required")
+	if cfg.Network == nil && cfg.Conn == nil {
+		return nil, fmt.Errorf("cure: a network or a pooled connection is required")
 	}
 	if cfg.NumPartitions <= 0 || cfg.NumDCs <= 0 {
 		return nil, fmt.Errorf("cure: topology must be positive, got %dx%d", cfg.NumDCs, cfg.NumPartitions)
@@ -120,7 +133,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		dv:      make([]hlc.Timestamp, cfg.NumDCs),
 		pending: make(map[uint64]chan wire.Message),
 	}
-	cfg.Network.Register(c.id, c)
+	if cfg.Conn == nil {
+		cfg.Network.Register(c.id, c)
+	}
 	return c, nil
 }
 
@@ -140,6 +155,8 @@ func (c *Client) HandleMessage(_ transport.NodeID, m wire.Message) {
 	case *wire.HealthResp:
 		reqID = msg.ReqID
 	case *wire.TxStatusResp:
+		reqID = msg.ReqID
+	case *wire.BusyResp:
 		reqID = msg.ReqID
 	default:
 		return
@@ -201,6 +218,45 @@ func (c *Client) call(to transport.NodeID, reqID uint64, m wire.Message) (wire.M
 	}
 }
 
+// roundTrip performs one request/response round trip: through the
+// session's pooled connection when one is bound (cfg.Conn), over the
+// session's own registered endpoint otherwise. A BusyResp — the server's
+// admission pushback — surfaces as an error matching
+// transport.ErrOverloaded, so retry loops back off and try again instead
+// of hot-looping.
+func (c *Client) roundTrip(to transport.NodeID, build func(reqID uint64) wire.Message) (wire.Message, error) {
+	var resp wire.Message
+	var err error
+	if c.cfg.Conn != nil {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		resp, err = c.cfg.Conn.Call(to, c.cfg.RequestTimeout, build)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				return nil, fmt.Errorf("%w (pooled request to %v)", ErrTimeout, to)
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return nil, fmt.Errorf("%w (connection pool closed)", ErrClosed)
+			}
+			return nil, err
+		}
+	} else {
+		reqID := c.reqSeq.Add(1)
+		resp, err = c.call(to, reqID, build(reqID))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, busy := resp.(*wire.BusyResp); busy {
+		return nil, fmt.Errorf("%w: %v shed the request at admission", transport.ErrOverloaded, to)
+	}
+	return resp, nil
+}
+
 // callRetry performs a round trip, retrying timed-out or transiently
 // failed attempts per the session's retry policy. It is only safe for
 // idempotent requests: each attempt carries a fresh request id, so a late
@@ -211,9 +267,8 @@ func (c *Client) callRetry(to transport.NodeID, build func(reqID uint64) wire.Me
 		if attempt > 0 {
 			time.Sleep(c.cfg.Retry.retryDelay(attempt))
 		}
-		reqID := c.reqSeq.Add(1)
 		var resp wire.Message
-		resp, err = c.call(to, reqID, build(reqID))
+		resp, err = c.roundTrip(to, build)
 		if err == nil {
 			return resp, nil
 		}
@@ -271,8 +326,9 @@ func (c *Client) BeginAt(coordinator int) (*Tx, error) {
 			coordPartition = (coordinator + attempt) % c.cfg.NumPartitions
 		}
 		coord = transport.ServerID(c.cfg.DC, coordPartition)
-		reqID := c.reqSeq.Add(1)
-		resp, err := c.call(coord, reqID, &wire.StartTxReq{ReqID: reqID, DV: dv})
+		resp, err := c.roundTrip(coord, func(reqID uint64) wire.Message {
+			return &wire.StartTxReq{ReqID: reqID, DV: dv}
+		})
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
 				return nil, err
@@ -400,6 +456,15 @@ func (t *Tx) Read(keys ...string) (map[string][]byte, error) {
 		result[it.Key] = it.Value
 		t.rs[it.Key] = it.Value
 	}
+	// Large read sets arrive partly as chunks: slice buffers the fan-in
+	// retained by reference instead of copying into Items.
+	for _, chunk := range rr.Chunks {
+		for i := range chunk {
+			it := &chunk[i]
+			result[it.Key] = it.Value
+			t.rs[it.Key] = it.Value
+		}
+	}
 	for _, k := range missing {
 		if _, ok := t.rs[k]; !ok {
 			t.rsMiss[k] = struct{}{}
@@ -453,12 +518,23 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	hwt := t.client.hwt
 	t.client.mu.Unlock()
 
-	reqID := t.client.reqSeq.Add(1)
-	resp, err := t.client.call(t.coord, reqID, &wire.CommitReq{
-		ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes,
-	})
+	var resp wire.Message
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = t.client.roundTrip(t.coord, func(reqID uint64) wire.Message {
+			return &wire.CommitReq{ReqID: reqID, TxID: t.id, HWT: hwt, Writes: writes}
+		})
+		// Overload pushback (a BusyResp, or a full transport queue) means
+		// the request was shed before any processing — unlike a timeout it
+		// is provably safe to resend the CommitReq after a backoff.
+		if err == nil || !errors.Is(err, transport.ErrOverloaded) || attempt >= t.client.cfg.Retry.Attempts {
+			break
+		}
+		time.Sleep(t.client.cfg.Retry.retryDelay(attempt + 1))
+	}
 	if err != nil {
-		if errors.Is(err, ErrClosed) || t.client.cfg.Retry.Attempts <= 0 {
+		if errors.Is(err, ErrClosed) || errors.Is(err, transport.ErrOverloaded) ||
+			t.client.cfg.Retry.Attempts <= 0 {
 			return 0, err
 		}
 		// The acknowledgement was lost but the commit may have landed.
@@ -511,8 +587,9 @@ func (t *Tx) resolveCommit(cause error) (hlc.Timestamp, error) {
 	c := t.client
 	for attempt := 1; attempt <= c.cfg.Retry.Attempts; attempt++ {
 		time.Sleep(c.cfg.Retry.retryDelay(attempt))
-		reqID := c.reqSeq.Add(1)
-		resp, err := c.call(t.coord, reqID, &wire.TxStatusReq{ReqID: reqID, TxID: t.id})
+		resp, err := c.roundTrip(t.coord, func(reqID uint64) wire.Message {
+			return &wire.TxStatusReq{ReqID: reqID, TxID: t.id}
+		})
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
 				return 0, err
@@ -539,8 +616,9 @@ func (t *Tx) Abort() error {
 	}
 	t.done = true
 	defer t.client.clearTx(t)
-	reqID := t.client.reqSeq.Add(1)
-	_, err := t.client.call(t.coord, reqID, &wire.CommitReq{ReqID: reqID, TxID: t.id})
+	_, err := t.client.roundTrip(t.coord, func(reqID uint64) wire.Message {
+		return &wire.CommitReq{ReqID: reqID, TxID: t.id}
+	})
 	return err
 }
 

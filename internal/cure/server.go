@@ -64,6 +64,14 @@ type ServerConfig struct {
 	// with the log, the durability unit is the ACKNOWLEDGED transaction
 	// and replication progress survives restarts).
 	DisableTxLog bool
+	// MaxInflightPerConn bounds how many admitted requests a single client
+	// connection may have outstanding on this server (see
+	// core.ServerConfig.MaxInflightPerConn). Zero selects
+	// replica.DefaultMaxInflightPerConn; negative disables.
+	MaxInflightPerConn int
+	// DisableDecisionBatch turns off the fsync=always coordinator-decision
+	// group commit (see core.ServerConfig.DisableDecisionBatch).
+	DisableDecisionBatch bool
 }
 
 // runtimeConfig maps the public config onto the shared replica runtime's.
@@ -86,6 +94,9 @@ func (c *ServerConfig) runtimeConfig() replica.Config {
 		DataDir:        c.DataDir,
 		FsyncPolicy:    c.FsyncPolicy,
 		DisableTxLog:   c.DisableTxLog,
+
+		MaxInflightPerConn:   c.MaxInflightPerConn,
+		DisableDecisionBatch: c.DisableDecisionBatch,
 	}
 }
 
@@ -236,6 +247,11 @@ func (s *Server) ReadOnly() bool { return s.rt.Healthy() != nil }
 
 // TxLog exposes the transaction log (nil when disabled) for tests.
 func (s *Server) TxLog() *txlog.Log { return s.rt.TxLog() }
+
+// ShedRequests counts requests refused at per-connection admission (each
+// answered with a BusyResp before any processing) since the server
+// started.
+func (s *Server) ShedRequests() uint64 { return s.rt.ShedCount() }
 
 // Start registers the server and launches the runtime's background loops.
 func (s *Server) Start() { s.rt.Start() }
@@ -509,6 +525,15 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	}
 	sv := ctx.sv
 
+	// Per-connection admission, mirroring Wren's coordinator: a pooled
+	// link multiplexing many sessions is bounded before any slice work —
+	// or parking — happens. Released when the last slice arrives (in the
+	// runtime's SliceResp handler or below) or by the GC sweep.
+	if !s.rt.AdmitClient(from) {
+		s.rt.Shed(from, m.ReqID)
+		return
+	}
+
 	fo := s.fanPool.Get().(*fanin.Fanout)
 	fo.Reset(s.cfg.NumPartitions)
 	for _, k := range m.Keys {
@@ -528,6 +553,7 @@ func (s *Server) handleTxRead(from transport.NodeID, m *wire.TxReadReq) {
 	s.fanPool.Put(fo)
 
 	if resp, to, last := fi.Finish(); last {
+		s.rt.ReleaseClient(to)
 		s.rt.Send(to, resp)
 	}
 }

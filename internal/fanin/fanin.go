@@ -88,6 +88,10 @@ func Start(from transport.NodeID, reqID uint64, calls int) *TxRead {
 // Created returns when the fan-in started, for staleness sweeps.
 func (r *TxRead) Created() time.Time { return r.created }
 
+// From returns the client the fan-in answers, so staleness sweeps can
+// release per-connection admission slots for reads that will never finish.
+func (r *TxRead) From() transport.NodeID { return r.from }
+
 // Items and SetItems expose the response's item buffer for direct,
 // copy-free appends by the coordinator's local fast path. They are safe
 // ONLY before the first remote call is registered: until then no other
@@ -98,15 +102,34 @@ func (r *TxRead) Items() []wire.Item { return r.resp.Items }
 // SetItems stores the (possibly reallocated) buffer back. See Items.
 func (r *TxRead) SetItems(items []wire.Item) { r.resp.Items = items }
 
+// ChunkThreshold is the slice size at or above which Fold retains the
+// arriving buffer by reference (as a TxReadResp chunk) instead of copying
+// it item by item into the flat response. Small slices still copy: the
+// per-chunk bookkeeping and the pool miss of a detached buffer cost more
+// than a short memmove.
+const ChunkThreshold = 64
+
 // Fold merges one slice result into the response. Safe to call from
 // concurrent response handlers.
-func (r *TxRead) Fold(items []wire.Item, blockedMicros int64) {
+//
+// Large slices are folded without copying: the buffer is detached whole
+// into the response's Chunks, and Fold returns true to tell the caller
+// that ownership of items moved into the response — the caller must strip
+// the slice from its pooled SliceResp (set Items = nil) before releasing
+// the message, or the pool would hand the same backing array to two owners.
+func (r *TxRead) Fold(items []wire.Item, blockedMicros int64) (stolen bool) {
 	r.mu.Lock()
-	r.resp.Items = append(r.resp.Items, items...)
+	if len(items) >= ChunkThreshold {
+		r.resp.Chunks = append(r.resp.Chunks, items)
+		stolen = true
+	} else {
+		r.resp.Items = append(r.resp.Items, items...)
+	}
 	if blockedMicros > r.resp.BlockedMicros {
 		r.resp.BlockedMicros = blockedMicros
 	}
 	r.mu.Unlock()
+	return stolen
 }
 
 // Finish releases one contribution. When it was the last, Finish returns

@@ -60,6 +60,13 @@ const (
 	DefaultGossipInterval = 5 * time.Millisecond
 	DefaultGCInterval     = 500 * time.Millisecond
 	DefaultTxContextTTL   = 30 * time.Second
+	// DefaultMaxInflightPerConn is the per-connection admission cap on
+	// outstanding gated client requests (see Config.MaxInflightPerConn).
+	// Sized for pooled connections carrying whole session fleets: far
+	// above any single session's needs, low enough that one runaway
+	// connection cannot exhaust the server's fan-in and 2PC state.
+	DefaultMaxInflightPerConn = 1024
+
 	// DefaultRepairInterval paces the degraded-mode probation exit: how
 	// often a server whose transaction log is degraded (but whose storage
 	// engine is healthy) attempts a repair-and-readmit.
@@ -153,6 +160,19 @@ type Config struct {
 	DataDir      string
 	FsyncPolicy  string
 	DisableTxLog bool
+	// MaxInflightPerConn caps the admission-gated client requests
+	// (transactional reads and write commits) outstanding per client
+	// connection. Beyond the cap the request is shed with a BusyResp —
+	// typed backpressure the client retry policies absorb with a delayed
+	// resend — instead of queueing unbounded fan-in and 2PC state for one
+	// connection. Zero selects DefaultMaxInflightPerConn; negative
+	// disables the gate.
+	MaxInflightPerConn int
+	// DisableDecisionBatch turns off the txlog's batched group commit of
+	// coordinator decision records under fsync=always, falling back to
+	// one append+sync per decision. Exists for the before/after rows of
+	// the wren-bench -txlog sweep.
+	DisableDecisionBatch bool
 }
 
 // FillDefaults resolves zero values to the package defaults.
@@ -174,6 +194,9 @@ func (c *Config) FillDefaults() {
 	}
 	if c.RepairInterval == 0 {
 		c.RepairInterval = DefaultRepairInterval
+	}
+	if c.MaxInflightPerConn == 0 {
+		c.MaxInflightPerConn = DefaultMaxInflightPerConn
 	}
 }
 
@@ -362,6 +385,14 @@ type Runtime struct {
 	// pendingSlice tracks in-flight slice-read fan-ins by request id.
 	pendingSlice *stripemap.Map[*fanin.TxRead]
 
+	// admission counts in-flight admission-gated client requests per
+	// connection (MaxInflightPerConn). admMu only guards the map shape;
+	// the counters are atomic, so the steady state per request is one
+	// read-locked lookup plus one atomic add.
+	admMu     sync.RWMutex
+	admission map[transport.NodeID]*atomic.Int64
+	shedCount atomic.Uint64
+
 	// applyMu serializes ApplyTick end to end. Cure runs the tick from
 	// every parked slice read besides the apply loop, and two overlapping
 	// ticks break the installed-snapshot invariant: tick A takes committed
@@ -455,10 +486,11 @@ func New(cfg Config, proto Protocol, ctr Counters) (*Runtime, error) {
 	var tl *txlog.Log
 	if cfg.StoreBackend != "" && cfg.StoreBackend != backend.Memory && !cfg.DisableTxLog {
 		tl, err = txlog.Open(txlog.Options{
-			Dir:    filepath.Join(cfg.EngineDir(), "txlog"),
-			NumDCs: cfg.NumDCs,
-			SelfDC: cfg.DC,
-			Fsync:  cfg.FsyncPolicy,
+			Dir:                  filepath.Join(cfg.EngineDir(), "txlog"),
+			NumDCs:               cfg.NumDCs,
+			SelfDC:               cfg.DC,
+			Fsync:                cfg.FsyncPolicy,
+			DisableDecisionBatch: cfg.DisableDecisionBatch,
 		})
 		if err != nil {
 			_ = eng.Close()
@@ -478,6 +510,7 @@ func New(cfg Config, proto Protocol, ctr Counters) (*Runtime, error) {
 		recovered:      make(map[uint64]*recoveredPrepare),
 		peerOldest:     make([]hlc.Timestamp, cfg.NumPartitions),
 		pendingSlice:   stripemap.New[*fanin.TxRead](0),
+		admission:      make(map[transport.NodeID]*atomic.Int64),
 		pendingPrepare: make(map[uint64]*prepareCall),
 		decisions:      make(map[uint64]hlc.Timestamp),
 		replWM:         hlc.NewAtomicVector(cfg.NumDCs),
@@ -925,12 +958,76 @@ func (r *Runtime) HandleMessage(from transport.NodeID, m wire.Message) {
 	}
 }
 
+// AdmitClient reserves an in-flight slot for one admission-gated client
+// request (a transactional read or a write commit) from connection
+// `from`. It returns false — the caller must then answer with Shed — when
+// the connection already has MaxInflightPerConn requests outstanding. The
+// gate is per connection: a pooled endpoint carrying a whole session
+// fleet gets one budget, so it cannot queue unbounded fan-in and 2PC
+// state while other connections starve.
+func (r *Runtime) AdmitClient(from transport.NodeID) bool {
+	limit := r.cfg.MaxInflightPerConn
+	if limit <= 0 {
+		return true
+	}
+	ctr := r.admissionCounter(from)
+	if ctr.Add(1) > int64(limit) {
+		ctr.Add(-1)
+		return false
+	}
+	return true
+}
+
+// ReleaseClient returns an admitted request's slot. Called exactly once
+// per successful AdmitClient: when the response is sent, or when a stale
+// fan-in is swept.
+func (r *Runtime) ReleaseClient(from transport.NodeID) {
+	if r.cfg.MaxInflightPerConn <= 0 {
+		return
+	}
+	r.admissionCounter(from).Add(-1)
+}
+
+// Shed answers a request refused by AdmitClient with the typed admission
+// pushback. A BusyResp proves the request did not execute, so the client
+// may resend it — even a CommitReq — after a backoff.
+func (r *Runtime) Shed(from transport.NodeID, reqID uint64) {
+	r.shedCount.Add(1)
+	r.Send(from, &wire.BusyResp{ReqID: reqID})
+}
+
+// ShedCount returns how many client requests admission control refused.
+func (r *Runtime) ShedCount() uint64 { return r.shedCount.Load() }
+
+func (r *Runtime) admissionCounter(from transport.NodeID) *atomic.Int64 {
+	r.admMu.RLock()
+	ctr := r.admission[from]
+	r.admMu.RUnlock()
+	if ctr != nil {
+		return ctr
+	}
+	r.admMu.Lock()
+	if ctr = r.admission[from]; ctr == nil {
+		ctr = new(atomic.Int64)
+		r.admission[from] = ctr
+	}
+	r.admMu.Unlock()
+	return ctr
+}
+
 // handleSliceResp folds a remote slice into its read fan-in; the last
-// arriving slice assembles and sends the TxReadResp.
+// arriving slice assembles and sends the TxReadResp, releasing the read's
+// admission slot.
 func (r *Runtime) handleSliceResp(m *wire.SliceResp) {
 	if fi, ok := r.pendingSlice.LoadAndDelete(m.ReqID); ok {
-		fi.Fold(m.Items, m.BlockedMicros)
+		if fi.Fold(m.Items, m.BlockedMicros) {
+			// The fold stole the items buffer into the response as a
+			// chunk: strip it from the pooled message so the pool cannot
+			// hand the same backing array to a later read.
+			m.Items = nil
+		}
 		if resp, to, last := fi.Finish(); last {
+			r.ReleaseClient(to)
 			r.Send(to, resp)
 		}
 	}
@@ -997,6 +1094,14 @@ func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare f
 		r.mu.Unlock()
 		return
 	}
+	if !r.AdmitClient(from) {
+		// Per-connection admission: shed BEFORE any 2PC state exists.
+		// Dedupe ran first so duplicates of decided transactions are
+		// still answered cheaply rather than bounced.
+		r.mu.Unlock()
+		r.Shed(from, m.ReqID)
+		return
+	}
 	r.pendingPrepare[m.TxID] = call
 	r.mu.Unlock()
 
@@ -1009,6 +1114,7 @@ func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare f
 	}
 
 	r.GoAsync(func() {
+		defer r.ReleaseClient(from)
 		var ct hlc.Timestamp
 		var refusal string
 		for range cohorts {
@@ -1063,10 +1169,11 @@ func (r *Runtime) Commit(from transport.NodeID, m *wire.CommitReq, makePrepare f
 			for _, c := range cohorts {
 				parts = append(parts, uint16(c.partition))
 			}
-			r.tl.LogCoordCommit(m.TxID, ct, parts)
-			if r.tl.SyncOnAppend() {
-				r.tl.Sync()
-			}
+			// Under fsync=always the append AND the fsync are batched
+			// across the concurrent commit collections of one tick: one
+			// leader writes every staged decision record with a single
+			// write+fsync (see txlog.LogCoordCommitSync).
+			r.tl.LogCoordCommitSync(m.TxID, ct, parts)
 			if err := r.tl.Healthy(); err != nil {
 				// The decision never became durable: withdraw it (so a
 				// recovery cannot re-drive a commit the client was told
@@ -1539,8 +1646,22 @@ func (r *Runtime) gcTick() {
 		}
 		return true
 	})
+	// A fan-in is registered once per remote slice call, so several stale
+	// request ids can map to the same read; its admission slot must be
+	// released exactly once. The claims are atomic (LoadAndDelete), so a
+	// racing final SliceResp either claims all of a read's entries itself
+	// — then it releases and this sweep finds none — or loses at least one
+	// to the sweep and can never reach "last".
+	released := make(map[*fanin.TxRead]struct{}, len(staleReads))
 	for _, reqID := range staleReads {
-		r.pendingSlice.Delete(reqID)
+		fi, ok := r.pendingSlice.LoadAndDelete(reqID)
+		if !ok {
+			continue
+		}
+		if _, done := released[fi]; !done {
+			released[fi] = struct{}{}
+			r.ReleaseClient(fi.From())
+		}
 	}
 	r.mu.Lock()
 	if oldest > r.peerOldest[r.cfg.Partition] {

@@ -1,0 +1,62 @@
+package tcp
+
+import (
+	"fmt"
+
+	"wren/internal/transport"
+	"wren/internal/transport/pool"
+)
+
+// ClientPool is a connection pool whose endpoints are dedicated TCP
+// networks: `links` sockets per server in total, shared by every session
+// bound to the pool, instead of one socket per server per session.
+type ClientPool struct {
+	*pool.Pool
+	nets []*Network
+}
+
+// NewClientPool builds a pool of `links` multiplexed TCP endpoints. Each
+// endpoint is a pure-client Network (no listen address) dialing the given
+// peers; its node id is base with the node index offset by the link
+// number, so the ids of one pool form a contiguous, collision-free block.
+// cfg is used as a template: Self and ListenAddr are overridden per link.
+func NewClientPool(cfg Config, base transport.NodeID, links int) (*ClientPool, error) {
+	if links <= 0 {
+		return nil, fmt.Errorf("tcp: pool needs at least one link, got %d", links)
+	}
+	cp := &ClientPool{}
+	eps := make([]pool.Endpoint, 0, links)
+	for i := 0; i < links; i++ {
+		c := cfg
+		c.Self = transport.NodeID{DC: base.DC, Node: base.Node + i}
+		c.ListenAddr = ""
+		n, err := New(c)
+		if err != nil {
+			cp.closeNets()
+			return nil, err
+		}
+		cp.nets = append(cp.nets, n)
+		eps = append(eps, pool.Endpoint{ID: c.Self, Net: n})
+	}
+	p, err := pool.New(eps)
+	if err != nil {
+		cp.closeNets()
+		return nil, err
+	}
+	cp.Pool = p
+	return cp, nil
+}
+
+// Close shuts down the demux and every link network.
+func (cp *ClientPool) Close() {
+	if cp.Pool != nil {
+		cp.Pool.Close()
+	}
+	cp.closeNets()
+}
+
+func (cp *ClientPool) closeNets() {
+	for _, n := range cp.nets {
+		n.Close()
+	}
+}

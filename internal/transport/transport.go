@@ -85,6 +85,11 @@ var ErrUnknownNode = errors.New("transport: unknown destination")
 // dead link). Senders treat it as transient and retry with backoff.
 var ErrOverloaded = errors.New("transport: outbound queue overloaded")
 
+// ErrTimeout is returned by request/response helpers layered over a
+// Network (the client connection pool) when no response arrived within
+// the caller's deadline. The request may or may not have executed.
+var ErrTimeout = errors.New("transport: request timed out")
+
 // LatencyFunc returns the one-way delivery latency between two nodes.
 type LatencyFunc func(from, to NodeID) time.Duration
 

@@ -114,6 +114,11 @@ type Options struct {
 	// rewrite (0 selects DefaultCompactThreshold; negative disables
 	// compaction).
 	CompactThreshold int
+	// DisableDecisionBatch makes LogCoordCommitSync fall back to one
+	// append+fsync per coordinator decision instead of batching staged
+	// records across concurrent committers. Only meaningful under
+	// fsync=always; exists for the wren-bench -txlog before/after rows.
+	DisableDecisionBatch bool
 }
 
 // PreparedTx is a logged prepare: the cohort-local write set of a
@@ -199,6 +204,15 @@ type Log struct {
 	// read and write lives under sh.Mu. Lock order: syncMu then sh.Mu.
 	syncMu sync.Mutex
 
+	// decBatch (under sh.Mu) stages encoded coordinator decision records
+	// for LogCoordCommitSync's batched group commit under fsync=always:
+	// records accumulate here while a flush holds syncMu; the next leader
+	// writes them all with one write syscall and one fsync. Compact clears
+	// it — its full rewrite persists the coord map wholesale, staged
+	// records included. noDecBatch pins the unbatched fallback.
+	decBatch   []byte
+	noDecBatch bool
+
 	errMu  sync.Mutex
 	err    error
 	errSeq uint64 // bumped on every recorded failure; Repair's staleness check
@@ -230,17 +244,18 @@ func Open(opts Options) (*Log, error) {
 		return nil, fmt.Errorf("txlog: create dir: %w", err)
 	}
 	l := &Log{
-		dir:       opts.Dir,
-		fsync:     policy,
-		compat:    compact,
-		numDCs:    opts.NumDCs,
-		selfDC:    opts.SelfDC,
-		prepared:  make(map[uint64]*PreparedTx),
-		committed: make(map[uint64]*CommittedTx),
-		coord:     make(map[uint64]*CoordTx),
-		cursor:    make([]hlc.Timestamp, opts.NumDCs),
-		pins:      make([]hlc.Timestamp, opts.NumDCs),
-		stop:      make(chan struct{}),
+		dir:        opts.Dir,
+		fsync:      policy,
+		compat:     compact,
+		numDCs:     opts.NumDCs,
+		selfDC:     opts.SelfDC,
+		prepared:   make(map[uint64]*PreparedTx),
+		committed:  make(map[uint64]*CommittedTx),
+		coord:      make(map[uint64]*CoordTx),
+		cursor:     make([]hlc.Timestamp, opts.NumDCs),
+		pins:       make([]hlc.Timestamp, opts.NumDCs),
+		noDecBatch: opts.DisableDecisionBatch,
+		stop:       make(chan struct{}),
 	}
 	l.sh.Enc = wire.NewEncoder()
 	if err := l.recover(); err != nil {
@@ -599,6 +614,108 @@ func (l *Log) LogCoordCommit(txID uint64, ct hlc.Timestamp, cohorts []uint16) {
 			e.Uvarint(uint64(p))
 		}
 	})
+	l.sh.Mu.Unlock()
+}
+
+// LogCoordCommitSync records a coordinator commit decision and — under
+// fsync=always — makes it stable before returning, batching both the
+// append and the fsync across the concurrent commit collections of one
+// tick: each caller stages its encoded record under sh.Mu, then the first
+// to take syncMu (the leader) writes every staged record with ONE write
+// syscall and ONE fsync; followers, queued on syncMu behind the leader,
+// find the batch already flushed and return without touching the file.
+// Decision records are independent of each other and of interleaved
+// direct appends (each is self-framed and keyed by transaction id), so
+// the file-order reshuffle staging introduces is recovery-safe.
+//
+// Under the other fsync policies this is exactly LogCoordCommit: the
+// interval loop or Close makes the record stable later. Callers needing a
+// durability statement consult Healthy afterwards, as with Sync.
+func (l *Log) LogCoordCommitSync(txID uint64, ct hlc.Timestamp, cohorts []uint16) {
+	if !l.SyncOnAppend() {
+		l.LogCoordCommit(txID, ct, cohorts)
+		return
+	}
+	if l.noDecBatch {
+		l.LogCoordCommit(txID, ct, cohorts)
+		l.Sync()
+		return
+	}
+
+	c := &CoordTx{TxID: txID, CT: ct, Cohorts: append([]uint16(nil), cohorts...),
+		pending: make(map[uint16]struct{}, len(cohorts)), created: time.Now()}
+	for _, p := range c.Cohorts {
+		c.pending[p] = struct{}{}
+	}
+	l.sh.Mu.Lock()
+	if l.stopped {
+		l.sh.Mu.Unlock()
+		return
+	}
+	l.coord[txID] = c
+	l.noteSeq(txID)
+	l.sh.Enc.Reset()
+	logrec.AppendFrame(l.sh.Enc, func(e *wire.Encoder) {
+		e.Byte(recCoordCommit)
+		e.Uvarint(txID)
+		e.Timestamp(ct)
+		e.Uvarint(uint64(len(c.Cohorts)))
+		for _, p := range c.Cohorts {
+			e.Uvarint(uint64(p))
+		}
+	})
+	l.decBatch = append(l.decBatch, l.sh.Enc.Bytes()...)
+	l.appends++
+	l.sh.Mu.Unlock()
+
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.sh.Mu.Lock()
+	if len(l.decBatch) == 0 {
+		// Already stable: either a leader flushed the batch holding this
+		// record before we got syncMu, or a compaction's fsynced rewrite
+		// persisted the coord map (staged records included).
+		l.sh.Mu.Unlock()
+		return
+	}
+	buf := l.decBatch
+	l.decBatch = nil
+	if l.sh.Failed {
+		// Frozen shard: memory stays authoritative, the recorded failure
+		// keeps the server in read-only admission (as with appendLocked).
+		l.sh.Mu.Unlock()
+		return
+	}
+	f := l.sh.F
+	if _, err := f.Write(buf); err != nil {
+		// Same torn-tail discipline as shardlog.AppendLocked: roll the
+		// partial batch back so recovery never stops short of intact
+		// records appended later.
+		l.onErr(fmt.Errorf("append: %w", err))
+		if terr := f.Truncate(l.sh.Size); terr != nil {
+			l.sh.Failed = true
+			l.onErr(fmt.Errorf("append rollback failed, freezing shard log: %w", terr))
+		} else if _, terr = f.Seek(l.sh.Size, 0); terr != nil {
+			l.sh.Failed = true
+			l.onErr(fmt.Errorf("append rollback failed, freezing shard log: %w", terr))
+		}
+		l.sh.Mu.Unlock()
+		return
+	}
+	l.sh.Size += int64(len(buf))
+	size, gen := l.sh.Size, l.gen
+	l.sh.Mu.Unlock()
+
+	if err := f.Sync(); err != nil {
+		if !errors.Is(err, os.ErrClosed) {
+			l.recordErr(fmt.Errorf("txlog: sync: %w", err))
+		}
+		return
+	}
+	l.sh.Mu.Lock()
+	if l.gen == gen && size > l.synced {
+		l.synced = size
+	}
 	l.sh.Mu.Unlock()
 }
 
@@ -1042,6 +1159,9 @@ func (l *Log) Compact() {
 	l.sh.Failed = false // the rewrite from retained state repairs a frozen log
 	l.sh.Dirty = false
 	l.appends = 0
+	// Staged decision records were rewritten (and fsynced) as part of the
+	// coord map above; flushing them again would only append duplicates.
+	l.decBatch = nil
 	l.gen++            // a racing Sync must not stamp the old file's size on us
 	l.synced = written // the rewrite was fsynced in full
 	if derr := fsutil.SyncDir(l.dir); derr != nil {

@@ -76,6 +76,90 @@ func TestCoordCommitResolution(t *testing.T) {
 	}
 }
 
+// TestCoordCommitSyncBatchedDurable hammers the batched ack-path decision
+// writer from many goroutines under fsync=always and proves every decision
+// both survives a reopen and is already synced when the call returns (the
+// group commit trades syscalls, never durability).
+func TestCoordCommitSyncBatchedDurable(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, 1)
+	const writers, decisions = 8, 20
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < decisions; i++ {
+				txID := uint64(w*decisions + i + 1)
+				l.LogCoordCommitSync(txID, ts(300+txID), []uint16{0})
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	if err := l.Healthy(); err != nil {
+		t.Fatalf("log degraded after batched decisions: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openLog(t, dir, 1)
+	defer r.Close()
+	pending := r.CoordPending()
+	if len(pending) != writers*decisions {
+		t.Fatalf("recovered %d pending decisions, want %d", len(pending), writers*decisions)
+	}
+	seen := make(map[uint64]bool, len(pending))
+	for _, c := range pending {
+		if c.CT != ts(300+c.TxID) {
+			t.Fatalf("tx %d recovered with ct %d, want %d", c.TxID, c.CT, 300+c.TxID)
+		}
+		seen[c.TxID] = true
+	}
+	if len(seen) != writers*decisions {
+		t.Fatalf("recovered %d distinct decisions, want %d", len(seen), writers*decisions)
+	}
+}
+
+// TestCoordCommitSyncFallback covers the two unbatched paths: interval
+// fsync (records ride the interval sync) and batching disabled under
+// fsync=always (one fsync per decision, the benchmark ablation).
+func TestCoordCommitSyncFallback(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"interval", Options{Fsync: "interval"}},
+		{"always-nobatch", Options{Fsync: "always", DisableDecisionBatch: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Dir = t.TempDir()
+			opts.NumDCs = 1
+			l, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.LogCoordCommitSync(5, ts(500), []uint16{0, 1})
+			l.Sync()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			opts2 := opts
+			r, err := Open(opts2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			pending := r.CoordPending()
+			if len(pending) != 1 || pending[0].TxID != 5 || pending[0].CT != ts(500) {
+				t.Fatalf("pending = %+v, want tx 5 @500", pending)
+			}
+		})
+	}
+}
+
 func TestCursorPersistsAndBoundsTail(t *testing.T) {
 	dir := t.TempDir()
 	l := openLog(t, dir, 3)

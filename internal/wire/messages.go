@@ -34,6 +34,7 @@ const (
 	KindTxStatusResp
 	KindScanReq
 	KindScanResp
+	KindBusyResp
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -85,6 +86,8 @@ func (k Kind) String() string {
 		return "ScanReq"
 	case KindScanResp:
 		return "ScanResp"
+	case KindBusyResp:
+		return "BusyResp"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -325,6 +328,14 @@ func (m *TxReadReq) decodeFrom(d *Decoder) {
 type TxReadResp struct {
 	ReqID uint64
 	Items []Item
+	// Chunks are extra item slices folded in by reference for very large
+	// read sets: instead of copying a big SliceResp's items into Items
+	// (one monolithic append), the fan-in detaches the arriving buffer and
+	// retains it whole. The field is wire-transparent — encoding flattens
+	// Items then Chunks into one item sequence and decoding always yields
+	// a flat Items — so only in-process consumers see chunks. Readers must
+	// iterate Items AND every chunk.
+	Chunks [][]Item
 	// BlockedMicros is the maximum time any constituent slice read spent
 	// blocked waiting for a snapshot to be installed (Cure/H-Cure only;
 	// always 0 in Wren). Feeds the paper's Figure 3b.
@@ -339,7 +350,19 @@ func (*TxReadResp) Class() Class { return ClassClient }
 
 func (m *TxReadResp) encodeTo(e *Encoder) {
 	e.Uvarint(m.ReqID)
-	encodeItems(e, m.Items)
+	n := len(m.Items)
+	for _, c := range m.Chunks {
+		n += len(c)
+	}
+	e.Uvarint(uint64(n))
+	for i := range m.Items {
+		m.Items[i].encodeTo(e)
+	}
+	for _, c := range m.Chunks {
+		for i := range c {
+			c[i].encodeTo(e)
+		}
+	}
 	e.Uvarint(uint64(m.BlockedMicros))
 }
 
@@ -977,6 +1000,30 @@ func (m *ScanResp) decodeFrom(d *Decoder) {
 	m.More = d.Bool()
 }
 
+// BusyResp is the server's admission pushback: the request identified by
+// ReqID was shed before ANY processing because its connection exceeded the
+// per-connection in-flight cap. Unlike a timeout, a BusyResp proves the
+// request did not execute, so resending it after a backoff is safe even
+// for a CommitReq. Clients surface it as transport.ErrOverloaded and let
+// their RetryPolicy delay and retry.
+type BusyResp struct {
+	ReqID uint64
+}
+
+// Kind implements Message.
+func (*BusyResp) Kind() Kind { return KindBusyResp }
+
+// Class implements Message.
+func (*BusyResp) Class() Class { return ClassClient }
+
+func (m *BusyResp) encodeTo(e *Encoder) {
+	e.Uvarint(m.ReqID)
+}
+
+func (m *BusyResp) decodeFrom(d *Decoder) {
+	m.ReqID = d.Uvarint()
+}
+
 // newMessage allocates an empty message of the given kind.
 func newMessage(kind Kind) (Message, error) {
 	switch kind {
@@ -1026,6 +1073,8 @@ func newMessage(kind Kind) (Message, error) {
 		return &ScanReq{}, nil
 	case KindScanResp:
 		return &ScanResp{}, nil
+	case KindBusyResp:
+		return &BusyResp{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

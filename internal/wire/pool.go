@@ -54,7 +54,9 @@ func PutSliceResp(m *SliceResp) {
 // its previous use; append into Items[:0].
 func GetTxReadResp() *TxReadResp { return txReadRespPool.Get().(*TxReadResp) }
 
-// PutTxReadResp releases m for reuse.
+// PutTxReadResp releases m for reuse. Chunks are dropped to the GC, not
+// retained: their backing arrays were detached from SliceResp messages by
+// the fan-in's large-read fast path and belong to no pool anymore.
 func PutTxReadResp(m *TxReadResp) {
 	clearItems(m.Items)
 	m.Items = m.Items[:0]
